@@ -1,0 +1,65 @@
+//! Hogwild CPU engine thread scaling (paper Fig. 4 in criterion form).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use layout_core::cpu::CpuEngine;
+use layout_core::LayoutConfig;
+use pangraph::lean::LeanGraph;
+use workloads::{generate, PangenomeSpec};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let g = generate(&PangenomeSpec::basic("s", 600, 6, 3));
+    let lean = LeanGraph::from_graph(&g);
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let mut grp = c.benchmark_group("cpu_engine/threads");
+    let base_cfg = LayoutConfig { iter_max: 4, ..LayoutConfig::default() };
+    let updates = base_cfg.steps_per_iter(lean.total_steps() as u64) * 4;
+    grp.throughput(Throughput::Elements(updates));
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max {
+            continue;
+        }
+        let cfg = LayoutConfig { threads, ..base_cfg.clone() };
+        grp.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            let engine = CpuEngine::new(cfg.clone());
+            b.iter(|| black_box(engine.run(&lean)))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_data_layouts(c: &mut Criterion) {
+    use layout_core::coords::DataLayout;
+    let g = generate(&PangenomeSpec::basic("s", 1500, 8, 5));
+    let lean = LeanGraph::from_graph(&g);
+    let mut grp = c.benchmark_group("cpu_engine/data_layout");
+    for (name, layout) in [
+        ("original_soa", DataLayout::OriginalSoa),
+        ("cache_friendly_aos", DataLayout::CacheFriendlyAos),
+    ] {
+        let cfg = LayoutConfig {
+            iter_max: 3,
+            data_layout: layout,
+            ..LayoutConfig::default()
+        };
+        grp.bench_function(name, |b| {
+            let engine = CpuEngine::new(cfg.clone());
+            b.iter(|| black_box(engine.run(&lean)))
+        });
+    }
+    grp.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thread_scaling, bench_data_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Whole-engine comparison on one graph: Hogwild CPU, PyTorch-style
+//! batch, and the simulated GPU kernel (host simulation cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
+use layout_core::batch::BatchEngine;
+use layout_core::cpu::CpuEngine;
+use layout_core::LayoutConfig;
+use pangraph::lean::LeanGraph;
+use workloads::{generate, PangenomeSpec};
+
+fn bench_engines(c: &mut Criterion) {
+    let g = generate(&PangenomeSpec::basic("e", 400, 6, 11));
+    let lean = LeanGraph::from_graph(&g);
+    let lcfg = LayoutConfig { iter_max: 4, ..LayoutConfig::default() };
+
+    let mut grp = c.benchmark_group("engines");
+    grp.bench_function("cpu_hogwild", |b| {
+        let engine = CpuEngine::new(lcfg.clone());
+        b.iter(|| black_box(engine.run(&lean)))
+    });
+    grp.bench_function("batch_pytorch_style", |b| {
+        let engine = BatchEngine::new(lcfg.clone(), 1024);
+        b.iter(|| black_box(engine.run(&lean)))
+    });
+    grp.bench_function("gpu_sim_optimized", |b| {
+        let engine = GpuEngine::new(
+            GpuSpec::a6000(),
+            lcfg.clone(),
+            KernelConfig::optimized(0.01),
+        );
+        b.iter(|| black_box(engine.run(&lean)))
+    });
+    grp.bench_function("gpu_sim_untraced", |b| {
+        // Trace sampling at 1/16: how much of the simulation cost is the
+        // memory-system bookkeeping.
+        let engine = GpuEngine::new(
+            GpuSpec::a6000(),
+            lcfg.clone(),
+            KernelConfig::optimized(0.01).with_trace_fraction(1.0 / 16.0),
+        );
+        b.iter(|| black_box(engine.run(&lean)))
+    });
+    grp.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engines
+}
+criterion_main!(benches);

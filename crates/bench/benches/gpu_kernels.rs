@@ -1,0 +1,86 @@
+//! GPU-simulator micro-benchmarks: cache probes, warp coalescing, and the
+//! relative host cost of the kernel ablation configs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::{Cache, CacheConfig, GpuEngine, GpuSpec, KernelConfig, SmMem};
+use layout_core::LayoutConfig;
+use pangraph::lean::LeanGraph;
+use workloads::{generate, PangenomeSpec};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("gpu_sim/cache");
+    grp.throughput(Throughput::Elements(1));
+
+    let mut cache = Cache::new(CacheConfig::gpu(128 * 1024));
+    let mut addr = 0u64;
+    grp.bench_function("access_sector_stream", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(32) & 0xFFFFF;
+            black_box(cache.access_sector(addr))
+        })
+    });
+
+    let mut xs = 0u64;
+    grp.bench_function("access_sector_random", |b| {
+        b.iter(|| {
+            xs = xs.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            black_box(cache.access_sector(xs & 0xFF_FFFF))
+        })
+    });
+    grp.finish();
+
+    let mut grp = c.benchmark_group("gpu_sim/warp_request");
+    let mut sm = SmMem::new(&GpuSpec::a6000(), 0.01);
+    let coalesced: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+    grp.bench_function("coalesced_32_lanes", |b| {
+        b.iter(|| sm.warp_request(black_box(&coalesced)))
+    });
+    let mut seed = 1u64;
+    grp.bench_function("scattered_32_lanes", |b| {
+        b.iter(|| {
+            let scattered: Vec<(u64, u32)> = (0..32)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (seed & 0xFFF_FFFF, 4)
+                })
+                .collect();
+            sm.warp_request(black_box(&scattered))
+        })
+    });
+    grp.finish();
+}
+
+fn bench_kernel_configs(c: &mut Criterion) {
+    let g = generate(&PangenomeSpec::basic("k", 300, 5, 13));
+    let lean = LeanGraph::from_graph(&g);
+    let lcfg = LayoutConfig { iter_max: 2, steps_per_path_node: 4.0, ..LayoutConfig::default() };
+
+    let mut grp = c.benchmark_group("gpu_sim/kernel");
+    for (name, kcfg) in [
+        ("base", KernelConfig::base(0.01)),
+        ("cdl", KernelConfig::base(0.01).with_cdl()),
+        ("crs", KernelConfig::base(0.01).with_crs()),
+        ("wm", KernelConfig::base(0.01).with_wm()),
+        ("optimized", KernelConfig::optimized(0.01)),
+    ] {
+        grp.bench_function(name, |b| {
+            let engine = GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg);
+            b.iter(|| black_box(engine.run(&lean)))
+        });
+    }
+    grp.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cache, bench_kernel_configs
+}
+criterion_main!(benches);

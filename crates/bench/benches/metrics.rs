@@ -1,0 +1,52 @@
+//! Metric-cost benchmarks: exact path stress is quadratic in path length,
+//! sampled path stress is linear (paper Table V's asymmetry).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use layout_core::cpu::CpuEngine;
+use layout_core::LayoutConfig;
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+use pgmetrics::{path_stress, sampled_path_stress, SamplingConfig};
+use workloads::{generate, PangenomeSpec};
+
+fn layout_of(sites: usize) -> (Layout2D, LeanGraph) {
+    let g = generate(&PangenomeSpec::basic("m", sites, 4, 7));
+    let lean = LeanGraph::from_graph(&g);
+    let cfg = LayoutConfig { iter_max: 4, threads: 0, ..LayoutConfig::default() };
+    let (layout, _) = CpuEngine::new(cfg).run(&lean);
+    (layout, lean)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("metrics");
+    for sites in [100usize, 400] {
+        let (layout, lean) = layout_of(sites);
+        grp.bench_with_input(BenchmarkId::new("path_stress_exact", sites), &sites, |b, _| {
+            b.iter(|| black_box(path_stress(&layout, &lean)))
+        });
+        grp.bench_with_input(BenchmarkId::new("sampled_path_stress", sites), &sites, |b, _| {
+            b.iter(|| {
+                black_box(sampled_path_stress(
+                    &layout,
+                    &lean,
+                    SamplingConfig { samples_per_node: 100, seed: 1 },
+                ))
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_metrics
+}
+criterion_main!(benches);

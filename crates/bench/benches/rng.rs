@@ -1,0 +1,76 @@
+//! PRNG micro-benchmarks: the per-step random-number cost that paper
+//! Sec. III-B identifies as part of the memory-bound profile.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pgrng::{AliasTable, Rng64, StatePool, XorWow, Xoshiro256Plus, ZipfTable};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng/generators");
+    g.throughput(Throughput::Elements(1));
+
+    let mut xo = Xoshiro256Plus::seed_from_u64(1);
+    g.bench_function("xoshiro256plus_next_u64", |b| {
+        b.iter(|| black_box(xo.next_u64()))
+    });
+
+    let mut xw = XorWow::init(1, 0);
+    g.bench_function("xorwow_step", |b| b.iter(|| black_box(xw.step())));
+
+    let mut aos = StatePool::aos(128, 1);
+    g.bench_function("state_pool_aos_next_u32", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 127;
+            black_box(aos.next_u32(i))
+        })
+    });
+
+    let mut soa = StatePool::coalesced(128, 1);
+    g.bench_function("state_pool_coalesced_next_u32", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 127;
+            black_box(soa.next_u32(i))
+        })
+    });
+    g.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng/distributions");
+    g.throughput(Throughput::Elements(1));
+
+    let zipf = ZipfTable::with_defaults(100_000);
+    let mut rng = Xoshiro256Plus::seed_from_u64(2);
+    g.bench_function("zipf_sample_space_1e5", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng, 100_000)))
+    });
+    g.bench_function("zipf_sample_space_100", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng, 100)))
+    });
+
+    let weights: Vec<f64> = (1..=2048).map(|i| (i % 97 + 1) as f64).collect();
+    let alias = AliasTable::new(&weights);
+    g.bench_function("alias_sample_2048", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
+
+    g.bench_function("gen_below_non_pow2", |b| {
+        b.iter(|| black_box(rng.gen_below(1_000_003)))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generators, bench_distributions
+}
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Shared harness context: scales, graph construction, the lazily
+//! computed 24-chromosome run reused by Tables VII/VIII and Fig. 14, and
+//! output helpers.
+
+use layout_core::config::LayoutConfig;
+use layout_core::cpu::CpuEngine;
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+use pangraph::VariationGraph;
+use pgio::Table;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+use workloads::{generate, hprc_catalog, ChromEntry, PangenomeSpec};
+
+/// Harness configuration shared by all experiments.
+pub struct Ctx {
+    /// Dataset scale for the chromosome catalog (1.0 = paper-size).
+    pub scale: f64,
+    /// Run the heavyweight variants (e.g. the full 1824-layout Fig. 13).
+    pub full: bool,
+    /// Output directory for TSVs and renders.
+    pub out_dir: PathBuf,
+    catalog_run: OnceLock<CatalogRun>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self {
+            scale: 5e-4,
+            full: false,
+            out_dir: PathBuf::from("out/repro"),
+            catalog_run: OnceLock::new(),
+        }
+    }
+}
+
+/// The three representative pangenomes of Table I, at harness scale.
+/// Returns `(name, spec, dataset_scale)` — the scale doubles as the
+/// cache-capacity scale of the memory-hierarchy models (HLA-DRB1 is
+/// generated at full scale, so its caches are full scale too).
+pub fn representative_specs(ctx: &Ctx) -> Vec<(&'static str, PangenomeSpec, f64)> {
+    let mhc_scale = (ctx.scale * 40.0).clamp(0.005, 1.0);
+    vec![
+        ("HLA-DRB1", workloads::hla_drb1(), 1.0),
+        ("MHC", workloads::mhc_like(mhc_scale), mhc_scale),
+        ("Chr.1", hprc_catalog()[0].spec(ctx.scale), ctx.scale),
+    ]
+}
+
+/// Generate a spec and flatten it.
+pub fn build(spec: &PangenomeSpec) -> (VariationGraph, LeanGraph) {
+    let g = generate(spec);
+    let lean = LeanGraph::from_graph(&g);
+    (g, lean)
+}
+
+/// The default layout configuration used across experiments.
+pub fn layout_cfg() -> LayoutConfig {
+    LayoutConfig { seed: 0x5C24, ..LayoutConfig::default() }
+}
+
+/// Format seconds as the paper's `h:mm:ss` (with sub-second precision for
+/// scaled runs).
+pub fn hms(s: f64) -> String {
+    if s < 60.0 {
+        return format!("{s:.2}s");
+    }
+    let total = s.round() as u64;
+    format!("{}:{:02}:{:02}", total / 3600, (total / 60) % 60, total % 60)
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Write a table to stdout and to `out/repro/<id>.tsv`.
+pub fn emit(ctx: &Ctx, id: &str, table: &Table) {
+    print!("{}", table.render());
+    let path = ctx.out_dir.join(format!("{id}.tsv"));
+    if let Err(e) = std::fs::write(&path, table.to_tsv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Convenience duration → seconds.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+// ---------------------------------------------------------------------
+// The shared 24-chromosome run (Tables VII & VIII, Fig. 14).
+// ---------------------------------------------------------------------
+
+/// Per-chromosome results of the catalog run.
+pub struct ChromRun {
+    /// Catalog entry (paper numbers).
+    pub entry: ChromEntry,
+    /// The flattened graph.
+    pub lean: LeanGraph,
+    /// Measured wall time of the lean Rust CPU engine.
+    pub cpu_measured_s: f64,
+    /// Modeled odgi-baseline CPU time (32-thread Xeon, full hierarchy).
+    pub cpu_modeled_s: f64,
+    /// CPU layout.
+    pub cpu_layout: Layout2D,
+    /// (modeled seconds, layout) for the A6000.
+    pub a6000: (f64, Layout2D),
+    /// (modeled seconds, layout) for the A100.
+    pub a100: (f64, Layout2D),
+}
+
+/// All 24 chromosomes, computed once per process.
+pub struct CatalogRun {
+    /// One entry per chromosome, catalog order.
+    pub chroms: Vec<ChromRun>,
+}
+
+/// Run (or fetch) the shared catalog computation.
+pub fn catalog_run<'c>(ctx: &'c Ctx) -> &'c CatalogRun {
+    ctx.catalog_run.get_or_init(|| {
+        use gpu_sim::cpusim::{characterize_cpu, cpu_model, modeled_cpu_time_s};
+        use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
+        use layout_core::coords::DataLayout;
+
+        let lcfg = layout_cfg();
+        let chroms = hprc_catalog()
+            .into_iter()
+            .map(|entry| {
+                let spec = entry.spec(ctx.scale);
+                let (_, lean) = build(&spec);
+
+                let (cpu_layout, report) = CpuEngine::new(lcfg.clone()).run(&lean);
+                let trace =
+                    characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, ctx.scale, 120_000);
+                let cpu_modeled_s =
+                    modeled_cpu_time_s(&lean, &lcfg, &trace, cpu_model::THREADS);
+
+                let gpu = |spec_gpu: GpuSpec| {
+                    let engine =
+                        GpuEngine::new(spec_gpu, lcfg.clone(), KernelConfig::optimized(ctx.scale));
+                    let (layout, r) = engine.run(&lean);
+                    (r.modeled_s(), layout)
+                };
+                let a6000 = gpu(GpuSpec::a6000());
+                let a100 = gpu(GpuSpec::a100());
+                eprintln!(
+                    "  [catalog] {:<6} cpu {:.2}s (measured) / {:.2}s (modeled)  a6000 {:.3}s  a100 {:.3}s",
+                    entry.name,
+                    secs(report.wall),
+                    cpu_modeled_s,
+                    a6000.0,
+                    a100.0
+                );
+                ChromRun {
+                    entry,
+                    lean,
+                    cpu_measured_s: secs(report.wall),
+                    cpu_modeled_s,
+                    cpu_layout,
+                    a6000,
+                    a100,
+                }
+            })
+            .collect();
+        CatalogRun { chroms }
+    })
+}

@@ -1,0 +1,199 @@
+//! Tables III & IV and Fig. 7 — the PyTorch-style batched implementation
+//! study (paper Sec. IV).
+//!
+//! The paper sweeps batch sizes {10K … 100M} on the full MHC graph
+//! (Σ|p| ≈ 2×10⁷ steps, so 10×Σ|p| ≈ 2×10⁸ updates per iteration). We
+//! sweep the *same batch-to-workload ratios* on the scaled MHC graph, so
+//! batch counts — and therefore kernel-launch counts and staleness
+//! effects — match the paper's regime.
+
+use crate::common::{build, emit, layout_cfg, representative_specs, secs, Ctx};
+use layout_core::batch::{BatchEngine, BatchReport, KernelOp, ALL_OPS};
+use layout_core::cpu::CpuEngine;
+use pangraph::lean::LeanGraph;
+use pgio::Table;
+use pgmetrics::{sampled_path_stress, SamplingConfig};
+
+/// Paper Table III: batch size → (run time s, speedup, quality).
+const TABLE3_PAPER: [(&str, f64, f64, &str); 5] = [
+    ("10K", 702.2, 0.2, "Good"),
+    ("100K", 67.3, 1.6, "Good"),
+    ("1M", 15.6, 6.8, "Good"),
+    ("10M", 14.3, 7.5, "Satisfying"),
+    ("100M", 11.8, 9.1, "Poor"),
+];
+
+/// Paper MHC updates per iteration (10 × Σ|p|) used to transfer ratios.
+const PAPER_MHC_STEPS_PER_ITER: f64 = 2.0e8;
+/// Paper batch sizes.
+const PAPER_BATCHES: [f64; 5] = [1e4, 1e5, 1e6, 1e7, 1e8];
+
+struct SweepRow {
+    label: &'static str,
+    batch: usize,
+    report: BatchReport,
+    sps: f64,
+}
+
+fn mhc_sweep(ctx: &Ctx) -> (LeanGraph, f64, f64, Vec<SweepRow>) {
+    let (_, spec, _) = representative_specs(ctx).swap_remove(1);
+    let (_, lean) = build(&spec);
+    let lcfg = layout_cfg();
+    let steps_per_iter = lcfg.steps_per_iter(lean.total_steps() as u64) as f64;
+
+    // CPU baseline for the speedup column.
+    let (cpu_layout, cpu_report) = CpuEngine::new(lcfg.clone()).run(&lean);
+    let cpu_s = secs(cpu_report.wall);
+    let cpu_sps = sampled_path_stress(&cpu_layout, &lean, SamplingConfig::default()).mean;
+
+    let rows = TABLE3_PAPER
+        .iter()
+        .zip(PAPER_BATCHES)
+        .map(|(&(label, ..), paper_b)| {
+            let ratio = paper_b / PAPER_MHC_STEPS_PER_ITER;
+            let batch = ((steps_per_iter * ratio).round() as usize).max(8);
+            let engine = BatchEngine::new(lcfg.clone(), batch);
+            let (layout, report) = engine.run(&lean);
+            let sps =
+                sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
+            SweepRow { label, batch, report, sps }
+        })
+        .collect();
+    (lean, cpu_s, cpu_sps, rows)
+}
+
+fn verdict(sps: f64, baseline: f64) -> &'static str {
+    if sps < 2.0 * baseline.max(1e-9) {
+        "Good"
+    } else if sps < 10.0 * baseline.max(1e-9) {
+        "Satisfying"
+    } else {
+        "Poor"
+    }
+}
+
+/// Table III: run time and quality across batch sizes.
+pub fn table3(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let (_, cpu_s, cpu_sps, rows) = mhc_sweep(ctx);
+    let mut t = Table::new(&[
+        "Batch (paper)", "Batch (scaled)", "host wall (s)", "modeled GPU total (s)",
+        "SPS", "Quality", "paper: time", "paper: speedup", "paper: quality",
+    ]);
+    for (row, (_, pt, psu, pq)) in rows.iter().zip(TABLE3_PAPER) {
+        t.row(vec![
+            row.label.to_string(),
+            row.batch.to_string(),
+            format!("{:.3}", secs(row.report.wall)),
+            format!("{:.3}", row.report.modeled_total_s()),
+            format!("{:.4}", row.sps),
+            verdict(row.sps, cpu_sps).to_string(),
+            format!("{pt}"),
+            format!("{psu}x"),
+            pq.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "CPU baseline".into(),
+        "-".into(),
+        format!("{cpu_s:.3}"),
+        "-".into(),
+        format!("{cpu_sps:.4}"),
+        "reference".into(),
+        "107".into(),
+        "1.0x".into(),
+        "-".into(),
+    ]);
+    emit(ctx, "table3", &t);
+
+    // Shape checks: the modeled GPU-analog total (kernel time + launch
+    // overhead — where the paper's small-batch collapse lives) falls
+    // steeply from the smallest batch to the mid-range, and the largest
+    // batch degrades quality.
+    let t_small = rows[0].report.modeled_total_s();
+    let t_mid = rows[2].report.modeled_total_s();
+    if t_small < 5.0 * t_mid {
+        fails.push(format!(
+            "small batches should collapse on launch overhead: 10K-eq {t_small:.2}s vs 1M-eq {t_mid:.2}s"
+        ));
+    }
+    let q_good = rows[2].sps;
+    let q_huge = rows[4].sps;
+    if q_huge <= q_good {
+        fails.push(format!(
+            "whole-workload batches must lose quality: {q_huge:.4} vs {q_good:.4}"
+        ));
+    }
+    fails
+}
+
+/// Paper Table IV: batch → (kernels launched, API-time %).
+const TABLE4_PAPER: [(&str, u64, f64); 3] =
+    [("100K", 6_562_860, 76.4), ("1M", 651_480, 20.2), ("10M", 64_080, 2.1)];
+
+/// Table IV: CUDA kernel launching overhead.
+pub fn table4(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let (_, _, _, rows) = mhc_sweep(ctx);
+    let mut t = Table::new(&[
+        "Batch (paper)", "kernels launched", "API time % (modeled)",
+        "paper: kernels", "paper: API %",
+    ]);
+    // Paper Table IV covers the middle three batch sizes.
+    let mut launches = Vec::new();
+    for (row, (_, pk, pa)) in rows[1..4].iter().zip(TABLE4_PAPER) {
+        t.row(vec![
+            row.label.to_string(),
+            row.report.kernels_launched.to_string(),
+            format!("{:.1}", row.report.api_time_pct()),
+            pk.to_string(),
+            format!("{pa:.1}"),
+        ]);
+        launches.push(row.report.kernels_launched);
+    }
+    emit(ctx, "table4", &t);
+
+    if !(launches[0] > 5 * launches[1] && launches[1] > 5 * launches[2]) {
+        fails.push(format!("launch counts must fall ~10x per decade: {launches:?}"));
+    }
+    let api: Vec<f64> = rows[1..4].iter().map(|r| r.report.api_time_pct()).collect();
+    if !(api[0] > api[1] && api[1] > api[2]) {
+        fails.push(format!("API share must fall with batch size: {api:?}"));
+    }
+    fails
+}
+
+/// Fig. 7: kernel-time breakdown; `index` is the dominant memory op.
+pub fn fig7(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let (_, _, _, rows) = mhc_sweep(ctx);
+    let mut t = Table::new(&[
+        "Batch (paper)", "index %", "pow %", "mul %", "where %", "add %", "other %",
+    ]);
+    for row in rows[1..4].iter() {
+        let f: Vec<f64> = ALL_OPS.iter().map(|&op| 100.0 * row.report.op_fraction(op)).collect();
+        t.row(vec![
+            row.label.to_string(),
+            format!("{:.1}", f[0]),
+            format!("{:.1}", f[1]),
+            format!("{:.1}", f[2]),
+            format!("{:.1}", f[3]),
+            format!("{:.1}", f[4]),
+            format!("{:.1}", f[5]),
+        ]);
+        // Among the tensor kernels (excluding host-side `other`), the
+        // random-access index op must dominate (paper: 34-36%).
+        let index = row.report.op_fraction(KernelOp::Index);
+        for op in [KernelOp::Pow, KernelOp::Mul, KernelOp::Where, KernelOp::Add] {
+            if row.report.op_fraction(op) > index {
+                fails.push(format!(
+                    "{}: {op:?} ({:.3}) outweighs index ({index:.3})",
+                    row.label,
+                    row.report.op_fraction(op)
+                ));
+            }
+        }
+    }
+    emit(ctx, "fig7", &t);
+    fails
+}

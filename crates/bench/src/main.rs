@@ -1,0 +1,143 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro list                 # show all experiment ids
+//! repro table7               # one experiment
+//! repro all                  # everything (writes out/repro/*)
+//! repro all --scale 0.001    # bigger graphs (slower, closer to paper)
+//! repro fig13 --full         # the full 1824-layout correlation study
+//! ```
+//!
+//! Every experiment prints the paper's rows/series side by side with this
+//! reproduction's measured/modeled values, writes a TSV under
+//! `out/repro/`, and runs mechanized *shape checks* (who wins, by what
+//! rough factor). The process exits non-zero if any check fails.
+
+mod common;
+mod exp_batch;
+mod exp_cpu;
+mod exp_gpu;
+mod exp_metrics;
+mod exp_workload;
+
+use common::Ctx;
+
+/// One reproducible experiment.
+pub struct Experiment {
+    /// Identifier, e.g. `table7`.
+    pub id: &'static str,
+    /// What it reproduces.
+    pub what: &'static str,
+    /// Runner; returns the list of failed checks (empty = pass).
+    pub run: fn(&Ctx) -> Vec<String>,
+}
+
+fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table1", what: "Table I: representative pangenome properties", run: exp_workload::table1 },
+        Experiment { id: "table6", what: "Table VI: 24-chromosome property summary", run: exp_workload::table6 },
+        Experiment { id: "fig4", what: "Fig. 4: CPU thread scaling", run: exp_cpu::fig4 },
+        Experiment { id: "fig5", what: "Fig. 5: top-down memory-bound analysis", run: exp_cpu::fig5 },
+        Experiment { id: "table2", what: "Table II: memory stalls and LLC miss rates", run: exp_cpu::table2 },
+        Experiment { id: "table3", what: "Table III: PyTorch-style batch-size sweep", run: exp_batch::table3 },
+        Experiment { id: "table4", what: "Table IV: kernel-launch overhead vs batch size", run: exp_batch::table4 },
+        Experiment { id: "fig7", what: "Fig. 7: kernel-time breakdown", run: exp_batch::fig7 },
+        Experiment { id: "fig6", what: "Fig. 6: fixed-hop pair selection fails", run: exp_metrics::fig6 },
+        Experiment { id: "table5", what: "Table V: metric computation run time", run: exp_metrics::table5 },
+        Experiment { id: "fig12", what: "Fig. 12: quality ladder with path stress", run: exp_metrics::fig12 },
+        Experiment { id: "fig13", what: "Fig. 13: sampled vs exact stress correlation", run: exp_metrics::fig13 },
+        Experiment { id: "table7", what: "Table VII: run time and speedup, 24 chromosomes", run: exp_gpu::table7 },
+        Experiment { id: "table8", what: "Table VIII: layout quality (SPS) CPU vs GPU", run: exp_gpu::table8 },
+        Experiment { id: "fig14", what: "Fig. 14: CPU vs GPU renders of Chr.7", run: exp_gpu::fig14 },
+        Experiment { id: "fig15", what: "Fig. 15: scalability vs total path length", run: exp_gpu::fig15 },
+        Experiment { id: "fig16", what: "Fig. 16: speedup waterfall", run: exp_gpu::fig16 },
+        Experiment { id: "table9", what: "Table IX: cache-friendly data layout ablation", run: exp_gpu::table9 },
+        Experiment { id: "table10", what: "Table X: coalesced random states ablation", run: exp_gpu::table10 },
+        Experiment { id: "table11", what: "Table XI: warp merging ablation", run: exp_gpu::table11 },
+        Experiment { id: "fig17", what: "Fig. 17: DRF/SRF design-space exploration", run: exp_gpu::fig17 },
+        Experiment { id: "ext1", what: "Extension (paper Sec. IX future work): multi-GPU scaling projection", run: exp_gpu::ext_multigpu },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = Ctx::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => ctx.full = true,
+            "--scale" => {
+                i += 1;
+                ctx.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir = args.get(i).unwrap_or_else(|| die("--out needs a path")).into();
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.push("list".into());
+    }
+
+    let experiments = registry();
+    if ids.iter().any(|s| s == "list") {
+        println!("available experiments:\n");
+        for e in &experiments {
+            println!("  {:<8} {}", e.id, e.what);
+        }
+        println!("  {:<8} run everything", "all");
+        return;
+    }
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
+    let selected: Vec<&Experiment> = if ids.iter().any(|s| s == "all") {
+        experiments.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments
+                    .iter()
+                    .find(|e| e.id == *id)
+                    .unwrap_or_else(|| die(&format!("unknown experiment {id}; try `repro list`")))
+            })
+            .collect()
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    for e in &selected {
+        println!("\n=== {} — {} ===", e.id, e.what);
+        let t0 = std::time::Instant::now();
+        let fails = (e.run)(&ctx);
+        for f in &fails {
+            println!("[CHECK FAILED] {f}");
+        }
+        println!(
+            "=== {} done in {:.1?} — {} ===",
+            e.id,
+            t0.elapsed(),
+            if fails.is_empty() { "all checks passed" } else { "CHECKS FAILED" }
+        );
+        failures.extend(fails.into_iter().map(|f| format!("{}: {f}", e.id)));
+    }
+
+    println!("\n{} experiment(s) run; {} check failure(s)", selected.len(), failures.len());
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

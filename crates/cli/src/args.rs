@@ -1,0 +1,118 @@
+//! A minimal argument parser (positional args + `--flag [value]` pairs),
+//! kept dependency-free on purpose.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments for one subcommand.
+pub struct ArgParser {
+    positional: Vec<String>,
+    flags: HashMap<String, Option<String>>,
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--gpu", "--gpu-a100", "--exact", "--links", "--ppm", "--soa"];
+
+impl ArgParser {
+    /// Split argv into positionals and flags.
+    pub fn new(argv: Vec<String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = argv.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let key = format!("--{name}");
+                if BOOL_FLAGS.contains(&key.as_str()) {
+                    flags.insert(key, None);
+                } else {
+                    let v = it.next();
+                    flags.insert(key, v);
+                }
+            } else if a == "-o" {
+                let v = it.next();
+                flags.insert("-o".into(), v);
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { positional, flags }
+    }
+
+    /// Positional argument `i`, or an error naming it.
+    pub fn pos(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// True when a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// A flag's string value.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+
+    /// A flag parsed to `T`, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value {v:?} for {flag}")),
+        }
+    }
+
+    /// The required `-o` output path.
+    pub fn out(&self) -> Result<&str, String> {
+        self.value("-o").ok_or_else(|| "missing -o <output>".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ArgParser {
+        ArgParser::new(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags_separate() {
+        let p = parse("a.gfa b.lay --exact --samples-per-node 50 -o out.svg");
+        assert_eq!(p.pos(0, "gfa").unwrap(), "a.gfa");
+        assert_eq!(p.pos(1, "lay").unwrap(), "b.lay");
+        assert!(p.has("--exact"));
+        assert_eq!(p.parse_or("--samples-per-node", 100u32).unwrap(), 50);
+        assert_eq!(p.out().unwrap(), "out.svg");
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let p = parse("x.gfa");
+        assert_eq!(p.parse_or("--iters", 30u32).unwrap(), 30);
+        assert!(!p.has("--gpu"));
+        assert!(p.out().is_err());
+    }
+
+    #[test]
+    fn bool_flags_consume_no_value() {
+        let p = parse("--gpu file.gfa");
+        assert!(p.has("--gpu"));
+        assert_eq!(p.pos(0, "gfa").unwrap(), "file.gfa");
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let p = parse("--iters banana");
+        assert!(p.parse_or("--iters", 1u32).is_err());
+    }
+
+    #[test]
+    fn missing_positional_is_an_error() {
+        let p = parse("");
+        assert!(p.pos(0, "gfa").is_err());
+    }
+}

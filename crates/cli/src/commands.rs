@@ -1,0 +1,271 @@
+//! The `pgl` subcommand implementations.
+
+use crate::args::ArgParser;
+use draw::{rasterize, to_svg, DrawOptions};
+use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
+use layout_core::batch::BatchEngine;
+use layout_core::coords::DataLayout;
+use layout_core::cpu::CpuEngine;
+use layout_core::LayoutConfig;
+use pangraph::lean::LeanGraph;
+use pangraph::stats::GraphStats;
+use pangraph::{parse_gfa, write_gfa, VariationGraph};
+use pgio::{layout_to_tsv, load_lay, save_lay};
+use pgmetrics::{path_stress, sampled_path_stress, SamplingConfig};
+use std::path::Path;
+use workloads::hprc_catalog;
+
+type CmdResult = Result<(), String>;
+
+fn load_graph(path: &str) -> Result<VariationGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_gfa(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// `pgl gen` — synthesize a pangenome graph.
+pub fn gen(p: ArgParser) -> CmdResult {
+    let preset = p.value("--preset").unwrap_or("hla").to_lowercase();
+    let scale: f64 = p.parse_or("--scale", 0.001)?;
+    let seed: u64 = p.parse_or("--seed", 0)?;
+    let out = p.out()?;
+
+    let mut spec = if preset == "hla" || preset == "hla-drb1" {
+        workloads::hla_drb1()
+    } else if preset == "mhc" {
+        workloads::mhc_like(scale.clamp(1e-4, 1.0))
+    } else {
+        let entry = hprc_catalog()
+            .into_iter()
+            .find(|c| c.name.eq_ignore_ascii_case(&preset))
+            .ok_or_else(|| format!("unknown preset {preset:?} (hla, mhc, chr1..chrY)"))?;
+        entry.spec(scale.clamp(1e-6, 1.0))
+    };
+    if seed != 0 {
+        spec.seed = seed;
+    }
+    let graph = workloads::generate(&spec);
+    std::fs::write(out, write_gfa(&graph)).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "generated {}: {} nodes, {} edges, {} paths → {out}",
+        spec.name,
+        graph.node_count(),
+        graph.edge_count(),
+        graph.path_count()
+    );
+    Ok(())
+}
+
+/// `pgl stats` — Table I-style properties.
+pub fn stats(p: ArgParser) -> CmdResult {
+    let g = load_graph(p.pos(0, "in.gfa")?)?;
+    let s = GraphStats::measure(&g);
+    println!("{s}");
+    println!(
+        "total path steps: {}   total path length: {} bp   longest path: {} bp",
+        s.total_path_steps,
+        s.total_path_nuc,
+        LeanGraph::from_graph(&g).max_path_nuc_len()
+    );
+    Ok(())
+}
+
+/// `pgl sort` — 1D path-SGD node sorting (odgi `sort -p Y` analog); run
+/// before `layout` on graphs whose node numbering does not follow the
+/// backbone.
+pub fn sort(p: ArgParser) -> CmdResult {
+    let g = load_graph(p.pos(0, "in.gfa")?)?;
+    let out = p.out()?;
+    let lean = LeanGraph::from_graph(&g);
+    let lcfg = LayoutConfig {
+        iter_max: p.parse_or("--iters", 20u32)?,
+        seed: p.parse_or("--seed", 0x1D50u64)?,
+        ..LayoutConfig::default()
+    };
+    let before = layout_core::sort1d::order_quality(&lean);
+    let order = layout_core::sort1d::path_sgd_order(&lean, &lcfg);
+    let sorted = g.permute_nodes(&order);
+    let after =
+        layout_core::sort1d::order_quality(&LeanGraph::from_graph(&sorted));
+    std::fs::write(out, write_gfa(&sorted)).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("order quality {before:.3} → {after:.3}; wrote {out}");
+    Ok(())
+}
+
+/// `pgl layout` — run PG-SGD with the chosen engine.
+pub fn layout(p: ArgParser) -> CmdResult {
+    let g = load_graph(p.pos(0, "in.gfa")?)?;
+    let out = p.out()?;
+    let lean = LeanGraph::from_graph(&g);
+
+    let lcfg = LayoutConfig {
+        iter_max: p.parse_or("--iters", 30u32)?,
+        threads: p.parse_or("--threads", 0usize)?,
+        seed: p.parse_or("--seed", 9_399_220_2u64)?,
+        data_layout: if p.has("--soa") {
+            DataLayout::OriginalSoa
+        } else {
+            DataLayout::CacheFriendlyAos
+        },
+        ..LayoutConfig::default()
+    };
+
+    let (layout, label) = if p.has("--gpu") || p.has("--gpu-a100") {
+        let spec = if p.has("--gpu-a100") { GpuSpec::a100() } else { GpuSpec::a6000() };
+        let name = spec.name;
+        // Cache scale: assume the graph is a scaled chromosome; ratio of
+        // its node count to Chr.1's full size is the best default.
+        let mem_scale = (g.node_count() as f64 / 1.1e7).clamp(1e-6, 1.0);
+        let engine = GpuEngine::new(spec, lcfg, KernelConfig::optimized(mem_scale));
+        let (l, r) = engine.run(&lean);
+        eprintln!(
+            "simulated {name}: modeled {:.3}s on device ({} launches, {:.1} sectors/req), \
+             {:.2?} host simulation",
+            r.modeled_s(),
+            r.launches,
+            r.mem.sectors_per_request(),
+            r.sim_wall
+        );
+        (l, "gpu-sim")
+    } else if let Some(b) = p.value("--batch") {
+        let batch: usize = b.parse().map_err(|_| format!("bad --batch {b:?}"))?;
+        let engine = BatchEngine::new(lcfg, batch);
+        let (l, r) = engine.run(&lean);
+        eprintln!(
+            "batch engine: {:.2?} host, {} kernels, modeled API share {:.1}%",
+            r.wall,
+            r.kernels_launched,
+            r.api_time_pct()
+        );
+        (l, "batch")
+    } else {
+        let engine = CpuEngine::new(lcfg);
+        let (l, r) = engine.run(&lean);
+        eprintln!(
+            "cpu engine: {:.2?} on {} threads ({:.1}M updates/s)",
+            r.wall,
+            r.threads,
+            r.updates_per_sec() / 1e6
+        );
+        (l, "cpu")
+    };
+
+    save_lay(&layout, Path::new(out)).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("[{label}] wrote {out}");
+    Ok(())
+}
+
+/// `pgl stress` — score a layout.
+pub fn stress(p: ArgParser) -> CmdResult {
+    let g = load_graph(p.pos(0, "in.gfa")?)?;
+    let lay = load_lay(Path::new(p.pos(1, "in.lay")?)).map_err(|e| e.to_string())?;
+    let lean = LeanGraph::from_graph(&g);
+    if lay.node_count() != lean.node_count() {
+        return Err(format!(
+            "layout has {} nodes but graph has {}",
+            lay.node_count(),
+            lean.node_count()
+        ));
+    }
+    let cfg = SamplingConfig {
+        samples_per_node: p.parse_or("--samples-per-node", 100u32)?,
+        seed: p.parse_or("--seed", 0x5EED_5EEDu64)?,
+    };
+    let s = sampled_path_stress(&lay, &lean, cfg);
+    println!(
+        "sampled path stress: {:.6}  CI95 [{:.6}, {:.6}]  (n = {})",
+        s.mean, s.ci_lo, s.ci_hi, s.n
+    );
+    if p.has("--exact") {
+        let e = path_stress(&lay, &lean);
+        println!("exact path stress:   {:.6}  ({} node pairs)", e.stress, e.pairs);
+    }
+    Ok(())
+}
+
+/// `pgl draw` — render a layout to SVG or PPM.
+pub fn draw_cmd(p: ArgParser) -> CmdResult {
+    let g = load_graph(p.pos(0, "in.gfa")?)?;
+    let lay = load_lay(Path::new(p.pos(1, "in.lay")?)).map_err(|e| e.to_string())?;
+    let lean = LeanGraph::from_graph(&g);
+    let out = p.out()?;
+    let width: u32 = p.parse_or("--width", 1200u32)?;
+    if p.has("--ppm") || out.ends_with(".ppm") {
+        rasterize(&lay, &lean, width)
+            .write_ppm(Path::new(out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+    } else {
+        let opts = DrawOptions { width, path_links: p.has("--links"), ..DrawOptions::default() };
+        std::fs::write(out, to_svg(&lay, &lean, &opts)).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// `pgl tsv` — export layout coordinates.
+pub fn tsv(p: ArgParser) -> CmdResult {
+    let lay = load_lay(Path::new(p.pos(0, "in.lay")?)).map_err(|e| e.to_string())?;
+    let out = p.out()?;
+    std::fs::write(out, layout_to_tsv(&lay)).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgParser;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pgl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn parser(s: &str) -> ArgParser {
+        ArgParser::new(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn full_pipeline_through_commands() {
+        let gfa = tmp("p.gfa");
+        let lay = tmp("p.lay");
+        let svg = tmp("p.svg");
+        let tsv_out = tmp("p.tsv");
+
+        gen(parser(&format!("--preset chr21 --scale 0.0001 -o {gfa}"))).unwrap();
+        stats(parser(&gfa)).unwrap();
+        sort(parser(&format!("{gfa} --iters 4 -o {gfa}"))).unwrap();
+        layout(parser(&format!("{gfa} --iters 6 --threads 2 -o {lay}"))).unwrap();
+        stress(parser(&format!("{gfa} {lay} --samples-per-node 20"))).unwrap();
+        draw_cmd(parser(&format!("{gfa} {lay} -o {svg}"))).unwrap();
+        tsv(parser(&format!("{lay} -o {tsv_out}"))).unwrap();
+
+        assert!(std::fs::read_to_string(&svg).unwrap().contains("<svg"));
+        assert!(std::fs::read_to_string(&tsv_out).unwrap().starts_with("#idx"));
+    }
+
+    #[test]
+    fn gpu_and_batch_engines_reachable() {
+        let gfa = tmp("q.gfa");
+        let lay = tmp("q.lay");
+        gen(parser(&format!("--preset hla -o {gfa}"))).unwrap();
+        layout(parser(&format!("{gfa} --iters 3 --gpu -o {lay}"))).unwrap();
+        layout(parser(&format!("{gfa} --iters 3 --batch 512 -o {lay}"))).unwrap();
+        stress(parser(&format!("{gfa} {lay} --samples-per-node 10 --exact"))).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(load_graph("/nonexistent/x.gfa").is_err());
+        assert!(gen(parser("--preset marschromosome -o /tmp/x.gfa")).is_err());
+        assert!(layout(parser("/nonexistent/x.gfa -o /tmp/x.lay")).is_err());
+        // Mismatched layout/graph sizes:
+        let gfa = tmp("r.gfa");
+        let lay = tmp("r.lay");
+        gen(parser(&format!("--preset chrY --scale 0.0001 -o {gfa}"))).unwrap();
+        layout(parser(&format!("{gfa} --iters 2 -o {lay}"))).unwrap();
+        let gfa2 = tmp("r2.gfa");
+        gen(parser(&format!("--preset chrY --scale 0.0002 --seed 9 -o {gfa2}"))).unwrap();
+        assert!(stress(parser(&format!("{gfa2} {lay}"))).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! `pgl` — the pangenome graph layout pipeline in one binary.
+//!
+//! The paper stresses that its GPU implementation "can be seamlessly
+//! integrated into the ODGI framework … a user can simply add the
+//! `--gpu` argument". This binary is that integration story for the Rust
+//! reproduction: one tool covering the pipeline from graph to picture.
+//!
+//! ```text
+//! pgl gen      --preset chr1 --scale 0.001 -o g.gfa     # synthesize a pangenome
+//! pgl stats    g.gfa                                    # Table I-style properties
+//! pgl layout   g.gfa -o g.lay [--gpu | --batch N]       # PG-SGD layout
+//! pgl stress   g.gfa g.lay [--exact]                    # sampled path stress (+CI)
+//! pgl draw     g.gfa g.lay -o g.svg [--ppm]             # render
+//! pgl tsv      g.lay -o g.tsv                           # export coordinates
+//! ```
+
+mod args;
+mod commands;
+
+use args::ArgParser;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let parser = ArgParser::new(argv);
+    let result = match cmd.as_str() {
+        "gen" => commands::gen(parser),
+        "stats" => commands::stats(parser),
+        "sort" => commands::sort(parser),
+        "layout" => commands::layout(parser),
+        "stress" => commands::stress(parser),
+        "draw" => commands::draw_cmd(parser),
+        "tsv" => commands::tsv(parser),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `pgl help`")),
+    };
+    if let Err(e) = result {
+        eprintln!("pgl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pgl — pangenome graph layout (Rust reproduction of SC'24 'Rapid GPU-Based \
+         Pangenome Graph Layout')\n\n\
+         USAGE: pgl <command> [args]\n\n\
+         COMMANDS:\n\
+         \u{20}  gen     --preset <hla|mhc|chr1..chr22|chrX|chrY> [--scale F] [--seed N] -o <out.gfa>\n\
+         \u{20}  stats   <in.gfa>\n\
+         \u{20}  sort    <in.gfa> -o <out.gfa> [--iters N] [--seed N]   (1D path-SGD sort)\n\
+         \u{20}  layout  <in.gfa> -o <out.lay> [--gpu] [--gpu-a100] [--batch <size>]\n\
+         \u{20}          [--threads N] [--iters N] [--seed N] [--soa]\n\
+         \u{20}  stress  <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
+         \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
+         \u{20}  tsv     <in.lay> -o <out.tsv>\n"
+    );
+}

@@ -1,0 +1,123 @@
+//! Relaxed atomic `f64` cells — the Hogwild! substrate.
+//!
+//! `odgi-layout` stores layout coordinates in atomic doubles and lets all
+//! threads update them without locks or compare-and-swap loops (Recht et
+//! al.'s Hogwild! scheme, paper Sec. III-A): races occasionally lose an
+//! update, but pangenome graphs are sparse enough that quality is
+//! unaffected. On x86-64 a relaxed atomic load/store compiles to a plain
+//! `mov`, so this faithfully reproduces both the semantics *and* the cost
+//! model of the original.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` stored in an `AtomicU64` with relaxed ordering.
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// New cell holding `v`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Hogwild add: load, add, store — deliberately *not* a CAS loop, so
+    /// concurrent updates may race exactly as in odgi-layout.
+    #[inline]
+    pub fn hogwild_add(&self, delta: f64) {
+        self.store(self.load() + delta);
+    }
+}
+
+impl Default for AtomicF64 {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+/// Allocate a zeroed atomic coordinate slab.
+pub fn zeroed_slab(n: usize) -> Vec<AtomicF64> {
+    std::iter::repeat_with(AtomicF64::default).take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+        a.store(f64::MAX);
+        assert_eq!(a.load(), f64::MAX);
+    }
+
+    #[test]
+    fn hogwild_add_single_thread_is_exact() {
+        let a = AtomicF64::new(10.0);
+        a.hogwild_add(2.5);
+        a.hogwild_add(-0.5);
+        assert_eq!(a.load(), 12.0);
+    }
+
+    #[test]
+    fn special_values_round_trip_bits() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let a = AtomicF64::new(v);
+            assert_eq!(a.load().to_bits(), v.to_bits());
+        }
+        let a = AtomicF64::new(f64::NAN);
+        assert!(a.load().is_nan());
+    }
+
+    #[test]
+    fn zeroed_slab_is_zero() {
+        let slab = zeroed_slab(100);
+        assert_eq!(slab.len(), 100);
+        assert!(slab.iter().all(|a| a.load() == 0.0));
+    }
+
+    #[test]
+    fn concurrent_hogwild_adds_mostly_land() {
+        // Hogwild loses some updates under contention by design; with many
+        // threads hammering ONE cell the loss is at its worst, but the
+        // total must stay positive and bounded by the ideal sum.
+        use std::sync::Arc;
+        let cell = Arc::new(AtomicF64::new(0.0));
+        let threads = 8;
+        let per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.hogwild_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = cell.load();
+        let ideal = (threads * per_thread) as f64;
+        assert!(v > 0.0 && v <= ideal, "v = {v}, ideal = {ideal}");
+        // At least one thread's worth of updates must survive.
+        assert!(v >= per_thread as f64, "v = {v}");
+    }
+}

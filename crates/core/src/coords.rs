@@ -1,0 +1,277 @@
+//! Coordinate stores in the two memory layouts of the paper's
+//! *cache-friendly data layout* optimization (Sec. V-B1, Fig. 9).
+//!
+//! * [`DataLayout::OriginalSoa`] — the odgi-style struct-of-arrays
+//!   placement: node lengths, x coordinates and y coordinates live in
+//!   three separate arrays, so touching one node costs **three** widely
+//!   separated memory accesses (Fig. 9a).
+//! * [`DataLayout::CacheFriendlyAos`] — the paper's array-of-structs
+//!   repacking: each node's record `[len, sx, sy, ex, ey]` is contiguous
+//!   (40 B), so one access brings the whole working set of the update step
+//!   into cache (Fig. 9b).
+//!
+//! Both layouts expose identical operations over relaxed-atomic `f64`
+//! cells (Hogwild!), so engines are layout-agnostic and the layout choice
+//! is purely a performance axis — exactly the paper's Table IX ablation.
+
+use crate::atomicf::{zeroed_slab, AtomicF64};
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+
+/// Memory placement of node records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLayout {
+    /// Separate length/x/y arrays (odgi's layout; Fig. 9a).
+    OriginalSoa,
+    /// Packed per-node records (the paper's layout; Fig. 9b).
+    CacheFriendlyAos,
+}
+
+impl DataLayout {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataLayout::OriginalSoa => "original SoA",
+            DataLayout::CacheFriendlyAos => "cache-friendly AoS",
+        }
+    }
+}
+
+/// AoS record stride in `f64` words: `[len, sx, sy, ex, ey]`.
+const AOS_STRIDE: usize = 5;
+
+enum Slabs {
+    /// `len[n]`, `x[2n]` (start,end interleaved), `y[2n]`.
+    Soa {
+        len: Vec<f64>,
+        xs: Vec<AtomicF64>,
+        ys: Vec<AtomicF64>,
+    },
+    /// `rec[5n]`, node `i` at `5i`: len, sx, sy, ex, ey.
+    Aos { rec: Vec<AtomicF64> },
+}
+
+/// A thread-shared coordinate store for one layout run.
+pub struct CoordStore {
+    layout: DataLayout,
+    n_nodes: usize,
+    slabs: Slabs,
+}
+
+impl CoordStore {
+    /// Allocate a zeroed store for the graph's nodes, recording node
+    /// lengths (the AoS layout packs them with the coordinates, which is
+    /// the point of the optimization).
+    pub fn new(layout: DataLayout, lean: &LeanGraph) -> Self {
+        let n = lean.node_count();
+        let slabs = match layout {
+            DataLayout::OriginalSoa => Slabs::Soa {
+                len: lean.node_len.iter().map(|&l| l as f64).collect(),
+                xs: zeroed_slab(2 * n),
+                ys: zeroed_slab(2 * n),
+            },
+            DataLayout::CacheFriendlyAos => {
+                let rec = zeroed_slab(AOS_STRIDE * n);
+                for (i, &l) in lean.node_len.iter().enumerate() {
+                    rec[AOS_STRIDE * i].store(l as f64);
+                }
+                Slabs::Aos { rec }
+            }
+        };
+        Self { layout, n_nodes: n, slabs }
+    }
+
+    /// The store's layout.
+    #[inline]
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Node length as stored (used by kernels needing `pos + len`).
+    #[inline]
+    pub fn node_len(&self, node: u32) -> f64 {
+        match &self.slabs {
+            Slabs::Soa { len, .. } => len[node as usize],
+            Slabs::Aos { rec } => rec[AOS_STRIDE * node as usize].load(),
+        }
+    }
+
+    /// Load one endpoint's coordinates (relaxed).
+    #[inline]
+    pub fn load(&self, node: u32, end: bool) -> (f64, f64) {
+        match &self.slabs {
+            Slabs::Soa { xs, ys, .. } => {
+                let i = 2 * node as usize + end as usize;
+                (xs[i].load(), ys[i].load())
+            }
+            Slabs::Aos { rec } => {
+                let base = AOS_STRIDE * node as usize + 1 + 2 * end as usize;
+                (rec[base].load(), rec[base + 1].load())
+            }
+        }
+    }
+
+    /// Store one endpoint's coordinates (relaxed).
+    #[inline]
+    pub fn store(&self, node: u32, end: bool, x: f64, y: f64) {
+        match &self.slabs {
+            Slabs::Soa { xs, ys, .. } => {
+                let i = 2 * node as usize + end as usize;
+                xs[i].store(x);
+                ys[i].store(y);
+            }
+            Slabs::Aos { rec } => {
+                let base = AOS_STRIDE * node as usize + 1 + 2 * end as usize;
+                rec[base].store(x);
+                rec[base + 1].store(y);
+            }
+        }
+    }
+
+    /// Hogwild-accumulate a delta onto one endpoint.
+    #[inline]
+    pub fn add(&self, node: u32, end: bool, dx: f64, dy: f64) {
+        match &self.slabs {
+            Slabs::Soa { xs, ys, .. } => {
+                let i = 2 * node as usize + end as usize;
+                xs[i].hogwild_add(dx);
+                ys[i].hogwild_add(dy);
+            }
+            Slabs::Aos { rec } => {
+                let base = AOS_STRIDE * node as usize + 1 + 2 * end as usize;
+                rec[base].hogwild_add(dx);
+                rec[base + 1].hogwild_add(dy);
+            }
+        }
+    }
+
+    /// Snapshot into a plain [`Layout2D`].
+    pub fn to_layout(&self) -> Layout2D {
+        let mut out = Layout2D::zeros(self.n_nodes);
+        for node in 0..self.n_nodes as u32 {
+            for end in [false, true] {
+                let (x, y) = self.load(node, end);
+                out.set(node, end, x, y);
+            }
+        }
+        out
+    }
+
+    /// Initialize every endpoint from a plain layout.
+    pub fn load_from(&self, layout: &Layout2D) {
+        assert_eq!(layout.node_count(), self.n_nodes, "node count mismatch");
+        for node in 0..self.n_nodes as u32 {
+            for end in [false, true] {
+                let (x, y) = layout.get(node, end);
+                self.store(node, end, x, y);
+            }
+        }
+    }
+}
+
+// Safety: all interior mutability is via atomics.
+unsafe impl Sync for CoordStore {}
+unsafe impl Send for CoordStore {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    fn both_layouts() -> Vec<CoordStore> {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        vec![
+            CoordStore::new(DataLayout::OriginalSoa, &lean),
+            CoordStore::new(DataLayout::CacheFriendlyAos, &lean),
+        ]
+    }
+
+    #[test]
+    fn node_lengths_are_recorded_in_both_layouts() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        for store in both_layouts() {
+            for (i, &l) in lean.node_len.iter().enumerate() {
+                assert_eq!(store.node_len(i as u32), l as f64, "{:?}", store.layout());
+            }
+        }
+    }
+
+    #[test]
+    fn load_store_round_trip_both_layouts() {
+        for store in both_layouts() {
+            store.store(3, false, 1.5, -2.5);
+            store.store(3, true, 7.0, 8.0);
+            assert_eq!(store.load(3, false), (1.5, -2.5));
+            assert_eq!(store.load(3, true), (7.0, 8.0));
+            // Neighbours untouched.
+            assert_eq!(store.load(2, false), (0.0, 0.0));
+            assert_eq!(store.load(4, true), (0.0, 0.0));
+            // Length word untouched by coordinate stores (AoS packing).
+            assert_eq!(store.node_len(3), 1.0);
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        for store in both_layouts() {
+            store.store(1, true, 10.0, 20.0);
+            store.add(1, true, -1.0, 2.0);
+            store.add(1, true, 0.5, 0.5);
+            let (x, y) = store.load(1, true);
+            assert!((x - 9.5).abs() < 1e-12);
+            assert!((y - 22.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn layouts_are_functionally_identical() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let a = CoordStore::new(DataLayout::OriginalSoa, &lean);
+        let b = CoordStore::new(DataLayout::CacheFriendlyAos, &lean);
+        for node in 0..lean.node_count() as u32 {
+            for end in [false, true] {
+                let v = (node as f64 * 2.0 + end as u8 as f64, -(node as f64));
+                a.store(node, end, v.0, v.1);
+                b.store(node, end, v.0, v.1);
+            }
+        }
+        assert_eq!(a.to_layout(), b.to_layout());
+    }
+
+    #[test]
+    fn to_layout_and_load_from_round_trip() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        for layout_kind in [DataLayout::OriginalSoa, DataLayout::CacheFriendlyAos] {
+            let store = CoordStore::new(layout_kind, &lean);
+            let mut l = Layout2D::zeros(lean.node_count());
+            for node in 0..lean.node_count() as u32 {
+                l.set(node, false, node as f64, 1.0);
+                l.set(node, true, node as f64 + 0.5, -1.0);
+            }
+            store.load_from(&l);
+            assert_eq!(store.to_layout(), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn load_from_rejects_wrong_size() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let store = CoordStore::new(DataLayout::CacheFriendlyAos, &lean);
+        store.load_from(&Layout2D::zeros(3));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            DataLayout::OriginalSoa.label(),
+            DataLayout::CacheFriendlyAos.label()
+        );
+    }
+}

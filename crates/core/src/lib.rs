@@ -1,0 +1,71 @@
+//! # layout-core — path-guided SGD pangenome graph layout
+//!
+//! The paper's primary algorithm (Alg. 1), implemented as a small family of
+//! engines over the same sampling and update-step machinery:
+//!
+//! * [`cpu::CpuEngine`] — a faithful port of the `odgi-layout`
+//!   multithreaded CPU baseline: Hogwild! lock-free updates on relaxed
+//!   atomics, Xoshiro256+ per-thread streams, Zipf-cooled pair selection,
+//!   and a per-iteration barrier (mirroring odgi's iteration structure and
+//!   the GPU port's one-kernel-per-iteration design). Supports both the
+//!   original struct-of-arrays coordinate layout and the paper's
+//!   cache-friendly array-of-structs layout ([`coords::DataLayout`]),
+//!   which is the CPU half of the Table IX ablation.
+//! * [`batch::BatchEngine`] — the PyTorch-style implementation of paper
+//!   Sec. IV: synchronous mini-batch SGD assembled from tensor-like
+//!   "kernel ops" (`index` gather/scatter, `pow`, `mul`, `where`, `add`),
+//!   with per-op timing (Fig. 7), kernel-launch accounting (Table IV) and
+//!   the batch-size/quality trade-off of Table III.
+//!
+//! The GPU-simulator engines (crate `gpu-sim`) reuse [`sampler`],
+//! [`schedule`] and [`step`] so all engines optimize the identical
+//! objective.
+
+pub mod atomicf;
+pub mod batch;
+pub mod config;
+pub mod coords;
+pub mod cpu;
+pub mod init;
+pub mod sampler;
+pub mod schedule;
+pub mod sort1d;
+pub mod step;
+
+pub use batch::{BatchEngine, BatchReport, KernelOp};
+pub use config::{LayoutConfig, PairSelection};
+pub use coords::{CoordStore, DataLayout};
+pub use cpu::{CpuEngine, RunReport};
+pub use init::{init_linear, init_random};
+pub use sampler::{PairSampler, Term};
+pub use schedule::Schedule;
+pub use sort1d::{order_quality, path_sgd_order};
+
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+
+/// Common engine interface: consume a lean graph, produce a 2D layout.
+pub trait LayoutEngine {
+    /// Engine name for reports.
+    fn name(&self) -> &str;
+    /// Run the full layout schedule and return the result.
+    fn layout(&self, lean: &LeanGraph) -> Layout2D;
+}
+
+#[cfg(test)]
+mod engine_trait_tests {
+    use super::*;
+    use workloads::{generate, PangenomeSpec};
+
+    #[test]
+    fn cpu_engine_implements_layout_engine() {
+        let g = generate(&PangenomeSpec::basic("t", 60, 4, 1));
+        let lean = LeanGraph::from_graph(&g);
+        let cfg = LayoutConfig::for_tests(2);
+        let engine = CpuEngine::new(cfg);
+        let e: &dyn LayoutEngine = &engine;
+        assert_eq!(e.name(), "cpu-hogwild");
+        let layout = e.layout(&lean);
+        assert!(layout.all_finite());
+    }
+}

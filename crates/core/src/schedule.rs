@@ -1,0 +1,124 @@
+//! The SGD learning-rate schedule `S` of Alg. 1.
+//!
+//! Following Zheng et al. (from which odgi-layout adapts path-guided SGD),
+//! the learning rate decays geometrically from `η_max = d_max²` (so the
+//! first iteration can move the farthest-apart pair into place in one
+//! step, since the term weight is `w = d⁻²` and `μ = η·w` caps at 1) down
+//! to `η_min = ε` over `N_iters` iterations:
+//!
+//! ```text
+//! η(t) = η_max · exp( ln(η_min / η_max) · t / (N_iters − 1) )
+//! ```
+
+use crate::config::LayoutConfig;
+
+/// Precomputed per-iteration learning rates.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    etas: Vec<f64>,
+}
+
+impl Schedule {
+    /// Build the schedule for a graph whose largest reference distance is
+    /// `d_max` (in practice the longest path's nucleotide length).
+    pub fn new(cfg: &LayoutConfig, d_max: f64) -> Self {
+        assert!(d_max >= 1.0, "d_max must be at least 1");
+        assert!(cfg.iter_max >= 1, "need at least one iteration");
+        let eta_max = cfg.eta_max.unwrap_or(d_max * d_max);
+        let eta_min = cfg.eps;
+        assert!(eta_max > 0.0 && eta_min > 0.0);
+        let n = cfg.iter_max;
+        let lambda = if n > 1 {
+            (eta_min / eta_max).ln() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let etas = (0..n)
+            .map(|t| eta_max * (lambda * t as f64).exp())
+            .collect();
+        Self { etas }
+    }
+
+    /// η for iteration `t`.
+    #[inline]
+    pub fn eta(&self, t: u32) -> f64 {
+        self.etas[t as usize]
+    }
+
+    /// Number of scheduled iterations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// True when the schedule is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.etas.is_empty()
+    }
+
+    /// All learning rates, first to last.
+    #[inline]
+    pub fn etas(&self) -> &[f64] {
+        &self.etas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(iters: u32) -> LayoutConfig {
+        LayoutConfig { iter_max: iters, ..LayoutConfig::default() }
+    }
+
+    #[test]
+    fn endpoints_match_eta_max_and_eps() {
+        let c = cfg(30);
+        let s = Schedule::new(&c, 1000.0);
+        assert!((s.eta(0) - 1e6).abs() / 1e6 < 1e-12, "eta(0) = {}", s.eta(0));
+        assert!((s.eta(29) - 0.01).abs() < 1e-9, "eta(last) = {}", s.eta(29));
+    }
+
+    #[test]
+    fn schedule_is_strictly_decreasing() {
+        let s = Schedule::new(&cfg(30), 500.0);
+        for t in 1..s.len() {
+            assert!(
+                s.eta(t as u32) < s.eta(t as u32 - 1),
+                "eta not decreasing at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_ratio_is_constant() {
+        let s = Schedule::new(&cfg(10), 100.0);
+        let r0 = s.eta(1) / s.eta(0);
+        for t in 2..10 {
+            let r = s.eta(t) / s.eta(t - 1);
+            assert!((r - r0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn explicit_eta_max_override() {
+        let mut c = cfg(5);
+        c.eta_max = Some(42.0);
+        let s = Schedule::new(&c, 9999.0);
+        assert!((s.eta(0) - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_iteration_schedule() {
+        let s = Schedule::new(&cfg(1), 100.0);
+        assert_eq!(s.len(), 1);
+        assert!((s.eta(0) - 1e4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_max")]
+    fn rejects_degenerate_dmax() {
+        let _ = Schedule::new(&cfg(5), 0.0);
+    }
+}

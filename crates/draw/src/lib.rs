@@ -1,0 +1,22 @@
+//! # draw — pangenome layout rendering (the `odgi draw` stand-in)
+//!
+//! The paper's visual artifacts (Figs. 2, 6, 12, 14 and the A3 artifact's
+//! supplemental images) are renders of 2D layouts: every node is a line
+//! segment between its two endpoint coordinates, and paths appear as
+//! chains of segments. This crate provides:
+//!
+//! * [`svg`] — a vector renderer producing standalone SVG documents,
+//! * [`raster`] — a dependency-free rasterizer writing binary PPM images,
+//! * [`palette`] — deterministic per-path colours (golden-angle hues),
+//!
+//! both colouring segments by the first path that traverses them, which
+//! is what makes insertions/deletions/SNVs visually separable (paper
+//! Fig. 1b).
+
+pub mod palette;
+pub mod raster;
+pub mod svg;
+
+pub use palette::{color_for, node_colors, Rgb};
+pub use raster::{rasterize, Image};
+pub use svg::{to_svg, DrawOptions};

@@ -1,0 +1,107 @@
+//! Deterministic path colours.
+//!
+//! Paths get maximally separated hues by walking the golden angle around
+//! the HSV wheel (the classic trick for assigning distinguishable
+//! categorical colours without knowing the count in advance). Nodes are
+//! coloured by the first path that traverses them; nodes on no path are
+//! dark grey.
+
+use pangraph::lean::LeanGraph;
+
+/// An 8-bit RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// CSS hex form, e.g. `#1a2b3c`.
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+
+    /// Dark grey used for path-less nodes.
+    pub const GREY: Rgb = Rgb(64, 64, 64);
+}
+
+/// Colour of path `p` (stable across runs).
+pub fn color_for(path: u32) -> Rgb {
+    // Golden-angle hue walk; fixed saturation/value keep contrast high.
+    let hue = (path as f64 * 137.507_764) % 360.0;
+    hsv_to_rgb(hue, 0.72, 0.85)
+}
+
+/// Per-node colours: the colour of the first traversing path.
+pub fn node_colors(lean: &LeanGraph) -> Vec<Rgb> {
+    let mut colors = vec![Rgb::GREY; lean.node_count()];
+    let mut assigned = vec![false; lean.node_count()];
+    for p in (0..lean.path_count() as u32).rev() {
+        // Reverse order so that path 0 (drawn last here) wins ties.
+        for i in 0..lean.steps_in(p) {
+            let n = lean.node_of_flat(lean.flat_step(p, i)) as usize;
+            colors[n] = color_for(p);
+            assigned[n] = true;
+        }
+    }
+    colors
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> Rgb {
+    let c = v * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    Rgb(
+        ((r + m) * 255.0).round() as u8,
+        ((g + m) * 255.0).round() as u8,
+        ((b + m) * 255.0).round() as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        let a: Vec<Rgb> = (0..12).map(color_for).collect();
+        let b: Vec<Rgb> = (0..12).map(color_for).collect();
+        assert_eq!(a, b);
+        let mut unique = a.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 12, "12 paths should get 12 distinct colours");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb(255, 0, 16).hex(), "#ff0010");
+        assert_eq!(Rgb::GREY.hex(), "#404040");
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), Rgb(255, 0, 0));
+        assert_eq!(hsv_to_rgb(120.0, 1.0, 1.0), Rgb(0, 255, 0));
+        assert_eq!(hsv_to_rgb(240.0, 1.0, 1.0), Rgb(0, 0, 255));
+    }
+
+    #[test]
+    fn node_colors_prefer_first_path() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let colors = node_colors(&lean);
+        assert_eq!(colors.len(), 8);
+        // Node 0 is on all three paths → coloured like path 0.
+        assert_eq!(colors[0], color_for(0));
+        // Node 1 is only on path 2.
+        assert_eq!(colors[1], color_for(2));
+        // No grey nodes: every node is on some path in fig1.
+        assert!(colors.iter().all(|&c| c != Rgb::GREY));
+    }
+}

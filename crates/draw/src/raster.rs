@@ -1,0 +1,199 @@
+//! Dependency-free rasterizer: layouts → binary PPM (P6) images.
+//!
+//! Chromosome-scale SVGs get unwieldy (millions of elements); the
+//! artifact's PNG renders are raster. This module draws every node
+//! segment with Bresenham's algorithm into an RGB byte buffer.
+
+use crate::palette::{node_colors, Rgb};
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple owned RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major RGB bytes (`3 × width × height`).
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A white canvas.
+    pub fn blank(width: u32, height: u32) -> Self {
+        Self { width, height, pixels: vec![255; (3 * width * height) as usize] }
+    }
+
+    /// Set one pixel (no-op outside bounds).
+    #[inline]
+    pub fn put(&mut self, x: i64, y: i64, c: Rgb) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let i = 3 * (y as usize * self.width as usize + x as usize);
+        self.pixels[i] = c.0;
+        self.pixels[i + 1] = c.1;
+        self.pixels[i + 2] = c.2;
+    }
+
+    /// Read one pixel.
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        let i = 3 * (y as usize * self.width as usize + x as usize);
+        Rgb(self.pixels[i], self.pixels[i + 1], self.pixels[i + 2])
+    }
+
+    /// Bresenham line draw.
+    pub fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Rgb) {
+        let (mut x0, mut y0) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put(x0, y0, c);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Fraction of non-white pixels (test/diagnostic aid).
+    pub fn ink_fraction(&self) -> f64 {
+        let drawn = self
+            .pixels
+            .chunks_exact(3)
+            .filter(|p| p[0] != 255 || p[1] != 255 || p[2] != 255)
+            .count();
+        drawn as f64 / (self.width as f64 * self.height as f64)
+    }
+
+    /// Write a binary PPM (P6) file.
+    pub fn write_ppm(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "P6\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.pixels)?;
+        Ok(())
+    }
+}
+
+/// Rasterize a layout at the given width (height from aspect ratio,
+/// clamped to `[width/8, 4·width]`).
+pub fn rasterize(layout: &Layout2D, lean: &LeanGraph, width: u32) -> Image {
+    assert_eq!(layout.node_count(), lean.node_count(), "layout/graph mismatch");
+    assert!(width >= 8, "image too small");
+    let (min_x, min_y, max_x, max_y) = layout.bounds();
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let height = ((width as f64 * span_y / span_x) as u32).clamp(width / 8, width * 4);
+    let mut img = Image::blank(width, height);
+    let margin = 0.03;
+    let sx = width as f64 * (1.0 - 2.0 * margin) / span_x;
+    let sy = height as f64 * (1.0 - 2.0 * margin) / span_y;
+    let px = |x: f64| (width as f64 * margin + (x - min_x) * sx) as i64;
+    let py = |y: f64| (height as f64 * margin + (y - min_y) * sy) as i64;
+
+    let colors = node_colors(lean);
+    for node in 0..lean.node_count() as u32 {
+        let (x1, y1) = layout.get(node, false);
+        let (x2, y2) = layout.get(node, true);
+        img.line(px(x1), py(y1), px(x2), py(y2), colors[node as usize]);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    fn setup() -> (Layout2D, LeanGraph) {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let mut layout = Layout2D::zeros(lean.node_count());
+        for n in 0..lean.node_count() as u32 {
+            layout.set(n, false, n as f64 * 10.0, n as f64 * 3.0);
+            layout.set(n, true, n as f64 * 10.0 + 9.0, n as f64 * 3.0 + 1.0);
+        }
+        (layout, lean)
+    }
+
+    #[test]
+    fn blank_canvas_is_white() {
+        let img = Image::blank(4, 4);
+        assert_eq!(img.ink_fraction(), 0.0);
+        assert_eq!(img.get(2, 3), Rgb(255, 255, 255));
+    }
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut img = Image::blank(8, 8);
+        img.put(3, 5, Rgb(1, 2, 3));
+        assert_eq!(img.get(3, 5), Rgb(1, 2, 3));
+        // Out-of-bounds writes are silently dropped.
+        img.put(-1, 0, Rgb(9, 9, 9));
+        img.put(8, 0, Rgb(9, 9, 9));
+        assert_eq!(img.get(0, 0), Rgb(255, 255, 255));
+    }
+
+    #[test]
+    fn bresenham_endpoints_and_diagonal() {
+        let mut img = Image::blank(10, 10);
+        img.line(0, 0, 9, 9, Rgb(0, 0, 0));
+        assert_eq!(img.get(0, 0), Rgb(0, 0, 0));
+        assert_eq!(img.get(9, 9), Rgb(0, 0, 0));
+        assert_eq!(img.get(5, 5), Rgb(0, 0, 0));
+        // Exactly the diagonal: 10 pixels.
+        assert!((img.ink_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rasterized_layout_draws_ink() {
+        let (layout, lean) = setup();
+        let img = rasterize(&layout, &lean, 200);
+        assert!(img.ink_fraction() > 0.001, "ink {}", img.ink_fraction());
+        assert!(img.width == 200);
+    }
+
+    #[test]
+    fn ppm_write_produces_valid_header() {
+        let (layout, lean) = setup();
+        let img = rasterize(&layout, &lean, 64);
+        let dir = std::env::temp_dir().join("draw_test_ppm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        img.write_ppm(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let header = format!("P6\n{} {}\n255\n", img.width, img.height);
+        assert!(data.starts_with(header.as_bytes()));
+        assert_eq!(data.len(), header.len() + img.pixels.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degenerate_layout_is_safe() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let layout = Layout2D::zeros(lean.node_count());
+        let img = rasterize(&layout, &lean, 64);
+        // All segments collapse to one point: still at least one pixel.
+        assert!(img.ink_fraction() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_width_rejected() {
+        let (layout, lean) = setup();
+        let _ = rasterize(&layout, &lean, 2);
+    }
+}

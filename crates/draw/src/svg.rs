@@ -1,0 +1,169 @@
+//! SVG rendering of pangenome layouts.
+
+use crate::palette::node_colors;
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct DrawOptions {
+    /// Output width in pixels (height follows the layout aspect ratio).
+    pub width: u32,
+    /// Margin fraction of the drawing area.
+    pub margin: f64,
+    /// Stroke width in output pixels.
+    pub stroke: f64,
+    /// Draw thin connector lines between consecutive path steps.
+    pub path_links: bool,
+}
+
+impl Default for DrawOptions {
+    fn default() -> Self {
+        Self { width: 1200, margin: 0.04, stroke: 1.2, path_links: false }
+    }
+}
+
+/// Render a layout to a standalone SVG document.
+pub fn to_svg(layout: &Layout2D, lean: &LeanGraph, opts: &DrawOptions) -> String {
+    assert_eq!(layout.node_count(), lean.node_count(), "layout/graph mismatch");
+    let (min_x, min_y, max_x, max_y) = layout.bounds();
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let w = opts.width as f64;
+    let h = (w * span_y / span_x).clamp(w * 0.05, w * 4.0);
+    let mx = w * opts.margin;
+    let my = h * opts.margin;
+    let sx = (w - 2.0 * mx) / span_x;
+    let sy = (h - 2.0 * my) / span_y;
+    let px = |x: f64| mx + (x - min_x) * sx;
+    let py = |y: f64| my + (y - min_y) * sy;
+
+    let colors = node_colors(lean);
+    let mut out = String::with_capacity(64 * lean.node_count() + 512);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.1} {h:.1}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    ));
+
+    if opts.path_links {
+        out.push_str("<g stroke=\"#cccccc\" stroke-width=\"0.4\" opacity=\"0.6\">\n");
+        for p in 0..lean.path_count() as u32 {
+            for i in 1..lean.steps_in(p) {
+                let a = lean.flat_step(p, i - 1);
+                let b = lean.flat_step(p, i);
+                let (na, nb) = (lean.node_of_flat(a), lean.node_of_flat(b));
+                let (x1, y1) = layout.get(na, true);
+                let (x2, y2) = layout.get(nb, false);
+                out.push_str(&format!(
+                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\"/>\n",
+                    px(x1),
+                    py(y1),
+                    px(x2),
+                    py(y2)
+                ));
+            }
+        }
+        out.push_str("</g>\n");
+    }
+
+    out.push_str(&format!(
+        "<g stroke-width=\"{:.2}\" stroke-linecap=\"round\">\n",
+        opts.stroke
+    ));
+    for node in 0..lean.node_count() as u32 {
+        let (x1, y1) = layout.get(node, false);
+        let (x2, y2) = layout.get(node, true);
+        out.push_str(&format!(
+            "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"{}\"/>\n",
+            px(x1),
+            py(y1),
+            px(x2),
+            py(y2),
+            colors[node as usize].hex()
+        ));
+    }
+    out.push_str("</g>\n</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    fn setup() -> (Layout2D, LeanGraph) {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let mut layout = Layout2D::zeros(lean.node_count());
+        for n in 0..lean.node_count() as u32 {
+            layout.set(n, false, n as f64 * 10.0, (n % 3) as f64 * 5.0);
+            layout.set(n, true, n as f64 * 10.0 + 8.0, (n % 3) as f64 * 5.0 + 2.0);
+        }
+        (layout, lean)
+    }
+
+    #[test]
+    fn svg_has_one_line_per_node() {
+        let (layout, lean) = setup();
+        let svg = to_svg(&layout, &lean, &DrawOptions::default());
+        let lines = svg.matches("<line ").count();
+        assert_eq!(lines, lean.node_count());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn path_links_add_connectors() {
+        let (layout, lean) = setup();
+        let opts = DrawOptions { path_links: true, ..DrawOptions::default() };
+        let svg = to_svg(&layout, &lean, &opts);
+        // connectors: Σ(|p|−1) = 5+4+6 = 15, plus 8 node segments.
+        assert_eq!(svg.matches("<line ").count(), 15 + 8);
+    }
+
+    #[test]
+    fn coordinates_are_mapped_into_viewport() {
+        let (layout, lean) = setup();
+        let opts = DrawOptions { width: 500, ..DrawOptions::default() };
+        let svg = to_svg(&layout, &lean, &opts);
+        // Extract every x/y attribute and check bounds.
+        for cap in svg.split("<line ").skip(1) {
+            for attr in ["x1", "y1", "x2", "y2"] {
+                let v: f64 = cap
+                    .split(&format!("{attr}=\""))
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(v >= -0.5 && v <= 2100.0, "{attr} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_layout_does_not_divide_by_zero() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let layout = Layout2D::zeros(lean.node_count());
+        let svg = to_svg(&layout, &lean, &DrawOptions::default());
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (layout, lean) = setup();
+        let a = to_svg(&layout, &lean, &DrawOptions::default());
+        let b = to_svg(&layout, &lean, &DrawOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_sizes_rejected() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let layout = Layout2D::zeros(2);
+        let _ = to_svg(&layout, &lean, &DrawOptions::default());
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated address space of the layout kernel's data structures.
+//!
+//! The GPU kernels operate on the same lean graph as the CPU engine, but
+//! the *memory traffic* they generate depends on how that data is placed.
+//! This module assigns every structure a region in a flat 64-bit address
+//! space and answers "which byte ranges does this logical operation
+//! touch?" under each placement:
+//!
+//! * **node data** — per-node record `[len:f32, sx, sy, ex, ey]` (20 B).
+//!   Cache-friendly AoS: one contiguous record per node (paper Fig. 9b).
+//!   Original SoA: separate `len[]`, `x[]`, `y[]` arrays ⇒ three accesses
+//!   per node read (Fig. 9a).
+//! * **path step data** — per-step record `(node id:u32, pos:u64)`
+//!   (12 B). AoS packs them; SoA splits into two arrays.
+//! * **random states** — delegated to `pgrng::StatePool`'s address map
+//!   (AoS vs coalesced, paper Fig. 10).
+//! * **alias / zipf tables** — small read-only lookup tables.
+
+use layout_core::coords::DataLayout;
+
+/// One byte-range access: `(address, bytes)`.
+pub type Access = (u64, u32);
+
+/// A bounded list of accesses for one logical operation (max 4).
+#[derive(Debug, Clone, Copy)]
+pub struct AccessList {
+    items: [Access; 4],
+    len: usize,
+}
+
+impl AccessList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self { items: [(0, 0); 4], len: 0 }
+    }
+
+    /// Append an access.
+    pub fn push(&mut self, a: Access) {
+        assert!(self.len < 4, "access list overflow");
+        self.items[self.len] = a;
+        self.len += 1;
+    }
+
+    /// The recorded accesses.
+    pub fn as_slice(&self) -> &[Access] {
+        &self.items[..self.len]
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no accesses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for AccessList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Region bases, far enough apart never to alias for realistic graphs.
+const NODE_AOS_BASE: u64 = 0x1000_0000_0000;
+const NODE_LEN_BASE: u64 = 0x1100_0000_0000;
+const NODE_X_BASE: u64 = 0x1200_0000_0000;
+const NODE_Y_BASE: u64 = 0x1300_0000_0000;
+const STEP_AOS_BASE: u64 = 0x2000_0000_0000;
+const STEP_ID_BASE: u64 = 0x2100_0000_0000;
+const STEP_POS_BASE: u64 = 0x2200_0000_0000;
+const ALIAS_BASE: u64 = 0x4000_0000_0000;
+const ZIPF_BASE: u64 = 0x5000_0000_0000;
+
+/// Base address of the random-state pool region (handed to
+/// `pgrng::StatePool::with_base_addr`).
+pub const STATE_BASE: u64 = 0x3000_0000_0000;
+
+/// AoS node record stride: len + 4 coords, f32 each.
+const NODE_REC_BYTES: u64 = 20;
+/// AoS step record stride: u32 id + u64 pos (packed, no padding modeled).
+const STEP_REC_BYTES: u64 = 12;
+
+/// The address map for one kernel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AddrMap {
+    /// Placement of node *and* path-step data (the paper applies the
+    /// cache-friendly repacking to both; Sec. V-B1).
+    pub layout: DataLayout,
+}
+
+impl AddrMap {
+    /// Map for a given data layout.
+    pub fn new(layout: DataLayout) -> Self {
+        Self { layout }
+    }
+
+    /// Accesses for reading node `n`'s length plus one endpoint's (x, y).
+    pub fn node_read(&self, node: u32, end: bool) -> AccessList {
+        let mut out = AccessList::new();
+        match self.layout {
+            DataLayout::CacheFriendlyAos => {
+                // One record read (paper: "one memory access for one node").
+                out.push((NODE_AOS_BASE + node as u64 * NODE_REC_BYTES, NODE_REC_BYTES as u32));
+            }
+            DataLayout::OriginalSoa => {
+                let pt = (2 * node as u64 + end as u64) * 4;
+                out.push((NODE_LEN_BASE + node as u64 * 4, 4));
+                out.push((NODE_X_BASE + pt, 4));
+                out.push((NODE_Y_BASE + pt, 4));
+            }
+        }
+        out
+    }
+
+    /// Accesses for writing one endpoint's (x, y) of node `n`.
+    pub fn node_write(&self, node: u32, end: bool) -> AccessList {
+        let mut out = AccessList::new();
+        match self.layout {
+            DataLayout::CacheFriendlyAos => {
+                let off = 4 + 8 * end as u64; // skip len, pick endpoint pair
+                out.push((NODE_AOS_BASE + node as u64 * NODE_REC_BYTES + off, 8));
+            }
+            DataLayout::OriginalSoa => {
+                let pt = (2 * node as u64 + end as u64) * 4;
+                out.push((NODE_X_BASE + pt, 4));
+                out.push((NODE_Y_BASE + pt, 4));
+            }
+        }
+        out
+    }
+
+    /// Accesses for reading path-step record `s` (node id + position).
+    pub fn step_read(&self, flat_step: u64) -> AccessList {
+        let mut out = AccessList::new();
+        match self.layout {
+            DataLayout::CacheFriendlyAos => {
+                out.push((STEP_AOS_BASE + flat_step * STEP_REC_BYTES, STEP_REC_BYTES as u32));
+            }
+            DataLayout::OriginalSoa => {
+                out.push((STEP_ID_BASE + flat_step * 4, 4));
+                out.push((STEP_POS_BASE + flat_step * 8, 8));
+            }
+        }
+        out
+    }
+
+    /// Access for one alias-table column read (prob + alias packed, 12 B).
+    pub fn alias_read(&self, column: u64) -> Access {
+        (ALIAS_BASE + column * 12, 12)
+    }
+
+    /// Access for one Zipf ζ-table lookup (8-B double).
+    pub fn zipf_read(&self, slot: u64) -> Access {
+        (ZIPF_BASE + slot * 8, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aos_node_read_is_single_contiguous_record() {
+        let m = AddrMap::new(DataLayout::CacheFriendlyAos);
+        let a = m.node_read(7, true);
+        assert_eq!(a.len(), 1);
+        let (addr, bytes) = a.as_slice()[0];
+        assert_eq!(addr, NODE_AOS_BASE + 7 * 20);
+        assert_eq!(bytes, 20);
+        // Neighbouring nodes' records are adjacent (spatial locality).
+        let b = m.node_read(8, false);
+        assert_eq!(b.as_slice()[0].0, addr + 20);
+    }
+
+    #[test]
+    fn soa_node_read_is_three_scattered_accesses() {
+        let m = AddrMap::new(DataLayout::OriginalSoa);
+        let a = m.node_read(7, false);
+        assert_eq!(a.len(), 3);
+        let regions: Vec<u64> = a.as_slice().iter().map(|&(addr, _)| addr >> 40).collect();
+        // Three different regions (len, x, y).
+        assert_eq!(regions.len(), 3);
+        assert!(regions.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn endpoint_choice_shifts_coordinates_not_length() {
+        let m = AddrMap::new(DataLayout::OriginalSoa);
+        let start = m.node_read(3, false);
+        let end = m.node_read(3, true);
+        // len access identical; x/y differ by 4 bytes.
+        assert_eq!(start.as_slice()[0], end.as_slice()[0]);
+        assert_eq!(end.as_slice()[1].0 - start.as_slice()[1].0, 4);
+    }
+
+    #[test]
+    fn node_write_touches_one_endpoint_pair() {
+        let aos = AddrMap::new(DataLayout::CacheFriendlyAos);
+        let w = aos.node_write(2, true);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.as_slice()[0], (NODE_AOS_BASE + 2 * 20 + 12, 8));
+        let soa = AddrMap::new(DataLayout::OriginalSoa);
+        assert_eq!(soa.node_write(2, true).len(), 2);
+    }
+
+    #[test]
+    fn step_read_layouts() {
+        let aos = AddrMap::new(DataLayout::CacheFriendlyAos);
+        assert_eq!(aos.step_read(5).len(), 1);
+        assert_eq!(aos.step_read(5).as_slice()[0].0, STEP_AOS_BASE + 60);
+        let soa = AddrMap::new(DataLayout::OriginalSoa);
+        assert_eq!(soa.step_read(5).len(), 2);
+    }
+
+    #[test]
+    fn regions_do_not_overlap_for_large_graphs() {
+        // 100M nodes × 20 B < region spacing.
+        let n: u64 = 100_000_000;
+        assert!(NODE_AOS_BASE + n * 20 < NODE_LEN_BASE);
+        assert!(NODE_Y_BASE + 2 * n * 4 < STEP_AOS_BASE);
+        assert!(STEP_AOS_BASE + 10 * n * 12 < STEP_ID_BASE);
+        assert!(STEP_POS_BASE + 10 * n * 8 < STATE_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn access_list_bounds_checked() {
+        let mut l = AccessList::new();
+        for _ in 0..5 {
+            l.push((0, 1));
+        }
+    }
+}

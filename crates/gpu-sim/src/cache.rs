@@ -1,0 +1,320 @@
+//! Sectored set-associative cache model.
+//!
+//! NVIDIA GPUs cache global memory in 128-byte lines made of four 32-byte
+//! *sectors*: a miss fetches only the needed sector, and memory-traffic
+//! counters (Nsight's "sectors per request", the quantity of paper
+//! Table X) are sector-granular. This model implements:
+//!
+//! * configurable size / associativity / line / sector geometry,
+//! * per-sector validity within a line,
+//! * LRU replacement within a set,
+//! * hit/miss/access counters at sector granularity.
+//!
+//! The same structure with 64-byte unsectored lines models the CPU cache
+//! levels used for the Table II / Table IX characterization.
+
+/// Cache geometry and capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Sector size in bytes (power of two, divides the line size).
+    pub sector_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// GPU-style geometry: 128-byte lines, 32-byte sectors, 4-way.
+    pub fn gpu(size_bytes: u64) -> Self {
+        Self { size_bytes, line_bytes: 128, sector_bytes: 32, ways: 4 }
+    }
+
+    /// CPU-style geometry: 64-byte unsectored lines, 8-way.
+    pub fn cpu(size_bytes: u64) -> Self {
+        Self { size_bytes, line_bytes: 64, sector_bytes: 64, ways: 8 }
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(self.sector_bytes.is_power_of_two(), "sector size must be 2^k");
+        assert!(self.sector_bytes <= self.line_bytes, "sector must fit in line");
+        assert!(self.ways >= 1);
+        assert!(
+            self.size_bytes >= (self.line_bytes as u64) * (self.ways as u64),
+            "cache must hold at least one set"
+        );
+    }
+
+    /// Number of sets implied by the geometry (at least 1).
+    pub fn num_sets(&self) -> u64 {
+        (self.size_bytes / (self.line_bytes as u64 * self.ways as u64)).max(1)
+    }
+
+    /// Sectors per line.
+    pub fn sectors_per_line(&self) -> u32 {
+        self.line_bytes / self.sector_bytes
+    }
+}
+
+/// Access counters, at sector granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Sector accesses presented to this cache.
+    pub accesses: u64,
+    /// Sector hits.
+    pub hits: u64,
+    /// Sector misses (forwarded to the next level).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulate another counter block (used to merge per-SM stats).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    /// Bitmask of valid sectors.
+    valid: u32,
+    /// Monotone LRU stamp.
+    stamp: u64,
+}
+
+/// The cache proper.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = (0..cfg.num_sets()).map(|_| Vec::new()).collect();
+        Self { cfg, sets, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Present one *sector* access (by any byte address inside it).
+    /// Returns `true` on hit; on miss the sector is installed.
+    pub fn access_sector(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr / self.cfg.line_bytes as u64;
+        let set_idx = (line_addr % self.cfg.num_sets()) as usize;
+        let tag = line_addr / self.cfg.num_sets();
+        let sector_in_line =
+            ((addr % self.cfg.line_bytes as u64) / self.cfg.sector_bytes as u64) as u32;
+        let mask = 1u32 << sector_in_line;
+        let tick = self.tick;
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.stamp = tick;
+            if line.valid & mask != 0 {
+                self.stats.hits += 1;
+                return true;
+            }
+            // Line present, sector not: sector miss, install sector.
+            line.valid |= mask;
+            self.stats.misses += 1;
+            return false;
+        }
+        // Line absent: evict LRU if the set is full.
+        if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .unwrap();
+            set.swap_remove(lru);
+        }
+        set.push(Line { tag, valid: mask, stamp: tick });
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Present a byte-range access `[addr, addr+bytes)`: one sector access
+    /// per touched sector. Returns the number of sector *misses*.
+    pub fn access_range(&mut self, addr: u64, bytes: u32) -> u32 {
+        debug_assert!(bytes > 0);
+        let sec = self.cfg.sector_bytes as u64;
+        let first = addr / sec;
+        let last = (addr + bytes as u64 - 1) / sec;
+        let mut misses = 0;
+        for s in first..=last {
+            if !self.access_sector(s * sec) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Distinct sectors touched by a byte range (no state change).
+    pub fn sectors_in_range(&self, addr: u64, bytes: u32) -> u32 {
+        let sec = self.cfg.sector_bytes as u64;
+        let first = addr / sec;
+        let last = (addr + bytes as u64 - 1) / sec;
+        (last - first + 1) as u32
+    }
+
+    /// Drop all contents, keep counters.
+    pub fn invalidate(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 128B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, sector_bytes: 32, ways: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access_sector(0));
+        assert!(c.access_sector(0));
+        assert!(c.access_sector(31)); // same sector
+        assert_eq!(c.stats.accesses, 3);
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn sectors_within_a_line_miss_independently() {
+        let mut c = tiny();
+        assert!(!c.access_sector(0)); // sector 0 of line 0
+        assert!(!c.access_sector(32)); // sector 1 of same line: still a miss
+        assert!(c.access_sector(0));
+        assert!(c.access_sector(32));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny(); // 2 sets → lines 0,2,4… map to set 0
+        let line = |i: u64| i * 128;
+        // Set 0 holds lines 0 and 2 (tags differ); line 4 evicts LRU (0).
+        c.access_sector(line(0));
+        c.access_sector(line(2));
+        c.access_sector(line(0)); // refresh 0 → LRU is now 2
+        c.access_sector(line(4)); // evicts 2
+        assert!(c.access_sector(line(0)), "0 must survive");
+        assert!(!c.access_sector(line(2)), "2 must have been evicted");
+    }
+
+    #[test]
+    fn access_range_counts_spanned_sectors() {
+        let mut c = tiny();
+        // 40 bytes starting at 28 spans sectors 0,1,2 (28..68).
+        assert_eq!(c.sectors_in_range(28, 40), 3);
+        assert_eq!(c.access_range(28, 40), 3);
+        assert_eq!(c.access_range(28, 40), 0, "now all hit");
+    }
+
+    #[test]
+    fn aligned_small_access_is_one_sector() {
+        let c = tiny();
+        assert_eq!(c.sectors_in_range(64, 4), 1);
+        assert_eq!(c.sectors_in_range(96, 32), 1);
+        assert_eq!(c.sectors_in_range(96, 33), 2);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        c.access_sector(0);
+        c.access_sector(0);
+        c.access_sector(0);
+        c.access_sector(0);
+        assert!((c.stats.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_clears_contents_not_counters() {
+        let mut c = tiny();
+        c.access_sector(0);
+        c.invalidate();
+        assert!(!c.access_sector(0), "must miss after invalidate");
+        assert_eq!(c.stats.accesses, 2);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        // Stream over 4 KiB repeatedly through a 512 B cache: hit rate must
+        // stay low (capacity misses dominate).
+        let mut c = tiny();
+        for _round in 0..10 {
+            for line in 0..32u64 {
+                c.access_sector(line * 128);
+            }
+        }
+        assert!(c.stats.miss_rate() > 0.9, "miss rate {}", c.stats.miss_rate());
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits() {
+        let mut c = tiny();
+        for _round in 0..10 {
+            for line in 0..4u64 {
+                c.access_sector(line * 128); // 4 lines fit in 2 sets × 2 ways
+            }
+        }
+        assert!(c.stats.miss_rate() < 0.2, "miss rate {}", c.stats.miss_rate());
+    }
+
+    #[test]
+    fn cpu_geometry_is_unsectored() {
+        let cfg = CacheConfig::cpu(32 * 1024);
+        assert_eq!(cfg.sectors_per_line(), 1);
+        let mut c = Cache::new(cfg);
+        assert!(!c.access_sector(0));
+        assert!(c.access_sector(63), "same 64-B line ⇒ hit");
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CacheStats { accesses: 10, hits: 6, misses: 4 };
+        let b = CacheStats { accesses: 5, hits: 5, misses: 0 };
+        a.merge(&b);
+        assert_eq!(a, CacheStats { accesses: 15, hits: 11, misses: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn undersized_cache_rejected() {
+        let _ = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 128, sector_bytes: 32, ways: 2 });
+    }
+}

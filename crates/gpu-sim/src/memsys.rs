@@ -1,0 +1,259 @@
+//! The per-SM memory pipeline: coalescer → L1 → L2 slice → DRAM.
+//!
+//! A warp issuing a load presents up to 32 lane addresses; the coalescer
+//! merges them into unique 32-byte sectors (one *request*, N *sectors* —
+//! Nsight's "L1 sectors per request", paper Table X). Sectors look up L1;
+//! misses go to the SM's L2 slice; L2 misses count DRAM sectors.
+//!
+//! Each simulated SM owns its L1 and a 1/`sm_count` slice of the L2
+//! (mirroring the physical partitioning of GPU L2 among slices), which
+//! keeps SM simulations embarrassingly parallel without losing the
+//! capacity effects the paper's optimizations target.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::device::GpuSpec;
+
+/// Aggregated memory-traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemReport {
+    /// Warp-level memory requests (one per logical warp access).
+    pub warp_requests: u64,
+    /// Sectors presented to L1.
+    pub l1_sectors: u64,
+    /// L1 sector hits.
+    pub l1_hits: u64,
+    /// Sectors presented to L2 (= L1 misses).
+    pub l2_sectors: u64,
+    /// L2 sector hits.
+    pub l2_hits: u64,
+    /// Sectors fetched from DRAM (= L2 misses).
+    pub dram_sectors: u64,
+}
+
+impl MemReport {
+    /// Sector size used in byte conversions.
+    pub const SECTOR_BYTES: u64 = 32;
+
+    /// Mean sectors per warp request (Table X's headline metric).
+    pub fn sectors_per_request(&self) -> f64 {
+        if self.warp_requests == 0 {
+            0.0
+        } else {
+            self.l1_sectors as f64 / self.warp_requests as f64
+        }
+    }
+
+    /// Bytes moved through L1.
+    pub fn l1_bytes(&self) -> u64 {
+        self.l1_sectors * Self::SECTOR_BYTES
+    }
+
+    /// Bytes moved through L2.
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_sectors * Self::SECTOR_BYTES
+    }
+
+    /// Bytes moved from DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_sectors * Self::SECTOR_BYTES
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, o: &MemReport) {
+        self.warp_requests += o.warp_requests;
+        self.l1_sectors += o.l1_sectors;
+        self.l1_hits += o.l1_hits;
+        self.l2_sectors += o.l2_sectors;
+        self.l2_hits += o.l2_hits;
+        self.dram_sectors += o.dram_sectors;
+    }
+
+    /// Scale all counters by a sampling-extrapolation factor.
+    pub fn scaled(&self, factor: f64) -> MemReport {
+        let s = |x: u64| (x as f64 * factor).round() as u64;
+        MemReport {
+            warp_requests: s(self.warp_requests),
+            l1_sectors: s(self.l1_sectors),
+            l1_hits: s(self.l1_hits),
+            l2_sectors: s(self.l2_sectors),
+            l2_hits: s(self.l2_hits),
+            dram_sectors: s(self.dram_sectors),
+        }
+    }
+}
+
+/// One SM's memory pipeline.
+pub struct SmMem {
+    l1: Cache,
+    l2: Cache,
+    report: MemReport,
+    /// Scratch for sector coalescing.
+    scratch: Vec<u64>,
+}
+
+impl SmMem {
+    /// Build for a device at a given dataset/cache scale (`mem_scale`
+    /// shrinks the L2 with the dataset; L1 scales with simulated
+    /// occupancy — see [`GpuSpec::scaled_l1`]).
+    pub fn new(spec: &GpuSpec, mem_scale: f64) -> Self {
+        Self {
+            l1: Cache::new(CacheConfig::gpu(spec.scaled_l1())),
+            l2: Cache::new(CacheConfig::gpu(spec.scaled_l2_slice(mem_scale))),
+            report: MemReport::default(),
+            scratch: Vec::with_capacity(128),
+        }
+    }
+
+    /// Present one warp-level request: the byte-range accesses of all
+    /// active lanes for one logical instruction.
+    pub fn warp_request(&mut self, accesses: &[(u64, u32)]) {
+        if accesses.is_empty() {
+            return;
+        }
+        self.report.warp_requests += 1;
+        // Coalesce into unique sectors.
+        self.scratch.clear();
+        for &(addr, bytes) in accesses {
+            debug_assert!(bytes > 0);
+            let first = addr / 32;
+            let last = (addr + bytes as u64 - 1) / 32;
+            for s in first..=last {
+                self.scratch.push(s);
+            }
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        for &sector in self.scratch.iter() {
+            self.report.l1_sectors += 1;
+            if self.l1.access_sector(sector * 32) {
+                self.report.l1_hits += 1;
+            } else {
+                self.report.l2_sectors += 1;
+                if self.l2.access_sector(sector * 32) {
+                    self.report.l2_hits += 1;
+                } else {
+                    self.report.dram_sectors += 1;
+                }
+            }
+        }
+    }
+
+    /// Counters so far.
+    pub fn report(&self) -> MemReport {
+        self.report
+    }
+
+    /// L1 stats (tests).
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sm() -> SmMem {
+        SmMem::new(&GpuSpec::a6000(), 1.0)
+    }
+
+    #[test]
+    fn coalesced_warp_access_is_few_sectors() {
+        let mut m = sm();
+        // 32 lanes × 4 B contiguous = 128 B = 4 sectors.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+        m.warp_request(&accesses);
+        let r = m.report();
+        assert_eq!(r.warp_requests, 1);
+        assert_eq!(r.l1_sectors, 4);
+        assert!((r.sectors_per_request() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_warp_access_spans_many_sectors() {
+        let mut m = sm();
+        // 32 lanes × 4 B at stride 24 (the AoS xorwow word-0 pattern):
+        // spans 32*24 = 768 B = 24 sectors.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * 24, 4)).collect();
+        m.warp_request(&accesses);
+        assert_eq!(m.report().l1_sectors, 24);
+    }
+
+    #[test]
+    fn duplicate_lane_addresses_coalesce() {
+        let mut m = sm();
+        let accesses: Vec<(u64, u32)> = (0..32).map(|_| (64, 4)).collect();
+        m.warp_request(&accesses);
+        assert_eq!(m.report().l1_sectors, 1);
+    }
+
+    #[test]
+    fn miss_path_escalates_to_dram_once() {
+        let mut m = sm();
+        m.warp_request(&[(0, 4)]);
+        let r1 = m.report();
+        assert_eq!(r1.dram_sectors, 1);
+        // Re-access: L1 hit, no further L2/DRAM traffic.
+        m.warp_request(&[(0, 4)]);
+        let r2 = m.report();
+        assert_eq!(r2.l1_hits, 1);
+        assert_eq!(r2.dram_sectors, 1);
+        assert_eq!(r2.l2_sectors, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        // Working set bigger than L1 but smaller than the L2 slice:
+        // steady-state misses hit in L2, not DRAM.
+        let spec = GpuSpec::a6000();
+        let mut m = SmMem::new(&spec, 1.0);
+        let l1 = spec.scaled_l1();
+        let lines = (l1 / 128) * 4; // 4× the L1 line capacity
+        for _round in 0..4 {
+            for i in 0..lines {
+                m.warp_request(&[(i * 128, 4)]);
+            }
+        }
+        let r = m.report();
+        assert!(r.l2_hits > 0, "L2 must absorb repeat misses: {r:?}");
+        let last_round_dram = r.dram_sectors;
+        assert!(
+            last_round_dram < r.l1_sectors / 2,
+            "DRAM traffic must be bounded by L2 reuse"
+        );
+    }
+
+    #[test]
+    fn empty_request_is_ignored() {
+        let mut m = sm();
+        m.warp_request(&[]);
+        assert_eq!(m.report().warp_requests, 0);
+    }
+
+    #[test]
+    fn report_merge_and_scale() {
+        let mut a = MemReport {
+            warp_requests: 10,
+            l1_sectors: 40,
+            l1_hits: 30,
+            l2_sectors: 10,
+            l2_hits: 5,
+            dram_sectors: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.warp_requests, 20);
+        assert_eq!(a.dram_sectors, 10);
+        let s = a.scaled(0.5);
+        assert_eq!(s.warp_requests, 10);
+        assert_eq!(s.dram_bytes(), 5 * 32);
+    }
+
+    #[test]
+    fn bytes_helpers_use_sector_size() {
+        let r = MemReport { l1_sectors: 3, l2_sectors: 2, dram_sectors: 1, ..Default::default() };
+        assert_eq!(r.l1_bytes(), 96);
+        assert_eq!(r.l2_bytes(), 64);
+        assert_eq!(r.dram_bytes(), 32);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-GPU scaling projection — the paper's stated future work
+//! (Sec. IX: "scaling our work to a multi-GPU setup is essential to meet
+//! the rapid increase in genome data").
+//!
+//! The natural multi-GPU design for path-guided SGD keeps one coordinate
+//! replica in device-0 memory (or unified memory) and lets every GPU run
+//! the update kernel Hogwild-style over its shard of the step budget —
+//! the same sparse-collision argument that justifies Hogwild on one
+//! device extends across devices. What changes is the cost model:
+//!
+//! * kernel work divides by the device count,
+//! * the `(G−1)/G` fraction of coordinate updates that land on a remote
+//!   replica cross the interconnect (NVLink), adding un-hidable traffic,
+//! * per-iteration launches replicate per device but overlap.
+//!
+//! This module projects that model over the *counted* single-GPU events
+//! of a [`crate::kernel::GpuReport`], exposing where scaling saturates.
+
+use crate::device::GpuSpec;
+use crate::kernel::GpuReport;
+
+/// Interconnect description.
+#[derive(Debug, Clone, Copy)]
+pub struct Interconnect {
+    /// Sustained per-direction bandwidth, bytes/second.
+    pub bw: f64,
+    /// Per-iteration synchronization latency, seconds.
+    pub sync_latency_s: f64,
+}
+
+impl Interconnect {
+    /// NVLink 3.0-class link (A100: 600 GB/s aggregate; assume half
+    /// sustained for scattered fine-grained updates).
+    pub fn nvlink3() -> Self {
+        Self { bw: 300.0e9, sync_latency_s: 10e-6 }
+    }
+
+    /// PCIe 4.0 x16 fallback (32 GB/s, higher latency).
+    pub fn pcie4() -> Self {
+        Self { bw: 32.0e9, sync_latency_s: 50e-6 }
+    }
+}
+
+/// Bytes a remote coordinate update moves (two endpoints × (x, y) f32,
+/// read-modify-write ⇒ both directions).
+pub const BYTES_PER_REMOTE_UPDATE: f64 = 2.0 * 8.0 * 2.0;
+
+/// The projection for one device count.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiGpuPoint {
+    /// Number of devices.
+    pub gpus: u32,
+    /// Kernel time per device, seconds.
+    pub kernel_s: f64,
+    /// Interconnect time (remote updates + per-iteration latency).
+    pub interconnect_s: f64,
+    /// Launch overhead (parallel across devices).
+    pub launch_s: f64,
+    /// Total modeled time.
+    pub total_s: f64,
+    /// Parallel efficiency vs one device.
+    pub efficiency: f64,
+    /// Speedup vs one device.
+    pub speedup: f64,
+}
+
+/// Project a measured single-GPU run onto `gpus` devices.
+pub fn project(
+    report: &GpuReport,
+    spec: &GpuSpec,
+    link: &Interconnect,
+    gpus: u32,
+) -> MultiGpuPoint {
+    assert!(gpus >= 1, "need at least one device");
+    let single_total = report.timing.total_s();
+    let kernel_s = report.timing.kernel_s() / gpus as f64;
+    let remote_frac = (gpus as f64 - 1.0) / gpus as f64;
+    // Remote updates per device cross the link concurrently; the link is
+    // shared pairwise, so the per-device remote traffic is the exposure.
+    let remote_bytes =
+        report.terms_applied as f64 * remote_frac * BYTES_PER_REMOTE_UPDATE / gpus as f64;
+    let interconnect_s = if gpus == 1 {
+        0.0
+    } else {
+        remote_bytes / link.bw + report.launches as f64 * link.sync_latency_s
+    };
+    let launch_s = report.launches as f64 * spec.launch_overhead_s;
+    let total_s = kernel_s + interconnect_s + launch_s;
+    MultiGpuPoint {
+        gpus,
+        kernel_s,
+        interconnect_s,
+        launch_s,
+        total_s,
+        efficiency: single_total / (gpus as f64 * total_s),
+        speedup: single_total / total_s,
+    }
+}
+
+/// Project a scaling curve over 1..=`max_gpus` devices.
+pub fn scaling_curve(
+    report: &GpuReport,
+    spec: &GpuSpec,
+    link: &Interconnect,
+    max_gpus: u32,
+) -> Vec<MultiGpuPoint> {
+    (1..=max_gpus).map(|g| project(report, spec, link, g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GpuEngine, KernelConfig};
+    use layout_core::LayoutConfig;
+    use pangraph::lean::LeanGraph;
+    use workloads::{generate, PangenomeSpec};
+
+    fn sample_report() -> (GpuReport, GpuSpec) {
+        // A chromosome-scale shard: multi-GPU only pays off when kernel
+        // time dominates the per-iteration sync latency, exactly as on
+        // real hardware.
+        let g = generate(&PangenomeSpec::basic("mg", 3000, 10, 1));
+        let lean = LeanGraph::from_graph(&g);
+        let lcfg = LayoutConfig { iter_max: 12, ..LayoutConfig::default() };
+        let spec = GpuSpec::a100();
+        let (_, report) =
+            GpuEngine::new(spec, lcfg, KernelConfig::optimized(0.001)).run(&lean);
+        (report, spec)
+    }
+
+    #[test]
+    fn one_gpu_projection_matches_single_device() {
+        let (report, spec) = sample_report();
+        let p = project(&report, &spec, &Interconnect::nvlink3(), 1);
+        assert!((p.total_s - report.timing.total_s()).abs() < 1e-12);
+        assert!((p.efficiency - 1.0).abs() < 1e-9);
+        assert_eq!(p.interconnect_s, 0.0);
+    }
+
+    #[test]
+    fn two_gpus_speed_up_over_nvlink() {
+        let (report, spec) = sample_report();
+        let p = project(&report, &spec, &Interconnect::nvlink3(), 2);
+        assert!(p.speedup > 1.2, "2-GPU speedup {:.2}", p.speedup);
+        assert!(p.efficiency < 1.0);
+        assert!(p.interconnect_s > 0.0);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_device_count() {
+        let (report, spec) = sample_report();
+        let curve = scaling_curve(&report, &spec, &Interconnect::nvlink3(), 8);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].efficiency <= w[0].efficiency + 1e-12,
+                "efficiency must be non-increasing: {:?} -> {:?}",
+                w[0].efficiency,
+                w[1].efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn pcie_saturates_earlier_than_nvlink() {
+        let (report, spec) = sample_report();
+        let nv = project(&report, &spec, &Interconnect::nvlink3(), 8);
+        let pcie = project(&report, &spec, &Interconnect::pcie4(), 8);
+        assert!(
+            pcie.total_s > nv.total_s,
+            "PCIe ({:.4}s) must be slower than NVLink ({:.4}s) at 8 GPUs",
+            pcie.total_s,
+            nv.total_s
+        );
+        assert!(pcie.interconnect_s > nv.interconnect_s);
+    }
+
+    #[test]
+    fn kernel_time_divides_by_device_count() {
+        let (report, spec) = sample_report();
+        let p4 = project(&report, &spec, &Interconnect::nvlink3(), 4);
+        assert!((p4.kernel_s * 4.0 - report.timing.kernel_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let (report, spec) = sample_report();
+        let _ = project(&report, &spec, &Interconnect::nvlink3(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Warp execution accounting: issued instructions and divergence.
+//!
+//! All 32 lanes of a warp execute the same instruction; when a branch
+//! splits the lanes, the warp serializes both sides with complementary
+//! active masks (paper Fig. 11a). The two quantities Nsight reports — and
+//! paper Table XI compares — are:
+//!
+//! * **executed (warp-level) instructions**: every instruction the warp
+//!   issues, regardless of how many lanes are active;
+//! * **average active threads per warp**: lane-instructions divided by
+//!   warp-instructions.
+//!
+//! *Warp merging* (paper Sec. V-B3) removes the cooling-branch divergence
+//! by letting a control lane pick one branch for the whole warp; residual
+//! divergence (rejected terms, bounds checks) remains, which is why the
+//! paper's post-merge average is 27.9, not 32.
+
+/// Per-run instruction/divergence counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Warp-level instructions issued.
+    pub warp_instructions: u64,
+    /// Lane-level instructions executed (Σ active lanes per instruction).
+    pub lane_instructions: u64,
+}
+
+impl WarpStats {
+    /// Record `count` warp instructions with `active` lanes each.
+    #[inline]
+    pub fn issue(&mut self, count: u64, active: u32) {
+        debug_assert!(active <= 32);
+        if active == 0 {
+            return; // fully predicated-off path costs nothing here
+        }
+        self.warp_instructions += count;
+        self.lane_instructions += count * active as u64;
+    }
+
+    /// Average active threads per warp instruction (Table XI metric).
+    pub fn avg_active_threads(&self) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.lane_instructions as f64 / self.warp_instructions as f64
+        }
+    }
+
+    /// Merge another counter block.
+    pub fn merge(&mut self, o: &WarpStats) {
+        self.warp_instructions += o.warp_instructions;
+        self.lane_instructions += o.lane_instructions;
+    }
+
+    /// Scale by a sampling-extrapolation factor.
+    pub fn scaled(&self, factor: f64) -> WarpStats {
+        WarpStats {
+            warp_instructions: (self.warp_instructions as f64 * factor).round() as u64,
+            lane_instructions: (self.lane_instructions as f64 * factor).round() as u64,
+        }
+    }
+}
+
+/// Representative warp-instruction costs of the kernel's phases, used for
+/// the Table XI instruction counts and the compute side of the roofline.
+/// (Absolute values are calibrated to a hand count of the CUDA kernel's
+/// SASS-level work; only *ratios* matter for the reproduced trends.)
+pub mod cost {
+    /// One XORWOW draw: 10 ALU ops + state bookkeeping.
+    pub const RNG_DRAW: u64 = 12;
+    /// Alias-table path pick: 2 draws handled separately + index math.
+    pub const PATH_PICK: u64 = 6;
+    /// Uniform pair selection (branch B of the cooling conditional).
+    pub const UNIFORM_PAIR: u64 = 8;
+    /// Zipf pair selection (branch A): pow/log heavy.
+    pub const ZIPF_PAIR: u64 = 46;
+    /// Step-record decode and d_ref computation.
+    pub const STEP_DECODE: u64 = 10;
+    /// Gradient computation (sqrt, division, multiply-adds).
+    pub const UPDATE_MATH: u64 = 26;
+    /// Coordinate load/store address math.
+    pub const LDST_OVERHEAD: u64 = 6;
+    /// Warp-shuffle data-reuse: per extra update (shuffle + math).
+    pub const SHUFFLE_UPDATE: u64 = 30;
+    /// Warp-merging control-lane broadcast (shared-memory flag).
+    pub const WM_BROADCAST: u64 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_warp_has_32_average() {
+        let mut s = WarpStats::default();
+        s.issue(100, 32);
+        assert_eq!(s.warp_instructions, 100);
+        assert_eq!(s.lane_instructions, 3200);
+        assert_eq!(s.avg_active_threads(), 32.0);
+    }
+
+    #[test]
+    fn divergent_halves_average_to_sixteen() {
+        // A 50/50 divergent branch: both sides issued, 16 lanes each.
+        let mut s = WarpStats::default();
+        s.issue(10, 16);
+        s.issue(10, 16);
+        assert_eq!(s.avg_active_threads(), 16.0);
+        assert_eq!(s.warp_instructions, 20);
+    }
+
+    #[test]
+    fn merged_branch_issues_half_the_instructions() {
+        // Warp merging: only one branch issued with all lanes active.
+        let mut diverged = WarpStats::default();
+        diverged.issue(10, 16);
+        diverged.issue(10, 16);
+        let mut merged = WarpStats::default();
+        merged.issue(10, 32);
+        assert_eq!(merged.warp_instructions * 2, diverged.warp_instructions);
+        assert!(merged.avg_active_threads() > diverged.avg_active_threads());
+    }
+
+    #[test]
+    fn zero_active_lanes_cost_nothing() {
+        let mut s = WarpStats::default();
+        s.issue(50, 0);
+        assert_eq!(s, WarpStats::default());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = WarpStats { warp_instructions: 10, lane_instructions: 200 };
+        a.merge(&WarpStats { warp_instructions: 30, lane_instructions: 600 });
+        assert_eq!(a.warp_instructions, 40);
+        let s = a.scaled(2.5);
+        assert_eq!(s.warp_instructions, 100);
+        assert_eq!(s.lane_instructions, 2000);
+    }
+
+    #[test]
+    fn zipf_branch_is_costlier_than_uniform() {
+        // The asymmetry is what makes warp divergence expensive here.
+        assert!(cost::ZIPF_PAIR > 3 * cost::UNIFORM_PAIR);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests on the cache and memory-system models — the counters
+//! every ablation table depends on must obey cache-theory invariants.
+
+use gpu_sim::{Cache, CacheConfig, GpuSpec, SmMem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counter conservation: accesses = hits + misses, for any trace.
+    #[test]
+    fn conservation_holds(addrs in prop::collection::vec(0u64..1_000_000, 1..400)) {
+        let mut c = Cache::new(CacheConfig::gpu(4096));
+        for &a in &addrs {
+            c.access_sector(a);
+        }
+        prop_assert_eq!(c.stats.accesses, addrs.len() as u64);
+        prop_assert_eq!(c.stats.hits + c.stats.misses, c.stats.accesses);
+    }
+
+    /// Inclusion-style monotonicity: a bigger cache never misses more on
+    /// the same trace (holds for LRU with fixed line size and the same
+    /// set-mapping growth — use power-of-two sizes).
+    #[test]
+    fn bigger_lru_cache_never_misses_more(
+        addrs in prop::collection::vec(0u64..100_000, 1..600),
+    ) {
+        let mut small = Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 128, sector_bytes: 32, ways: 16 });
+        let mut big = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 128, sector_bytes: 32, ways: 32 });
+        // Same set count (1 way-multiplied): fully associative within one
+        // set keeps LRU's stack property.
+        for &a in &addrs {
+            small.access_sector(a);
+            big.access_sector(a);
+        }
+        prop_assert!(big.stats.misses <= small.stats.misses,
+            "big {} vs small {}", big.stats.misses, small.stats.misses);
+    }
+
+    /// A repeated trace that fits entirely in the cache hits on every
+    /// access after the first pass.
+    #[test]
+    fn resident_working_set_hits(lines in 1u64..16, rounds in 2usize..6) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 128, line_bytes: 128, sector_bytes: 32, ways: 16 });
+        let mut total_misses = 0;
+        for round in 0..rounds {
+            for l in 0..lines {
+                let miss = !c.access_sector(l * 128);
+                if round > 0 {
+                    prop_assert!(!miss, "round {round} line {l} missed");
+                }
+                total_misses += miss as u64;
+            }
+        }
+        prop_assert_eq!(total_misses, lines);
+    }
+
+    /// Warp coalescing: the sector count of a request never exceeds the
+    /// number of lane accesses times the sectors each spans, and
+    /// duplicate addresses never increase it.
+    #[test]
+    fn coalescer_bounds(lanes in prop::collection::vec(0u64..65_536, 1..32)) {
+        let spec = GpuSpec::a6000();
+        let mut a = SmMem::new(&spec, 1.0);
+        let accesses: Vec<(u64, u32)> = lanes.iter().map(|&l| (l, 4)).collect();
+        a.warp_request(&accesses);
+        let sectors = a.report().l1_sectors;
+        prop_assert!(sectors >= 1);
+        prop_assert!(sectors <= 2 * lanes.len() as u64, "sectors {} lanes {}", sectors, lanes.len());
+
+        // Doubling every lane (duplicates) must not change the coalesced
+        // sector count.
+        let mut b = SmMem::new(&spec, 1.0);
+        let doubled: Vec<(u64, u32)> = accesses.iter().chain(accesses.iter()).copied().collect();
+        b.warp_request(&doubled);
+        prop_assert_eq!(b.report().l1_sectors, sectors);
+    }
+
+    /// The memory pipeline is exclusive-by-construction in its counters:
+    /// DRAM sectors ≤ L2 sectors ≤ L1 sectors.
+    #[test]
+    fn hierarchy_counters_are_ordered(
+        reqs in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..8), 1..100),
+    ) {
+        let mut m = SmMem::new(&GpuSpec::a6000(), 0.001);
+        for lanes in &reqs {
+            let accesses: Vec<(u64, u32)> = lanes.iter().map(|&l| (l * 8, 8)).collect();
+            m.warp_request(&accesses);
+        }
+        let r = m.report();
+        prop_assert!(r.dram_sectors <= r.l2_sectors);
+        prop_assert!(r.l2_sectors <= r.l1_sectors);
+        prop_assert_eq!(r.l1_hits + r.l2_sectors, r.l1_sectors);
+        prop_assert_eq!(r.l2_hits + r.dram_sectors, r.l2_sectors);
+        prop_assert_eq!(r.warp_requests, reqs.len() as u64);
+    }
+}

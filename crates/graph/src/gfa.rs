@@ -1,0 +1,350 @@
+//! GFA v1 parsing and writing.
+//!
+//! The HPRC pangenome graphs the paper evaluates on are distributed as
+//! GFA v1 (`.gfa`) files and converted to ODGI's binary format by the
+//! artifact's preprocessing script. We support the subset of GFA v1 that
+//! variation graphs use:
+//!
+//! * `H` — header (ignored beyond syntax),
+//! * `S <name> <seq>` — segment; `*` sequences require an `LN:i:<len>` tag,
+//! * `L <from> <fo> <to> <to> <overlap>` — link (only `0M`/`*` overlaps),
+//! * `P <name> <h1{+,-},h2{+,-},…> <overlaps>` — path.
+//!
+//! Segment names may be arbitrary strings; they are mapped to dense node
+//! ids in first-appearance order and preserved for round-tripping.
+
+use crate::model::{GraphBuilder, Handle, VariationGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the GFA parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GfaError {
+    /// A line did not have enough tab-separated fields.
+    Truncated { line_no: usize, kind: char },
+    /// A field that must be non-empty (sequence, path steps) was empty,
+    /// or a segment declared zero length.
+    Empty { line_no: usize, what: &'static str },
+    /// A segment had `*` sequence but no `LN:i:` tag.
+    MissingLength { line_no: usize, name: String },
+    /// A link or path referenced an unknown segment.
+    UnknownSegment { line_no: usize, name: String },
+    /// An orientation character was not `+` or `-`.
+    BadOrientation { line_no: usize, token: String },
+    /// Unparseable numeric field.
+    BadNumber { line_no: usize, token: String },
+}
+
+impl fmt::Display for GfaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfaError::Truncated { line_no, kind } => {
+                write!(f, "line {line_no}: truncated {kind} record")
+            }
+            GfaError::Empty { line_no, what } => {
+                write!(f, "line {line_no}: empty {what}")
+            }
+            GfaError::MissingLength { line_no, name } => {
+                write!(f, "line {line_no}: segment {name} has '*' sequence and no LN tag")
+            }
+            GfaError::UnknownSegment { line_no, name } => {
+                write!(f, "line {line_no}: unknown segment {name}")
+            }
+            GfaError::BadOrientation { line_no, token } => {
+                write!(f, "line {line_no}: bad orientation {token:?}")
+            }
+            GfaError::BadNumber { line_no, token } => {
+                write!(f, "line {line_no}: bad number {token:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GfaError {}
+
+/// Parse a GFA v1 document into a variation graph.
+pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
+    let mut b = GraphBuilder::new();
+    let mut ids: HashMap<String, u32> = HashMap::new();
+
+    // Pass 1: segments (so links/paths can reference them in any order).
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        if !line.starts_with('S') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let _ = fields.next();
+        let name = fields
+            .next()
+            .ok_or(GfaError::Truncated { line_no, kind: 'S' })?;
+        let seq = fields
+            .next()
+            .ok_or(GfaError::Truncated { line_no, kind: 'S' })?;
+        if name.is_empty() {
+            return Err(GfaError::Empty { line_no, what: "segment name" });
+        }
+        let id = if seq == "*" {
+            let ln = fields
+                .find_map(|t| t.strip_prefix("LN:i:"))
+                .ok_or_else(|| GfaError::MissingLength {
+                    line_no,
+                    name: name.to_string(),
+                })?;
+            let len: u32 = ln.parse().map_err(|_| GfaError::BadNumber {
+                line_no,
+                token: ln.to_string(),
+            })?;
+            if len == 0 {
+                return Err(GfaError::Empty { line_no, what: "segment length" });
+            }
+            b.add_node_len(len)
+        } else {
+            if seq.is_empty() {
+                return Err(GfaError::Empty { line_no, what: "segment sequence" });
+            }
+            b.add_node_seq(seq.as_bytes())
+        };
+        b.set_node_name(id, name);
+        ids.insert(name.to_string(), id);
+    }
+
+    let lookup = |ids: &HashMap<String, u32>, name: &str, line_no: usize| {
+        ids.get(name).copied().ok_or_else(|| GfaError::UnknownSegment {
+            line_no,
+            name: name.to_string(),
+        })
+    };
+    let orient = |tok: &str, line_no: usize| match tok {
+        "+" => Ok(false),
+        "-" => Ok(true),
+        _ => Err(GfaError::BadOrientation {
+            line_no,
+            token: tok.to_string(),
+        }),
+    };
+
+    // Pass 2: links and paths.
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        match line.chars().next() {
+            Some('L') => {
+                let f: Vec<&str> = line.split('\t').collect();
+                if f.len() < 5 {
+                    return Err(GfaError::Truncated { line_no, kind: 'L' });
+                }
+                let from = lookup(&ids, f[1], line_no)?;
+                let fo = orient(f[2], line_no)?;
+                let to = lookup(&ids, f[3], line_no)?;
+                let to_o = orient(f[4], line_no)?;
+                b.add_edge(Handle::new(from, fo), Handle::new(to, to_o));
+            }
+            Some('P') => {
+                let f: Vec<&str> = line.split('\t').collect();
+                if f.len() < 3 {
+                    return Err(GfaError::Truncated { line_no, kind: 'P' });
+                }
+                let mut steps = Vec::new();
+                for tok in f[2].split(',') {
+                    if tok.is_empty() {
+                        continue;
+                    }
+                    let (name, o) = tok.split_at(tok.len() - 1);
+                    if name.is_empty() {
+                        return Err(GfaError::Empty { line_no, what: "step name" });
+                    }
+                    let rev = orient(o, line_no)?;
+                    let id = lookup(&ids, name, line_no)?;
+                    steps.push(Handle::new(id, rev));
+                }
+                if steps.is_empty() {
+                    return Err(GfaError::Empty { line_no, what: "path steps" });
+                }
+                b.add_path(f[1], steps);
+            }
+            _ => {}
+        }
+    }
+    Ok(b.build())
+}
+
+/// Serialize a variation graph as GFA v1. Segments without stored bases are
+/// written as `*` with an `LN:i:` tag.
+pub fn write_gfa(g: &VariationGraph) -> String {
+    let mut out = String::new();
+    out.push_str("H\tVN:Z:1.0\n");
+    for id in 0..g.node_count() as u32 {
+        match g.node_seq(id) {
+            Some(seq) => {
+                out.push_str(&format!(
+                    "S\t{}\t{}\n",
+                    g.node_name(id),
+                    std::str::from_utf8(seq).expect("sequences are ASCII")
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "S\t{}\t*\tLN:i:{}\n",
+                    g.node_name(id),
+                    g.node_len(id)
+                ));
+            }
+        }
+    }
+    for &(a, c) in g.edges() {
+        out.push_str(&format!(
+            "L\t{}\t{}\t{}\t{}\t0M\n",
+            g.node_name(a.id()),
+            if a.is_reverse() { '-' } else { '+' },
+            g.node_name(c.id()),
+            if c.is_reverse() { '-' } else { '+' },
+        ));
+    }
+    for p in g.paths() {
+        let steps: Vec<String> = p
+            .steps
+            .iter()
+            .map(|h| {
+                format!(
+                    "{}{}",
+                    g.node_name(h.id()),
+                    if h.is_reverse() { '-' } else { '+' }
+                )
+            })
+            .collect();
+        out.push_str(&format!("P\t{}\t{}\t*\n", p.name, steps.join(",")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_graph;
+
+    const TOY: &str = "H\tVN:Z:1.0\n\
+S\t1\tAA\n\
+S\t2\tT\n\
+S\t3\tGC\n\
+L\t1\t+\t2\t+\t0M\n\
+L\t2\t+\t3\t+\t0M\n\
+L\t1\t+\t3\t+\t0M\n\
+P\tref\t1+,2+,3+\t*\n\
+P\talt\t1+,3+\t*\n";
+
+    #[test]
+    fn parse_toy_document() {
+        let g = parse_gfa(TOY).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.path_count(), 2);
+        assert_eq!(g.node_seq(0).unwrap(), b"AA");
+        assert_eq!(g.path(0).name, "ref");
+        assert_eq!(g.path(0).steps.len(), 3);
+        assert_eq!(g.path(1).steps.len(), 2);
+    }
+
+    #[test]
+    fn parse_star_sequence_with_ln_tag() {
+        let doc = "S\tn1\t*\tLN:i:123\nP\tp\tn1+\t*\n";
+        let g = parse_gfa(doc).unwrap();
+        assert_eq!(g.node_len(0), 123);
+        assert!(g.node_seq(0).is_none());
+    }
+
+    #[test]
+    fn parse_reverse_orientations() {
+        let doc = "S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t-\t0M\nP\tp\ta+,b-\t*\n";
+        let g = parse_gfa(doc).unwrap();
+        assert!(g.path(0).steps[1].is_reverse());
+        assert!(g.has_edge(Handle::forward(0), Handle::reverse(1)));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = fig1_graph();
+        let text = write_gfa(&g);
+        let g2 = parse_gfa(&text).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.path_count(), g.path_count());
+        for id in 0..g.node_count() as u32 {
+            assert_eq!(g2.node_len(id), g.node_len(id));
+            assert_eq!(g2.node_seq(id), g.node_seq(id));
+        }
+        for (p, q) in g.paths().iter().zip(g2.paths()) {
+            assert_eq!(p.name, q.name);
+            assert_eq!(p.steps, q.steps);
+        }
+        // And writing again is a fixed point.
+        assert_eq!(write_gfa(&g2), text);
+    }
+
+    #[test]
+    fn error_on_missing_length() {
+        let doc = "S\tn1\t*\n";
+        match parse_gfa(doc) {
+            Err(GfaError::MissingLength { line_no: 1, .. }) => {}
+            other => panic!("expected MissingLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_segment_in_link() {
+        let doc = "S\ta\tA\nL\ta\t+\tzzz\t+\t0M\n";
+        match parse_gfa(doc) {
+            Err(GfaError::UnknownSegment { name, .. }) => assert_eq!(name, "zzz"),
+            other => panic!("expected UnknownSegment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_bad_orientation() {
+        let doc = "S\ta\tA\nS\tb\tC\nL\ta\t?\tb\t+\t0M\n";
+        assert!(matches!(
+            parse_gfa(doc),
+            Err(GfaError::BadOrientation { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_truncated_record() {
+        assert!(matches!(
+            parse_gfa("S\tonly-name\n"),
+            Err(GfaError::Truncated { kind: 'S', .. })
+        ));
+        assert!(matches!(
+            parse_gfa("S\ta\tA\nL\ta\t+\n"),
+            Err(GfaError::Truncated { kind: 'L', .. })
+        ));
+        assert!(matches!(
+            parse_gfa("P\tname\n"),
+            Err(GfaError::Truncated { kind: 'P', .. })
+        ));
+    }
+
+    #[test]
+    fn segments_referenced_before_definition() {
+        // Links may appear before the segments they reference.
+        let doc = "L\ta\t+\tb\t+\t0M\nS\ta\tA\nS\tb\tC\nP\tp\ta+,b+\t*\n";
+        let g = parse_gfa(doc).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn non_numeric_segment_names_round_trip() {
+        let doc = "S\tchr1_node\tACGT\nP\tp\tchr1_node+\t*\n";
+        let g = parse_gfa(doc).unwrap();
+        assert_eq!(g.node_name(0), "chr1_node");
+        let again = parse_gfa(&write_gfa(&g)).unwrap();
+        assert_eq!(again.node_name(0), "chr1_node");
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = GfaError::UnknownSegment { line_no: 3, name: "x".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GfaError::BadNumber { line_no: 9, token: "q".into() };
+        assert!(e.to_string().contains("bad number"));
+    }
+}

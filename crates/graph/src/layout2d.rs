@@ -1,0 +1,151 @@
+//! The 2D layout container: two endpoint coordinates per node.
+//!
+//! Alg. 1's output is "a 2D layout `L` consisting of line segments";
+//! `L[n]` yields the two endpoints of node `n`'s segment. This module is
+//! the plain (non-atomic) container shared by the metric, rendering and
+//! I/O crates; the layout engines build it from their internal atomic or
+//! batched coordinate stores.
+
+/// A finished 2D layout: endpoint `e ∈ {0 = start, 1 = end}` of node `n`
+/// lives at flat index `2n + e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout2D {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Layout2D {
+    /// An all-zero layout for `n_nodes` nodes.
+    pub fn zeros(n_nodes: usize) -> Self {
+        Self {
+            xs: vec![0.0; 2 * n_nodes],
+            ys: vec![0.0; 2 * n_nodes],
+        }
+    }
+
+    /// Build from flat coordinate vectors (length `2 × n_nodes` each).
+    pub fn from_flat(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "coordinate vectors must match");
+        assert!(xs.len() % 2 == 0, "need two endpoints per node");
+        Self { xs, ys }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.xs.len() / 2
+    }
+
+    /// Coordinates of one endpoint (`end = false` start, `true` end).
+    #[inline]
+    pub fn get(&self, node: u32, end: bool) -> (f64, f64) {
+        let i = 2 * node as usize + end as usize;
+        (self.xs[i], self.ys[i])
+    }
+
+    /// Set one endpoint.
+    #[inline]
+    pub fn set(&mut self, node: u32, end: bool, x: f64, y: f64) {
+        let i = 2 * node as usize + end as usize;
+        self.xs[i] = x;
+        self.ys[i] = y;
+    }
+
+    /// Flat x coordinates (2 per node, start then end).
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Flat y coordinates.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Euclidean distance between two endpoints.
+    #[inline]
+    pub fn dist(&self, node_i: u32, end_i: bool, node_j: u32, end_j: bool) -> f64 {
+        let (xi, yi) = self.get(node_i, end_i);
+        let (xj, yj) = self.get(node_j, end_j);
+        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+    }
+
+    /// True when every coordinate is finite (layout did not diverge).
+    pub fn all_finite(&self) -> bool {
+        self.xs.iter().chain(self.ys.iter()).all(|v| v.is_finite())
+    }
+
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let fold = |v: &[f64]| {
+            v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            })
+        };
+        let (min_x, max_x) = fold(&self.xs);
+        let (min_y, max_y) = fold(&self.ys);
+        (min_x, min_y, max_x, max_y)
+    }
+
+    /// Uniformly scale all coordinates (used in metric identity tests).
+    pub fn scale(&mut self, s: f64) {
+        for v in self.xs.iter_mut().chain(self.ys.iter_mut()) {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut l = Layout2D::zeros(3);
+        l.set(1, false, 2.0, 3.0);
+        l.set(1, true, 5.0, 7.0);
+        assert_eq!(l.get(1, false), (2.0, 3.0));
+        assert_eq!(l.get(1, true), (5.0, 7.0));
+        assert_eq!(l.get(0, false), (0.0, 0.0));
+        assert_eq!(l.node_count(), 3);
+    }
+
+    #[test]
+    fn dist_is_euclidean() {
+        let mut l = Layout2D::zeros(2);
+        l.set(0, false, 0.0, 0.0);
+        l.set(1, false, 3.0, 4.0);
+        assert!((l.dist(0, false, 1, false) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_scale() {
+        let mut l = Layout2D::zeros(2);
+        l.set(0, false, -1.0, 2.0);
+        l.set(1, true, 3.0, -4.0);
+        assert_eq!(l.bounds(), (-1.0, -4.0, 3.0, 2.0));
+        l.scale(2.0);
+        assert_eq!(l.bounds(), (-2.0, -8.0, 6.0, 4.0));
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut l = Layout2D::zeros(1);
+        assert!(l.all_finite());
+        l.set(0, true, f64::NAN, 0.0);
+        assert!(!l.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn from_flat_rejects_mismatched_lengths() {
+        let _ = Layout2D::from_flat(vec![0.0; 4], vec![0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two endpoints")]
+    fn from_flat_rejects_odd_length() {
+        let _ = Layout2D::from_flat(vec![0.0; 3], vec![0.0; 3]);
+    }
+}

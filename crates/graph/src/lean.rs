@@ -1,0 +1,249 @@
+//! The paper's *lean data structure* (Sec. V-A).
+//!
+//! ODGI's general-purpose graph structure carries many fields the layout
+//! never reads (sequence bases, name strings, dynamic adjacency). The
+//! paper's CUDA port therefore repacks the graph into flat arrays holding
+//! only what Alg. 1 touches:
+//!
+//! * per **node**: the sequence *length* (not the bases) — plus, in the
+//!   coordinate store, the four endpoint coordinates;
+//! * per **path step**: node id, position (nucleotide offset within the
+//!   path) and orientation, flattened across paths with an offset table.
+//!
+//! Both the Hogwild CPU engine and the GPU-simulator kernels operate on
+//! this structure, which also defines the index spaces used by the
+//! simulator's address map (crate `gpu-sim`).
+
+use crate::model::{PathId, VariationGraph};
+use crate::pathindex::PathIndex;
+
+/// Flattened, immutable layout-time view of a variation graph.
+#[derive(Debug, Clone)]
+pub struct LeanGraph {
+    /// Node sequence lengths, indexed by node id.
+    pub node_len: Vec<u32>,
+    /// `step_offset[p] .. step_offset[p+1]` delimits path `p`'s steps.
+    pub step_offset: Vec<u32>,
+    /// Node id of each step (flattened).
+    pub step_node: Vec<u32>,
+    /// Orientation bit of each step (true = reverse strand).
+    pub step_rev: Vec<bool>,
+    /// Nucleotide offset of each step's start within its path.
+    pub step_pos: Vec<u64>,
+    /// Total nucleotide length per path.
+    pub path_nuc_len: Vec<u64>,
+}
+
+impl LeanGraph {
+    /// Flatten a variation graph (builds a transient [`PathIndex`]).
+    pub fn from_graph(g: &VariationGraph) -> Self {
+        let idx = PathIndex::build(g);
+        Self::from_graph_and_index(g, &idx)
+    }
+
+    /// Flatten using an existing index (avoids rebuilding prefix sums).
+    pub fn from_graph_and_index(g: &VariationGraph, idx: &PathIndex) -> Self {
+        let total = idx.total_steps();
+        let mut step_node = Vec::with_capacity(total);
+        let mut step_rev = Vec::with_capacity(total);
+        for &h in idx.raw_step_handle() {
+            step_node.push(h.id());
+            step_rev.push(h.is_reverse());
+        }
+        LeanGraph {
+            node_len: g.node_lens().to_vec(),
+            step_offset: idx.raw_step_offset().iter().map(|&o| o as u32).collect(),
+            step_node,
+            step_rev,
+            step_pos: idx.raw_step_pos().to_vec(),
+            path_nuc_len: (0..idx.path_count() as PathId)
+                .map(|p| idx.path_nuc_len(p))
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_len.len()
+    }
+
+    /// Number of paths.
+    #[inline]
+    pub fn path_count(&self) -> usize {
+        self.path_nuc_len.len()
+    }
+
+    /// Total steps across all paths.
+    #[inline]
+    pub fn total_steps(&self) -> usize {
+        *self.step_offset.last().unwrap() as usize
+    }
+
+    /// Steps in path `p`.
+    #[inline]
+    pub fn steps_in(&self, p: u32) -> usize {
+        (self.step_offset[p as usize + 1] - self.step_offset[p as usize]) as usize
+    }
+
+    /// Flat step index of step `i` of path `p`.
+    #[inline]
+    pub fn flat_step(&self, p: u32, i: usize) -> usize {
+        self.step_offset[p as usize] as usize + i
+    }
+
+    /// Node id at a flat step index.
+    #[inline]
+    pub fn node_of_flat(&self, s: usize) -> u32 {
+        self.step_node[s]
+    }
+
+    /// Nucleotide position of a flat step's start.
+    #[inline]
+    pub fn pos_of_flat(&self, s: usize) -> u64 {
+        self.step_pos[s]
+    }
+
+    /// Nucleotide position of a flat step's chosen endpoint
+    /// (`use_end = true` adds the node length).
+    #[inline]
+    pub fn endpoint_pos_of_flat(&self, s: usize, use_end: bool) -> u64 {
+        let base = self.step_pos[s];
+        if use_end {
+            base + self.node_len[self.step_node[s] as usize] as u64
+        } else {
+            base
+        }
+    }
+
+    /// Reference distance between two flat steps' chosen endpoints.
+    #[inline]
+    pub fn d_ref_endpoints(&self, s_i: usize, end_i: bool, s_j: usize, end_j: bool) -> f64 {
+        let a = self.endpoint_pos_of_flat(s_i, end_i);
+        let b = self.endpoint_pos_of_flat(s_j, end_j);
+        a.abs_diff(b) as f64
+    }
+
+    /// Path weights for Alg. 1 line 5's length-proportional path selection.
+    pub fn path_weights(&self) -> Vec<f64> {
+        (0..self.path_count())
+            .map(|p| self.steps_in(p as u32) as f64)
+            .collect()
+    }
+
+    /// Longest path, in steps (the Zipf sampler's maximum space).
+    pub fn max_path_steps(&self) -> usize {
+        (0..self.path_count()).map(|p| self.steps_in(p as u32)).max().unwrap_or(0)
+    }
+
+    /// Longest path, in nucleotides (sets `η_max = d_max²`).
+    pub fn max_path_nuc_len(&self) -> u64 {
+        self.path_nuc_len.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of path nucleotide lengths (the x-axis of paper Fig. 15).
+    pub fn total_path_nuc_len(&self) -> u64 {
+        self.path_nuc_len.iter().sum()
+    }
+
+    /// Memory footprint of the lean structure in bytes (reported by the
+    /// GPU simulator's address map).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.node_len.len() * 4
+            + self.step_offset.len() * 4
+            + self.step_node.len() * 4
+            + self.step_rev.len()
+            + self.step_pos.len() * 8
+            + self.path_nuc_len.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_graph;
+
+    #[test]
+    fn flattening_preserves_counts() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        assert_eq!(lean.node_count(), g.node_count());
+        assert_eq!(lean.path_count(), g.path_count());
+        assert_eq!(lean.total_steps(), g.total_path_steps() as usize);
+        assert_eq!(lean.steps_in(0), 6);
+        assert_eq!(lean.steps_in(1), 5);
+        assert_eq!(lean.steps_in(2), 7);
+    }
+
+    #[test]
+    fn flat_indexing_matches_path_index() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        let lean = LeanGraph::from_graph_and_index(&g, &idx);
+        for p in 0..g.path_count() as u32 {
+            for i in 0..lean.steps_in(p) {
+                let s = lean.flat_step(p, i);
+                assert_eq!(lean.node_of_flat(s), idx.handle_at(p, i).id());
+                assert_eq!(lean.pos_of_flat(s), idx.pos_at(p, i));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_positions_and_d_ref() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        // path0 step 1 is v2 (len 7) at pos 2.
+        let s = lean.flat_step(0, 1);
+        assert_eq!(lean.endpoint_pos_of_flat(s, false), 2);
+        assert_eq!(lean.endpoint_pos_of_flat(s, true), 9);
+        // distance between start of step 1 (pos 2) and end of step 3
+        // (v5, len 2, pos 10 → 12) is 10.
+        let t = lean.flat_step(0, 3);
+        assert_eq!(lean.d_ref_endpoints(s, false, t, true), 10.0);
+        // symmetric
+        assert_eq!(lean.d_ref_endpoints(t, true, s, false), 10.0);
+    }
+
+    #[test]
+    fn path_weights_are_step_counts() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        assert_eq!(lean.path_weights(), vec![6.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn maxima_and_totals() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        assert_eq!(lean.max_path_steps(), 7);
+        assert_eq!(lean.max_path_nuc_len(), 16);
+        assert_eq!(lean.total_path_nuc_len(), 15 + 13 + 16);
+    }
+
+    #[test]
+    fn footprint_counts_every_array() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let expect = (8 * 4) // node_len
+            + (4 * 4)        // step_offset (P+1)
+            + (18 * 4)       // step_node
+            + 18             // step_rev
+            + (18 * 8)       // step_pos
+            + (3 * 8); // path_nuc_len
+        assert_eq!(lean.footprint_bytes(), expect as u64);
+    }
+
+    #[test]
+    fn orientation_bits_survive_flattening() {
+        use crate::model::{GraphBuilder, Handle};
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_len(2);
+        let c = b.add_node_len(3);
+        b.add_path("p", vec![Handle::forward(a), Handle::reverse(c)]);
+        b.ensure_path_edges();
+        let lean = LeanGraph::from_graph(&b.build());
+        assert!(!lean.step_rev[0]);
+        assert!(lean.step_rev[1]);
+    }
+}

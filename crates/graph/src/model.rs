@@ -1,0 +1,603 @@
+//! The variation graph model `G = (P, V, E)` (paper Sec. II-A, Fig. 1a).
+//!
+//! * Each **node** carries a nucleotide sequence (we always store its
+//!   length; the bases themselves are optional, because — as the paper's
+//!   lean data structure observes — the layout algorithm never reads them).
+//! * Each **edge** connects an ordered pair of oriented node *handles*.
+//! * Each **path** is a walk over handles embedding one input genome;
+//!   paths, not edges, drive the layout algorithm.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Node identifier (dense, 0-based).
+pub type NodeId = u32;
+
+/// Path identifier (dense, 0-based).
+pub type PathId = u32;
+
+/// An oriented reference to a node: node id plus strand.
+///
+/// Packed into a single `u32` (`id << 1 | is_reverse`), the representation
+/// used across the flat layout structures. Supports graphs of up to 2³¹
+/// nodes — comfortably beyond the largest HPRC chromosome (1.1 × 10⁷).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Handle(u32);
+
+impl Handle {
+    /// Forward-strand handle for `id`.
+    #[inline]
+    pub fn forward(id: NodeId) -> Self {
+        debug_assert!(id < (1 << 31));
+        Handle(id << 1)
+    }
+
+    /// Reverse-strand handle for `id`.
+    #[inline]
+    pub fn reverse(id: NodeId) -> Self {
+        debug_assert!(id < (1 << 31));
+        Handle((id << 1) | 1)
+    }
+
+    /// Construct with an explicit orientation flag.
+    #[inline]
+    pub fn new(id: NodeId, is_reverse: bool) -> Self {
+        if is_reverse {
+            Self::reverse(id)
+        } else {
+            Self::forward(id)
+        }
+    }
+
+    /// The node this handle refers to.
+    #[inline]
+    pub fn id(self) -> NodeId {
+        self.0 >> 1
+    }
+
+    /// True when the handle is on the reverse strand.
+    #[inline]
+    pub fn is_reverse(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same node on the opposite strand.
+    #[inline]
+    pub fn flip(self) -> Self {
+        Handle(self.0 ^ 1)
+    }
+
+    /// Raw packed value (used by the lean structures).
+    #[inline]
+    pub fn packed(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from a packed value.
+    #[inline]
+    pub fn from_packed(v: u32) -> Self {
+        Handle(v)
+    }
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.id(), if self.is_reverse() { '-' } else { '+' })
+    }
+}
+
+/// A path: a named walk over handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Path name (e.g. a haplotype identifier such as `HG002#1#chr1`).
+    pub name: String,
+    /// The ordered steps of the walk.
+    pub steps: Vec<Handle>,
+}
+
+impl Path {
+    /// Number of steps (the `|p|` of Alg. 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the path has no steps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The variation graph.
+///
+/// Construct via [`GraphBuilder`]; the built graph is immutable, matching
+/// how the layout pipeline consumes ODGI graphs.
+#[derive(Debug, Clone)]
+pub struct VariationGraph {
+    node_lens: Vec<u32>,
+    /// Concatenated node sequences + offsets, when bases were provided.
+    seq_data: Option<(Vec<u8>, Vec<usize>)>,
+    /// Segment names (GFA identifiers); defaults to 1-based decimal ids.
+    node_names: Vec<String>,
+    /// Deduplicated, sorted edge list over handles.
+    edges: Vec<(Handle, Handle)>,
+    paths: Vec<Path>,
+}
+
+impl VariationGraph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_lens.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of paths `|P|`.
+    #[inline]
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Sequence length of a node, in nucleotides.
+    #[inline]
+    pub fn node_len(&self, id: NodeId) -> u32 {
+        self.node_lens[id as usize]
+    }
+
+    /// All node lengths, indexed by node id.
+    #[inline]
+    pub fn node_lens(&self) -> &[u32] {
+        &self.node_lens
+    }
+
+    /// The nucleotide sequence of a node, when stored.
+    pub fn node_seq(&self, id: NodeId) -> Option<&[u8]> {
+        self.seq_data.as_ref().map(|(data, offsets)| {
+            let i = id as usize;
+            &data[offsets[i]..offsets[i + 1]]
+        })
+    }
+
+    /// The GFA segment name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id as usize]
+    }
+
+    /// Total nucleotides across all nodes (paper's "# Nuc.").
+    pub fn total_seq_len(&self) -> u64 {
+        self.node_lens.iter().map(|&l| l as u64).sum()
+    }
+
+    /// The sorted, deduplicated edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(Handle, Handle)] {
+        &self.edges
+    }
+
+    /// True when the (oriented) edge or its reverse-complement twin exists.
+    pub fn has_edge(&self, from: Handle, to: Handle) -> bool {
+        let canon = canonical_edge(from, to);
+        self.edges.binary_search(&canon).is_ok()
+    }
+
+    /// All paths.
+    #[inline]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// One path by id.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id as usize]
+    }
+
+    /// Sum of `|p|` over all paths — the quantity `Σ|p|` that sets
+    /// `N_steps = 10 × Σ|p|` in Alg. 1 line 1.
+    pub fn total_path_steps(&self) -> u64 {
+        self.paths.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Average node degree `|E| / |V|` (the paper reports ≈1.4 for HPRC
+    /// graphs).
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Graph density `|E| / (|V|·(|V|−1))` (the paper reports ≈3.5×10⁻⁷).
+    pub fn density(&self) -> f64 {
+        let v = self.node_count() as f64;
+        if v < 2.0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / (v * (v - 1.0))
+        }
+    }
+}
+
+/// Normalize an edge so that `(a,b)` and the reverse-complement traversal
+/// `(b̄,ā)` map to one canonical key — they describe the same adjacency.
+#[inline]
+fn canonical_edge(from: Handle, to: Handle) -> (Handle, Handle) {
+    let twin = (to.flip(), from.flip());
+    let fwd = (from, to);
+    if twin < fwd {
+        twin
+    } else {
+        fwd
+    }
+}
+
+/// Incremental builder for [`VariationGraph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    node_lens: Vec<u32>,
+    node_names: Vec<String>,
+    seq_bytes: Vec<u8>,
+    seq_offsets: Vec<usize>,
+    any_seq: bool,
+    edges: BTreeSet<(Handle, Handle)>,
+    paths: Vec<Path>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self {
+            seq_offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Add a node with explicit sequence bases; returns its id.
+    pub fn add_node_seq(&mut self, seq: &[u8]) -> NodeId {
+        assert!(!seq.is_empty(), "node sequence must be non-empty");
+        let id = self.node_lens.len() as NodeId;
+        self.node_lens.push(seq.len() as u32);
+        self.node_names.push((id as u64 + 1).to_string());
+        self.seq_bytes.extend_from_slice(seq);
+        self.seq_offsets.push(self.seq_bytes.len());
+        self.any_seq = true;
+        id
+    }
+
+    /// Add a node of known length without bases (lean construction).
+    pub fn add_node_len(&mut self, len: u32) -> NodeId {
+        assert!(len > 0, "node length must be positive");
+        let id = self.node_lens.len() as NodeId;
+        self.node_lens.push(len);
+        self.node_names.push((id as u64 + 1).to_string());
+        self.seq_offsets.push(self.seq_bytes.len());
+        id
+    }
+
+    /// Override the GFA segment name of an existing node.
+    pub fn set_node_name(&mut self, id: NodeId, name: impl Into<String>) {
+        self.node_names[id as usize] = name.into();
+    }
+
+    /// Add an edge between two handles (idempotent; stores the canonical
+    /// orientation).
+    pub fn add_edge(&mut self, from: Handle, to: Handle) {
+        self.edges.insert(canonical_edge(from, to));
+    }
+
+    /// Add a path; returns its id. Steps must reference existing nodes at
+    /// build time.
+    pub fn add_path(&mut self, name: impl Into<String>, steps: Vec<Handle>) -> PathId {
+        let id = self.paths.len() as PathId;
+        self.paths.push(Path { name: name.into(), steps });
+        id
+    }
+
+    /// Insert the edges implied by consecutive path steps (ODGI graphs
+    /// always contain these; generated graphs call this once).
+    pub fn ensure_path_edges(&mut self) {
+        let pairs: Vec<(Handle, Handle)> = self
+            .paths
+            .iter()
+            .flat_map(|p| p.steps.windows(2).map(|w| (w[0], w[1])))
+            .collect();
+        for (a, b) in pairs {
+            self.add_edge(a, b);
+        }
+    }
+
+    /// Validate and freeze into a [`VariationGraph`].
+    ///
+    /// # Panics
+    /// If any edge or path step references a nonexistent node, or a path is
+    /// empty.
+    pub fn build(self) -> VariationGraph {
+        let n = self.node_lens.len() as u32;
+        for &(a, b) in &self.edges {
+            assert!(a.id() < n && b.id() < n, "edge references missing node");
+        }
+        for p in &self.paths {
+            assert!(!p.steps.is_empty(), "path {:?} has no steps", p.name);
+            for &h in &p.steps {
+                assert!(h.id() < n, "path {:?} references missing node", p.name);
+            }
+        }
+        VariationGraph {
+            node_lens: self.node_lens,
+            seq_data: if self.any_seq {
+                Some((self.seq_bytes, self.seq_offsets))
+            } else {
+                None
+            },
+            node_names: self.node_names,
+            edges: self.edges.into_iter().collect(),
+            paths: self.paths,
+        }
+    }
+}
+
+impl VariationGraph {
+    /// Rebuild the graph with renumbered nodes: `new_id_of[old] = new`.
+    /// Node order determines the x-axis of the linear layout
+    /// initialization, so pipelines sort graphs (odgi's 1D path-SGD sort,
+    /// `layout-core::sort1d` here) before laying them out.
+    ///
+    /// # Panics
+    /// If `new_id_of` is not a permutation of `0..node_count`.
+    pub fn permute_nodes(&self, new_id_of: &[NodeId]) -> VariationGraph {
+        let n = self.node_count();
+        assert_eq!(new_id_of.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &v in new_id_of {
+            assert!((v as usize) < n && !seen[v as usize], "not a permutation");
+            seen[v as usize] = true;
+        }
+        // old_of[new] = old
+        let mut old_of = vec![0 as NodeId; n];
+        for (old, &new) in new_id_of.iter().enumerate() {
+            old_of[new as usize] = old as NodeId;
+        }
+        let mut b = GraphBuilder::new();
+        for &old in &old_of {
+            let id = match self.node_seq(old) {
+                Some(seq) => b.add_node_seq(seq),
+                None => b.add_node_len(self.node_len(old)),
+            };
+            b.set_node_name(id, self.node_name(old));
+        }
+        let remap = |h: Handle| Handle::new(new_id_of[h.id() as usize], h.is_reverse());
+        for &(a, c) in self.edges() {
+            b.add_edge(remap(a), remap(c));
+        }
+        for p in self.paths() {
+            b.add_path(p.name.clone(), p.steps.iter().map(|&h| remap(h)).collect());
+        }
+        b.build()
+    }
+}
+
+/// Build the toy variation graph of paper Fig. 1a: eight nodes
+/// (`AA T GC… TA C G CA AA C`-style), three paths sharing the backbone and
+/// diverging at an insertion, an SNV, and a deletion.
+///
+/// Used throughout the test suites and the quickstart example.
+pub fn fig1_graph() -> VariationGraph {
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_node_seq(b"AA");
+    let v1 = b.add_node_seq(b"T");
+    let v2 = b.add_node_seq(b"GCAGTCA"); // "GC…" backbone segment
+    let v3 = b.add_node_seq(b"C");
+    let v4 = b.add_node_seq(b"G");
+    let v5 = b.add_node_seq(b"CA");
+    let v6 = b.add_node_seq(b"AA");
+    let v7 = b.add_node_seq(b"C");
+    let f = Handle::forward;
+    // path0 = v0 v2 v4 v5 v6 v7 ; path1 = v0 v2 v4 v5 v7 (deletion of v6)
+    // path2 = v0 v1 v2 v3 v5 v6 v7 (T insertion, C/G SNV)
+    b.add_path("path0", vec![f(v0), f(v2), f(v4), f(v5), f(v6), f(v7)]);
+    b.add_path("path1", vec![f(v0), f(v2), f(v4), f(v5), f(v7)]);
+    b.add_path(
+        "path2",
+        vec![f(v0), f(v1), f(v2), f(v3), f(v5), f(v6), f(v7)],
+    );
+    b.ensure_path_edges();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_packing_round_trips() {
+        for id in [0u32, 1, 5, 1 << 20, (1 << 31) - 1] {
+            for rev in [false, true] {
+                let h = Handle::new(id, rev);
+                assert_eq!(h.id(), id);
+                assert_eq!(h.is_reverse(), rev);
+                assert_eq!(Handle::from_packed(h.packed()), h);
+            }
+        }
+    }
+
+    #[test]
+    fn handle_flip_is_involution() {
+        let h = Handle::forward(42);
+        assert_eq!(h.flip().flip(), h);
+        assert!(h.flip().is_reverse());
+        assert_eq!(h.flip().id(), 42);
+    }
+
+    #[test]
+    fn handle_display_matches_gfa_orientation() {
+        assert_eq!(Handle::forward(0).to_string(), "0+");
+        assert_eq!(Handle::reverse(3).to_string(), "3-");
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.add_node_seq(b"A"), 0);
+        assert_eq!(b.add_node_len(5), 1);
+        assert_eq!(b.add_node_seq(b"GG"), 2);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.node_len(0), 1);
+        assert_eq!(g.node_len(1), 5);
+        assert_eq!(g.node_len(2), 2);
+    }
+
+    #[test]
+    fn sequences_are_recoverable_when_provided() {
+        let mut b = GraphBuilder::new();
+        b.add_node_seq(b"ACGT");
+        b.add_node_seq(b"TT");
+        let g = b.build();
+        assert_eq!(g.node_seq(0).unwrap(), b"ACGT");
+        assert_eq!(g.node_seq(1).unwrap(), b"TT");
+        assert_eq!(g.total_seq_len(), 6);
+    }
+
+    #[test]
+    fn len_only_graph_has_no_sequences() {
+        let mut b = GraphBuilder::new();
+        b.add_node_len(10);
+        let g = b.build();
+        assert!(g.node_seq(0).is_none());
+        assert_eq!(g.total_seq_len(), 10);
+    }
+
+    #[test]
+    fn edges_deduplicate_including_reverse_twins() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_len(1);
+        let c = b.add_node_len(1);
+        b.add_edge(Handle::forward(a), Handle::forward(c));
+        b.add_edge(Handle::forward(a), Handle::forward(c)); // duplicate
+        // reverse-complement twin of the same adjacency:
+        b.add_edge(Handle::reverse(c), Handle::reverse(a));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(Handle::forward(a), Handle::forward(c)));
+        assert!(g.has_edge(Handle::reverse(c), Handle::reverse(a)));
+        assert!(!g.has_edge(Handle::forward(c), Handle::forward(a)));
+    }
+
+    #[test]
+    fn fig1_graph_matches_paper() {
+        let g = fig1_graph();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.path_count(), 3);
+        // path2 embodies AA T GCAGTCA C CA AA C
+        let p2 = g.path(2);
+        assert_eq!(p2.len(), 7);
+        let seq: Vec<u8> = p2
+            .steps
+            .iter()
+            .flat_map(|h| g.node_seq(h.id()).unwrap().to_vec())
+            .collect();
+        assert_eq!(seq, b"AATGCAGTCACCAAAC");
+        // consecutive steps all have edges
+        for p in g.paths() {
+            for w in p.steps.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+        // the deletion path skips v6: no step references it
+        assert!(g.path(1).steps.iter().all(|h| h.id() != 6));
+    }
+
+    #[test]
+    fn degree_and_density_formulas() {
+        let g = fig1_graph();
+        let deg = g.avg_degree();
+        assert!((deg - g.edge_count() as f64 / 8.0).abs() < 1e-12);
+        let dens = g.density();
+        assert!((dens - g.edge_count() as f64 / (8.0 * 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_path_steps_sums_all_paths() {
+        let g = fig1_graph();
+        assert_eq!(g.total_path_steps(), 6 + 5 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing node")]
+    fn build_rejects_dangling_edge() {
+        let mut b = GraphBuilder::new();
+        b.add_node_len(1);
+        b.add_edge(Handle::forward(0), Handle::forward(9));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no steps")]
+    fn build_rejects_empty_path() {
+        let mut b = GraphBuilder::new();
+        b.add_node_len(1);
+        b.add_path("empty", vec![]);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn permute_nodes_round_trips_structure() {
+        let g = fig1_graph();
+        // Reverse the node numbering.
+        let n = g.node_count() as u32;
+        let perm: Vec<u32> = (0..n).map(|i| n - 1 - i).collect();
+        let p = g.permute_nodes(&perm);
+        assert_eq!(p.node_count(), g.node_count());
+        assert_eq!(p.edge_count(), g.edge_count());
+        assert_eq!(p.path_count(), g.path_count());
+        for old in 0..n {
+            let new = perm[old as usize];
+            assert_eq!(p.node_len(new), g.node_len(old));
+            assert_eq!(p.node_seq(new), g.node_seq(old));
+            assert_eq!(p.node_name(new), g.node_name(old));
+        }
+        // Path walks traverse the same biological sequence.
+        for (a, b) in g.paths().iter().zip(p.paths()) {
+            let seq_a: Vec<u8> =
+                a.steps.iter().flat_map(|h| g.node_seq(h.id()).unwrap().to_vec()).collect();
+            let seq_b: Vec<u8> =
+                b.steps.iter().flat_map(|h| p.node_seq(h.id()).unwrap().to_vec()).collect();
+            assert_eq!(seq_a, seq_b);
+        }
+        // Applying the inverse permutation restores identity numbering.
+        let mut inverse = vec![0u32; n as usize];
+        for (old, &new) in perm.iter().enumerate() {
+            inverse[new as usize] = old as u32;
+        }
+        let back = p.permute_nodes(&inverse);
+        for id in 0..n {
+            assert_eq!(back.node_len(id), g.node_len(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_duplicates() {
+        let g = fig1_graph();
+        let perm = vec![0u32; g.node_count()];
+        let _ = g.permute_nodes(&perm);
+    }
+
+    #[test]
+    fn node_names_default_to_one_based_decimal() {
+        let mut b = GraphBuilder::new();
+        b.add_node_len(1);
+        b.add_node_len(1);
+        b.set_node_name(1, "s42");
+        let g = b.build();
+        assert_eq!(g.node_name(0), "1");
+        assert_eq!(g.node_name(1), "s42");
+    }
+}

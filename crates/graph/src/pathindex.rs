@@ -1,0 +1,261 @@
+//! XP-style path index: O(1) nucleotide positions for every path step.
+//!
+//! `odgi-layout` consults a *path index* (the `xp` structure referenced in
+//! the paper's artifact as the `.xp` file) on every SGD term to turn a pair
+//! of path steps into a reference distance `d_ref` — the nucleotide
+//! distance along the genome the path embodies. This module precomputes,
+//! for every step of every path, the cumulative nucleotide offset of the
+//! step's start, so `d_ref` is two array reads and a subtraction.
+//!
+//! These per-step reads are precisely the random accesses the paper's
+//! workload characterization identifies as the memory bottleneck
+//! (Sec. III-B), which is why the flat arrays here mirror the layout used
+//! by the GPU kernels.
+
+use crate::model::{Handle, PathId, VariationGraph};
+
+/// Which end of a node's line segment a visualization point refers to
+/// (Alg. 1 lines 12–13 flip a coin between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegEnd {
+    /// The start of the node's segment (position of the step).
+    Start,
+    /// The end of the node's segment (position + node length).
+    End,
+}
+
+/// Immutable index of step positions over all paths of a graph.
+#[derive(Debug, Clone)]
+pub struct PathIndex {
+    /// `offset[p] .. offset[p+1]` delimits path `p`'s steps in the flat
+    /// arrays. Length `P + 1`.
+    step_offset: Vec<usize>,
+    /// Handle of each step (flattened over paths).
+    step_handle: Vec<Handle>,
+    /// Nucleotide offset of each step's start within its path.
+    step_pos: Vec<u64>,
+    /// Total nucleotide length of each path.
+    path_nuc_len: Vec<u64>,
+}
+
+impl PathIndex {
+    /// Build the index for a graph. O(Σ|p|).
+    pub fn build(g: &VariationGraph) -> Self {
+        let total: usize = g.paths().iter().map(|p| p.len()).sum();
+        let mut step_offset = Vec::with_capacity(g.path_count() + 1);
+        let mut step_handle = Vec::with_capacity(total);
+        let mut step_pos = Vec::with_capacity(total);
+        let mut path_nuc_len = Vec::with_capacity(g.path_count());
+        step_offset.push(0);
+        for p in g.paths() {
+            let mut pos = 0u64;
+            for &h in &p.steps {
+                step_handle.push(h);
+                step_pos.push(pos);
+                pos += g.node_len(h.id()) as u64;
+            }
+            path_nuc_len.push(pos);
+            step_offset.push(step_handle.len());
+        }
+        Self { step_offset, step_handle, step_pos, path_nuc_len }
+    }
+
+    /// Number of indexed paths.
+    #[inline]
+    pub fn path_count(&self) -> usize {
+        self.path_nuc_len.len()
+    }
+
+    /// Number of steps in path `p`.
+    #[inline]
+    pub fn steps_in(&self, p: PathId) -> usize {
+        self.step_offset[p as usize + 1] - self.step_offset[p as usize]
+    }
+
+    /// Total steps across all paths (`Σ|p|`).
+    #[inline]
+    pub fn total_steps(&self) -> usize {
+        *self.step_offset.last().unwrap()
+    }
+
+    /// The handles of path `p`.
+    #[inline]
+    pub fn handles(&self, p: PathId) -> &[Handle] {
+        &self.step_handle[self.step_offset[p as usize]..self.step_offset[p as usize + 1]]
+    }
+
+    /// Handle at step `i` of path `p`.
+    #[inline]
+    pub fn handle_at(&self, p: PathId, i: usize) -> Handle {
+        self.step_handle[self.step_offset[p as usize] + i]
+    }
+
+    /// Nucleotide offset of the start of step `i` in path `p`.
+    #[inline]
+    pub fn pos_at(&self, p: PathId, i: usize) -> u64 {
+        self.step_pos[self.step_offset[p as usize] + i]
+    }
+
+    /// Nucleotide position of a chosen segment end of step `i` in path `p`.
+    ///
+    /// `node_len` must be the length of the node at that step (callers in
+    /// the hot loop already hold it; passing it avoids a second lookup).
+    #[inline]
+    pub fn endpoint_pos(&self, p: PathId, i: usize, end: SegEnd, node_len: u32) -> u64 {
+        match end {
+            SegEnd::Start => self.pos_at(p, i),
+            SegEnd::End => self.pos_at(p, i) + node_len as u64,
+        }
+    }
+
+    /// Reference distance `d_ref` between the starts of steps `i` and `j`
+    /// of path `p`, in nucleotides.
+    #[inline]
+    pub fn d_ref(&self, p: PathId, i: usize, j: usize) -> u64 {
+        let a = self.pos_at(p, i);
+        let b = self.pos_at(p, j);
+        a.abs_diff(b)
+    }
+
+    /// Total nucleotide length of path `p`.
+    #[inline]
+    pub fn path_nuc_len(&self, p: PathId) -> u64 {
+        self.path_nuc_len[p as usize]
+    }
+
+    /// The longest path nucleotide length (sets `η_max = d_max²` in the SGD
+    /// schedule).
+    pub fn max_path_nuc_len(&self) -> u64 {
+        self.path_nuc_len.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The largest step count over all paths (sets the Zipf table's
+    /// maximum space).
+    pub fn max_path_steps(&self) -> usize {
+        (0..self.path_count() as PathId)
+            .map(|p| self.steps_in(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Flat position array (used by the lean graph and the GPU simulator's
+    /// address map).
+    #[inline]
+    pub fn raw_step_pos(&self) -> &[u64] {
+        &self.step_pos
+    }
+
+    /// Flat handle array.
+    #[inline]
+    pub fn raw_step_handle(&self) -> &[Handle] {
+        &self.step_handle
+    }
+
+    /// Per-path offsets into the flat arrays (length `P + 1`).
+    #[inline]
+    pub fn raw_step_offset(&self) -> &[usize] {
+        &self.step_offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_graph;
+
+    #[test]
+    fn positions_are_prefix_sums_of_node_lengths() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        // path0 = v0(2) v2(7) v4(1) v5(2) v6(2) v7(1)
+        let expect = [0u64, 2, 9, 10, 12, 14];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(idx.pos_at(0, i), e, "step {i}");
+        }
+        assert_eq!(idx.path_nuc_len(0), 15);
+    }
+
+    #[test]
+    fn d_ref_is_symmetric_and_zero_on_diagonal() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        for p in 0..g.path_count() as PathId {
+            let n = idx.steps_in(p);
+            for i in 0..n {
+                assert_eq!(idx.d_ref(p, i, i), 0);
+                for j in 0..n {
+                    assert_eq!(idx.d_ref(p, i, j), idx.d_ref(p, j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_ref_matches_manual_computation() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        // path0 steps 1 (pos 2) and 4 (pos 12): distance 10.
+        assert_eq!(idx.d_ref(0, 1, 4), 10);
+    }
+
+    #[test]
+    fn endpoint_positions_add_node_length() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        let h = idx.handle_at(0, 1); // v2, length 7
+        let len = g.node_len(h.id());
+        assert_eq!(idx.endpoint_pos(0, 1, SegEnd::Start, len), 2);
+        assert_eq!(idx.endpoint_pos(0, 1, SegEnd::End, len), 9);
+    }
+
+    #[test]
+    fn totals_and_maxima() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        assert_eq!(idx.total_steps(), 18);
+        assert_eq!(idx.path_count(), 3);
+        assert_eq!(idx.max_path_steps(), 7);
+        // path2 embodies 16 nucleotides (AATGCAGTCACCAAAC)
+        assert_eq!(idx.path_nuc_len(2), 16);
+        assert_eq!(idx.max_path_nuc_len(), 16);
+    }
+
+    #[test]
+    fn handles_slice_matches_model_paths() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        for (pid, p) in g.paths().iter().enumerate() {
+            assert_eq!(idx.handles(pid as PathId), p.steps.as_slice());
+        }
+    }
+
+    #[test]
+    fn repeated_node_visits_get_distinct_positions() {
+        // A loop: path visits node 0 twice.
+        use crate::model::{GraphBuilder, Handle};
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_len(3);
+        let c = b.add_node_len(5);
+        b.add_path(
+            "loop",
+            vec![Handle::forward(a), Handle::forward(c), Handle::forward(a)],
+        );
+        b.ensure_path_edges();
+        let g = b.build();
+        let idx = PathIndex::build(&g);
+        assert_eq!(idx.pos_at(0, 0), 0);
+        assert_eq!(idx.pos_at(0, 1), 3);
+        assert_eq!(idx.pos_at(0, 2), 8);
+        assert_eq!(idx.path_nuc_len(0), 11);
+    }
+
+    #[test]
+    fn raw_arrays_are_consistent() {
+        let g = fig1_graph();
+        let idx = PathIndex::build(&g);
+        assert_eq!(idx.raw_step_pos().len(), idx.total_steps());
+        assert_eq!(idx.raw_step_handle().len(), idx.total_steps());
+        assert_eq!(idx.raw_step_offset().len(), idx.path_count() + 1);
+        assert_eq!(idx.raw_step_offset()[0], 0);
+    }
+}

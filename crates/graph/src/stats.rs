@@ -1,0 +1,198 @@
+//! Graph property reports — the quantities of paper Tables I and VI.
+//!
+//! Table I lists per-graph properties of the three representative
+//! pangenomes (#nucleotides, #nodes, #edges, #paths); Table VI summarizes
+//! min/max/mean over the 24 HPRC chromosome graphs, adding average node
+//! degree and density.
+
+use crate::model::VariationGraph;
+use std::fmt;
+
+/// Properties of one variation graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Total nucleotides over all nodes ("# Nuc.").
+    pub nucleotides: u64,
+    /// Node count `|V|`.
+    pub nodes: u64,
+    /// Edge count `|E|`.
+    pub edges: u64,
+    /// Path count `|P|`.
+    pub paths: u64,
+    /// Average node degree `|E|/|V|` (≈1.4 for HPRC graphs).
+    pub avg_degree: f64,
+    /// Density `|E|/(|V|·(|V|−1))` (≈3.5×10⁻⁷ for HPRC graphs).
+    pub density: f64,
+    /// Total path steps `Σ|p|` (drives `N_steps`).
+    pub total_path_steps: u64,
+    /// Total path nucleotide length (x-axis of Fig. 15).
+    pub total_path_nuc: u64,
+}
+
+impl GraphStats {
+    /// Measure a graph.
+    pub fn measure(g: &VariationGraph) -> Self {
+        let idx = crate::pathindex::PathIndex::build(g);
+        let total_path_nuc = (0..g.path_count() as u32)
+            .map(|p| idx.path_nuc_len(p))
+            .sum();
+        GraphStats {
+            nucleotides: g.total_seq_len(),
+            nodes: g.node_count() as u64,
+            edges: g.edge_count() as u64,
+            paths: g.path_count() as u64,
+            avg_degree: g.avg_degree(),
+            density: g.density(),
+            total_path_steps: g.total_path_steps(),
+            total_path_nuc,
+        }
+    }
+}
+
+/// Format a count in the paper's scientific style, e.g. `2.2e4`.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let exp = x.abs().log10().floor() as i32;
+    let mant = x / 10f64.powi(exp);
+    format!("{mant:.1}e{exp}")
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nuc={} nodes={} edges={} paths={} deg={:.1} density={}",
+            sci(self.nucleotides as f64),
+            sci(self.nodes as f64),
+            sci(self.edges as f64),
+            self.paths,
+            self.avg_degree,
+            sci(self.density),
+        )
+    }
+}
+
+/// Min/max/mean aggregate over a set of graphs (paper Table VI).
+#[derive(Debug, Clone, Copy)]
+pub struct AggregateStats {
+    /// Per-field minima.
+    pub min: GraphStats,
+    /// Per-field maxima.
+    pub max: GraphStats,
+    /// Per-field arithmetic means.
+    pub mean: GraphStats,
+}
+
+impl AggregateStats {
+    /// Aggregate a non-empty set of per-graph stats.
+    pub fn over(stats: &[GraphStats]) -> Self {
+        assert!(!stats.is_empty(), "aggregate over empty set");
+        let n = stats.len() as f64;
+        let fold = |pick: &dyn Fn(&GraphStats) -> f64, op: &dyn Fn(f64, f64) -> f64| {
+            stats[1..]
+                .iter()
+                .map(pick)
+                .fold(pick(&stats[0]), |a, b| op(a, b))
+        };
+        let make = |op: &dyn Fn(f64, f64) -> f64| GraphStats {
+            nucleotides: fold(&|s| s.nucleotides as f64, op) as u64,
+            nodes: fold(&|s| s.nodes as f64, op) as u64,
+            edges: fold(&|s| s.edges as f64, op) as u64,
+            paths: fold(&|s| s.paths as f64, op) as u64,
+            avg_degree: fold(&|s| s.avg_degree, op),
+            density: fold(&|s| s.density, op),
+            total_path_steps: fold(&|s| s.total_path_steps as f64, op) as u64,
+            total_path_nuc: fold(&|s| s.total_path_nuc as f64, op) as u64,
+        };
+        let sum = |pick: &dyn Fn(&GraphStats) -> f64| stats.iter().map(pick).sum::<f64>() / n;
+        AggregateStats {
+            min: make(&f64::min),
+            max: make(&f64::max),
+            mean: GraphStats {
+                nucleotides: sum(&|s| s.nucleotides as f64) as u64,
+                nodes: sum(&|s| s.nodes as f64) as u64,
+                edges: sum(&|s| s.edges as f64) as u64,
+                paths: sum(&|s| s.paths as f64) as u64,
+                avg_degree: sum(&|s| s.avg_degree),
+                density: sum(&|s| s.density),
+                total_path_steps: sum(&|s| s.total_path_steps as f64) as u64,
+                total_path_nuc: sum(&|s| s.total_path_nuc as f64) as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_graph;
+
+    #[test]
+    fn measure_fig1() {
+        let s = GraphStats::measure(&fig1_graph());
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.paths, 3);
+        assert_eq!(s.nucleotides, 17); // 2+1+7+1+1+2+2+1
+        assert_eq!(s.total_path_steps, 18);
+        assert_eq!(s.total_path_nuc, 15 + 13 + 16);
+        assert!(s.avg_degree > 0.0);
+        assert!(s.density > 0.0);
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(22_000.0), "2.2e4");
+        assert_eq!(sci(5_000.0), "5.0e3");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(3.5e-7), "3.5e-7");
+        assert_eq!(sci(1.1e9), "1.1e9");
+    }
+
+    #[test]
+    fn aggregate_min_max_mean() {
+        let a = GraphStats {
+            nucleotides: 100,
+            nodes: 10,
+            edges: 12,
+            paths: 2,
+            avg_degree: 1.2,
+            density: 1e-3,
+            total_path_steps: 20,
+            total_path_nuc: 200,
+        };
+        let b = GraphStats {
+            nucleotides: 300,
+            nodes: 30,
+            edges: 45,
+            paths: 6,
+            avg_degree: 1.5,
+            density: 5e-4,
+            total_path_steps: 60,
+            total_path_nuc: 600,
+        };
+        let agg = AggregateStats::over(&[a, b]);
+        assert_eq!(agg.min.nodes, 10);
+        assert_eq!(agg.max.nodes, 30);
+        assert_eq!(agg.mean.nodes, 20);
+        assert_eq!(agg.min.paths, 2);
+        assert_eq!(agg.max.edges, 45);
+        assert!((agg.mean.avg_degree - 1.35).abs() < 1e-12);
+        assert!((agg.min.density - 5e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn aggregate_rejects_empty() {
+        let _ = AggregateStats::over(&[]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GraphStats::measure(&fig1_graph());
+        let txt = s.to_string();
+        assert!(txt.contains("nodes="));
+        assert!(txt.contains("density="));
+    }
+}

@@ -1,0 +1,15 @@
+//! # pgio — layout persistence and report export
+//!
+//! * [`lay`] — a binary layout format mirroring the role of odgi's
+//!   `.lay` files (the artifact ships `layouts_cpu/chr*.lay` /
+//!   `layouts_gpu/chr*.lay`): magic + node count + both endpoints' f64
+//!   coordinates, little-endian, with integrity checks on read.
+//! * [`tsv`] — plain-text exports: per-endpoint layout tables (odgi's
+//!   `layout -T` equivalent) and generic report tables used by the
+//!   benchmark harness.
+
+pub mod lay;
+pub mod tsv;
+
+pub use lay::{load_lay, read_lay, save_lay, write_lay, LayError};
+pub use tsv::{layout_to_tsv, Table};

@@ -1,0 +1,142 @@
+//! Plain-text exports: layout tables and generic report tables.
+
+use pangraph::layout2d::Layout2D;
+use std::fmt::Write as _;
+
+/// Export a layout as TSV in odgi's `layout -T` style: one row per
+/// endpoint with `idx  X  Y` (idx = `2·node + end`).
+pub fn layout_to_tsv(layout: &Layout2D) -> String {
+    let mut out = String::with_capacity(24 * 2 * layout.node_count());
+    out.push_str("#idx\tX\tY\n");
+    for node in 0..layout.node_count() as u32 {
+        for end in [false, true] {
+            let (x, y) = layout.get(node, end);
+            let _ = writeln!(out, "{}\t{x:.6}\t{y:.6}", 2 * node + end as u32);
+        }
+    }
+    out
+}
+
+/// A simple column-aligned text table used by the `repro` harness to
+/// print paper-style tables.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i];
+                let _ = write!(out, "{cell:<pad$}");
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as TSV (for file export).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_tsv_rows_and_values() {
+        let mut l = Layout2D::zeros(2);
+        l.set(0, true, 1.5, -2.0);
+        let tsv = layout_to_tsv(&l);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        assert_eq!(lines[0], "#idx\tX\tY");
+        assert_eq!(lines[2], "1\t1.500000\t-2.000000");
+    }
+
+    #[test]
+    fn table_render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Column 2 starts at the same offset in all rows.
+        let col2 = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].len().min(col2), col2);
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn table_tsv_round_trips_cells() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x y".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\tx y\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_row_width_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Fuzz-style decoding tests: `read_lay` must never panic or
+//! over-allocate on malformed bytes.
+
+use pgio::{read_lay, write_lay};
+use pangraph::layout2d::Layout2D;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_lay(&data);
+    }
+
+    /// A valid file with any prefix truncation either succeeds (only at
+    /// full length) or errors cleanly.
+    #[test]
+    fn truncations_error_cleanly(n_nodes in 0usize..20, cut in 0usize..700) {
+        let mut layout = Layout2D::zeros(n_nodes);
+        for i in 0..n_nodes as u32 {
+            layout.set(i, false, i as f64, -(i as f64));
+        }
+        let bytes = write_lay(&layout);
+        let cut = cut.min(bytes.len());
+        let result = read_lay(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err(), "truncated to {cut} of {}", bytes.len());
+        }
+    }
+
+    /// Corrupting the declared node count never causes huge allocation or
+    /// panic — just an error (or a valid smaller read when the count
+    /// shrinks consistently, which cannot happen here since payload
+    /// length mismatches).
+    #[test]
+    fn corrupted_counts_are_rejected(n_nodes in 1usize..10, bogus in 100u64..u64::MAX / 64) {
+        let layout = Layout2D::zeros(n_nodes);
+        let mut bytes = write_lay(&layout).to_vec();
+        bytes[8..16].copy_from_slice(&bogus.to_le_bytes());
+        prop_assert!(read_lay(&bytes).is_err());
+    }
+}
+
+#[test]
+fn header_only_inputs() {
+    assert!(read_lay(b"").is_err());
+    assert!(read_lay(b"PGLAY\x01\0\0").is_err()); // magic but no count
+    // magic + zero count and no payload: valid empty layout.
+    let mut v = b"PGLAY\x01\0\0".to_vec();
+    v.extend_from_slice(&0u64.to_le_bytes());
+    assert_eq!(read_lay(&v).unwrap().node_count(), 0);
+}

@@ -1,0 +1,201 @@
+//! Exact **path stress** (paper Eq. 1).
+//!
+//! ```text
+//!                Σ_{p∈P} Σ_{n_i,n_j ∈ p} stress(n_i, n_j)
+//! path stress = ──────────────────────────────────────────
+//!                        N_total_node_pairs
+//! ```
+//!
+//! The sum runs over all unordered step pairs of every path — O(Σ|p|²)
+//! terms, which is why the paper reports 194 GPU-hours for Chr.1 (Table V)
+//! and introduces the sampled estimator. We parallelize the reduction with
+//! Rayon over per-path pair blocks (the CPU analogue of the paper's GPU
+//! reduction tree).
+
+use crate::stress::node_pair_stress;
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+use rayon::prelude::*;
+
+/// Result of an exact path-stress evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStressReport {
+    /// The metric value (mean stress per counted node pair).
+    pub stress: f64,
+    /// Number of node pairs with at least one defined term.
+    pub pairs: u64,
+    /// Number of pairs skipped because every endpoint combination had
+    /// `d_ref = 0` (possible only for duplicate zero-length placements).
+    pub skipped: u64,
+}
+
+/// Exact path stress, Rayon-parallel over paths and leading steps.
+pub fn path_stress(layout: &Layout2D, lean: &LeanGraph) -> PathStressReport {
+    let per_path: Vec<(f64, u64, u64)> = (0..lean.path_count() as u32)
+        .into_par_iter()
+        .flat_map_iter(|p| {
+            let n = lean.steps_in(p);
+            let base = lean.flat_step(p, 0);
+            (0..n).map(move |i| (p, base, n, i))
+        })
+        .map(|(_p, base, n, i)| {
+            let mut sum = 0.0;
+            let mut pairs = 0u64;
+            let mut skipped = 0u64;
+            for j in (i + 1)..n {
+                match node_pair_stress(layout, lean, base + i, base + j) {
+                    Some(s) => {
+                        sum += s;
+                        pairs += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            (sum, pairs, skipped)
+        })
+        .collect();
+    reduce(per_path)
+}
+
+/// Single-threaded reference implementation (used by tests to validate the
+/// parallel reduction and by the metric-runtime benchmark's baseline).
+pub fn path_stress_serial(layout: &Layout2D, lean: &LeanGraph) -> PathStressReport {
+    let mut acc = Vec::new();
+    for p in 0..lean.path_count() as u32 {
+        let n = lean.steps_in(p);
+        let base = lean.flat_step(p, 0);
+        for i in 0..n {
+            let mut sum = 0.0;
+            let mut pairs = 0u64;
+            let mut skipped = 0u64;
+            for j in (i + 1)..n {
+                match node_pair_stress(layout, lean, base + i, base + j) {
+                    Some(s) => {
+                        sum += s;
+                        pairs += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            acc.push((sum, pairs, skipped));
+        }
+    }
+    reduce(acc)
+}
+
+fn reduce(parts: Vec<(f64, u64, u64)>) -> PathStressReport {
+    let (sum, pairs, skipped) = parts
+        .into_iter()
+        .fold((0.0, 0u64, 0u64), |(s, p, k), (s2, p2, k2)| {
+            (s + s2, p + p2, k + k2)
+        });
+    PathStressReport {
+        stress: if pairs > 0 { sum / pairs as f64 } else { 0.0 },
+        pairs,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    fn line_layout(lean: &LeanGraph, scale: f64) -> Layout2D {
+        let mut l = Layout2D::zeros(lean.node_count());
+        for p in 0..lean.path_count() as u32 {
+            for i in 0..lean.steps_in(p) {
+                let s = lean.flat_step(p, i);
+                let n = lean.node_of_flat(s);
+                l.set(n, false, lean.endpoint_pos_of_flat(s, false) as f64 * scale, 0.0);
+                l.set(n, true, lean.endpoint_pos_of_flat(s, true) as f64 * scale, 0.0);
+            }
+        }
+        l
+    }
+
+    /// Single-path graph: exact line embedding has stress exactly 0, and a
+    /// uniformly scaled one has stress exactly (s−1)².
+    fn single_path_graph() -> LeanGraph {
+        use pangraph::model::{GraphBuilder, Handle};
+        let mut b = GraphBuilder::new();
+        let ids: Vec<u32> = (0..20).map(|i| b.add_node_len(1 + (i % 5))).collect();
+        b.add_path("p", ids.iter().map(|&i| Handle::forward(i)).collect());
+        b.ensure_path_edges();
+        LeanGraph::from_graph(&b.build())
+    }
+
+    #[test]
+    fn zero_on_exact_embedding() {
+        let lean = single_path_graph();
+        let layout = line_layout(&lean, 1.0);
+        let r = path_stress(&layout, &lean);
+        assert!(r.stress.abs() < 1e-15, "stress = {}", r.stress);
+        assert!(r.pairs > 0);
+    }
+
+    #[test]
+    fn scaled_embedding_has_analytic_stress() {
+        let lean = single_path_graph();
+        let layout = line_layout(&lean, 2.5);
+        let r = path_stress(&layout, &lean);
+        assert!(
+            (r.stress - 2.25).abs() < 1e-9,
+            "expected (2.5-1)^2 = 2.25, got {}",
+            r.stress
+        );
+    }
+
+    #[test]
+    fn pair_count_matches_formula() {
+        let lean = single_path_graph();
+        let layout = line_layout(&lean, 1.0);
+        let r = path_stress(&layout, &lean);
+        // one path with 20 steps: 20·19/2 = 190 pairs, none fully skipped.
+        assert_eq!(r.pairs + r.skipped, 190);
+        assert_eq!(r.skipped, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let layout = line_layout(&lean, 1.3);
+        let a = path_stress(&layout, &lean);
+        let b = path_stress_serial(&layout, &lean);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.skipped, b.skipped);
+        assert!((a.stress - b.stress).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_layouts_have_higher_stress() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let good = line_layout(&lean, 1.0);
+        let bad = line_layout(&lean, 10.0);
+        let sg = path_stress(&good, &lean).stress;
+        let sb = path_stress(&bad, &lean).stress;
+        assert!(sb > sg, "bad {sb} should exceed good {sg}");
+    }
+
+    #[test]
+    fn collapsed_layout_has_stress_one() {
+        // All points at the origin: every term is ((0−d)/d)² = 1.
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let layout = Layout2D::zeros(lean.node_count());
+        let r = path_stress(&layout, &lean);
+        assert!((r.stress - 1.0).abs() < 1e-12, "stress = {}", r.stress);
+    }
+
+    #[test]
+    fn multi_path_graph_counts_pairs_per_path() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let layout = line_layout(&lean, 1.0);
+        let r = path_stress(&layout, &lean);
+        // paths of 6,5,7 steps: 15+10+21 = 46 pairs total.
+        assert_eq!(r.pairs + r.skipped, 46);
+    }
+}

@@ -1,0 +1,150 @@
+//! Stress terms — the loss of Alg. 1 line 14 and the per-node-pair
+//! quantity aggregated by the path-stress metrics.
+
+use pangraph::layout2d::Layout2D;
+use pangraph::lean::LeanGraph;
+
+/// Single-term stress `((‖v_i − v_j‖ − d_ref) / d_ref)²` between two
+/// concrete visualization points. Terms with `d_ref = 0` are undefined and
+/// return `None` (the metrics skip them, as odgi does for zero-distance
+/// terms).
+#[inline]
+pub fn term_stress(vi: (f64, f64), vj: (f64, f64), d_ref: f64) -> Option<f64> {
+    if d_ref <= 0.0 {
+        return None;
+    }
+    let dx = vi.0 - vj.0;
+    let dy = vi.1 - vj.1;
+    let dist = (dx * dx + dy * dy).sqrt();
+    let r = (dist - d_ref) / d_ref;
+    Some(r * r)
+}
+
+/// The paper's node-pair stress: the average of [`term_stress`] over all
+/// four combinations of the two nodes' segment endpoints, each combination
+/// using its own reference distance. Undefined combinations (`d_ref = 0`,
+/// e.g. abutting endpoints of adjacent steps) are excluded from the
+/// average; returns `None` when all four are undefined.
+///
+/// `s_i`, `s_j` are *flat step indices* into `lean` on the same path.
+#[inline]
+pub fn node_pair_stress(
+    layout: &Layout2D,
+    lean: &LeanGraph,
+    s_i: usize,
+    s_j: usize,
+) -> Option<f64> {
+    let n_i = lean.node_of_flat(s_i);
+    let n_j = lean.node_of_flat(s_j);
+    let mut sum = 0.0;
+    let mut count = 0u32;
+    for end_i in [false, true] {
+        for end_j in [false, true] {
+            let d_ref = lean.d_ref_endpoints(s_i, end_i, s_j, end_j);
+            if let Some(s) =
+                term_stress(layout.get(n_i, end_i), layout.get(n_j, end_j), d_ref)
+            {
+                sum += s;
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::model::fig1_graph;
+
+    /// Lay a single path exactly on the number line: endpoint positions
+    /// equal nucleotide positions. Every stress term is then exactly zero.
+    fn exact_line_layout(lean: &LeanGraph) -> Layout2D {
+        let mut l = Layout2D::zeros(lean.node_count());
+        // Walk path 0 and place each node by its step position. For graphs
+        // where a node appears once, this is exact for that path.
+        for i in 0..lean.steps_in(0) {
+            let s = lean.flat_step(0, i);
+            let n = lean.node_of_flat(s);
+            l.set(n, false, lean.endpoint_pos_of_flat(s, false) as f64, 0.0);
+            l.set(n, true, lean.endpoint_pos_of_flat(s, true) as f64, 0.0);
+        }
+        l
+    }
+
+    #[test]
+    fn term_stress_zero_at_reference_distance() {
+        assert_eq!(term_stress((0.0, 0.0), (3.0, 4.0), 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn term_stress_one_when_distance_doubles() {
+        // dist = 10, d_ref = 5: ((10-5)/5)^2 = 1.
+        assert_eq!(term_stress((0.0, 0.0), (10.0, 0.0), 5.0), Some(1.0));
+    }
+
+    #[test]
+    fn term_stress_one_when_distance_collapses() {
+        // dist = 0, d_ref = 5: ((0-5)/5)^2 = 1.
+        assert_eq!(term_stress((1.0, 1.0), (1.0, 1.0), 5.0), Some(1.0));
+    }
+
+    #[test]
+    fn term_stress_undefined_for_zero_reference() {
+        assert_eq!(term_stress((0.0, 0.0), (1.0, 0.0), 0.0), None);
+    }
+
+    #[test]
+    fn node_pair_stress_is_zero_on_exact_line() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let layout = exact_line_layout(&lean);
+        // steps 0 and 3 of path 0 (v0 and v5): all four combos defined.
+        let s0 = lean.flat_step(0, 0);
+        let s3 = lean.flat_step(0, 3);
+        let val = node_pair_stress(&layout, &lean, s0, s3).unwrap();
+        assert!(val.abs() < 1e-18, "stress = {val}");
+    }
+
+    #[test]
+    fn node_pair_stress_scales_quadratically() {
+        // Scaling the layout by s makes every term ((s·d−d)/d)² = (s−1)².
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let mut layout = exact_line_layout(&lean);
+        layout.scale(3.0);
+        let s0 = lean.flat_step(0, 0);
+        let s3 = lean.flat_step(0, 3);
+        let val = node_pair_stress(&layout, &lean, s0, s3).unwrap();
+        assert!((val - 4.0).abs() < 1e-9, "expected (3-1)^2 = 4, got {val}");
+    }
+
+    #[test]
+    fn adjacent_steps_skip_abutting_combination() {
+        // Steps 0 and 1: end of v0 (pos 2) coincides with start of v2
+        // (pos 2) ⇒ that combination has d_ref = 0 and is skipped, but the
+        // other three are defined.
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let layout = exact_line_layout(&lean);
+        let s0 = lean.flat_step(0, 0);
+        let s1 = lean.flat_step(0, 1);
+        let val = node_pair_stress(&layout, &lean, s0, s1);
+        assert!(val.is_some());
+        assert!(val.unwrap().abs() < 1e-18);
+    }
+
+    #[test]
+    fn symmetric_in_argument_order() {
+        let g = fig1_graph();
+        let lean = LeanGraph::from_graph(&g);
+        let mut layout = exact_line_layout(&lean);
+        layout.scale(1.7);
+        let a = lean.flat_step(0, 1);
+        let b = lean.flat_step(0, 4);
+        assert_eq!(
+            node_pair_stress(&layout, &lean, a, b),
+            node_pair_stress(&layout, &lean, b, a)
+        );
+    }
+}

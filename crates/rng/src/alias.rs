@@ -1,0 +1,194 @@
+//! Walker/Vose alias method for O(1) weighted discrete sampling.
+//!
+//! Alg. 1 line 5 selects a path with probability proportional to its node
+//! count on *every* SGD step — billions of draws for a chromosome-scale
+//! graph — so the selection must be O(1). `odgi-layout` achieves this with
+//! a discrete distribution over path lengths; we use the classic alias
+//! table, which needs two table reads and one comparison per draw.
+
+use crate::Rng64;
+
+/// An alias table over `n` outcomes with fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of column i (scaled to [0,1]).
+    prob: Vec<f64>,
+    /// Alias outcome of column i.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. At least one weight must be
+    /// positive; entries with zero weight are never sampled.
+    ///
+    /// Vose's O(n) construction.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let n = weights.len();
+        let scale = n as f64 / total;
+
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities; >1 ⇒ donor ("large"), <1 ⇒ needs filling.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are exactly 1 up to FP error.
+        for &l in &large {
+            prob[l as usize] = 1.0;
+            alias[l as usize] = l;
+        }
+        for &s in &small {
+            prob[s as usize] = 1.0;
+            alias[s as usize] = s;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng64>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256Plus;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = Xoshiro256Plus::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[3.5]);
+        let mut rng = Xoshiro256Plus::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let freq = empirical(&[1.0; 10], 200_000, 2);
+        for (i, f) in freq.iter().enumerate() {
+            assert!((f - 0.1).abs() < 0.01, "outcome {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expectation() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freq = empirical(&w, 400_000, 3);
+        let total: f64 = w.iter().sum();
+        for (i, f) in freq.iter().enumerate() {
+            let expect = w[i] / total;
+            assert!((f - expect).abs() < 0.01, "outcome {i}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 1.0], 50_000, 4);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn extreme_skew_dominant_outcome_wins() {
+        let freq = empirical(&[1e-6, 1.0], 50_000, 5);
+        assert!(freq[1] > 0.999);
+    }
+
+    #[test]
+    fn path_length_weighting_use_case() {
+        // The layout use case: paths weighted by node count.
+        let path_lengths = [5.0f64, 50.0, 500.0];
+        let freq = empirical(&path_lengths, 300_000, 6);
+        let total: f64 = path_lengths.iter().sum();
+        for i in 0..3 {
+            let expect = path_lengths[i] / total;
+            assert!(
+                (freq[i] - expect).abs() < 0.01,
+                "path {i}: {} vs {expect}",
+                freq[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn large_table_construction_is_consistent() {
+        // Probabilities in every column stay in [0,1] and aliases in range.
+        let weights: Vec<f64> = (1..=1000).map(|i| (i % 37 + 1) as f64).collect();
+        let t = AliasTable::new(&weights);
+        assert_eq!(t.len(), 1000);
+        for i in 0..t.len() {
+            assert!((0.0..=1.0 + 1e-9).contains(&t.prob[i]));
+            assert!((t.alias[i] as usize) < t.len());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! SplitMix64 — the canonical seeding generator for the xoshiro family.
+//!
+//! Sebastiano Vigna's SplitMix64 is a fixed-increment Weyl sequence passed
+//! through a 64-bit finalizer. It is the recommended way to expand a single
+//! `u64` seed into the 256-bit state of Xoshiro256+ (and we also use it to
+//! derive the five words of a cuRAND-style XORWOW state), because it is
+//! equidistributed and never produces the all-zero state that would wedge an
+//! LFSR generator.
+
+use crate::Rng64;
+
+/// SplitMix64 generator (one `u64` of state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a raw seed. Any seed, including 0, is valid.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produce the next output and advance.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fill `out` with successive outputs (used for multi-word state setup).
+    #[inline]
+    pub fn fill(&mut self, out: &mut [u64]) {
+        for w in out {
+            *w = self.next();
+        }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs from Vigna's splitmix64.c with seed = 0:
+    /// computed independently from the published algorithm.
+    #[test]
+    fn reference_vector_seed_zero() {
+        let mut sm = SplitMix64::new(0);
+        let expected: [u64; 5] = [
+            0xE220A8397B1DCDAF,
+            0x6E789E6AA1B965F4,
+            0x06C45D188009454F,
+            0xF88BB8A8724C81EC,
+            0x1B39896A51A8749B,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(sm.next(), e, "output {i}");
+        }
+    }
+
+    #[test]
+    fn reference_vector_seed_1234567() {
+        // First output for seed 1234567 (independent recomputation).
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next();
+        // Recompute by hand:
+        let mut z = 1234567u64.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        assert_eq!(first, z);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn fill_advances_state() {
+        let mut sm = SplitMix64::new(99);
+        let mut buf = [0u64; 4];
+        sm.fill(&mut buf);
+        assert!(buf.iter().all(|&w| w != 0), "zero output is astronomically unlikely");
+        let next = sm.next();
+        assert!(!buf.contains(&next));
+    }
+
+    #[test]
+    fn copy_semantics_snapshot_state() {
+        let mut a = SplitMix64::new(5);
+        let snapshot = a;
+        let x = a.next();
+        let mut b = snapshot;
+        assert_eq!(b.next(), x, "copied state must replay the stream");
+    }
+}

@@ -1,0 +1,306 @@
+//! Per-thread random-state pools in the two memory layouts compared by the
+//! paper's *coalesced random states* optimization (Sec. V-B2, Fig. 10).
+//!
+//! cuRAND's object-oriented design stores one `curandStateXORWOW_t` per GPU
+//! thread as a contiguous structure of six 32-bit words — an
+//! **array-of-structs (AoS)** placement. Within a warp, lane `l` touching
+//! word `w` of *its own* state hits address `base + (l*6 + w)*4`, so a
+//! 32-lane access to the same logical word spans `32 * 24 B = 768 B` —
+//! 24 sectors of 32 B — instead of the minimal 4 sectors.
+//!
+//! The paper's fix transposes the pool into a **struct-of-arrays (SoA)**
+//! placement (`base + (w*n + l)*4`): the same word of all lanes is
+//! contiguous, one logical access touches 4 sectors, and warp accesses
+//! coalesce.
+//!
+//! Both placements are *functionally identical* — this module stores the
+//! actual state words in the chosen layout and steps them in place, and a
+//! property test asserts stream equality between layouts. The
+//! [`StatePool::word_addr`] method exposes the simulated byte address of
+//! every word so the GPU simulator (crate `gpu-sim`) can replay the exact
+//! memory traffic of each placement.
+
+use crate::xorwow::{XorWow, XORWOW_WORDS};
+
+/// Memory placement of a pool of XORWOW states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateLayout {
+    /// One six-word struct per thread, structs contiguous (cuRAND default).
+    ArrayOfStructs,
+    /// Six arrays of one word per thread (the paper's coalesced layout).
+    Coalesced,
+}
+
+impl StateLayout {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateLayout::ArrayOfStructs => "AoS (cuRAND default)",
+            StateLayout::Coalesced => "coalesced SoA",
+        }
+    }
+}
+
+/// Back-compat alias used by early revisions of the GPU simulator.
+pub type SoaOrAos = StateLayout;
+
+/// Convenience alias: a coalesced pool is just a [`StatePool`] constructed
+/// with [`StateLayout::Coalesced`].
+pub type CoalescedStatePool = StatePool;
+
+/// A pool of `n` XORWOW states stored in a single flat word buffer whose
+/// element order follows the chosen [`StateLayout`].
+#[derive(Debug, Clone)]
+pub struct StatePool {
+    layout: StateLayout,
+    n: usize,
+    words: Vec<u32>,
+    base_addr: u64,
+}
+
+impl StatePool {
+    /// Build a pool of `n` states, state `i` initialized as
+    /// `XorWow::init(seed, i)` (mirroring `curand_init(seed, tid, ...)`).
+    pub fn new(layout: StateLayout, n: usize, seed: u64) -> Self {
+        Self::with_base_addr(layout, n, seed, 0)
+    }
+
+    /// Like [`StatePool::new`] but places the pool at a given simulated base
+    /// address (the GPU simulator lays pools out in its flat address space).
+    pub fn with_base_addr(layout: StateLayout, n: usize, seed: u64, base_addr: u64) -> Self {
+        assert!(n > 0, "state pool must hold at least one state");
+        let mut pool = Self {
+            layout,
+            n,
+            words: vec![0u32; n * XORWOW_WORDS],
+            base_addr,
+        };
+        for i in 0..n {
+            pool.store(i, XorWow::init(seed, i as u64));
+        }
+        pool
+    }
+
+    /// AoS constructor shorthand.
+    pub fn aos(n: usize, seed: u64) -> Self {
+        Self::new(StateLayout::ArrayOfStructs, n, seed)
+    }
+
+    /// Coalesced (SoA) constructor shorthand.
+    pub fn coalesced(n: usize, seed: u64) -> Self {
+        Self::new(StateLayout::Coalesced, n, seed)
+    }
+
+    /// Number of states in the pool.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the pool is empty (never, by construction — kept for
+    /// idiomatic `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The pool's layout.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// Total footprint in bytes (both layouts are identical in size; only
+    /// the element order differs).
+    pub fn size_bytes(&self) -> u64 {
+        (self.words.len() * 4) as u64
+    }
+
+    /// Flat index of word `w` of state `i` under the current layout.
+    #[inline]
+    fn word_index(&self, i: usize, w: usize) -> usize {
+        debug_assert!(i < self.n && w < XORWOW_WORDS);
+        match self.layout {
+            StateLayout::ArrayOfStructs => i * XORWOW_WORDS + w,
+            StateLayout::Coalesced => w * self.n + i,
+        }
+    }
+
+    /// Simulated byte address of word `w` of state `i`.
+    #[inline]
+    pub fn word_addr(&self, i: usize, w: usize) -> u64 {
+        self.base_addr + (self.word_index(i, w) * 4) as u64
+    }
+
+    /// Simulated byte addresses of all six words of state `i`, in word order
+    /// `x, y, z, w, v, d`.
+    #[inline]
+    pub fn addresses(&self, i: usize) -> [u64; XORWOW_WORDS] {
+        let mut a = [0u64; XORWOW_WORDS];
+        for (w, slot) in a.iter_mut().enumerate() {
+            *slot = self.word_addr(i, w);
+        }
+        a
+    }
+
+    /// Gather state `i` out of the pool.
+    #[inline]
+    pub fn load(&self, i: usize) -> XorWow {
+        let s = [
+            self.words[self.word_index(i, 0)],
+            self.words[self.word_index(i, 1)],
+            self.words[self.word_index(i, 2)],
+            self.words[self.word_index(i, 3)],
+            self.words[self.word_index(i, 4)],
+        ];
+        XorWow { s, d: self.words[self.word_index(i, 5)] }
+    }
+
+    /// Scatter state `i` back into the pool.
+    #[inline]
+    pub fn store(&mut self, i: usize, st: XorWow) {
+        for (w, &word) in st.s.iter().enumerate() {
+            let idx = self.word_index(i, w);
+            self.words[idx] = word;
+        }
+        let idx = self.word_index(i, 5);
+        self.words[idx] = st.d;
+    }
+
+    /// Step state `i` in place and return its next 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self, i: usize) -> u32 {
+        let mut st = self.load(i);
+        let out = st.step();
+        self.store(i, st);
+        out
+    }
+
+    /// Step state `i` and return a uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self, i: usize) -> f32 {
+        (self.next_u32(i) >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Step state `i` and return a uniform `u64` (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self, i: usize) -> u64 {
+        let hi = self.next_u32(i) as u64;
+        let lo = self.next_u32(i) as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_yield_identical_streams() {
+        let mut aos = StatePool::aos(33, 42);
+        let mut soa = StatePool::coalesced(33, 42);
+        for round in 0..16 {
+            for i in 0..33 {
+                assert_eq!(
+                    aos.next_u32(i),
+                    soa.next_u32(i),
+                    "state {i} diverged at round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streams_match_standalone_generator() {
+        let mut pool = StatePool::coalesced(8, 7);
+        for i in 0..8 {
+            let mut reference = XorWow::init(7, i as u64);
+            for _ in 0..32 {
+                assert_eq!(pool.next_u32(i), reference.step());
+            }
+        }
+    }
+
+    #[test]
+    fn aos_addresses_are_struct_contiguous() {
+        let pool = StatePool::with_base_addr(StateLayout::ArrayOfStructs, 4, 1, 0x1000);
+        // State 1's words occupy bytes [0x1000+24, 0x1000+48).
+        let a = pool.addresses(1);
+        assert_eq!(a[0], 0x1000 + 24);
+        for w in 1..XORWOW_WORDS {
+            assert_eq!(a[w], a[w - 1] + 4, "AoS words must be adjacent");
+        }
+    }
+
+    #[test]
+    fn coalesced_addresses_group_same_word_across_states() {
+        let n = 32;
+        let pool = StatePool::with_base_addr(StateLayout::Coalesced, n, 1, 0x2000);
+        // Word w of states i and i+1 must be adjacent.
+        for w in 0..XORWOW_WORDS {
+            for i in 0..n - 1 {
+                assert_eq!(
+                    pool.word_addr(i + 1, w),
+                    pool.word_addr(i, w) + 4,
+                    "coalesced: same word of neighbouring states adjacent"
+                );
+            }
+        }
+        // Distinct words of one state are n*4 bytes apart.
+        assert_eq!(pool.word_addr(0, 1) - pool.word_addr(0, 0), (n * 4) as u64);
+    }
+
+    #[test]
+    fn warp_access_footprint_differs_by_layout() {
+        // The quantity the paper's Table X measures: number of distinct 32-B
+        // sectors touched when a 32-lane warp reads word 0 of each lane's
+        // state.
+        let sector = |addr: u64| addr / 32;
+        let count_sectors = |pool: &StatePool| {
+            let mut sectors: Vec<u64> =
+                (0..32).map(|lane| sector(pool.word_addr(lane, 0))).collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            sectors.len()
+        };
+        let aos = StatePool::aos(32, 3);
+        let soa = StatePool::coalesced(32, 3);
+        // AoS: 32 lanes * 24 B stride = 768 B = 24 sectors.
+        assert_eq!(count_sectors(&aos), 24);
+        // SoA: 32 lanes * 4 B contiguous = 128 B = 4 sectors.
+        assert_eq!(count_sectors(&soa), 4);
+    }
+
+    #[test]
+    fn size_is_layout_independent() {
+        assert_eq!(
+            StatePool::aos(100, 1).size_bytes(),
+            StatePool::coalesced(100, 1).size_bytes()
+        );
+        assert_eq!(StatePool::aos(100, 1).size_bytes(), 100 * 24);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        for layout in [StateLayout::ArrayOfStructs, StateLayout::Coalesced] {
+            let mut pool = StatePool::new(layout, 5, 9);
+            let st = XorWow::from_words([10, 20, 30, 40, 50], 60);
+            pool.store(3, st);
+            assert_eq!(pool.load(3), st);
+            // Neighbours untouched.
+            assert_eq!(pool.load(2), XorWow::init(9, 2));
+            assert_eq!(pool.load(4), XorWow::init(9, 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_pool_rejected() {
+        let _ = StatePool::aos(0, 1);
+    }
+
+    #[test]
+    fn label_strings_are_distinct() {
+        assert_ne!(
+            StateLayout::ArrayOfStructs.label(),
+            StateLayout::Coalesced.label()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! XORWOW — Marsaglia's xorshift generator with a Weyl sequence, as used by
+//! NVIDIA cuRAND (`curandStateXORWOW_t`).
+//!
+//! The paper's *coalesced random states* optimization (Sec. V-B2) is about
+//! the memory layout of exactly this state: cuRAND represents each state as
+//! a structure of six 32-bit words (five xorshift words + one Weyl counter),
+//! and the naive one-struct-per-thread placement produces uncoalesced
+//! global-memory traffic. The [`crate::states`] module builds both layouts
+//! on top of this generator.
+//!
+//! Algorithm (Marsaglia 2003, "Xorshift RNGs", §3.1 `xorwow`):
+//!
+//! ```text
+//! t = x ^ (x >> 2); x = y; y = z; z = w; w = v;
+//! v = (v ^ (v << 4)) ^ (t ^ (t << 1));
+//! d = d + 362437;
+//! return v + d;
+//! ```
+
+use crate::{Rng32, SplitMix64};
+
+/// Number of 32-bit words in one XORWOW state (five xorshift + one Weyl).
+pub const XORWOW_WORDS: usize = 6;
+
+/// A single XORWOW state, mirroring `curandStateXORWOW_t`'s PRNG core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorWow {
+    /// xorshift words `x, y, z, w, v`.
+    pub s: [u32; 5],
+    /// Weyl sequence counter `d`.
+    pub d: u32,
+}
+
+impl XorWow {
+    /// The Weyl increment used by Marsaglia's xorwow.
+    pub const WEYL: u32 = 362437;
+
+    /// Initialize from a 64-bit seed via SplitMix64 expansion, mimicking
+    /// `curand_init(seed, subsequence, 0, &state)` — each `(seed, sub)` pair
+    /// yields an independent-looking state.
+    pub fn init(seed: u64, subsequence: u64) -> Self {
+        let mut sm = SplitMix64::new(seed ^ subsequence.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut words = [0u64; 3];
+        sm.fill(&mut words);
+        let mut s = [
+            words[0] as u32,
+            (words[0] >> 32) as u32,
+            words[1] as u32,
+            (words[1] >> 32) as u32,
+            words[2] as u32,
+        ];
+        // Avoid the all-zero xorshift state.
+        if s == [0; 5] {
+            s = [1, 2, 3, 4, 5];
+        }
+        Self { s, d: (words[2] >> 32) as u32 }
+    }
+
+    /// Construct from explicit words (tests / state-pool round trips).
+    pub fn from_words(s: [u32; 5], d: u32) -> Self {
+        assert!(s != [0; 5], "xorwow xorshift state must not be all zero");
+        Self { s, d }
+    }
+
+    /// One raw transition, returning the output `v + d`.
+    #[inline]
+    pub fn step(&mut self) -> u32 {
+        let t = self.s[0] ^ (self.s[0] >> 2);
+        self.s[0] = self.s[1];
+        self.s[1] = self.s[2];
+        self.s[2] = self.s[3];
+        self.s[3] = self.s[4];
+        self.s[4] = (self.s[4] ^ (self.s[4] << 4)) ^ (t ^ (t << 1));
+        self.d = self.d.wrapping_add(Self::WEYL);
+        self.s[4].wrapping_add(self.d)
+    }
+}
+
+impl Rng32 for XorWow {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    /// Hand-stepped reference with s = (1,2,3,4,5), d = 0.
+    ///
+    /// t = 1 ^ (1>>2) = 1; new v = (5 ^ 80) ^ (1 ^ 2) = 85 ^ 3 = 86;
+    /// d = 362437; output = 86 + 362437 = 362523.
+    #[test]
+    fn reference_first_output() {
+        let mut g = XorWow::from_words([1, 2, 3, 4, 5], 0);
+        assert_eq!(g.step(), 362523);
+        assert_eq!(g.s, [2, 3, 4, 5, 86]);
+        assert_eq!(g.d, 362437);
+    }
+
+    #[test]
+    fn reference_second_output() {
+        let mut g = XorWow::from_words([1, 2, 3, 4, 5], 0);
+        g.step();
+        // t = 2 ^ 0 = 2; new v = (86 ^ (86<<4)) ^ (2 ^ 4)
+        let t = 2u32 ^ (2 >> 2);
+        let v = (86u32 ^ (86 << 4)) ^ (t ^ (t << 1));
+        let d = 362437u32.wrapping_add(362437);
+        assert_eq!(g.step(), v.wrapping_add(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn zero_state_rejected() {
+        let _ = XorWow::from_words([0; 5], 7);
+    }
+
+    #[test]
+    fn init_produces_distinct_subsequences() {
+        let a = XorWow::init(42, 0);
+        let b = XorWow::init(42, 1);
+        assert_ne!(a, b);
+        let mut a = a;
+        let mut b = b;
+        let av: Vec<u32> = (0..8).map(|_| a.step()).collect();
+        let bv: Vec<u32> = (0..8).map(|_| b.step()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let mut a = XorWow::init(7, 3);
+        let mut b = XorWow::init(7, 3);
+        for _ in 0..32 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn weyl_counter_always_advances() {
+        let mut g = XorWow::init(1, 0);
+        let mut prev_d = g.d;
+        for _ in 0..100 {
+            g.step();
+            assert_eq!(g.d, prev_d.wrapping_add(XorWow::WEYL));
+            prev_d = g.d;
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_mean_ok() {
+        let mut g = XorWow::init(99, 0);
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn xorshift_core_never_hits_zero() {
+        let mut g = XorWow::init(0, 0);
+        for _ in 0..10_000 {
+            g.step();
+            assert_ne!(g.s, [0; 5]);
+        }
+    }
+}

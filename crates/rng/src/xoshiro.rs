@@ -1,0 +1,259 @@
+//! Xoshiro256+ and Xoshiro256** — Blackman & Vigna's scrambled linear
+//! generators.
+//!
+//! `odgi-layout` uses **Xoshiro256+** for every random decision in the
+//! path-guided SGD inner loop (paper Sec. III-B cites it explicitly as the
+//! LFSR-based PRNG whose low compute cost contributes to the workload being
+//! memory-bound). We implement the 256-bit variants from the published
+//! algorithm, plus the `jump()` function used to give each layout thread a
+//! provably disjoint subsequence (2^128 steps apart) — this is how the
+//! Hogwild CPU engine seeds its workers.
+
+use crate::{Rng64, SplitMix64};
+
+/// Shared 256-bit xoshiro state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct State256 {
+    s: [u64; 4],
+}
+
+impl State256 {
+    #[inline]
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        sm.fill(&mut s);
+        // SplitMix64 cannot produce four zero words in a row, but guard
+        // anyway: the all-zero state is the one fixed point of the LFSR.
+        if s == [0, 0, 0, 0] {
+            s = [0x9E3779B97F4A7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    /// The xoshiro256 state transition (identical for + and ** variants).
+    #[inline]
+    fn advance(&mut self) {
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+    }
+
+    /// Jump polynomial for 2^128 state advances.
+    const JUMP: [u64; 4] = [
+        0x180EC6D33CFD0ABA,
+        0xD5A61266F0C9392C,
+        0xA9582618E03FC9AA,
+        0x39ABDC4529B1661C,
+    ];
+
+    /// Advance the state by 2^128 steps. Used to partition one seed into
+    /// non-overlapping per-thread streams.
+    fn jump(&mut self, output: impl Fn(&State256) -> u64) {
+        let mut acc = [0u64; 4];
+        for &jw in Self::JUMP.iter() {
+            for b in 0..64 {
+                if (jw & (1u64 << b)) != 0 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                // advance one step; the output function is irrelevant to the
+                // transition but kept for signature symmetry.
+                let _ = output(self);
+                self.advance();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+/// Xoshiro256+ — returns `s[0] + s[3]`. The generator used by odgi-layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256Plus {
+    state: State256,
+}
+
+impl Xoshiro256Plus {
+    /// Seed via SplitMix64 expansion (the recommended procedure).
+    #[inline]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: State256::from_seed(seed) }
+    }
+
+    /// Construct from explicit state words (must not be all zero).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "xoshiro state must not be all zero");
+        Self { state: State256 { s } }
+    }
+
+    /// Expose the state words (for tests and serialization).
+    pub fn state(&self) -> [u64; 4] {
+        self.state.s
+    }
+
+    /// Jump 2^128 steps ahead; returns a new generator and leaves `self`
+    /// positioned at the start of the following stream.
+    pub fn jump(&mut self) -> Self {
+        let out = *self;
+        self.state.jump(|st| st.s[0].wrapping_add(st.s[3]));
+        out
+    }
+
+    /// Derive `n` provably non-overlapping generators for `n` threads.
+    pub fn split_streams(seed: u64, n: usize) -> Vec<Self> {
+        let mut root = Self::seed_from_u64(seed);
+        (0..n).map(|_| root.jump()).collect()
+    }
+}
+
+impl Rng64 for Xoshiro256Plus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state.s[0].wrapping_add(self.state.s[3]);
+        self.state.advance();
+        result
+    }
+}
+
+/// Xoshiro256** — the all-purpose variant (stronger scrambling; used where
+/// low-bit quality matters, e.g. workload generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    state: State256,
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 expansion.
+    #[inline]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: State256::from_seed(seed) }
+    }
+
+    /// Jump 2^128 steps ahead (see [`Xoshiro256Plus::jump`]).
+    pub fn jump(&mut self) -> Self {
+        let out = *self;
+        self.state
+            .jump(|st| st.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9));
+        out
+    }
+}
+
+impl Rng64 for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        self.state.advance();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-stepped reference: xoshiro256+ with state (1, 2, 3, 4).
+    ///
+    /// Step 0 output: s0 + s3 = 1 + 4 = 5.
+    /// Transition: t = 2<<17 = 0x40000; s2^=s0 -> 2; s3^=s1 -> 6; s1^=s2 -> 0;
+    ///   s0^=s3 -> 7; s2^=t -> 0x40002; s3 = rotl(6,45) = 6<<45.
+    /// Step 1 output: 7 + (6<<45) = 0xC0000000000007.
+    #[test]
+    fn reference_first_two_outputs() {
+        let mut g = Xoshiro256Plus::from_state([1, 2, 3, 4]);
+        assert_eq!(g.next_u64(), 5);
+        assert_eq!(g.next_u64(), (6u64 << 45) + 7);
+    }
+
+    #[test]
+    fn starstar_reference_first_output() {
+        // output = rotl(s1 * 5, 7) * 9 with s1 = 2 => rotl(10,7)*9 = 1280*9.
+        let mut g = Xoshiro256StarStar {
+            state: State256 { s: [1, 2, 3, 4] },
+        };
+        assert_eq!(g.next_u64(), 11520);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256Plus::from_state([0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Xoshiro256Plus::seed_from_u64(123);
+        let mut b = Xoshiro256Plus::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256Plus::seed_from_u64(1);
+        let mut b = Xoshiro256Plus::seed_from_u64(2);
+        let av: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn jump_streams_do_not_collide_early() {
+        // Streams 2^128 apart cannot overlap in any feasible test window;
+        // check the first outputs differ pairwise.
+        let streams = Xoshiro256Plus::split_streams(7, 8);
+        let firsts: Vec<u64> = streams
+            .into_iter()
+            .map(|mut g| g.next_u64())
+            .collect();
+        for i in 0..firsts.len() {
+            for j in (i + 1)..firsts.len() {
+                assert_ne!(firsts[i], firsts[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_preserves_original_stream_prefix() {
+        // jump() returns the pre-jump generator: its outputs must equal the
+        // un-jumped generator's outputs.
+        let mut root = Xoshiro256Plus::seed_from_u64(99);
+        let reference = root; // copy
+        let mut first_stream = root.jump();
+        let mut r = reference;
+        for _ in 0..32 {
+            assert_eq!(first_stream.next_u64(), r.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_never_all_zero_during_run() {
+        let mut g = Xoshiro256Plus::seed_from_u64(0);
+        for _ in 0..10_000 {
+            g.next_u64();
+            assert_ne!(g.state(), [0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_near_half() {
+        use crate::Rng64;
+        let mut g = Xoshiro256Plus::seed_from_u64(2024);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn starstar_low_bits_balanced() {
+        let mut g = Xoshiro256StarStar::seed_from_u64(5);
+        let ones = (0..10_000).filter(|_| g.next_u64() & 1 == 1).count();
+        assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+}

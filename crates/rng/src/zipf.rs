@@ -1,0 +1,298 @@
+//! Power-law ("dirty Zipfian") sampling of node-pair rank distances.
+//!
+//! During the cooling phase of path-guided SGD (Alg. 1 line 8) the second
+//! node of a pair is chosen close to the first with a Zipf-distributed rank
+//! distance, which refines local structure. `odgi-layout` implements this
+//! with a "dirty" variant of the classic Gray et al. bounded Zipfian
+//! generator ("Quickly generating billion-record synthetic databases",
+//! SIGMOD'94): the ζ(n, θ) normalizer is precomputed for a *quantized* set
+//! of space sizes and the nearest precomputed value is used for any actual
+//! path length — trading an imperceptible distribution error for O(1)
+//! sampling. We reproduce that scheme here, including odgi's default
+//! parameters (θ = 0.99, `space_max` = 1000, quantization step = 100).
+
+use crate::Rng64;
+
+/// odgi-layout's default Zipf exponent θ.
+pub const DEFAULT_THETA: f64 = 0.99;
+/// odgi-layout's default exactly-tabulated space bound.
+pub const DEFAULT_SPACE_MAX: u64 = 1000;
+/// odgi-layout's default quantization step beyond `space_max`.
+pub const DEFAULT_QUANT_STEP: u64 = 100;
+
+/// Generalized harmonic number ζ(n, θ) = Σ_{k=1..n} k^-θ, computed by
+/// direct summation. O(n); used only for table construction and tests.
+pub fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for k in 1..=n {
+        sum += (k as f64).powf(-theta);
+    }
+    sum
+}
+
+/// Bounded Zipf sample in `[1, n]` via Gray et al.'s inverse-CDF
+/// approximation, given a (possibly approximate) ζ(n, θ).
+///
+/// `theta` must be in (0, 1); `n ≥ 1`.
+#[inline]
+pub fn sample_zipf<R: Rng64>(rng: &mut R, n: u64, theta: f64, zetan: f64) -> u64 {
+    debug_assert!(n >= 1);
+    debug_assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+    if n == 1 {
+        // Still consume one draw so call counts stay layout-independent.
+        let _ = rng.next_f64();
+        return 1;
+    }
+    let alpha = 1.0 / (1.0 - theta);
+    let nf = n as f64;
+    let eta = (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+    let u = rng.next_f64();
+    let uz = u * zetan;
+    if uz < 1.0 {
+        return 1;
+    }
+    if uz < 1.0 + 0.5f64.powf(theta) {
+        return 2;
+    }
+    let v = 1 + (nf * (eta * u - eta + 1.0).powf(alpha)) as u64;
+    v.min(n)
+}
+
+/// Precomputed ζ table over quantized space sizes (odgi's "dirty" scheme).
+///
+/// For spaces `s ≤ space_max` the exact ζ(s, θ) is tabulated; beyond that,
+/// ζ is tabulated at `space_max + k·quant_step` and lookups round *down* to
+/// the nearest tabulated point, underestimating the normalizer by a
+/// vanishing relative amount (ζ grows ~log n for θ near 1).
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    theta: f64,
+    space_max: u64,
+    quant_step: u64,
+    /// `exact[s]` = ζ(s, θ) for s in 0..=space_max (index 0 unused = 0).
+    exact: Vec<f64>,
+    /// `quantized[k]` = ζ(space_max + (k+1)·quant_step, θ).
+    quantized: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build a table covering spaces up to `max_space`, with odgi's scheme.
+    pub fn new(theta: f64, space_max: u64, quant_step: u64, max_space: u64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        assert!(space_max >= 2 && quant_step >= 1);
+        let mut exact = Vec::with_capacity(space_max as usize + 1);
+        exact.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=space_max {
+            acc += (k as f64).powf(-theta);
+            exact.push(acc);
+        }
+        let mut quantized = Vec::new();
+        if max_space > space_max {
+            let mut k = space_max;
+            let mut z = acc;
+            while k < max_space {
+                let next = (k + quant_step).min(u64::MAX);
+                for j in (k + 1)..=next {
+                    z += (j as f64).powf(-theta);
+                }
+                quantized.push(z);
+                k = next;
+            }
+        }
+        Self { theta, space_max, quant_step, exact, quantized }
+    }
+
+    /// Build with odgi's default parameters, covering `max_space`.
+    pub fn with_defaults(max_space: u64) -> Self {
+        Self::new(DEFAULT_THETA, DEFAULT_SPACE_MAX, DEFAULT_QUANT_STEP, max_space)
+    }
+
+    /// The Zipf exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// ζ(s', θ) for the largest tabulated s' ≤ `space` (exact when
+    /// `space ≤ space_max`). `space` must be ≥ 1.
+    #[inline]
+    pub fn zeta_for(&self, space: u64) -> f64 {
+        debug_assert!(space >= 1);
+        if space <= self.space_max {
+            self.exact[space as usize]
+        } else {
+            let k = (space - self.space_max) / self.quant_step;
+            if k == 0 {
+                self.exact[self.space_max as usize]
+            } else {
+                let idx = (k as usize - 1).min(self.quantized.len().saturating_sub(1));
+                if self.quantized.is_empty() {
+                    self.exact[self.space_max as usize]
+                } else {
+                    self.quantized[idx]
+                }
+            }
+        }
+    }
+
+    /// Draw a Zipf-distributed rank distance in `[1, space]`.
+    #[inline]
+    pub fn sample<R: Rng64>(&self, rng: &mut R, space: u64) -> u64 {
+        sample_zipf(rng, space, self.theta, self.zeta_for(space))
+    }
+}
+
+/// A small convenience wrapper bundling a table with a fixed space (used in
+/// micro-benchmarks where the path length is constant).
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    table: ZipfTable,
+    space: u64,
+}
+
+impl ZipfGen {
+    /// Build a generator for distances in `[1, space]`.
+    pub fn new(theta: f64, space: u64) -> Self {
+        Self {
+            table: ZipfTable::new(
+                theta,
+                DEFAULT_SPACE_MAX.min(space.max(2)),
+                DEFAULT_QUANT_STEP,
+                space,
+            ),
+            space,
+        }
+    }
+
+    /// Draw a sample in `[1, space]`.
+    #[inline]
+    pub fn sample<R: Rng64>(&self, rng: &mut R) -> u64 {
+        self.table.sample(rng, self.space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256Plus;
+
+    #[test]
+    fn zeta_small_values() {
+        assert!((zeta(1, 0.99) - 1.0).abs() < 1e-12);
+        let z2 = 1.0 + 0.5f64.powf(0.99);
+        assert!((zeta(2, 0.99) - z2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_is_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in 1..200 {
+            let z = zeta(n, 0.99);
+            assert!(z > prev);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn samples_are_within_bounds() {
+        let mut rng = Xoshiro256Plus::seed_from_u64(1);
+        let table = ZipfTable::with_defaults(100_000);
+        for &space in &[1u64, 2, 3, 10, 999, 1000, 1001, 5000, 100_000] {
+            for _ in 0..500 {
+                let x = table.sample(&mut rng, space);
+                assert!((1..=space).contains(&x), "x={x} space={space}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_has_expected_mass() {
+        // P(X = 1) = 1/zeta(n); check empirically within loose tolerance.
+        let n = 1000u64;
+        let zetan = zeta(n, 0.99);
+        let expect = 1.0 / zetan;
+        let mut rng = Xoshiro256Plus::seed_from_u64(7);
+        let draws = 200_000;
+        let ones = (0..draws)
+            .filter(|_| sample_zipf(&mut rng, n, 0.99, zetan) == 1)
+            .count();
+        let freq = ones as f64 / draws as f64;
+        assert!(
+            (freq - expect).abs() < 0.01,
+            "freq={freq:.4} expect={expect:.4}"
+        );
+    }
+
+    #[test]
+    fn distribution_is_heavily_skewed_to_small_ranks() {
+        let mut rng = Xoshiro256Plus::seed_from_u64(11);
+        let gen = ZipfGen::new(0.99, 10_000);
+        let draws = 50_000;
+        let small = (0..draws).filter(|_| gen.sample(&mut rng) <= 10).count();
+        // For theta=0.99 over [1,10000], zeta(10)/zeta(10000) ≈ 0.28 of the
+        // mass sits on ranks <= 10 — orders of magnitude above the uniform
+        // mass of 0.001.
+        let frac = small as f64 / draws as f64;
+        assert!((0.2..0.45).contains(&frac), "small-rank mass = {frac}");
+    }
+
+    #[test]
+    fn quantized_zeta_rounds_down() {
+        let t = ZipfTable::new(0.99, 100, 10, 1000);
+        // Inside the exact range.
+        assert!((t.zeta_for(50) - zeta(50, 0.99)).abs() < 1e-9);
+        assert!((t.zeta_for(100) - zeta(100, 0.99)).abs() < 1e-9);
+        // Just past space_max: rounds down to zeta(100).
+        assert!((t.zeta_for(105) - zeta(100, 0.99)).abs() < 1e-9);
+        // At the first quantization point.
+        assert!((t.zeta_for(110) - zeta(110, 0.99)).abs() < 1e-9);
+        // Between points: rounds down.
+        assert!((t.zeta_for(119) - zeta(110, 0.99)).abs() < 1e-9);
+        // Relative error of the dirty scheme stays tiny.
+        let approx = t.zeta_for(995);
+        let exact = zeta(995, 0.99);
+        assert!((exact - approx) / exact < 0.01);
+    }
+
+    #[test]
+    fn space_one_always_returns_one() {
+        let mut rng = Xoshiro256Plus::seed_from_u64(3);
+        let table = ZipfTable::with_defaults(10);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng, 1), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let table = ZipfTable::with_defaults(5000);
+        let mut a = Xoshiro256Plus::seed_from_u64(42);
+        let mut b = Xoshiro256Plus::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut a, 5000), table.sample(&mut b, 5000));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_out_of_range_rejected() {
+        let _ = ZipfTable::new(1.0, 100, 10, 100);
+    }
+
+    #[test]
+    fn mean_rank_grows_with_space() {
+        // Sanity: the expected sampled distance grows (slowly) with space.
+        let mut rng = Xoshiro256Plus::seed_from_u64(5);
+        let table = ZipfTable::with_defaults(100_000);
+        let mean = |space: u64, rng: &mut Xoshiro256Plus| {
+            let n = 20_000;
+            (0..n).map(|_| table.sample(rng, space) as f64).sum::<f64>() / n as f64
+        };
+        let m_small = mean(100, &mut rng);
+        let m_large = mean(100_000, &mut rng);
+        assert!(
+            m_large > 2.0 * m_small,
+            "m_small={m_small:.2} m_large={m_large:.2}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Statistical property tests for the sampling machinery: correctness of
+//! the distributions the layout algorithm's quality depends on
+//! (paper Sec. III-C: "randomness is critical to the layout quality").
+
+use pgrng::{zipf, AliasTable, Rng64, StatePool, Xoshiro256Plus, ZipfTable};
+use proptest::prelude::*;
+
+/// Empirical CDF of zipf samples must be monotone and match the
+/// analytic CDF (zeta(k)/zeta(n)) within sampling error.
+#[test]
+fn zipf_empirical_cdf_matches_analytic() {
+    let n = 200u64;
+    let theta = 0.99;
+    let zetan = zipf::zeta(n, theta);
+    let mut rng = Xoshiro256Plus::seed_from_u64(41);
+    let draws = 200_000;
+    let mut counts = vec![0u64; n as usize + 1];
+    for _ in 0..draws {
+        counts[zipf::sample_zipf(&mut rng, n, theta, zetan) as usize] += 1;
+    }
+    let mut cum = 0u64;
+    for k in [1u64, 2, 5, 10, 50, 100, 200] {
+        cum = counts[..=k as usize].iter().sum();
+        let emp = cum as f64 / draws as f64;
+        let analytic = zipf::zeta(k, theta) / zetan;
+        assert!(
+            (emp - analytic).abs() < 0.02,
+            "CDF at {k}: empirical {emp:.4} vs analytic {analytic:.4}"
+        );
+    }
+    assert_eq!(cum, draws);
+}
+
+/// Chi-square-style check that alias sampling matches its weights.
+#[test]
+fn alias_chi_square_within_bounds() {
+    let weights = [5.0, 1.0, 3.0, 0.5, 10.0, 2.5];
+    let total: f64 = weights.iter().sum();
+    let table = AliasTable::new(&weights);
+    let mut rng = Xoshiro256Plus::seed_from_u64(17);
+    let draws = 300_000usize;
+    let mut counts = vec![0f64; weights.len()];
+    for _ in 0..draws {
+        counts[table.sample(&mut rng)] += 1.0;
+    }
+    let chi2: f64 = weights
+        .iter()
+        .zip(&counts)
+        .map(|(&w, &c)| {
+            let expect = draws as f64 * w / total;
+            (c - expect) * (c - expect) / expect
+        })
+        .sum();
+    // 5 degrees of freedom: P(chi2 > 20.5) ≈ 0.001.
+    assert!(chi2 < 20.5, "chi-square {chi2:.1}");
+}
+
+/// The monobit and runs behaviour of xoshiro output stays sane across
+/// seeds (coarse randomness health check, not a NIST suite).
+#[test]
+fn xoshiro_bit_balance_across_seeds() {
+    for seed in [0u64, 1, 42, u64::MAX] {
+        let mut rng = Xoshiro256Plus::seed_from_u64(seed);
+        let mut ones = 0u64;
+        let n = 4096;
+        for _ in 0..n {
+            ones += rng.next_u64().count_ones() as u64;
+        }
+        let frac = ones as f64 / (64.0 * n as f64);
+        assert!((frac - 0.5).abs() < 0.01, "seed {seed}: ones fraction {frac}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// zipf samples are always within bounds for arbitrary spaces/thetas.
+    #[test]
+    fn zipf_bounds_hold(space in 1u64..5000, theta in 0.05f64..0.999, seed in 0u64..500) {
+        let zetan = zipf::zeta(space, theta);
+        let mut rng = Xoshiro256Plus::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = zipf::sample_zipf(&mut rng, space, theta, zetan);
+            prop_assert!((1..=space).contains(&x));
+        }
+    }
+
+    /// Zipf table lookups never exceed the exact zeta and are within 2%.
+    #[test]
+    fn zipf_table_underestimates_slightly(space in 2u64..4000) {
+        let table = ZipfTable::with_defaults(4000);
+        let approx = table.zeta_for(space);
+        let exact = zipf::zeta(space, 0.99);
+        prop_assert!(approx <= exact + 1e-9);
+        prop_assert!(approx >= exact * 0.98, "approx {} exact {}", approx, exact);
+    }
+
+    /// State pools stay in lockstep with the standalone generator even
+    /// under interleaved access orders.
+    #[test]
+    fn pool_interleaving_preserves_streams(
+        n in 2usize..32,
+        order in prop::collection::vec(0usize..32, 1..200),
+        seed in 0u64..100,
+    ) {
+        let mut pool = StatePool::coalesced(n, seed);
+        let mut refs: Vec<pgrng::XorWow> =
+            (0..n).map(|i| pgrng::XorWow::init(seed, i as u64)).collect();
+        for &pick in &order {
+            let i = pick % n;
+            prop_assert_eq!(pool.next_u32(i), refs[i].step());
+        }
+    }
+}

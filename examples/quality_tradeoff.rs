@@ -1,0 +1,66 @@
+//! Performance–quality trade-off exploration (paper Sec. VII-D, Fig. 17).
+//!
+//! Runs the optimized GPU kernel with the paper's seven warp-shuffle
+//! data-reuse schemes `(DRF, SRF)` on a scaled Chr.1 pangenome, printing
+//! normalized speedup against sampled path stress, and classifying each
+//! scheme Good / Satisfying / Poor with the paper's thresholds (stress
+//! < 2× baseline = good, < 10× = satisfying).
+//!
+//! ```sh
+//! cargo run --release --example quality_tradeoff [scale]
+//! ```
+
+use rapid_pangenome_layout::prelude::*;
+
+const SCHEMES: [(u32, f64); 7] =
+    [(1, 1.0), (2, 1.5), (4, 1.5), (2, 1.75), (4, 2.0), (8, 2.0), (8, 2.5)];
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0003);
+    let spec = hprc_catalog()[0].spec(scale);
+    let graph = generate(&spec);
+    let lean = LeanGraph::from_graph(&graph);
+    println!(
+        "{}: {} nodes, exploring {} reuse schemes",
+        spec.name,
+        graph.node_count(),
+        SCHEMES.len()
+    );
+
+    let lcfg = LayoutConfig { seed: 3, ..Default::default() };
+    let mut baseline: Option<(f64, f64)> = None; // (modeled_s, sps)
+
+    println!("{:<10} {:>12} {:>14} {:>12}", "(DRF,SRF)", "speedup", "sampled-stress", "verdict");
+    for (drf, srf) in SCHEMES {
+        let kcfg = if drf == 1 {
+            KernelConfig::optimized(scale)
+        } else {
+            KernelConfig::optimized(scale).with_reuse(drf, srf)
+        };
+        let engine = GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg);
+        let (layout, report) = engine.run(&lean);
+        let sps = sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
+        let (base_t, base_q) = *baseline.get_or_insert((report.modeled_s(), sps));
+        let speedup = base_t / report.modeled_s();
+        let verdict = if sps < 2.0 * base_q.max(1e-9) {
+            "good"
+        } else if sps < 10.0 * base_q.max(1e-9) {
+            "satisfying"
+        } else {
+            "poor"
+        };
+        println!("({drf},{srf:<4})   {speedup:>11.2}x {sps:>14.4} {verdict:>12}");
+        if drf == 1 {
+            assert!((speedup - 1.0).abs() < 1e-9, "baseline is 1x by definition");
+        } else {
+            assert!(speedup > 1.0, "reuse must be modeled faster");
+        }
+    }
+    println!(
+        "\nPaper finding (Sec. VII-D): DRF 2 schemes stay good/satisfying; DRF 8 turns poor;\n\
+         up to ~1.5x extra speedup is available while keeping good quality."
+    );
+}

@@ -1,0 +1,166 @@
+//! Mechanized versions of the paper's headline claims, at test scale.
+//!
+//! Each test is one sentence from the paper turned into an assertion the
+//! CI can evaluate in seconds. These complement the `repro` harness's
+//! full-table shape checks.
+
+use rapid_pangenome_layout::core::init::init_random;
+use rapid_pangenome_layout::gpu::cpusim::{characterize_cpu, cpu_model, modeled_cpu_time_s};
+use rapid_pangenome_layout::metrics::{path_stress, pearson};
+use rapid_pangenome_layout::prelude::*;
+use rapid_pangenome_layout::workloads::hprc_catalog;
+
+const SCALE: f64 = 2e-4;
+
+fn chr1_lean() -> LeanGraph {
+    let spec = hprc_catalog()[0].spec(SCALE);
+    LeanGraph::from_graph(&generate(&spec))
+}
+
+fn fast_cfg() -> LayoutConfig {
+    LayoutConfig { iter_max: 12, seed: 99, ..LayoutConfig::default() }
+}
+
+/// "Our GPU-based solution achieves a 57.3x speedup over the
+/// state-of-the-art multithreaded CPU baseline" — modeled-to-modeled, the
+/// simulated A100 must beat the modeled odgi baseline by an order of
+/// magnitude.
+#[test]
+fn claim_gpu_beats_cpu_by_an_order_of_magnitude() {
+    let lean = chr1_lean();
+    let lcfg = fast_cfg();
+    let trace = characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, SCALE, 60_000);
+    let cpu_s = modeled_cpu_time_s(&lean, &lcfg, &trace, cpu_model::THREADS);
+    let (_, report) = GpuEngine::new(
+        GpuSpec::a100(),
+        lcfg,
+        KernelConfig::optimized(SCALE),
+    )
+    .run(&lean);
+    let speedup = cpu_s / report.modeled_s();
+    assert!(
+        speedup > 10.0,
+        "modeled A100 speedup {speedup:.1}x below an order of magnitude"
+    );
+}
+
+/// "…without layout quality loss" — Table VIII's SPS ratio stays near 1.
+#[test]
+fn claim_no_quality_loss_on_gpu() {
+    let lean = chr1_lean();
+    let lcfg = LayoutConfig { iter_max: 20, seed: 3, ..LayoutConfig::default() };
+    let (cpu_layout, _) = CpuEngine::new(lcfg.clone()).run(&lean);
+    let (gpu_layout, _) =
+        GpuEngine::new(GpuSpec::a6000(), lcfg, KernelConfig::optimized(SCALE)).run(&lean);
+    let cfg = SamplingConfig::default();
+    let qc = sampled_path_stress(&cpu_layout, &lean, cfg).mean;
+    let qg = sampled_path_stress(&gpu_layout, &lean, cfg).mean;
+    assert!(qc < 0.05, "CPU layout must converge (sps {qc})");
+    assert!(qg < 0.05, "GPU layout must converge (sps {qg})");
+}
+
+/// "This workload … is memory-bound" (Fig. 5 / Table II).
+#[test]
+fn claim_workload_is_memory_bound() {
+    let lean = chr1_lean();
+    let r = characterize_cpu(&lean, &fast_cfg(), DataLayout::OriginalSoa, SCALE, 60_000);
+    assert!(
+        r.memory_bound_pct() > 40.0,
+        "memory-bound share {:.1}% too low",
+        r.memory_bound_pct()
+    );
+    assert!(r.llc_miss_rate() > 0.5, "LLC miss rate {:.2}", r.llc_miss_rate());
+}
+
+/// "Randomness is critical to the layout quality" (Fig. 6).
+#[test]
+fn claim_randomness_is_critical() {
+    let spec = workloads::PangenomeSpec::basic("rand", 400, 6, 5);
+    let lean = LeanGraph::from_graph(&generate(&spec));
+    let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+    let random = init_random(&lean, total, 1);
+    let mk = |sel| LayoutConfig { pair_selection: sel, iter_max: 15, ..LayoutConfig::default() };
+    let (good, _) = CpuEngine::new(mk(PairSelection::PgSgd)).run_from(&lean, &random);
+    let (bad, _) = CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
+    let qg = path_stress(&good, &lean).stress;
+    let qb = path_stress(&bad, &lean).stress;
+    assert!(qb > 3.0 * qg, "de-randomized selection must fail: {qb} vs {qg}");
+}
+
+/// "Each of the three optimizations improves the kernel" (Fig. 16's
+/// incremental chain, directionally).
+#[test]
+fn claim_each_optimization_helps() {
+    let lean = chr1_lean();
+    let lcfg = fast_cfg();
+    let run = |kcfg: KernelConfig| {
+        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg)
+            .run(&lean)
+            .1
+    };
+    let base = run(KernelConfig::base(SCALE));
+    let cdl = run(KernelConfig::base(SCALE).with_cdl());
+    let crs = run(KernelConfig::base(SCALE).with_crs());
+    let wm = run(KernelConfig::base(SCALE).with_wm());
+    let opt = run(KernelConfig::optimized(SCALE));
+    assert!(cdl.modeled_s() < base.modeled_s(), "CDL");
+    assert!(crs.modeled_s() < base.modeled_s(), "CRS");
+    assert!(wm.warp.warp_instructions < base.warp.warp_instructions, "WM instructions");
+    assert!(
+        opt.modeled_s() < cdl.modeled_s().min(crs.modeled_s()),
+        "combined optimizations beat each alone"
+    );
+}
+
+/// "Sampled path stress closely approximates path stress" (Fig. 13).
+#[test]
+fn claim_sampled_stress_tracks_exact() {
+    let specs = workloads::small_graph_family(10, 21);
+    let mut exact = Vec::new();
+    let mut sampled = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let lean = LeanGraph::from_graph(&generate(spec));
+        let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+        let random = init_random(&lean, total, i as u64);
+        for iters in [0u32, 3, 12] {
+            let layout = if iters == 0 {
+                random.clone()
+            } else {
+                CpuEngine::new(LayoutConfig { iter_max: iters, ..LayoutConfig::default() })
+                    .run_from(&lean, &random)
+                    .0
+            };
+            let e = path_stress(&layout, &lean).stress;
+            let s = sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
+            if e > 0.0 && s > 0.0 {
+                exact.push(e.log10());
+                sampled.push(s.log10());
+            }
+        }
+    }
+    let r = pearson(&exact, &sampled);
+    assert!(r > 0.95, "log-log correlation {r:.3} (paper: 0.995)");
+}
+
+/// "Run time is linear in total path length" (Fig. 15), which is what
+/// justifies scaled reproduction.
+#[test]
+fn claim_cost_linear_in_path_length() {
+    let lcfg = LayoutConfig { iter_max: 5, ..LayoutConfig::default() };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for mult in [1.0, 2.0, 4.0] {
+        let spec = hprc_catalog()[3].spec(SCALE * mult); // chr4
+        let lean = LeanGraph::from_graph(&generate(&spec));
+        let (_, r) = GpuEngine::new(
+            GpuSpec::a6000(),
+            lcfg.clone(),
+            KernelConfig::optimized(SCALE * mult),
+        )
+        .run(&lean);
+        xs.push(lean.total_path_nuc_len() as f64);
+        ys.push(r.modeled_s());
+    }
+    let r = pearson(&xs, &ys);
+    assert!(r > 0.97, "modeled time vs path length r = {r:.3}");
+}

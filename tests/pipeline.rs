@@ -1,0 +1,126 @@
+//! End-to-end pipeline integration tests: generator → GFA → lean graph →
+//! layout engines → metrics → persistence → rendering.
+
+use rapid_pangenome_layout::core::init::init_random;
+use rapid_pangenome_layout::io::{load_lay, save_lay};
+use rapid_pangenome_layout::metrics::path_stress;
+use rapid_pangenome_layout::prelude::*;
+use rapid_pangenome_layout::workloads::PangenomeSpec as Spec;
+
+fn small_graph(seed: u64) -> VariationGraph {
+    let mut spec = Spec::basic("it", 250, 6, seed);
+    spec.sv_sites = 2;
+    spec.loop_sites = 1;
+    generate(&spec)
+}
+
+#[test]
+fn generate_layout_score_render_persist() {
+    let graph = small_graph(1);
+    let lean = LeanGraph::from_graph(&graph);
+
+    // Layout.
+    let cfg = LayoutConfig { iter_max: 15, threads: 2, seed: 5, ..Default::default() };
+    let (layout, report) = CpuEngine::new(cfg).run(&lean);
+    assert!(layout.all_finite());
+    assert!(report.terms_applied > 1000);
+
+    // Quality: converged layouts score well on both metrics, and the
+    // sampled estimator tracks the exact one.
+    let exact = path_stress(&layout, &lean);
+    let sampled = sampled_path_stress(&layout, &lean, SamplingConfig::default());
+    assert!(exact.stress < 1.0, "exact stress {}", exact.stress);
+    assert!(sampled.mean < 1.0, "sampled stress {}", sampled.mean);
+    let ratio = sampled.mean / exact.stress.max(1e-12);
+    assert!((0.1..10.0).contains(&ratio), "tracking ratio {ratio}");
+
+    // Persistence round trip.
+    let dir = std::env::temp_dir().join("rpl_pipeline_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lay_path = dir.join("x.lay");
+    save_lay(&layout, &lay_path).unwrap();
+    let back = load_lay(&lay_path).unwrap();
+    assert_eq!(back, layout);
+    std::fs::remove_file(&lay_path).ok();
+
+    // Rendering.
+    let svg = to_svg(&layout, &lean, &DrawOptions::default());
+    assert_eq!(svg.matches("<line ").count(), lean.node_count());
+    let img = rasterize(&layout, &lean, 256);
+    assert!(img.ink_fraction() > 0.0005);
+}
+
+#[test]
+fn gfa_round_trip_preserves_layout_semantics() {
+    // Writing a generated graph to GFA and re-parsing must preserve the
+    // exact layout problem: same d_ref structure, same stress for the
+    // same layout.
+    let graph = small_graph(2);
+    let text = write_gfa(&graph);
+    let reparsed = parse_gfa(&text).expect("round trip");
+    let lean_a = LeanGraph::from_graph(&graph);
+    let lean_b = LeanGraph::from_graph(&reparsed);
+    assert_eq!(lean_a.node_len, lean_b.node_len);
+    assert_eq!(lean_a.step_node, lean_b.step_node);
+    assert_eq!(lean_a.step_pos, lean_b.step_pos);
+
+    let cfg = LayoutConfig { iter_max: 8, threads: 1, seed: 3, ..Default::default() };
+    let (layout, _) = CpuEngine::new(cfg).run(&lean_a);
+    let sa = path_stress(&layout, &lean_a).stress;
+    let sb = path_stress(&layout, &lean_b).stress;
+    assert!((sa - sb).abs() < 1e-12, "{sa} vs {sb}");
+}
+
+#[test]
+fn path_index_agrees_with_lean_view() {
+    let graph = small_graph(3);
+    let idx = PathIndex::build(&graph);
+    let lean = LeanGraph::from_graph(&graph);
+    assert_eq!(idx.total_steps(), lean.total_steps());
+    for p in 0..graph.path_count() as u32 {
+        assert_eq!(idx.steps_in(p), lean.steps_in(p));
+        for i in 0..idx.steps_in(p) {
+            let s = lean.flat_step(p, i);
+            assert_eq!(idx.pos_at(p, i), lean.pos_of_flat(s));
+            assert_eq!(idx.handle_at(p, i).id(), lean.node_of_flat(s));
+        }
+    }
+}
+
+#[test]
+fn all_three_engines_improve_the_same_random_start() {
+    let graph = small_graph(4);
+    let lean = LeanGraph::from_graph(&graph);
+    let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
+    let random = init_random(&lean, total, 9);
+    let before = path_stress(&random, &lean).stress;
+
+    let lcfg = LayoutConfig { iter_max: 15, threads: 2, seed: 7, ..Default::default() };
+
+    // CPU engine from the random start.
+    let (cpu_layout, _) = CpuEngine::new(lcfg.clone()).run_from(&lean, &random);
+    let cpu_q = path_stress(&cpu_layout, &lean).stress;
+    assert!(cpu_q < before / 5.0, "cpu {cpu_q} vs random {before}");
+
+    // Batch engine (linear init internally — still must land far below
+    // the random-layout stress).
+    let (batch_layout, _) = BatchEngine::new(lcfg.clone(), 512).run(&lean);
+    let batch_q = path_stress(&batch_layout, &lean).stress;
+    assert!(batch_q < before / 5.0, "batch {batch_q} vs random {before}");
+
+    // GPU simulator.
+    let (gpu_layout, _) =
+        GpuEngine::new(GpuSpec::a6000(), lcfg, KernelConfig::optimized(0.01)).run(&lean);
+    let gpu_q = path_stress(&gpu_layout, &lean).stress;
+    assert!(gpu_q < before / 5.0, "gpu {gpu_q} vs random {before}");
+}
+
+#[test]
+fn layout_tsv_export_has_all_endpoints() {
+    let graph = small_graph(5);
+    let lean = LeanGraph::from_graph(&graph);
+    let cfg = LayoutConfig { iter_max: 4, threads: 1, ..Default::default() };
+    let (layout, _) = CpuEngine::new(cfg).run(&lean);
+    let tsv = layout_to_tsv(&layout);
+    assert_eq!(tsv.lines().count(), 1 + 2 * lean.node_count());
+}
