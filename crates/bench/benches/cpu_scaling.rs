@@ -9,17 +9,25 @@ use workloads::{generate, PangenomeSpec};
 fn bench_thread_scaling(c: &mut Criterion) {
     let g = generate(&PangenomeSpec::basic("s", 600, 6, 3));
     let lean = LeanGraph::from_graph(&g);
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut grp = c.benchmark_group("cpu_engine/threads");
-    let base_cfg = LayoutConfig { iter_max: 4, ..LayoutConfig::default() };
+    let base_cfg = LayoutConfig {
+        iter_max: 4,
+        ..LayoutConfig::default()
+    };
     let updates = base_cfg.steps_per_iter(lean.total_steps() as u64) * 4;
     grp.throughput(Throughput::Elements(updates));
     for threads in [1usize, 2, 4, 8] {
         if threads > max {
             continue;
         }
-        let cfg = LayoutConfig { threads, ..base_cfg.clone() };
+        let cfg = LayoutConfig {
+            threads,
+            ..base_cfg.clone()
+        };
         grp.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             let engine = CpuEngine::new(cfg.clone());
             b.iter(|| black_box(engine.run(&lean)))

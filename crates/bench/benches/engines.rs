@@ -12,7 +12,10 @@ use workloads::{generate, PangenomeSpec};
 fn bench_engines(c: &mut Criterion) {
     let g = generate(&PangenomeSpec::basic("e", 400, 6, 11));
     let lean = LeanGraph::from_graph(&g);
-    let lcfg = LayoutConfig { iter_max: 4, ..LayoutConfig::default() };
+    let lcfg = LayoutConfig {
+        iter_max: 4,
+        ..LayoutConfig::default()
+    };
 
     let mut grp = c.benchmark_group("engines");
     grp.bench_function("cpu_hogwild", |b| {

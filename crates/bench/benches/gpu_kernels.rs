@@ -23,7 +23,9 @@ fn bench_cache(c: &mut Criterion) {
     let mut xs = 0u64;
     grp.bench_function("access_sector_random", |b| {
         b.iter(|| {
-            xs = xs.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            xs = xs
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             black_box(cache.access_sector(xs & 0xFF_FFFF))
         })
     });
@@ -53,7 +55,11 @@ fn bench_cache(c: &mut Criterion) {
 fn bench_kernel_configs(c: &mut Criterion) {
     let g = generate(&PangenomeSpec::basic("k", 300, 5, 13));
     let lean = LeanGraph::from_graph(&g);
-    let lcfg = LayoutConfig { iter_max: 2, steps_per_path_node: 4.0, ..LayoutConfig::default() };
+    let lcfg = LayoutConfig {
+        iter_max: 2,
+        steps_per_path_node: 4.0,
+        ..LayoutConfig::default()
+    };
 
     let mut grp = c.benchmark_group("gpu_sim/kernel");
     for (name, kcfg) in [

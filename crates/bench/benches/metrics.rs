@@ -12,7 +12,11 @@ use workloads::{generate, PangenomeSpec};
 fn layout_of(sites: usize) -> (Layout2D, LeanGraph) {
     let g = generate(&PangenomeSpec::basic("m", sites, 4, 7));
     let lean = LeanGraph::from_graph(&g);
-    let cfg = LayoutConfig { iter_max: 4, threads: 0, ..LayoutConfig::default() };
+    let cfg = LayoutConfig {
+        iter_max: 4,
+        threads: 0,
+        ..LayoutConfig::default()
+    };
     let (layout, _) = CpuEngine::new(cfg).run(&lean);
     (layout, lean)
 }
@@ -21,18 +25,27 @@ fn bench_metrics(c: &mut Criterion) {
     let mut grp = c.benchmark_group("metrics");
     for sites in [100usize, 400] {
         let (layout, lean) = layout_of(sites);
-        grp.bench_with_input(BenchmarkId::new("path_stress_exact", sites), &sites, |b, _| {
-            b.iter(|| black_box(path_stress(&layout, &lean)))
-        });
-        grp.bench_with_input(BenchmarkId::new("sampled_path_stress", sites), &sites, |b, _| {
-            b.iter(|| {
-                black_box(sampled_path_stress(
-                    &layout,
-                    &lean,
-                    SamplingConfig { samples_per_node: 100, seed: 1 },
-                ))
-            })
-        });
+        grp.bench_with_input(
+            BenchmarkId::new("path_stress_exact", sites),
+            &sites,
+            |b, _| b.iter(|| black_box(path_stress(&layout, &lean))),
+        );
+        grp.bench_with_input(
+            BenchmarkId::new("sampled_path_stress", sites),
+            &sites,
+            |b, _| {
+                b.iter(|| {
+                    black_box(sampled_path_stress(
+                        &layout,
+                        &lean,
+                        SamplingConfig {
+                            samples_per_node: 100,
+                            seed: 1,
+                        },
+                    ))
+                })
+            },
+        );
     }
     grp.finish();
 }

@@ -57,7 +57,10 @@ pub fn build(spec: &PangenomeSpec) -> (VariationGraph, LeanGraph) {
 
 /// The default layout configuration used across experiments.
 pub fn layout_cfg() -> LayoutConfig {
-    LayoutConfig { seed: 0x5C24, ..LayoutConfig::default() }
+    LayoutConfig {
+        seed: 0x5C24,
+        ..LayoutConfig::default()
+    }
 }
 
 /// Format seconds as the paper's `h:mm:ss` (with sub-second precision for
@@ -67,7 +70,12 @@ pub fn hms(s: f64) -> String {
         return format!("{s:.2}s");
     }
     let total = s.round() as u64;
-    format!("{}:{:02}:{:02}", total / 3600, (total / 60) % 60, total % 60)
+    format!(
+        "{}:{:02}:{:02}",
+        total / 3600,
+        (total / 60) % 60,
+        total % 60
+    )
 }
 
 /// Geometric mean.
@@ -119,7 +127,7 @@ pub struct CatalogRun {
 }
 
 /// Run (or fetch) the shared catalog computation.
-pub fn catalog_run<'c>(ctx: &'c Ctx) -> &'c CatalogRun {
+pub fn catalog_run(ctx: &Ctx) -> &CatalogRun {
     ctx.catalog_run.get_or_init(|| {
         use gpu_sim::cpusim::{characterize_cpu, cpu_model, modeled_cpu_time_s};
         use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};

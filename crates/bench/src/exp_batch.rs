@@ -54,9 +54,13 @@ fn mhc_sweep(ctx: &Ctx) -> (LeanGraph, f64, f64, Vec<SweepRow>) {
             let batch = ((steps_per_iter * ratio).round() as usize).max(8);
             let engine = BatchEngine::new(lcfg.clone(), batch);
             let (layout, report) = engine.run(&lean);
-            let sps =
-                sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
-            SweepRow { label, batch, report, sps }
+            let sps = sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
+            SweepRow {
+                label,
+                batch,
+                report,
+                sps,
+            }
         })
         .collect();
     (lean, cpu_s, cpu_sps, rows)
@@ -77,8 +81,15 @@ pub fn table3(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let (_, cpu_s, cpu_sps, rows) = mhc_sweep(ctx);
     let mut t = Table::new(&[
-        "Batch (paper)", "Batch (scaled)", "host wall (s)", "modeled GPU total (s)",
-        "SPS", "Quality", "paper: time", "paper: speedup", "paper: quality",
+        "Batch (paper)",
+        "Batch (scaled)",
+        "host wall (s)",
+        "modeled GPU total (s)",
+        "SPS",
+        "Quality",
+        "paper: time",
+        "paper: speedup",
+        "paper: quality",
     ]);
     for (row, (_, pt, psu, pq)) in rows.iter().zip(TABLE3_PAPER) {
         t.row(vec![
@@ -128,16 +139,22 @@ pub fn table3(ctx: &Ctx) -> Vec<String> {
 }
 
 /// Paper Table IV: batch → (kernels launched, API-time %).
-const TABLE4_PAPER: [(&str, u64, f64); 3] =
-    [("100K", 6_562_860, 76.4), ("1M", 651_480, 20.2), ("10M", 64_080, 2.1)];
+const TABLE4_PAPER: [(&str, u64, f64); 3] = [
+    ("100K", 6_562_860, 76.4),
+    ("1M", 651_480, 20.2),
+    ("10M", 64_080, 2.1),
+];
 
 /// Table IV: CUDA kernel launching overhead.
 pub fn table4(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let (_, _, _, rows) = mhc_sweep(ctx);
     let mut t = Table::new(&[
-        "Batch (paper)", "kernels launched", "API time % (modeled)",
-        "paper: kernels", "paper: API %",
+        "Batch (paper)",
+        "kernels launched",
+        "API time % (modeled)",
+        "paper: kernels",
+        "paper: API %",
     ]);
     // Paper Table IV covers the middle three batch sizes.
     let mut launches = Vec::new();
@@ -154,7 +171,9 @@ pub fn table4(ctx: &Ctx) -> Vec<String> {
     emit(ctx, "table4", &t);
 
     if !(launches[0] > 5 * launches[1] && launches[1] > 5 * launches[2]) {
-        fails.push(format!("launch counts must fall ~10x per decade: {launches:?}"));
+        fails.push(format!(
+            "launch counts must fall ~10x per decade: {launches:?}"
+        ));
     }
     let api: Vec<f64> = rows[1..4].iter().map(|r| r.report.api_time_pct()).collect();
     if !(api[0] > api[1] && api[1] > api[2]) {
@@ -168,10 +187,19 @@ pub fn fig7(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let (_, _, _, rows) = mhc_sweep(ctx);
     let mut t = Table::new(&[
-        "Batch (paper)", "index %", "pow %", "mul %", "where %", "add %", "other %",
+        "Batch (paper)",
+        "index %",
+        "pow %",
+        "mul %",
+        "where %",
+        "add %",
+        "other %",
     ]);
     for row in rows[1..4].iter() {
-        let f: Vec<f64> = ALL_OPS.iter().map(|&op| 100.0 * row.report.op_fraction(op)).collect();
+        let f: Vec<f64> = ALL_OPS
+            .iter()
+            .map(|&op| 100.0 * row.report.op_fraction(op))
+            .collect();
         t.row(vec![
             row.label.to_string(),
             format!("{:.1}", f[0]),

@@ -11,7 +11,9 @@ use pgio::Table;
 /// Fig. 4: `odgi-layout` scales linearly with threads; so does the port.
 pub fn fig4(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let mut counts = vec![1usize, 2, 4, 8, 16, 32];
     counts.retain(|&c| c <= max_threads);
     if !counts.contains(&max_threads) {
@@ -24,7 +26,10 @@ pub fn fig4(ctx: &Ctx) -> Vec<String> {
         let mut t1 = None;
         let mut best = f64::INFINITY;
         for &threads in &counts {
-            let cfg = LayoutConfig { threads, ..layout_cfg() };
+            let cfg = LayoutConfig {
+                threads,
+                ..layout_cfg()
+            };
             let (_, report) = CpuEngine::new(cfg).run(&lean);
             let s = secs(report.wall);
             let base = *t1.get_or_insert(s);
@@ -79,15 +84,23 @@ pub fn fig5(ctx: &Ctx) -> Vec<String> {
     let mut prev = 0.0;
     for ((name, r, _), (_, paper)) in rows.iter().zip(FIG5_PAPER) {
         let mb = r.memory_bound_pct();
-        t.row(vec![name.clone(), format!("{mb:.1}"), format!("{paper:.1}")]);
+        t.row(vec![
+            name.clone(),
+            format!("{mb:.1}"),
+            format!("{paper:.1}"),
+        ]);
         if mb + 8.0 < prev {
-            fails.push(format!("{name}: memory-bound {mb:.1}% dropped vs smaller graph"));
+            fails.push(format!(
+                "{name}: memory-bound {mb:.1}% dropped vs smaller graph"
+            ));
         }
         prev = mb;
     }
     let last = rows.last().unwrap().1.memory_bound_pct();
     if !(35.0..92.0).contains(&last) {
-        fails.push(format!("Chr.1 memory-bound {last:.1}% outside the paper's regime"));
+        fails.push(format!(
+            "Chr.1 memory-bound {last:.1}% outside the paper's regime"
+        ));
     }
     emit(ctx, "fig5", &t);
     fails
@@ -105,8 +118,13 @@ pub fn table2(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let rows = characterize(ctx);
     let mut t = Table::new(&[
-        "Pangenome", "run time (s, measured, scaled)", "stall %", "LLC miss %",
-        "paper: run time", "paper: stall %", "paper: LLC miss %",
+        "Pangenome",
+        "run time (s, measured, scaled)",
+        "stall %",
+        "LLC miss %",
+        "paper: run time",
+        "paper: stall %",
+        "paper: LLC miss %",
     ]);
     for ((name, r, wall), (_, pt, ps, pm)) in rows.iter().zip(TABLE2_PAPER) {
         t.row(vec![

@@ -7,9 +7,7 @@
 //! columns are modeled from simulator-counted events. Speedup columns
 //! compare modeled-to-modeled, the apples-to-apples pairing.
 
-use crate::common::{
-    build, catalog_run, emit, geomean, hms, layout_cfg, secs, Ctx,
-};
+use crate::common::{build, catalog_run, emit, geomean, hms, layout_cfg, secs, Ctx};
 use draw::rasterize;
 use gpu_sim::cpusim::{characterize_cpu, cpu_model, modeled_cpu_time_s};
 use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
@@ -27,8 +25,16 @@ pub fn table7(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let run = catalog_run(ctx);
     let mut t = Table::new(&[
-        "Pan.", "CPU modeled", "CPU measured(lean)", "A6000", "Speedup", "A100", "Speedup",
-        "paper: CPU", "paper: A6000 x", "paper: A100 x",
+        "Pan.",
+        "CPU modeled",
+        "CPU measured(lean)",
+        "A6000",
+        "Speedup",
+        "A100",
+        "Speedup",
+        "paper: CPU",
+        "paper: A6000 x",
+        "paper: A100 x",
     ]);
     let mut sp6 = Vec::new();
     let mut sp1 = Vec::new();
@@ -67,7 +73,9 @@ pub fn table7(ctx: &Ctx) -> Vec<String> {
     emit(ctx, "table7", &t);
 
     if !(8.0..120.0).contains(&g6) {
-        fails.push(format!("A6000 geomean speedup {g6:.1}x outside the paper's band"));
+        fails.push(format!(
+            "A6000 geomean speedup {g6:.1}x outside the paper's band"
+        ));
     }
     if g1 <= g6 {
         fails.push(format!("A100 ({g1:.1}x) must beat A6000 ({g6:.1}x)"));
@@ -78,7 +86,10 @@ pub fn table7(ctx: &Ctx) -> Vec<String> {
         .max_by(|a, b| a.cpu_modeled_s.total_cmp(&b.cpu_modeled_s))
         .unwrap();
     if max_cpu.entry.name != "chr1" && max_cpu.entry.name != "chr16" {
-        fails.push(format!("largest modeled CPU time on {}, expected chr1/chr16", max_cpu.entry.name));
+        fails.push(format!(
+            "largest modeled CPU time on {}, expected chr1/chr16",
+            max_cpu.entry.name
+        ));
     }
     fails
 }
@@ -89,7 +100,12 @@ pub fn table8(ctx: &Ctx) -> Vec<String> {
     let run = catalog_run(ctx);
     let cfg = SamplingConfig::default();
     let mut t = Table::new(&[
-        "Pan.", "CPU CI95", "A6000 CI95", "SPS ratio", "A100 CI95", "SPS ratio",
+        "Pan.",
+        "CPU CI95",
+        "A6000 CI95",
+        "SPS ratio",
+        "A100 CI95",
+        "SPS ratio",
     ]);
     let fmt_ci = |s: &SampledStress| format!("[{:.3}, {:.3}]", s.ci_lo, s.ci_hi);
     let mut r6 = Vec::new();
@@ -153,7 +169,11 @@ pub fn fig14(ctx: &Ctx) -> Vec<String> {
             fails.push(format!("could not write {}", path.display()));
             continue;
         }
-        println!("wrote {} (ink {:.3}%)", path.display(), img.ink_fraction() * 100.0);
+        println!(
+            "wrote {} (ink {:.3}%)",
+            path.display(),
+            img.ink_fraction() * 100.0
+        );
         if img.ink_fraction() < 1e-4 {
             fails.push(format!("{label} render is blank"));
         }
@@ -195,10 +215,14 @@ pub fn fig15(ctx: &Ctx) -> Vec<String> {
     let r_gpu = pgmetrics::pearson(&xs, &gpu_t);
     println!("linearity: pearson r CPU = {r_cpu:.4}, GPU = {r_gpu:.4}");
     if r_cpu < 0.9 {
-        fails.push(format!("CPU time not linear in path length (r = {r_cpu:.3})"));
+        fails.push(format!(
+            "CPU time not linear in path length (r = {r_cpu:.3})"
+        ));
     }
     if r_gpu < 0.97 {
-        fails.push(format!("GPU modeled time not linear in path length (r = {r_gpu:.3})"));
+        fails.push(format!(
+            "GPU modeled time not linear in path length (r = {r_gpu:.3})"
+        ));
     }
     fails
 }
@@ -213,15 +237,23 @@ pub fn fig16(ctx: &Ctx) -> Vec<String> {
     // CPU baseline and CPU+CDL: modeled odgi-style times from the cache
     // simulation (SoA vs AoS trace).
     let base_trace = characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, ctx.scale, 120_000);
-    let cdl_trace =
-        characterize_cpu(&lean, &lcfg, DataLayout::CacheFriendlyAos, ctx.scale, 120_000);
+    let cdl_trace = characterize_cpu(
+        &lean,
+        &lcfg,
+        DataLayout::CacheFriendlyAos,
+        ctx.scale,
+        120_000,
+    );
     let cpu_base = modeled_cpu_time_s(&lean, &lcfg, &base_trace, cpu_model::THREADS);
     let cpu_cdl = modeled_cpu_time_s(&lean, &lcfg, &cdl_trace, cpu_model::THREADS);
 
     // Lean-port measured walls for the same two layouts (reported, not
     // part of the modeled chain).
     let wall = |layout: DataLayout| {
-        let cfg = LayoutConfig { data_layout: layout, ..lcfg.clone() };
+        let cfg = LayoutConfig {
+            data_layout: layout,
+            ..lcfg.clone()
+        };
         secs(CpuEngine::new(cfg).run(&lean).1.wall)
     };
     let lean_soa = wall(DataLayout::OriginalSoa);
@@ -253,11 +285,35 @@ pub fn fig16(ctx: &Ctx) -> Vec<String> {
             basis.to_string(),
         ]);
     };
-    stage(&mut t, "CPU baseline (odgi model)", cpu_base, "1.0x", "modeled");
-    stage(&mut t, "CPU w/ CDL (odgi model)", cpu_cdl, "3.1x", "modeled");
-    stage(&mut t, "PyTorch-style batch", batch_s, "6.8x", "measured on host CPU");
+    stage(
+        &mut t,
+        "CPU baseline (odgi model)",
+        cpu_base,
+        "1.0x",
+        "modeled",
+    );
+    stage(
+        &mut t,
+        "CPU w/ CDL (odgi model)",
+        cpu_cdl,
+        "3.1x",
+        "modeled",
+    );
+    stage(
+        &mut t,
+        "PyTorch-style batch",
+        batch_s,
+        "6.8x",
+        "measured on host CPU",
+    );
     stage(&mut t, "base CUDA kernel", gpu_base, "14.6x", "modeled");
-    stage(&mut t, "optimized (CDL+CRS+WM)", gpu_opt, "27.7x", "modeled");
+    stage(
+        &mut t,
+        "optimized (CDL+CRS+WM)",
+        gpu_opt,
+        "27.7x",
+        "modeled",
+    );
     t.row(vec![
         "lean Rust port (this repo)".into(),
         format!("{lean_soa:.3} (SoA) / {lean_aos:.3} (AoS)"),
@@ -268,17 +324,26 @@ pub fn fig16(ctx: &Ctx) -> Vec<String> {
     emit(ctx, "fig16", &t);
 
     // Shape: every modeled stage strictly improves.
-    if !(cpu_cdl < cpu_base) {
-        fails.push(format!("CDL must speed up the CPU model ({cpu_cdl:.3} vs {cpu_base:.3})"));
+    if cpu_cdl >= cpu_base {
+        fails.push(format!(
+            "CDL must speed up the CPU model ({cpu_cdl:.3} vs {cpu_base:.3})"
+        ));
     }
-    if !(gpu_base < cpu_cdl) {
-        fails.push(format!("base CUDA ({gpu_base:.3}) must beat CPU+CDL ({cpu_cdl:.3})"));
+    if gpu_base >= cpu_cdl {
+        fails.push(format!(
+            "base CUDA ({gpu_base:.3}) must beat CPU+CDL ({cpu_cdl:.3})"
+        ));
     }
-    if !(gpu_opt < gpu_base) {
-        fails.push(format!("optimized ({gpu_opt:.3}) must beat base ({gpu_base:.3})"));
+    if gpu_opt >= gpu_base {
+        fails.push(format!(
+            "optimized ({gpu_opt:.3}) must beat base ({gpu_base:.3})"
+        ));
     }
     if cpu_base / gpu_opt < 8.0 {
-        fails.push(format!("end-to-end speedup only {:.1}x", cpu_base / gpu_opt));
+        fails.push(format!(
+            "end-to-end speedup only {:.1}x",
+            cpu_base / gpu_opt
+        ));
     }
     fails
 }
@@ -291,12 +356,20 @@ pub fn table9(ctx: &Ctx) -> Vec<String> {
     let lcfg = layout_cfg();
 
     let soa = characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, ctx.scale, 120_000);
-    let aos = characterize_cpu(&lean, &lcfg, DataLayout::CacheFriendlyAos, ctx.scale, 120_000);
+    let aos = characterize_cpu(
+        &lean,
+        &lcfg,
+        DataLayout::CacheFriendlyAos,
+        ctx.scale,
+        120_000,
+    );
     let cpu_soa_t = modeled_cpu_time_s(&lean, &lcfg, &soa, cpu_model::THREADS);
     let cpu_aos_t = modeled_cpu_time_s(&lean, &lcfg, &aos, cpu_model::THREADS);
 
     let gpu = |kcfg: KernelConfig| {
-        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean).1
+        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg)
+            .run(&lean)
+            .1
     };
     let g_base = gpu(KernelConfig::base(ctx.scale));
     let g_cdl = gpu(KernelConfig::base(ctx.scale).with_cdl());
@@ -328,7 +401,10 @@ pub fn table9(ctx: &Ctx) -> Vec<String> {
         "GPU DRAM access (MB)".into(),
         format!("{:.1}", g_base.mem.dram_bytes() as f64 / 1e6),
         format!("{:.1}", g_cdl.mem.dram_bytes() as f64 / 1e6),
-        ratio(g_base.mem.dram_bytes() as f64, g_cdl.mem.dram_bytes() as f64),
+        ratio(
+            g_base.mem.dram_bytes() as f64,
+            g_cdl.mem.dram_bytes() as f64,
+        ),
         "1.3x".into(),
     ]);
     t.row(vec![
@@ -362,7 +438,9 @@ pub fn table10(ctx: &Ctx) -> Vec<String> {
     let (_, lean) = build(&spec);
     let lcfg = layout_cfg();
     let gpu = |kcfg: KernelConfig| {
-        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean).1
+        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg)
+            .run(&lean)
+            .1
     };
     let base = gpu(KernelConfig::base(ctx.scale));
     let crs = gpu(KernelConfig::base(ctx.scale).with_crs());
@@ -373,7 +451,10 @@ pub fn table10(ctx: &Ctx) -> Vec<String> {
         "L1 sectors / req (#)".into(),
         format!("{:.1}", base.mem.sectors_per_request()),
         format!("{:.1}", crs.mem.sectors_per_request()),
-        ratio(base.mem.sectors_per_request(), crs.mem.sectors_per_request()),
+        ratio(
+            base.mem.sectors_per_request(),
+            crs.mem.sectors_per_request(),
+        ),
         "2.7x".into(),
     ]);
     t.row(vec![
@@ -433,7 +514,9 @@ pub fn table11(ctx: &Ctx) -> Vec<String> {
     let (_, lean) = build(&spec);
     let lcfg = layout_cfg();
     let gpu = |kcfg: KernelConfig| {
-        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean).1
+        GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg)
+            .run(&lean)
+            .1
     };
     let base = gpu(KernelConfig::base(ctx.scale));
     let wm = gpu(KernelConfig::base(ctx.scale).with_wm());
@@ -443,14 +526,20 @@ pub fn table11(ctx: &Ctx) -> Vec<String> {
         "executed warp instructions (#)".into(),
         base.warp.warp_instructions.to_string(),
         wm.warp.warp_instructions.to_string(),
-        format!("{:.2}x", base.warp.warp_instructions as f64 / wm.warp.warp_instructions as f64),
+        format!(
+            "{:.2}x",
+            base.warp.warp_instructions as f64 / wm.warp.warp_instructions as f64
+        ),
         "1.5x".into(),
     ]);
     t.row(vec![
         "avg active threads / warp (#)".into(),
         format!("{:.1}", base.warp.avg_active_threads()),
         format!("{:.1}", wm.warp.avg_active_threads()),
-        format!("{:.2}x", wm.warp.avg_active_threads() / base.warp.avg_active_threads()),
+        format!(
+            "{:.2}x",
+            wm.warp.avg_active_threads() / base.warp.avg_active_threads()
+        ),
         "1.4x (20.5 → 27.9)".into(),
     ]);
     t.row(vec![
@@ -479,16 +568,16 @@ pub fn ext_multigpu(ctx: &Ctx) -> Vec<String> {
     let spec = hprc_catalog()[0].spec(ctx.scale);
     let (_, lean) = build(&spec);
     let lcfg = layout_cfg();
-    let (_, report) = GpuEngine::new(
-        GpuSpec::a100(),
-        lcfg,
-        KernelConfig::optimized(ctx.scale),
-    )
-    .run(&lean);
+    let (_, report) =
+        GpuEngine::new(GpuSpec::a100(), lcfg, KernelConfig::optimized(ctx.scale)).run(&lean);
 
     let mut t = Table::new(&[
-        "GPUs", "NVLink total (s)", "NVLink speedup", "NVLink eff.",
-        "PCIe total (s)", "PCIe speedup",
+        "GPUs",
+        "NVLink total (s)",
+        "NVLink speedup",
+        "NVLink eff.",
+        "PCIe total (s)",
+        "PCIe speedup",
     ]);
     let gspec = GpuSpec::a100();
     let nv = scaling_curve(&report, &gspec, &Interconnect::nvlink3(), 8);
@@ -517,8 +606,15 @@ pub fn ext_multigpu(ctx: &Ctx) -> Vec<String> {
 /// Fig. 17: the DRF/SRF data-reuse design-space exploration.
 pub fn fig17(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
-    const SCHEMES: [(u32, f64); 7] =
-        [(1, 1.0), (2, 1.5), (4, 1.5), (2, 1.75), (4, 2.0), (8, 2.0), (8, 2.5)];
+    const SCHEMES: [(u32, f64); 7] = [
+        (1, 1.0),
+        (2, 1.5),
+        (4, 1.5),
+        (2, 1.75),
+        (4, 2.0),
+        (8, 2.0),
+        (8, 2.5),
+    ];
     let lcfg = layout_cfg();
     let mut t = Table::new(&["Pan.", "(DRF,SRF)", "norm. speedup", "SPS", "verdict"]);
 
@@ -535,8 +631,7 @@ pub fn fig17(ctx: &Ctx) -> Vec<String> {
             } else {
                 KernelConfig::optimized(ctx.scale * 0.6).with_reuse(drf, srf)
             };
-            let (layout, rep) =
-                GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean);
+            let (layout, rep) = GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean);
             let sps = sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
             let (bt, bq) = *base.get_or_insert((rep.modeled_s(), sps));
             let speedup = bt / rep.modeled_s();
@@ -561,7 +656,10 @@ pub fn fig17(ctx: &Ctx) -> Vec<String> {
         // aggressive reuse costs quality.
         let max_speedup = speedups.iter().cloned().fold(0.0f64, f64::max);
         if max_speedup < 1.2 {
-            fails.push(format!("{}: best reuse speedup only {max_speedup:.2}x", entry.name));
+            fails.push(format!(
+                "{}: best reuse speedup only {max_speedup:.2}x",
+                entry.name
+            ));
         }
         let q0 = stresses[0];
         let worst = stresses.iter().cloned().fold(0.0f64, f64::max);

@@ -23,8 +23,14 @@ const TABLE5_PAPER: [(&str, f64, f64, f64); 3] = [
 pub fn table5(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let mut t = Table::new(&[
-        "Pangenome", "#Nodes", "exact (s)", "sampled (s)", "exact/sampled",
-        "full-scale est. exact", "paper: exact", "paper: sampled",
+        "Pangenome",
+        "#Nodes",
+        "exact (s)",
+        "sampled (s)",
+        "exact/sampled",
+        "full-scale est. exact",
+        "paper: exact",
+        "paper: sampled",
     ]);
     for ((name, spec, _), (_, _, p_exact, p_sampled)) in
         representative_specs(ctx).into_iter().zip(TABLE5_PAPER)
@@ -61,7 +67,9 @@ pub fn table5(ctx: &Ctx) -> Vec<String> {
             format!("{:.0} s", p_sampled),
         ]);
         if name != "HLA-DRB1" && exact_s < sampled_s {
-            fails.push(format!("{name}: exact ({exact_s:.3}s) must cost more than sampled ({sampled_s:.3}s)"));
+            fails.push(format!(
+                "{name}: exact ({exact_s:.3}s) must cost more than sampled ({sampled_s:.3}s)"
+            ));
         }
         if name == "Chr.1" && full_exact_est < 10.0 * 3600.0 {
             fails.push(format!(
@@ -80,7 +88,10 @@ pub fn fig6(ctx: &Ctx) -> Vec<String> {
     let (_, lean) = build(&workloads::hla_drb1());
     let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
     let random = init_random(&lean, total, 6);
-    let mk = |sel| LayoutConfig { pair_selection: sel, ..layout_cfg() };
+    let mk = |sel| LayoutConfig {
+        pair_selection: sel,
+        ..layout_cfg()
+    };
     let (good, _) = CpuEngine::new(mk(PairSelection::PgSgd)).run_from(&lean, &random);
     let (bad, _) = CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
     let qg = path_stress(&good, &lean).stress;
@@ -96,7 +107,9 @@ pub fn fig6(ctx: &Ctx) -> Vec<String> {
     }
 
     if qb < 3.0 * qg {
-        fails.push(format!("fixed-hop stress {qb:.4} should far exceed PG-SGD {qg:.4}"));
+        fails.push(format!(
+            "fixed-hop stress {qb:.4} should far exceed PG-SGD {qg:.4}"
+        ));
     }
     fails
 }
@@ -113,7 +126,10 @@ pub fn fig12(ctx: &Ctx) -> Vec<String> {
     let mut values = vec![path_stress(&random, &lean).stress];
     let mut layouts = vec![random.clone()];
     for iters in [1u32, 4, 30] {
-        let cfg = LayoutConfig { iter_max: iters, ..layout_cfg() };
+        let cfg = LayoutConfig {
+            iter_max: iters,
+            ..layout_cfg()
+        };
         let (l, _) = CpuEngine::new(cfg).run_from(&lean, &random);
         values.push(path_stress(&l, &lean).stress);
         layouts.push(l);
@@ -121,7 +137,11 @@ pub fn fig12(ctx: &Ctx) -> Vec<String> {
 
     let mut t = Table::new(&["stage", "path stress", "paper (Fig. 12)"]);
     for (i, (v, p)) in values.iter().zip(FIG12_PAPER).enumerate() {
-        t.row(vec![format!("stage {i}"), format!("{v:.4}"), format!("{p}")]);
+        t.row(vec![
+            format!("stage {i}"),
+            format!("{v:.4}"),
+            format!("{p}"),
+        ]);
         let svg = to_svg(&layouts[i], &lean, &DrawOptions::default());
         let _ = std::fs::write(ctx.out_dir.join(format!("fig12_stage{i}.svg")), svg);
     }
@@ -159,14 +179,21 @@ pub fn fig13(ctx: &Ctx) -> Vec<String> {
             let layout = if iters == 0 {
                 random.clone()
             } else {
-                let cfg = LayoutConfig { iter_max: iters, threads: 0, ..layout_cfg() };
+                let cfg = LayoutConfig {
+                    iter_max: iters,
+                    threads: 0,
+                    ..layout_cfg()
+                };
                 CpuEngine::new(cfg).run_from(&lean, &random).0
             };
             let e = path_stress(&layout, &lean).stress;
             let s = sampled_path_stress(
                 &layout,
                 &lean,
-                SamplingConfig { samples_per_node: 100, seed: 77 + si as u64 },
+                SamplingConfig {
+                    samples_per_node: 100,
+                    seed: 77 + si as u64,
+                },
             )
             .mean;
             if e > 0.0 && s > 0.0 {
@@ -179,7 +206,12 @@ pub fn fig13(ctx: &Ctx) -> Vec<String> {
     let logs = |v: &[f64]| v.iter().map(|x| x.log10()).collect::<Vec<_>>();
     let r_log = pearson(&logs(&exact_v), &logs(&sampled_v));
 
-    let mut t = Table::new(&["layouts", "pearson r (raw)", "pearson r (log-log)", "paper r"]);
+    let mut t = Table::new(&[
+        "layouts",
+        "pearson r (raw)",
+        "pearson r (log-log)",
+        "paper r",
+    ]);
     t.row(vec![
         exact_v.len().to_string(),
         format!("{r_raw:.4}"),

@@ -16,8 +16,16 @@ const TABLE1_PAPER: [(&str, f64, f64, f64, u64); 3] = [
 pub fn table1(ctx: &Ctx) -> Vec<String> {
     let mut fails = Vec::new();
     let mut t = Table::new(&[
-        "Pangenome", "scale", "#Nuc", "#Nodes", "#Edges", "#Paths",
-        "paper:#Nuc", "paper:#Nodes", "paper:#Edges", "paper:#Paths",
+        "Pangenome",
+        "scale",
+        "#Nuc",
+        "#Nodes",
+        "#Edges",
+        "#Paths",
+        "paper:#Nuc",
+        "paper:#Nodes",
+        "paper:#Edges",
+        "paper:#Paths",
     ]);
     for ((name, spec, _), paper) in representative_specs(ctx).into_iter().zip(TABLE1_PAPER) {
         let (g, _) = build(&spec);
@@ -43,7 +51,9 @@ pub fn table1(ctx: &Ctx) -> Vec<String> {
         // full scale within 35% of the paper's counts.
         let epn = s.edges as f64 / s.nodes as f64;
         if !(1.0..2.0).contains(&epn) {
-            fails.push(format!("{name}: edges/node {epn:.2} outside pangenome regime"));
+            fails.push(format!(
+                "{name}: edges/node {epn:.2} outside pangenome regime"
+            ));
         }
         if name == "HLA-DRB1" {
             let node_err = (s.nodes as f64 / paper.2 - 1.0).abs();
@@ -95,10 +105,16 @@ pub fn table6(ctx: &Ctx) -> Vec<String> {
     emit(ctx, "table6", &t);
 
     if !(1.0..2.0).contains(&agg.mean.avg_degree) {
-        fails.push(format!("mean degree {:.2} outside regime", agg.mean.avg_degree));
+        fails.push(format!(
+            "mean degree {:.2} outside regime",
+            agg.mean.avg_degree
+        ));
     }
     if agg.max.density > 1e-2 {
-        fails.push(format!("density {:.2e} too high for a pangenome", agg.max.density));
+        fails.push(format!(
+            "density {:.2e} too high for a pangenome",
+            agg.max.density
+        ));
     }
     let chr1 = &stats[0].1;
     let chr_y = &stats[23].1;

@@ -34,28 +34,116 @@ pub struct Experiment {
 
 fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", what: "Table I: representative pangenome properties", run: exp_workload::table1 },
-        Experiment { id: "table6", what: "Table VI: 24-chromosome property summary", run: exp_workload::table6 },
-        Experiment { id: "fig4", what: "Fig. 4: CPU thread scaling", run: exp_cpu::fig4 },
-        Experiment { id: "fig5", what: "Fig. 5: top-down memory-bound analysis", run: exp_cpu::fig5 },
-        Experiment { id: "table2", what: "Table II: memory stalls and LLC miss rates", run: exp_cpu::table2 },
-        Experiment { id: "table3", what: "Table III: PyTorch-style batch-size sweep", run: exp_batch::table3 },
-        Experiment { id: "table4", what: "Table IV: kernel-launch overhead vs batch size", run: exp_batch::table4 },
-        Experiment { id: "fig7", what: "Fig. 7: kernel-time breakdown", run: exp_batch::fig7 },
-        Experiment { id: "fig6", what: "Fig. 6: fixed-hop pair selection fails", run: exp_metrics::fig6 },
-        Experiment { id: "table5", what: "Table V: metric computation run time", run: exp_metrics::table5 },
-        Experiment { id: "fig12", what: "Fig. 12: quality ladder with path stress", run: exp_metrics::fig12 },
-        Experiment { id: "fig13", what: "Fig. 13: sampled vs exact stress correlation", run: exp_metrics::fig13 },
-        Experiment { id: "table7", what: "Table VII: run time and speedup, 24 chromosomes", run: exp_gpu::table7 },
-        Experiment { id: "table8", what: "Table VIII: layout quality (SPS) CPU vs GPU", run: exp_gpu::table8 },
-        Experiment { id: "fig14", what: "Fig. 14: CPU vs GPU renders of Chr.7", run: exp_gpu::fig14 },
-        Experiment { id: "fig15", what: "Fig. 15: scalability vs total path length", run: exp_gpu::fig15 },
-        Experiment { id: "fig16", what: "Fig. 16: speedup waterfall", run: exp_gpu::fig16 },
-        Experiment { id: "table9", what: "Table IX: cache-friendly data layout ablation", run: exp_gpu::table9 },
-        Experiment { id: "table10", what: "Table X: coalesced random states ablation", run: exp_gpu::table10 },
-        Experiment { id: "table11", what: "Table XI: warp merging ablation", run: exp_gpu::table11 },
-        Experiment { id: "fig17", what: "Fig. 17: DRF/SRF design-space exploration", run: exp_gpu::fig17 },
-        Experiment { id: "ext1", what: "Extension (paper Sec. IX future work): multi-GPU scaling projection", run: exp_gpu::ext_multigpu },
+        Experiment {
+            id: "table1",
+            what: "Table I: representative pangenome properties",
+            run: exp_workload::table1,
+        },
+        Experiment {
+            id: "table6",
+            what: "Table VI: 24-chromosome property summary",
+            run: exp_workload::table6,
+        },
+        Experiment {
+            id: "fig4",
+            what: "Fig. 4: CPU thread scaling",
+            run: exp_cpu::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            what: "Fig. 5: top-down memory-bound analysis",
+            run: exp_cpu::fig5,
+        },
+        Experiment {
+            id: "table2",
+            what: "Table II: memory stalls and LLC miss rates",
+            run: exp_cpu::table2,
+        },
+        Experiment {
+            id: "table3",
+            what: "Table III: PyTorch-style batch-size sweep",
+            run: exp_batch::table3,
+        },
+        Experiment {
+            id: "table4",
+            what: "Table IV: kernel-launch overhead vs batch size",
+            run: exp_batch::table4,
+        },
+        Experiment {
+            id: "fig7",
+            what: "Fig. 7: kernel-time breakdown",
+            run: exp_batch::fig7,
+        },
+        Experiment {
+            id: "fig6",
+            what: "Fig. 6: fixed-hop pair selection fails",
+            run: exp_metrics::fig6,
+        },
+        Experiment {
+            id: "table5",
+            what: "Table V: metric computation run time",
+            run: exp_metrics::table5,
+        },
+        Experiment {
+            id: "fig12",
+            what: "Fig. 12: quality ladder with path stress",
+            run: exp_metrics::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            what: "Fig. 13: sampled vs exact stress correlation",
+            run: exp_metrics::fig13,
+        },
+        Experiment {
+            id: "table7",
+            what: "Table VII: run time and speedup, 24 chromosomes",
+            run: exp_gpu::table7,
+        },
+        Experiment {
+            id: "table8",
+            what: "Table VIII: layout quality (SPS) CPU vs GPU",
+            run: exp_gpu::table8,
+        },
+        Experiment {
+            id: "fig14",
+            what: "Fig. 14: CPU vs GPU renders of Chr.7",
+            run: exp_gpu::fig14,
+        },
+        Experiment {
+            id: "fig15",
+            what: "Fig. 15: scalability vs total path length",
+            run: exp_gpu::fig15,
+        },
+        Experiment {
+            id: "fig16",
+            what: "Fig. 16: speedup waterfall",
+            run: exp_gpu::fig16,
+        },
+        Experiment {
+            id: "table9",
+            what: "Table IX: cache-friendly data layout ablation",
+            run: exp_gpu::table9,
+        },
+        Experiment {
+            id: "table10",
+            what: "Table X: coalesced random states ablation",
+            run: exp_gpu::table10,
+        },
+        Experiment {
+            id: "table11",
+            what: "Table XI: warp merging ablation",
+            run: exp_gpu::table11,
+        },
+        Experiment {
+            id: "fig17",
+            what: "Fig. 17: DRF/SRF design-space exploration",
+            run: exp_gpu::fig17,
+        },
+        Experiment {
+            id: "ext1",
+            what: "Extension (paper Sec. IX future work): multi-GPU scaling projection",
+            run: exp_gpu::ext_multigpu,
+        },
     ]
 }
 
@@ -76,7 +164,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                ctx.out_dir = args.get(i).unwrap_or_else(|| die("--out needs a path")).into();
+                ctx.out_dir = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .into();
             }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
             other => ids.push(other.to_string()),
@@ -123,12 +214,20 @@ fn main() {
             "=== {} done in {:.1?} — {} ===",
             e.id,
             t0.elapsed(),
-            if fails.is_empty() { "all checks passed" } else { "CHECKS FAILED" }
+            if fails.is_empty() {
+                "all checks passed"
+            } else {
+                "CHECKS FAILED"
+            }
         );
         failures.extend(fails.into_iter().map(|f| format!("{}: {f}", e.id)));
     }
 
-    println!("\n{} experiment(s) run; {} check failure(s)", selected.len(), failures.len());
+    println!(
+        "\n{} experiment(s) run; {} check failure(s)",
+        selected.len(),
+        failures.len()
+    );
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAILED: {f}");

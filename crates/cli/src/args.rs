@@ -1,5 +1,10 @@
 //! A minimal argument parser (positional args + `--flag [value]` pairs),
 //! kept dependency-free on purpose.
+//!
+//! Flags are validated against a whitelist: boolean flags never consume
+//! a value, value flags always require one, and anything unrecognized is
+//! an error instead of silently swallowing the next argument (the classic
+//! `--typo input.gfa` foot-gun).
 
 use std::collections::HashMap;
 
@@ -7,34 +12,94 @@ use std::collections::HashMap;
 pub struct ArgParser {
     positional: Vec<String>,
     flags: HashMap<String, Option<String>>,
+    unknown: Vec<String>,
+    missing_value: Vec<String>,
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--gpu", "--gpu-a100", "--exact", "--links", "--ppm", "--soa"];
+const BOOL_FLAGS: &[&str] = &[
+    "--gpu",
+    "--gpu-a100",
+    "--exact",
+    "--links",
+    "--ppm",
+    "--soa",
+    "--tsv",
+    "--help",
+    "-h",
+];
+
+/// Flags that require a value.
+const VALUE_FLAGS: &[&str] = &[
+    "-o",
+    "--preset",
+    "--scale",
+    "--seed",
+    "--iters",
+    "--threads",
+    "--batch",
+    "--samples-per-node",
+    "--width",
+    "--engine",
+    "--addr",
+    "--port",
+    "--workers",
+    "--cache",
+    "--timeout",
+];
 
 impl ArgParser {
     /// Split argv into positionals and flags.
     pub fn new(argv: Vec<String>) -> Self {
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
+        let mut unknown = Vec::new();
+        let mut missing_value = Vec::new();
         let mut it = argv.into_iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let key = format!("--{name}");
-                if BOOL_FLAGS.contains(&key.as_str()) {
-                    flags.insert(key, None);
-                } else {
+            let key = a.as_str();
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(a, None);
+            } else if VALUE_FLAGS.contains(&key) {
+                // Refuse to eat a following flag as this flag's value.
+                let next_is_value = it
+                    .peek()
+                    .is_some_and(|n| !n.starts_with("--") && *n != "-h" && *n != "-o");
+                if next_is_value {
                     let v = it.next();
-                    flags.insert(key, v);
+                    flags.insert(a, v);
+                } else {
+                    missing_value.push(a);
                 }
-            } else if a == "-o" {
-                let v = it.next();
-                flags.insert("-o".into(), v);
+            } else if key.starts_with('-') && key.len() > 1 && !key.as_bytes()[1].is_ascii_digit() {
+                unknown.push(a);
             } else {
                 positional.push(a);
             }
         }
-        Self { positional, flags }
+        Self {
+            positional,
+            flags,
+            unknown,
+            missing_value,
+        }
+    }
+
+    /// Error on unknown flags or value flags missing their value. Call
+    /// this before reading any argument.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(flag) = self.unknown.first() {
+            return Err(format!("unknown flag {flag:?} (see --help)"));
+        }
+        if let Some(flag) = self.missing_value.first() {
+            return Err(format!("flag {flag} requires a value"));
+        }
+        Ok(())
+    }
+
+    /// True when the user asked for help (`--help` / `-h`).
+    pub fn wants_help(&self) -> bool {
+        self.has("--help") || self.has("-h")
     }
 
     /// Positional argument `i`, or an error naming it.
@@ -59,15 +124,14 @@ impl ArgParser {
     pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
         match self.value(flag) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value {v:?} for {flag}")),
+            Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {flag}")),
         }
     }
 
     /// The required `-o` output path.
     pub fn out(&self) -> Result<&str, String> {
-        self.value("-o").ok_or_else(|| "missing -o <output>".to_string())
+        self.value("-o")
+            .ok_or_else(|| "missing -o <output>".to_string())
     }
 }
 
@@ -82,6 +146,7 @@ mod tests {
     #[test]
     fn positionals_and_flags_separate() {
         let p = parse("a.gfa b.lay --exact --samples-per-node 50 -o out.svg");
+        p.validate().unwrap();
         assert_eq!(p.pos(0, "gfa").unwrap(), "a.gfa");
         assert_eq!(p.pos(1, "lay").unwrap(), "b.lay");
         assert!(p.has("--exact"));
@@ -92,6 +157,7 @@ mod tests {
     #[test]
     fn defaults_apply_when_flag_absent() {
         let p = parse("x.gfa");
+        p.validate().unwrap();
         assert_eq!(p.parse_or("--iters", 30u32).unwrap(), 30);
         assert!(!p.has("--gpu"));
         assert!(p.out().is_err());
@@ -100,6 +166,7 @@ mod tests {
     #[test]
     fn bool_flags_consume_no_value() {
         let p = parse("--gpu file.gfa");
+        p.validate().unwrap();
         assert!(p.has("--gpu"));
         assert_eq!(p.pos(0, "gfa").unwrap(), "file.gfa");
     }
@@ -114,5 +181,43 @@ mod tests {
     fn missing_positional_is_an_error() {
         let p = parse("");
         assert!(p.pos(0, "gfa").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_does_not_swallow_the_next_argument() {
+        // The seed bug: `--typo file.gfa` consumed file.gfa as the flag's
+        // value, so the command then complained about a missing input.
+        let p = parse("--typo file.gfa");
+        assert_eq!(p.pos(0, "gfa").unwrap(), "file.gfa");
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("--typo"), "{err}");
+    }
+
+    #[test]
+    fn value_flag_without_value_is_an_error() {
+        let p = parse("file.gfa --iters");
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("--iters"), "{err}");
+        // A following flag is not a value either.
+        let p = parse("--iters --gpu file.gfa");
+        assert!(p.validate().is_err());
+        assert!(p.has("--gpu"));
+        assert_eq!(p.pos(0, "gfa").unwrap(), "file.gfa");
+    }
+
+    #[test]
+    fn help_flags_are_recognized() {
+        assert!(parse("--help").wants_help());
+        assert!(parse("x.gfa -h").wants_help());
+        assert!(!parse("x.gfa").wants_help());
+        parse("--help").validate().unwrap();
+    }
+
+    #[test]
+    fn negative_numbers_are_positionals_not_flags() {
+        let p = parse("-3.5 x.gfa");
+        p.validate().unwrap();
+        assert_eq!(p.pos(0, "num").unwrap(), "-3.5");
+        assert_eq!(p.pos(1, "gfa").unwrap(), "x.gfa");
     }
 }

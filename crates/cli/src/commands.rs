@@ -11,11 +11,60 @@ use pangraph::lean::LeanGraph;
 use pangraph::stats::GraphStats;
 use pangraph::{parse_gfa, write_gfa, VariationGraph};
 use pgio::{layout_to_tsv, load_lay, save_lay};
+use pgl_service::{
+    run_batch, BatchOptions, EngineRegistry, HttpServer, JobState, LayoutService, ServiceConfig,
+};
 use pgmetrics::{path_stress, sampled_path_stress, SamplingConfig};
 use std::path::Path;
+use std::sync::Arc;
 use workloads::hprc_catalog;
 
 type CmdResult = Result<(), String>;
+
+/// Per-subcommand usage text for `pgl <cmd> --help`.
+pub fn usage(cmd: &str) -> Option<&'static str> {
+    Some(match cmd {
+        "gen" => {
+            "pgl gen --preset <hla|mhc|chr1..chr22|chrX|chrY> [--scale F] [--seed N] -o <out.gfa>\n\
+             Synthesize an HPRC-like pangenome graph."
+        }
+        "stats" => "pgl stats <in.gfa>\nPrint Table I-style graph properties.",
+        "sort" => {
+            "pgl sort <in.gfa> -o <out.gfa> [--iters N] [--seed N]\n\
+             1D path-SGD node sort (odgi `sort -p Y` analog); run before `layout`\n\
+             on graphs whose node numbering does not follow the backbone."
+        }
+        "layout" => {
+            "pgl layout <in.gfa> -o <out.lay> [--gpu | --gpu-a100 | --batch <size>]\n\
+             \u{20}          [--threads N] [--iters N] [--seed N] [--soa]\n\
+             Run path-guided SGD layout with the chosen engine."
+        }
+        "stress" => {
+            "pgl stress <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
+             Score a layout with sampled (and optionally exact) path stress."
+        }
+        "draw" => {
+            "pgl draw <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links] [--ppm]\n\
+             Render a layout."
+        }
+        "tsv" => "pgl tsv <in.lay> -o <out.tsv>\nExport layout coordinates as TSV.",
+        "serve" => {
+            "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N]\n\
+             Serve layouts over HTTP: POST /layout (GFA body; query engine=cpu|batch|\n\
+             gpu|gpu-a100, iters, threads, seed, batch, soa), GET /jobs/<id>,\n\
+             POST /jobs/<id>/cancel, GET /result/<id>[?format=lay], GET /stats,\n\
+             GET /engines, GET /healthz. Identical requests are answered from the\n\
+             content-addressed layout cache (capacity --cache, default 64)."
+        }
+        "batch" => {
+            "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100] [--workers N]\n\
+             \u{20}         [--iters N] [--threads N] [--seed N] [--tsv] [--timeout SECS]\n\
+             Lay out every .gfa in <dir> concurrently through the service worker pool,\n\
+             writing <outdir>/<stem>.lay (and .tsv with --tsv), then print a summary."
+        }
+        _ => return None,
+    })
+}
 
 fn load_graph(path: &str) -> Result<VariationGraph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -84,8 +133,7 @@ pub fn sort(p: ArgParser) -> CmdResult {
     let before = layout_core::sort1d::order_quality(&lean);
     let order = layout_core::sort1d::path_sgd_order(&lean, &lcfg);
     let sorted = g.permute_nodes(&order);
-    let after =
-        layout_core::sort1d::order_quality(&LeanGraph::from_graph(&sorted));
+    let after = layout_core::sort1d::order_quality(&LeanGraph::from_graph(&sorted));
     std::fs::write(out, write_gfa(&sorted)).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("order quality {before:.3} → {after:.3}; wrote {out}");
     Ok(())
@@ -100,7 +148,7 @@ pub fn layout(p: ArgParser) -> CmdResult {
     let lcfg = LayoutConfig {
         iter_max: p.parse_or("--iters", 30u32)?,
         threads: p.parse_or("--threads", 0usize)?,
-        seed: p.parse_or("--seed", 9_399_220_2u64)?,
+        seed: p.parse_or("--seed", LayoutConfig::default().seed)?,
         data_layout: if p.has("--soa") {
             DataLayout::OriginalSoa
         } else {
@@ -110,7 +158,11 @@ pub fn layout(p: ArgParser) -> CmdResult {
     };
 
     let (layout, label) = if p.has("--gpu") || p.has("--gpu-a100") {
-        let spec = if p.has("--gpu-a100") { GpuSpec::a100() } else { GpuSpec::a6000() };
+        let spec = if p.has("--gpu-a100") {
+            GpuSpec::a100()
+        } else {
+            GpuSpec::a6000()
+        };
         let name = spec.name;
         // Cache scale: assume the graph is a scaled chromosome; ratio of
         // its node count to Chr.1's full size is the best default.
@@ -177,7 +229,10 @@ pub fn stress(p: ArgParser) -> CmdResult {
     );
     if p.has("--exact") {
         let e = path_stress(&lay, &lean);
-        println!("exact path stress:   {:.6}  ({} node pairs)", e.stress, e.pairs);
+        println!(
+            "exact path stress:   {:.6}  ({} node pairs)",
+            e.stress, e.pairs
+        );
     }
     Ok(())
 }
@@ -194,10 +249,97 @@ pub fn draw_cmd(p: ArgParser) -> CmdResult {
             .write_ppm(Path::new(out))
             .map_err(|e| format!("write {out}: {e}"))?;
     } else {
-        let opts = DrawOptions { width, path_links: p.has("--links"), ..DrawOptions::default() };
+        let opts = DrawOptions {
+            width,
+            path_links: p.has("--links"),
+            ..DrawOptions::default()
+        };
         std::fs::write(out, to_svg(&lay, &lean, &opts)).map_err(|e| format!("write {out}: {e}"))?;
     }
     eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// `pgl serve` — run the layout service behind its HTTP front end.
+pub fn serve(p: ArgParser) -> CmdResult {
+    let addr = format!(
+        "{}:{}",
+        p.value("--addr").unwrap_or("127.0.0.1"),
+        p.parse_or("--port", 7878u16)?
+    );
+    let cfg = ServiceConfig {
+        workers: p.parse_or("--workers", 0usize)?,
+        cache_entries: p.parse_or("--cache", 64usize)?,
+        ..ServiceConfig::default()
+    };
+    let workers = cfg.resolved_workers();
+    let service = Arc::new(LayoutService::start(
+        EngineRegistry::with_default_engines(),
+        cfg,
+    ));
+    let server =
+        HttpServer::bind(&addr, Arc::clone(&service)).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "pgl serve: listening on http://{} ({} workers, engines: {})",
+        server.local_addr(),
+        workers,
+        service.engine_names().join(", ")
+    );
+    server.serve();
+    Ok(())
+}
+
+/// `pgl batch` — lay out a directory of graphs through the worker pool.
+pub fn batch_cmd(p: ArgParser) -> CmdResult {
+    let dir = p.pos(0, "dir")?;
+    let out = p.out()?;
+    let opts = BatchOptions {
+        engine: p.value("--engine").unwrap_or("cpu").to_string(),
+        config: LayoutConfig {
+            iter_max: p.parse_or("--iters", 30u32)?,
+            threads: p.parse_or("--threads", 0usize)?,
+            seed: p.parse_or("--seed", LayoutConfig::default().seed)?,
+            ..LayoutConfig::default()
+        },
+        batch_size: p.parse_or("--batch", 1024usize)?,
+        workers: p.parse_or("--workers", 0usize)?,
+        write_tsv: p.has("--tsv"),
+        timeout: std::time::Duration::from_secs(p.parse_or("--timeout", 3600u64)?),
+    };
+    let outcomes = run_batch(Path::new(dir), Path::new(out), &opts)?;
+    let mut failed = 0usize;
+    for o in &outcomes {
+        match o.state {
+            JobState::Done => eprintln!(
+                "  {:<24} done   {:>8} nodes  {:>7} ms{}  → {}",
+                o.name,
+                o.nodes,
+                o.wall_ms,
+                if o.cached { "  (cached)" } else { "" },
+                o.output
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
+            ),
+            _ => {
+                failed += 1;
+                eprintln!(
+                    "  {:<24} {}  {}",
+                    o.name,
+                    o.state.as_str(),
+                    o.error.as_deref().unwrap_or("")
+                );
+            }
+        }
+    }
+    eprintln!(
+        "pgl batch: {}/{} graphs laid out",
+        outcomes.len() - failed,
+        outcomes.len()
+    );
+    if failed > 0 {
+        return Err(format!("{failed} graph(s) failed"));
+    }
     Ok(())
 }
 
@@ -241,7 +383,9 @@ mod tests {
         tsv(parser(&format!("{lay} -o {tsv_out}"))).unwrap();
 
         assert!(std::fs::read_to_string(&svg).unwrap().contains("<svg"));
-        assert!(std::fs::read_to_string(&tsv_out).unwrap().starts_with("#idx"));
+        assert!(std::fs::read_to_string(&tsv_out)
+            .unwrap()
+            .starts_with("#idx"));
     }
 
     #[test]
@@ -251,7 +395,40 @@ mod tests {
         gen(parser(&format!("--preset hla -o {gfa}"))).unwrap();
         layout(parser(&format!("{gfa} --iters 3 --gpu -o {lay}"))).unwrap();
         layout(parser(&format!("{gfa} --iters 3 --batch 512 -o {lay}"))).unwrap();
-        stress(parser(&format!("{gfa} {lay} --samples-per-node 10 --exact"))).unwrap();
+        stress(parser(&format!(
+            "{gfa} {lay} --samples-per-node 10 --exact"
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn batch_command_lays_out_a_directory() {
+        let dir = std::env::temp_dir().join(format!("pgl_cli_batch_{}", std::process::id()));
+        let out_dir = dir.join("out");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let gfa = dir.join("g1.gfa");
+        gen(parser(&format!("--preset hla -o {}", gfa.display()))).unwrap();
+        batch_cmd(parser(&format!(
+            "{} --iters 3 --threads 1 --workers 1 --tsv -o {}",
+            dir.display(),
+            out_dir.display()
+        )))
+        .unwrap();
+        assert!(out_dir.join("g1.lay").exists());
+        assert!(out_dir.join("g1.tsv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_command_has_usage_text() {
+        for cmd in [
+            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch",
+        ] {
+            let text = usage(cmd).expect(cmd);
+            assert!(text.contains(cmd), "{cmd} usage names itself");
+        }
+        assert!(usage("no-such-command").is_none());
     }
 
     #[test]
@@ -265,7 +442,10 @@ mod tests {
         gen(parser(&format!("--preset chrY --scale 0.0001 -o {gfa}"))).unwrap();
         layout(parser(&format!("{gfa} --iters 2 -o {lay}"))).unwrap();
         let gfa2 = tmp("r2.gfa");
-        gen(parser(&format!("--preset chrY --scale 0.0002 --seed 9 -o {gfa2}"))).unwrap();
+        gen(parser(&format!(
+            "--preset chrY --scale 0.0002 --seed 9 -o {gfa2}"
+        )))
+        .unwrap();
         assert!(stress(parser(&format!("{gfa2} {lay}"))).is_err());
     }
 }

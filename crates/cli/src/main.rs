@@ -3,7 +3,8 @@
 //! The paper stresses that its GPU implementation "can be seamlessly
 //! integrated into the ODGI framework … a user can simply add the
 //! `--gpu` argument". This binary is that integration story for the Rust
-//! reproduction: one tool covering the pipeline from graph to picture.
+//! reproduction: one tool covering the pipeline from graph to picture,
+//! plus the multi-graph orchestration service.
 //!
 //! ```text
 //! pgl gen      --preset chr1 --scale 0.001 -o g.gfa     # synthesize a pangenome
@@ -12,6 +13,8 @@
 //! pgl stress   g.gfa g.lay [--exact]                    # sampled path stress (+CI)
 //! pgl draw     g.gfa g.lay -o g.svg [--ppm]             # render
 //! pgl tsv      g.lay -o g.tsv                           # export coordinates
+//! pgl serve    [--port 7878]                            # HTTP layout service
+//! pgl batch    graphs/ -o layouts/ [--engine gpu]       # lay out a directory
 //! ```
 
 mod args;
@@ -27,6 +30,22 @@ fn main() {
     }
     let cmd = argv.remove(0);
     let parser = ArgParser::new(argv);
+
+    if parser.wants_help() {
+        match commands::usage(&cmd) {
+            Some(text) => println!("{text}"),
+            None => print_usage(),
+        }
+        return;
+    }
+    if let Err(e) = parser.validate() {
+        eprintln!("pgl {cmd}: {e}");
+        if let Some(text) = commands::usage(&cmd) {
+            eprintln!("\n{text}");
+        }
+        std::process::exit(2);
+    }
+
     let result = match cmd.as_str() {
         "gen" => commands::gen(parser),
         "stats" => commands::stats(parser),
@@ -35,6 +54,8 @@ fn main() {
         "stress" => commands::stress(parser),
         "draw" => commands::draw_cmd(parser),
         "tsv" => commands::tsv(parser),
+        "serve" => commands::serve(parser),
+        "batch" => commands::batch_cmd(parser),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -51,7 +72,7 @@ fn print_usage() {
     println!(
         "pgl — pangenome graph layout (Rust reproduction of SC'24 'Rapid GPU-Based \
          Pangenome Graph Layout')\n\n\
-         USAGE: pgl <command> [args]\n\n\
+         USAGE: pgl <command> [args]   (pgl <command> --help for details)\n\n\
          COMMANDS:\n\
          \u{20}  gen     --preset <hla|mhc|chr1..chr22|chrX|chrY> [--scale F] [--seed N] -o <out.gfa>\n\
          \u{20}  stats   <in.gfa>\n\
@@ -60,6 +81,8 @@ fn print_usage() {
          \u{20}          [--threads N] [--iters N] [--seed N] [--soa]\n\
          \u{20}  stress  <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
-         \u{20}  tsv     <in.lay> -o <out.tsv>\n"
+         \u{20}  tsv     <in.lay> -o <out.tsv>\n\
+         \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N]   (HTTP service)\n\
+         \u{20}  batch   <dir> -o <outdir> [--engine E] [--workers N] [--tsv]\n"
     );
 }

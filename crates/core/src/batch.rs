@@ -343,7 +343,10 @@ mod tests {
         sampled_path_stress(
             layout,
             lean,
-            SamplingConfig { samples_per_node: 30, seed: 21 },
+            SamplingConfig {
+                samples_per_node: 30,
+                seed: 21,
+            },
         )
         .mean
     }
@@ -351,7 +354,10 @@ mod tests {
     #[test]
     fn converges_with_moderate_batches() {
         let lean = test_graph(300, 6, 1);
-        let cfg = LayoutConfig { iter_max: 20, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 20,
+            ..LayoutConfig::default()
+        };
         let engine = BatchEngine::new(cfg, 256);
         let (layout, report) = engine.run(&lean);
         assert!(layout.all_finite());
@@ -363,7 +369,10 @@ mod tests {
     #[test]
     fn batch_count_matches_formula() {
         let lean = test_graph(100, 4, 2);
-        let cfg = LayoutConfig { iter_max: 4, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 4,
+            ..LayoutConfig::default()
+        };
         let steps = cfg.steps_per_iter(lean.total_steps() as u64);
         let b = 300usize;
         let (_, report) = BatchEngine::new(cfg, b).run(&lean);
@@ -376,7 +385,10 @@ mod tests {
     #[test]
     fn larger_batches_launch_fewer_kernels() {
         let lean = test_graph(200, 4, 3);
-        let cfg = LayoutConfig { iter_max: 3, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 3,
+            ..LayoutConfig::default()
+        };
         let (_, small) = BatchEngine::new(cfg.clone(), 64).run(&lean);
         let (_, large) = BatchEngine::new(cfg, 4096).run(&lean);
         assert!(small.kernels_launched > 10 * large.kernels_launched);
@@ -388,7 +400,10 @@ mod tests {
         // Table III: batches at the scale of the whole step budget violate
         // the sparse-update assumption and converge worse.
         let lean = test_graph(400, 8, 4);
-        let cfg = LayoutConfig { iter_max: 15, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 15,
+            ..LayoutConfig::default()
+        };
         let steps = cfg.steps_per_iter(lean.total_steps() as u64) as usize;
         let (small_l, _) = BatchEngine::new(cfg.clone(), steps / 64).run(&lean);
         let (huge_l, _) = BatchEngine::new(cfg, steps).run(&lean);
@@ -403,7 +418,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let lean = test_graph(150, 4, 5);
-        let cfg = LayoutConfig { iter_max: 5, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 5,
+            ..LayoutConfig::default()
+        };
         let (a, _) = BatchEngine::new(cfg.clone(), 128).run(&lean);
         let (b, _) = BatchEngine::new(cfg, 128).run(&lean);
         assert_eq!(a, b);
@@ -412,7 +430,10 @@ mod tests {
     #[test]
     fn op_fractions_sum_to_one_and_index_is_significant() {
         let lean = test_graph(400, 8, 6);
-        let cfg = LayoutConfig { iter_max: 8, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 8,
+            ..LayoutConfig::default()
+        };
         let (_, report) = BatchEngine::new(cfg, 1024).run(&lean);
         let total: f64 = ALL_OPS.iter().map(|&op| report.op_fraction(op)).sum();
         assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
@@ -428,7 +449,10 @@ mod tests {
     #[test]
     fn report_helpers_are_consistent() {
         let lean = test_graph(100, 4, 7);
-        let cfg = LayoutConfig { iter_max: 2, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 2,
+            ..LayoutConfig::default()
+        };
         let (_, report) = BatchEngine::new(cfg, 512).run(&lean);
         assert!(report.launch_overhead_s() > 0.0);
         assert!((0.0..=100.0).contains(&report.api_time_pct()));

@@ -59,7 +59,7 @@ impl Default for LayoutConfig {
             zipf_space_max: 1000,
             zipf_quant: 100,
             threads: 0,
-            seed: 9_399_220_2,
+            seed: 93_992_202,
             data_layout: DataLayout::CacheFriendlyAos,
             pair_selection: PairSelection::PgSgd,
             init_jitter: 0.01,

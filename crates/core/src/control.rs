@@ -1,0 +1,88 @@
+//! Cooperative progress reporting and cancellation for layout runs.
+//!
+//! A [`LayoutControl`] is shared between a caller (e.g. the `pgl-service`
+//! job scheduler) and a running engine. The engine polls
+//! [`LayoutControl::is_cancelled`] at iteration boundaries and publishes
+//! progress; the caller polls [`LayoutControl::progress`] and may flip the
+//! cancel flag at any time. Everything is relaxed atomics — progress is
+//! advisory and cancellation is best-effort-by-next-iteration.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Shared cancel flag + progress gauge for one layout run.
+#[derive(Debug, Default)]
+pub struct LayoutControl {
+    cancelled: AtomicBool,
+    /// Progress in thousandths (0..=1000).
+    progress_milli: AtomicU32,
+}
+
+impl LayoutControl {
+    /// A fresh control: not cancelled, zero progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Engines stop at their next iteration
+    /// boundary; the default [`crate::LayoutEngine::layout_controlled`]
+    /// only checks before and after the full run.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Publish progress as `done` of `total` units (e.g. iterations).
+    pub fn set_progress(&self, done: u64, total: u64) {
+        let milli = (done.saturating_mul(1000) / total.max(1)).min(1000) as u32;
+        self.progress_milli.store(milli, Ordering::Relaxed);
+    }
+
+    /// Mark the run complete (progress 1.0).
+    pub fn finish(&self) {
+        self.progress_milli.store(1000, Ordering::Relaxed);
+    }
+
+    /// Current progress in `[0.0, 1.0]`.
+    pub fn progress(&self) -> f64 {
+        self.progress_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_control_is_clean() {
+        let c = LayoutControl::new();
+        assert!(!c.is_cancelled());
+        assert_eq!(c.progress(), 0.0);
+    }
+
+    #[test]
+    fn progress_clamps_and_finishes() {
+        let c = LayoutControl::new();
+        c.set_progress(3, 10);
+        assert!((c.progress() - 0.3).abs() < 1e-9);
+        c.set_progress(20, 10);
+        assert_eq!(c.progress(), 1.0);
+        c.set_progress(5, 0); // degenerate total
+        assert_eq!(c.progress(), 1.0);
+        let c2 = LayoutControl::new();
+        c2.finish();
+        assert_eq!(c2.progress(), 1.0);
+    }
+
+    #[test]
+    fn cancel_is_sticky() {
+        let c = LayoutControl::new();
+        c.cancel();
+        assert!(c.is_cancelled());
+        c.cancel();
+        assert!(c.is_cancelled());
+    }
+}

@@ -78,7 +78,11 @@ impl CoordStore {
                 Slabs::Aos { rec }
             }
         };
-        Self { layout, n_nodes: n, slabs }
+        Self {
+            layout,
+            n_nodes: n,
+            slabs,
+        }
     }
 
     /// The store's layout.

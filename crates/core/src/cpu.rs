@@ -14,6 +14,7 @@
 //! * the shared [`PairSampler`] and [`LeanGraph`] are read-only.
 
 use crate::config::LayoutConfig;
+use crate::control::LayoutControl;
 use crate::coords::CoordStore;
 use crate::init::init_linear;
 use crate::sampler::PairSampler;
@@ -23,7 +24,7 @@ use crate::LayoutEngine;
 use pangraph::layout2d::Layout2D;
 use pangraph::lean::LeanGraph;
 use pgrng::Xoshiro256Plus;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -83,14 +84,35 @@ impl CpuEngine {
 
     /// Run the full schedule from a caller-provided initial layout.
     pub fn run_from(&self, lean: &LeanGraph, initial: &Layout2D) -> (Layout2D, RunReport) {
-        let r = self.run_inner(lean, Some(initial), &[]);
+        let r = self.run_inner(lean, Some(initial), &[], None);
         (r.layout, r.report)
     }
 
     /// Run, capturing layout snapshots after the listed iterations
     /// (used by the Fig. 12 quality-progression experiment).
     pub fn run_with_snapshots(&self, lean: &LeanGraph, snapshot_iters: &[u32]) -> CpuRun {
-        self.run_inner(lean, None, snapshot_iters)
+        self.run_inner(lean, None, snapshot_iters, None)
+    }
+
+    /// Run under a [`LayoutControl`]: progress is published after every
+    /// iteration and cancellation is honored at the next iteration
+    /// barrier. Returns `None` when the run was cancelled (the partial
+    /// layout is discarded).
+    pub fn run_controlled(
+        &self,
+        lean: &LeanGraph,
+        ctl: &LayoutControl,
+    ) -> Option<(Layout2D, RunReport)> {
+        if ctl.is_cancelled() {
+            return None;
+        }
+        let r = self.run_inner(lean, None, &[], Some(ctl));
+        if ctl.is_cancelled() {
+            None
+        } else {
+            ctl.finish();
+            Some((r.layout, r.report))
+        }
     }
 
     fn run_inner(
@@ -98,6 +120,7 @@ impl CpuEngine {
         lean: &LeanGraph,
         initial: Option<&Layout2D>,
         snapshot_iters: &[u32],
+        ctl: Option<&LayoutControl>,
     ) -> CpuRun {
         let cfg = &self.cfg;
         let store = CoordStore::new(cfg.data_layout, lean);
@@ -128,10 +151,11 @@ impl CpuEngine {
         let threads = cfg.resolved_threads();
         let steps_per_iter = cfg.steps_per_iter(total_steps);
         let applied = AtomicU64::new(0);
+        let iters_done = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
         let barrier = Barrier::new(threads);
         let rngs = Xoshiro256Plus::split_streams(cfg.seed, threads);
-        let snapshots: parking_lot::Mutex<Vec<(u32, Layout2D)>> =
-            parking_lot::Mutex::new(Vec::new());
+        let snapshots: std::sync::Mutex<Vec<(u32, Layout2D)>> = std::sync::Mutex::new(Vec::new());
 
         let t0 = Instant::now();
         std::thread::scope(|scope| {
@@ -149,6 +173,8 @@ impl CpuEngine {
                 } else {
                     base
                 };
+                let iters_done = &iters_done;
+                let stop = &stop;
                 scope.spawn(move || {
                     let mut my_applied = 0u64;
                     for iter in 0..cfg.iter_max {
@@ -168,9 +194,27 @@ impl CpuEngine {
                         barrier.wait();
                         if snapshot_iters.contains(&iter) {
                             if tid == 0 {
-                                snapshots.lock().push((iter, store.to_layout()));
+                                snapshots.lock().unwrap().push((iter, store.to_layout()));
                             }
                             barrier.wait();
+                        }
+                        if let Some(ctl) = ctl {
+                            // Thread 0 publishes progress and folds the
+                            // cancel flag into `stop`; the second barrier
+                            // guarantees every thread reads the same
+                            // decision, so all break at the same
+                            // iteration and nobody deadlocks waiting.
+                            if tid == 0 {
+                                iters_done.store(iter as u64 + 1, Ordering::Relaxed);
+                                ctl.set_progress(iter as u64 + 1, cfg.iter_max as u64);
+                                if ctl.is_cancelled() {
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            barrier.wait();
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
                         }
                     }
                     applied.fetch_add(my_applied, Ordering::Relaxed);
@@ -179,16 +223,20 @@ impl CpuEngine {
         });
         let wall = t0.elapsed();
 
+        let executed = match ctl {
+            Some(_) => iters_done.load(Ordering::Relaxed) as u32,
+            None => cfg.iter_max,
+        };
         CpuRun {
             layout: store.to_layout(),
             report: RunReport {
                 wall,
-                steps_attempted: steps_per_iter * cfg.iter_max as u64,
+                steps_attempted: steps_per_iter * executed as u64,
                 terms_applied: applied.load(Ordering::Relaxed),
                 threads,
-                iters: cfg.iter_max,
+                iters: executed,
             },
-            snapshots: snapshots.into_inner(),
+            snapshots: snapshots.into_inner().unwrap(),
         }
     }
 }
@@ -200,6 +248,10 @@ impl LayoutEngine for CpuEngine {
 
     fn layout(&self, lean: &LeanGraph) -> Layout2D {
         self.run(lean).0
+    }
+
+    fn layout_controlled(&self, lean: &LeanGraph, ctl: &LayoutControl) -> Option<Layout2D> {
+        self.run_controlled(lean, ctl).map(|(layout, _)| layout)
     }
 }
 
@@ -219,7 +271,10 @@ mod tests {
         sampled_path_stress(
             layout,
             lean,
-            SamplingConfig { samples_per_node: 30, seed: 11 },
+            SamplingConfig {
+                samples_per_node: 30,
+                seed: 11,
+            },
         )
         .mean
     }
@@ -227,7 +282,11 @@ mod tests {
     #[test]
     fn layout_improves_over_random_init() {
         let lean = test_graph(300, 6, 1);
-        let cfg = LayoutConfig { iter_max: 20, threads: 2, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 20,
+            threads: 2,
+            ..LayoutConfig::default()
+        };
         let engine = CpuEngine::new(cfg);
         let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
         let random = crate::init::init_random(&lean, total, 5);
@@ -245,7 +304,11 @@ mod tests {
     #[test]
     fn single_thread_run_is_deterministic() {
         let lean = test_graph(150, 4, 2);
-        let cfg = LayoutConfig { threads: 1, iter_max: 8, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            threads: 1,
+            iter_max: 8,
+            ..LayoutConfig::default()
+        };
         let a = CpuEngine::new(cfg.clone()).run(&lean).0;
         let b = CpuEngine::new(cfg).run(&lean).0;
         assert_eq!(a, b, "single-threaded runs must be bit-identical");
@@ -255,7 +318,11 @@ mod tests {
     fn multithreaded_quality_matches_single_thread() {
         // Hogwild races change bits but not quality (paper Sec. III-A).
         let lean = test_graph(400, 8, 3);
-        let mk = |threads| LayoutConfig { threads, iter_max: 15, ..LayoutConfig::default() };
+        let mk = |threads| LayoutConfig {
+            threads,
+            iter_max: 15,
+            ..LayoutConfig::default()
+        };
         let (l1, _) = CpuEngine::new(mk(1)).run(&lean);
         let (l4, _) = CpuEngine::new(mk(4)).run(&lean);
         let q1 = quality(&l1, &lean);
@@ -295,8 +362,7 @@ mod tests {
             ..LayoutConfig::default()
         };
         let (good, _) = CpuEngine::new(mk(PairSelection::PgSgd)).run_from(&lean, &random);
-        let (bad, _) =
-            CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
+        let (bad, _) = CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
         let qg = quality(&good, &lean);
         let qb = quality(&bad, &lean);
         assert!(
@@ -308,7 +374,11 @@ mod tests {
     #[test]
     fn snapshots_are_captured_in_order() {
         let lean = test_graph(100, 4, 6);
-        let cfg = LayoutConfig { threads: 2, iter_max: 10, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            threads: 2,
+            iter_max: 10,
+            ..LayoutConfig::default()
+        };
         let run = CpuEngine::new(cfg).run_with_snapshots(&lean, &[0, 4, 9]);
         assert_eq!(run.snapshots.len(), 3);
         assert_eq!(
@@ -322,14 +392,22 @@ mod tests {
     #[test]
     fn snapshot_quality_improves_monotonically_ish() {
         let lean = test_graph(300, 6, 7);
-        let cfg = LayoutConfig { threads: 2, iter_max: 16, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            threads: 2,
+            iter_max: 16,
+            ..LayoutConfig::default()
+        };
         // Start from random so there is headroom to improve.
         let engine = CpuEngine::new(cfg);
         let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
         let random = crate::init::init_random(&lean, total, 8);
         // run_from doesn't capture snapshots; emulate by comparing a short
         // run against a long run.
-        let short = CpuEngine::new(LayoutConfig { threads: 2, iter_max: 3, ..LayoutConfig::default() });
+        let short = CpuEngine::new(LayoutConfig {
+            threads: 2,
+            iter_max: 3,
+            ..LayoutConfig::default()
+        });
         let (l_short, _) = short.run_from(&lean, &random);
         let (l_long, _) = engine.run_from(&lean, &random);
         assert!(quality(&l_long, &lean) <= quality(&l_short, &lean) * 1.5);
@@ -338,7 +416,11 @@ mod tests {
     #[test]
     fn report_counts_are_consistent() {
         let lean = test_graph(120, 4, 9);
-        let cfg = LayoutConfig { threads: 3, iter_max: 5, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            threads: 3,
+            iter_max: 5,
+            ..LayoutConfig::default()
+        };
         let (_, report) = CpuEngine::new(cfg.clone()).run(&lean);
         assert_eq!(
             report.steps_attempted,
@@ -348,6 +430,51 @@ mod tests {
         assert!(report.terms_applied > report.steps_attempted / 2);
         assert_eq!(report.threads, 3);
         assert!(report.updates_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn controlled_run_completes_with_full_progress() {
+        let lean = test_graph(80, 3, 10);
+        let ctl = LayoutControl::new();
+        let (layout, report) = CpuEngine::new(LayoutConfig::for_tests(2))
+            .run_controlled(&lean, &ctl)
+            .expect("uncancelled run completes");
+        assert!(layout.all_finite());
+        assert_eq!(ctl.progress(), 1.0);
+        assert_eq!(report.iters, LayoutConfig::for_tests(2).iter_max);
+    }
+
+    #[test]
+    fn cancel_before_start_runs_nothing() {
+        let lean = test_graph(50, 3, 11);
+        let ctl = LayoutControl::new();
+        ctl.cancel();
+        assert!(CpuEngine::new(LayoutConfig::for_tests(1))
+            .run_controlled(&lean, &ctl)
+            .is_none());
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_at_an_iteration_boundary() {
+        let lean = test_graph(200, 5, 12);
+        // Far more iterations than we are willing to wait for: the test
+        // only terminates promptly because cancellation works.
+        let cfg = LayoutConfig {
+            iter_max: 100_000,
+            threads: 2,
+            ..LayoutConfig::default()
+        };
+        let engine = CpuEngine::new(cfg);
+        let ctl = LayoutControl::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while ctl.progress() == 0.0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                ctl.cancel();
+            });
+            assert!(engine.run_controlled(&lean, &ctl).is_none());
+        });
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod atomicf;
 pub mod batch;
 pub mod config;
+pub mod control;
 pub mod coords;
 pub mod cpu;
 pub mod init;
@@ -34,6 +35,7 @@ pub mod step;
 
 pub use batch::{BatchEngine, BatchReport, KernelOp};
 pub use config::{LayoutConfig, PairSelection};
+pub use control::LayoutControl;
 pub use coords::{CoordStore, DataLayout};
 pub use cpu::{CpuEngine, RunReport};
 pub use init::{init_linear, init_random};
@@ -50,6 +52,30 @@ pub trait LayoutEngine {
     fn name(&self) -> &str;
     /// Run the full layout schedule and return the result.
     fn layout(&self, lean: &LeanGraph) -> Layout2D;
+    /// Progress- and cancellation-aware entry point, used by schedulers
+    /// such as `pgl-service`. Returns `None` when the run was cancelled.
+    ///
+    /// The default implementation wraps [`LayoutEngine::layout`]: it
+    /// honors a cancel requested *before* the run starts and reports
+    /// completion afterwards, so engines keep working unmodified.
+    /// Engines that can do better (see `CpuEngine`) override this to
+    /// publish per-iteration progress and stop at iteration boundaries.
+    fn layout_controlled(
+        &self,
+        lean: &LeanGraph,
+        ctl: &control::LayoutControl,
+    ) -> Option<Layout2D> {
+        if ctl.is_cancelled() {
+            return None;
+        }
+        let layout = self.layout(lean);
+        ctl.finish();
+        if ctl.is_cancelled() {
+            None
+        } else {
+            Some(layout)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +93,24 @@ mod engine_trait_tests {
         assert_eq!(e.name(), "cpu-hogwild");
         let layout = e.layout(&lean);
         assert!(layout.all_finite());
+    }
+
+    #[test]
+    fn default_layout_controlled_works_for_unmodified_engines() {
+        // BatchEngine does not override layout_controlled: the trait
+        // default must run it to completion and honor pre-cancellation.
+        let g = generate(&PangenomeSpec::basic("t", 40, 3, 2));
+        let lean = LeanGraph::from_graph(&g);
+        let engine = BatchEngine::new(LayoutConfig::for_tests(1), 256);
+        let e: &dyn LayoutEngine = &engine;
+
+        let ctl = LayoutControl::new();
+        let layout = e.layout_controlled(&lean, &ctl).expect("completes");
+        assert!(layout.all_finite());
+        assert_eq!(ctl.progress(), 1.0);
+
+        let cancelled = LayoutControl::new();
+        cancelled.cancel();
+        assert!(e.layout_controlled(&lean, &cancelled).is_none());
     }
 }

@@ -188,8 +188,10 @@ mod tests {
         // After the cooling point the mean |i−j| in *steps* should be much
         // smaller than during the uniform phase.
         let lean = test_lean();
-        let mut cfg = LayoutConfig::default();
-        cfg.cooling_start = 0.5;
+        let cfg = LayoutConfig {
+            cooling_start: 0.5,
+            ..LayoutConfig::default()
+        };
         let sampler = PairSampler::new(&lean, &cfg);
         let mut rng = Xoshiro256Plus::seed_from_u64(2);
         let mean_gap = |iter: u32, rng: &mut Xoshiro256Plus| {

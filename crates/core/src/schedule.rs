@@ -69,14 +69,21 @@ mod tests {
     use super::*;
 
     fn cfg(iters: u32) -> LayoutConfig {
-        LayoutConfig { iter_max: iters, ..LayoutConfig::default() }
+        LayoutConfig {
+            iter_max: iters,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]
     fn endpoints_match_eta_max_and_eps() {
         let c = cfg(30);
         let s = Schedule::new(&c, 1000.0);
-        assert!((s.eta(0) - 1e6).abs() / 1e6 < 1e-12, "eta(0) = {}", s.eta(0));
+        assert!(
+            (s.eta(0) - 1e6).abs() / 1e6 < 1e-12,
+            "eta(0) = {}",
+            s.eta(0)
+        );
         assert!((s.eta(29) - 0.01).abs() < 1e-9, "eta(last) = {}", s.eta(29));
     }
 

@@ -77,11 +77,7 @@ pub fn path_sgd_order(lean: &LeanGraph, cfg: &LayoutConfig) -> Vec<NodeId> {
 
     // Rank nodes by final position (stable on ties by old id).
     let mut by_pos: Vec<NodeId> = (0..n as NodeId).collect();
-    by_pos.sort_by(|&a, &b| {
-        x[a as usize]
-            .total_cmp(&x[b as usize])
-            .then(a.cmp(&b))
-    });
+    by_pos.sort_by(|&a, &b| x[a as usize].total_cmp(&x[b as usize]).then(a.cmp(&b)));
     let mut new_id_of = vec![0 as NodeId; n];
     for (rank, &old) in by_pos.iter().enumerate() {
         new_id_of[old as usize] = rank as NodeId;
@@ -165,7 +161,10 @@ mod tests {
     }
 
     fn sort_cfg() -> LayoutConfig {
-        LayoutConfig { iter_max: 20, ..LayoutConfig::default() }
+        LayoutConfig {
+            iter_max: 20,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]
@@ -207,7 +206,11 @@ mod tests {
         let lean_good = LeanGraph::from_graph(&shuffled.permute_nodes(&order));
 
         // Few iterations: the head start must show.
-        let cfg = LayoutConfig { iter_max: 3, threads: 1, ..LayoutConfig::default() };
+        let cfg = LayoutConfig {
+            iter_max: 3,
+            threads: 1,
+            ..LayoutConfig::default()
+        };
         let q_bad = {
             let (layout, _) = CpuEngine::new(cfg.clone()).run(&lean_bad);
             sampled_path_stress(&layout, &lean_bad, SamplingConfig::default()).mean

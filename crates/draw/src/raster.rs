@@ -24,7 +24,11 @@ pub struct Image {
 impl Image {
     /// A white canvas.
     pub fn blank(width: u32, height: u32) -> Self {
-        Self { width, height, pixels: vec![255; (3 * width * height) as usize] }
+        Self {
+            width,
+            height,
+            pixels: vec![255; (3 * width * height) as usize],
+        }
     }
 
     /// Set one pixel (no-op outside bounds).
@@ -92,7 +96,11 @@ impl Image {
 /// Rasterize a layout at the given width (height from aspect ratio,
 /// clamped to `[width/8, 4·width]`).
 pub fn rasterize(layout: &Layout2D, lean: &LeanGraph, width: u32) -> Image {
-    assert_eq!(layout.node_count(), lean.node_count(), "layout/graph mismatch");
+    assert_eq!(
+        layout.node_count(),
+        lean.node_count(),
+        "layout/graph mismatch"
+    );
     assert!(width >= 8, "image too small");
     let (min_x, min_y, max_x, max_y) = layout.bounds();
     let span_x = (max_x - min_x).max(1e-9);

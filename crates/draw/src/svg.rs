@@ -19,13 +19,22 @@ pub struct DrawOptions {
 
 impl Default for DrawOptions {
     fn default() -> Self {
-        Self { width: 1200, margin: 0.04, stroke: 1.2, path_links: false }
+        Self {
+            width: 1200,
+            margin: 0.04,
+            stroke: 1.2,
+            path_links: false,
+        }
     }
 }
 
 /// Render a layout to a standalone SVG document.
 pub fn to_svg(layout: &Layout2D, lean: &LeanGraph, opts: &DrawOptions) -> String {
-    assert_eq!(layout.node_count(), lean.node_count(), "layout/graph mismatch");
+    assert_eq!(
+        layout.node_count(),
+        lean.node_count(),
+        "layout/graph mismatch"
+    );
     let (min_x, min_y, max_x, max_y) = layout.bounds();
     let span_x = (max_x - min_x).max(1e-9);
     let span_y = (max_y - min_y).max(1e-9);
@@ -114,7 +123,10 @@ mod tests {
     #[test]
     fn path_links_add_connectors() {
         let (layout, lean) = setup();
-        let opts = DrawOptions { path_links: true, ..DrawOptions::default() };
+        let opts = DrawOptions {
+            path_links: true,
+            ..DrawOptions::default()
+        };
         let svg = to_svg(&layout, &lean, &opts);
         // connectors: Σ(|p|−1) = 5+4+6 = 15, plus 8 node segments.
         assert_eq!(svg.matches("<line ").count(), 15 + 8);
@@ -123,7 +135,10 @@ mod tests {
     #[test]
     fn coordinates_are_mapped_into_viewport() {
         let (layout, lean) = setup();
-        let opts = DrawOptions { width: 500, ..DrawOptions::default() };
+        let opts = DrawOptions {
+            width: 500,
+            ..DrawOptions::default()
+        };
         let svg = to_svg(&layout, &lean, &opts);
         // Extract every x/y attribute and check bounds.
         for cap in svg.split("<line ").skip(1) {
@@ -137,7 +152,7 @@ mod tests {
                     .unwrap()
                     .parse()
                     .unwrap();
-                assert!(v >= -0.5 && v <= 2100.0, "{attr} = {v}");
+                assert!((-0.5..=2100.0).contains(&v), "{attr} = {v}");
             }
         }
     }

@@ -31,7 +31,10 @@ pub struct AccessList {
 impl AccessList {
     /// Empty list.
     pub fn new() -> Self {
-        Self { items: [(0, 0); 4], len: 0 }
+        Self {
+            items: [(0, 0); 4],
+            len: 0,
+        }
     }
 
     /// Append an access.
@@ -103,7 +106,10 @@ impl AddrMap {
         match self.layout {
             DataLayout::CacheFriendlyAos => {
                 // One record read (paper: "one memory access for one node").
-                out.push((NODE_AOS_BASE + node as u64 * NODE_REC_BYTES, NODE_REC_BYTES as u32));
+                out.push((
+                    NODE_AOS_BASE + node as u64 * NODE_REC_BYTES,
+                    NODE_REC_BYTES as u32,
+                ));
             }
             DataLayout::OriginalSoa => {
                 let pt = (2 * node as u64 + end as u64) * 4;
@@ -137,7 +143,10 @@ impl AddrMap {
         let mut out = AccessList::new();
         match self.layout {
             DataLayout::CacheFriendlyAos => {
-                out.push((STEP_AOS_BASE + flat_step * STEP_REC_BYTES, STEP_REC_BYTES as u32));
+                out.push((
+                    STEP_AOS_BASE + flat_step * STEP_REC_BYTES,
+                    STEP_REC_BYTES as u32,
+                ));
             }
             DataLayout::OriginalSoa => {
                 out.push((STEP_ID_BASE + flat_step * 4, 4));

@@ -29,18 +29,34 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// GPU-style geometry: 128-byte lines, 32-byte sectors, 4-way.
     pub fn gpu(size_bytes: u64) -> Self {
-        Self { size_bytes, line_bytes: 128, sector_bytes: 32, ways: 4 }
+        Self {
+            size_bytes,
+            line_bytes: 128,
+            sector_bytes: 32,
+            ways: 4,
+        }
     }
 
     /// CPU-style geometry: 64-byte unsectored lines, 8-way.
     pub fn cpu(size_bytes: u64) -> Self {
-        Self { size_bytes, line_bytes: 64, sector_bytes: 64, ways: 8 }
+        Self {
+            size_bytes,
+            line_bytes: 64,
+            sector_bytes: 64,
+            ways: 8,
+        }
     }
 
     fn validate(&self) {
         assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
-        assert!(self.sector_bytes.is_power_of_two(), "sector size must be 2^k");
-        assert!(self.sector_bytes <= self.line_bytes, "sector must fit in line");
+        assert!(
+            self.sector_bytes.is_power_of_two(),
+            "sector size must be 2^k"
+        );
+        assert!(
+            self.sector_bytes <= self.line_bytes,
+            "sector must fit in line"
+        );
         assert!(self.ways >= 1);
         assert!(
             self.size_bytes >= (self.line_bytes as u64) * (self.ways as u64),
@@ -112,7 +128,12 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
         let sets = (0..cfg.num_sets()).map(|_| Vec::new()).collect();
-        Self { cfg, sets, tick: 0, stats: CacheStats::default() }
+        Self {
+            cfg,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Geometry.
@@ -156,7 +177,11 @@ impl Cache {
                 .unwrap();
             set.swap_remove(lru);
         }
-        set.push(Line { tag, valid: mask, stamp: tick });
+        set.push(Line {
+            tag,
+            valid: mask,
+            stamp: tick,
+        });
         self.stats.misses += 1;
         false
     }
@@ -199,7 +224,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 128B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 128, sector_bytes: 32, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 128,
+            sector_bytes: 32,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -281,7 +311,11 @@ mod tests {
                 c.access_sector(line * 128);
             }
         }
-        assert!(c.stats.miss_rate() > 0.9, "miss rate {}", c.stats.miss_rate());
+        assert!(
+            c.stats.miss_rate() > 0.9,
+            "miss rate {}",
+            c.stats.miss_rate()
+        );
     }
 
     #[test]
@@ -292,7 +326,11 @@ mod tests {
                 c.access_sector(line * 128); // 4 lines fit in 2 sets × 2 ways
             }
         }
-        assert!(c.stats.miss_rate() < 0.2, "miss rate {}", c.stats.miss_rate());
+        assert!(
+            c.stats.miss_rate() < 0.2,
+            "miss rate {}",
+            c.stats.miss_rate()
+        );
     }
 
     #[test]
@@ -306,15 +344,35 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CacheStats { accesses: 10, hits: 6, misses: 4 };
-        let b = CacheStats { accesses: 5, hits: 5, misses: 0 };
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+        };
+        let b = CacheStats {
+            accesses: 5,
+            hits: 5,
+            misses: 0,
+        };
         a.merge(&b);
-        assert_eq!(a, CacheStats { accesses: 15, hits: 11, misses: 4 });
+        assert_eq!(
+            a,
+            CacheStats {
+                accesses: 15,
+                hits: 11,
+                misses: 4
+            }
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one set")]
     fn undersized_cache_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 128, sector_bytes: 32, ways: 2 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 128,
+            sector_bytes: 32,
+            ways: 2,
+        });
     }
 }

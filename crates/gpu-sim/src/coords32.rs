@@ -137,6 +137,6 @@ mod tests {
             h.join().unwrap();
         }
         let (x, _) = c.load(0, false);
-        assert!(x >= 10_000.0 && x <= 40_000.0, "x = {x}");
+        assert!((10_000.0..=40_000.0).contains(&x), "x = {x}");
     }
 }

@@ -144,7 +144,12 @@ pub fn characterize_cpu(
     let per_iter = (trace_steps / lcfg.iter_max.max(1) as u64).max(1);
     let warmup = (per_iter / 10).min(per_iter.saturating_sub(1));
 
-    let touch = |l2: &mut Cache, llc: &mut Cache, addr: u64, bytes: u32, accesses: &mut u64, l2_hits: &mut u64| {
+    let touch = |l2: &mut Cache,
+                 llc: &mut Cache,
+                 addr: u64,
+                 bytes: u32,
+                 accesses: &mut u64,
+                 l2_hits: &mut u64| {
         *accesses += 1;
         if l2.access_range(addr, bytes) == 0 {
             *l2_hits += 1;
@@ -230,8 +235,7 @@ pub fn modeled_cpu_time_s(
     report: &CpuMemReport,
     threads: f64,
 ) -> f64 {
-    let total =
-        lcfg.steps_per_iter(lean.total_steps() as u64) * lcfg.iter_max as u64;
+    let total = lcfg.steps_per_iter(lean.total_steps() as u64) * lcfg.iter_max as u64;
     report.modeled_time_s(total, threads)
 }
 
@@ -250,7 +254,10 @@ mod tests {
     }
 
     fn lcfg() -> LayoutConfig {
-        LayoutConfig { iter_max: 10, ..LayoutConfig::default() }
+        LayoutConfig {
+            iter_max: 10,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]

@@ -110,8 +110,7 @@ impl GpuSpec {
     /// resident warps, so per-thread state (the coalesced-random-states
     /// story) occupies the same *fraction* of L1 as on silicon.
     pub fn scaled_l1(&self) -> u64 {
-        ((self.l1_bytes as f64 * self.sim_warps_per_sm as f64 / self.hw_warps_per_sm as f64)
-            as u64)
+        ((self.l1_bytes as f64 * self.sim_warps_per_sm as f64 / self.hw_warps_per_sm as f64) as u64)
             .max(4096)
     }
 
@@ -163,7 +162,11 @@ mod tests {
         let a = GpuSpec::a6000();
         assert!(a.random_bw() < 0.5 * a.dram_bw);
         // Calibration anchor: ~206 GB/s effective on the A6000.
-        assert!((1.8e11..2.4e11).contains(&a.random_bw()), "{}", a.random_bw());
+        assert!(
+            (1.8e11..2.4e11).contains(&a.random_bw()),
+            "{}",
+            a.random_bw()
+        );
         assert!(a.l1_sector_cost_s > 0.0);
     }
 

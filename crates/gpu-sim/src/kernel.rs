@@ -129,7 +129,11 @@ impl KernelConfig {
         if self.warp_merging {
             parts.push("WM");
         }
-        let mut s = if parts.is_empty() { "base".to_string() } else { parts.join("+") };
+        let mut s = if parts.is_empty() {
+            "base".to_string()
+        } else {
+            parts.join("+")
+        };
         if let Some(r) = self.reuse {
             s.push_str(&format!("+reuse({},{})", r.drf, r.srf));
         }
@@ -233,7 +237,12 @@ impl GpuEngine {
                     warp: WarpStats::default(),
                     mem: MemReport::default(),
                     launches: 1,
-                    timing: TimingModel::evaluate(spec, &WarpStats::default(), &MemReport::default(), 1),
+                    timing: TimingModel::evaluate(
+                        spec,
+                        &WarpStats::default(),
+                        &MemReport::default(),
+                        1,
+                    ),
                     steps_executed: 0,
                     terms_applied: 0,
                     sim_wall: Duration::ZERO,
@@ -259,8 +268,9 @@ impl GpuEngine {
         let steps_per_iter = ((lcfg.steps_per_iter(total_steps) as f64) / srf).ceil() as u64;
         let total_threads = spec.total_threads();
         let steps_per_thread = steps_per_iter.div_ceil(total_threads).max(1);
-        let traced_steps =
-            ((steps_per_thread as f64 * kcfg.trace_fraction).ceil() as u64).max(1).min(steps_per_thread);
+        let traced_steps = ((steps_per_thread as f64 * kcfg.trace_fraction).ceil() as u64)
+            .max(1)
+            .min(steps_per_thread);
         let trace_factor = steps_per_thread as f64 / traced_steps as f64;
 
         let warps_per_sm = spec.sim_warps_per_sm as usize;
@@ -294,8 +304,19 @@ impl GpuEngine {
                     let traced = step < traced_steps;
                     for w in 0..warps_per_sm {
                         warp_step(
-                            sm, w, lean, &coords, &alias, &zipf, &amap, kcfg, eta, iter,
-                            first_cooling, traced, drf,
+                            sm,
+                            w,
+                            lean,
+                            &coords,
+                            &alias,
+                            &zipf,
+                            &amap,
+                            kcfg,
+                            eta,
+                            iter,
+                            first_cooling,
+                            traced,
+                            drf,
                         );
                     }
                 }
@@ -388,8 +409,9 @@ fn warp_step(
         for w in 0..6 {
             let states = &sm.states;
             // Collect addresses first to avoid borrowing conflicts.
-            let addrs: Vec<(u64, u32)> =
-                (0..LANES).map(|l| (states.word_addr(base_state + l, w), 4)).collect();
+            let addrs: Vec<(u64, u32)> = (0..LANES)
+                .map(|l| (states.word_addr(base_state + l, w), 4))
+                .collect();
             trace_slot(&mut sm.scratch, &mut sm.mem, addrs.into_iter());
         }
     }
@@ -397,7 +419,10 @@ fn warp_step(
 
     // ---- path + first-node selection ------------------------------------
     for (l, lane) in lanes.iter_mut().enumerate() {
-        let mut rng = PoolRng { pool: &mut sm.states, idx: base_state + l };
+        let mut rng = PoolRng {
+            pool: &mut sm.states,
+            idx: base_state + l,
+        };
         let p = alias.sample(&mut rng) as u32;
         let n = lean.steps_in(p);
         if n < 2 {
@@ -425,7 +450,10 @@ fn warp_step(
     if kcfg.warp_merging {
         // Control lane flips once for the whole warp.
         let cool = iter >= first_cooling || {
-            let mut rng = PoolRng { pool: &mut sm.states, idx: base_state };
+            let mut rng = PoolRng {
+                pool: &mut sm.states,
+                idx: base_state,
+            };
             rng.flip()
         };
         for lane in lanes.iter_mut() {
@@ -434,7 +462,10 @@ fn warp_step(
         sm.warp.issue(cost::WM_BROADCAST + cost::RNG_DRAW, 32);
     } else {
         for (l, lane) in lanes.iter_mut().enumerate() {
-            let mut rng = PoolRng { pool: &mut sm.states, idx: base_state + l };
+            let mut rng = PoolRng {
+                pool: &mut sm.states,
+                idx: base_state + l,
+            };
             lane.cooling = iter >= first_cooling || rng.flip();
         }
         sm.warp.issue(cost::RNG_DRAW, 32);
@@ -450,7 +481,10 @@ fn warp_step(
         let p = lane.path;
         let i = lane.idx_i;
         let n = lean.steps_in(p);
-        let mut rng = PoolRng { pool: &mut sm.states, idx: base_state + l };
+        let mut rng = PoolRng {
+            pool: &mut sm.states,
+            idx: base_state + l,
+        };
         let j = if lane.cooling {
             n_cool += 1;
             let z = zipf.sample(&mut rng, (n - 1) as u64) as usize;
@@ -499,7 +533,10 @@ fn warp_step(
         if !lane.valid {
             continue;
         }
-        let mut rng = PoolRng { pool: &mut sm.states, idx: base_state + l };
+        let mut rng = PoolRng {
+            pool: &mut sm.states,
+            idx: base_state + l,
+        };
         lane.end_i = rng.flip();
         lane.end_j = rng.flip();
         lane.node_i = lean.node_of_flat(lane.s_i);
@@ -512,7 +549,10 @@ fn warp_step(
         }
     }
     let n_valid = lanes.iter().filter(|l| l.valid).count() as u32;
-    sm.warp.issue(cost::RNG_DRAW + 2 * cost::STEP_DECODE, n_valid.max(n_cool + n_uni));
+    sm.warp.issue(
+        cost::RNG_DRAW + 2 * cost::STEP_DECODE,
+        n_valid.max(n_cool + n_uni),
+    );
     if traced {
         for pick_j in [false, true] {
             // Step records of node i then node j, slot-by-slot.
@@ -550,7 +590,11 @@ fn warp_step(
                     .iter()
                     .filter(|l| l.valid)
                     .map(|l| {
-                        let (n, e) = if pick_j { (l.node_j, l.end_j) } else { (l.node_i, l.end_i) };
+                        let (n, e) = if pick_j {
+                            (l.node_j, l.end_j)
+                        } else {
+                            (l.node_i, l.end_i)
+                        };
                         amap.node_read(n, e).as_slice()[slot]
                     })
                     .collect();
@@ -579,7 +623,11 @@ fn warp_step(
                     .iter()
                     .filter(|l| l.valid)
                     .map(|l| {
-                        let (n, e) = if pick_j { (l.node_j, l.end_j) } else { (l.node_i, l.end_i) };
+                        let (n, e) = if pick_j {
+                            (l.node_j, l.end_j)
+                        } else {
+                            (l.node_i, l.end_i)
+                        };
                         amap.node_write(n, e).as_slice()[slot]
                     })
                     .collect();
@@ -626,8 +674,9 @@ fn warp_step(
     if traced {
         for w in 0..6 {
             let states = &sm.states;
-            let addrs: Vec<(u64, u32)> =
-                (0..LANES).map(|l| (states.word_addr(base_state + l, w), 4)).collect();
+            let addrs: Vec<(u64, u32)> = (0..LANES)
+                .map(|l| (states.word_addr(base_state + l, w), 4))
+                .collect();
             trace_slot(&mut sm.scratch, &mut sm.mem, addrs.into_iter());
         }
     }
@@ -658,13 +707,20 @@ mod tests {
         sampled_path_stress(
             layout,
             lean,
-            SamplingConfig { samples_per_node: 30, seed: 77 },
+            SamplingConfig {
+                samples_per_node: 30,
+                seed: 77,
+            },
         )
         .mean
     }
 
     fn fast_lcfg() -> LayoutConfig {
-        LayoutConfig { iter_max: 10, steps_per_path_node: 4.0, ..LayoutConfig::default() }
+        LayoutConfig {
+            iter_max: 10,
+            steps_per_path_node: 4.0,
+            ..LayoutConfig::default()
+        }
     }
 
     #[test]
@@ -690,7 +746,9 @@ mod tests {
     fn crs_reduces_sectors_per_request() {
         let lean = test_graph(300, 6, 3);
         let run = |kcfg: KernelConfig| {
-            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg).run(&lean).1
+            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg)
+                .run(&lean)
+                .1
         };
         let base = run(KernelConfig::base(0.01));
         let crs = run(KernelConfig::base(0.01).with_crs());
@@ -710,7 +768,9 @@ mod tests {
     fn cdl_reduces_dram_traffic() {
         let lean = test_graph(300, 6, 4);
         let run = |kcfg: KernelConfig| {
-            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg).run(&lean).1
+            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg)
+                .run(&lean)
+                .1
         };
         let base = run(KernelConfig::base(0.01));
         let cdl = run(KernelConfig::base(0.01).with_cdl());
@@ -727,9 +787,16 @@ mod tests {
         let lean = test_graph(300, 6, 5);
         // Only the pre-cooling half diverges; use a schedule that spends
         // time there.
-        let lcfg = LayoutConfig { iter_max: 8, steps_per_path_node: 4.0, cooling_start: 1.0, ..LayoutConfig::default() };
+        let lcfg = LayoutConfig {
+            iter_max: 8,
+            steps_per_path_node: 4.0,
+            cooling_start: 1.0,
+            ..LayoutConfig::default()
+        };
         let run = |kcfg: KernelConfig| {
-            GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean).1
+            GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg)
+                .run(&lean)
+                .1
         };
         let base = run(KernelConfig::base(0.01));
         let wm = run(KernelConfig::base(0.01).with_wm());
@@ -751,7 +818,9 @@ mod tests {
     fn optimized_kernel_is_modeled_faster_than_base() {
         let lean = test_graph(400, 6, 6);
         let run = |kcfg: KernelConfig| {
-            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg).run(&lean).1
+            GpuEngine::new(GpuSpec::a6000(), fast_lcfg(), kcfg)
+                .run(&lean)
+                .1
         };
         let base = run(KernelConfig::base(0.01));
         let opt = run(KernelConfig::optimized(0.01));
@@ -767,7 +836,9 @@ mod tests {
     fn a100_is_modeled_faster_than_a6000() {
         let lean = test_graph(300, 6, 7);
         let run = |spec: GpuSpec| {
-            GpuEngine::new(spec, fast_lcfg(), KernelConfig::optimized(0.01)).run(&lean).1
+            GpuEngine::new(spec, fast_lcfg(), KernelConfig::optimized(0.01))
+                .run(&lean)
+                .1
         };
         let a6000 = run(GpuSpec::a6000());
         let a100 = run(GpuSpec::a100());
@@ -777,8 +848,13 @@ mod tests {
     #[test]
     fn reuse_scheme_speeds_up_but_degrades_quality() {
         let lean = test_graph(400, 8, 8);
-        let lcfg = LayoutConfig { iter_max: 12, steps_per_path_node: 5.0, ..LayoutConfig::default() };
-        let run = |kcfg: KernelConfig| GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean);
+        let lcfg = LayoutConfig {
+            iter_max: 12,
+            steps_per_path_node: 5.0,
+            ..LayoutConfig::default()
+        };
+        let run =
+            |kcfg: KernelConfig| GpuEngine::new(GpuSpec::a6000(), lcfg.clone(), kcfg).run(&lean);
         let (l_base, r_base) = run(KernelConfig::optimized(0.01));
         let (l_reuse, r_reuse) = run(KernelConfig::optimized(0.01).with_reuse(8, 2.5));
         assert!(
@@ -798,7 +874,11 @@ mod tests {
     #[test]
     fn trace_sampling_extrapolates_counts() {
         let lean = test_graph(300, 6, 9);
-        let lcfg = LayoutConfig { iter_max: 6, steps_per_path_node: 8.0, ..LayoutConfig::default() };
+        let lcfg = LayoutConfig {
+            iter_max: 6,
+            steps_per_path_node: 8.0,
+            ..LayoutConfig::default()
+        };
         let full = GpuEngine::new(
             GpuSpec::a6000(),
             lcfg.clone(),
@@ -824,7 +904,11 @@ mod tests {
     fn gpu_quality_matches_cpu_quality() {
         // The Table VIII claim: SPS ratio GPU/CPU ≈ 1.
         let lean = test_graph(400, 8, 10);
-        let lcfg = LayoutConfig { iter_max: 15, threads: 4, ..LayoutConfig::default() };
+        let lcfg = LayoutConfig {
+            iter_max: 15,
+            threads: 4,
+            ..LayoutConfig::default()
+        };
         let (cpu_layout, _) = layout_core::cpu::CpuEngine::new(lcfg.clone()).run(&lean);
         let (gpu_layout, _) =
             GpuEngine::new(GpuSpec::a6000(), lcfg, KernelConfig::optimized(0.01)).run(&lean);

@@ -251,7 +251,12 @@ mod tests {
 
     #[test]
     fn bytes_helpers_use_sector_size() {
-        let r = MemReport { l1_sectors: 3, l2_sectors: 2, dram_sectors: 1, ..Default::default() };
+        let r = MemReport {
+            l1_sectors: 3,
+            l2_sectors: 2,
+            dram_sectors: 1,
+            ..Default::default()
+        };
         assert_eq!(r.l1_bytes(), 96);
         assert_eq!(r.l2_bytes(), 64);
         assert_eq!(r.dram_bytes(), 32);

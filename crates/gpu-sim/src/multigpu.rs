@@ -32,12 +32,18 @@ impl Interconnect {
     /// NVLink 3.0-class link (A100: 600 GB/s aggregate; assume half
     /// sustained for scattered fine-grained updates).
     pub fn nvlink3() -> Self {
-        Self { bw: 300.0e9, sync_latency_s: 10e-6 }
+        Self {
+            bw: 300.0e9,
+            sync_latency_s: 10e-6,
+        }
     }
 
     /// PCIe 4.0 x16 fallback (32 GB/s, higher latency).
     pub fn pcie4() -> Self {
-        Self { bw: 32.0e9, sync_latency_s: 50e-6 }
+        Self {
+            bw: 32.0e9,
+            sync_latency_s: 50e-6,
+        }
     }
 }
 
@@ -104,7 +110,9 @@ pub fn scaling_curve(
     link: &Interconnect,
     max_gpus: u32,
 ) -> Vec<MultiGpuPoint> {
-    (1..=max_gpus).map(|g| project(report, spec, link, g)).collect()
+    (1..=max_gpus)
+        .map(|g| project(report, spec, link, g))
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,10 +129,12 @@ mod tests {
         // real hardware.
         let g = generate(&PangenomeSpec::basic("mg", 3000, 10, 1));
         let lean = LeanGraph::from_graph(&g);
-        let lcfg = LayoutConfig { iter_max: 12, ..LayoutConfig::default() };
+        let lcfg = LayoutConfig {
+            iter_max: 12,
+            ..LayoutConfig::default()
+        };
         let spec = GpuSpec::a100();
-        let (_, report) =
-            GpuEngine::new(spec, lcfg, KernelConfig::optimized(0.001)).run(&lean);
+        let (_, report) = GpuEngine::new(spec, lcfg, KernelConfig::optimized(0.001)).run(&lean);
         (report, spec)
     }
 

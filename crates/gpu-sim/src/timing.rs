@@ -37,12 +37,7 @@ pub struct TimingModel {
 
 impl TimingModel {
     /// Evaluate the model.
-    pub fn evaluate(
-        spec: &GpuSpec,
-        warp: &WarpStats,
-        mem: &MemReport,
-        launches: u64,
-    ) -> Self {
+    pub fn evaluate(spec: &GpuSpec, warp: &WarpStats, mem: &MemReport, launches: u64) -> Self {
         TimingModel {
             compute_s: warp.warp_instructions as f64 / spec.instr_throughput(),
             // Scattered sector traffic runs at the calibrated effective
@@ -98,7 +93,10 @@ mod tests {
         let spec = GpuSpec::a6000();
         // 100 GB of DRAM traffic vs trivial compute.
         let m = mem(100_000_000_000 / 32, 100_000_000_000 / 32);
-        let w = WarpStats { warp_instructions: 1000, lane_instructions: 32_000 };
+        let w = WarpStats {
+            warp_instructions: 1000,
+            lane_instructions: 32_000,
+        };
         let t = TimingModel::evaluate(&spec, &w, &m, 31);
         assert_eq!(t.bottleneck(), "dram");
         // 100 GB at the effective random-access bandwidth.
@@ -110,7 +108,10 @@ mod tests {
     fn compute_bound_when_no_memory_traffic() {
         let spec = GpuSpec::a6000();
         let m = MemReport::default();
-        let w = WarpStats { warp_instructions: u64::pow(10, 12), lane_instructions: 0 };
+        let w = WarpStats {
+            warp_instructions: u64::pow(10, 12),
+            lane_instructions: 0,
+        };
         let t = TimingModel::evaluate(&spec, &w, &m, 0);
         assert_eq!(t.bottleneck(), "compute");
         assert_eq!(t.total_s(), t.compute_s);
@@ -119,7 +120,10 @@ mod tests {
     #[test]
     fn a100_is_faster_on_the_same_memory_bound_counts() {
         let m = mem(10_000_000, 10_000_000);
-        let w = WarpStats { warp_instructions: 100, lane_instructions: 3200 };
+        let w = WarpStats {
+            warp_instructions: 100,
+            lane_instructions: 3200,
+        };
         let t6 = TimingModel::evaluate(&GpuSpec::a6000(), &w, &m, 31);
         let t1 = TimingModel::evaluate(&GpuSpec::a100(), &w, &m, 31);
         // The DRAM term scales with the 2x bandwidth gap; the L1 replay
@@ -147,7 +151,10 @@ mod tests {
     fn fewer_dram_bytes_mean_faster_kernels() {
         // The mechanism behind all three of the paper's optimizations.
         let spec = GpuSpec::a6000();
-        let w = WarpStats { warp_instructions: 100, lane_instructions: 3200 };
+        let w = WarpStats {
+            warp_instructions: 100,
+            lane_instructions: 3200,
+        };
         let slow = TimingModel::evaluate(&spec, &w, &mem(2_000_000, 2_000_000), 31);
         let fast = TimingModel::evaluate(&spec, &w, &mem(1_000_000, 1_500_000), 31);
         assert!(fast.kernel_s() < slow.kernel_s());

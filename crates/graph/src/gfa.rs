@@ -45,7 +45,10 @@ impl fmt::Display for GfaError {
                 write!(f, "line {line_no}: empty {what}")
             }
             GfaError::MissingLength { line_no, name } => {
-                write!(f, "line {line_no}: segment {name} has '*' sequence and no LN tag")
+                write!(
+                    f,
+                    "line {line_no}: segment {name} has '*' sequence and no LN tag"
+                )
             }
             GfaError::UnknownSegment { line_no, name } => {
                 write!(f, "line {line_no}: unknown segment {name}")
@@ -82,7 +85,10 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
             .next()
             .ok_or(GfaError::Truncated { line_no, kind: 'S' })?;
         if name.is_empty() {
-            return Err(GfaError::Empty { line_no, what: "segment name" });
+            return Err(GfaError::Empty {
+                line_no,
+                what: "segment name",
+            });
         }
         let id = if seq == "*" {
             let ln = fields
@@ -96,12 +102,18 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
                 token: ln.to_string(),
             })?;
             if len == 0 {
-                return Err(GfaError::Empty { line_no, what: "segment length" });
+                return Err(GfaError::Empty {
+                    line_no,
+                    what: "segment length",
+                });
             }
             b.add_node_len(len)
         } else {
             if seq.is_empty() {
-                return Err(GfaError::Empty { line_no, what: "segment sequence" });
+                return Err(GfaError::Empty {
+                    line_no,
+                    what: "segment sequence",
+                });
             }
             b.add_node_seq(seq.as_bytes())
         };
@@ -110,10 +122,12 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
     }
 
     let lookup = |ids: &HashMap<String, u32>, name: &str, line_no: usize| {
-        ids.get(name).copied().ok_or_else(|| GfaError::UnknownSegment {
-            line_no,
-            name: name.to_string(),
-        })
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| GfaError::UnknownSegment {
+                line_no,
+                name: name.to_string(),
+            })
     };
     let orient = |tok: &str, line_no: usize| match tok {
         "+" => Ok(false),
@@ -151,14 +165,20 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
                     }
                     let (name, o) = tok.split_at(tok.len() - 1);
                     if name.is_empty() {
-                        return Err(GfaError::Empty { line_no, what: "step name" });
+                        return Err(GfaError::Empty {
+                            line_no,
+                            what: "step name",
+                        });
                     }
                     let rev = orient(o, line_no)?;
                     let id = lookup(&ids, name, line_no)?;
                     steps.push(Handle::new(id, rev));
                 }
                 if steps.is_empty() {
-                    return Err(GfaError::Empty { line_no, what: "path steps" });
+                    return Err(GfaError::Empty {
+                        line_no,
+                        what: "path steps",
+                    });
                 }
                 b.add_path(f[1], steps);
             }
@@ -342,9 +362,15 @@ P\talt\t1+,3+\t*\n";
 
     #[test]
     fn error_display_strings() {
-        let e = GfaError::UnknownSegment { line_no: 3, name: "x".into() };
+        let e = GfaError::UnknownSegment {
+            line_no: 3,
+            name: "x".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = GfaError::BadNumber { line_no: 9, token: "q".into() };
+        let e = GfaError::BadNumber {
+            line_no: 9,
+            token: "q".into(),
+        };
         assert!(e.to_string().contains("bad number"));
     }
 }

@@ -26,7 +26,7 @@ impl Layout2D {
     /// Build from flat coordinate vectors (length `2 × n_nodes` each).
     pub fn from_flat(xs: Vec<f64>, ys: Vec<f64>) -> Self {
         assert_eq!(xs.len(), ys.len(), "coordinate vectors must match");
-        assert!(xs.len() % 2 == 0, "need two endpoints per node");
+        assert!(xs.len().is_multiple_of(2), "need two endpoints per node");
         Self { xs, ys }
     }
 
@@ -79,9 +79,10 @@ impl Layout2D {
     /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)`.
     pub fn bounds(&self) -> (f64, f64, f64, f64) {
         let fold = |v: &[f64]| {
-            v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-                (lo.min(x), hi.max(x))
-            })
+            v.iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                })
         };
         let (min_x, max_x) = fold(&self.xs);
         let (min_y, max_y) = fold(&self.ys);

@@ -133,7 +133,10 @@ impl LeanGraph {
 
     /// Longest path, in steps (the Zipf sampler's maximum space).
     pub fn max_path_steps(&self) -> usize {
-        (0..self.path_count()).map(|p| self.steps_in(p as u32)).max().unwrap_or(0)
+        (0..self.path_count())
+            .map(|p| self.steps_in(p as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Longest path, in nucleotides (sets `η_max = d_max²`).

@@ -82,7 +82,12 @@ impl Handle {
 
 impl fmt::Display for Handle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.id(), if self.is_reverse() { '-' } else { '+' })
+        write!(
+            f,
+            "{}{}",
+            self.id(),
+            if self.is_reverse() { '-' } else { '+' }
+        )
     }
 }
 
@@ -296,7 +301,10 @@ impl GraphBuilder {
     /// build time.
     pub fn add_path(&mut self, name: impl Into<String>, steps: Vec<Handle>) -> PathId {
         let id = self.paths.len() as PathId;
-        self.paths.push(Path { name: name.into(), steps });
+        self.paths.push(Path {
+            name: name.into(),
+            steps,
+        });
         id
     }
 
@@ -481,7 +489,7 @@ mod tests {
         let c = b.add_node_len(1);
         b.add_edge(Handle::forward(a), Handle::forward(c));
         b.add_edge(Handle::forward(a), Handle::forward(c)); // duplicate
-        // reverse-complement twin of the same adjacency:
+                                                            // reverse-complement twin of the same adjacency:
         b.add_edge(Handle::reverse(c), Handle::reverse(a));
         let g = b.build();
         assert_eq!(g.edge_count(), 1);
@@ -565,10 +573,16 @@ mod tests {
         }
         // Path walks traverse the same biological sequence.
         for (a, b) in g.paths().iter().zip(p.paths()) {
-            let seq_a: Vec<u8> =
-                a.steps.iter().flat_map(|h| g.node_seq(h.id()).unwrap().to_vec()).collect();
-            let seq_b: Vec<u8> =
-                b.steps.iter().flat_map(|h| p.node_seq(h.id()).unwrap().to_vec()).collect();
+            let seq_a: Vec<u8> = a
+                .steps
+                .iter()
+                .flat_map(|h| g.node_seq(h.id()).unwrap().to_vec())
+                .collect();
+            let seq_b: Vec<u8> = b
+                .steps
+                .iter()
+                .flat_map(|h| p.node_seq(h.id()).unwrap().to_vec())
+                .collect();
             assert_eq!(seq_a, seq_b);
         }
         // Applying the inverse permutation restores identity numbering.

@@ -57,7 +57,12 @@ impl PathIndex {
             path_nuc_len.push(pos);
             step_offset.push(step_handle.len());
         }
-        Self { step_offset, step_handle, step_pos, path_nuc_len }
+        Self {
+            step_offset,
+            step_handle,
+            step_pos,
+            path_nuc_len,
+        }
     }
 
     /// Number of indexed paths.

@@ -91,10 +91,7 @@ impl AggregateStats {
         assert!(!stats.is_empty(), "aggregate over empty set");
         let n = stats.len() as f64;
         let fold = |pick: &dyn Fn(&GraphStats) -> f64, op: &dyn Fn(f64, f64) -> f64| {
-            stats[1..]
-                .iter()
-                .map(pick)
-                .fold(pick(&stats[0]), |a, b| op(a, b))
+            stats[1..].iter().map(pick).fold(pick(&stats[0]), op)
         };
         let make = |op: &dyn Fn(f64, f64) -> f64| GraphStats {
             nucleotides: fold(&|s| s.nucleotides as f64, op) as u64,

@@ -42,8 +42,8 @@ proptest! {
         path_picks in prop::collection::vec(0usize..12, 1..20),
     ) {
         let mut doc = String::new();
-        for i in 0..n_nodes {
-            doc.push_str(&format!("S\tn{i}\t{}\n", seqs[i]));
+        for (i, seq) in seqs.iter().enumerate().take(n_nodes) {
+            doc.push_str(&format!("S\tn{i}\t{seq}\n"));
         }
         let steps: Vec<String> = path_picks
             .iter()
@@ -61,20 +61,20 @@ proptest! {
 fn pathological_inputs_error_cleanly() {
     // Every one of these must be Err, not panic.
     let cases = [
-        "S",                        // bare record type
-        "S\t",                      // empty name
-        "S\tx",                     // missing sequence
-        "S\tx\t",                   // empty sequence (fuzz-found)
-        "S\t\tACGT",                // empty segment name
-        "S\tn\t*\tLN:i:0",          // zero-length segment (fuzz-found)
-        "L\ta\t+\tb",               // truncated link
-        "P\tp",                     // truncated path
-        "P\tp\t\t*",                // empty step list (fuzz-found)
-        "P\tp\t,\t*",               // only separators
-        "P\tp\tq?\t*",              // bad orientation
-        "S\tn\t*\tLN:i:notanum",    // bad LN tag
-        "P\tp\tmissing+\t*",        // unknown segment
-        "S\ta\tAC\nP\tp\t+\t*",     // step with empty name
+        "S",                     // bare record type
+        "S\t",                   // empty name
+        "S\tx",                  // missing sequence
+        "S\tx\t",                // empty sequence (fuzz-found)
+        "S\t\tACGT",             // empty segment name
+        "S\tn\t*\tLN:i:0",       // zero-length segment (fuzz-found)
+        "L\ta\t+\tb",            // truncated link
+        "P\tp",                  // truncated path
+        "P\tp\t\t*",             // empty step list (fuzz-found)
+        "P\tp\t,\t*",            // only separators
+        "P\tp\tq?\t*",           // bad orientation
+        "S\tn\t*\tLN:i:notanum", // bad LN tag
+        "P\tp\tmissing+\t*",     // unknown segment
+        "S\ta\tAC\nP\tp\t+\t*",  // step with empty name
     ];
     for c in cases {
         assert!(parse_gfa(c).is_err(), "should reject {c:?}");

@@ -41,7 +41,10 @@ impl fmt::Display for LayError {
         match self {
             LayError::BadMagic => write!(f, "not a PGLAY file (bad magic)"),
             LayError::Truncated { expected, actual } => {
-                write!(f, "truncated lay file: need {expected} bytes, have {actual}")
+                write!(
+                    f,
+                    "truncated lay file: need {expected} bytes, have {actual}"
+                )
             }
             LayError::BadCount(n) => write!(f, "implausible node count {n}"),
         }
@@ -68,18 +71,22 @@ pub fn write_lay(layout: &Layout2D) -> Bytes {
 /// Deserialize a layout.
 pub fn read_lay(mut data: &[u8]) -> Result<Layout2D, LayError> {
     if data.len() < 16 {
-        return Err(LayError::Truncated { expected: 16, actual: data.len() });
+        return Err(LayError::Truncated {
+            expected: 16,
+            actual: data.len(),
+        });
     }
     if &data[..8] != MAGIC {
         return Err(LayError::BadMagic);
     }
     data.advance(8);
     let n = data.get_u64_le();
-    let payload = (n as usize)
-        .checked_mul(32)
-        .ok_or(LayError::BadCount(n))?;
+    let payload = (n as usize).checked_mul(32).ok_or(LayError::BadCount(n))?;
     if data.len() < payload {
-        return Err(LayError::Truncated { expected: 16 + payload, actual: 16 + data.len() });
+        return Err(LayError::Truncated {
+            expected: 16 + payload,
+            actual: 16 + data.len(),
+        });
     }
     let mut xs = Vec::with_capacity(2 * n as usize);
     for _ in 0..2 * n {
@@ -185,8 +192,11 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(LayError::BadMagic.to_string().contains("magic"));
-        assert!(LayError::Truncated { expected: 10, actual: 5 }
-            .to_string()
-            .contains("10"));
+        assert!(LayError::Truncated {
+            expected: 10,
+            actual: 5
+        }
+        .to_string()
+        .contains("10"));
     }
 }

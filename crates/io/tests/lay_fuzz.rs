@@ -1,8 +1,8 @@
 //! Fuzz-style decoding tests: `read_lay` must never panic or
 //! over-allocate on malformed bytes.
 
-use pgio::{read_lay, write_lay};
 use pangraph::layout2d::Layout2D;
+use pgio::{read_lay, write_lay};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,7 +49,7 @@ proptest! {
 fn header_only_inputs() {
     assert!(read_lay(b"").is_err());
     assert!(read_lay(b"PGLAY\x01\0\0").is_err()); // magic but no count
-    // magic + zero count and no payload: valid empty layout.
+                                                  // magic + zero count and no payload: valid empty layout.
     let mut v = b"PGLAY\x01\0\0".to_vec();
     v.extend_from_slice(&0u64.to_le_bytes());
     assert_eq!(read_lay(&v).unwrap().node_count(), 0);

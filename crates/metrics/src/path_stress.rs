@@ -107,8 +107,18 @@ mod tests {
             for i in 0..lean.steps_in(p) {
                 let s = lean.flat_step(p, i);
                 let n = lean.node_of_flat(s);
-                l.set(n, false, lean.endpoint_pos_of_flat(s, false) as f64 * scale, 0.0);
-                l.set(n, true, lean.endpoint_pos_of_flat(s, true) as f64 * scale, 0.0);
+                l.set(
+                    n,
+                    false,
+                    lean.endpoint_pos_of_flat(s, false) as f64 * scale,
+                    0.0,
+                );
+                l.set(
+                    n,
+                    true,
+                    lean.endpoint_pos_of_flat(s, true) as f64 * scale,
+                    0.0,
+                );
             }
         }
         l

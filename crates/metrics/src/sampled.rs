@@ -29,7 +29,10 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        Self { samples_per_node: 100, seed: 0x5EED_5EED }
+        Self {
+            samples_per_node: 100,
+            seed: 0x5EED_5EED,
+        }
     }
 }
 
@@ -92,7 +95,8 @@ fn sample_one_path(
         return (0.0, 0.0, 0);
     }
     // Decorrelate paths deterministically: one seed per (config seed, path).
-    let mut rng = Xoshiro256Plus::seed_from_u64(cfg.seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        Xoshiro256Plus::seed_from_u64(cfg.seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let draws = cfg.samples_per_node as u64 * steps as u64;
     let base = lean.flat_step(p, 0);
     let mut sum = 0.0;
@@ -121,7 +125,13 @@ fn sample_one_path(
 
 fn finalize(sum: f64, sum_sq: f64, n: u64) -> SampledStress {
     if n == 0 {
-        return SampledStress { mean: 0.0, ci_lo: 0.0, ci_hi: 0.0, std_dev: 0.0, n: 0 };
+        return SampledStress {
+            mean: 0.0,
+            ci_lo: 0.0,
+            ci_hi: 0.0,
+            std_dev: 0.0,
+            n: 0,
+        };
     }
     let nf = n as f64;
     let mean = sum / nf;
@@ -151,8 +161,18 @@ mod tests {
             for i in 0..lean.steps_in(p) {
                 let s = lean.flat_step(p, i);
                 let n = lean.node_of_flat(s);
-                l.set(n, false, lean.endpoint_pos_of_flat(s, false) as f64 * scale, 0.0);
-                l.set(n, true, lean.endpoint_pos_of_flat(s, true) as f64 * scale, 0.0);
+                l.set(
+                    n,
+                    false,
+                    lean.endpoint_pos_of_flat(s, false) as f64 * scale,
+                    0.0,
+                );
+                l.set(
+                    n,
+                    true,
+                    lean.endpoint_pos_of_flat(s, true) as f64 * scale,
+                    0.0,
+                );
             }
         }
         l
@@ -215,7 +235,10 @@ mod tests {
     fn sample_count_follows_config() {
         let lean = chain_graph(30);
         let layout = line_layout(&lean, 1.0);
-        let cfg = SamplingConfig { samples_per_node: 10, seed: 1 };
+        let cfg = SamplingConfig {
+            samples_per_node: 10,
+            seed: 1,
+        };
         let s = sampled_path_stress(&layout, &lean, cfg);
         // 10 × 30 draws; a handful may be skipped for d_ref = 0 (adjacent
         // abutting endpoints).
@@ -228,7 +251,10 @@ mod tests {
         let g = fig1_graph();
         let lean = LeanGraph::from_graph(&g);
         let layout = line_layout(&lean, 1.5);
-        let cfg = SamplingConfig { samples_per_node: 50, seed: 77 };
+        let cfg = SamplingConfig {
+            samples_per_node: 50,
+            seed: 77,
+        };
         let a = sampled_path_stress(&layout, &lean, cfg);
         let b = sampled_path_stress(&layout, &lean, cfg);
         assert_eq!(a, b);
@@ -240,8 +266,22 @@ mod tests {
         // random seeds; different seeds must agree within CI widths.
         let lean = chain_graph(80);
         let layout = line_layout(&lean, 1.4); // constant stress 0.16 exactly
-        let a = sampled_path_stress(&layout, &lean, SamplingConfig { samples_per_node: 100, seed: 1 });
-        let b = sampled_path_stress(&layout, &lean, SamplingConfig { samples_per_node: 100, seed: 2 });
+        let a = sampled_path_stress(
+            &layout,
+            &lean,
+            SamplingConfig {
+                samples_per_node: 100,
+                seed: 1,
+            },
+        );
+        let b = sampled_path_stress(
+            &layout,
+            &lean,
+            SamplingConfig {
+                samples_per_node: 100,
+                seed: 2,
+            },
+        );
         assert!((a.mean - b.mean).abs() < 1e-9);
     }
 
@@ -258,13 +298,21 @@ mod tests {
         let mut rng = Xoshiro256Plus::seed_from_u64(123);
         for node in 0..lean.node_count() as u32 {
             let (x, y) = layout.get(node, false);
-            layout.set(node, false, x + rng.next_f64() - 0.5, y + rng.next_f64() - 0.5);
+            layout.set(
+                node,
+                false,
+                x + rng.next_f64() - 0.5,
+                y + rng.next_f64() - 0.5,
+            );
         }
         let exact = path_stress(&layout, &lean).stress;
         let s = sampled_path_stress(
             &layout,
             &lean,
-            SamplingConfig { samples_per_node: 200, seed: 3 },
+            SamplingConfig {
+                samples_per_node: 200,
+                seed: 3,
+            },
         );
         let ratio = s.mean / exact;
         assert!(

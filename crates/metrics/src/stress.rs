@@ -41,9 +41,7 @@ pub fn node_pair_stress(
     for end_i in [false, true] {
         for end_j in [false, true] {
             let d_ref = lean.d_ref_endpoints(s_i, end_i, s_j, end_j);
-            if let Some(s) =
-                term_stress(layout.get(n_i, end_i), layout.get(n_j, end_j), d_ref)
-            {
+            if let Some(s) = term_stress(layout.get(n_i, end_i), layout.get(n_j, end_j), d_ref) {
                 sum += s;
                 count += 1;
             }

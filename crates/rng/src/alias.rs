@@ -23,7 +23,10 @@ impl AliasTable {
     ///
     /// Vose's O(n) construction.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         assert!(
             weights.iter().all(|&w| w.is_finite() && w >= 0.0),
             "weights must be finite and non-negative"

@@ -24,6 +24,7 @@ impl SplitMix64 {
 
     /// Produce the next output and advance.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // established PRNG naming, not an Iterator
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.state;
@@ -96,7 +97,10 @@ mod tests {
         let mut sm = SplitMix64::new(99);
         let mut buf = [0u64; 4];
         sm.fill(&mut buf);
-        assert!(buf.iter().all(|&w| w != 0), "zero output is astronomically unlikely");
+        assert!(
+            buf.iter().all(|&w| w != 0),
+            "zero output is astronomically unlikely"
+        );
         let next = sm.next();
         assert!(!buf.contains(&next));
     }

@@ -150,7 +150,10 @@ impl StatePool {
             self.words[self.word_index(i, 3)],
             self.words[self.word_index(i, 4)],
         ];
-        XorWow { s, d: self.words[self.word_index(i, 5)] }
+        XorWow {
+            s,
+            d: self.words[self.word_index(i, 5)],
+        }
     }
 
     /// Scatter state `i` back into the pool.
@@ -254,8 +257,9 @@ mod tests {
         // state.
         let sector = |addr: u64| addr / 32;
         let count_sectors = |pool: &StatePool| {
-            let mut sectors: Vec<u64> =
-                (0..32).map(|lane| sector(pool.word_addr(lane, 0))).collect();
+            let mut sectors: Vec<u64> = (0..32)
+                .map(|lane| sector(pool.word_addr(lane, 0)))
+                .collect();
             sectors.sort_unstable();
             sectors.dedup();
             sectors.len()

@@ -53,7 +53,10 @@ impl XorWow {
         if s == [0; 5] {
             s = [1, 2, 3, 4, 5];
         }
-        Self { s, d: (words[2] >> 32) as u32 }
+        Self {
+            s,
+            d: (words[2] >> 32) as u32,
+        }
     }
 
     /// Construct from explicit words (tests / state-pool round trips).
@@ -105,7 +108,7 @@ mod tests {
         let mut g = XorWow::from_words([1, 2, 3, 4, 5], 0);
         g.step();
         // t = 2 ^ 0 = 2; new v = (86 ^ (86<<4)) ^ (2 ^ 4)
-        let t = 2u32 ^ (2 >> 2);
+        let t = 2u32;
         let v = (86u32 ^ (86 << 4)) ^ (t ^ (t << 1));
         let d = 362437u32.wrapping_add(362437);
         assert_eq!(g.step(), v.wrapping_add(d));

@@ -82,13 +82,17 @@ impl Xoshiro256Plus {
     /// Seed via SplitMix64 expansion (the recommended procedure).
     #[inline]
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { state: State256::from_seed(seed) }
+        Self {
+            state: State256::from_seed(seed),
+        }
     }
 
     /// Construct from explicit state words (must not be all zero).
     pub fn from_state(s: [u64; 4]) -> Self {
         assert!(s != [0, 0, 0, 0], "xoshiro state must not be all zero");
-        Self { state: State256 { s } }
+        Self {
+            state: State256 { s },
+        }
     }
 
     /// Expose the state words (for tests and serialization).
@@ -131,7 +135,9 @@ impl Xoshiro256StarStar {
     /// Seed via SplitMix64 expansion.
     #[inline]
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { state: State256::from_seed(seed) }
+        Self {
+            state: State256::from_seed(seed),
+        }
     }
 
     /// Jump 2^128 steps ahead (see [`Xoshiro256Plus::jump`]).
@@ -146,7 +152,10 @@ impl Xoshiro256StarStar {
 impl Rng64 for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.state.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let result = self.state.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
         self.state.advance();
         result
     }
@@ -207,10 +216,7 @@ mod tests {
         // Streams 2^128 apart cannot overlap in any feasible test window;
         // check the first outputs differ pairwise.
         let streams = Xoshiro256Plus::split_streams(7, 8);
-        let firsts: Vec<u64> = streams
-            .into_iter()
-            .map(|mut g| g.next_u64())
-            .collect();
+        let firsts: Vec<u64> = streams.into_iter().map(|mut g| g.next_u64()).collect();
         for i in 0..firsts.len() {
             for j in (i + 1)..firsts.len() {
                 assert_ne!(firsts[i], firsts[j], "streams {i} and {j} collide");

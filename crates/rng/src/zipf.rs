@@ -92,7 +92,7 @@ impl ZipfTable {
             let mut k = space_max;
             let mut z = acc;
             while k < max_space {
-                let next = (k + quant_step).min(u64::MAX);
+                let next = k + quant_step;
                 for j in (k + 1)..=next {
                     z += (j as f64).powf(-theta);
                 }
@@ -100,12 +100,23 @@ impl ZipfTable {
                 k = next;
             }
         }
-        Self { theta, space_max, quant_step, exact, quantized }
+        Self {
+            theta,
+            space_max,
+            quant_step,
+            exact,
+            quantized,
+        }
     }
 
     /// Build with odgi's default parameters, covering `max_space`.
     pub fn with_defaults(max_space: u64) -> Self {
-        Self::new(DEFAULT_THETA, DEFAULT_SPACE_MAX, DEFAULT_QUANT_STEP, max_space)
+        Self::new(
+            DEFAULT_THETA,
+            DEFAULT_SPACE_MAX,
+            DEFAULT_QUANT_STEP,
+            max_space,
+        )
     }
 
     /// The Zipf exponent θ.

@@ -67,7 +67,10 @@ fn xoshiro_bit_balance_across_seeds() {
             ones += rng.next_u64().count_ones() as u64;
         }
         let frac = ones as f64 / (64.0 * n as f64);
-        assert!((frac - 0.5).abs() < 0.01, "seed {seed}: ones fraction {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.01,
+            "seed {seed}: ones fraction {frac}"
+        );
     }
 }
 

@@ -1,0 +1,269 @@
+//! Directory batch mode: lay out every `.gfa` in a directory through the
+//! service's worker pool — the multi-chromosome release workflow
+//! (`pgl batch haplotypes/ -o layouts/`).
+
+use crate::job::{JobRequest, JobState};
+use crate::registry::EngineRegistry;
+use crate::service::{LayoutService, ServiceConfig};
+use layout_core::LayoutConfig;
+use pgio::{layout_to_tsv, save_lay};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to run over the directory.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Engine registry key for every graph.
+    pub engine: String,
+    /// Layout configuration for every graph.
+    pub config: LayoutConfig,
+    /// Mini-batch size (batch engine only).
+    pub batch_size: usize,
+    /// Concurrent layout workers (0 ⇒ one per core).
+    pub workers: usize,
+    /// Also write a `.tsv` next to each `.lay`.
+    pub write_tsv: bool,
+    /// Per-graph completion timeout.
+    pub timeout: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            engine: "cpu".into(),
+            config: LayoutConfig::default(),
+            batch_size: 1024,
+            workers: 0,
+            write_tsv: false,
+            timeout: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// Outcome for one input graph.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Input file name (without directory).
+    pub name: String,
+    /// Terminal job state.
+    pub state: JobState,
+    /// Node count (0 when the graph never parsed).
+    pub nodes: usize,
+    /// Submission-to-completion wall time.
+    pub wall_ms: u128,
+    /// Where the layout was written, when successful.
+    pub output: Option<PathBuf>,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+    /// Served from the layout cache.
+    pub cached: bool,
+}
+
+/// Lay out every `*.gfa` under `dir` (sorted by name) into `out_dir`.
+///
+/// Returns one outcome per input; an `Err` is returned only for setup
+/// problems (unreadable directory, no inputs, unwritable output).
+pub fn run_batch(
+    dir: &Path,
+    out_dir: &Path,
+    opts: &BatchOptions,
+) -> Result<Vec<BatchOutcome>, String> {
+    let mut inputs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "gfa"))
+        .collect();
+    inputs.sort();
+    if inputs.is_empty() {
+        return Err(format!("no .gfa files in {}", dir.display()));
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+
+    let service = LayoutService::start(
+        EngineRegistry::with_default_engines(),
+        ServiceConfig {
+            workers: opts.workers,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Fan everything out first so the pool stays busy…
+    let mut submitted = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let ticket = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))
+            .and_then(|gfa| {
+                service.submit(JobRequest {
+                    engine: opts.engine.clone(),
+                    config: opts.config.clone(),
+                    batch_size: opts.batch_size,
+                    gfa: Arc::new(gfa),
+                })
+            });
+        submitted.push((name, path.clone(), ticket));
+    }
+
+    // …then collect in input order.
+    let mut outcomes = Vec::with_capacity(submitted.len());
+    for (name, path, ticket) in submitted {
+        let outcome = match ticket {
+            Err(msg) => BatchOutcome {
+                name,
+                state: JobState::Failed,
+                nodes: 0,
+                wall_ms: 0,
+                output: None,
+                error: Some(msg),
+                cached: false,
+            },
+            Ok(ticket) => {
+                let status = service.wait(ticket.id, opts.timeout);
+                match status {
+                    None => {
+                        // Free the worker: a hung job must not serialize
+                        // every remaining graph into its own timeout.
+                        let _ = service.cancel(ticket.id);
+                        BatchOutcome {
+                            name,
+                            state: JobState::Failed,
+                            nodes: 0,
+                            wall_ms: opts.timeout.as_millis(),
+                            output: None,
+                            error: Some(format!("timed out after {:?}", opts.timeout)),
+                            cached: ticket.cached,
+                        }
+                    }
+                    Some(status) => {
+                        let mut outcome = BatchOutcome {
+                            name,
+                            state: status.state,
+                            nodes: status.nodes,
+                            wall_ms: status.wall_ms,
+                            output: None,
+                            error: status.error.clone(),
+                            cached: status.cached,
+                        };
+                        if status.state == JobState::Done {
+                            if let Some(layout) = service.result(ticket.id) {
+                                let stem = path
+                                    .file_stem()
+                                    .map(|s| s.to_string_lossy().into_owned())
+                                    .unwrap_or_else(|| format!("job{}", ticket.id));
+                                let lay_path = out_dir.join(format!("{stem}.lay"));
+                                match save_lay(&layout, &lay_path) {
+                                    Ok(()) => {
+                                        if opts.write_tsv {
+                                            let tsv = out_dir.join(format!("{stem}.tsv"));
+                                            let _ = std::fs::write(tsv, layout_to_tsv(&layout));
+                                        }
+                                        outcome.output = Some(lay_path);
+                                    }
+                                    Err(e) => {
+                                        outcome.state = JobState::Failed;
+                                        outcome.error =
+                                            Some(format!("write {}: {e}", lay_path.display()));
+                                    }
+                                }
+                            }
+                        }
+                        outcome
+                    }
+                }
+            }
+        };
+        outcomes.push(outcome);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::write_gfa;
+    use workloads::{generate, PangenomeSpec};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgl_batchrun_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lays_out_a_directory_of_graphs() {
+        let dir = tmp_dir("in");
+        let out = tmp_dir("out");
+        for (i, name) in ["b.gfa", "a.gfa"].iter().enumerate() {
+            let g = generate(&PangenomeSpec::basic("b", 30, 2, i as u64 + 1));
+            std::fs::write(dir.join(name), write_gfa(&g)).unwrap();
+        }
+        std::fs::write(dir.join("ignored.txt"), "not a graph").unwrap();
+
+        let opts = BatchOptions {
+            config: LayoutConfig {
+                iter_max: 3,
+                threads: 1,
+                ..LayoutConfig::default()
+            },
+            workers: 2,
+            write_tsv: true,
+            ..BatchOptions::default()
+        };
+        let outcomes = run_batch(&dir, &out, &opts).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(
+            outcomes[0].name, "a.gfa",
+            "inputs are processed in sorted order"
+        );
+        for o in &outcomes {
+            assert_eq!(o.state, JobState::Done, "{:?}", o.error);
+            assert!(o.nodes > 0);
+            assert!(o.output.as_ref().unwrap().exists());
+        }
+        assert!(out.join("a.tsv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn bad_graphs_fail_without_sinking_the_batch() {
+        let dir = tmp_dir("mixed");
+        let out = tmp_dir("mixedout");
+        let g = generate(&PangenomeSpec::basic("ok", 25, 2, 3));
+        std::fs::write(dir.join("good.gfa"), write_gfa(&g)).unwrap();
+        std::fs::write(dir.join("bad.gfa"), "garbage\n").unwrap();
+
+        let opts = BatchOptions {
+            config: LayoutConfig {
+                iter_max: 2,
+                threads: 1,
+                ..LayoutConfig::default()
+            },
+            workers: 1,
+            ..BatchOptions::default()
+        };
+        let outcomes = run_batch(&dir, &out, &opts).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let bad = outcomes.iter().find(|o| o.name == "bad.gfa").unwrap();
+        assert_eq!(bad.state, JobState::Failed);
+        assert!(bad.error.is_some());
+        let good = outcomes.iter().find(|o| o.name == "good.gfa").unwrap();
+        assert_eq!(good.state, JobState::Done);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn empty_directory_is_a_setup_error() {
+        let dir = tmp_dir("empty");
+        let out = tmp_dir("emptyout");
+        assert!(run_batch(&dir, &out, &BatchOptions::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+}

@@ -1,0 +1,258 @@
+//! Content-addressed layout cache with LRU eviction.
+//!
+//! A layout is fully determined by the GFA bytes, the engine, and the
+//! layout configuration (all engines are seeded and deterministic for a
+//! fixed thread count — and even Hogwild races only perturb, not change,
+//! the keyed inputs). The cache therefore keys on a 128-bit FNV-1a hash
+//! of `(engine, batch size, canonical config, GFA text)` and serves
+//! repeated requests for the same graph without recomputation.
+
+use layout_core::LayoutConfig;
+use pangraph::Layout2D;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// 128-bit content hash (two independent FNV-1a streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64, u64);
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Canonical, order-stable fingerprint of every field that affects the
+/// resulting layout. New `LayoutConfig` fields must be added here — the
+/// destructuring below fails to compile if one is forgotten.
+fn config_fingerprint(cfg: &LayoutConfig) -> String {
+    let LayoutConfig {
+        iter_max,
+        steps_per_path_node,
+        eps,
+        eta_max,
+        cooling_start,
+        zipf_theta,
+        zipf_space_max,
+        zipf_quant,
+        threads,
+        seed,
+        data_layout,
+        pair_selection,
+        init_jitter,
+    } = cfg;
+    format!(
+        "iter_max={iter_max};steps={steps_per_path_node};eps={eps};eta_max={eta_max:?};\
+         cool={cooling_start};theta={zipf_theta};zmax={zipf_space_max};zq={zipf_quant};\
+         threads={threads};seed={seed};layout={data_layout:?};pairs={pair_selection:?};\
+         jitter={init_jitter}"
+    )
+}
+
+/// Compute the content-addressed key for one layout request.
+pub fn cache_key(engine: &str, cfg: &LayoutConfig, batch_size: usize, gfa: &str) -> CacheKey {
+    let meta = format!("{engine};batch={batch_size};{}", config_fingerprint(cfg));
+    // Length-prefix the meta stream so (meta, gfa) pairs whose
+    // concatenations coincide cannot collide.
+    let len = (meta.len() as u64).to_le_bytes();
+    let a = fnv1a(
+        fnv1a(fnv1a(FNV_OFFSET_A, &len), meta.as_bytes()),
+        gfa.as_bytes(),
+    );
+    let b = fnv1a(
+        fnv1a(fnv1a(FNV_OFFSET_B, &len), meta.as_bytes()),
+        gfa.as_bytes(),
+    );
+    CacheKey(a, b)
+}
+
+/// Cache observability counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a layout.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Entries ever inserted.
+    pub insertions: u64,
+}
+
+struct Entry {
+    layout: Arc<Layout2D>,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// In-memory LRU cache of finished layouts.
+///
+/// Recency is tracked with a monotonic tick; eviction scans for the
+/// minimum, which is O(entries) — fine for the few-hundred-entry
+/// capacities this service runs with.
+pub struct LayoutCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl LayoutCache {
+    /// A cache holding up to `capacity` layouts (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a layout, refreshing its recency.
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Layout2D>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.layout))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a layout, evicting least-recently-used entries as needed.
+    pub fn insert(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let bytes = layout.node_count() * 32;
+        self.map.insert(
+            key,
+            Entry {
+                layout,
+                last_used: self.tick,
+                bytes,
+            },
+        );
+        self.stats.insertions += 1;
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of cached layouts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate resident payload size.
+    pub fn bytes(&self) -> usize {
+        self.map.values().map(|e| e.bytes).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize) -> Arc<Layout2D> {
+        Arc::new(Layout2D::zeros(n))
+    }
+
+    fn key(tag: &str) -> CacheKey {
+        cache_key("cpu", &LayoutConfig::default(), 0, tag)
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_keys() {
+        let cfg = LayoutConfig::default();
+        let base = cache_key("cpu", &cfg, 0, "S\t1\t*\n");
+        assert_ne!(
+            base,
+            cache_key("gpu", &cfg, 0, "S\t1\t*\n"),
+            "engine must key"
+        );
+        assert_ne!(base, cache_key("cpu", &cfg, 0, "S\t2\t*\n"), "gfa must key");
+        let mut cfg2 = cfg.clone();
+        cfg2.iter_max += 1;
+        assert_ne!(
+            base,
+            cache_key("cpu", &cfg2, 0, "S\t1\t*\n"),
+            "config must key"
+        );
+        assert_ne!(
+            cache_key("batch", &cfg, 512, "x"),
+            cache_key("batch", &cfg, 1024, "x"),
+            "batch size must key"
+        );
+        assert_eq!(
+            base,
+            cache_key("cpu", &cfg.clone(), 0, "S\t1\t*\n"),
+            "stable"
+        );
+    }
+
+    #[test]
+    fn get_hits_and_misses_are_counted() {
+        let mut c = LayoutCache::new(4);
+        assert!(c.get(key("a")).is_none());
+        c.insert(key("a"), layout(3));
+        assert!(c.get(key("a")).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(c.bytes(), 96);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = LayoutCache::new(2);
+        c.insert(key("a"), layout(1));
+        c.insert(key("b"), layout(1));
+        assert!(c.get(key("a")).is_some()); // refresh a; b is now LRU
+        c.insert(key("c"), layout(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(key("b")).is_none(), "b was evicted");
+        assert!(c.get(key("a")).is_some());
+        assert!(c.get(key("c")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LayoutCache::new(0);
+        c.insert(key("a"), layout(1));
+        assert!(c.is_empty());
+        assert!(c.get(key("a")).is_none());
+    }
+}

@@ -1,0 +1,510 @@
+//! A minimal, dependency-free HTTP/1.1 front end over
+//! `std::net::TcpListener`.
+//!
+//! Routes:
+//!
+//! | Method & path            | Meaning                                          |
+//! |--------------------------|--------------------------------------------------|
+//! | `POST /layout`           | body = GFA; query = engine/config → job ticket   |
+//! | `GET /jobs/<id>`         | job status JSON (state, progress, engine, …)     |
+//! | `POST /jobs/<id>/cancel` | request cancellation (also `DELETE /jobs/<id>`)  |
+//! | `GET /result/<id>`       | finished layout as TSV (`?format=lay` = binary)  |
+//! | `GET /stats`             | service + cache counters                         |
+//! | `GET /engines`           | registered engine names                          |
+//! | `GET /healthz`           | liveness probe                                   |
+//!
+//! `POST /layout` query parameters: `engine` (default `cpu`), `iters`,
+//! `threads`, `seed`, `batch`, `soa` (any value ⇒ original
+//! struct-of-arrays coordinate layout).
+//!
+//! One thread per connection, `Connection: close` semantics — the server
+//! is a front door for pipelines and tests, not a C10K reverse proxy.
+
+use crate::job::JobId;
+use crate::service::LayoutService;
+use crate::JobRequest;
+use layout_core::{DataLayout, LayoutConfig};
+use pgio::{layout_to_tsv, write_lay};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request body (a chromosome-scale GFA fits well
+/// inside this).
+const MAX_BODY: usize = 1 << 30;
+
+/// Longest accepted request/header line and maximum header count —
+/// generous for real clients, fatal for memory-exhaustion abuse.
+const MAX_HEADER_LINE: usize = 16 * 1024;
+const MAX_HEADERS: usize = 128;
+
+/// A bound-but-not-yet-serving HTTP server.
+pub struct HttpServer {
+    listener: TcpListener,
+    service: Arc<LayoutService>,
+    stop: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral).
+    pub fn bind(addr: &str, service: Arc<LayoutService>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            service,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Serve until [`ServerHandle::stop`] is called (or forever).
+    pub fn serve(self) {
+        let stop = Arc::clone(&self.stop);
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || handle_connection(stream, &service));
+        }
+    }
+
+    /// Serve on a background thread; the returned handle stops it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name("pgl-http-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawn accept loop");
+        ServerHandle {
+            addr,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Controls a background [`HttpServer`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Self::json(status, format!("{{\"error\":{}}}", json_str(message)))
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &LayoutService) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(mut req) => route(&mut req, service),
+        Err(msg) => Response::error(400, &msg),
+    };
+    let mut stream = reader.into_inner();
+    let reason = match response.status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&response.body);
+    let _ = stream.flush();
+}
+
+/// Read one CRLF-terminated line with a hard length cap, so an endless
+/// header cannot grow memory without bound.
+fn read_capped_line(reader: &mut BufReader<TcpStream>, what: &str) -> Result<String, String> {
+    let mut line = String::new();
+    let mut limited = reader.take(MAX_HEADER_LINE as u64);
+    limited
+        .read_line(&mut line)
+        .map_err(|e| format!("read {what}: {e}"))?;
+    if line.len() >= MAX_HEADER_LINE && !line.ends_with('\n') {
+        return Err(format!("{what} exceeds {MAX_HEADER_LINE} bytes"));
+    }
+    Ok(line)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let line = read_capped_line(reader, "request line")?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut content_length = 0usize;
+    let mut headers_done = false;
+    for _ in 0..MAX_HEADERS {
+        let header = read_capped_line(reader, "header")?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            headers_done = true;
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    if !headers_done {
+        // Falling through here and treating the rest of the header
+        // block as body bytes would corrupt the request.
+        return Err(format!("more than {MAX_HEADERS} headers"));
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    // Read via `take` so memory grows with bytes actually received, not
+    // with whatever Content-Length a client merely claims.
+    let mut body = Vec::new();
+    reader
+        .take(content_length as u64)
+        .read_to_end(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    if body.len() < content_length {
+        return Err(format!(
+            "body truncated: got {} of {content_length} bytes",
+            body.len()
+        ));
+    }
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn route(req: &mut Request, service: &LayoutService) -> Response {
+    let path = req.path.clone();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.clone().as_str(), segments.as_slice()) {
+        ("POST", ["layout"]) => post_layout(req, service),
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => job_status(id, service),
+            None => Response::error(400, "job id must be a number"),
+        },
+        ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => match parse_id(id) {
+            Some(id) => cancel_job(id, service),
+            None => Response::error(400, "job id must be a number"),
+        },
+        ("GET", ["result", id]) => match parse_id(id) {
+            Some(id) => job_result(id, req.param("format").unwrap_or("tsv"), service),
+            None => Response::error(400, "job id must be a number"),
+        },
+        ("GET", ["stats"]) => stats(service),
+        ("GET", ["engines"]) => {
+            let names: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
+            Response::json(200, format!("{{\"engines\":[{}]}}", names.join(",")))
+        }
+        ("GET", ["healthz"]) => Response::json(200, "{\"ok\":true}".into()),
+        ("GET", _) | ("POST", _) | ("DELETE", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "method not supported"),
+    }
+}
+
+fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
+    // Consume the body in place: cloning would double peak memory for
+    // large GFA uploads.
+    let gfa = match String::from_utf8(std::mem::take(&mut req.body)) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "GFA body must be UTF-8"),
+    };
+    let mut config = LayoutConfig::default();
+    macro_rules! parse_param {
+        ($name:literal, $field:expr) => {
+            if let Some(v) = req.param($name) {
+                match v.parse() {
+                    Ok(x) => $field = x,
+                    Err(_) => return Response::error(400, &format!("bad {} value {v:?}", $name)),
+                }
+            }
+        };
+    }
+    parse_param!("iters", config.iter_max);
+    parse_param!("threads", config.threads);
+    parse_param!("seed", config.seed);
+    if req.param("soa").is_some() {
+        config.data_layout = DataLayout::OriginalSoa;
+    }
+    let mut batch_size = 1024usize;
+    parse_param!("batch", batch_size);
+    let request = JobRequest {
+        engine: req.param("engine").unwrap_or("cpu").to_string(),
+        config,
+        batch_size,
+        gfa: Arc::new(gfa),
+    };
+    match service.submit(request) {
+        Ok(ticket) => {
+            let state = if ticket.cached { "done" } else { "queued" };
+            Response::json(
+                202,
+                format!(
+                    "{{\"job\":{},\"cached\":{},\"state\":\"{}\"}}",
+                    ticket.id, ticket.cached, state
+                ),
+            )
+        }
+        Err(msg) => Response::error(400, &msg),
+    }
+}
+
+fn job_status(id: JobId, service: &LayoutService) -> Response {
+    match service.status(id) {
+        Some(s) => Response::json(200, status_json(&s)),
+        None => Response::error(404, &format!("no such job {id}")),
+    }
+}
+
+fn cancel_job(id: JobId, service: &LayoutService) -> Response {
+    match service.cancel(id) {
+        Ok(_) => job_status(id, service),
+        Err(msg) => Response::error(404, &msg),
+    }
+}
+
+fn job_result(id: JobId, format: &str, service: &LayoutService) -> Response {
+    let Some(status) = service.status(id) else {
+        return Response::error(404, &format!("no such job {id}"));
+    };
+    let Some(layout) = service.result(id) else {
+        return Response::error(
+            409,
+            &format!("job {id} is {}, not done", status.state.as_str()),
+        );
+    };
+    match format {
+        "tsv" => Response {
+            status: 200,
+            content_type: "text/tab-separated-values",
+            body: layout_to_tsv(&layout).into_bytes(),
+        },
+        "lay" => Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: write_lay(&layout).to_vec(),
+        },
+        other => Response::error(400, &format!("unknown format {other:?} (tsv, lay)")),
+    }
+}
+
+fn stats(service: &LayoutService) -> Response {
+    let s = service.stats();
+    Response::json(
+        200,
+        format!(
+            "{{\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\
+             \"failed\":{},\"cancelled\":{}}},\
+             \"cache\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"insertions\":{}}},\
+             \"workers\":{},\"uptime_ms\":{}}}",
+            s.submitted,
+            s.queued,
+            s.running,
+            s.done,
+            s.failed,
+            s.cancelled,
+            s.cache_entries,
+            s.cache_bytes,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.evictions,
+            s.cache.insertions,
+            s.workers,
+            s.uptime_ms
+        ),
+    )
+}
+
+fn status_json(s: &crate::job::JobStatus) -> String {
+    format!(
+        "{{\"job\":{},\"state\":\"{}\",\"progress\":{:.3},\"engine\":{},\"cached\":{},\
+         \"nodes\":{},\"wall_ms\":{}{}}}",
+        s.id,
+        s.state.as_str(),
+        s.progress,
+        json_str(&s.engine),
+        s.cached,
+        s.nodes,
+        s.wall_ms,
+        match &s.error {
+            Some(e) => format!(",\"error\":{}", json_str(e)),
+            None => String::new(),
+        }
+    )
+}
+
+fn parse_id(s: &str) -> Option<JobId> {
+    s.parse().ok()
+}
+
+/// Minimal percent-decoding (`%XX` and `+` → space).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                // Decode from the byte slice, not the &str: slicing the
+                // string panics when a multibyte char follows the '%'.
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_basics() {
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad escapes pass through");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,161 @@
+//! Job model: what a layout request looks like and how its lifecycle is
+//! reported.
+
+use layout_core::{LayoutConfig, LayoutControl};
+use pangraph::Layout2D;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonic job identifier, unique within one service instance.
+pub type JobId = u64;
+
+/// Lifecycle of a job: `Queued → Running → Done | Failed | Cancelled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is laying the graph out.
+    Running,
+    /// Finished; the result is available.
+    Done,
+    /// Parse or engine failure; see the error message.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Lower-case wire name, used in JSON and TSV reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One layout request: a graph plus how to lay it out.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Engine registry key (`cpu`, `batch`, `gpu`, `gpu-a100`, ...).
+    pub engine: String,
+    /// Full layout configuration.
+    pub config: LayoutConfig,
+    /// Mini-batch size, used only by the `batch` engine.
+    pub batch_size: usize,
+    /// Raw GFA text. `Arc`'d so cache keys and queued jobs share it.
+    pub gfa: Arc<String>,
+}
+
+impl JobRequest {
+    /// A request with default configuration for the given engine.
+    pub fn new(engine: impl Into<String>, gfa: impl Into<String>) -> Self {
+        Self {
+            engine: engine.into(),
+            config: LayoutConfig::default(),
+            batch_size: 1024,
+            gfa: Arc::new(gfa.into()),
+        }
+    }
+}
+
+/// Internal job record, owned by the service's job table.
+pub(crate) struct Job {
+    pub id: JobId,
+    pub request: JobRequest,
+    /// Content hash computed once at submit; reused when the finished
+    /// layout is inserted into the cache.
+    pub cache_key: crate::cache::CacheKey,
+    pub state: JobState,
+    pub error: Option<String>,
+    pub result: Option<Arc<Layout2D>>,
+    /// Served from the layout cache without recomputation.
+    pub cached: bool,
+    pub control: Arc<LayoutControl>,
+    pub submitted: Instant,
+    pub finished: Option<Instant>,
+    /// Node count, known once the GFA has been parsed (0 before).
+    pub nodes: usize,
+}
+
+impl Job {
+    pub(crate) fn status(&self) -> JobStatus {
+        JobStatus {
+            id: self.id,
+            state: self.state,
+            progress: match self.state {
+                JobState::Done => 1.0,
+                JobState::Queued => 0.0,
+                _ => self.control.progress(),
+            },
+            engine: self.request.engine.clone(),
+            cached: self.cached,
+            error: self.error.clone(),
+            nodes: self.nodes,
+            wall_ms: self
+                .finished
+                .unwrap_or_else(Instant::now)
+                .duration_since(self.submitted)
+                .as_millis(),
+        }
+    }
+}
+
+/// Point-in-time public view of a job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job identifier.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Fraction complete in `[0, 1]` (1.0 exactly when `Done`).
+    pub progress: f64,
+    /// Requested engine name.
+    pub engine: String,
+    /// Whether the result came from the layout cache.
+    pub cached: bool,
+    /// Failure message when `state == Failed`.
+    pub error: Option<String>,
+    /// Graph node count (0 until parsed).
+    pub nodes: usize,
+    /// Milliseconds from submission to completion (or to now).
+    pub wall_ms: u128,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states_are_terminal() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn wire_names_are_lower_case() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(s.as_str(), s.as_str().to_lowercase());
+        }
+    }
+}

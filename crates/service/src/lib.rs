@@ -1,0 +1,70 @@
+//! # pgl-service — multi-graph layout orchestration and serving
+//!
+//! The paper treats path-guided SGD as a batch computation over one
+//! graph; pangenome pipelines do not. A release lays out dozens of
+//! chromosome-scale graphs, dashboards re-request the same layouts, and
+//! exploratory runs get abandoned halfway. This crate turns the
+//! workspace's interchangeable engines (`layout_core::LayoutEngine`:
+//! Hogwild CPU, PyTorch-style batch, simulated GPU) into a **serving
+//! subsystem**:
+//!
+//! ```text
+//!                 ┌───────────────────────────────────────────────┐
+//!  POST /layout ─►│ LayoutService                                 │
+//!  pgl batch ────►│  submit ──► content-addressed LayoutCache     │
+//!                 │     │ miss        (GFA bytes + config, LRU)   │
+//!                 │     ▼                                         │
+//!                 │  job queue ──► worker pool ──► EngineRegistry │
+//!                 │  (Queued →      (N threads)     cpu | batch | │
+//!                 │   Running →                     gpu | gpu-a100│
+//!                 │   Done/Failed/Cancelled)                      │
+//!                 └───────────────────────────────────────────────┘
+//! ```
+//!
+//! Four layers, composable independently:
+//!
+//! * [`registry::EngineRegistry`] — engines addressable by name; one
+//!   fresh engine per job, so jobs never share mutable state.
+//! * [`service::LayoutService`] — the job queue and worker pool with
+//!   full lifecycle (`queued → running → done | failed | cancelled`),
+//!   progress polling via [`layout_core::LayoutControl`], and
+//!   cancellation that stops engines at iteration boundaries.
+//! * [`cache::LayoutCache`] — a content-addressed, LRU-evicting layout
+//!   cache: repeated requests for the same `(GFA, engine, config)` are
+//!   answered without recomputation.
+//! * [`http::HttpServer`] — a dependency-free HTTP/1.1 front end
+//!   (`POST /layout`, `GET /jobs/<id>`, `GET /result/<id>`,
+//!   `GET /stats`, …) over `std::net`, wired into the CLI as
+//!   `pgl serve`; [`batchrun::run_batch`] is the same pool driven
+//!   filesystem-to-filesystem as `pgl batch`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pgl_service::{JobRequest, JobState, LayoutService};
+//! use std::time::Duration;
+//!
+//! let gfa = "H\tVN:Z:1.0\nS\t1\tACGT\nS\t2\tC\nL\t1\t+\t2\t+\t0M\nP\tp\t1+,2+\t*\n";
+//! let service = LayoutService::with_defaults();
+//! let mut request = JobRequest::new("cpu", gfa);
+//! request.config.iter_max = 4;
+//! request.config.threads = 1;
+//! let ticket = service.submit(request).unwrap();
+//! let status = service.wait(ticket.id, Duration::from_secs(30)).unwrap();
+//! assert_eq!(status.state, JobState::Done);
+//! assert!(service.result(ticket.id).unwrap().all_finite());
+//! ```
+
+pub mod batchrun;
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod registry;
+pub mod service;
+
+pub use batchrun::{run_batch, BatchOptions, BatchOutcome};
+pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
+pub use http::{HttpServer, ServerHandle};
+pub use job::{JobId, JobRequest, JobState, JobStatus};
+pub use registry::{EngineRegistry, EngineRequest};
+pub use service::{LayoutService, ServiceConfig, ServiceStats, SubmitTicket};

@@ -1,0 +1,662 @@
+//! The layout orchestration service: a job queue fanned across a worker
+//! thread pool, backed by the engine registry and the layout cache.
+//!
+//! ```text
+//! submit(gfa, engine, config)
+//!    │  cache hit ──────────────► job born Done (cached=true)
+//!    ▼  miss
+//! queue ──► worker: parse GFA ─► registry.create(engine) ─►
+//!           engine.layout_controlled(lean, ctl) ─► cache.insert ─► Done
+//! ```
+//!
+//! Cancellation flows through [`LayoutControl`]: queued jobs are marked
+//! cancelled directly; running jobs get their control flag flipped and
+//! the engine stops at its next iteration boundary.
+
+use crate::cache::{cache_key, CacheStats, LayoutCache};
+use crate::job::{Job, JobId, JobRequest, JobState, JobStatus};
+use crate::registry::{EngineRegistry, EngineRequest};
+use layout_core::LayoutControl;
+use pangraph::{parse_gfa, Layout2D, LeanGraph};
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (0 ⇒ one per available core).
+    pub workers: usize,
+    /// Layout-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Terminal jobs retained for status/result queries; the oldest are
+    /// evicted beyond this, so the job table cannot grow without bound.
+    pub max_finished_jobs: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            cache_entries: 64,
+            max_finished_jobs: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Resolved worker count.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Ticket returned by [`LayoutService::submit`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitTicket {
+    /// The new job's id.
+    pub id: JobId,
+    /// `true` when the result was served from the cache (job is already
+    /// `Done`).
+    pub cached: bool,
+}
+
+/// Aggregate service counters for `GET /stats`.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Jobs ever submitted.
+    pub submitted: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently running on a worker.
+    pub running: usize,
+    /// Jobs finished successfully (including cache hits).
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Cached layouts resident right now.
+    pub cache_entries: usize,
+    /// Approximate cache payload bytes.
+    pub cache_bytes: usize,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Milliseconds since the service started.
+    pub uptime_ms: u128,
+}
+
+struct Shared {
+    registry: EngineRegistry,
+    jobs: Mutex<HashMap<JobId, Arc<Mutex<Job>>>>,
+    queue: Mutex<VecDeque<JobId>>,
+    queue_cv: Condvar,
+    /// Paired with `jobs`; notified whenever any job reaches a terminal
+    /// state, so `wait` can block instead of spin.
+    done_cv: Condvar,
+    cache: Mutex<LayoutCache>,
+    /// Terminal job ids in completion order, oldest first; drives
+    /// eviction from `jobs` beyond `max_finished`.
+    finished: Mutex<VecDeque<JobId>>,
+    max_finished: usize,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+    submitted: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    running: AtomicU64,
+}
+
+/// A running layout service: engine registry + worker pool + cache.
+pub struct LayoutService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl LayoutService {
+    /// Start the worker pool.
+    pub fn start(registry: EngineRegistry, cfg: ServiceConfig) -> Self {
+        let workers = cfg.resolved_workers();
+        let shared = Arc::new(Shared {
+            registry,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache: Mutex::new(LayoutCache::new(cfg.cache_entries)),
+            finished: Mutex::new(VecDeque::new()),
+            max_finished: cfg.max_finished_jobs.max(1),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pgl-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+            worker_count: workers,
+        }
+    }
+
+    /// Start with the default engines and configuration.
+    pub fn with_defaults() -> Self {
+        Self::start(
+            EngineRegistry::with_default_engines(),
+            ServiceConfig::default(),
+        )
+    }
+
+    /// Submit a layout request. Returns immediately; on a cache hit the
+    /// job is born `Done` with the cached layout attached.
+    pub fn submit(&self, mut request: JobRequest) -> Result<SubmitTicket, String> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err("service is shutting down".into());
+        }
+        if request.gfa.trim().is_empty() {
+            return Err("empty GFA body".into());
+        }
+        // Fail fast on unknown engines rather than at run time.
+        if !self.shared.registry.contains(&request.engine) {
+            return Err(self.shared.registry.unknown_engine_error(&request.engine));
+        }
+        let key = cache_key(
+            &request.engine,
+            &request.config,
+            request.batch_size,
+            &request.gfa,
+        );
+        let hit = self.shared.cache.lock().unwrap().get(key);
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let cached = hit.is_some();
+        if cached {
+            // Born terminal: the GFA text is no longer needed.
+            request.gfa = Arc::new(String::new());
+        }
+        let job = Job {
+            id,
+            state: if cached {
+                JobState::Done
+            } else {
+                JobState::Queued
+            },
+            nodes: hit.as_ref().map(|l| l.node_count()).unwrap_or(0),
+            result: hit,
+            cached,
+            error: None,
+            control: Arc::new(LayoutControl::new()),
+            submitted: now,
+            finished: if cached { Some(now) } else { None },
+            request,
+            cache_key: key,
+        };
+        self.shared
+            .jobs
+            .lock()
+            .unwrap()
+            .insert(id, Arc::new(Mutex::new(job)));
+        if cached {
+            self.shared.done.fetch_add(1, Ordering::Relaxed);
+            self.shared.done_cv.notify_all();
+            retire_job(&self.shared, id);
+        } else {
+            self.shared.queue.lock().unwrap().push_back(id);
+            self.shared.queue_cv.notify_one();
+        }
+        Ok(SubmitTicket { id, cached })
+    }
+
+    /// Current status of a job, if it exists.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let job = self.job(id)?;
+        let status = job.lock().unwrap().status();
+        Some(status)
+    }
+
+    /// The finished layout, if the job exists and is `Done`.
+    pub fn result(&self, id: JobId) -> Option<Arc<Layout2D>> {
+        let job = self.job(id)?;
+        let job = job.lock().unwrap();
+        match job.state {
+            JobState::Done => job.result.clone(),
+            _ => None,
+        }
+    }
+
+    /// Request cancellation. Queued jobs cancel immediately; running
+    /// jobs stop at the engine's next iteration boundary. Returns the
+    /// state observed at the time of the request.
+    pub fn cancel(&self, id: JobId) -> Result<JobState, String> {
+        let job = self.job(id).ok_or_else(|| format!("no such job {id}"))?;
+        let (outcome, newly_terminal) = {
+            let mut job = job.lock().unwrap();
+            match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Cancelled;
+                    job.finished = Some(Instant::now());
+                    job.request.gfa = Arc::new(String::new());
+                    self.shared.queue.lock().unwrap().retain(|&qid| qid != id);
+                    self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                    self.shared.done_cv.notify_all();
+                    (JobState::Cancelled, true)
+                }
+                JobState::Running => {
+                    job.control.cancel();
+                    (JobState::Running, false)
+                }
+                terminal => (terminal, false),
+            }
+        };
+        if newly_terminal {
+            retire_job(&self.shared, id);
+        }
+        Ok(outcome)
+    }
+
+    /// Block until the job reaches a terminal state, up to `timeout`.
+    /// Returns the final status, or `None` on timeout or unknown id.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        loop {
+            let status = jobs.get(&id)?.lock().unwrap().status();
+            if status.state.is_terminal() {
+                return Some(status);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _timeout) = self
+                .shared
+                .done_cv
+                .wait_timeout(jobs, remaining.min(Duration::from_millis(50)))
+                .unwrap();
+            jobs = guard;
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let cache = self.shared.cache.lock().unwrap();
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            queued: self.shared.queue.lock().unwrap().len(),
+            running: self.shared.running.load(Ordering::Relaxed) as usize,
+            done: self.shared.done.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            workers: self.worker_count,
+            cache_entries: cache.len(),
+            cache_bytes: cache.bytes(),
+            cache: cache.stats(),
+            uptime_ms: self.shared.started.elapsed().as_millis(),
+        }
+    }
+
+    /// Registered engine names.
+    pub fn engine_names(&self) -> Vec<String> {
+        self.shared
+            .registry
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Stop accepting work, cancel running jobs, and join the workers.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for job in self.shared.jobs.lock().unwrap().values() {
+            job.lock().unwrap().control.cancel();
+        }
+        self.shared.queue_cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn job(&self, id: JobId) -> Option<Arc<Mutex<Job>>> {
+        self.shared.jobs.lock().unwrap().get(&id).cloned()
+    }
+}
+
+impl Drop for LayoutService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bookkeeping once a job has reached a terminal state: record it for
+/// retention accounting and evict the oldest terminal jobs beyond the
+/// cap, so the job table (and the GFA/layout data its entries hold)
+/// cannot grow without bound. Never called while a job mutex is held.
+fn retire_job(shared: &Shared, id: JobId) {
+    let evicted: Vec<JobId> = {
+        let mut finished = shared.finished.lock().unwrap();
+        finished.push_back(id);
+        let excess = finished.len().saturating_sub(shared.max_finished);
+        finished.drain(..excess).collect()
+    };
+    if !evicted.is_empty() {
+        let mut jobs = shared.jobs.lock().unwrap();
+        for old in evicted {
+            jobs.remove(&old);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Pop the next job id, or park until one arrives / shutdown.
+        let id = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let Some(job) = shared.jobs.lock().unwrap().get(&id).cloned() else {
+            continue;
+        };
+        // Claim: Queued → Running (it may have been cancelled meanwhile).
+        let (request, control, key) = {
+            let mut job = job.lock().unwrap();
+            if job.state != JobState::Queued {
+                continue;
+            }
+            job.state = JobState::Running;
+            (job.request.clone(), Arc::clone(&job.control), job.cache_key)
+        };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let outcome = run_job(shared, &request, &control);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+
+        let mut job = job.lock().unwrap();
+        job.finished = Some(Instant::now());
+        job.request.gfa = Arc::new(String::new());
+        match outcome {
+            Ok((layout, nodes)) => {
+                job.nodes = nodes;
+                job.result = Some(Arc::clone(&layout));
+                job.state = JobState::Done;
+                shared.done.fetch_add(1, Ordering::Relaxed);
+                shared.cache.lock().unwrap().insert(key, layout);
+            }
+            Err(None) => {
+                job.state = JobState::Cancelled;
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(Some(msg)) => {
+                job.state = JobState::Failed;
+                job.error = Some(msg);
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(job);
+        retire_job(shared, id);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Run one job body. `Err(None)` means cancelled, `Err(Some(msg))` failed.
+fn run_job(
+    shared: &Shared,
+    request: &JobRequest,
+    control: &LayoutControl,
+) -> Result<(Arc<Layout2D>, usize), Option<String>> {
+    let graph = parse_gfa(&request.gfa).map_err(|e| Some(format!("GFA parse error: {e}")))?;
+    let lean = LeanGraph::from_graph(&graph);
+    let nodes = lean.node_count();
+    if nodes == 0 {
+        // The parser skips lines it does not understand, so arbitrary
+        // text "parses" into an empty graph; a layout server must
+        // reject that rather than serve a vacuous result.
+        return Err(Some("GFA parse error: no segments found in body".into()));
+    }
+    let engine_req = EngineRequest {
+        config: request.config.clone(),
+        batch_size: request.batch_size,
+        node_count: nodes,
+    };
+    let engine = shared
+        .registry
+        .create(&request.engine, &engine_req)
+        .map_err(Some)?;
+    // A panicking engine must fail the job, not kill the worker.
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        engine.layout_controlled(&lean, control)
+    }))
+    .map_err(|_| Some(format!("engine {:?} panicked", request.engine)))?;
+    match result {
+        Some(layout) => Ok((Arc::new(layout), nodes)),
+        None => Err(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layout_core::LayoutConfig;
+    use pangraph::write_gfa;
+    use workloads::{generate, PangenomeSpec};
+
+    fn small_gfa(seed: u64) -> String {
+        write_gfa(&generate(&PangenomeSpec::basic("svc", 40, 3, seed)))
+    }
+
+    fn quick_request(engine: &str, gfa: String) -> JobRequest {
+        JobRequest {
+            engine: engine.into(),
+            config: LayoutConfig {
+                iter_max: 4,
+                threads: 1,
+                ..LayoutConfig::default()
+            },
+            batch_size: 256,
+            gfa: Arc::new(gfa),
+        }
+    }
+
+    fn service(workers: usize) -> LayoutService {
+        LayoutService::start(
+            EngineRegistry::with_default_engines(),
+            ServiceConfig {
+                workers,
+                cache_entries: 8,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_beyond_the_retention_cap() {
+        let svc = LayoutService::start(
+            EngineRegistry::with_default_engines(),
+            ServiceConfig {
+                workers: 1,
+                cache_entries: 8,
+                max_finished_jobs: 2,
+            },
+        );
+        let tickets: Vec<_> = (0..3)
+            .map(|i| svc.submit(quick_request("cpu", small_gfa(40 + i))).unwrap())
+            .collect();
+        for t in &tickets {
+            svc.wait(t.id, Duration::from_secs(60)).expect("completes");
+        }
+        // Oldest terminal job disappears (eviction runs just after the
+        // completion notification, so poll briefly); newest stay.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.status(tickets[0].id).is_some() {
+            assert!(Instant::now() < deadline, "job 0 never evicted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.status(tickets[1].id).is_some());
+        assert!(svc.result(tickets[2].id).is_some());
+    }
+
+    #[test]
+    fn lifecycle_submit_wait_result() {
+        let svc = service(2);
+        let t = svc.submit(quick_request("cpu", small_gfa(1))).unwrap();
+        assert!(!t.cached);
+        let status = svc.wait(t.id, Duration::from_secs(60)).expect("finishes");
+        assert_eq!(status.state, JobState::Done);
+        assert!(status.nodes > 0);
+        assert_eq!(status.progress, 1.0);
+        let layout = svc.result(t.id).expect("result available");
+        assert_eq!(layout.node_count(), status.nodes);
+        assert!(layout.all_finite());
+    }
+
+    #[test]
+    fn identical_resubmission_is_served_from_cache() {
+        let svc = service(1);
+        let gfa = small_gfa(2);
+        let first = svc.submit(quick_request("cpu", gfa.clone())).unwrap();
+        svc.wait(first.id, Duration::from_secs(60)).unwrap();
+        let second = svc.submit(quick_request("cpu", gfa.clone())).unwrap();
+        assert!(second.cached, "identical request must hit the cache");
+        let status = svc.status(second.id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(
+            svc.result(first.id).unwrap().as_ref(),
+            svc.result(second.id).unwrap().as_ref(),
+            "cache returns the same layout"
+        );
+        // A different engine misses.
+        let third = svc.submit(quick_request("batch", gfa)).unwrap();
+        assert!(!third.cached);
+        assert_eq!(
+            svc.wait(third.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(svc.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn bad_gfa_fails_with_a_message() {
+        let svc = service(1);
+        let t = svc
+            .submit(JobRequest::new("cpu", "this is not gfa\n"))
+            .unwrap();
+        let status = svc.wait(t.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(
+            status.error.unwrap().contains("parse"),
+            "names the parse failure"
+        );
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected_at_submit() {
+        let svc = service(1);
+        let err = svc
+            .submit(quick_request("warp-drive", small_gfa(3)))
+            .unwrap_err();
+        assert!(err.contains("warp-drive") && err.contains("cpu"));
+        assert!(
+            svc.submit(JobRequest::new("cpu", "")).is_err(),
+            "empty body rejected"
+        );
+    }
+
+    #[test]
+    fn running_jobs_can_be_cancelled() {
+        let svc = service(1);
+        let mut req = quick_request("cpu", small_gfa(4));
+        req.config.iter_max = 100_000; // would run ~forever without cancel
+        let t = svc.submit(req).unwrap();
+        // Wait until it is actually running, then cancel.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let s = svc.status(t.id).unwrap();
+            if s.state == JobState::Running && s.progress > 0.0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        svc.cancel(t.id).unwrap();
+        let status = svc.wait(t.id, Duration::from_secs(30)).expect("terminates");
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(svc.result(t.id).is_none());
+    }
+
+    #[test]
+    fn queued_jobs_cancel_immediately() {
+        let svc = service(1);
+        // Occupy the single worker…
+        let mut slow = quick_request("cpu", small_gfa(5));
+        slow.config.iter_max = 100_000;
+        let running = svc.submit(slow).unwrap();
+        // …then cancel a job that is still queued behind it.
+        let queued = svc.submit(quick_request("cpu", small_gfa(6))).unwrap();
+        assert_eq!(svc.cancel(queued.id).unwrap(), JobState::Cancelled);
+        assert_eq!(svc.status(queued.id).unwrap().state, JobState::Cancelled);
+        svc.cancel(running.id).unwrap();
+        svc.wait(running.id, Duration::from_secs(30)).unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_the_workload() {
+        let svc = service(2);
+        let gfa = small_gfa(7);
+        let a = svc.submit(quick_request("cpu", gfa.clone())).unwrap();
+        svc.wait(a.id, Duration::from_secs(60)).unwrap();
+        let b = svc.submit(quick_request("cpu", gfa)).unwrap();
+        assert!(b.cached);
+        let s = svc.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.done, 2);
+        assert_eq!(s.cache.hits, 1);
+        assert_eq!(s.cache_entries, 1);
+        assert!(s.cache_bytes > 0);
+        assert_eq!(s.workers, 2);
+        assert_eq!(svc.engine_names(), vec!["cpu", "batch", "gpu", "gpu-a100"]);
+    }
+
+    #[test]
+    fn fan_out_many_graphs_across_workers() {
+        let svc = service(4);
+        let tickets: Vec<_> = (0..6)
+            .map(|i| svc.submit(quick_request("cpu", small_gfa(10 + i))).unwrap())
+            .collect();
+        for t in tickets {
+            let s = svc.wait(t.id, Duration::from_secs(120)).expect("completes");
+            assert_eq!(s.state, JobState::Done);
+        }
+        assert_eq!(svc.stats().done, 6);
+    }
+}

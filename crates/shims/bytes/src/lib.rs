@@ -1,0 +1,173 @@
+//! In-workspace, std-only shim for the subset of the [`bytes`] crate API
+//! used by this workspace (the build environment has no crates.io access,
+//! and the workspace is dependency-free by design).
+//!
+//! Provided: [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`] traits
+//! with the little-endian accessors `pgio` needs. Semantics match the real
+//! crate for these operations (including panics on under-read), but there
+//! is no refcounted zero-copy splitting — `Bytes` owns its storage.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+use std::ops::Deref;
+
+/// An immutable, cheaply clonable byte buffer (here: a plain `Vec<u8>`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Sequential reader over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skip `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+    /// Read the next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// Sequential writer into a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_slice(b"hdr");
+        w.put_u64_le(0xDEAD_BEEF_0123_4567);
+        w.put_f64_le(-1.5);
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 3 + 8 + 8);
+        r.advance(3);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_derefs_like_a_slice() {
+        let b: Bytes = vec![1, 2, 3].into();
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[1..], &[2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,287 @@
+//! In-workspace, std-only shim for the subset of [`criterion`] used by the
+//! bench crate (the build environment has no crates.io access).
+//!
+//! Each benchmark warms up for `warm_up_time`, then runs timed batches
+//! until `measurement_time` elapses (at least `sample_size` batches), and
+//! prints mean wall time per iteration plus throughput when declared. No
+//! statistics, plots, or baselines — just honest numbers on stdout.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = self.clone();
+        run_one(&cfg, None, &id.into().0, None, f);
+        self
+    }
+}
+
+/// A named benchmark within a group (`BenchmarkId::new("op", param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Declared per-iteration work, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        run_one(&cfg, Some(&self.name), &id.into().0, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (purely cosmetic in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the `iter` body.
+pub struct Bencher {
+    batch_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `batch_iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.batch_iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    // Calibration + warm-up: find a batch size that takes ≳1 ms.
+    let mut batch = 1u64;
+    let warm_end = Instant::now() + cfg.warm_up;
+    let mut per_iter = Duration::from_secs(1);
+    while Instant::now() < warm_end {
+        let mut b = Bencher {
+            batch_iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = Duration::from_secs_f64(b.elapsed.as_secs_f64() / batch.max(1) as f64);
+        if b.elapsed < Duration::from_millis(1) && batch < 1 << 20 {
+            batch *= 2;
+        }
+    }
+    // Measurement: run batches until the time budget is spent.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut samples = 0usize;
+    while samples < cfg.sample_size || total < cfg.measurement {
+        let mut b = Bencher {
+            batch_iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += batch;
+        samples += 1;
+        if total >= cfg.measurement && samples >= cfg.sample_size {
+            break;
+        }
+        if samples > 1_000_000 {
+            break;
+        }
+    }
+    if iters > 0 {
+        per_iter = Duration::from_secs_f64(total.as_secs_f64() / iters as f64);
+    }
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(e) => {
+            let per_sec = e as f64 * iters as f64 / total.as_secs_f64().max(1e-12);
+            format!("  {per_sec:.3e} elem/s")
+        }
+        Throughput::Bytes(n) => {
+            let per_sec = n as f64 * iters as f64 / total.as_secs_f64().max(1e-12);
+            format!("  {per_sec:.3e} B/s")
+        }
+    });
+    println!(
+        "bench {label:<48} {per_iter:>12?}/iter  ({iters} iters in {total:.2?}){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Group benchmark functions under one callable, optionally with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u64;
+        quick().bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("op", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

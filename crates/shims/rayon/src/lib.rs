@@ -1,0 +1,217 @@
+//! In-workspace, std-only shim for the subset of [`rayon`] used by this
+//! workspace (the build environment has no crates.io access).
+//!
+//! Unlike a stub, this is *actually parallel*: work is split into
+//! contiguous chunks across `std::thread::available_parallelism()` scoped
+//! threads. It is eager rather than work-stealing — `flat_map_iter`
+//! materializes its output, and `map` defers execution to the terminal
+//! `collect`/`for_each`, which preserves input order.
+//!
+//! Provided: `IntoParallelIterator` for ranges and `Vec`, `par_iter_mut`
+//! on slices, and the `map` / `flat_map_iter` / `for_each` / `collect`
+//! combinators.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+use std::sync::Mutex;
+
+/// The commonly glob-imported trait surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMutExt};
+}
+
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map: `out[i] = f(items[i])`.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = pool_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let chunk = n.div_ceil(threads);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for (ci, slice) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let parts = &parts;
+            scope.spawn(move || {
+                let out: Vec<R> = slice.iter_mut().map(|s| f(s.take().unwrap())).collect();
+                parts.lock().unwrap().push((ci, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_by_key(|(ci, _)| *ci);
+    parts.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// Conversion into a parallel iterator (eagerly materialized item list).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into the shim's parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Sequentially flatten `f(item)` iterators into a new parallel
+    /// iterator (parallelism is applied by the downstream stage).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I,
+    {
+        ParIter {
+            items: self.items.into_iter().flat_map(f).collect(),
+        }
+    }
+
+    /// Defer `f` to the terminal operation, which runs it in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` over all items in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+}
+
+/// A parallel iterator with one pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map in parallel (input order preserved) and collect.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Execute in parallel and sum the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_vec(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// `par_iter_mut` on slices (and, via deref, `Vec`).
+pub trait ParallelSliceMutExt<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on every element, chunked across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        let threads = pool_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            self.items.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in self.items.chunks_mut(chunk) {
+                let f = &f;
+                scope.spawn(move || slice.iter_mut().for_each(f));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_then_map() {
+        let out: Vec<u32> = (0u32..10)
+            .into_par_iter()
+            .flat_map_iter(|p| (0..p).map(move |i| (p, i)))
+            .map(|(p, i)| p * 100 + i)
+            .collect();
+        let expect: Vec<u32> = (0u32..10)
+            .flat_map(|p| (0..p).map(move |i| p * 100 + i))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![1u32; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+}

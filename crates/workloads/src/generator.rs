@@ -35,7 +35,11 @@ pub struct SiteMix {
 impl Default for SiteMix {
     fn default() -> Self {
         // Roughly the SNV-dominated mix of human pangenomes.
-        Self { snv: 0.15, insertion: 0.04, deletion: 0.04 }
+        Self {
+            snv: 0.15,
+            insertion: 0.04,
+            deletion: 0.04,
+        }
     }
 }
 
@@ -109,7 +113,10 @@ enum Site {
 pub fn generate(spec: &PangenomeSpec) -> VariationGraph {
     assert!(spec.sites > 0, "need at least one site");
     assert!(spec.haplotypes > 0, "need at least one haplotype");
-    assert!(spec.fragments_per_hap >= 1, "fragments_per_hap must be >= 1");
+    assert!(
+        spec.fragments_per_hap >= 1,
+        "fragments_per_hap must be >= 1"
+    );
     let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
     let mut b = GraphBuilder::new();
 
@@ -143,8 +150,7 @@ pub fn generate(spec: &PangenomeSpec) -> VariationGraph {
                 if rng.flip() {
                     // Inversion: walk the ref chain backwards on the
                     // reverse strand.
-                    let alt: Vec<Handle> =
-                        ref_nodes.iter().rev().map(|h| h.flip()).collect();
+                    let alt: Vec<Handle> = ref_nodes.iter().rev().map(|h| h.flip()).collect();
                     Site::Branch(ref_nodes, alt, freq)
                 } else {
                     let m = 3 + rng.gen_below(4) as usize;
@@ -170,7 +176,7 @@ pub fn generate(spec: &PangenomeSpec) -> VariationGraph {
                     let a = Handle::forward(add_node(&mut b, &mut rng, 1));
                     Site::Branch(vec![r], vec![a], allele_freq(&mut rng))
                 } else if u < m.snv + m.insertion {
-                    let len = sample_len(&mut rng, spec.mean_node_len.min(8).max(1));
+                    let len = sample_len(&mut rng, spec.mean_node_len.clamp(1, 8));
                     let ins = Handle::forward(add_node(&mut b, &mut rng, len));
                     // Alt branch carries the insertion; ref branch is empty.
                     Site::Branch(vec![], vec![ins], allele_freq(&mut rng))
@@ -237,17 +243,18 @@ fn pick_special_sites(
     if want == 0 {
         return out;
     }
-    assert!(
-        want < spec.sites,
-        "more special sites than backbone sites"
-    );
+    assert!(want < spec.sites, "more special sites than backbone sites");
     let mut placed = 0;
     while placed < want {
         let s = rng.gen_below(spec.sites as u64) as usize;
         if out.contains_key(&s) {
             continue;
         }
-        let kind = if placed < spec.sv_sites { Special::Sv } else { Special::LoopDup };
+        let kind = if placed < spec.sv_sites {
+            Special::Sv
+        } else {
+            Special::LoopDup
+        };
         out.insert(s, kind);
         placed += 1;
     }
@@ -276,11 +283,7 @@ fn random_seq(rng: &mut Xoshiro256StarStar, len: u32) -> Vec<u8> {
 }
 
 /// Split a walk into `k` non-empty contiguous fragments at random cuts.
-fn split_fragments(
-    rng: &mut Xoshiro256StarStar,
-    walk: &[Handle],
-    k: usize,
-) -> Vec<Vec<Handle>> {
+fn split_fragments(rng: &mut Xoshiro256StarStar, walk: &[Handle], k: usize) -> Vec<Vec<Handle>> {
     let k = k.min(walk.len()).max(1);
     if k == 1 {
         return vec![walk.to_vec()];
@@ -316,7 +319,11 @@ mod tests {
             mean_node_len: 10,
             haplotypes: 8,
             fragments_per_hap: 3,
-            mix: SiteMix { snv: 0.2, insertion: 0.05, deletion: 0.05 },
+            mix: SiteMix {
+                snv: 0.2,
+                insertion: 0.05,
+                deletion: 0.05,
+            },
             sv_sites: 3,
             loop_sites: 2,
             store_sequences: false,
@@ -343,8 +350,14 @@ mod tests {
         let a = generate(&spec_small());
         let b = generate(&s2);
         assert_ne!(
-            a.paths().iter().map(|p| p.steps.clone()).collect::<Vec<_>>(),
-            b.paths().iter().map(|p| p.steps.clone()).collect::<Vec<_>>()
+            a.paths()
+                .iter()
+                .map(|p| p.steps.clone())
+                .collect::<Vec<_>>(),
+            b.paths()
+                .iter()
+                .map(|p| p.steps.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -397,7 +410,7 @@ mod tests {
         let s = GraphStats::measure(&g);
         assert_eq!(s.nodes, g.node_count() as u64);
         assert!(s.nucleotides > s.nodes, "multi-nucleotide nodes dominate");
-        assert!(s.total_path_steps > s.nodes as u64 / 2);
+        assert!(s.total_path_steps > s.nodes / 2);
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl ChromEntry {
             mean_node_len: 130, // → ≈100 realized nuc/node under the mix
             haplotypes,
             fragments_per_hap: fragments,
-            mix: SiteMix { snv: 0.2, insertion: 0.04, deletion: 0.04 },
+            mix: SiteMix {
+                snv: 0.2,
+                insertion: 0.04,
+                deletion: 0.04,
+            },
             sv_sites: ((sites as f64) * 2.0e-4).ceil() as usize,
             loop_sites: ((sites as f64) * 1.0e-4).ceil() as usize,
             store_sequences: false,
@@ -159,9 +163,7 @@ mod tests {
         // The paper reports geometric-mean speedups of 27.7x (A6000) and
         // 57.3x (A100); recompute from the table we transcribed.
         let cat = hprc_catalog();
-        let geo = |xs: Vec<f64>| {
-            (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
-        };
+        let geo = |xs: Vec<f64>| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
         let a6000 = geo(cat.iter().map(|c| c.a6000_paper_speedup()).collect());
         let a100 = geo(cat.iter().map(|c| c.a100_paper_speedup()).collect());
         assert!((a6000 - 27.7).abs() < 1.0, "A6000 geomean {a6000}");
@@ -182,8 +184,7 @@ mod tests {
     fn full_scale_chr1_spec_matches_paper_update_count() {
         // Σ|p| ≈ 54 × 1.1e7 ≈ 5.9e8 ⇒ ~6e9 updates/iteration at 10×Σ|p|.
         let spec = hprc_catalog()[0].spec(1.0);
-        let approx_steps =
-            spec.sites as f64 * NODES_PER_SITE * spec.haplotypes as f64;
+        let approx_steps = spec.sites as f64 * NODES_PER_SITE * spec.haplotypes as f64;
         let updates_per_iter = 10.0 * approx_steps;
         assert!(
             (4.0e9..8.0e9).contains(&updates_per_iter),

@@ -28,7 +28,11 @@ pub fn hla_drb1() -> PangenomeSpec {
         mean_node_len: 5,
         haplotypes: 12,
         fragments_per_hap: 1,
-        mix: SiteMix { snv: 0.25, insertion: 0.06, deletion: 0.06 },
+        mix: SiteMix {
+            snv: 0.25,
+            insertion: 0.06,
+            deletion: 0.06,
+        },
         sv_sites: 4,
         loop_sites: 2,
         store_sequences: false,
@@ -47,7 +51,11 @@ pub fn mhc_like(scale: f64) -> PangenomeSpec {
         mean_node_len: 33,
         haplotypes: scaled_haps(99, scale),
         fragments_per_hap: 1,
-        mix: SiteMix { snv: 0.2, insertion: 0.04, deletion: 0.04 },
+        mix: SiteMix {
+            snv: 0.2,
+            insertion: 0.04,
+            deletion: 0.04,
+        },
         sv_sites: (8.0 * scale).ceil() as usize,
         loop_sites: (4.0 * scale).ceil() as usize,
         store_sequences: false,
@@ -113,7 +121,11 @@ mod tests {
         let g = generate(&hla_drb1());
         let s = GraphStats::measure(&g);
         // Table I: 5.0e3 nodes, 2.2e4 nucleotides, 12 paths, 6.8e3 edges.
-        assert!((3500..6500).contains(&(s.nodes as usize)), "nodes {}", s.nodes);
+        assert!(
+            (3500..6500).contains(&(s.nodes as usize)),
+            "nodes {}",
+            s.nodes
+        );
         assert!(
             (1.2e4..4.0e4).contains(&(s.nucleotides as f64)),
             "nuc {}",
@@ -173,8 +185,7 @@ mod tests {
             assert_eq!(a.sites, b.sites);
         }
         // Diversity: not all the same size.
-        let sizes: std::collections::BTreeSet<usize> =
-            fam1.iter().map(|s| s.sites).collect();
+        let sizes: std::collections::BTreeSet<usize> = fam1.iter().map(|s| s.sites).collect();
         assert!(sizes.len() > 10);
     }
 

@@ -33,7 +33,10 @@ fn main() {
         lean.total_path_nuc_len()
     );
 
-    let lcfg = LayoutConfig { seed: 11, ..Default::default() };
+    let lcfg = LayoutConfig {
+        seed: 11,
+        ..Default::default()
+    };
 
     // --- CPU baseline ----------------------------------------------------
     // Two numbers, per DESIGN.md: the *measured* wall time of this repo's

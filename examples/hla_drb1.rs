@@ -39,11 +39,20 @@ fn main() {
     println!("stage random        : path stress {s0:>10.3}");
     save_svg(&random, &lean, "out/hla_stage0_random.svg");
     for (i, &(name, iters)) in stages.iter().enumerate() {
-        let cfg = LayoutConfig { iter_max: iters, threads: 0, seed: 1, ..Default::default() };
+        let cfg = LayoutConfig {
+            iter_max: iters,
+            threads: 0,
+            seed: 1,
+            ..Default::default()
+        };
         let (layout, _) = CpuEngine::new(cfg).run_from(&lean, &random);
         let stress = path_stress(&layout, &lean).stress;
         println!("stage {name:<14}: path stress {stress:>10.3}");
-        save_svg(&layout, &lean, &format!("out/hla_stage{}_{}.svg", i + 1, name));
+        save_svg(
+            &layout,
+            &lean,
+            &format!("out/hla_stage{}_{}.svg", i + 1, name),
+        );
         assert!(
             stress < previous || stress < 0.1,
             "stress ladder should descend: {stress} after {previous}"

@@ -12,8 +12,15 @@
 
 use rapid_pangenome_layout::prelude::*;
 
-const SCHEMES: [(u32, f64); 7] =
-    [(1, 1.0), (2, 1.5), (4, 1.5), (2, 1.75), (4, 2.0), (8, 2.0), (8, 2.5)];
+const SCHEMES: [(u32, f64); 7] = [
+    (1, 1.0),
+    (2, 1.5),
+    (4, 1.5),
+    (2, 1.75),
+    (4, 2.0),
+    (8, 2.0),
+    (8, 2.5),
+];
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -30,10 +37,16 @@ fn main() {
         SCHEMES.len()
     );
 
-    let lcfg = LayoutConfig { seed: 3, ..Default::default() };
+    let lcfg = LayoutConfig {
+        seed: 3,
+        ..Default::default()
+    };
     let mut baseline: Option<(f64, f64)> = None; // (modeled_s, sps)
 
-    println!("{:<10} {:>12} {:>14} {:>12}", "(DRF,SRF)", "speedup", "sampled-stress", "verdict");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "(DRF,SRF)", "speedup", "sampled-stress", "verdict"
+    );
     for (drf, srf) in SCHEMES {
         let kcfg = if drf == 1 {
             KernelConfig::optimized(scale)

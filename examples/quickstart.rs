@@ -37,7 +37,11 @@ fn main() {
     // 2. Flatten to the lean layout structure (paper Sec. V-A) and run
     //    the Hogwild CPU engine (the odgi-layout port).
     let lean = LeanGraph::from_graph(&graph);
-    let config = LayoutConfig { threads: 2, seed: 42, ..Default::default() };
+    let config = LayoutConfig {
+        threads: 2,
+        seed: 42,
+        ..Default::default()
+    };
     let engine = CpuEngine::new(config);
     let (layout, report) = engine.run(&lean);
     println!(
@@ -56,7 +60,14 @@ fn main() {
 
     // 4. Artifacts.
     std::fs::create_dir_all("out").expect("create out/");
-    let svg = to_svg(&layout, &lean, &DrawOptions { path_links: true, ..Default::default() });
+    let svg = to_svg(
+        &layout,
+        &lean,
+        &DrawOptions {
+            path_links: true,
+            ..Default::default()
+        },
+    );
     std::fs::write("out/quickstart.svg", &svg).expect("write svg");
     std::fs::write("out/quickstart.lay", write_lay(&layout)).expect("write lay");
     println!("wrote out/quickstart.svg and out/quickstart.lay");

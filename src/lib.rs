@@ -18,6 +18,7 @@
 //! | [`workloads`] | synthetic HPRC-like pangenome generators |
 //! | [`render`] (`draw`) | SVG / PPM rendering |
 //! | [`io`] (`pgio`) | `.lay` files and TSV export |
+//! | [`service`] (`pgl-service`) | multi-graph job orchestration, layout cache, HTTP serving |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use gpu_sim as gpu;
 pub use layout_core as core;
 pub use pangraph as graph;
 pub use pgio as io;
+pub use pgl_service as service;
 pub use pgmetrics as metrics;
 pub use pgrng as rng;
 pub use workloads;
@@ -48,15 +50,18 @@ pub mod prelude {
     pub use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
     pub use layout_core::{
         order_quality, path_sgd_order, BatchEngine, CpuEngine, DataLayout, LayoutConfig,
-        LayoutEngine, PairSelection,
+        LayoutControl, LayoutEngine, PairSelection,
     };
     pub use pangraph::{
         fig1_graph, parse_gfa, write_gfa, GraphBuilder, Handle, Layout2D, LeanGraph, PathIndex,
         VariationGraph,
     };
     pub use pgio::{layout_to_tsv, read_lay, write_lay};
+    pub use pgl_service::{
+        EngineRegistry, HttpServer, JobRequest, JobState, LayoutService, ServiceConfig,
+    };
     pub use pgmetrics::{path_stress, sampled_path_stress, SampledStress, SamplingConfig};
-    pub use workloads::{generate, hprc_catalog, hla_drb1, mhc_like, PangenomeSpec};
+    pub use workloads::{generate, hla_drb1, hprc_catalog, mhc_like, PangenomeSpec};
 }
 
 #[cfg(test)]
@@ -66,7 +71,11 @@ mod facade_tests {
     #[test]
     fn prelude_names_resolve_and_compose() {
         let lean = LeanGraph::from_graph(&fig1_graph());
-        let cfg = LayoutConfig { threads: 1, iter_max: 4, ..Default::default() };
+        let cfg = LayoutConfig {
+            threads: 1,
+            iter_max: 4,
+            ..Default::default()
+        };
         let engine = CpuEngine::new(cfg);
         let (layout, _) = engine.run(&lean);
         assert!(layout.all_finite());

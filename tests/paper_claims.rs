@@ -18,7 +18,11 @@ fn chr1_lean() -> LeanGraph {
 }
 
 fn fast_cfg() -> LayoutConfig {
-    LayoutConfig { iter_max: 12, seed: 99, ..LayoutConfig::default() }
+    LayoutConfig {
+        iter_max: 12,
+        seed: 99,
+        ..LayoutConfig::default()
+    }
 }
 
 /// "Our GPU-based solution achieves a 57.3x speedup over the
@@ -31,12 +35,8 @@ fn claim_gpu_beats_cpu_by_an_order_of_magnitude() {
     let lcfg = fast_cfg();
     let trace = characterize_cpu(&lean, &lcfg, DataLayout::OriginalSoa, SCALE, 60_000);
     let cpu_s = modeled_cpu_time_s(&lean, &lcfg, &trace, cpu_model::THREADS);
-    let (_, report) = GpuEngine::new(
-        GpuSpec::a100(),
-        lcfg,
-        KernelConfig::optimized(SCALE),
-    )
-    .run(&lean);
+    let (_, report) =
+        GpuEngine::new(GpuSpec::a100(), lcfg, KernelConfig::optimized(SCALE)).run(&lean);
     let speedup = cpu_s / report.modeled_s();
     assert!(
         speedup > 10.0,
@@ -48,7 +48,11 @@ fn claim_gpu_beats_cpu_by_an_order_of_magnitude() {
 #[test]
 fn claim_no_quality_loss_on_gpu() {
     let lean = chr1_lean();
-    let lcfg = LayoutConfig { iter_max: 20, seed: 3, ..LayoutConfig::default() };
+    let lcfg = LayoutConfig {
+        iter_max: 20,
+        seed: 3,
+        ..LayoutConfig::default()
+    };
     let (cpu_layout, _) = CpuEngine::new(lcfg.clone()).run(&lean);
     let (gpu_layout, _) =
         GpuEngine::new(GpuSpec::a6000(), lcfg, KernelConfig::optimized(SCALE)).run(&lean);
@@ -69,7 +73,11 @@ fn claim_workload_is_memory_bound() {
         "memory-bound share {:.1}% too low",
         r.memory_bound_pct()
     );
-    assert!(r.llc_miss_rate() > 0.5, "LLC miss rate {:.2}", r.llc_miss_rate());
+    assert!(
+        r.llc_miss_rate() > 0.5,
+        "LLC miss rate {:.2}",
+        r.llc_miss_rate()
+    );
 }
 
 /// "Randomness is critical to the layout quality" (Fig. 6).
@@ -79,12 +87,19 @@ fn claim_randomness_is_critical() {
     let lean = LeanGraph::from_graph(&generate(&spec));
     let total: f64 = lean.node_len.iter().map(|&l| l as f64).sum();
     let random = init_random(&lean, total, 1);
-    let mk = |sel| LayoutConfig { pair_selection: sel, iter_max: 15, ..LayoutConfig::default() };
+    let mk = |sel| LayoutConfig {
+        pair_selection: sel,
+        iter_max: 15,
+        ..LayoutConfig::default()
+    };
     let (good, _) = CpuEngine::new(mk(PairSelection::PgSgd)).run_from(&lean, &random);
     let (bad, _) = CpuEngine::new(mk(PairSelection::FixedHop(10))).run_from(&lean, &random);
     let qg = path_stress(&good, &lean).stress;
     let qb = path_stress(&bad, &lean).stress;
-    assert!(qb > 3.0 * qg, "de-randomized selection must fail: {qb} vs {qg}");
+    assert!(
+        qb > 3.0 * qg,
+        "de-randomized selection must fail: {qb} vs {qg}"
+    );
 }
 
 /// "Each of the three optimizations improves the kernel" (Fig. 16's
@@ -105,7 +120,10 @@ fn claim_each_optimization_helps() {
     let opt = run(KernelConfig::optimized(SCALE));
     assert!(cdl.modeled_s() < base.modeled_s(), "CDL");
     assert!(crs.modeled_s() < base.modeled_s(), "CRS");
-    assert!(wm.warp.warp_instructions < base.warp.warp_instructions, "WM instructions");
+    assert!(
+        wm.warp.warp_instructions < base.warp.warp_instructions,
+        "WM instructions"
+    );
     assert!(
         opt.modeled_s() < cdl.modeled_s().min(crs.modeled_s()),
         "combined optimizations beat each alone"
@@ -126,9 +144,12 @@ fn claim_sampled_stress_tracks_exact() {
             let layout = if iters == 0 {
                 random.clone()
             } else {
-                CpuEngine::new(LayoutConfig { iter_max: iters, ..LayoutConfig::default() })
-                    .run_from(&lean, &random)
-                    .0
+                CpuEngine::new(LayoutConfig {
+                    iter_max: iters,
+                    ..LayoutConfig::default()
+                })
+                .run_from(&lean, &random)
+                .0
             };
             let e = path_stress(&layout, &lean).stress;
             let s = sampled_path_stress(&layout, &lean, SamplingConfig::default()).mean;
@@ -146,7 +167,10 @@ fn claim_sampled_stress_tracks_exact() {
 /// justifies scaled reproduction.
 #[test]
 fn claim_cost_linear_in_path_length() {
-    let lcfg = LayoutConfig { iter_max: 5, ..LayoutConfig::default() };
+    let lcfg = LayoutConfig {
+        iter_max: 5,
+        ..LayoutConfig::default()
+    };
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for mult in [1.0, 2.0, 4.0] {

@@ -20,7 +20,12 @@ fn generate_layout_score_render_persist() {
     let lean = LeanGraph::from_graph(&graph);
 
     // Layout.
-    let cfg = LayoutConfig { iter_max: 15, threads: 2, seed: 5, ..Default::default() };
+    let cfg = LayoutConfig {
+        iter_max: 15,
+        threads: 2,
+        seed: 5,
+        ..Default::default()
+    };
     let (layout, report) = CpuEngine::new(cfg).run(&lean);
     assert!(layout.all_finite());
     assert!(report.terms_applied > 1000);
@@ -64,7 +69,12 @@ fn gfa_round_trip_preserves_layout_semantics() {
     assert_eq!(lean_a.step_node, lean_b.step_node);
     assert_eq!(lean_a.step_pos, lean_b.step_pos);
 
-    let cfg = LayoutConfig { iter_max: 8, threads: 1, seed: 3, ..Default::default() };
+    let cfg = LayoutConfig {
+        iter_max: 8,
+        threads: 1,
+        seed: 3,
+        ..Default::default()
+    };
     let (layout, _) = CpuEngine::new(cfg).run(&lean_a);
     let sa = path_stress(&layout, &lean_a).stress;
     let sb = path_stress(&layout, &lean_b).stress;
@@ -95,7 +105,12 @@ fn all_three_engines_improve_the_same_random_start() {
     let random = init_random(&lean, total, 9);
     let before = path_stress(&random, &lean).stress;
 
-    let lcfg = LayoutConfig { iter_max: 15, threads: 2, seed: 7, ..Default::default() };
+    let lcfg = LayoutConfig {
+        iter_max: 15,
+        threads: 2,
+        seed: 7,
+        ..Default::default()
+    };
 
     // CPU engine from the random start.
     let (cpu_layout, _) = CpuEngine::new(lcfg.clone()).run_from(&lean, &random);
@@ -119,7 +134,11 @@ fn all_three_engines_improve_the_same_random_start() {
 fn layout_tsv_export_has_all_endpoints() {
     let graph = small_graph(5);
     let lean = LeanGraph::from_graph(&graph);
-    let cfg = LayoutConfig { iter_max: 4, threads: 1, ..Default::default() };
+    let cfg = LayoutConfig {
+        iter_max: 4,
+        threads: 1,
+        ..Default::default()
+    };
     let (layout, _) = CpuEngine::new(cfg).run(&lean);
     let tsv = layout_to_tsv(&layout);
     assert_eq!(tsv.lines().count(), 1 + 2 * lean.node_count());

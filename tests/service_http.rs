@@ -1,0 +1,217 @@
+//! End-to-end test of the layout service's HTTP API: start the server on
+//! an ephemeral port, POST a GFA, poll the job, fetch the TSV result, and
+//! verify the second identical request is answered from the layout cache.
+
+use rapid_pangenome_layout::prelude::*;
+use rapid_pangenome_layout::service::{EngineRegistry, HttpServer, LayoutService, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One blocking HTTP/1.1 exchange; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let header_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete header");
+    let head = String::from_utf8_lossy(&response[..header_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, response[header_end + 4..].to_vec())
+}
+
+fn body_text(body: &[u8]) -> String {
+    String::from_utf8_lossy(body).into_owned()
+}
+
+/// Pull `"field":<digits>` out of a flat JSON body.
+fn json_u64(json: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = json.find(&needle)? + needle.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn layout_jobs_round_trip_over_http_and_hit_the_cache() {
+    let service = Arc::new(LayoutService::start(
+        EngineRegistry::with_default_engines(),
+        ServiceConfig {
+            workers: 1,
+            cache_entries: 8,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind ephemeral");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let gfa = write_gfa(&generate(&PangenomeSpec::basic("http", 50, 3, 7)));
+    let post_path = "/layout?engine=cpu&iters=4&threads=1&seed=42";
+
+    // Health and stats respond before any work.
+    let (status, body) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200, "{}", body_text(&body));
+    let (status, _) = http(addr, "GET", "/stats", b"");
+    assert_eq!(status, 200);
+
+    // Submit the first job.
+    let (status, body) = http(addr, "POST", post_path, gfa.as_bytes());
+    let text = body_text(&body);
+    assert_eq!(status, 202, "{text}");
+    assert!(
+        text.contains("\"cached\":false"),
+        "first request computes: {text}"
+    );
+    let job = json_u64(&text, "job").expect("job id");
+
+    // Poll to completion.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let final_status = loop {
+        let (status, body) = http(addr, "GET", &format!("/jobs/{job}"), b"");
+        assert_eq!(status, 200);
+        let text = body_text(&body);
+        if text.contains("\"state\":\"done\"") {
+            break text;
+        }
+        assert!(
+            !text.contains("\"state\":\"failed\"") && !text.contains("\"state\":\"cancelled\""),
+            "job should succeed: {text}"
+        );
+        assert!(Instant::now() < deadline, "timed out polling job: {text}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        final_status.contains("\"progress\":1.000"),
+        "{final_status}"
+    );
+
+    // Fetch the TSV result.
+    let (status, tsv_bytes) = http(addr, "GET", &format!("/result/{job}"), b"");
+    assert_eq!(status, 200);
+    let tsv = body_text(&tsv_bytes);
+    assert!(
+        tsv.starts_with("#idx"),
+        "TSV header expected, got: {}",
+        &tsv[..tsv.len().min(60)]
+    );
+    assert!(tsv.lines().count() > 1, "TSV has coordinate rows");
+
+    // The identical request is served from the cache, already done.
+    let (status, body) = http(addr, "POST", post_path, gfa.as_bytes());
+    let text = body_text(&body);
+    assert_eq!(status, 202);
+    assert!(
+        text.contains("\"cached\":true"),
+        "second request hits the cache: {text}"
+    );
+    assert!(text.contains("\"state\":\"done\""), "{text}");
+    let job2 = json_u64(&text, "job").expect("job id");
+    assert_ne!(job, job2);
+    let (status, body2) = http(addr, "GET", &format!("/result/{job2}"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(tsv_bytes, body2, "cached layout is byte-identical");
+
+    // A *different* config misses the cache.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/layout?engine=cpu&iters=5&threads=1&seed=42",
+        gfa.as_bytes(),
+    );
+    assert_eq!(status, 202);
+    assert!(body_text(&body).contains("\"cached\":false"));
+
+    // Stats agree: one hit so far.
+    let (status, body) = http(addr, "GET", "/stats", b"");
+    assert_eq!(status, 200);
+    let stats = body_text(&body);
+    assert_eq!(json_u64(&stats, "hits"), Some(1), "{stats}");
+    assert!(json_u64(&stats, "submitted").unwrap() >= 3, "{stats}");
+
+    // Error paths: unknown job, result of unknown job, bad engine, 404s.
+    let (status, _) = http(addr, "GET", "/jobs/99999", b"");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/result/99999", b"");
+    assert_eq!(status, 404);
+    let (status, body) = http(addr, "POST", "/layout?engine=quantum", gfa.as_bytes());
+    assert_eq!(status, 400);
+    assert!(body_text(&body).contains("quantum"));
+    let (status, _) = http(addr, "GET", "/no/such/route", b"");
+    assert_eq!(status, 404);
+
+    handle.stop();
+}
+
+#[test]
+fn http_cancellation_stops_a_running_job() {
+    let service = Arc::new(LayoutService::start(
+        EngineRegistry::with_default_engines(),
+        ServiceConfig {
+            workers: 1,
+            cache_entries: 4,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let gfa = write_gfa(&generate(&PangenomeSpec::basic("cancel", 120, 4, 3)));
+    // Enough iterations that only cancellation ends the job promptly.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/layout?engine=cpu&iters=100000&threads=1",
+        gfa.as_bytes(),
+    );
+    assert_eq!(status, 202);
+    let job = json_u64(&body_text(&body), "job").unwrap();
+
+    // Wait until it is running, cancel, then confirm the terminal state.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/jobs/{job}"), b"");
+        if body_text(&body).contains("\"state\":\"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _) = http(addr, "POST", &format!("/jobs/{job}/cancel"), b"");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/jobs/{job}"), b"");
+        let text = body_text(&body);
+        if text.contains("\"state\":\"cancelled\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed: {text}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // No result for a cancelled job.
+    let (status, _) = http(addr, "GET", &format!("/result/{job}"), b"");
+    assert_eq!(status, 409);
+
+    handle.stop();
+}
