@@ -25,6 +25,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--ppm",
     "--soa",
     "--tsv",
+    "--resume",
     "--help",
     "-h",
 ];
@@ -45,6 +46,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--port",
     "--workers",
     "--cache",
+    "--cache-dir",
+    "--max-conns",
+    "--keep-alive",
     "--timeout",
 ];
 
@@ -211,6 +215,16 @@ mod tests {
         assert!(parse("x.gfa -h").wants_help());
         assert!(!parse("x.gfa").wants_help());
         parse("--help").validate().unwrap();
+    }
+
+    #[test]
+    fn serve_hardening_flags_parse() {
+        let p = parse("--max-conns 8 --keep-alive 2 --cache-dir /tmp/layouts --resume");
+        p.validate().unwrap();
+        assert_eq!(p.parse_or("--max-conns", 64usize).unwrap(), 8);
+        assert_eq!(p.parse_or("--keep-alive", 5u64).unwrap(), 2);
+        assert_eq!(p.value("--cache-dir").unwrap(), "/tmp/layouts");
+        assert!(p.has("--resume"));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use pangraph::stats::GraphStats;
 use pangraph::{parse_gfa, write_gfa, VariationGraph};
 use pgio::{layout_to_tsv, load_lay, save_lay};
 use pgl_service::{
-    run_batch, BatchOptions, EngineRegistry, HttpServer, JobState, LayoutService, ServiceConfig,
+    run_batch, BatchOptions, EngineRegistry, HttpConfig, HttpServer, JobState, LayoutService,
+    ServiceConfig,
 };
 use pgmetrics::{path_stress, sampled_path_stress, SamplingConfig};
 use std::path::Path;
@@ -50,17 +51,25 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         "tsv" => "pgl tsv <in.lay> -o <out.tsv>\nExport layout coordinates as TSV.",
         "serve" => {
             "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N]\n\
+             \u{20}         [--cache-dir DIR] [--max-conns N] [--keep-alive SECS]\n\
              Serve layouts over HTTP: POST /layout (GFA body; query engine=cpu|batch|\n\
              gpu|gpu-a100, iters, threads, seed, batch, soa), GET /jobs/<id>,\n\
              POST /jobs/<id>/cancel, GET /result/<id>[?format=lay], GET /stats,\n\
-             GET /engines, GET /healthz. Identical requests are answered from the\n\
-             content-addressed layout cache (capacity --cache, default 64)."
+             GET /metrics, GET /engines, GET /healthz. Identical requests are answered\n\
+             from the content-addressed layout cache (capacity --cache, default 64;\n\
+             --cache-dir adds a disk tier that survives restarts). Connections are\n\
+             bounded: --max-conns handler threads (default 64) plus an equal-sized\n\
+             queue; beyond that the server sheds load with 503 + Retry-After.\n\
+             HTTP/1.1 keep-alive is on by default (idle timeout --keep-alive seconds,\n\
+             default 5; 0 closes after every response)."
         }
         "batch" => {
             "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100] [--workers N]\n\
              \u{20}         [--iters N] [--threads N] [--seed N] [--tsv] [--timeout SECS]\n\
+             \u{20}         [--resume]\n\
              Lay out every .gfa in <dir> concurrently through the service worker pool,\n\
-             writing <outdir>/<stem>.lay (and .tsv with --tsv), then print a summary."
+             writing <outdir>/<stem>.lay (and .tsv with --tsv), then print a summary.\n\
+             --resume skips inputs whose .lay in <outdir> is already up to date."
         }
         _ => return None,
     })
@@ -270,19 +279,37 @@ pub fn serve(p: ArgParser) -> CmdResult {
     let cfg = ServiceConfig {
         workers: p.parse_or("--workers", 0usize)?,
         cache_entries: p.parse_or("--cache", 64usize)?,
+        cache_dir: p.value("--cache-dir").map(std::path::PathBuf::from),
         ..ServiceConfig::default()
     };
+    let http_defaults = HttpConfig::default();
+    let http_cfg = HttpConfig {
+        max_conns: p.parse_or("--max-conns", http_defaults.max_conns)?,
+        keep_alive: std::time::Duration::from_secs(
+            p.parse_or("--keep-alive", http_defaults.keep_alive.as_secs())?,
+        ),
+        ..http_defaults
+    };
     let workers = cfg.resolved_workers();
+    let cache_note = cfg
+        .cache_dir
+        .as_ref()
+        .map(|d| format!(", disk cache {}", d.display()))
+        .unwrap_or_default();
     let service = Arc::new(LayoutService::start(
         EngineRegistry::with_default_engines(),
         cfg,
     ));
-    let server =
-        HttpServer::bind(&addr, Arc::clone(&service)).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = HttpServer::bind(&addr, Arc::clone(&service))
+        .map_err(|e| format!("bind {addr}: {e}"))?
+        .with_config(http_cfg.clone());
     eprintln!(
-        "pgl serve: listening on http://{} ({} workers, engines: {})",
+        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}, engines: {})",
         server.local_addr(),
         workers,
+        http_cfg.max_conns,
+        http_cfg.keep_alive.as_secs(),
+        cache_note,
         service.engine_names().join(", ")
     );
     server.serve();
@@ -305,11 +332,24 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
         workers: p.parse_or("--workers", 0usize)?,
         write_tsv: p.has("--tsv"),
         timeout: std::time::Duration::from_secs(p.parse_or("--timeout", 3600u64)?),
+        resume: p.has("--resume"),
     };
     let outcomes = run_batch(Path::new(dir), Path::new(out), &opts)?;
     let mut failed = 0usize;
+    let mut skipped = 0usize;
     for o in &outcomes {
         match o.state {
+            JobState::Done if o.skipped => {
+                skipped += 1;
+                eprintln!(
+                    "  {:<24} skip   (up-to-date)  → {}",
+                    o.name,
+                    o.output
+                        .as_ref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_default()
+                );
+            }
             JobState::Done => eprintln!(
                 "  {:<24} done   {:>8} nodes  {:>7} ms{}  → {}",
                 o.name,
@@ -333,9 +373,14 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
         }
     }
     eprintln!(
-        "pgl batch: {}/{} graphs laid out",
+        "pgl batch: {}/{} graphs laid out{}",
         outcomes.len() - failed,
-        outcomes.len()
+        outcomes.len(),
+        if skipped > 0 {
+            format!(" ({skipped} skipped, up-to-date)")
+        } else {
+            String::new()
+        }
     );
     if failed > 0 {
         return Err(format!("{failed} graph(s) failed"));
@@ -417,6 +462,13 @@ mod tests {
         .unwrap();
         assert!(out_dir.join("g1.lay").exists());
         assert!(out_dir.join("g1.tsv").exists());
+        // A resumed run finds everything up to date and still succeeds.
+        batch_cmd(parser(&format!(
+            "{} --iters 3 --threads 1 --workers 1 --resume -o {}",
+            dir.display(),
+            out_dir.display()
+        )))
+        .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

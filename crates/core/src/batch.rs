@@ -21,6 +21,7 @@
 //! behaviour of the tensor implementation).
 
 use crate::config::LayoutConfig;
+use crate::control::LayoutControl;
 use crate::init::init_linear;
 use crate::sampler::{PairSampler, Term};
 use crate::schedule::Schedule;
@@ -149,6 +150,34 @@ impl BatchEngine {
 
     /// Run the full schedule; returns the layout and instrumentation.
     pub fn run(&self, lean: &LeanGraph) -> (Layout2D, BatchReport) {
+        self.run_inner(lean, None)
+            .expect("uncontrolled run cannot be cancelled")
+    }
+
+    /// Run under a [`LayoutControl`]: progress is published after every
+    /// batch and cancellation is honored at batch boundaries (the batch
+    /// is this engine's synchronization unit, as the iteration barrier
+    /// is the Hogwild CPU engine's). Returns `None` when cancelled.
+    pub fn run_controlled(
+        &self,
+        lean: &LeanGraph,
+        ctl: &LayoutControl,
+    ) -> Option<(Layout2D, BatchReport)> {
+        if ctl.is_cancelled() {
+            return None;
+        }
+        let result = self.run_inner(lean, Some(ctl));
+        if result.is_some() {
+            ctl.finish();
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        lean: &LeanGraph,
+        ctl: Option<&LayoutControl>,
+    ) -> Option<(Layout2D, BatchReport)> {
         let cfg = &self.cfg;
         let n = lean.node_count();
         let init = init_linear(lean, cfg.init_jitter, cfg.seed);
@@ -163,7 +192,7 @@ impl BatchEngine {
         let mut applied = 0u64;
 
         if total_steps == 0 || lean.max_path_steps() < 2 {
-            return (
+            return Some((
                 Layout2D::from_flat(xs, ys),
                 BatchReport {
                     wall: Duration::ZERO,
@@ -173,7 +202,7 @@ impl BatchEngine {
                     terms_applied: 0,
                     iters: 0,
                 },
-            );
+            ));
         }
 
         let schedule = Schedule::new(cfg, d_max);
@@ -193,11 +222,22 @@ impl BatchEngine {
         let mut rx = vec![0.0f64; cap];
         let mut ry = vec![0.0f64; cap];
 
+        // Progress is published in units of batches: the finest-grained
+        // synchronous boundary this engine has.
+        let batches_per_iter = steps_per_iter.div_ceil(self.batch_size as u64).max(1);
+        let total_batches = batches_per_iter * cfg.iter_max as u64;
+
         let t0 = Instant::now();
         for iter in 0..cfg.iter_max {
             let eta = schedule.eta(iter);
             let mut remaining = steps_per_iter;
             while remaining > 0 {
+                if let Some(ctl) = ctl {
+                    ctl.set_progress(batches, total_batches);
+                    if ctl.is_cancelled() {
+                        return None;
+                    }
+                }
                 let b = (self.batch_size as u64).min(remaining) as usize;
                 remaining -= b as u64;
                 batches += 1;
@@ -290,7 +330,7 @@ impl BatchEngine {
         let wall = t0.elapsed();
 
         debug_assert_eq!(xs.len(), 2 * n);
-        (
+        Some((
             Layout2D::from_flat(xs, ys),
             BatchReport {
                 wall,
@@ -300,7 +340,7 @@ impl BatchEngine {
                 terms_applied: applied,
                 iters: cfg.iter_max,
             },
-        )
+        ))
     }
 }
 
@@ -326,6 +366,10 @@ impl LayoutEngine for BatchEngine {
 
     fn layout(&self, lean: &LeanGraph) -> Layout2D {
         self.run(lean).0
+    }
+
+    fn layout_controlled(&self, lean: &LeanGraph, ctl: &LayoutControl) -> Option<Layout2D> {
+        self.run_controlled(lean, ctl).map(|(layout, _)| layout)
     }
 }
 
@@ -463,5 +507,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_rejected() {
         let _ = BatchEngine::new(LayoutConfig::default(), 0);
+    }
+
+    #[test]
+    fn controlled_run_completes_with_full_progress() {
+        let lean = test_graph(80, 3, 8);
+        let ctl = LayoutControl::new();
+        let (layout, report) = BatchEngine::new(LayoutConfig::for_tests(1), 128)
+            .run_controlled(&lean, &ctl)
+            .expect("uncancelled run completes");
+        assert!(layout.all_finite());
+        assert_eq!(ctl.progress(), 1.0);
+        assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn cancel_before_start_runs_nothing() {
+        let lean = test_graph(50, 3, 9);
+        let ctl = LayoutControl::new();
+        ctl.cancel();
+        assert!(BatchEngine::new(LayoutConfig::for_tests(1), 128)
+            .run_controlled(&lean, &ctl)
+            .is_none());
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_at_a_batch_boundary() {
+        let lean = test_graph(200, 5, 10);
+        // Far more iterations than we are willing to wait for: the test
+        // only terminates promptly because cancellation works.
+        let cfg = LayoutConfig {
+            iter_max: 1_000_000,
+            ..LayoutConfig::default()
+        };
+        let engine = BatchEngine::new(cfg, 64);
+        let ctl = LayoutControl::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while ctl.progress() == 0.0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                ctl.cancel();
+            });
+            assert!(engine.run_controlled(&lean, &ctl).is_none());
+        });
+        assert!(ctl.progress() < 1.0, "cancelled run never reports done");
     }
 }

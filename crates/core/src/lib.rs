@@ -97,11 +97,20 @@ mod engine_trait_tests {
 
     #[test]
     fn default_layout_controlled_works_for_unmodified_engines() {
-        // BatchEngine does not override layout_controlled: the trait
-        // default must run it to completion and honor pre-cancellation.
+        // An engine that only implements `layout`: the trait default
+        // must run it to completion and honor pre-cancellation.
+        struct PlainEngine(CpuEngine);
+        impl LayoutEngine for PlainEngine {
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn layout(&self, lean: &LeanGraph) -> Layout2D {
+                self.0.layout(lean)
+            }
+        }
         let g = generate(&PangenomeSpec::basic("t", 40, 3, 2));
         let lean = LeanGraph::from_graph(&g);
-        let engine = BatchEngine::new(LayoutConfig::for_tests(1), 256);
+        let engine = PlainEngine(CpuEngine::new(LayoutConfig::for_tests(1)));
         let e: &dyn LayoutEngine = &engine;
 
         let ctl = LayoutControl::new();
@@ -112,5 +121,19 @@ mod engine_trait_tests {
         let cancelled = LayoutControl::new();
         cancelled.cancel();
         assert!(e.layout_controlled(&lean, &cancelled).is_none());
+    }
+
+    #[test]
+    fn batch_and_gpu_overrides_report_real_progress() {
+        // The service-facing satellite of the progress/cancel extension:
+        // both engines publish fractional progress and honor
+        // mid-run cancellation instead of the before/after-only default.
+        let g = generate(&PangenomeSpec::basic("t", 60, 3, 3));
+        let lean = LeanGraph::from_graph(&g);
+        let engine = BatchEngine::new(LayoutConfig::for_tests(1), 64);
+        let e: &dyn LayoutEngine = &engine;
+        let ctl = LayoutControl::new();
+        assert!(e.layout_controlled(&lean, &ctl).is_some());
+        assert_eq!(ctl.progress(), 1.0);
     }
 }

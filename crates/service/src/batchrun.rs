@@ -4,7 +4,7 @@
 
 use crate::job::{JobRequest, JobState};
 use crate::registry::EngineRegistry;
-use crate::service::{LayoutService, ServiceConfig};
+use crate::service::{LayoutService, ServiceConfig, SubmitTicket};
 use layout_core::LayoutConfig;
 use pgio::{layout_to_tsv, save_lay};
 use std::path::{Path, PathBuf};
@@ -26,6 +26,10 @@ pub struct BatchOptions {
     pub write_tsv: bool,
     /// Per-graph completion timeout.
     pub timeout: Duration,
+    /// Resume mode: skip any input whose `.lay` already exists in the
+    /// output directory and is at least as new as the input `.gfa`, so
+    /// an interrupted batch restarts where it left off.
+    pub resume: bool,
 }
 
 impl Default for BatchOptions {
@@ -37,6 +41,7 @@ impl Default for BatchOptions {
             workers: 0,
             write_tsv: false,
             timeout: Duration::from_secs(3600),
+            resume: false,
         }
     }
 }
@@ -58,6 +63,29 @@ pub struct BatchOutcome {
     pub error: Option<String>,
     /// Served from the layout cache.
     pub cached: bool,
+    /// Skipped by resume mode (output already up to date; not recomputed).
+    pub skipped: bool,
+}
+
+/// Resume check: does `out_dir` already hold a `.lay` for `input` that
+/// is at least as new as the input itself (and likewise a `.tsv`, when
+/// the run is supposed to produce one)?
+fn up_to_date_output(input: &Path, out_dir: &Path, need_tsv: bool) -> Option<PathBuf> {
+    let stem = input.file_stem()?;
+    let input_mtime = std::fs::metadata(input).and_then(|m| m.modified()).ok()?;
+    let fresh = |path: &Path| {
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .is_ok_and(|m| m >= input_mtime)
+    };
+    let lay = out_dir.join(format!("{}.lay", stem.to_string_lossy()));
+    if !fresh(&lay) {
+        return None;
+    }
+    if need_tsv && !fresh(&out_dir.join(format!("{}.tsv", stem.to_string_lossy()))) {
+        return None;
+    }
+    Some(lay)
 }
 
 /// Lay out every `*.gfa` under `dir` (sorted by name) into `out_dir`.
@@ -89,12 +117,23 @@ pub fn run_batch(
     );
 
     // Fan everything out first so the pool stays busy…
+    enum Pending {
+        /// Resume mode found an up-to-date output; nothing to compute.
+        Skipped(PathBuf),
+        Submitted(Result<SubmitTicket, String>),
+    }
     let mut submitted = Vec::with_capacity(inputs.len());
     for path in &inputs {
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
+        if opts.resume {
+            if let Some(existing) = up_to_date_output(path, out_dir, opts.write_tsv) {
+                submitted.push((name, path.clone(), Pending::Skipped(existing)));
+                continue;
+            }
+        }
         let ticket = std::fs::read_to_string(path)
             .map_err(|e| format!("read {}: {e}", path.display()))
             .and_then(|gfa| {
@@ -105,14 +144,24 @@ pub fn run_batch(
                     gfa: Arc::new(gfa),
                 })
             });
-        submitted.push((name, path.clone(), ticket));
+        submitted.push((name, path.clone(), Pending::Submitted(ticket)));
     }
 
     // …then collect in input order.
     let mut outcomes = Vec::with_capacity(submitted.len());
-    for (name, path, ticket) in submitted {
-        let outcome = match ticket {
-            Err(msg) => BatchOutcome {
+    for (name, path, pending) in submitted {
+        let outcome = match pending {
+            Pending::Skipped(existing) => BatchOutcome {
+                name,
+                state: JobState::Done,
+                nodes: 0,
+                wall_ms: 0,
+                output: Some(existing),
+                error: None,
+                cached: false,
+                skipped: true,
+            },
+            Pending::Submitted(Err(msg)) => BatchOutcome {
                 name,
                 state: JobState::Failed,
                 nodes: 0,
@@ -120,8 +169,9 @@ pub fn run_batch(
                 output: None,
                 error: Some(msg),
                 cached: false,
+                skipped: false,
             },
-            Ok(ticket) => {
+            Pending::Submitted(Ok(ticket)) => {
                 let status = service.wait(ticket.id, opts.timeout);
                 match status {
                     None => {
@@ -136,6 +186,7 @@ pub fn run_batch(
                             output: None,
                             error: Some(format!("timed out after {:?}", opts.timeout)),
                             cached: ticket.cached,
+                            skipped: false,
                         }
                     }
                     Some(status) => {
@@ -147,6 +198,7 @@ pub fn run_batch(
                             output: None,
                             error: status.error.clone(),
                             cached: status.cached,
+                            skipped: false,
                         };
                         if status.state == JobState::Done {
                             if let Some(layout) = service.result(ticket.id) {
@@ -254,6 +306,66 @@ mod tests {
         assert!(bad.error.is_some());
         let good = outcomes.iter().find(|o| o.name == "good.gfa").unwrap();
         assert_eq!(good.state, JobState::Done);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn resume_skips_up_to_date_outputs_and_redoes_stale_ones() {
+        let dir = tmp_dir("resume");
+        let out = tmp_dir("resumeout");
+        for (i, name) in ["x.gfa", "y.gfa"].iter().enumerate() {
+            let g = generate(&PangenomeSpec::basic("r", 30, 2, i as u64 + 1));
+            std::fs::write(dir.join(name), write_gfa(&g)).unwrap();
+        }
+        let opts = BatchOptions {
+            config: LayoutConfig {
+                iter_max: 3,
+                threads: 1,
+                ..LayoutConfig::default()
+            },
+            workers: 1,
+            resume: true,
+            ..BatchOptions::default()
+        };
+        // First run computes everything (nothing to resume from).
+        let first = run_batch(&dir, &out, &opts).unwrap();
+        assert!(first
+            .iter()
+            .all(|o| o.state == JobState::Done && !o.skipped));
+        // Second run skips everything: outputs are newer than inputs.
+        let second = run_batch(&dir, &out, &opts).unwrap();
+        assert!(second.iter().all(|o| o.skipped), "{second:?}");
+        assert!(second.iter().all(|o| o.output.as_ref().unwrap().exists()));
+        // Asking for a .tsv that was never produced defeats the skip…
+        let tsv_opts = BatchOptions {
+            write_tsv: true,
+            ..opts.clone()
+        };
+        let with_tsv = run_batch(&dir, &out, &tsv_opts).unwrap();
+        assert!(
+            with_tsv
+                .iter()
+                .all(|o| !o.skipped && o.state == JobState::Done),
+            "{with_tsv:?}"
+        );
+        // …and once it exists, the tsv-aware resume skips again.
+        let tsv_resume = run_batch(&dir, &out, &tsv_opts).unwrap();
+        assert!(tsv_resume.iter().all(|o| o.skipped), "{tsv_resume:?}");
+        // Make one input newer than its output: only it is recomputed.
+        let future = std::time::SystemTime::now() + Duration::from_secs(3600);
+        std::fs::File::options()
+            .append(true)
+            .open(dir.join("x.gfa"))
+            .unwrap()
+            .set_modified(future)
+            .unwrap();
+        let third = run_batch(&dir, &out, &opts).unwrap();
+        let x = third.iter().find(|o| o.name == "x.gfa").unwrap();
+        let y = third.iter().find(|o| o.name == "y.gfa").unwrap();
+        assert!(!x.skipped, "stale input is recomputed");
+        assert_eq!(x.state, JobState::Done);
+        assert!(y.skipped, "fresh input stays skipped");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&out);
     }

@@ -1,4 +1,5 @@
-//! Content-addressed layout cache with LRU eviction.
+//! Content-addressed layout cache: an in-memory LRU tier over an
+//! optional disk tier.
 //!
 //! A layout is fully determined by the GFA bytes, the engine, and the
 //! layout configuration (all engines are seeded and deterministic for a
@@ -6,15 +7,60 @@
 //! the keyed inputs). The cache therefore keys on a 128-bit FNV-1a hash
 //! of `(engine, batch size, canonical config, GFA text)` and serves
 //! repeated requests for the same graph without recomputation.
+//!
+//! The **disk tier** ([`LayoutCache::with_disk`]) writes every inserted
+//! layout through to `<dir>/<key-hex>.lay` (the workspace's binary
+//! format, via `pgio`), and lazily reloads on a memory miss. Because the
+//! key is content-addressed and deterministic across processes, a
+//! restarted server still hits on every layout it — or any sibling
+//! pointed at the same directory — ever computed. Eviction from the
+//! memory tier never deletes the disk copy; the entry just becomes a
+//! disk hit instead of a memory hit.
 
 use layout_core::LayoutConfig;
 use pangraph::Layout2D;
+use pgio::{load_lay, save_lay};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Write `layout` to `path` atomically: spill to a unique temp file in
+/// the same directory, then rename over the final name. Readers (this
+/// process or a sibling server sharing the directory) therefore never
+/// observe a torn `.lay`, and a crash mid-write leaves only a stray
+/// temp file, never a corrupt cache entry.
+pub fn write_spill(layout: &Layout2D, path: &Path) -> bool {
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let Some(dir) = path.parent() else {
+        return false;
+    };
+    let Some(name) = path.file_name() else {
+        return false;
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{seq}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let ok = save_lay(layout, &tmp).is_ok() && std::fs::rename(&tmp, path).is_ok();
+    if !ok {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    ok
+}
 
 /// 128-bit content hash (two independent FNV-1a streams).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey(u64, u64);
+
+impl CacheKey {
+    /// Stable 32-hex-digit rendering, used as the disk-tier file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
 
 const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
@@ -82,8 +128,15 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect the capacity.
     pub evictions: u64,
-    /// Entries ever inserted.
+    /// Entries ever inserted into the memory tier (including disk-tier
+    /// promotions).
     pub insertions: u64,
+    /// Memory misses answered by the disk tier.
+    pub disk_hits: u64,
+    /// Layouts spilled to the disk tier.
+    pub disk_writes: u64,
+    /// Disk-tier I/O or decode failures (treated as misses).
+    pub disk_errors: u64,
 }
 
 struct Entry {
@@ -92,7 +145,8 @@ struct Entry {
     bytes: usize,
 }
 
-/// In-memory LRU cache of finished layouts.
+/// Two-tier cache of finished layouts: in-memory LRU over an optional
+/// disk directory.
 ///
 /// Recency is tracked with a monotonic tick; eviction scans for the
 /// minimum, which is O(entries) — fine for the few-hundred-entry
@@ -102,42 +156,146 @@ pub struct LayoutCache {
     tick: u64,
     map: HashMap<CacheKey, Entry>,
     stats: CacheStats,
+    disk: Option<PathBuf>,
 }
 
 impl LayoutCache {
-    /// A cache holding up to `capacity` layouts (0 disables caching).
+    /// A memory-only cache holding up to `capacity` layouts (0 disables
+    /// the memory tier; the disk tier, when configured, still operates).
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
             tick: 0,
             map: HashMap::new(),
             stats: CacheStats::default(),
+            disk: None,
         }
     }
 
-    /// Look up a layout, refreshing its recency.
-    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Layout2D>> {
+    /// A cache with a disk tier under `dir` (created if absent): every
+    /// insert is written through as `<dir>/<key-hex>.lay`, and memory
+    /// misses fall back to the directory before counting as misses.
+    pub fn with_disk(capacity: usize, dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            disk: Some(dir.to_path_buf()),
+            ..Self::new(capacity)
+        })
+    }
+
+    /// The disk-tier directory, when one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Where `key`'s spill file lives, when a disk tier is configured.
+    ///
+    /// Public so callers holding the cache behind a mutex (the service)
+    /// can perform the actual file I/O *outside* the lock and report
+    /// back via [`LayoutCache::record_disk_hit`] /
+    /// [`LayoutCache::record_miss`] / [`LayoutCache::record_spill`].
+    pub fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|d| d.join(format!("{}.lay", key.hex())))
+    }
+
+    /// Memory-tier-only lookup, refreshing recency and counting a hit.
+    /// A `None` counts nothing: the caller either probes the disk tier
+    /// (reporting the outcome back) or calls [`LayoutCache::record_miss`].
+    pub fn lookup(&mut self, key: CacheKey) -> Option<Arc<Layout2D>> {
         self.tick += 1;
         let tick = self.tick;
-        match self.map.get_mut(&key) {
-            Some(e) => {
-                e.last_used = tick;
-                self.stats.hits += 1;
-                Some(Arc::clone(&e.layout))
+        let entry = self.map.get_mut(&key)?;
+        entry.last_used = tick;
+        self.stats.hits += 1;
+        Some(Arc::clone(&entry.layout))
+    }
+
+    /// A disk probe (performed by the caller) found `layout`: count the
+    /// disk hit and promote it into the memory tier.
+    pub fn record_disk_hit(&mut self, key: CacheKey, layout: &Arc<Layout2D>) {
+        self.stats.disk_hits += 1;
+        if self.capacity > 0 {
+            self.tick += 1;
+            self.place(key, Arc::clone(layout));
+        }
+    }
+
+    /// Neither tier had the layout.
+    pub fn record_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// A disk-tier read or write failed (unreadable/corrupt spill).
+    pub fn record_disk_error(&mut self) {
+        self.stats.disk_errors += 1;
+    }
+
+    /// The caller wrote a spill file for a fresh insert (`ok` = write
+    /// succeeded).
+    pub fn record_spill(&mut self, ok: bool) {
+        if ok {
+            self.stats.disk_writes += 1;
+        } else {
+            self.stats.disk_errors += 1;
+        }
+    }
+
+    /// Insert into the memory tier only (no disk write-through) —
+    /// the counterpart of [`LayoutCache::disk_path`] for callers doing
+    /// their own spill I/O.
+    pub fn insert_memory(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.place(key, layout);
+    }
+
+    /// Look up a layout, refreshing its recency. Memory misses consult
+    /// the disk tier and promote any hit back into memory.
+    ///
+    /// Convenience two-tier path for standalone use; note the disk read
+    /// happens under `&mut self` (the service drives the primitives
+    /// directly so file I/O stays outside its cache lock).
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Layout2D>> {
+        if let Some(hit) = self.lookup(key) {
+            return Some(hit);
+        }
+        match self.disk_path(key).map(|p| load_lay(&p)) {
+            Some(Ok(layout)) => {
+                let layout = Arc::new(layout);
+                self.record_disk_hit(key, &layout);
+                Some(layout)
             }
-            None => {
-                self.stats.misses += 1;
+            Some(Err(e)) if e.kind() != std::io::ErrorKind::NotFound => {
+                // Unreadable or corrupt spill: treat as a miss so the
+                // layout is recomputed, and count it for observability.
+                self.record_disk_error();
+                self.record_miss();
+                None
+            }
+            _ => {
+                self.record_miss();
                 None
             }
         }
     }
 
-    /// Insert a layout, evicting least-recently-used entries as needed.
+    /// Insert a layout: write it through to the disk tier (even when the
+    /// memory tier is disabled) and place it in memory, evicting
+    /// least-recently-used entries as needed.
     pub fn insert(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
-        if self.capacity == 0 {
-            return;
+        if let Some(path) = self.disk_path(key) {
+            let ok = write_spill(&layout, &path);
+            self.record_spill(ok);
         }
-        self.tick += 1;
+        self.insert_memory(key, layout);
+    }
+
+    /// Memory-tier bookkeeping shared by insert and disk promotion.
+    fn place(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
         let bytes = layout.node_count() * 32;
         self.map.insert(
             key,
@@ -254,5 +412,80 @@ mod tests {
         c.insert(key("a"), layout(1));
         assert!(c.is_empty());
         assert!(c.get(key("a")).is_none());
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgl_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = tmp_dir("restart");
+        {
+            let mut c = LayoutCache::with_disk(4, &dir).unwrap();
+            c.insert(key("a"), layout(3));
+            assert_eq!(c.stats().disk_writes, 1);
+            assert!(dir.join(format!("{}.lay", key("a").hex())).exists());
+        }
+        // A fresh instance (empty memory tier) still hits via disk.
+        let mut c2 = LayoutCache::with_disk(4, &dir).unwrap();
+        let hit = c2.get(key("a")).expect("disk tier answers");
+        assert_eq!(hit.node_count(), 3);
+        let s = c2.stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (0, 1, 0));
+        // The promotion made it a memory entry: the next get is a memory hit.
+        assert!(c2.get(key("a")).is_some());
+        assert_eq!(c2.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_entries_remain_reachable_through_disk() {
+        let dir = tmp_dir("evict");
+        let mut c = LayoutCache::with_disk(1, &dir).unwrap();
+        c.insert(key("a"), layout(2));
+        c.insert(key("b"), layout(2)); // evicts a from memory
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(key("a")).is_some(), "a comes back from disk");
+        assert_eq!(c.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_with_disk_tier_is_a_disk_only_cache() {
+        let dir = tmp_dir("diskonly");
+        let mut c = LayoutCache::with_disk(0, &dir).unwrap();
+        c.insert(key("a"), layout(2));
+        assert!(c.is_empty(), "memory tier stays disabled");
+        assert_eq!(c.stats().disk_writes, 1, "spill still written");
+        // Every get is served from disk, never promoted.
+        assert!(c.get(key("a")).is_some());
+        assert!(c.get(key("a")).is_some());
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (0, 2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_counted_miss() {
+        let dir = tmp_dir("corrupt");
+        let mut c = LayoutCache::with_disk(4, &dir).unwrap();
+        std::fs::write(dir.join(format!("{}.lay", key("a").hex())), b"garbage").unwrap();
+        assert!(c.get(key("a")).is_none());
+        let s = c.stats();
+        assert_eq!((s.disk_errors, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_render_as_stable_hex() {
+        let k = key("a");
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(k.hex(), key("a").hex());
+        assert_ne!(k.hex(), key("b").hex());
+        assert!(k.hex().chars().all(|c| c.is_ascii_hexdigit()));
     }
 }

@@ -1,5 +1,5 @@
 //! A minimal, dependency-free HTTP/1.1 front end over
-//! `std::net::TcpListener`.
+//! `std::net::TcpListener`, hardened for sustained traffic.
 //!
 //! Routes:
 //!
@@ -9,7 +9,8 @@
 //! | `GET /jobs/<id>`         | job status JSON (state, progress, engine, …)     |
 //! | `POST /jobs/<id>/cancel` | request cancellation (also `DELETE /jobs/<id>`)  |
 //! | `GET /result/<id>`       | finished layout as TSV (`?format=lay` = binary)  |
-//! | `GET /stats`             | service + cache counters                         |
+//! | `GET /stats`             | service + cache + HTTP counters                  |
+//! | `GET /metrics`           | Prometheus-style text exposition                 |
 //! | `GET /engines`           | registered engine names                          |
 //! | `GET /healthz`           | liveness probe                                   |
 //!
@@ -17,19 +18,36 @@
 //! `threads`, `seed`, `batch`, `soa` (any value ⇒ original
 //! struct-of-arrays coordinate layout).
 //!
-//! One thread per connection, `Connection: close` semantics — the server
-//! is a front door for pipelines and tests, not a C10K reverse proxy.
+//! ## Traffic model
+//!
+//! One acceptor thread feeds a **bounded queue** drained by a fixed pool
+//! of [`HttpConfig::max_conns`] handler threads. When the queue is full
+//! the acceptor answers `503 Service Unavailable` with a `Retry-After`
+//! header instead of spawning unboundedly or hanging the client — an
+//! overloaded server stays responsive and sheds load explicitly.
+//!
+//! Handlers speak **HTTP/1.1 keep-alive**: sequential requests are
+//! served on one connection until the client sends `Connection: close`,
+//! the idle timeout [`HttpConfig::keep_alive`] expires, or a per-
+//! connection request cap is reached. `pgl batch`-style clients thus pay
+//! one TCP handshake for a whole polling session, not one per request.
+//!
+//! Every answered request lands in [`HttpMetrics`]: per-route counters
+//! plus log2-bucketed latency histograms, surfaced through both
+//! `GET /stats` (JSON) and `GET /metrics` (Prometheus text).
 
+use crate::httpmetrics::{route_index, HttpMetrics, OTHER_ROUTE};
 use crate::job::JobId;
 use crate::service::LayoutService;
 use crate::JobRequest;
 use layout_core::{DataLayout, LayoutConfig};
 use pgio::{layout_to_tsv, write_lay};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body (a chromosome-scale GFA fits well
 /// inside this).
@@ -40,22 +58,73 @@ const MAX_BODY: usize = 1 << 30;
 const MAX_HEADER_LINE: usize = 16 * 1024;
 const MAX_HEADERS: usize = 128;
 
+/// Deadline for reading the rest of a request once its first line has
+/// arrived, and for writing responses.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Requests served on one connection before the server forces a close —
+/// a backstop so a single client cannot pin a handler thread forever.
+const MAX_REQUESTS_PER_CONN: u64 = 1000;
+
+/// Tuning knobs for the HTTP front end.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Handler threads; also the bound of the pending-connection queue,
+    /// so at most `2 × max_conns` connections are admitted at once
+    /// (half being served, half waiting). Beyond that: `503`.
+    pub max_conns: usize,
+    /// Keep-alive idle timeout between requests on one connection.
+    /// Zero disables connection reuse (every response closes).
+    pub keep_alive: Duration,
+    /// Seconds advertised in the `Retry-After` header of overload 503s.
+    pub retry_after_secs: u32,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            max_conns: 64,
+            keep_alive: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
 /// A bound-but-not-yet-serving HTTP server.
 pub struct HttpServer {
     listener: TcpListener,
     service: Arc<LayoutService>,
     stop: Arc<AtomicBool>,
+    cfg: HttpConfig,
+    metrics: Arc<HttpMetrics>,
 }
 
 impl HttpServer {
-    /// Bind to `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral).
+    /// Bind to `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral) with
+    /// the default [`HttpConfig`].
     pub fn bind(addr: &str, service: Arc<LayoutService>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             listener,
             service,
             stop: Arc::new(AtomicBool::new(false)),
+            cfg: HttpConfig::default(),
+            metrics: Arc::new(HttpMetrics::new()),
         })
+    }
+
+    /// Replace the traffic configuration (builder style).
+    pub fn with_config(mut self, cfg: HttpConfig) -> Self {
+        self.cfg = HttpConfig {
+            max_conns: cfg.max_conns.max(1),
+            ..cfg
+        };
+        self
+    }
+
+    /// The server's request metrics (shared with the handler pool).
+    pub fn metrics(&self) -> Arc<HttpMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The bound address (useful with port 0).
@@ -67,14 +136,67 @@ impl HttpServer {
 
     /// Serve until [`ServerHandle::stop`] is called (or forever).
     pub fn serve(self) {
-        let stop = Arc::clone(&self.stop);
-        for stream in self.listener.incoming() {
+        let Self {
+            listener,
+            service,
+            stop,
+            cfg,
+            metrics,
+        } = self;
+        let queue = Arc::new(ConnQueue::new(cfg.max_conns));
+        // One slot per handler holding a clone of the connection it is
+        // serving, so shutdown can sever blocked reads instead of
+        // waiting out keep-alive idle timeouts.
+        let active: Arc<Vec<Mutex<Option<TcpStream>>>> =
+            Arc::new((0..cfg.max_conns).map(|_| Mutex::new(None)).collect());
+        let handlers: Vec<_> = (0..cfg.max_conns)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let active = Arc::clone(&active);
+                let service = Arc::clone(&service);
+                let metrics = Arc::clone(&metrics);
+                let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("pgl-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            *active[i].lock().unwrap() = stream.try_clone().ok();
+                            // Re-check stop after publishing the slot:
+                            // the sever pass may have scanned it in the
+                            // instant before this connection landed.
+                            if stop.load(Ordering::Relaxed) {
+                                *active[i].lock().unwrap() = None;
+                                break;
+                            }
+                            handle_connection(stream, &service, &metrics, &cfg, &stop);
+                            *active[i].lock().unwrap() = None;
+                        }
+                    })
+                    .expect("spawn http handler")
+            })
+            .collect();
+        for stream in listener.incoming() {
             if stop.load(Ordering::Relaxed) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            let service = Arc::clone(&self.service);
-            std::thread::spawn(move || handle_connection(stream, &service));
+            match queue.try_push(stream) {
+                Ok(()) => metrics.record_accepted(),
+                Err(stream) => {
+                    metrics.record_rejected();
+                    reject_overloaded(stream, &cfg);
+                }
+            }
+        }
+        queue.close();
+        for slot in active.iter() {
+            if let Some(stream) = slot.lock().unwrap().as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
         }
     }
 
@@ -91,6 +213,67 @@ impl HttpServer {
             stop,
             handle: Some(handle),
         }
+    }
+}
+
+/// Bounded handoff between the acceptor and the handler pool.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    pending: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue, or hand the stream back when the queue is full/closed so
+    /// the caller can shed it with a 503.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.pending.len() >= self.cap {
+            return Err(stream);
+        }
+        st.pending.push_back(stream);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection arrives; `None` once closed.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return None;
+            }
+            if let Some(s) = st.pending.pop_front() {
+                return Some(s);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Close the queue, dropping (and thereby resetting) any still-
+    /// pending connections: the server is shutting down, and handing
+    /// them to handlers now would only delay the join.
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        st.pending.clear();
+        self.cv.notify_all();
     }
 }
 
@@ -133,6 +316,8 @@ struct Request {
     path: String,
     query: Vec<(String, String)>,
     body: Vec<u8>,
+    /// Client-side keep-alive verdict (version default + `Connection`).
+    keep_alive: bool,
 }
 
 impl Request {
@@ -164,63 +349,209 @@ impl Response {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &LayoutService) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
-    let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(mut req) => route(&mut req, service),
-        Err(msg) => Response::error(400, &msg),
-    };
-    let mut stream = reader.into_inner();
-    let reason = match response.status {
+/// Reason phrases for every status the server can emit. Unknown codes
+/// fall back to a neutral `"Error"` — never a misleading
+/// `"Internal Server Error"` on, say, an overload 503.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
-        _ => "Internal Server Error",
-    };
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Ceiling on concurrent shed threads; beyond it connections are
+/// dropped outright (still load shedding, minus the courtesy note).
+const MAX_CONCURRENT_REJECTS: usize = 32;
+
+/// Shed one connection with `503` + `Retry-After` without occupying a
+/// handler thread — and without stalling the acceptor: the write and
+/// the drain below run on a short-lived, count-bounded thread.
+fn reject_overloaded(stream: TcpStream, cfg: &HttpConfig) {
+    static ACTIVE_REJECTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    if ACTIVE_REJECTS.fetch_add(1, Ordering::Relaxed) >= MAX_CONCURRENT_REJECTS {
+        ACTIVE_REJECTS.fetch_sub(1, Ordering::Relaxed);
+        return; // flood: drop without ceremony
+    }
+    let retry_after_secs = cfg.retry_after_secs;
+    let spawned = std::thread::Builder::new()
+        .name("pgl-http-shed".into())
+        .spawn(move || {
+            write_503(stream, retry_after_secs);
+            ACTIVE_REJECTS.fetch_sub(1, Ordering::Relaxed);
+        });
+    if spawned.is_err() {
+        ACTIVE_REJECTS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn write_503(mut stream: TcpStream, retry_after_secs: u32) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let body = b"{\"error\":\"server overloaded; retry later\"}";
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 503 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Retry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        reason_phrase(503),
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+    // FIN our side, then briefly drain whatever request the client
+    // already sent: closing a socket with unread bytes in the receive
+    // buffer makes the kernel send RST, which can destroy the 503
+    // before the client reads it.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8192];
+    let mut drained = 0usize;
+    while drained < 1 << 20 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Serve sequential requests on one connection until the client closes,
+/// goes idle past the keep-alive timeout, asks to close, or the server
+/// is stopping.
+fn handle_connection(
+    stream: TcpStream,
+    service: &LayoutService,
+    metrics: &HttpMetrics,
+    cfg: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let mut served = 0u64;
+    loop {
+        let idle = if cfg.keep_alive.is_zero() {
+            REQUEST_TIMEOUT
+        } else {
+            cfg.keep_alive
+        };
+        if reader.get_ref().set_read_timeout(Some(idle)).is_err() {
+            return;
+        }
+        let (response, keep) = match read_request(&mut reader) {
+            Ok(None) => return, // clean close or idle timeout
+            Ok(Some(mut req)) => {
+                if served > 0 {
+                    metrics.record_keepalive_reuse();
+                }
+                let started = Instant::now();
+                let route_idx = route_index(&req.path);
+                let response = route(&mut req, service, metrics);
+                metrics.observe_idx(route_idx, response.status, started.elapsed());
+                let keep = req.keep_alive
+                    && !cfg.keep_alive.is_zero()
+                    && served + 1 < MAX_REQUESTS_PER_CONN
+                    && !stop.load(Ordering::Relaxed);
+                (response, keep)
+            }
+            Err(msg) => {
+                metrics.record_bad_request();
+                metrics.observe_idx(OTHER_ROUTE, 400, Duration::ZERO);
+                (Response::error(400, &msg), false)
+            }
+        };
+        if write_response(reader.get_mut(), &response, keep, cfg).is_err() {
+            return;
+        }
+        if !keep {
+            return;
+        }
+        served += 1;
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep: bool,
+    cfg: &HttpConfig,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
-        reason,
+        reason_phrase(response.status),
         response.content_type,
         response.body.len()
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(&response.body);
-    let _ = stream.flush();
+    if keep {
+        head.push_str(&format!(
+            "Connection: keep-alive\r\nKeep-Alive: timeout={}\r\n",
+            cfg.keep_alive.as_secs().max(1)
+        ));
+    } else {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
 }
 
 /// Read one CRLF-terminated line with a hard length cap, so an endless
-/// header cannot grow memory without bound.
-fn read_capped_line(reader: &mut BufReader<TcpStream>, what: &str) -> Result<String, String> {
+/// header cannot grow memory without bound. `Ok(None)` means the peer
+/// closed, timed out, or otherwise went away — nothing to answer.
+fn read_capped_line(
+    reader: &mut BufReader<TcpStream>,
+    what: &str,
+) -> Result<Option<String>, String> {
     let mut line = String::new();
     let mut limited = reader.take(MAX_HEADER_LINE as u64);
-    limited
-        .read_line(&mut line)
-        .map_err(|e| format!("read {what}: {e}"))?;
-    if line.len() >= MAX_HEADER_LINE && !line.ends_with('\n') {
-        return Err(format!("{what} exceeds {MAX_HEADER_LINE} bytes"));
+    match limited.read_line(&mut line) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            if line.len() >= MAX_HEADER_LINE && !line.ends_with('\n') {
+                return Err(format!("{what} exceeds {MAX_HEADER_LINE} bytes"));
+            }
+            Ok(Some(line))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(format!("{what} is not valid UTF-8"))
+        }
+        // Timeouts and resets: the connection is dead, close quietly.
+        Err(_) => Ok(None),
     }
-    Ok(line)
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
-    let line = read_capped_line(reader, "request line")?;
+/// Read one request. `Ok(None)` = connection closed / idle timeout
+/// before a request arrived; `Err` = malformed (answer 400).
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
+    let Some(line) = read_capped_line(reader, "request line")? else {
+        return Ok(None);
+    };
+    // A request is in flight: switch from the idle timeout to the
+    // (longer) per-request deadline for the rest of it.
+    let _ = reader.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT));
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_uppercase();
     let target = parts.next().ok_or("missing request target")?;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 (and anything odd) to
+    // close. The Connection header below overrides either way.
+    let mut keep_alive = parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut headers_done = false;
     for _ in 0..MAX_HEADERS {
-        let header = read_capped_line(reader, "header")?;
+        let header = read_capped_line(reader, "header")?.ok_or("connection closed mid-headers")?;
         let header = header.trim_end();
         if header.is_empty() {
             headers_done = true;
@@ -228,10 +559,33 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                // With keep-alive, conflicting Content-Length values are
+                // a request-smuggling vector (RFC 9112 §6.3): the server
+                // and any intermediary may disagree on where the next
+                // request starts. Reject unless all values agree.
+                for piece in value.split(',') {
+                    let parsed: usize = piece
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                    match content_length {
+                        Some(prev) if prev != parsed => {
+                            return Err("conflicting Content-Length headers".into());
+                        }
+                        _ => content_length = Some(parsed),
+                    }
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Same smuggling class: we never emit or consume chunked
+                // bodies, so any Transfer-Encoding is an error here.
+                return Err("Transfer-Encoding is not supported".into());
+            } else if name.eq_ignore_ascii_case("connection") {
+                let v = value.trim().to_ascii_lowercase();
+                if v.split(',').any(|t| t.trim() == "close") {
+                    keep_alive = false;
+                } else if v.split(',').any(|t| t.trim() == "keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -240,6 +594,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
         // block as body bytes would corrupt the request.
         return Err(format!("more than {MAX_HEADERS} headers"));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(format!("body of {content_length} bytes exceeds limit"));
     }
@@ -264,15 +619,16 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
             None => (percent_decode(kv), String::new()),
         })
         .collect();
-    Ok(Request {
+    Ok(Some(Request {
         method,
         path,
         query,
         body,
-    })
+        keep_alive,
+    }))
 }
 
-fn route(req: &mut Request, service: &LayoutService) -> Response {
+fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> Response {
     let path = req.path.clone();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.clone().as_str(), segments.as_slice()) {
@@ -289,7 +645,12 @@ fn route(req: &mut Request, service: &LayoutService) -> Response {
             Some(id) => job_result(id, req.param("format").unwrap_or("tsv"), service),
             None => Response::error(400, "job id must be a number"),
         },
-        ("GET", ["stats"]) => stats(service),
+        ("GET", ["stats"]) => stats(service, metrics),
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: metrics.render_prometheus().into_bytes(),
+        },
         ("GET", ["engines"]) => {
             let names: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
             Response::json(200, format!("{{\"engines\":[{}]}}", names.join(",")))
@@ -386,15 +747,19 @@ fn job_result(id: JobId, format: &str, service: &LayoutService) -> Response {
     }
 }
 
-fn stats(service: &LayoutService) -> Response {
+fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
     let s = service.stats();
+    let h = metrics.snapshot();
     Response::json(
         200,
         format!(
             "{{\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\
              \"failed\":{},\"cancelled\":{}}},\
              \"cache\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
-             \"evictions\":{},\"insertions\":{}}},\
+             \"evictions\":{},\"insertions\":{},\"disk_hits\":{},\"disk_writes\":{},\
+             \"disk_errors\":{}}},\
+             \"http\":{{\"accepted\":{},\"rejected_503\":{},\"keepalive_reuses\":{},\
+             \"bad_requests\":{},\"requests\":{}}},\
              \"workers\":{},\"uptime_ms\":{}}}",
             s.submitted,
             s.queued,
@@ -408,6 +773,14 @@ fn stats(service: &LayoutService) -> Response {
             s.cache.misses,
             s.cache.evictions,
             s.cache.insertions,
+            s.cache.disk_hits,
+            s.cache.disk_writes,
+            s.cache.disk_errors,
+            h.accepted,
+            h.rejected_503,
+            h.keepalive_reuses,
+            h.bad_requests,
+            h.requests,
             s.workers,
             s.uptime_ms
         ),
@@ -506,5 +879,24 @@ mod tests {
     fn json_strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_codes() {
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(429), "Too Many Requests");
+        assert_eq!(reason_phrase(503), "Service Unavailable");
+        assert_eq!(reason_phrase(500), "Internal Server Error");
+        // Unknown codes stay neutral rather than claiming a server error.
+        assert_eq!(reason_phrase(599), "Error");
+        assert_eq!(reason_phrase(302), "Error");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = HttpConfig::default();
+        assert!(cfg.max_conns >= 1);
+        assert!(!cfg.keep_alive.is_zero());
+        assert!(cfg.retry_after_secs >= 1);
     }
 }

@@ -1,0 +1,398 @@
+//! Request-level observability for the HTTP front end: per-route
+//! counters and log2-bucketed latency histograms.
+//!
+//! Everything is relaxed atomics so the hot path costs a handful of
+//! uncontended increments per request; there are no locks to convoy
+//! under load. Latencies land in power-of-two microsecond buckets
+//! (1 µs, 2 µs, 4 µs, … ~0.5 s, +Inf), which is enough resolution to
+//! derive p50/p90/p99 while keeping the histogram a fixed 21-slot
+//! array. Counters are exposed two ways:
+//!
+//! * `GET /stats` — a compact JSON block (via [`HttpMetrics::snapshot`]),
+//! * `GET /metrics` — a Prometheus-style text exposition
+//!   (via [`HttpMetrics::render_prometheus`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Normalized route labels. Parameterized segments collapse (`/jobs/17`
+/// and `/jobs/99` are the same route), so cardinality stays fixed no
+/// matter what clients request. This table and [`route_index`] are the
+/// single authority on route naming; the HTTP dispatcher resolves paths
+/// through them.
+pub const ROUTES: [&str; 9] = [
+    "/layout",
+    "/jobs/{id}",
+    "/jobs/{id}/cancel",
+    "/result/{id}",
+    "/stats",
+    "/metrics",
+    "/engines",
+    "/healthz",
+    "other",
+];
+
+/// Index of the catch-all `"other"` route.
+pub const OTHER_ROUTE: usize = ROUTES.len() - 1;
+
+/// Collapse a request path to its [`ROUTES`] index (fixed cardinality).
+pub fn route_index(path: &str) -> usize {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let label = match segments.as_slice() {
+        ["layout"] => "/layout",
+        ["jobs", _, "cancel"] => "/jobs/{id}/cancel",
+        ["jobs", _] => "/jobs/{id}",
+        ["result", _] => "/result/{id}",
+        ["stats"] => "/stats",
+        ["metrics"] => "/metrics",
+        ["engines"] => "/engines",
+        ["healthz"] => "/healthz",
+        _ => "other",
+    };
+    ROUTES
+        .iter()
+        .position(|r| *r == label)
+        .unwrap_or(OTHER_ROUTE)
+}
+
+/// Histogram buckets: bucket `i < LAST` holds latencies `≤ 2^i` µs; the
+/// last bucket is the +Inf overflow.
+const BUCKETS: usize = 21;
+const LAST: usize = BUCKETS - 1;
+
+/// Per-route counters: request count by status class plus the latency
+/// histogram.
+#[derive(Default)]
+struct RouteMetrics {
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+}
+
+impl RouteMetrics {
+    fn requests(&self) -> u64 {
+        self.status_2xx.load(Ordering::Relaxed)
+            + self.status_4xx.load(Ordering::Relaxed)
+            + self.status_5xx.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket a latency of `us` microseconds falls into: the smallest
+/// `i` with `us ≤ 2^i`, capped at the overflow bucket.
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let i = (u64::BITS - (us - 1).leading_zeros()) as usize;
+    i.min(LAST)
+}
+
+/// The upper bound of bucket `i` in microseconds (`u64::MAX` ⇒ +Inf).
+fn bucket_bound_us(i: usize) -> u64 {
+    if i >= LAST {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Point-in-time connection-level counters for `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpStatsSnapshot {
+    /// Connections accepted and handed to a handler (or queued).
+    pub accepted: u64,
+    /// Connections turned away with `503` because the queue was full.
+    pub rejected_503: u64,
+    /// Requests served on an already-open connection (keep-alive reuse).
+    pub keepalive_reuses: u64,
+    /// Requests that failed to parse (answered `400`).
+    pub bad_requests: u64,
+    /// Requests routed and answered, across all routes.
+    pub requests: u64,
+}
+
+/// Shared metrics for one [`crate::http::HttpServer`].
+#[derive(Default)]
+pub struct HttpMetrics {
+    routes: [RouteMetrics; ROUTES.len()],
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl HttpMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn route(&self, label: &str) -> &RouteMetrics {
+        let idx = ROUTES
+            .iter()
+            .position(|r| *r == label)
+            .unwrap_or(OTHER_ROUTE);
+        &self.routes[idx]
+    }
+
+    /// Record one answered request by route label (linear label lookup;
+    /// the serving hot path uses [`HttpMetrics::observe_idx`]).
+    pub fn observe(&self, label: &str, status: u16, latency: Duration) {
+        let idx = ROUTES
+            .iter()
+            .position(|r| *r == label)
+            .unwrap_or(OTHER_ROUTE);
+        self.observe_idx(idx, status, latency);
+    }
+
+    /// Record one answered request by [`ROUTES`] index (see
+    /// [`route_index`]); out-of-range indices land in `"other"`.
+    pub fn observe_idx(&self, idx: usize, status: u16, latency: Duration) {
+        let route = &self.routes[idx.min(OTHER_ROUTE)];
+        let counter = match status / 100 {
+            2 | 3 => &route.status_2xx,
+            4 => &route.status_4xx,
+            _ => &route.status_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        route.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        route.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// A connection was accepted and enqueued for a handler.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away with `503` (queue full).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request arrived on an already-open (kept-alive) connection.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request failed to parse.
+    pub fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connection-level counters for the `/stats` JSON.
+    pub fn snapshot(&self) -> HttpStatsSnapshot {
+        HttpStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_503: self.rejected.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            requests: self.routes.iter().map(|r| r.requests()).sum(),
+        }
+    }
+
+    /// The latency quantile `q ∈ (0, 1]` for one route, estimated as the
+    /// upper bound of the bucket containing the rank (capped at the last
+    /// finite bound). `None` when the route has seen no requests.
+    pub fn quantile_us(&self, label: &str, q: f64) -> Option<u64> {
+        let route = self.route(label);
+        let counts: Vec<u64> = route
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bound_us(i).min(1 << LAST));
+            }
+        }
+        Some(1 << LAST)
+    }
+
+    /// Prometheus-style text exposition for `GET /metrics`. Routes with
+    /// no traffic are omitted to keep the payload proportional to use.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let snap = self.snapshot();
+        out.push_str("# TYPE pgl_http_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "pgl_http_connections_accepted_total {}\n",
+            snap.accepted
+        ));
+        out.push_str("# TYPE pgl_http_connections_rejected_total counter\n");
+        out.push_str(&format!(
+            "pgl_http_connections_rejected_total {}\n",
+            snap.rejected_503
+        ));
+        out.push_str("# TYPE pgl_http_keepalive_reuses_total counter\n");
+        out.push_str(&format!(
+            "pgl_http_keepalive_reuses_total {}\n",
+            snap.keepalive_reuses
+        ));
+        out.push_str("# TYPE pgl_http_bad_requests_total counter\n");
+        out.push_str(&format!(
+            "pgl_http_bad_requests_total {}\n",
+            snap.bad_requests
+        ));
+
+        out.push_str("# TYPE pgl_http_requests_total counter\n");
+        for (i, label) in ROUTES.iter().enumerate() {
+            let r = &self.routes[i];
+            for (class, counter) in [
+                ("2xx", &r.status_2xx),
+                ("4xx", &r.status_4xx),
+                ("5xx", &r.status_5xx),
+            ] {
+                let n = counter.load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "pgl_http_requests_total{{route=\"{label}\",class=\"{class}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# TYPE pgl_http_request_duration_us histogram\n");
+        for (i, label) in ROUTES.iter().enumerate() {
+            let r = &self.routes[i];
+            let total = r.requests();
+            if total == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (b, bucket) in r.buckets.iter().enumerate() {
+                cumulative += bucket.load(Ordering::Relaxed);
+                let le = if b >= LAST {
+                    "+Inf".to_string()
+                } else {
+                    bucket_bound_us(b).to_string()
+                };
+                out.push_str(&format!(
+                    "pgl_http_request_duration_us_bucket{{route=\"{label}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "pgl_http_request_duration_us_sum{{route=\"{label}\"}} {}\n",
+                r.total_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "pgl_http_request_duration_us_count{{route=\"{label}\"}} {total}\n"
+            ));
+            for q in [0.5, 0.9, 0.99] {
+                if let Some(v) = self.quantile_us(label, q) {
+                    out.push_str(&format!(
+                        "pgl_http_request_duration_us{{route=\"{label}\",quantile=\"{q}\"}} {v}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_ceiling() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), LAST);
+    }
+
+    #[test]
+    fn observe_classifies_status_and_counts() {
+        let m = HttpMetrics::new();
+        m.observe("/layout", 202, Duration::from_micros(3));
+        m.observe("/layout", 400, Duration::from_micros(100));
+        m.observe("/layout", 503, Duration::from_micros(9));
+        m.observe("/no-such-route", 200, Duration::ZERO); // falls into "other"
+        assert_eq!(m.snapshot().requests, 4);
+        let text = m.render_prometheus();
+        assert!(text.contains("pgl_http_requests_total{route=\"/layout\",class=\"2xx\"} 1"));
+        assert!(text.contains("pgl_http_requests_total{route=\"/layout\",class=\"4xx\"} 1"));
+        assert!(text.contains("pgl_http_requests_total{route=\"/layout\",class=\"5xx\"} 1"));
+        assert!(text.contains("pgl_http_requests_total{route=\"other\",class=\"2xx\"} 1"));
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let m = HttpMetrics::new();
+        // 9 fast requests, 1 slow one: p50 is small, p99 is the outlier.
+        for _ in 0..9 {
+            m.observe("/healthz", 200, Duration::from_micros(2));
+        }
+        m.observe("/healthz", 200, Duration::from_micros(5000));
+        assert_eq!(m.quantile_us("/healthz", 0.5), Some(2));
+        assert_eq!(m.quantile_us("/healthz", 0.99), Some(8192));
+        assert_eq!(m.quantile_us("/stats", 0.5), None, "no traffic, no value");
+    }
+
+    #[test]
+    fn histogram_is_cumulative_and_ends_at_inf() {
+        let m = HttpMetrics::new();
+        m.observe("/stats", 200, Duration::from_micros(1));
+        m.observe("/stats", 200, Duration::from_micros(1_000_000_000));
+        let text = m.render_prometheus();
+        assert!(text.contains("pgl_http_request_duration_us_bucket{route=\"/stats\",le=\"1\"} 1"));
+        assert!(
+            text.contains("pgl_http_request_duration_us_bucket{route=\"/stats\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("pgl_http_request_duration_us_count{route=\"/stats\"} 2"));
+    }
+
+    #[test]
+    fn route_index_matches_the_route_table() {
+        assert_eq!(ROUTES[route_index("/layout")], "/layout");
+        assert_eq!(ROUTES[route_index("/jobs/17")], "/jobs/{id}");
+        assert_eq!(ROUTES[route_index("/jobs/99/cancel")], "/jobs/{id}/cancel");
+        assert_eq!(ROUTES[route_index("/result/3")], "/result/{id}");
+        assert_eq!(ROUTES[route_index("/stats")], "/stats");
+        assert_eq!(ROUTES[route_index("/metrics")], "/metrics");
+        assert_eq!(ROUTES[route_index("/engines")], "/engines");
+        assert_eq!(ROUTES[route_index("/healthz")], "/healthz");
+        assert_eq!(route_index("/jobs/1/2/3"), OTHER_ROUTE);
+        assert_eq!(route_index("/"), OTHER_ROUTE);
+    }
+
+    #[test]
+    fn observe_by_index_and_by_label_agree() {
+        let m = HttpMetrics::new();
+        m.observe_idx(route_index("/layout"), 202, Duration::from_micros(2));
+        m.observe("/layout", 202, Duration::from_micros(2));
+        m.observe_idx(usize::MAX, 200, Duration::ZERO); // clamps to "other"
+        let text = m.render_prometheus();
+        assert!(text.contains("pgl_http_requests_total{route=\"/layout\",class=\"2xx\"} 2"));
+        assert!(text.contains("pgl_http_requests_total{route=\"other\",class=\"2xx\"} 1"));
+    }
+
+    #[test]
+    fn connection_counters_round_trip() {
+        let m = HttpMetrics::new();
+        m.record_accepted();
+        m.record_accepted();
+        m.record_rejected();
+        m.record_keepalive_reuse();
+        m.record_bad_request();
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.rejected_503, 1);
+        assert_eq!(s.keepalive_reuses, 1);
+        assert_eq!(s.bad_requests, 1);
+    }
+}

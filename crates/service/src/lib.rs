@@ -31,11 +31,17 @@
 //!   cancellation that stops engines at iteration boundaries.
 //! * [`cache::LayoutCache`] — a content-addressed, LRU-evicting layout
 //!   cache: repeated requests for the same `(GFA, engine, config)` are
-//!   answered without recomputation.
+//!   answered without recomputation. An optional **disk tier**
+//!   (`ServiceConfig::cache_dir`) writes layouts through as `.lay`
+//!   files so a restarted server keeps hitting on old work.
 //! * [`http::HttpServer`] — a dependency-free HTTP/1.1 front end
 //!   (`POST /layout`, `GET /jobs/<id>`, `GET /result/<id>`,
-//!   `GET /stats`, …) over `std::net`, wired into the CLI as
-//!   `pgl serve`; [`batchrun::run_batch`] is the same pool driven
+//!   `GET /stats`, `GET /metrics`, …) over `std::net`, wired into the
+//!   CLI as `pgl serve`. Hardened for real traffic: a bounded
+//!   connection queue drained by a fixed handler pool (overload ⇒
+//!   `503` + `Retry-After`), HTTP/1.1 keep-alive, and per-route
+//!   latency histograms ([`httpmetrics::HttpMetrics`]).
+//!   [`batchrun::run_batch`] is the same pool driven
 //!   filesystem-to-filesystem as `pgl batch`.
 //!
 //! ## Example
@@ -58,13 +64,15 @@
 pub mod batchrun;
 pub mod cache;
 pub mod http;
+pub mod httpmetrics;
 pub mod job;
 pub mod registry;
 pub mod service;
 
 pub use batchrun::{run_batch, BatchOptions, BatchOutcome};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
-pub use http::{HttpServer, ServerHandle};
+pub use http::{HttpConfig, HttpServer, ServerHandle};
+pub use httpmetrics::{HttpMetrics, HttpStatsSnapshot};
 pub use job::{JobId, JobRequest, JobState, JobStatus};
 pub use registry::{EngineRegistry, EngineRequest};
 pub use service::{LayoutService, ServiceConfig, ServiceStats, SubmitTicket};

@@ -13,11 +13,12 @@
 //! cancelled directly; running jobs get their control flag flipped and
 //! the engine stops at its next iteration boundary.
 
-use crate::cache::{cache_key, CacheStats, LayoutCache};
+use crate::cache::{cache_key, write_spill, CacheKey, CacheStats, LayoutCache};
 use crate::job::{Job, JobId, JobRequest, JobState, JobStatus};
 use crate::registry::{EngineRegistry, EngineRequest};
 use layout_core::LayoutControl;
 use pangraph::{parse_gfa, Layout2D, LeanGraph};
+use pgio::load_lay;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,6 +35,11 @@ pub struct ServiceConfig {
     /// Terminal jobs retained for status/result queries; the oldest are
     /// evicted beyond this, so the job table cannot grow without bound.
     pub max_finished_jobs: usize,
+    /// Disk tier for the layout cache: layouts are written through to
+    /// this directory and reloaded lazily on memory misses, so a
+    /// restarted service still hits on previously computed layouts.
+    /// `None` keeps the cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +48,7 @@ impl Default for ServiceConfig {
             workers: 0,
             cache_entries: 64,
             max_finished_jobs: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -130,13 +137,25 @@ impl LayoutService {
     /// Start the worker pool.
     pub fn start(registry: EngineRegistry, cfg: ServiceConfig) -> Self {
         let workers = cfg.resolved_workers();
+        let cache = match &cfg.cache_dir {
+            Some(dir) => LayoutCache::with_disk(cfg.cache_entries, dir).unwrap_or_else(|e| {
+                // A broken disk tier must not take the service down;
+                // degrade to memory-only and say so.
+                eprintln!(
+                    "pgl-service: disk cache at {} unavailable ({e}); running memory-only",
+                    dir.display()
+                );
+                LayoutCache::new(cfg.cache_entries)
+            }),
+            None => LayoutCache::new(cfg.cache_entries),
+        };
         let shared = Arc::new(Shared {
             registry,
             jobs: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            cache: Mutex::new(LayoutCache::new(cfg.cache_entries)),
+            cache: Mutex::new(cache),
             finished: Mutex::new(VecDeque::new()),
             max_finished: cfg.max_finished_jobs.max(1),
             next_id: AtomicU64::new(1),
@@ -191,7 +210,7 @@ impl LayoutService {
             request.batch_size,
             &request.gfa,
         );
-        let hit = self.shared.cache.lock().unwrap().get(key);
+        let hit = cache_lookup(&self.shared, key);
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
@@ -352,6 +371,50 @@ impl Drop for LayoutService {
     }
 }
 
+/// Two-tier cache lookup with the disk read performed *outside* the
+/// cache lock, so a slow spill directory cannot serialize every
+/// submission and completion behind one file read.
+fn cache_lookup(shared: &Shared, key: CacheKey) -> Option<Arc<Layout2D>> {
+    let disk_path = {
+        let mut cache = shared.cache.lock().unwrap();
+        if let Some(hit) = cache.lookup(key) {
+            return Some(hit);
+        }
+        cache.disk_path(key)
+    };
+    let Some(path) = disk_path else {
+        shared.cache.lock().unwrap().record_miss();
+        return None;
+    };
+    match load_lay(&path) {
+        Ok(layout) => {
+            let layout = Arc::new(layout);
+            shared.cache.lock().unwrap().record_disk_hit(key, &layout);
+            Some(layout)
+        }
+        Err(e) => {
+            let mut cache = shared.cache.lock().unwrap();
+            if e.kind() != std::io::ErrorKind::NotFound {
+                cache.record_disk_error();
+            }
+            cache.record_miss();
+            None
+        }
+    }
+}
+
+/// Insert a finished layout: spill to the disk tier (file write outside
+/// the cache lock) and place it in the memory tier.
+fn cache_insert(shared: &Shared, key: CacheKey, layout: &Arc<Layout2D>) {
+    let spill = shared.cache.lock().unwrap().disk_path(key);
+    let spill_ok = spill.map(|path| write_spill(layout, &path));
+    let mut cache = shared.cache.lock().unwrap();
+    if let Some(ok) = spill_ok {
+        cache.record_spill(ok);
+    }
+    cache.insert_memory(key, Arc::clone(layout));
+}
+
 /// Bookkeeping once a job has reached a terminal state: record it for
 /// retention accounting and evict the oldest terminal jobs beyond the
 /// cap, so the job table (and the GFA/layout data its entries hold)
@@ -402,16 +465,22 @@ fn worker_loop(shared: &Shared) {
         let outcome = run_job(shared, &request, &control);
         shared.running.fetch_sub(1, Ordering::Relaxed);
 
+        // Cache the result before touching the job record: the spill
+        // write would otherwise run while holding the job mutex and
+        // block every status poll on this job behind disk I/O.
+        if let Ok((layout, _)) = &outcome {
+            cache_insert(shared, key, layout);
+        }
+
         let mut job = job.lock().unwrap();
         job.finished = Some(Instant::now());
         job.request.gfa = Arc::new(String::new());
         match outcome {
             Ok((layout, nodes)) => {
                 job.nodes = nodes;
-                job.result = Some(Arc::clone(&layout));
+                job.result = Some(layout);
                 job.state = JobState::Done;
                 shared.done.fetch_add(1, Ordering::Relaxed);
-                shared.cache.lock().unwrap().insert(key, layout);
             }
             Err(None) => {
                 job.state = JobState::Cancelled;
@@ -507,6 +576,7 @@ mod tests {
                 workers: 1,
                 cache_entries: 8,
                 max_finished_jobs: 2,
+                ..ServiceConfig::default()
             },
         );
         let tickets: Vec<_> = (0..3)
@@ -592,26 +662,74 @@ mod tests {
         );
     }
 
-    #[test]
-    fn running_jobs_can_be_cancelled() {
+    /// Cancel one long-running job on `engine` once it reports progress;
+    /// only works promptly when the engine overrides `layout_controlled`
+    /// with real per-iteration progress + cancellation.
+    fn cancel_mid_run(engine: &str) {
         let svc = service(1);
-        let mut req = quick_request("cpu", small_gfa(4));
+        let mut req = quick_request(engine, small_gfa(4));
         req.config.iter_max = 100_000; // would run ~forever without cancel
         let t = svc.submit(req).unwrap();
         // Wait until it is actually running, then cancel.
-        let deadline = Instant::now() + Duration::from_secs(30);
+        let deadline = Instant::now() + Duration::from_secs(60);
         loop {
             let s = svc.status(t.id).unwrap();
             if s.state == JobState::Running && s.progress > 0.0 {
                 break;
             }
-            assert!(Instant::now() < deadline, "job never started");
+            assert!(Instant::now() < deadline, "{engine} job never started");
             std::thread::sleep(Duration::from_millis(2));
         }
         svc.cancel(t.id).unwrap();
-        let status = svc.wait(t.id, Duration::from_secs(30)).expect("terminates");
-        assert_eq!(status.state, JobState::Cancelled);
+        let status = svc.wait(t.id, Duration::from_secs(60)).expect("terminates");
+        assert_eq!(status.state, JobState::Cancelled, "{engine}");
         assert!(svc.result(t.id).is_none());
+    }
+
+    #[test]
+    fn running_jobs_can_be_cancelled() {
+        cancel_mid_run("cpu");
+    }
+
+    #[test]
+    fn running_batch_jobs_can_be_cancelled() {
+        cancel_mid_run("batch");
+    }
+
+    #[test]
+    fn running_gpu_jobs_can_be_cancelled() {
+        cancel_mid_run("gpu");
+    }
+
+    #[test]
+    fn disk_cache_hits_across_a_service_restart() {
+        let dir = std::env::temp_dir().join(format!("pgl_svc_disk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServiceConfig {
+            workers: 1,
+            cache_entries: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let gfa = small_gfa(77);
+        let first_layout = {
+            let svc = LayoutService::start(EngineRegistry::with_default_engines(), cfg());
+            let t = svc.submit(quick_request("cpu", gfa.clone())).unwrap();
+            assert!(!t.cached);
+            svc.wait(t.id, Duration::from_secs(60)).unwrap();
+            assert!(svc.stats().cache.disk_writes >= 1, "layout spilled to disk");
+            svc.result(t.id).unwrap()
+        }; // service dropped: memory tier gone, disk tier persists
+        let svc2 = LayoutService::start(EngineRegistry::with_default_engines(), cfg());
+        let t = svc2.submit(quick_request("cpu", gfa)).unwrap();
+        assert!(t.cached, "restarted service hits the disk tier");
+        assert_eq!(svc2.stats().cache.disk_hits, 1);
+        assert_eq!(
+            svc2.result(t.id).unwrap().as_ref(),
+            first_layout.as_ref(),
+            "disk tier returns the identical layout"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
