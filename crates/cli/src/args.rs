@@ -47,8 +47,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--cache",
     "--cache-dir",
+    "--cache-max-bytes",
+    "--graphs",
     "--max-conns",
     "--keep-alive",
+    "--rate-limit",
     "--timeout",
 ];
 
@@ -225,6 +228,16 @@ mod tests {
         assert_eq!(p.parse_or("--keep-alive", 5u64).unwrap(), 2);
         assert_eq!(p.value("--cache-dir").unwrap(), "/tmp/layouts");
         assert!(p.has("--resume"));
+    }
+
+    #[test]
+    fn graph_store_and_rate_limit_flags_parse() {
+        let p = parse("--rate-limit 10.5 --cache-max-bytes 1000000 --graphs 4 --engine cpu,gpu");
+        p.validate().unwrap();
+        assert_eq!(p.parse_or("--rate-limit", 0.0f64).unwrap(), 10.5);
+        assert_eq!(p.parse_or("--cache-max-bytes", 0u64).unwrap(), 1_000_000);
+        assert_eq!(p.parse_or("--graphs", 16usize).unwrap(), 4);
+        assert_eq!(p.value("--engine").unwrap(), "cpu,gpu");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use layout_core::cpu::CpuEngine;
 use layout_core::LayoutConfig;
 use pangraph::lean::LeanGraph;
 use pangraph::stats::GraphStats;
-use pangraph::{parse_gfa, write_gfa, VariationGraph};
+use pangraph::{parse_gfa_reader, write_gfa, VariationGraph};
 use pgio::{layout_to_tsv, load_lay, save_lay};
 use pgl_service::{
     run_batch, BatchOptions, EngineRegistry, HttpConfig, HttpServer, JobState, LayoutService,
@@ -50,25 +50,36 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         }
         "tsv" => "pgl tsv <in.lay> -o <out.tsv>\nExport layout coordinates as TSV.",
         "serve" => {
-            "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N]\n\
-             \u{20}         [--cache-dir DIR] [--max-conns N] [--keep-alive SECS]\n\
-             Serve layouts over HTTP: POST /layout (GFA body; query engine=cpu|batch|\n\
-             gpu|gpu-a100, iters, threads, seed, batch, soa), GET /jobs/<id>,\n\
-             POST /jobs/<id>/cancel, GET /result/<id>[?format=lay], GET /stats,\n\
-             GET /metrics, GET /engines, GET /healthz. Identical requests are answered\n\
-             from the content-addressed layout cache (capacity --cache, default 64;\n\
-             --cache-dir adds a disk tier that survives restarts). Connections are\n\
-             bounded: --max-conns handler threads (default 64) plus an equal-sized\n\
-             queue; beyond that the server sheds load with 503 + Retry-After.\n\
+            "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
+             \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]\n\
+             \u{20}         [--keep-alive SECS] [--rate-limit REQ_PER_SEC]\n\
+             Serve layouts over HTTP. Upload-once workflow: POST /graphs (GFA body)\n\
+             parses the graph once and returns {graph_id, nodes, paths, steps}; then\n\
+             POST /layout?graph=<id> lays it out by reference (engine=cpu|batch|gpu|\n\
+             gpu-a100, iters, threads, seed, batch, soa) with no re-upload or\n\
+             re-parse. POST /layout also still accepts an inline GFA body.\n\
+             GET /graphs lists stored graphs, DELETE /graphs/<id> drops one.\n\
+             GET /jobs/<id>, POST /jobs/<id>/cancel, GET /result/<id>[?format=lay],\n\
+             GET /stats, GET /metrics, GET /engines, GET /healthz as before.\n\
+             Identical requests are answered from the content-addressed layout cache\n\
+             (capacity --cache, default 64); --graphs bounds resident parsed graphs\n\
+             (default 16, 0 = unbounded); --cache-dir adds disk tiers for both that\n\
+             survive restarts, each capped at --cache-max-bytes (oldest spills\n\
+             evicted first; 0 = unbounded). Connections are bounded: --max-conns\n\
+             handler threads (default 64) plus an equal-sized queue; beyond that the\n\
+             server sheds load with 503 + Retry-After. --rate-limit N throttles each\n\
+             client IP to N requests/second (429 beyond a one-second burst; 0 = off).\n\
              HTTP/1.1 keep-alive is on by default (idle timeout --keep-alive seconds,\n\
              default 5; 0 closes after every response)."
         }
         "batch" => {
-            "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100] [--workers N]\n\
-             \u{20}         [--iters N] [--threads N] [--seed N] [--tsv] [--timeout SECS]\n\
-             \u{20}         [--resume]\n\
+            "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100[,more...]]\n\
+             \u{20}         [--workers N] [--iters N] [--threads N] [--seed N] [--tsv]\n\
+             \u{20}         [--timeout SECS] [--resume]\n\
              Lay out every .gfa in <dir> concurrently through the service worker pool,\n\
              writing <outdir>/<stem>.lay (and .tsv with --tsv), then print a summary.\n\
+             --engine accepts a comma-separated list; each input is parsed exactly\n\
+             once and fanned across all engines (outputs <stem>.<engine>.lay).\n\
              --resume skips inputs whose .lay in <outdir> is already up to date."
         }
         _ => return None,
@@ -76,8 +87,10 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
 }
 
 fn load_graph(path: &str) -> Result<VariationGraph, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    parse_gfa(&text).map_err(|e| format!("parse {path}: {e}"))
+    // Stream the file through the parser: ingestion never holds both
+    // the raw GFA text and the parsed graph at peak.
+    let file = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_gfa_reader(std::io::BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
 }
 
 /// `pgl gen` — synthesize a pangenome graph.
@@ -279,7 +292,9 @@ pub fn serve(p: ArgParser) -> CmdResult {
     let cfg = ServiceConfig {
         workers: p.parse_or("--workers", 0usize)?,
         cache_entries: p.parse_or("--cache", 64usize)?,
+        graph_entries: p.parse_or("--graphs", 16usize)?,
         cache_dir: p.value("--cache-dir").map(std::path::PathBuf::from),
+        cache_max_bytes: p.parse_or("--cache-max-bytes", 0u64)?,
         ..ServiceConfig::default()
     };
     let http_defaults = HttpConfig::default();
@@ -288,6 +303,7 @@ pub fn serve(p: ArgParser) -> CmdResult {
         keep_alive: std::time::Duration::from_secs(
             p.parse_or("--keep-alive", http_defaults.keep_alive.as_secs())?,
         ),
+        rate_limit: p.parse_or("--rate-limit", 0.0f64)?,
         ..http_defaults
     };
     let workers = cfg.resolved_workers();
@@ -296,6 +312,11 @@ pub fn serve(p: ArgParser) -> CmdResult {
         .as_ref()
         .map(|d| format!(", disk cache {}", d.display()))
         .unwrap_or_default();
+    let limit_note = if http_cfg.rate_limit > 0.0 {
+        format!(", rate limit {}/s per client", http_cfg.rate_limit)
+    } else {
+        String::new()
+    };
     let service = Arc::new(LayoutService::start(
         EngineRegistry::with_default_engines(),
         cfg,
@@ -304,12 +325,13 @@ pub fn serve(p: ArgParser) -> CmdResult {
         .map_err(|e| format!("bind {addr}: {e}"))?
         .with_config(http_cfg.clone());
     eprintln!(
-        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}, engines: {})",
+        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}, engines: {})",
         server.local_addr(),
         workers,
         http_cfg.max_conns,
         http_cfg.keep_alive.as_secs(),
         cache_note,
+        limit_note,
         service.engine_names().join(", ")
     );
     server.serve();
@@ -320,8 +342,16 @@ pub fn serve(p: ArgParser) -> CmdResult {
 pub fn batch_cmd(p: ArgParser) -> CmdResult {
     let dir = p.pos(0, "dir")?;
     let out = p.out()?;
+    let engines: Vec<String> = p
+        .value("--engine")
+        .unwrap_or("cpu")
+        .split(',')
+        .map(|e| e.trim().to_string())
+        .filter(|e| !e.is_empty())
+        .collect();
+    let multi = engines.len() > 1;
     let opts = BatchOptions {
-        engine: p.value("--engine").unwrap_or("cpu").to_string(),
+        engines,
         config: LayoutConfig {
             iter_max: p.parse_or("--iters", 30u32)?,
             threads: p.parse_or("--threads", 0usize)?,
@@ -334,16 +364,17 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
         timeout: std::time::Duration::from_secs(p.parse_or("--timeout", 3600u64)?),
         resume: p.has("--resume"),
     };
-    let outcomes = run_batch(Path::new(dir), Path::new(out), &opts)?;
-    let mut failed = 0usize;
-    let mut skipped = 0usize;
-    for o in &outcomes {
+    let report = run_batch(Path::new(dir), Path::new(out), &opts)?;
+    for o in &report.outcomes {
+        let label = if multi {
+            format!("{} [{}]", o.name, o.engine)
+        } else {
+            o.name.clone()
+        };
         match o.state {
             JobState::Done if o.skipped => {
-                skipped += 1;
                 eprintln!(
-                    "  {:<24} skip   (up-to-date)  → {}",
-                    o.name,
+                    "  {label:<30} skip   (up-to-date)  → {}",
                     o.output
                         .as_ref()
                         .map(|p| p.display().to_string())
@@ -351,8 +382,7 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
                 );
             }
             JobState::Done => eprintln!(
-                "  {:<24} done   {:>8} nodes  {:>7} ms{}  → {}",
-                o.name,
+                "  {label:<30} done   {:>8} nodes  {:>7} ms{}  → {}",
                 o.nodes,
                 o.wall_ms,
                 if o.cached { "  (cached)" } else { "" },
@@ -362,20 +392,21 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
                     .unwrap_or_default()
             ),
             _ => {
-                failed += 1;
                 eprintln!(
-                    "  {:<24} {}  {}",
-                    o.name,
+                    "  {label:<30} {}  {}",
                     o.state.as_str(),
                     o.error.as_deref().unwrap_or("")
                 );
             }
         }
     }
+    let failed = report.failed();
+    let skipped = report.skipped();
     eprintln!(
-        "pgl batch: {}/{} graphs laid out{}",
-        outcomes.len() - failed,
-        outcomes.len(),
+        "pgl batch: {}/{} layouts done, {} GFA parse(s){}",
+        report.outcomes.len() - failed,
+        report.outcomes.len(),
+        report.graph_parses,
         if skipped > 0 {
             format!(" ({skipped} skipped, up-to-date)")
         } else {
@@ -383,7 +414,7 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
         }
     );
     if failed > 0 {
-        return Err(format!("{failed} graph(s) failed"));
+        return Err(format!("{failed} layout(s) failed"));
     }
     Ok(())
 }

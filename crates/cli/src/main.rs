@@ -82,8 +82,11 @@ fn print_usage() {
          \u{20}  stress  <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
          \u{20}  tsv     <in.lay> -o <out.tsv>\n\
-         \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N] [--cache-dir DIR]\n\
-         \u{20}          [--max-conns N] [--keep-alive SECS]   (HTTP service)\n\
-         \u{20}  batch   <dir> -o <outdir> [--engine E] [--workers N] [--tsv] [--resume]\n"
+         \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
+         \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]\n\
+         \u{20}          [--keep-alive SECS] [--rate-limit N]   (HTTP service; POST /graphs\n\
+         \u{20}          uploads once, POST /layout?graph=<id> lays out by reference)\n\
+         \u{20}  batch   <dir> -o <outdir> [--engine E[,E2...]] [--workers N] [--tsv]\n\
+         \u{20}          [--resume]   (each input parsed once across all engines)\n"
     );
 }

@@ -16,6 +16,7 @@
 use crate::model::{GraphBuilder, Handle, VariationGraph};
 use std::collections::HashMap;
 use std::fmt;
+use std::io::BufRead;
 
 /// Errors produced by the GFA parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,8 @@ pub enum GfaError {
     BadOrientation { line_no: usize, token: String },
     /// Unparseable numeric field.
     BadNumber { line_no: usize, token: String },
+    /// The underlying reader failed (streaming entry point only).
+    Io { line_no: usize, message: String },
 }
 
 impl fmt::Display for GfaError {
@@ -59,6 +62,9 @@ impl fmt::Display for GfaError {
             GfaError::BadNumber { line_no, token } => {
                 write!(f, "line {line_no}: bad number {token:?}")
             }
+            GfaError::Io { line_no, message } => {
+                write!(f, "line {line_no}: read error: {message}")
+            }
         }
     }
 }
@@ -67,15 +73,33 @@ impl std::error::Error for GfaError {}
 
 /// Parse a GFA v1 document into a variation graph.
 pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
-    let mut b = GraphBuilder::new();
-    let mut ids: HashMap<String, u32> = HashMap::new();
+    parse_gfa_reader(text.as_bytes())
+}
 
-    // Pass 1: segments (so links/paths can reference them in any order).
-    for (line_no, line) in text.lines().enumerate() {
-        let line_no = line_no + 1;
-        if !line.starts_with('S') {
-            continue;
+/// Streaming parse state: segments build the graph as their lines
+/// arrive; link and path lines are deferred (they may reference
+/// segments defined later) and replayed once the input is exhausted.
+/// Peak memory is therefore the parsed graph plus the link/path text
+/// only — the segment lines (sequences dominate GFA size) are never
+/// retained, so ingestion does not hold both the raw document and the
+/// parsed graph at once.
+struct StreamingParser {
+    builder: GraphBuilder,
+    ids: HashMap<String, u32>,
+    /// `(line_no, line)` for L/P records awaiting the segment table.
+    deferred: Vec<(usize, String)>,
+}
+
+impl StreamingParser {
+    fn new() -> Self {
+        Self {
+            builder: GraphBuilder::new(),
+            ids: HashMap::new(),
+            deferred: Vec::new(),
         }
+    }
+
+    fn segment(&mut self, line: &str, line_no: usize) -> Result<(), GfaError> {
         let mut fields = line.split('\t');
         let _ = fields.next();
         let name = fields
@@ -107,7 +131,7 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
                     what: "segment length",
                 });
             }
-            b.add_node_len(len)
+            self.builder.add_node_len(len)
         } else {
             if seq.is_empty() {
                 return Err(GfaError::Empty {
@@ -115,77 +139,127 @@ pub fn parse_gfa(text: &str) -> Result<VariationGraph, GfaError> {
                     what: "segment sequence",
                 });
             }
-            b.add_node_seq(seq.as_bytes())
+            self.builder.add_node_seq(seq.as_bytes())
         };
-        b.set_node_name(id, name);
-        ids.insert(name.to_string(), id);
+        self.builder.set_node_name(id, name);
+        self.ids.insert(name.to_string(), id);
+        Ok(())
     }
 
-    let lookup = |ids: &HashMap<String, u32>, name: &str, line_no: usize| {
-        ids.get(name)
+    fn line(&mut self, line: &str, line_no: usize) -> Result<(), GfaError> {
+        match line.chars().next() {
+            Some('S') => self.segment(line, line_no),
+            Some('L') | Some('P') => {
+                self.deferred.push((line_no, line.to_string()));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn lookup(&self, name: &str, line_no: usize) -> Result<u32, GfaError> {
+        self.ids
+            .get(name)
             .copied()
             .ok_or_else(|| GfaError::UnknownSegment {
                 line_no,
                 name: name.to_string(),
             })
-    };
-    let orient = |tok: &str, line_no: usize| match tok {
-        "+" => Ok(false),
-        "-" => Ok(true),
-        _ => Err(GfaError::BadOrientation {
-            line_no,
-            token: tok.to_string(),
-        }),
-    };
+    }
 
-    // Pass 2: links and paths.
-    for (line_no, line) in text.lines().enumerate() {
-        let line_no = line_no + 1;
-        match line.chars().next() {
-            Some('L') => {
-                let f: Vec<&str> = line.split('\t').collect();
-                if f.len() < 5 {
-                    return Err(GfaError::Truncated { line_no, kind: 'L' });
-                }
-                let from = lookup(&ids, f[1], line_no)?;
-                let fo = orient(f[2], line_no)?;
-                let to = lookup(&ids, f[3], line_no)?;
-                let to_o = orient(f[4], line_no)?;
-                b.add_edge(Handle::new(from, fo), Handle::new(to, to_o));
-            }
-            Some('P') => {
-                let f: Vec<&str> = line.split('\t').collect();
-                if f.len() < 3 {
-                    return Err(GfaError::Truncated { line_no, kind: 'P' });
-                }
-                let mut steps = Vec::new();
-                for tok in f[2].split(',') {
-                    if tok.is_empty() {
-                        continue;
+    fn finish(mut self) -> Result<VariationGraph, GfaError> {
+        let orient = |tok: &str, line_no: usize| match tok {
+            "+" => Ok(false),
+            "-" => Ok(true),
+            _ => Err(GfaError::BadOrientation {
+                line_no,
+                token: tok.to_string(),
+            }),
+        };
+        let deferred = std::mem::take(&mut self.deferred);
+        for (line_no, line) in deferred {
+            match line.chars().next() {
+                Some('L') => {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.len() < 5 {
+                        return Err(GfaError::Truncated { line_no, kind: 'L' });
                     }
-                    let (name, o) = tok.split_at(tok.len() - 1);
-                    if name.is_empty() {
+                    let from = self.lookup(f[1], line_no)?;
+                    let fo = orient(f[2], line_no)?;
+                    let to = self.lookup(f[3], line_no)?;
+                    let to_o = orient(f[4], line_no)?;
+                    self.builder
+                        .add_edge(Handle::new(from, fo), Handle::new(to, to_o));
+                }
+                Some('P') => {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.len() < 3 {
+                        return Err(GfaError::Truncated { line_no, kind: 'P' });
+                    }
+                    let mut steps = Vec::new();
+                    for tok in f[2].split(',') {
+                        if tok.is_empty() {
+                            continue;
+                        }
+                        let (name, o) = tok.split_at(tok.len() - 1);
+                        if name.is_empty() {
+                            return Err(GfaError::Empty {
+                                line_no,
+                                what: "step name",
+                            });
+                        }
+                        let rev = orient(o, line_no)?;
+                        let id = self.lookup(name, line_no)?;
+                        steps.push(Handle::new(id, rev));
+                    }
+                    if steps.is_empty() {
                         return Err(GfaError::Empty {
                             line_no,
-                            what: "step name",
+                            what: "path steps",
                         });
                     }
-                    let rev = orient(o, line_no)?;
-                    let id = lookup(&ids, name, line_no)?;
-                    steps.push(Handle::new(id, rev));
+                    self.builder.add_path(f[1], steps);
                 }
-                if steps.is_empty() {
-                    return Err(GfaError::Empty {
-                        line_no,
-                        what: "path steps",
-                    });
-                }
-                b.add_path(f[1], steps);
+                _ => unreachable!("only L/P lines are deferred"),
             }
-            _ => {}
         }
+        Ok(self.builder.build())
     }
-    Ok(b.build())
+}
+
+/// Parse GFA v1 from any buffered reader — the streaming ingestion
+/// entry point. Unlike `parse_gfa(&read_to_string(..))`, this never
+/// materializes the whole document: segment lines are consumed as they
+/// stream past and only link/path text is buffered until the segment
+/// table is complete.
+pub fn parse_gfa_reader<R: BufRead>(mut reader: R) -> Result<VariationGraph, GfaError> {
+    let mut p = StreamingParser::new();
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        line_no += 1;
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                return Err(GfaError::Io {
+                    line_no,
+                    message: e.to_string(),
+                })
+            }
+        }
+        // Match `str::lines` exactly (the old non-streaming parser):
+        // strip the `\n` terminator and a preceding `\r` if present.
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+        }
+        p.line(&line, line_no)?;
+    }
+    p.finish()
 }
 
 /// Serialize a variation graph as GFA v1. Segments without stored bases are
@@ -358,6 +432,46 @@ P\talt\t1+,3+\t*\n";
         assert_eq!(g.node_name(0), "chr1_node");
         let again = parse_gfa(&write_gfa(&g)).unwrap();
         assert_eq!(again.node_name(0), "chr1_node");
+    }
+
+    #[test]
+    fn streaming_reader_matches_the_string_parser() {
+        let g = parse_gfa(TOY).unwrap();
+        let via_reader = parse_gfa_reader(std::io::BufReader::new(TOY.as_bytes())).unwrap();
+        assert_eq!(via_reader.node_count(), g.node_count());
+        assert_eq!(via_reader.edge_count(), g.edge_count());
+        assert_eq!(via_reader.path_count(), g.path_count());
+        assert_eq!(write_gfa(&via_reader), write_gfa(&g));
+        // Errors carry the same line numbers through the streaming path.
+        let bad = "S\ta\tA\nL\ta\t+\tzzz\t+\t0M\n";
+        assert_eq!(
+            parse_gfa_reader(bad.as_bytes()).unwrap_err(),
+            parse_gfa(bad).unwrap_err()
+        );
+        // Missing trailing newline on the last record is fine.
+        let no_nl = "S\ta\tACGT\nP\tp\ta+\t*";
+        assert_eq!(parse_gfa_reader(no_nl.as_bytes()).unwrap().path_count(), 1);
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_io_errors() {
+        struct Flaky(usize);
+        impl std::io::Read for Flaky {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                self.0 -= 1;
+                let line = b"S\tx\tA\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+        let err = parse_gfa_reader(std::io::BufReader::new(Flaky(2))).unwrap_err();
+        match err {
+            GfaError::Io { message, .. } => assert!(message.contains("disk on fire")),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

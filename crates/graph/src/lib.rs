@@ -20,6 +20,11 @@
 //! * [`stats`] — graph property reports (the quantities of paper
 //!   Tables I and VI: #nucleotides, #nodes, #edges, #paths, degree,
 //!   density).
+//! * [`store`] — content-addressed storage of parsed graphs: the
+//!   128-bit [`ContentHash`] identity, a binary codec for the lean
+//!   structure, and the [`GraphStore`] LRU + disk tier that lets a
+//!   multi-gigabyte GFA be parsed exactly once no matter how many
+//!   layout requests reference it.
 
 pub mod gfa;
 pub mod layout2d;
@@ -27,10 +32,15 @@ pub mod lean;
 pub mod model;
 pub mod pathindex;
 pub mod stats;
+pub mod store;
 
-pub use gfa::{parse_gfa, write_gfa, GfaError};
+pub use gfa::{parse_gfa, parse_gfa_reader, write_gfa, GfaError};
 pub use layout2d::Layout2D;
 pub use lean::LeanGraph;
 pub use model::{fig1_graph, GraphBuilder, Handle, NodeId, Path, PathId, VariationGraph};
 pub use pathindex::PathIndex;
 pub use stats::{AggregateStats, GraphStats};
+pub use store::{
+    content_hash, content_hash_parts, evict_dir_to_cap, ContentHash, GraphMeta, GraphStore,
+    GraphStoreStats,
+};

@@ -1,0 +1,861 @@
+//! Content-addressed store of parsed [`LeanGraph`] artifacts.
+//!
+//! Pangenome references are multi-gigabyte GFA documents shared across
+//! many layout requests; re-shipping and re-parsing the text for every
+//! request wastes exactly the time the paper's fast layout kernel saves.
+//! This module makes parsed graphs **first-class artifacts**:
+//!
+//! * [`ContentHash`] — the workspace's 128-bit FNV-1a content hash. The
+//!   same hash addresses a graph here, keys the service's layout cache,
+//!   and names spill files on disk, so every tier agrees on identity.
+//! * [`lean_to_bytes`] / [`lean_from_bytes`] — a compact binary codec
+//!   for [`LeanGraph`] (the `.lean` spill format), so a parsed graph
+//!   can be reloaded without ever touching GFA text again.
+//! * [`GraphStore`] — an LRU of `Arc<LeanGraph>` keyed by content hash,
+//!   with an optional disk tier: evicted or restarted stores reload
+//!   spilled graphs instead of re-parsing.
+//! * [`evict_dir_to_cap`] — oldest-first size-capped eviction for spill
+//!   directories, shared by the graph tier and the layout-cache tier.
+//!
+//! Like the service's layout cache, the store is driven through
+//! lock-splitting primitives ([`GraphStore::lookup`],
+//! [`GraphStore::disk_path`], [`GraphStore::record_disk_hit`],
+//! [`GraphStore::insert`], …): a caller holding the store behind a
+//! mutex performs parsing and file I/O *outside* the lock and reports
+//! outcomes back. There is deliberately no all-in-one convenience path —
+//! one driving implementation (the service's) means one set of
+//! semantics to maintain.
+
+use crate::lean::LeanGraph;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128-bit content hash (two independent FNV-1a streams): the identity
+/// of a graph (hash of its GFA bytes) and the key space of every cache
+/// tier in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(u64, u64);
+
+impl ContentHash {
+    /// Stable 32-hex-digit rendering: the wire form of a graph id and
+    /// the stem of its spill file.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Parse the 32-hex-digit rendering back (e.g. from a URL).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let a = u64::from_str_radix(&s[..16], 16).ok()?;
+        let b = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Self(a, b))
+    }
+
+    /// The 16 little-endian bytes of the hash, for feeding into further
+    /// hashing (how the layout cache mixes a graph id into its key).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..].copy_from_slice(&self.1.to_le_bytes());
+        out
+    }
+}
+
+/// Content hash of one byte string.
+pub fn content_hash(bytes: &[u8]) -> ContentHash {
+    content_hash_parts(&[bytes])
+}
+
+/// Content hash of a sequence of parts. Each part is length-prefixed
+/// into the stream, so part lists whose concatenations coincide cannot
+/// collide (`["ab","c"]` ≠ `["a","bc"]`).
+pub fn content_hash_parts(parts: &[&[u8]]) -> ContentHash {
+    let mut a = FNV_OFFSET_A;
+    let mut b = FNV_OFFSET_B;
+    for part in parts {
+        let len = (part.len() as u64).to_le_bytes();
+        a = fnv1a(fnv1a(a, &len), part);
+        b = fnv1a(fnv1a(b, &len), part);
+    }
+    ContentHash(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// LeanGraph binary codec (`.lean` spill files)
+// ---------------------------------------------------------------------------
+
+const LEAN_MAGIC: &[u8; 8] = b"PGLEAN\x01\0";
+
+fn put_u32s(out: &mut Vec<u8>, vals: &[u32]) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serialize a [`LeanGraph`] to the `.lean` binary form (little-endian;
+/// magic, three u64 counts, then the six arrays in declaration order).
+pub fn lean_to_bytes(g: &LeanGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + g.footprint_bytes() as usize);
+    out.extend_from_slice(LEAN_MAGIC);
+    out.extend_from_slice(&(g.node_len.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.path_nuc_len.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.step_node.len() as u64).to_le_bytes());
+    put_u32s(&mut out, &g.node_len);
+    put_u32s(&mut out, &g.step_offset);
+    put_u32s(&mut out, &g.step_node);
+    out.extend(g.step_rev.iter().map(|&r| r as u8));
+    put_u64s(&mut out, &g.step_pos);
+    put_u64s(&mut out, &g.path_nuc_len);
+    out
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("lean codec: {msg}"),
+    )
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        if self.data.len() < n {
+            return Err(invalid("truncated"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> std::io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32s(&mut self, count: usize) -> std::io::Result<Vec<u32>> {
+        let b = self.take(
+            count
+                .checked_mul(4)
+                .ok_or_else(|| invalid("count overflow"))?,
+        )?;
+        Ok(b.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn u64s(&mut self, count: usize) -> std::io::Result<Vec<u64>> {
+        let b = self.take(
+            count
+                .checked_mul(8)
+                .ok_or_else(|| invalid("count overflow"))?,
+        )?;
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Decode a `.lean` buffer back into a [`LeanGraph`], validating the
+/// structural invariants the layout engines rely on (offset table shape
+/// and monotonicity, node-id bounds), so a corrupt spill file surfaces
+/// as an error instead of a panic deep inside a kernel.
+pub fn lean_from_bytes(data: &[u8]) -> std::io::Result<LeanGraph> {
+    let mut c = Cursor { data };
+    if c.take(8)? != LEAN_MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let nodes = c.u64()? as usize;
+    let paths = c.u64()? as usize;
+    let steps = c.u64()? as usize;
+    // Cheap plausibility bound before allocating anything: every count
+    // must fit in the remaining payload.
+    let need = nodes
+        .checked_mul(4)
+        .and_then(|n| n.checked_add(paths.checked_mul(12)?.checked_add(4)?))
+        .and_then(|n| n.checked_add(steps.checked_mul(13)?))
+        .ok_or_else(|| invalid("count overflow"))?;
+    if c.data.len() < need {
+        return Err(invalid("truncated"));
+    }
+    let node_len = c.u32s(nodes)?;
+    let step_offset = c.u32s(paths + 1)?;
+    let step_node = c.u32s(steps)?;
+    let step_rev: Vec<bool> = c.take(steps)?.iter().map(|&b| b != 0).collect();
+    let step_pos = c.u64s(steps)?;
+    let path_nuc_len = c.u64s(paths)?;
+    if step_offset.first() != Some(&0) || *step_offset.last().unwrap() as usize != steps {
+        return Err(invalid("offset table does not span the steps"));
+    }
+    if step_offset.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("offset table not monotone"));
+    }
+    if step_node.iter().any(|&n| n as usize >= nodes) {
+        return Err(invalid("step references node out of range"));
+    }
+    Ok(LeanGraph {
+        node_len,
+        step_offset,
+        step_node,
+        step_rev,
+        step_pos,
+        path_nuc_len,
+    })
+}
+
+/// Write `graph` to `path` atomically (unique temp file in the same
+/// directory, then rename), so concurrent readers of a shared spill
+/// directory never observe a torn `.lean` file.
+pub fn write_graph_spill(graph: &LeanGraph, path: &Path) -> bool {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name()) else {
+        return false;
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{seq}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let ok =
+        std::fs::write(&tmp, lean_to_bytes(graph)).is_ok() && std::fs::rename(&tmp, path).is_ok();
+    if !ok {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    ok
+}
+
+/// Load a `.lean` spill file.
+pub fn load_graph_spill(path: &Path) -> std::io::Result<LeanGraph> {
+    lean_from_bytes(&std::fs::read(path)?)
+}
+
+/// Oldest-first eviction of a spill directory down to `max_bytes`:
+/// regular `<stem>.<ext>` files are sized, sorted by modification time,
+/// and the oldest are removed until the directory fits. Hidden files
+/// (in-flight temp spills start with `.`) are never touched. Returns
+/// the number of files removed. A `max_bytes` of 0 disables the cap.
+pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> u64 {
+    if max_bytes == 0 {
+        return 0;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let p = e.path();
+            p.extension().is_some_and(|x| x == ext)
+                && !p
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+        })
+        .filter_map(|e| {
+            let meta = e.metadata().ok()?;
+            if !meta.is_file() {
+                return None;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, meta.len(), e.path()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+    if total <= max_bytes {
+        return 0;
+    }
+    files.sort_by_key(|(mtime, _, _)| *mtime);
+    let mut removed = 0u64;
+    for (_, len, path) in files {
+        if total <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore
+// ---------------------------------------------------------------------------
+
+/// Public description of one stored graph (`GET /graphs`).
+#[derive(Debug, Clone)]
+pub struct GraphMeta {
+    /// Content hash of the source GFA bytes: the graph's identity.
+    pub id: ContentHash,
+    /// Node count.
+    pub nodes: usize,
+    /// Path count.
+    pub paths: usize,
+    /// Total path steps.
+    pub steps: usize,
+    /// Lean-structure footprint in bytes.
+    pub bytes: u64,
+    /// Whether the parsed form is resident in memory right now (as
+    /// opposed to only reachable through the disk tier).
+    pub resident: bool,
+}
+
+impl GraphMeta {
+    fn of(id: ContentHash, g: &LeanGraph) -> Self {
+        Self {
+            id,
+            nodes: g.node_count(),
+            paths: g.path_count(),
+            steps: if g.step_offset.is_empty() {
+                0
+            } else {
+                g.total_steps()
+            },
+            bytes: g.footprint_bytes(),
+            resident: true,
+        }
+    }
+}
+
+/// Monotonic counters for store observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStoreStats {
+    /// Times a GFA document was actually parsed. The whole point of the
+    /// store: this stays at one per distinct graph no matter how many
+    /// layout requests reference it.
+    pub parses: u64,
+    /// Lookups answered from the memory tier.
+    pub hits: u64,
+    /// Memory misses answered by the disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Graphs inserted into the memory tier (including disk promotions).
+    pub insertions: u64,
+    /// Graphs evicted from the memory tier to respect the capacity.
+    pub evictions: u64,
+    /// Graphs explicitly deleted.
+    pub deletes: u64,
+    /// Graphs spilled to the disk tier.
+    pub disk_writes: u64,
+    /// Disk-tier read/write failures.
+    pub disk_errors: u64,
+    /// Spill files removed by the disk-tier byte cap.
+    pub disk_cap_evictions: u64,
+}
+
+struct Entry {
+    graph: Arc<LeanGraph>,
+    last_used: u64,
+}
+
+/// Content-addressed LRU of parsed graphs over an optional disk tier.
+///
+/// `capacity` bounds the memory tier in *entries* (0 ⇒ unbounded; a
+/// layout server's graphs are its working set, so unbounded is a
+/// legitimate choice for batch runs). With a disk tier, evicted graphs
+/// remain reachable as `.lean` spill files; without one, eviction is
+/// final and a later reference misses.
+pub struct GraphStore {
+    capacity: usize,
+    tick: u64,
+    resident: HashMap<ContentHash, Entry>,
+    /// Every graph this store knows about (resident or spilled), for
+    /// listing. Eviction keeps catalog entries only when the disk tier
+    /// can still produce the graph.
+    catalog: HashMap<ContentHash, GraphMeta>,
+    stats: GraphStoreStats,
+    disk: Option<PathBuf>,
+    max_disk_bytes: u64,
+}
+
+impl GraphStore {
+    /// A memory-only store holding up to `capacity` parsed graphs
+    /// (0 ⇒ unbounded).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            resident: HashMap::new(),
+            catalog: HashMap::new(),
+            stats: GraphStoreStats::default(),
+            disk: None,
+            max_disk_bytes: 0,
+        }
+    }
+
+    /// A store with a disk tier under `dir` (created if absent): every
+    /// insert is spilled as `<dir>/<hash-hex>.lean`, memory misses fall
+    /// back to the directory, and the directory is evicted oldest-first
+    /// to `max_disk_bytes` (0 ⇒ unbounded).
+    pub fn with_disk(capacity: usize, dir: &Path, max_disk_bytes: u64) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            disk: Some(dir.to_path_buf()),
+            max_disk_bytes,
+            ..Self::new(capacity)
+        })
+    }
+
+    /// Where `id`'s spill file lives, when a disk tier is configured.
+    /// Callers holding the store behind a mutex perform the file I/O
+    /// outside the lock and report back via [`GraphStore::record_disk_hit`]
+    /// / [`GraphStore::record_miss`] / [`GraphStore::record_spill`].
+    pub fn disk_path(&self, id: ContentHash) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|d| d.join(format!("{}.lean", id.hex())))
+    }
+
+    /// The disk tier directory and byte cap, when eviction applies —
+    /// for callers running [`evict_dir_to_cap`] outside the store lock.
+    pub fn disk_cap(&self) -> Option<(PathBuf, u64)> {
+        match (&self.disk, self.max_disk_bytes) {
+            (Some(dir), max) if max > 0 => Some((dir.clone(), max)),
+            _ => None,
+        }
+    }
+
+    /// Memory-tier lookup, refreshing recency and counting a hit. A
+    /// `None` counts nothing: the caller either probes the disk tier or
+    /// calls [`GraphStore::record_miss`].
+    pub fn lookup(&mut self, id: ContentHash) -> Option<Arc<LeanGraph>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.resident.get_mut(&id)?;
+        entry.last_used = tick;
+        self.stats.hits += 1;
+        Some(Arc::clone(&entry.graph))
+    }
+
+    /// A disk probe (performed by the caller) produced `graph`: count
+    /// the disk hit and promote it into the memory tier.
+    pub fn record_disk_hit(&mut self, id: ContentHash, graph: &Arc<LeanGraph>) {
+        self.stats.disk_hits += 1;
+        self.place(id, Arc::clone(graph));
+    }
+
+    /// Neither tier produced the graph.
+    pub fn record_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// A GFA document was actually parsed (the counter `POST /graphs`
+    /// exists to keep at one per graph).
+    pub fn record_parse(&mut self) {
+        self.stats.parses += 1;
+    }
+
+    /// A disk-tier read or write failed.
+    pub fn record_disk_error(&mut self) {
+        self.stats.disk_errors += 1;
+    }
+
+    /// The caller wrote a spill file (`ok` = write succeeded).
+    pub fn record_spill(&mut self, ok: bool) {
+        if ok {
+            self.stats.disk_writes += 1;
+        } else {
+            self.stats.disk_errors += 1;
+        }
+    }
+
+    /// The caller's [`evict_dir_to_cap`] pass removed `n` spill files.
+    pub fn record_cap_evictions(&mut self, n: u64) {
+        self.stats.disk_cap_evictions += n;
+    }
+
+    /// Insert a parsed graph into the memory tier (no disk I/O; see
+    /// [`GraphStore::disk_path`] for the spill side).
+    pub fn insert(&mut self, id: ContentHash, graph: Arc<LeanGraph>) {
+        self.place(id, graph);
+    }
+
+    /// Does the store know this graph (resident or catalogued)? Disk
+    /// spills from *previous* processes are not covered — probe
+    /// [`GraphStore::disk_path`] for those.
+    pub fn contains(&self, id: ContentHash) -> bool {
+        self.resident.contains_key(&id) || self.catalog.contains_key(&id)
+    }
+
+    /// Delete a graph from every tier. In-flight borrowers holding an
+    /// `Arc` keep their data; only the store forgets it. Returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, id: ContentHash) -> bool {
+        let had_mem = self.resident.remove(&id).is_some();
+        let had_meta = self.catalog.remove(&id).is_some();
+        let had_disk = self
+            .disk_path(id)
+            .map(|p| std::fs::remove_file(p).is_ok())
+            .unwrap_or(false);
+        let removed = had_mem || had_meta || had_disk;
+        if removed {
+            self.stats.deletes += 1;
+        }
+        removed
+    }
+
+    /// Metadata for one known graph.
+    pub fn meta(&self, id: ContentHash) -> Option<GraphMeta> {
+        let mut m = self.catalog.get(&id)?.clone();
+        m.resident = self.resident.contains_key(&id);
+        Some(m)
+    }
+
+    /// Every graph this store knows about, newest ids last by no
+    /// particular order (callers sort for display).
+    pub fn list(&self) -> Vec<GraphMeta> {
+        let mut out: Vec<GraphMeta> = self
+            .catalog
+            .values()
+            .map(|m| {
+                let mut m = m.clone();
+                m.resident = self.resident.contains_key(&m.id);
+                m
+            })
+            .collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Graphs resident in memory.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// `true` when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Resident lean-structure bytes.
+    pub fn bytes(&self) -> u64 {
+        self.resident
+            .values()
+            .map(|e| e.graph.footprint_bytes())
+            .sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> GraphStoreStats {
+        self.stats
+    }
+
+    fn place(&mut self, id: ContentHash, graph: Arc<LeanGraph>) {
+        self.tick += 1;
+        self.catalog.insert(id, GraphMeta::of(id, &graph));
+        self.resident.insert(
+            id,
+            Entry {
+                graph,
+                last_used: self.tick,
+            },
+        );
+        self.stats.insertions += 1;
+        while self.capacity > 0 && self.resident.len() > self.capacity {
+            let Some(oldest) = self
+                .resident
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            self.resident.remove(&oldest);
+            self.stats.evictions += 1;
+            // Without a disk copy the graph is gone for good: forget it.
+            let on_disk = self.disk_path(oldest).is_some_and(|p| p.exists());
+            if !on_disk {
+                self.catalog.remove(&oldest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_graph;
+    use crate::write_gfa;
+
+    const TOY: &str = "S\t1\tAA\nS\t2\tT\nS\t3\tGC\nL\t1\t+\t2\t+\t0M\nP\tp\t1+,2+,3+\t*\n";
+    const TOY2: &str = "S\ta\tACGT\nS\tb\tC\nL\ta\t+\tb\t+\t0M\nP\tq\ta+,b+\t*\n";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgl_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The canonical two-tier fetch a store driver implements with the
+    /// primitives (memory, then disk probe, reporting outcomes back).
+    fn fetch(s: &mut GraphStore, id: ContentHash) -> Option<Arc<LeanGraph>> {
+        if let Some(g) = s.lookup(id) {
+            return Some(g);
+        }
+        match s.disk_path(id).map(|p| load_graph_spill(&p)) {
+            Some(Ok(g)) => {
+                let g = Arc::new(g);
+                s.record_disk_hit(id, &g);
+                Some(g)
+            }
+            Some(Err(e)) if e.kind() != std::io::ErrorKind::NotFound => {
+                s.record_disk_error();
+                s.record_miss();
+                None
+            }
+            _ => {
+                s.record_miss();
+                None
+            }
+        }
+    }
+
+    /// The canonical intern flow: fetch, else parse once + spill + insert.
+    fn intern(s: &mut GraphStore, gfa: &str) -> (ContentHash, Arc<LeanGraph>) {
+        let id = content_hash(gfa.as_bytes());
+        if let Some(g) = fetch(s, id) {
+            return (id, g);
+        }
+        let g = Arc::new(LeanGraph::from_graph(&crate::parse_gfa(gfa).unwrap()));
+        s.record_parse();
+        if let Some(path) = s.disk_path(id) {
+            let ok = write_graph_spill(&g, &path);
+            s.record_spill(ok);
+            if let Some((dir, max)) = s.disk_cap() {
+                let n = evict_dir_to_cap(&dir, max, "lean");
+                s.record_cap_evictions(n);
+            }
+        }
+        s.insert(id, Arc::clone(&g));
+        (id, g)
+    }
+
+    #[test]
+    fn content_hashes_are_stable_and_distinct() {
+        let a = content_hash(b"hello");
+        assert_eq!(a, content_hash(b"hello"));
+        assert_ne!(a, content_hash(b"hellp"));
+        assert_ne!(
+            content_hash_parts(&[b"ab", b"c"]),
+            content_hash_parts(&[b"a", b"bc"]),
+            "length prefixing prevents concatenation collisions"
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let h = content_hash(b"x");
+        assert_eq!(h.hex().len(), 32);
+        assert_eq!(ContentHash::from_hex(&h.hex()), Some(h));
+        assert_eq!(ContentHash::from_hex("nope"), None);
+        assert_eq!(ContentHash::from_hex(&"f".repeat(31)), None);
+        assert_eq!(ContentHash::from_hex(&"g".repeat(32)), None);
+    }
+
+    #[test]
+    fn lean_codec_round_trips() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let bytes = lean_to_bytes(&lean);
+        let back = lean_from_bytes(&bytes).unwrap();
+        assert_eq!(back.node_len, lean.node_len);
+        assert_eq!(back.step_offset, lean.step_offset);
+        assert_eq!(back.step_node, lean.step_node);
+        assert_eq!(back.step_rev, lean.step_rev);
+        assert_eq!(back.step_pos, lean.step_pos);
+        assert_eq!(back.path_nuc_len, lean.path_nuc_len);
+    }
+
+    #[test]
+    fn lean_codec_rejects_corruption() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let bytes = lean_to_bytes(&lean);
+        assert!(lean_from_bytes(b"garbage").is_err(), "bad magic");
+        assert!(
+            lean_from_bytes(&bytes[..bytes.len() - 3]).is_err(),
+            "truncated"
+        );
+        let mut absurd = bytes.clone();
+        absurd[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(lean_from_bytes(&absurd).is_err(), "absurd node count");
+        // Flip a step_node entry out of range.
+        let mut oob = bytes.clone();
+        let nodes = lean.node_len.len();
+        let paths = lean.path_nuc_len.len();
+        let at = 32 + nodes * 4 + (paths + 1) * 4;
+        oob[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(lean_from_bytes(&oob).is_err(), "node id out of range");
+    }
+
+    #[test]
+    fn intern_parses_once_per_distinct_graph() {
+        let mut s = GraphStore::new(8);
+        let (id1, g1) = intern(&mut s, TOY);
+        let (id2, g2) = intern(&mut s, TOY);
+        assert_eq!(id1, id2);
+        assert!(Arc::ptr_eq(&g1, &g2), "same resident artifact");
+        let (id3, _) = intern(&mut s, TOY2);
+        assert_ne!(id1, id3);
+        let st = s.stats();
+        assert_eq!(st.parses, 2, "one parse per distinct graph");
+        assert_eq!(st.hits, 1);
+        assert_eq!(s.len(), 2);
+        assert!(s.bytes() > 0);
+    }
+
+    #[test]
+    fn contains_tracks_both_tiers() {
+        let dir = tmp_dir("contains");
+        let mut s = GraphStore::with_disk(1, &dir, 0).unwrap();
+        let (a, _) = intern(&mut s, TOY);
+        assert!(s.contains(a));
+        let (b, _) = intern(&mut s, TOY2); // evicts a from memory
+        assert!(s.contains(a), "catalogued via its disk spill");
+        assert!(s.contains(b));
+        assert!(s.remove(a));
+        assert!(!s.contains(a));
+        assert!(!s.contains(content_hash(b"never seen")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_without_disk_is_final() {
+        let mut s = GraphStore::new(1);
+        let (a, _) = intern(&mut s, TOY);
+        let (_b, _) = intern(&mut s, TOY2);
+        assert_eq!(s.stats().evictions, 1);
+        assert_eq!(s.len(), 1);
+        assert!(fetch(&mut s, a).is_none(), "evicted graph is gone");
+        assert_eq!(s.list().len(), 1, "catalog forgets unreachable graphs");
+    }
+
+    #[test]
+    fn disk_tier_reloads_evicted_and_restarted_graphs() {
+        let dir = tmp_dir("disk");
+        let a = {
+            let mut s = GraphStore::with_disk(1, &dir, 0).unwrap();
+            let (a, _) = intern(&mut s, TOY);
+            let _ = intern(&mut s, TOY2); // evicts a from memory
+            assert_eq!(s.stats().evictions, 1);
+            let g = fetch(&mut s, a).expect("reloaded from disk");
+            assert_eq!(g.node_count(), 3);
+            assert_eq!(s.stats().disk_hits, 1);
+            assert_eq!(s.stats().parses, 2, "reload is not a parse");
+            a
+        };
+        // A fresh store over the same directory still serves the graph.
+        let mut s2 = GraphStore::with_disk(4, &dir, 0).unwrap();
+        let (id, _) = intern(&mut s2, TOY);
+        assert_eq!(id, a);
+        assert_eq!(s2.stats().parses, 0, "restart reuses the spill");
+        assert_eq!(s2.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_every_tier_but_borrowers_keep_their_arc() {
+        let dir = tmp_dir("remove");
+        let mut s = GraphStore::with_disk(4, &dir, 0).unwrap();
+        let (id, g) = intern(&mut s, TOY);
+        let spill = s.disk_path(id).unwrap();
+        assert!(spill.exists());
+        assert!(s.remove(id));
+        assert!(!spill.exists());
+        assert!(fetch(&mut s, id).is_none());
+        assert!(s.meta(id).is_none());
+        assert!(!s.remove(id), "second delete is a no-op");
+        assert_eq!(g.node_count(), 3, "borrowed Arc still valid");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_reports_residency() {
+        let dir = tmp_dir("list");
+        let mut s = GraphStore::with_disk(1, &dir, 0).unwrap();
+        let (a, _) = intern(&mut s, TOY);
+        let (b, _) = intern(&mut s, TOY2);
+        let listed = s.list();
+        assert_eq!(listed.len(), 2);
+        let find = |id| listed.iter().find(|m| m.id == id).unwrap();
+        assert!(!find(a).resident, "evicted to disk");
+        assert!(find(b).resident);
+        assert_eq!(find(a).nodes, 3);
+        assert_eq!(find(b).steps, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_cap_evicts_oldest_first() {
+        let dir = tmp_dir("cap");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, name) in ["old.lean", "mid.lean", "new.lean"].iter().enumerate() {
+            std::fs::write(dir.join(name), vec![0u8; 100]).unwrap();
+            let t =
+                std::time::SystemTime::now() - std::time::Duration::from_secs(300 - i as u64 * 100);
+            std::fs::File::options()
+                .append(true)
+                .open(dir.join(name))
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        std::fs::write(dir.join("other.lay"), vec![0u8; 1000]).unwrap();
+        std::fs::write(dir.join(".tmp.lean"), vec![0u8; 1000]).unwrap();
+        assert_eq!(evict_dir_to_cap(&dir, 0, "lean"), 0, "0 disables the cap");
+        assert_eq!(evict_dir_to_cap(&dir, 250, "lean"), 1);
+        assert!(!dir.join("old.lean").exists(), "oldest went first");
+        assert!(dir.join("mid.lean").exists());
+        assert!(dir.join("new.lean").exists());
+        assert!(dir.join("other.lay").exists(), "other extensions untouched");
+        assert!(dir.join(".tmp.lean").exists(), "temp files untouched");
+        assert_eq!(evict_dir_to_cap(&dir, 100, "lean"), 1);
+        assert!(dir.join("new.lean").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_capacity_never_evicts() {
+        let mut s = GraphStore::new(0);
+        for i in 0..20 {
+            let gfa = format!("S\tn{i}\tACGT\nP\tp\tn{i}+\t*\n");
+            intern(&mut s, &gfa);
+        }
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.stats().evictions, 0);
+    }
+
+    #[test]
+    fn graphs_written_via_write_gfa_round_trip_through_the_store() {
+        let mut s = GraphStore::new(4);
+        let text = write_gfa(&fig1_graph());
+        let (_, g) = intern(&mut s, &text);
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        assert_eq!(g.node_len, lean.node_len);
+        assert_eq!(g.step_pos, lean.step_pos);
+    }
+}

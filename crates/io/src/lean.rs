@@ -1,0 +1,68 @@
+//! File-level I/O for the `.lean` parsed-graph spill format.
+//!
+//! The codec itself lives in `pangraph::store` (the graph store uses it
+//! directly for its disk tier); this module is the thin file-path
+//! counterpart of [`crate::lay`], so tools and tests can persist and
+//! reload parsed graphs with the same idioms they use for layouts.
+
+use pangraph::store::{lean_from_bytes, lean_to_bytes};
+use pangraph::LeanGraph;
+use std::path::Path;
+
+/// Serialize a lean graph to its `.lean` byte form.
+pub fn write_lean(graph: &LeanGraph) -> Vec<u8> {
+    lean_to_bytes(graph)
+}
+
+/// Deserialize a `.lean` buffer, validating structural invariants.
+pub fn read_lean(data: &[u8]) -> std::io::Result<LeanGraph> {
+    lean_from_bytes(data)
+}
+
+/// Write a lean graph to a file path.
+pub fn save_lean(graph: &LeanGraph, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, lean_to_bytes(graph))
+}
+
+/// Read a lean graph from a file path.
+pub fn load_lean(path: &Path) -> std::io::Result<LeanGraph> {
+    lean_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::fig1_graph;
+
+    #[test]
+    fn file_round_trip_is_exact() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let dir = std::env::temp_dir().join("pgio_lean_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.lean");
+        save_lean(&lean, &path).unwrap();
+        let back = load_lean(&path).unwrap();
+        assert_eq!(back.node_len, lean.node_len);
+        assert_eq!(back.step_offset, lean.step_offset);
+        assert_eq!(back.step_node, lean.step_node);
+        assert_eq!(back.step_rev, lean.step_rev);
+        assert_eq!(back.step_pos, lean.step_pos);
+        assert_eq!(back.path_nuc_len, lean.path_nuc_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_round_trip_and_corruption() {
+        let lean = LeanGraph::from_graph(&fig1_graph());
+        let bytes = write_lean(&lean);
+        assert_eq!(read_lean(&bytes).unwrap().node_len, lean.node_len);
+        assert!(read_lean(&bytes[..10]).is_err());
+        assert!(read_lean(b"XXXXXXXXrest").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = load_lean(Path::new("/nonexistent/g.lean")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

@@ -1,12 +1,15 @@
 //! Content-addressed layout cache: an in-memory LRU tier over an
 //! optional disk tier.
 //!
-//! A layout is fully determined by the GFA bytes, the engine, and the
+//! A layout is fully determined by the graph, the engine, and the
 //! layout configuration (all engines are seeded and deterministic for a
 //! fixed thread count — and even Hogwild races only perturb, not change,
-//! the keyed inputs). The cache therefore keys on a 128-bit FNV-1a hash
-//! of `(engine, batch size, canonical config, GFA text)` and serves
-//! repeated requests for the same graph without recomputation.
+//! the keyed inputs). The cache therefore keys on the workspace's
+//! 128-bit content hash ([`pangraph::store::ContentHash`]) of
+//! `(engine, batch size, canonical config, graph content hash)`. The
+//! graph is represented by **its hash, not its text**: a layout request
+//! that references an already-uploaded graph never rehashes gigabytes
+//! of GFA, and the layout tier and the graph store agree on identity.
 //!
 //! The **disk tier** ([`LayoutCache::with_disk`]) writes every inserted
 //! layout through to `<dir>/<key-hex>.lay` (the workspace's binary
@@ -15,9 +18,12 @@
 //! restarted server still hits on every layout it — or any sibling
 //! pointed at the same directory — ever computed. Eviction from the
 //! memory tier never deletes the disk copy; the entry just becomes a
-//! disk hit instead of a memory hit.
+//! disk hit instead of a memory hit. The directory itself is bounded by
+//! `max_disk_bytes` (see [`pangraph::store::evict_dir_to_cap`]): when a
+//! spill pushes it past the cap, the oldest `.lay` files are removed.
 
 use layout_core::LayoutConfig;
+use pangraph::store::{content_hash_parts, evict_dir_to_cap, ContentHash};
 use pangraph::Layout2D;
 use pgio::{load_lay, save_lay};
 use std::collections::HashMap;
@@ -51,29 +57,8 @@ pub fn write_spill(layout: &Layout2D, path: &Path) -> bool {
     ok
 }
 
-/// 128-bit content hash (two independent FNV-1a streams).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey(u64, u64);
-
-impl CacheKey {
-    /// Stable 32-hex-digit rendering, used as the disk-tier file stem.
-    pub fn hex(&self) -> String {
-        format!("{:016x}{:016x}", self.0, self.1)
-    }
-}
-
-const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = seed;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// Cache keys are the workspace-wide 128-bit content hash.
+pub type CacheKey = ContentHash;
 
 /// Canonical, order-stable fingerprint of every field that affects the
 /// resulting layout. New `LayoutConfig` fields must be added here — the
@@ -102,21 +87,17 @@ fn config_fingerprint(cfg: &LayoutConfig) -> String {
     )
 }
 
-/// Compute the content-addressed key for one layout request.
-pub fn cache_key(engine: &str, cfg: &LayoutConfig, batch_size: usize, gfa: &str) -> CacheKey {
+/// Compute the content-addressed key for one layout request. The graph
+/// enters as its content hash, so keying a by-reference request costs
+/// O(config), not O(graph bytes).
+pub fn cache_key(
+    engine: &str,
+    cfg: &LayoutConfig,
+    batch_size: usize,
+    graph: ContentHash,
+) -> CacheKey {
     let meta = format!("{engine};batch={batch_size};{}", config_fingerprint(cfg));
-    // Length-prefix the meta stream so (meta, gfa) pairs whose
-    // concatenations coincide cannot collide.
-    let len = (meta.len() as u64).to_le_bytes();
-    let a = fnv1a(
-        fnv1a(fnv1a(FNV_OFFSET_A, &len), meta.as_bytes()),
-        gfa.as_bytes(),
-    );
-    let b = fnv1a(
-        fnv1a(fnv1a(FNV_OFFSET_B, &len), meta.as_bytes()),
-        gfa.as_bytes(),
-    );
-    CacheKey(a, b)
+    content_hash_parts(&[meta.as_bytes(), &graph.to_bytes()])
 }
 
 /// Cache observability counters (monotonic).
@@ -137,6 +118,8 @@ pub struct CacheStats {
     pub disk_writes: u64,
     /// Disk-tier I/O or decode failures (treated as misses).
     pub disk_errors: u64,
+    /// Spill files removed by the disk-tier byte cap.
+    pub disk_cap_evictions: u64,
 }
 
 struct Entry {
@@ -157,6 +140,7 @@ pub struct LayoutCache {
     map: HashMap<CacheKey, Entry>,
     stats: CacheStats,
     disk: Option<PathBuf>,
+    max_disk_bytes: u64,
 }
 
 impl LayoutCache {
@@ -169,16 +153,20 @@ impl LayoutCache {
             map: HashMap::new(),
             stats: CacheStats::default(),
             disk: None,
+            max_disk_bytes: 0,
         }
     }
 
     /// A cache with a disk tier under `dir` (created if absent): every
     /// insert is written through as `<dir>/<key-hex>.lay`, and memory
     /// misses fall back to the directory before counting as misses.
-    pub fn with_disk(capacity: usize, dir: &Path) -> std::io::Result<Self> {
+    /// `max_disk_bytes` bounds the directory (0 ⇒ unbounded): when a
+    /// spill pushes it past the cap, the oldest `.lay` files go first.
+    pub fn with_disk(capacity: usize, dir: &Path, max_disk_bytes: u64) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         Ok(Self {
             disk: Some(dir.to_path_buf()),
+            max_disk_bytes,
             ..Self::new(capacity)
         })
     }
@@ -186,6 +174,15 @@ impl LayoutCache {
     /// The disk-tier directory, when one is configured.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk.as_deref()
+    }
+
+    /// The disk tier directory and byte cap, when a cap applies — for
+    /// callers running the eviction scan outside the cache lock.
+    pub fn disk_cap(&self) -> Option<(PathBuf, u64)> {
+        match (&self.disk, self.max_disk_bytes) {
+            (Some(dir), max) if max > 0 => Some((dir.clone(), max)),
+            _ => None,
+        }
     }
 
     /// Where `key`'s spill file lives, when a disk tier is configured.
@@ -242,6 +239,11 @@ impl LayoutCache {
         }
     }
 
+    /// The caller's cap-eviction pass removed `n` spill files.
+    pub fn record_cap_evictions(&mut self, n: u64) {
+        self.stats.disk_cap_evictions += n;
+    }
+
     /// Insert into the memory tier only (no disk write-through) —
     /// the counterpart of [`LayoutCache::disk_path`] for callers doing
     /// their own spill I/O.
@@ -284,12 +286,16 @@ impl LayoutCache {
     }
 
     /// Insert a layout: write it through to the disk tier (even when the
-    /// memory tier is disabled) and place it in memory, evicting
-    /// least-recently-used entries as needed.
+    /// memory tier is disabled), enforce the disk byte cap, and place it
+    /// in memory, evicting least-recently-used entries as needed.
     pub fn insert(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
         if let Some(path) = self.disk_path(key) {
             let ok = write_spill(&layout, &path);
             self.record_spill(ok);
+            if let Some((dir, max)) = self.disk_cap() {
+                let n = evict_dir_to_cap(&dir, max, "lay");
+                self.record_cap_evictions(n);
+            }
         }
         self.insert_memory(key, layout);
     }
@@ -343,42 +349,38 @@ impl LayoutCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pangraph::store::content_hash;
 
     fn layout(n: usize) -> Arc<Layout2D> {
         Arc::new(Layout2D::zeros(n))
     }
 
     fn key(tag: &str) -> CacheKey {
-        cache_key("cpu", &LayoutConfig::default(), 0, tag)
+        cache_key(
+            "cpu",
+            &LayoutConfig::default(),
+            0,
+            content_hash(tag.as_bytes()),
+        )
     }
 
     #[test]
     fn distinct_inputs_get_distinct_keys() {
         let cfg = LayoutConfig::default();
-        let base = cache_key("cpu", &cfg, 0, "S\t1\t*\n");
-        assert_ne!(
-            base,
-            cache_key("gpu", &cfg, 0, "S\t1\t*\n"),
-            "engine must key"
-        );
-        assert_ne!(base, cache_key("cpu", &cfg, 0, "S\t2\t*\n"), "gfa must key");
+        let g1 = content_hash(b"S\t1\t*\n");
+        let g2 = content_hash(b"S\t2\t*\n");
+        let base = cache_key("cpu", &cfg, 0, g1);
+        assert_ne!(base, cache_key("gpu", &cfg, 0, g1), "engine must key");
+        assert_ne!(base, cache_key("cpu", &cfg, 0, g2), "graph must key");
         let mut cfg2 = cfg.clone();
         cfg2.iter_max += 1;
+        assert_ne!(base, cache_key("cpu", &cfg2, 0, g1), "config must key");
         assert_ne!(
-            base,
-            cache_key("cpu", &cfg2, 0, "S\t1\t*\n"),
-            "config must key"
-        );
-        assert_ne!(
-            cache_key("batch", &cfg, 512, "x"),
-            cache_key("batch", &cfg, 1024, "x"),
+            cache_key("batch", &cfg, 512, g1),
+            cache_key("batch", &cfg, 1024, g1),
             "batch size must key"
         );
-        assert_eq!(
-            base,
-            cache_key("cpu", &cfg.clone(), 0, "S\t1\t*\n"),
-            "stable"
-        );
+        assert_eq!(base, cache_key("cpu", &cfg.clone(), 0, g1), "stable");
     }
 
     #[test]
@@ -424,13 +426,13 @@ mod tests {
     fn disk_tier_survives_a_new_cache_instance() {
         let dir = tmp_dir("restart");
         {
-            let mut c = LayoutCache::with_disk(4, &dir).unwrap();
+            let mut c = LayoutCache::with_disk(4, &dir, 0).unwrap();
             c.insert(key("a"), layout(3));
             assert_eq!(c.stats().disk_writes, 1);
             assert!(dir.join(format!("{}.lay", key("a").hex())).exists());
         }
         // A fresh instance (empty memory tier) still hits via disk.
-        let mut c2 = LayoutCache::with_disk(4, &dir).unwrap();
+        let mut c2 = LayoutCache::with_disk(4, &dir, 0).unwrap();
         let hit = c2.get(key("a")).expect("disk tier answers");
         assert_eq!(hit.node_count(), 3);
         let s = c2.stats();
@@ -444,7 +446,7 @@ mod tests {
     #[test]
     fn evicted_entries_remain_reachable_through_disk() {
         let dir = tmp_dir("evict");
-        let mut c = LayoutCache::with_disk(1, &dir).unwrap();
+        let mut c = LayoutCache::with_disk(1, &dir, 0).unwrap();
         c.insert(key("a"), layout(2));
         c.insert(key("b"), layout(2)); // evicts a from memory
         assert_eq!(c.stats().evictions, 1);
@@ -456,7 +458,7 @@ mod tests {
     #[test]
     fn zero_capacity_with_disk_tier_is_a_disk_only_cache() {
         let dir = tmp_dir("diskonly");
-        let mut c = LayoutCache::with_disk(0, &dir).unwrap();
+        let mut c = LayoutCache::with_disk(0, &dir, 0).unwrap();
         c.insert(key("a"), layout(2));
         assert!(c.is_empty(), "memory tier stays disabled");
         assert_eq!(c.stats().disk_writes, 1, "spill still written");
@@ -472,11 +474,34 @@ mod tests {
     #[test]
     fn corrupt_disk_entry_is_a_counted_miss() {
         let dir = tmp_dir("corrupt");
-        let mut c = LayoutCache::with_disk(4, &dir).unwrap();
+        let mut c = LayoutCache::with_disk(4, &dir, 0).unwrap();
         std::fs::write(dir.join(format!("{}.lay", key("a").hex())), b"garbage").unwrap();
         assert!(c.get(key("a")).is_none());
         let s = c.stats();
         assert_eq!((s.disk_errors, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_byte_cap_evicts_oldest_spills() {
+        let dir = tmp_dir("cap");
+        // Each 3-node spill is 16 + 32·3 = 112 bytes; cap at ~2 files.
+        let mut c = LayoutCache::with_disk(8, &dir, 240).unwrap();
+        c.insert(key("a"), layout(3));
+        // Backdate a's spill so the eviction order is unambiguous.
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(600);
+        std::fs::File::options()
+            .append(true)
+            .open(c.disk_path(key("a")).unwrap())
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        c.insert(key("b"), layout(3));
+        assert_eq!(c.stats().disk_cap_evictions, 0, "under the cap");
+        c.insert(key("c"), layout(3)); // 3 × 112 > 240 → oldest evicted
+        assert!(c.stats().disk_cap_evictions >= 1, "{:?}", c.stats());
+        assert!(!c.disk_path(key("a")).unwrap().exists(), "oldest went");
+        assert!(c.disk_path(key("c")).unwrap().exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,18 +5,26 @@
 //!
 //! | Method & path            | Meaning                                          |
 //! |--------------------------|--------------------------------------------------|
-//! | `POST /layout`           | body = GFA; query = engine/config → job ticket   |
+//! | `POST /graphs`           | body = GFA; parse once → `{graph_id, nodes, …}`  |
+//! | `GET /graphs`            | list stored graphs                               |
+//! | `DELETE /graphs/<id>`    | delete a stored graph                            |
+//! | `POST /layout`           | body = GFA (or `?graph=<id>`, empty body);       |
+//! |                          | query = engine/config → job ticket               |
 //! | `GET /jobs/<id>`         | job status JSON (state, progress, engine, …)     |
 //! | `POST /jobs/<id>/cancel` | request cancellation (also `DELETE /jobs/<id>`)  |
 //! | `GET /result/<id>`       | finished layout as TSV (`?format=lay` = binary)  |
-//! | `GET /stats`             | service + cache + HTTP counters                  |
+//! | `GET /stats`             | service + cache + graph-store + HTTP counters    |
 //! | `GET /metrics`           | Prometheus-style text exposition                 |
 //! | `GET /engines`           | registered engine names                          |
 //! | `GET /healthz`           | liveness probe                                   |
 //!
 //! `POST /layout` query parameters: `engine` (default `cpu`), `iters`,
 //! `threads`, `seed`, `batch`, `soa` (any value ⇒ original
-//! struct-of-arrays coordinate layout).
+//! struct-of-arrays coordinate layout), and `graph=<id>` to lay out a
+//! previously uploaded graph by reference — the **upload-once** flow:
+//! `POST /graphs` ships the (possibly multi-gigabyte) GFA one time;
+//! every subsequent layout request is a sub-kilobyte reference, served
+//! from the server-side parsed artifact without re-upload or re-parse.
 //!
 //! ## Traffic model
 //!
@@ -35,16 +43,25 @@
 //! Every answered request lands in [`HttpMetrics`]: per-route counters
 //! plus log2-bucketed latency histograms, surfaced through both
 //! `GET /stats` (JSON) and `GET /metrics` (Prometheus text).
+//!
+//! With [`HttpConfig::rate_limit`] set, a per-client-IP token bucket
+//! ([`crate::ratelimit::RateLimiter`]) throttles request processing:
+//! clients over their budget get `429 Too Many Requests` +
+//! `Retry-After`, counted in `/metrics` as
+//! `pgl_http_rate_limited_total`.
 
 use crate::httpmetrics::{route_index, HttpMetrics, OTHER_ROUTE};
+use crate::job::GraphSpec;
 use crate::job::JobId;
-use crate::service::LayoutService;
+use crate::ratelimit::RateLimiter;
+use crate::service::{LayoutService, SubmitError};
 use crate::JobRequest;
 use layout_core::{DataLayout, LayoutConfig};
+use pangraph::store::ContentHash;
 use pgio::{layout_to_tsv, write_lay};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -78,6 +95,9 @@ pub struct HttpConfig {
     pub keep_alive: Duration,
     /// Seconds advertised in the `Retry-After` header of overload 503s.
     pub retry_after_secs: u32,
+    /// Sustained requests per second allowed per client IP (burst of
+    /// about one second's worth). `0.0` disables rate limiting.
+    pub rate_limit: f64,
 }
 
 impl Default for HttpConfig {
@@ -86,6 +106,7 @@ impl Default for HttpConfig {
             max_conns: 64,
             keep_alive: Duration::from_secs(5),
             retry_after_secs: 1,
+            rate_limit: 0.0,
         }
     }
 }
@@ -143,6 +164,7 @@ impl HttpServer {
             cfg,
             metrics,
         } = self;
+        let limiter = RateLimiter::maybe(cfg.rate_limit).map(Arc::new);
         let queue = Arc::new(ConnQueue::new(cfg.max_conns));
         // One slot per handler holding a clone of the connection it is
         // serving, so shutdown can sever blocked reads instead of
@@ -157,6 +179,7 @@ impl HttpServer {
                 let metrics = Arc::clone(&metrics);
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
+                let limiter = limiter.clone();
                 std::thread::Builder::new()
                     .name(format!("pgl-http-{i}"))
                     .spawn(move || {
@@ -169,7 +192,14 @@ impl HttpServer {
                                 *active[i].lock().unwrap() = None;
                                 break;
                             }
-                            handle_connection(stream, &service, &metrics, &cfg, &stop);
+                            handle_connection(
+                                stream,
+                                &service,
+                                &metrics,
+                                &cfg,
+                                limiter.as_deref(),
+                                &stop,
+                            );
                             *active[i].lock().unwrap() = None;
                         }
                     })
@@ -333,6 +363,8 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: Vec<u8>,
+    /// Seconds for a `Retry-After` header (rate-limit 429s).
+    retry_after: Option<u32>,
 }
 
 impl Response {
@@ -341,6 +373,16 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type,
+            body,
+            retry_after: None,
         }
     }
 
@@ -406,19 +448,9 @@ fn write_503(mut stream: TcpStream, retry_after_secs: u32) {
     let _ = stream.write_all(body);
     let _ = stream.flush();
     // FIN our side, then briefly drain whatever request the client
-    // already sent: closing a socket with unread bytes in the receive
-    // buffer makes the kernel send RST, which can destroy the 503
-    // before the client reads it.
+    // already sent, so the kernel cannot RST the 503 away.
     let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut sink = [0u8; 8192];
-    let mut drained = 0usize;
-    while drained < 1 << 20 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
-    }
+    drain_briefly(&mut stream);
 }
 
 /// Serve sequential requests on one connection until the client closes,
@@ -429,9 +461,17 @@ fn handle_connection(
     service: &LayoutService,
     metrics: &HttpMetrics,
     cfg: &HttpConfig,
+    limiter: Option<&RateLimiter>,
     stop: &AtomicBool,
 ) {
     let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
+    // Rate limiting keys on the peer IP; an unreadable peer address
+    // (vanishingly rare) shares one fallback bucket rather than
+    // bypassing the limiter.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED));
     let mut reader = BufReader::new(stream);
     let mut served = 0u64;
     loop {
@@ -443,21 +483,68 @@ fn handle_connection(
         if reader.get_ref().set_read_timeout(Some(idle)).is_err() {
             return;
         }
-        let (response, keep) = match read_request(&mut reader) {
+        let (response, keep) = match read_request_head(&mut reader) {
             Ok(None) => return, // clean close or idle timeout
-            Ok(Some(mut req)) => {
+            Ok(Some(head)) => {
                 if served > 0 {
                     metrics.record_keepalive_reuse();
                 }
                 let started = Instant::now();
-                let route_idx = route_index(&req.path);
-                let response = route(&mut req, service, metrics);
-                metrics.observe_idx(route_idx, response.status, started.elapsed());
-                let keep = req.keep_alive
-                    && !cfg.keep_alive.is_zero()
-                    && served + 1 < MAX_REQUESTS_PER_CONN
-                    && !stop.load(Ordering::Relaxed);
-                (response, keep)
+                let route_idx = route_index(&head.path);
+                // The rate limiter is consulted *before* the body is
+                // read, so a throttled client cannot make the server
+                // receive (and buffer) a multi-gigabyte upload just to
+                // be told 429.
+                if limiter.is_some_and(|l| !l.allow(peer)) {
+                    metrics.record_rate_limited();
+                    metrics.observe_idx(route_idx, 429, started.elapsed());
+                    let mut response = Response::error(429, "rate limit exceeded; retry later");
+                    response.retry_after = Some(cfg.retry_after_secs.max(1));
+                    if head.content_length <= RATE_LIMIT_DRAIN_MAX
+                        && read_request_body(&mut reader, head.content_length).is_ok()
+                    {
+                        // Small body consumed: the connection stays
+                        // usable for the client's retry.
+                        let keep = head.keep_alive
+                            && !cfg.keep_alive.is_zero()
+                            && served + 1 < MAX_REQUESTS_PER_CONN
+                            && !stop.load(Ordering::Relaxed);
+                        (response, keep)
+                    } else {
+                        // A payload not worth receiving just to refuse:
+                        // answer, FIN our side, drain a bounded amount so
+                        // the kernel does not RST the 429 away, and close.
+                        let _ = write_response(reader.get_mut(), &response, false, cfg);
+                        let stream = reader.get_mut();
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        drain_briefly(stream);
+                        return;
+                    }
+                } else {
+                    match read_request_body(&mut reader, head.content_length) {
+                        Ok(body) => {
+                            let mut req = Request {
+                                method: head.method,
+                                path: head.path,
+                                query: head.query,
+                                body,
+                                keep_alive: head.keep_alive,
+                            };
+                            let response = route(&mut req, service, metrics);
+                            metrics.observe_idx(route_idx, response.status, started.elapsed());
+                            let keep = req.keep_alive
+                                && !cfg.keep_alive.is_zero()
+                                && served + 1 < MAX_REQUESTS_PER_CONN
+                                && !stop.load(Ordering::Relaxed);
+                            (response, keep)
+                        }
+                        Err(msg) => {
+                            metrics.record_bad_request();
+                            metrics.observe_idx(OTHER_ROUTE, 400, Duration::ZERO);
+                            (Response::error(400, &msg), false)
+                        }
+                    }
+                }
             }
             Err(msg) => {
                 metrics.record_bad_request();
@@ -475,6 +562,21 @@ fn handle_connection(
     }
 }
 
+/// Briefly drain whatever the client already sent (bounded in bytes and
+/// time): closing a socket with unread bytes in the receive buffer makes
+/// the kernel send RST, which can destroy the response in flight.
+fn drain_briefly(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8192];
+    let mut drained = 0usize;
+    while drained < 1 << 20 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
 fn write_response(
     stream: &mut TcpStream,
     response: &Response,
@@ -488,6 +590,9 @@ fn write_response(
         response.content_type,
         response.body.len()
     );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
     if keep {
         head.push_str(&format!(
             "Connection: keep-alive\r\nKeep-Alive: timeout={}\r\n",
@@ -527,9 +632,23 @@ fn read_capped_line(
     }
 }
 
-/// Read one request. `Ok(None)` = connection closed / idle timeout
-/// before a request arrived; `Err` = malformed (answer 400).
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
+/// Request line + headers, parsed before any body byte is read — the
+/// point where rate limiting can refuse cheaply.
+struct RequestHead {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Largest body still drained (rather than the connection closed) when
+/// its request is refused by the rate limiter.
+const RATE_LIMIT_DRAIN_MAX: usize = 64 * 1024;
+
+/// Read one request's line and headers. `Ok(None)` = connection closed /
+/// idle timeout before a request arrived; `Err` = malformed (answer 400).
+fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<RequestHead>, String> {
     let Some(line) = read_capped_line(reader, "request line")? else {
         return Ok(None);
     };
@@ -598,8 +717,30 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, St
     if content_length > MAX_BODY {
         return Err(format!("body of {content_length} bytes exceeds limit"));
     }
-    // Read via `take` so memory grows with bytes actually received, not
-    // with whatever Content-Length a client merely claims.
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Ok(Some(RequestHead {
+        method,
+        path,
+        query,
+        keep_alive,
+        content_length,
+    }))
+}
+
+/// Read the announced body. Read via `take` so memory grows with bytes
+/// actually received, not with whatever Content-Length a client merely
+/// claims.
+fn read_request_body(
+    reader: &mut BufReader<TcpStream>,
+    content_length: usize,
+) -> Result<Vec<u8>, String> {
     let mut body = Vec::new();
     reader
         .take(content_length as u64)
@@ -611,21 +752,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, St
             body.len()
         ));
     }
-    let query = query_str
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(kv), String::new()),
-        })
-        .collect();
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        body,
-        keep_alive,
-    }))
+    Ok(body)
 }
 
 fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> Response {
@@ -633,6 +760,12 @@ fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> R
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.clone().as_str(), segments.as_slice()) {
         ("POST", ["layout"]) => post_layout(req, service),
+        ("POST", ["graphs"]) => post_graph(req, service),
+        ("GET", ["graphs"]) => list_graphs(service),
+        ("DELETE", ["graphs", id]) => match ContentHash::from_hex(id) {
+            Some(id) => delete_graph(id, service),
+            None => Response::error(400, "graph id must be 32 hex digits"),
+        },
         ("GET", ["jobs", id]) => match parse_id(id) {
             Some(id) => job_status(id, service),
             None => Response::error(400, "job id must be a number"),
@@ -646,11 +779,11 @@ fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> R
             None => Response::error(400, "job id must be a number"),
         },
         ("GET", ["stats"]) => stats(service, metrics),
-        ("GET", ["metrics"]) => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: metrics.render_prometheus().into_bytes(),
-        },
+        ("GET", ["metrics"]) => Response::bytes(
+            200,
+            "text/plain; version=0.0.4",
+            metrics.render_prometheus().into_bytes(),
+        ),
         ("GET", ["engines"]) => {
             let names: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
             Response::json(200, format!("{{\"engines\":[{}]}}", names.join(",")))
@@ -661,12 +794,91 @@ fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> R
     }
 }
 
-fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
+/// `POST /graphs` — intern one GFA document as a server-side artifact.
+fn post_graph(req: &mut Request, service: &LayoutService) -> Response {
     // Consume the body in place: cloning would double peak memory for
     // large GFA uploads.
     let gfa = match String::from_utf8(std::mem::take(&mut req.body)) {
         Ok(s) => s,
         Err(_) => return Response::error(400, "GFA body must be UTF-8"),
+    };
+    match service.upload_graph(&gfa) {
+        Ok(up) => Response::json(
+            if up.dedup { 200 } else { 201 },
+            format!(
+                "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"dedup\":{}}}",
+                json_str(&up.id.hex()),
+                up.nodes,
+                up.paths,
+                up.steps,
+                up.dedup
+            ),
+        ),
+        Err(SubmitError::Rejected(msg)) | Err(SubmitError::NoSuchGraph(msg)) => {
+            Response::error(400, &msg)
+        }
+        Err(SubmitError::ShuttingDown) => Response::error(503, "service is shutting down"),
+    }
+}
+
+/// `GET /graphs` — list stored graphs.
+fn list_graphs(service: &LayoutService) -> Response {
+    let graphs: Vec<String> = service
+        .graphs()
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"bytes\":{},\
+                 \"resident\":{}}}",
+                json_str(&m.id.hex()),
+                m.nodes,
+                m.paths,
+                m.steps,
+                m.bytes,
+                m.resident
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"count\":{},\"graphs\":[{}]}}",
+            graphs.len(),
+            graphs.join(",")
+        ),
+    )
+}
+
+/// `DELETE /graphs/<id>` — drop a stored graph from every tier.
+fn delete_graph(id: ContentHash, service: &LayoutService) -> Response {
+    if service.delete_graph(id) {
+        Response::json(200, format!("{{\"deleted\":{}}}", json_str(&id.hex())))
+    } else {
+        Response::error(404, &format!("no such graph {}", id.hex()))
+    }
+}
+
+fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
+    // Consume the body in place: cloning would double peak memory for
+    // large GFA uploads.
+    let body = std::mem::take(&mut req.body);
+    let graph = match req.param("graph") {
+        Some(hex) => {
+            if !body.is_empty() {
+                return Response::error(
+                    400,
+                    "send either an inline GFA body or ?graph=<id>, not both",
+                );
+            }
+            match ContentHash::from_hex(hex) {
+                Some(id) => GraphSpec::Stored(id),
+                None => return Response::error(400, "graph id must be 32 hex digits"),
+            }
+        }
+        None => match String::from_utf8(body) {
+            Ok(s) => GraphSpec::Gfa(Arc::new(s)),
+            Err(_) => return Response::error(400, "GFA body must be UTF-8"),
+        },
     };
     let mut config = LayoutConfig::default();
     macro_rules! parse_param {
@@ -691,7 +903,7 @@ fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
         engine: req.param("engine").unwrap_or("cpu").to_string(),
         config,
         batch_size,
-        gfa: Arc::new(gfa),
+        graph,
     };
     match service.submit(request) {
         Ok(ticket) => {
@@ -699,12 +911,17 @@ fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
             Response::json(
                 202,
                 format!(
-                    "{{\"job\":{},\"cached\":{},\"state\":\"{}\"}}",
-                    ticket.id, ticket.cached, state
+                    "{{\"job\":{},\"cached\":{},\"state\":\"{}\",\"graph\":{}}}",
+                    ticket.id,
+                    ticket.cached,
+                    state,
+                    json_str(&ticket.graph.hex())
                 ),
             )
         }
-        Err(msg) => Response::error(400, &msg),
+        Err(SubmitError::Rejected(msg)) => Response::error(400, &msg),
+        Err(SubmitError::NoSuchGraph(msg)) => Response::error(404, &msg),
+        Err(SubmitError::ShuttingDown) => Response::error(503, "service is shutting down"),
     }
 }
 
@@ -733,16 +950,12 @@ fn job_result(id: JobId, format: &str, service: &LayoutService) -> Response {
         );
     };
     match format {
-        "tsv" => Response {
-            status: 200,
-            content_type: "text/tab-separated-values",
-            body: layout_to_tsv(&layout).into_bytes(),
-        },
-        "lay" => Response {
-            status: 200,
-            content_type: "application/octet-stream",
-            body: write_lay(&layout).to_vec(),
-        },
+        "tsv" => Response::bytes(
+            200,
+            "text/tab-separated-values",
+            layout_to_tsv(&layout).into_bytes(),
+        ),
+        "lay" => Response::bytes(200, "application/octet-stream", write_lay(&layout).to_vec()),
         other => Response::error(400, &format!("unknown format {other:?} (tsv, lay)")),
     }
 }
@@ -757,9 +970,12 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
              \"failed\":{},\"cancelled\":{}}},\
              \"cache\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"insertions\":{},\"disk_hits\":{},\"disk_writes\":{},\
-             \"disk_errors\":{}}},\
+             \"disk_errors\":{},\"disk_cap_evictions\":{}}},\
+             \"graphs\":{{\"resident\":{},\"bytes\":{},\"parses\":{},\"hits\":{},\
+             \"disk_hits\":{},\"misses\":{},\"evictions\":{},\"deletes\":{},\
+             \"disk_writes\":{},\"disk_errors\":{},\"disk_cap_evictions\":{}}},\
              \"http\":{{\"accepted\":{},\"rejected_503\":{},\"keepalive_reuses\":{},\
-             \"bad_requests\":{},\"requests\":{}}},\
+             \"bad_requests\":{},\"rate_limited_429\":{},\"requests\":{}}},\
              \"workers\":{},\"uptime_ms\":{}}}",
             s.submitted,
             s.queued,
@@ -776,10 +992,23 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             s.cache.disk_hits,
             s.cache.disk_writes,
             s.cache.disk_errors,
+            s.cache.disk_cap_evictions,
+            s.graph_entries,
+            s.graph_bytes,
+            s.graphs.parses,
+            s.graphs.hits,
+            s.graphs.disk_hits,
+            s.graphs.misses,
+            s.graphs.evictions,
+            s.graphs.deletes,
+            s.graphs.disk_writes,
+            s.graphs.disk_errors,
+            s.graphs.disk_cap_evictions,
             h.accepted,
             h.rejected_503,
             h.keepalive_reuses,
             h.bad_requests,
+            h.rate_limited_429,
             h.requests,
             s.workers,
             s.uptime_ms
@@ -790,13 +1019,14 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
 fn status_json(s: &crate::job::JobStatus) -> String {
     format!(
         "{{\"job\":{},\"state\":\"{}\",\"progress\":{:.3},\"engine\":{},\"cached\":{},\
-         \"nodes\":{},\"wall_ms\":{}{}}}",
+         \"nodes\":{},\"graph\":{},\"wall_ms\":{}{}}}",
         s.id,
         s.state.as_str(),
         s.progress,
         json_str(&s.engine),
         s.cached,
         s.nodes,
+        json_str(&s.graph.hex()),
         s.wall_ms,
         match &s.error {
             Some(e) => format!(",\"error\":{}", json_str(e)),

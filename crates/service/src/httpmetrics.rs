@@ -20,8 +20,10 @@ use std::time::Duration;
 /// matter what clients request. This table and [`route_index`] are the
 /// single authority on route naming; the HTTP dispatcher resolves paths
 /// through them.
-pub const ROUTES: [&str; 9] = [
+pub const ROUTES: [&str; 11] = [
     "/layout",
+    "/graphs",
+    "/graphs/{id}",
     "/jobs/{id}",
     "/jobs/{id}/cancel",
     "/result/{id}",
@@ -40,6 +42,8 @@ pub fn route_index(path: &str) -> usize {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let label = match segments.as_slice() {
         ["layout"] => "/layout",
+        ["graphs"] => "/graphs",
+        ["graphs", _] => "/graphs/{id}",
         ["jobs", _, "cancel"] => "/jobs/{id}/cancel",
         ["jobs", _] => "/jobs/{id}",
         ["result", _] => "/result/{id}",
@@ -109,6 +113,8 @@ pub struct HttpStatsSnapshot {
     pub keepalive_reuses: u64,
     /// Requests that failed to parse (answered `400`).
     pub bad_requests: u64,
+    /// Requests refused by the per-client rate limiter (answered `429`).
+    pub rate_limited_429: u64,
     /// Requests routed and answered, across all routes.
     pub requests: u64,
 }
@@ -121,6 +127,7 @@ pub struct HttpMetrics {
     rejected: AtomicU64,
     keepalive_reuses: AtomicU64,
     bad_requests: AtomicU64,
+    rate_limited: AtomicU64,
 }
 
 impl HttpMetrics {
@@ -182,6 +189,11 @@ impl HttpMetrics {
         self.bad_requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A request was refused by the per-client rate limiter (`429`).
+    pub fn record_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Connection-level counters for the `/stats` JSON.
     pub fn snapshot(&self) -> HttpStatsSnapshot {
         HttpStatsSnapshot {
@@ -189,6 +201,7 @@ impl HttpMetrics {
             rejected_503: self.rejected.load(Ordering::Relaxed),
             keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            rate_limited_429: self.rate_limited.load(Ordering::Relaxed),
             requests: self.routes.iter().map(|r| r.requests()).sum(),
         }
     }
@@ -242,6 +255,11 @@ impl HttpMetrics {
         out.push_str(&format!(
             "pgl_http_bad_requests_total {}\n",
             snap.bad_requests
+        ));
+        out.push_str("# TYPE pgl_http_rate_limited_total counter\n");
+        out.push_str(&format!(
+            "pgl_http_rate_limited_total {}\n",
+            snap.rate_limited_429
         ));
 
         out.push_str("# TYPE pgl_http_requests_total counter\n");
@@ -359,6 +377,8 @@ mod tests {
     #[test]
     fn route_index_matches_the_route_table() {
         assert_eq!(ROUTES[route_index("/layout")], "/layout");
+        assert_eq!(ROUTES[route_index("/graphs")], "/graphs");
+        assert_eq!(ROUTES[route_index("/graphs/abc123")], "/graphs/{id}");
         assert_eq!(ROUTES[route_index("/jobs/17")], "/jobs/{id}");
         assert_eq!(ROUTES[route_index("/jobs/99/cancel")], "/jobs/{id}/cancel");
         assert_eq!(ROUTES[route_index("/result/3")], "/result/{id}");
@@ -389,10 +409,16 @@ mod tests {
         m.record_rejected();
         m.record_keepalive_reuse();
         m.record_bad_request();
+        m.record_rate_limited();
+        m.record_rate_limited();
         let s = m.snapshot();
         assert_eq!(s.accepted, 2);
         assert_eq!(s.rejected_503, 1);
         assert_eq!(s.keepalive_reuses, 1);
         assert_eq!(s.bad_requests, 1);
+        assert_eq!(s.rate_limited_429, 2);
+        assert!(m
+            .render_prometheus()
+            .contains("pgl_http_rate_limited_total 2"));
     }
 }

@@ -2,7 +2,8 @@
 //! reported.
 
 use layout_core::{LayoutConfig, LayoutControl};
-use pangraph::Layout2D;
+use pangraph::store::ContentHash;
+use pangraph::{Layout2D, LeanGraph};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -45,7 +46,20 @@ impl JobState {
     }
 }
 
-/// One layout request: a graph plus how to lay it out.
+/// How a layout request names its graph.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// Inline GFA text (the back-compat upload-per-request form). The
+    /// service interns it into the graph store at submit time, so even
+    /// inline graphs are parsed at most once.
+    Gfa(Arc<String>),
+    /// Reference to a graph previously interned in the service's graph
+    /// store (`POST /graphs`): no text, no re-hash, no re-parse.
+    Stored(ContentHash),
+}
+
+/// One layout request: a graph (inline or by reference) plus how to lay
+/// it out.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
     /// Engine registry key (`cpu`, `batch`, `gpu`, `gpu-a100`, ...).
@@ -54,26 +68,47 @@ pub struct JobRequest {
     pub config: LayoutConfig,
     /// Mini-batch size, used only by the `batch` engine.
     pub batch_size: usize,
-    /// Raw GFA text. `Arc`'d so cache keys and queued jobs share it.
-    pub gfa: Arc<String>,
+    /// The graph to lay out.
+    pub graph: GraphSpec,
 }
 
 impl JobRequest {
-    /// A request with default configuration for the given engine.
+    /// A request with default configuration and an inline GFA document.
     pub fn new(engine: impl Into<String>, gfa: impl Into<String>) -> Self {
         Self {
             engine: engine.into(),
             config: LayoutConfig::default(),
             batch_size: 1024,
-            gfa: Arc::new(gfa.into()),
+            graph: GraphSpec::Gfa(Arc::new(gfa.into())),
+        }
+    }
+
+    /// A request with default configuration referencing a stored graph.
+    pub fn by_ref(engine: impl Into<String>, graph: ContentHash) -> Self {
+        Self {
+            engine: engine.into(),
+            config: LayoutConfig::default(),
+            batch_size: 1024,
+            graph: GraphSpec::Stored(graph),
         }
     }
 }
 
-/// Internal job record, owned by the service's job table.
+/// Internal job record, owned by the service's job table. Jobs never
+/// hold GFA text: the graph rides along as a shared parsed artifact and
+/// is dropped the moment the job reaches a terminal state.
 pub(crate) struct Job {
     pub id: JobId,
-    pub request: JobRequest,
+    pub engine: String,
+    pub config: LayoutConfig,
+    pub batch_size: usize,
+    /// Identity of the graph (content hash of its source GFA bytes).
+    pub graph_hash: ContentHash,
+    /// The parsed graph, shared with the store and any sibling jobs.
+    /// `Some` while queued/running; dropped once terminal so retained
+    /// job records cost metadata, not graph payloads. Deleting the
+    /// graph from the store does not invalidate this.
+    pub graph: Option<Arc<LeanGraph>>,
     /// Content hash computed once at submit; reused when the finished
     /// layout is inserted into the cache.
     pub cache_key: crate::cache::CacheKey,
@@ -85,7 +120,8 @@ pub(crate) struct Job {
     pub control: Arc<LayoutControl>,
     pub submitted: Instant,
     pub finished: Option<Instant>,
-    /// Node count, known once the GFA has been parsed (0 before).
+    /// Node count, known from submit time (graphs are parsed before
+    /// jobs are enqueued).
     pub nodes: usize,
 }
 
@@ -99,10 +135,11 @@ impl Job {
                 JobState::Queued => 0.0,
                 _ => self.control.progress(),
             },
-            engine: self.request.engine.clone(),
+            engine: self.engine.clone(),
             cached: self.cached,
             error: self.error.clone(),
             nodes: self.nodes,
+            graph: self.graph_hash,
             wall_ms: self
                 .finished
                 .unwrap_or_else(Instant::now)
@@ -127,8 +164,10 @@ pub struct JobStatus {
     pub cached: bool,
     /// Failure message when `state == Failed`.
     pub error: Option<String>,
-    /// Graph node count (0 until parsed).
+    /// Graph node count.
     pub nodes: usize,
+    /// Content hash identifying the graph.
+    pub graph: ContentHash,
     /// Milliseconds from submission to completion (or to now).
     pub wall_ms: u128,
 }
@@ -156,6 +195,19 @@ mod tests {
             JobState::Cancelled,
         ] {
             assert_eq!(s.as_str(), s.as_str().to_lowercase());
+        }
+    }
+
+    #[test]
+    fn request_constructors_pick_the_right_graph_spec() {
+        assert!(matches!(
+            JobRequest::new("cpu", "S\t1\tA\n").graph,
+            GraphSpec::Gfa(_)
+        ));
+        let id = pangraph::store::content_hash(b"g");
+        match JobRequest::by_ref("gpu", id).graph {
+            GraphSpec::Stored(h) => assert_eq!(h, id),
+            other => panic!("expected Stored, got {other:?}"),
         }
     }
 }

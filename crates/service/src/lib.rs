@@ -9,40 +9,57 @@
 //! subsystem**:
 //!
 //! ```text
-//!                 ┌───────────────────────────────────────────────┐
-//!  POST /layout ─►│ LayoutService                                 │
-//!  pgl batch ────►│  submit ──► content-addressed LayoutCache     │
-//!                 │     │ miss        (GFA bytes + config, LRU)   │
-//!                 │     ▼                                         │
-//!                 │  job queue ──► worker pool ──► EngineRegistry │
-//!                 │  (Queued →      (N threads)     cpu | batch | │
-//!                 │   Running →                     gpu | gpu-a100│
-//!                 │   Done/Failed/Cancelled)                      │
-//!                 └───────────────────────────────────────────────┘
+//!                 ┌─────────────────────────────────────────────────┐
+//!  POST /graphs ─►│ GraphStore: content hash ─► parse ONCE ─►       │
+//!                 │   Arc<LeanGraph>  (LRU + .lean disk tier)       │
+//!                 │        ▲ shared by every job referencing it     │
+//!  POST /layout ─►│ LayoutService                                   │
+//!  pgl batch ────►│  submit ──► content-addressed LayoutCache       │
+//!                 │     │ miss     (graph hash + config, LRU+disk)  │
+//!                 │     ▼                                           │
+//!                 │  job queue ──► worker pool ──► EngineRegistry   │
+//!                 │  (Queued →      (N threads)     cpu | batch |   │
+//!                 │   Running →                     gpu | gpu-a100  │
+//!                 │   Done/Failed/Cancelled)                        │
+//!                 └─────────────────────────────────────────────────┘
 //! ```
 //!
-//! Four layers, composable independently:
+//! Layers, composable independently:
 //!
 //! * [`registry::EngineRegistry`] — engines addressable by name; one
 //!   fresh engine per job, so jobs never share mutable state.
+//! * [`pangraph::GraphStore`] (owned by the service) — graphs are
+//!   **upload-once, content-addressed artifacts**: `POST /graphs`
+//!   interns the GFA (hash → parse → `Arc<LeanGraph>`), and every
+//!   subsequent layout request — across engines, configs, and even
+//!   server restarts via the `.lean` disk tier — shares the single
+//!   parsed form. Jobs carry graph references, never GFA text.
 //! * [`service::LayoutService`] — the job queue and worker pool with
 //!   full lifecycle (`queued → running → done | failed | cancelled`),
 //!   progress polling via [`layout_core::LayoutControl`], and
 //!   cancellation that stops engines at iteration boundaries.
+//!   Malformed and zero-segment GFA is rejected at submit time, before
+//!   a queue slot is spent.
 //! * [`cache::LayoutCache`] — a content-addressed, LRU-evicting layout
-//!   cache: repeated requests for the same `(GFA, engine, config)` are
-//!   answered without recomputation. An optional **disk tier**
+//!   cache keyed on `(graph hash, engine, config)`: repeated requests
+//!   are answered without recomputation, and by-reference requests are
+//!   keyed without rehashing graph text. An optional **disk tier**
 //!   (`ServiceConfig::cache_dir`) writes layouts through as `.lay`
-//!   files so a restarted server keeps hitting on old work.
+//!   files so a restarted server keeps hitting on old work; both it
+//!   and the graph tier are size-bounded by
+//!   `ServiceConfig::cache_max_bytes` (oldest spills evicted first).
 //! * [`http::HttpServer`] — a dependency-free HTTP/1.1 front end
-//!   (`POST /layout`, `GET /jobs/<id>`, `GET /result/<id>`,
-//!   `GET /stats`, `GET /metrics`, …) over `std::net`, wired into the
-//!   CLI as `pgl serve`. Hardened for real traffic: a bounded
-//!   connection queue drained by a fixed handler pool (overload ⇒
-//!   `503` + `Retry-After`), HTTP/1.1 keep-alive, and per-route
+//!   (`POST /graphs`, `POST /layout`, `GET /jobs/<id>`,
+//!   `GET /result/<id>`, `GET /stats`, `GET /metrics`, …) over
+//!   `std::net`, wired into the CLI as `pgl serve`. Hardened for real
+//!   traffic: a bounded connection queue drained by a fixed handler
+//!   pool (overload ⇒ `503` + `Retry-After`), HTTP/1.1 keep-alive,
+//!   per-client token-bucket rate limiting
+//!   ([`ratelimit::RateLimiter`], over-budget ⇒ `429`), and per-route
 //!   latency histograms ([`httpmetrics::HttpMetrics`]).
 //!   [`batchrun::run_batch`] is the same pool driven
-//!   filesystem-to-filesystem as `pgl batch`.
+//!   filesystem-to-filesystem as `pgl batch` — parsing each input
+//!   exactly once even when fanned across multiple engines.
 //!
 //! ## Example
 //!
@@ -66,13 +83,18 @@ pub mod cache;
 pub mod http;
 pub mod httpmetrics;
 pub mod job;
+pub mod ratelimit;
 pub mod registry;
 pub mod service;
 
-pub use batchrun::{run_batch, BatchOptions, BatchOutcome};
+pub use batchrun::{run_batch, BatchOptions, BatchOutcome, BatchReport};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
 pub use http::{HttpConfig, HttpServer, ServerHandle};
 pub use httpmetrics::{HttpMetrics, HttpStatsSnapshot};
-pub use job::{JobId, JobRequest, JobState, JobStatus};
+pub use job::{GraphSpec, JobId, JobRequest, JobState, JobStatus};
+pub use pangraph::store::{ContentHash, GraphMeta, GraphStore, GraphStoreStats};
+pub use ratelimit::RateLimiter;
 pub use registry::{EngineRegistry, EngineRequest};
-pub use service::{LayoutService, ServiceConfig, ServiceStats, SubmitTicket};
+pub use service::{
+    GraphUpload, LayoutService, ServiceConfig, ServiceStats, SubmitError, SubmitTicket,
+};

@@ -1,25 +1,44 @@
 //! The layout orchestration service: a job queue fanned across a worker
-//! thread pool, backed by the engine registry and the layout cache.
+//! thread pool, backed by the engine registry, the graph store, and the
+//! layout cache.
 //!
 //! ```text
-//! submit(gfa, engine, config)
-//!    │  cache hit ──────────────► job born Done (cached=true)
+//! upload(gfa) ──► GraphStore: hash ─► parse once ─► Arc<LeanGraph>
+//!
+//! submit(engine, config, graph)
+//!    │  layout-cache hit ─────────► job born Done (cached=true)
 //!    ▼  miss
-//! queue ──► worker: parse GFA ─► registry.create(engine) ─►
+//!    resolve graph (store hit, disk reload, or — inline only — parse)
+//!    ▼
+//! queue ──► worker: registry.create(engine) ─►
 //!           engine.layout_controlled(lean, ctl) ─► cache.insert ─► Done
 //! ```
+//!
+//! **Parse-once pipeline:** graphs are content-addressed artifacts
+//! ([`pangraph::GraphStore`]). An inline GFA body is interned at submit
+//! time — hashed, parsed if never seen, validated (zero-segment bodies
+//! are rejected *before* a queue slot is spent) — and from then on every
+//! job, across every engine, shares one `Arc<LeanGraph>`. A by-reference
+//! request (`GraphSpec::Stored`) never touches GFA text at all: the
+//! layout cache keys off the graph's content hash, so the request costs
+//! O(config) to key and zero bytes of graph transfer.
 //!
 //! Cancellation flows through [`LayoutControl`]: queued jobs are marked
 //! cancelled directly; running jobs get their control flag flipped and
 //! the engine stops at its next iteration boundary.
 
 use crate::cache::{cache_key, write_spill, CacheKey, CacheStats, LayoutCache};
-use crate::job::{Job, JobId, JobRequest, JobState, JobStatus};
+use crate::job::{GraphSpec, Job, JobId, JobRequest, JobState, JobStatus};
 use crate::registry::{EngineRegistry, EngineRequest};
 use layout_core::LayoutControl;
+use pangraph::store::{
+    content_hash, evict_dir_to_cap, load_graph_spill, write_graph_spill, ContentHash, GraphMeta,
+    GraphStore, GraphStoreStats,
+};
 use pangraph::{parse_gfa, Layout2D, LeanGraph};
 use pgio::load_lay;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -32,14 +51,22 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Layout-cache capacity in entries (0 disables caching).
     pub cache_entries: usize,
+    /// Graph-store capacity in parsed graphs resident in memory
+    /// (0 ⇒ unbounded — a batch run's graphs are its working set).
+    pub graph_entries: usize,
     /// Terminal jobs retained for status/result queries; the oldest are
     /// evicted beyond this, so the job table cannot grow without bound.
     pub max_finished_jobs: usize,
-    /// Disk tier for the layout cache: layouts are written through to
-    /// this directory and reloaded lazily on memory misses, so a
-    /// restarted service still hits on previously computed layouts.
-    /// `None` keeps the cache memory-only.
+    /// Disk tier for the layout cache and the graph store: layouts are
+    /// written through to this directory (`<key>.lay`), parsed graphs
+    /// to a `graphs/` subdirectory (`<hash>.lean`), and both reload
+    /// lazily on memory misses, so a restarted service still hits on
+    /// previously computed work. `None` keeps both memory-only.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte cap applied to each disk tier independently (0 ⇒ unbounded):
+    /// when a spill pushes a directory past the cap, its oldest spill
+    /// files are evicted first.
+    pub cache_max_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -47,8 +74,10 @@ impl Default for ServiceConfig {
         Self {
             workers: 0,
             cache_entries: 64,
+            graph_entries: 16,
             max_finished_jobs: 1024,
             cache_dir: None,
+            cache_max_bytes: 0,
         }
     }
 }
@@ -66,6 +95,31 @@ impl ServiceConfig {
     }
 }
 
+/// Why a submission was refused, mapped by the HTTP front end onto
+/// status codes (400 / 404 / 503).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Malformed request: unknown engine, empty or unparseable GFA,
+    /// zero-segment graph. (HTTP 400.)
+    Rejected(String),
+    /// A by-reference request named a graph the store does not hold.
+    /// (HTTP 404.)
+    NoSuchGraph(String),
+    /// The service is shutting down. (HTTP 503.)
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Rejected(msg) | SubmitError::NoSuchGraph(msg) => write!(f, "{msg}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Ticket returned by [`LayoutService::submit`].
 #[derive(Debug, Clone, Copy)]
 pub struct SubmitTicket {
@@ -74,6 +128,24 @@ pub struct SubmitTicket {
     /// `true` when the result was served from the cache (job is already
     /// `Done`).
     pub cached: bool,
+    /// Content hash identifying the job's graph.
+    pub graph: ContentHash,
+}
+
+/// Receipt for one graph upload ([`LayoutService::upload_graph`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GraphUpload {
+    /// The graph's content-addressed id — what `POST /layout?graph=`
+    /// references.
+    pub id: ContentHash,
+    /// Node count.
+    pub nodes: usize,
+    /// Path count.
+    pub paths: usize,
+    /// Total path steps.
+    pub steps: usize,
+    /// `true` when the graph was already interned (no parse happened).
+    pub dedup: bool,
 }
 
 /// Aggregate service counters for `GET /stats`.
@@ -99,6 +171,13 @@ pub struct ServiceStats {
     pub cache_bytes: usize,
     /// Cache counters.
     pub cache: CacheStats,
+    /// Parsed graphs resident in the store right now.
+    pub graph_entries: usize,
+    /// Resident parsed-graph bytes.
+    pub graph_bytes: u64,
+    /// Graph-store counters (`parses` is the number the whole
+    /// architecture exists to minimize).
+    pub graphs: GraphStoreStats,
     /// Milliseconds since the service started.
     pub uptime_ms: u128,
 }
@@ -112,6 +191,12 @@ struct Shared {
     /// state, so `wait` can block instead of spin.
     done_cv: Condvar,
     cache: Mutex<LayoutCache>,
+    graphs: Mutex<GraphStore>,
+    /// Graph hashes with a parse currently in flight, so concurrent
+    /// uploads of the same (possibly multi-gigabyte) GFA wait for one
+    /// parse instead of each running their own.
+    parsing: Mutex<std::collections::HashSet<ContentHash>>,
+    parsing_cv: Condvar,
     /// Terminal job ids in completion order, oldest first; drives
     /// eviction from `jobs` beyond `max_finished`.
     finished: Mutex<VecDeque<JobId>>,
@@ -126,7 +211,8 @@ struct Shared {
     running: AtomicU64,
 }
 
-/// A running layout service: engine registry + worker pool + cache.
+/// A running layout service: engine registry + graph store + worker
+/// pool + layout cache.
 pub struct LayoutService {
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -138,16 +224,35 @@ impl LayoutService {
     pub fn start(registry: EngineRegistry, cfg: ServiceConfig) -> Self {
         let workers = cfg.resolved_workers();
         let cache = match &cfg.cache_dir {
-            Some(dir) => LayoutCache::with_disk(cfg.cache_entries, dir).unwrap_or_else(|e| {
-                // A broken disk tier must not take the service down;
-                // degrade to memory-only and say so.
-                eprintln!(
-                    "pgl-service: disk cache at {} unavailable ({e}); running memory-only",
-                    dir.display()
-                );
-                LayoutCache::new(cfg.cache_entries)
-            }),
+            Some(dir) => {
+                LayoutCache::with_disk(cfg.cache_entries, dir, cfg.cache_max_bytes).unwrap_or_else(
+                    |e| {
+                        // A broken disk tier must not take the service
+                        // down; degrade to memory-only and say so.
+                        eprintln!(
+                            "pgl-service: disk cache at {} unavailable ({e}); running memory-only",
+                            dir.display()
+                        );
+                        LayoutCache::new(cfg.cache_entries)
+                    },
+                )
+            }
             None => LayoutCache::new(cfg.cache_entries),
+        };
+        let graphs = match &cfg.cache_dir {
+            Some(dir) => {
+                let gdir = dir.join("graphs");
+                GraphStore::with_disk(cfg.graph_entries, &gdir, cfg.cache_max_bytes).unwrap_or_else(
+                    |e| {
+                        eprintln!(
+                            "pgl-service: graph store at {} unavailable ({e}); running memory-only",
+                            gdir.display()
+                        );
+                        GraphStore::new(cfg.graph_entries)
+                    },
+                )
+            }
+            None => GraphStore::new(cfg.graph_entries),
         };
         let shared = Arc::new(Shared {
             registry,
@@ -156,6 +261,9 @@ impl LayoutService {
             queue_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: Mutex::new(cache),
+            graphs: Mutex::new(graphs),
+            parsing: Mutex::new(std::collections::HashSet::new()),
+            parsing_cv: Condvar::new(),
             finished: Mutex::new(VecDeque::new()),
             max_finished: cfg.max_finished_jobs.max(1),
             next_id: AtomicU64::new(1),
@@ -191,49 +299,135 @@ impl LayoutService {
         )
     }
 
-    /// Submit a layout request. Returns immediately; on a cache hit the
-    /// job is born `Done` with the cached layout attached.
-    pub fn submit(&self, mut request: JobRequest) -> Result<SubmitTicket, String> {
+    /// Intern one GFA document as a content-addressed graph artifact:
+    /// upload once, lay out many times. Re-uploading an already-known
+    /// graph is a cheap dedup (hash + store hit, no parse), and
+    /// concurrent uploads of the same bytes wait for one parse instead
+    /// of each running their own. Zero-segment documents are rejected —
+    /// a layout server must not accept graphs it can only fail on.
+    pub fn upload_graph(&self, gfa: &str) -> Result<GraphUpload, SubmitError> {
         if self.shared.shutdown.load(Ordering::Relaxed) {
-            return Err("service is shutting down".into());
+            return Err(SubmitError::ShuttingDown);
         }
-        if request.gfa.trim().is_empty() {
-            return Err("empty GFA body".into());
+        if gfa.trim().is_empty() {
+            return Err(SubmitError::Rejected("empty GFA body".into()));
+        }
+        let id = content_hash(gfa.as_bytes());
+        let (graph, parsed) =
+            intern_gfa_once(&self.shared, id, gfa).map_err(SubmitError::Rejected)?;
+        Ok(GraphUpload {
+            id,
+            nodes: graph.node_count(),
+            paths: graph.path_count(),
+            steps: graph.total_steps(),
+            dedup: !parsed,
+        })
+    }
+
+    /// Every graph the store knows about (resident or disk-spilled).
+    pub fn graphs(&self) -> Vec<GraphMeta> {
+        self.shared.graphs.lock().unwrap().list()
+    }
+
+    /// Metadata for one stored graph.
+    pub fn graph_meta(&self, id: ContentHash) -> Option<GraphMeta> {
+        self.shared.graphs.lock().unwrap().meta(id)
+    }
+
+    /// Delete a graph from the store (memory and disk tiers). Jobs
+    /// already holding the parsed artifact are unaffected — they share
+    /// an `Arc` — but new by-reference requests will miss. Returns
+    /// whether anything was removed.
+    pub fn delete_graph(&self, id: ContentHash) -> bool {
+        self.shared.graphs.lock().unwrap().remove(id)
+    }
+
+    /// Submit a layout request. Returns immediately; on a layout-cache
+    /// hit the job is born `Done` with the cached layout attached.
+    /// Inline GFA is interned (parsed at most once) and validated here,
+    /// so malformed or empty graphs never consume a queue slot.
+    pub fn submit(&self, request: JobRequest) -> Result<SubmitTicket, SubmitError> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
         }
         // Fail fast on unknown engines rather than at run time.
         if !self.shared.registry.contains(&request.engine) {
-            return Err(self.shared.registry.unknown_engine_error(&request.engine));
+            return Err(SubmitError::Rejected(
+                self.shared.registry.unknown_engine_error(&request.engine),
+            ));
         }
+        let graph_hash = match &request.graph {
+            GraphSpec::Gfa(text) => {
+                if text.trim().is_empty() {
+                    return Err(SubmitError::Rejected("empty GFA body".into()));
+                }
+                content_hash(text.as_bytes())
+            }
+            GraphSpec::Stored(id) => {
+                // Existence is checked before the layout cache so a
+                // DELETEd graph really stops answering: a stale cached
+                // layout must not resurrect a removed resource. The
+                // check is O(1) store metadata + one `stat`, not a
+                // graph load.
+                if !graph_known(&self.shared, *id) {
+                    return Err(SubmitError::NoSuchGraph(format!(
+                        "no such graph {}",
+                        id.hex()
+                    )));
+                }
+                *id
+            }
+        };
         let key = cache_key(
             &request.engine,
             &request.config,
             request.batch_size,
-            &request.gfa,
+            graph_hash,
         );
         let hit = cache_lookup(&self.shared, key);
+        // Resolve the parsed graph only on a cache miss: a hit never
+        // loads the artifact, and an inline hit never re-parses.
+        let graph = match &hit {
+            Some(_) => None,
+            None => Some(match &request.graph {
+                GraphSpec::Gfa(text) => {
+                    intern_gfa_once(&self.shared, graph_hash, text)
+                        .map_err(SubmitError::Rejected)?
+                        .0
+                }
+                GraphSpec::Stored(id) => graph_lookup(&self.shared, *id).ok_or_else(|| {
+                    SubmitError::NoSuchGraph(format!("no such graph {}", id.hex()))
+                })?,
+            }),
+        };
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let cached = hit.is_some();
-        if cached {
-            // Born terminal: the GFA text is no longer needed.
-            request.gfa = Arc::new(String::new());
-        }
+        let nodes = match (&hit, &graph) {
+            (Some(layout), _) => layout.node_count(),
+            (None, Some(g)) => g.node_count(),
+            (None, None) => 0,
+        };
         let job = Job {
             id,
+            engine: request.engine,
+            config: request.config,
+            batch_size: request.batch_size,
+            graph_hash,
+            graph,
             state: if cached {
                 JobState::Done
             } else {
                 JobState::Queued
             },
-            nodes: hit.as_ref().map(|l| l.node_count()).unwrap_or(0),
+            nodes,
             result: hit,
             cached,
             error: None,
             control: Arc::new(LayoutControl::new()),
             submitted: now,
             finished: if cached { Some(now) } else { None },
-            request,
             cache_key: key,
         };
         self.shared
@@ -249,7 +443,11 @@ impl LayoutService {
             self.shared.queue.lock().unwrap().push_back(id);
             self.shared.queue_cv.notify_one();
         }
-        Ok(SubmitTicket { id, cached })
+        Ok(SubmitTicket {
+            id,
+            cached,
+            graph: graph_hash,
+        })
     }
 
     /// Current status of a job, if it exists.
@@ -280,7 +478,7 @@ impl LayoutService {
                 JobState::Queued => {
                     job.state = JobState::Cancelled;
                     job.finished = Some(Instant::now());
-                    job.request.gfa = Arc::new(String::new());
+                    job.graph = None;
                     self.shared.queue.lock().unwrap().retain(|&qid| qid != id);
                     self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
                     self.shared.done_cv.notify_all();
@@ -321,7 +519,14 @@ impl LayoutService {
 
     /// Aggregate counters.
     pub fn stats(&self) -> ServiceStats {
-        let cache = self.shared.cache.lock().unwrap();
+        let (cache_entries, cache_bytes, cache) = {
+            let cache = self.shared.cache.lock().unwrap();
+            (cache.len(), cache.bytes(), cache.stats())
+        };
+        let (graph_entries, graph_bytes, graphs) = {
+            let store = self.shared.graphs.lock().unwrap();
+            (store.len(), store.bytes(), store.stats())
+        };
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             queued: self.shared.queue.lock().unwrap().len(),
@@ -330,9 +535,12 @@ impl LayoutService {
             failed: self.shared.failed.load(Ordering::Relaxed),
             cancelled: self.shared.cancelled.load(Ordering::Relaxed),
             workers: self.worker_count,
-            cache_entries: cache.len(),
-            cache_bytes: cache.bytes(),
-            cache: cache.stats(),
+            cache_entries,
+            cache_bytes,
+            cache,
+            graph_entries,
+            graph_bytes,
+            graphs,
             uptime_ms: self.shared.started.elapsed().as_millis(),
         }
     }
@@ -371,6 +579,115 @@ impl Drop for LayoutService {
     }
 }
 
+/// Parse + flatten + validate one GFA document (the only place the
+/// service ever parses).
+fn parse_lean(gfa: &str) -> Result<Arc<LeanGraph>, String> {
+    let graph = parse_gfa(gfa).map_err(|e| format!("GFA parse error: {e}"))?;
+    let lean = LeanGraph::from_graph(&graph);
+    if lean.node_count() == 0 {
+        // The parser skips lines it does not understand, so arbitrary
+        // text "parses" into an empty graph; a layout server must
+        // reject that rather than accept a job it can only fail.
+        return Err("GFA parse error: no segments found in body".into());
+    }
+    Ok(Arc::new(lean))
+}
+
+/// Is `id` producible by the store right now (resident, catalogued, or
+/// spilled on disk)? Cheap — no graph is loaded.
+fn graph_known(shared: &Shared, id: ContentHash) -> bool {
+    let (known, disk) = {
+        let store = shared.graphs.lock().unwrap();
+        (store.contains(id), store.disk_path(id))
+    };
+    known || disk.is_some_and(|p| p.exists())
+}
+
+/// Intern one GFA document under the parse-once guarantee: memory tier,
+/// then disk tier, then — holding a per-hash in-flight reservation — a
+/// single parse, no matter how many threads submit the same bytes
+/// concurrently. Returns the artifact and whether *this* call parsed.
+/// Parsing and file I/O run outside every lock.
+fn intern_gfa_once(
+    shared: &Shared,
+    id: ContentHash,
+    text: &str,
+) -> Result<(Arc<LeanGraph>, bool), String> {
+    loop {
+        if let Some(g) = graph_lookup(shared, id) {
+            return Ok((g, false));
+        }
+        let mut parsing = shared.parsing.lock().unwrap();
+        if parsing.insert(id) {
+            break; // this thread owns the parse
+        }
+        // Someone else is parsing these bytes: wait, then re-probe the
+        // store (their insert lands before they clear the reservation).
+        let _guard = shared.parsing_cv.wait(parsing).unwrap();
+    }
+    let result = parse_lean(text);
+    if let Ok(lean) = &result {
+        shared.graphs.lock().unwrap().record_parse();
+        graph_insert(shared, id, lean);
+    }
+    let mut parsing = shared.parsing.lock().unwrap();
+    parsing.remove(&id);
+    shared.parsing_cv.notify_all();
+    drop(parsing);
+    result.map(|lean| (lean, true))
+}
+
+/// Two-tier graph lookup with the disk read performed *outside* the
+/// store lock, so reloading a multi-gigabyte spill cannot serialize
+/// every upload and submission behind one file read.
+fn graph_lookup(shared: &Shared, id: ContentHash) -> Option<Arc<LeanGraph>> {
+    let disk_path = {
+        let mut store = shared.graphs.lock().unwrap();
+        if let Some(g) = store.lookup(id) {
+            return Some(g);
+        }
+        store.disk_path(id)
+    };
+    let Some(path) = disk_path else {
+        shared.graphs.lock().unwrap().record_miss();
+        return None;
+    };
+    match load_graph_spill(&path) {
+        Ok(graph) => {
+            let graph = Arc::new(graph);
+            shared.graphs.lock().unwrap().record_disk_hit(id, &graph);
+            Some(graph)
+        }
+        Err(e) => {
+            let mut store = shared.graphs.lock().unwrap();
+            if e.kind() != std::io::ErrorKind::NotFound {
+                store.record_disk_error();
+            }
+            store.record_miss();
+            None
+        }
+    }
+}
+
+/// Insert a parsed graph: spill to the disk tier and enforce its byte
+/// cap (file I/O outside the store lock), then place it in memory.
+fn graph_insert(shared: &Shared, id: ContentHash, graph: &Arc<LeanGraph>) {
+    let (spill, cap) = {
+        let store = shared.graphs.lock().unwrap();
+        (store.disk_path(id), store.disk_cap())
+    };
+    let spill_ok = spill.map(|path| write_graph_spill(graph, &path));
+    let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lean"));
+    let mut store = shared.graphs.lock().unwrap();
+    if let Some(ok) = spill_ok {
+        store.record_spill(ok);
+    }
+    if let Some(n) = cap_evicted {
+        store.record_cap_evictions(n);
+    }
+    store.insert(id, Arc::clone(graph));
+}
+
 /// Two-tier cache lookup with the disk read performed *outside* the
 /// cache lock, so a slow spill directory cannot serialize every
 /// submission and completion behind one file read.
@@ -403,22 +720,30 @@ fn cache_lookup(shared: &Shared, key: CacheKey) -> Option<Arc<Layout2D>> {
     }
 }
 
-/// Insert a finished layout: spill to the disk tier (file write outside
-/// the cache lock) and place it in the memory tier.
+/// Insert a finished layout: spill to the disk tier and enforce its
+/// byte cap (file I/O outside the cache lock), then place it in the
+/// memory tier.
 fn cache_insert(shared: &Shared, key: CacheKey, layout: &Arc<Layout2D>) {
-    let spill = shared.cache.lock().unwrap().disk_path(key);
+    let (spill, cap) = {
+        let cache = shared.cache.lock().unwrap();
+        (cache.disk_path(key), cache.disk_cap())
+    };
     let spill_ok = spill.map(|path| write_spill(layout, &path));
+    let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lay"));
     let mut cache = shared.cache.lock().unwrap();
     if let Some(ok) = spill_ok {
         cache.record_spill(ok);
+    }
+    if let Some(n) = cap_evicted {
+        cache.record_cap_evictions(n);
     }
     cache.insert_memory(key, Arc::clone(layout));
 }
 
 /// Bookkeeping once a job has reached a terminal state: record it for
 /// retention accounting and evict the oldest terminal jobs beyond the
-/// cap, so the job table (and the GFA/layout data its entries hold)
-/// cannot grow without bound. Never called while a job mutex is held.
+/// cap, so the job table (and the layout data its entries hold) cannot
+/// grow without bound. Never called while a job mutex is held.
 fn retire_job(shared: &Shared, id: JobId) {
     let evicted: Vec<JobId> = {
         let mut finished = shared.finished.lock().unwrap();
@@ -453,31 +778,41 @@ fn worker_loop(shared: &Shared) {
             continue;
         };
         // Claim: Queued → Running (it may have been cancelled meanwhile).
-        let (request, control, key) = {
+        let (engine, config, batch_size, graph, control, key) = {
             let mut job = job.lock().unwrap();
             if job.state != JobState::Queued {
                 continue;
             }
+            let Some(graph) = job.graph.clone() else {
+                continue; // unreachable: queued jobs always carry a graph
+            };
             job.state = JobState::Running;
-            (job.request.clone(), Arc::clone(&job.control), job.cache_key)
+            (
+                job.engine.clone(),
+                job.config.clone(),
+                job.batch_size,
+                graph,
+                Arc::clone(&job.control),
+                job.cache_key,
+            )
         };
         shared.running.fetch_add(1, Ordering::Relaxed);
-        let outcome = run_job(shared, &request, &control);
+        let outcome = run_job(shared, &engine, &config, batch_size, &graph, &control);
         shared.running.fetch_sub(1, Ordering::Relaxed);
+        drop(graph);
 
         // Cache the result before touching the job record: the spill
         // write would otherwise run while holding the job mutex and
         // block every status poll on this job behind disk I/O.
-        if let Ok((layout, _)) = &outcome {
+        if let Ok(layout) = &outcome {
             cache_insert(shared, key, layout);
         }
 
         let mut job = job.lock().unwrap();
         job.finished = Some(Instant::now());
-        job.request.gfa = Arc::new(String::new());
+        job.graph = None;
         match outcome {
-            Ok((layout, nodes)) => {
-                job.nodes = nodes;
+            Ok(layout) => {
                 job.result = Some(layout);
                 job.state = JobState::Done;
                 shared.done.fetch_add(1, Ordering::Relaxed);
@@ -498,37 +833,31 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Run one job body. `Err(None)` means cancelled, `Err(Some(msg))` failed.
+/// Run one job body on an already-parsed graph. `Err(None)` means
+/// cancelled, `Err(Some(msg))` failed.
 fn run_job(
     shared: &Shared,
-    request: &JobRequest,
+    engine_name: &str,
+    config: &layout_core::LayoutConfig,
+    batch_size: usize,
+    lean: &LeanGraph,
     control: &LayoutControl,
-) -> Result<(Arc<Layout2D>, usize), Option<String>> {
-    let graph = parse_gfa(&request.gfa).map_err(|e| Some(format!("GFA parse error: {e}")))?;
-    let lean = LeanGraph::from_graph(&graph);
-    let nodes = lean.node_count();
-    if nodes == 0 {
-        // The parser skips lines it does not understand, so arbitrary
-        // text "parses" into an empty graph; a layout server must
-        // reject that rather than serve a vacuous result.
-        return Err(Some("GFA parse error: no segments found in body".into()));
-    }
+) -> Result<Arc<Layout2D>, Option<String>> {
     let engine_req = EngineRequest {
-        config: request.config.clone(),
-        batch_size: request.batch_size,
-        node_count: nodes,
+        config: config.clone(),
+        batch_size,
+        node_count: lean.node_count(),
     };
     let engine = shared
         .registry
-        .create(&request.engine, &engine_req)
+        .create(engine_name, &engine_req)
         .map_err(Some)?;
     // A panicking engine must fail the job, not kill the worker.
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        engine.layout_controlled(&lean, control)
-    }))
-    .map_err(|_| Some(format!("engine {:?} panicked", request.engine)))?;
+    let result =
+        std::panic::catch_unwind(AssertUnwindSafe(|| engine.layout_controlled(lean, control)))
+            .map_err(|_| Some(format!("engine {engine_name:?} panicked")))?;
     match result {
-        Some(layout) => Ok((Arc::new(layout), nodes)),
+        Some(layout) => Ok(Arc::new(layout)),
         None => Err(None),
     }
 }
@@ -553,7 +882,7 @@ mod tests {
                 ..LayoutConfig::default()
             },
             batch_size: 256,
-            gfa: Arc::new(gfa),
+            graph: GraphSpec::Gfa(Arc::new(gfa)),
         }
     }
 
@@ -605,6 +934,7 @@ mod tests {
         assert_eq!(status.state, JobState::Done);
         assert!(status.nodes > 0);
         assert_eq!(status.progress, 1.0);
+        assert_eq!(status.graph, t.graph);
         let layout = svc.result(t.id).expect("result available");
         assert_eq!(layout.node_count(), status.nodes);
         assert!(layout.all_finite());
@@ -625,28 +955,37 @@ mod tests {
             svc.result(second.id).unwrap().as_ref(),
             "cache returns the same layout"
         );
-        // A different engine misses.
+        // A different engine misses the layout cache but shares the
+        // parsed graph: still exactly one parse.
         let third = svc.submit(quick_request("batch", gfa)).unwrap();
         assert!(!third.cached);
         assert_eq!(
             svc.wait(third.id, Duration::from_secs(60)).unwrap().state,
             JobState::Done
         );
-        assert_eq!(svc.stats().cache.hits, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.graphs.parses, 1, "one parse across three submits");
     }
 
     #[test]
-    fn bad_gfa_fails_with_a_message() {
+    fn bad_gfa_is_rejected_at_submit() {
         let svc = service(1);
-        let t = svc
+        // Text without segments no longer wastes a queue slot: it is
+        // rejected before enqueueing, not failed inside a worker.
+        let err = svc
             .submit(JobRequest::new("cpu", "this is not gfa\n"))
-            .unwrap();
-        let status = svc.wait(t.id, Duration::from_secs(30)).unwrap();
-        assert_eq!(status.state, JobState::Failed);
-        assert!(
-            status.error.unwrap().contains("parse"),
-            "names the parse failure"
-        );
+            .unwrap_err();
+        match &err {
+            SubmitError::Rejected(msg) => {
+                assert!(msg.contains("parse"), "names the parse failure: {msg}")
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // A structurally invalid document is rejected the same way.
+        let err = svc.submit(JobRequest::new("cpu", "S\tx\t*\n")).unwrap_err();
+        assert!(matches!(err, SubmitError::Rejected(_)));
+        assert_eq!(svc.stats().submitted, 0, "no queue slot was consumed");
     }
 
     #[test]
@@ -654,12 +993,159 @@ mod tests {
         let svc = service(1);
         let err = svc
             .submit(quick_request("warp-drive", small_gfa(3)))
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("warp-drive") && err.contains("cpu"));
         assert!(
             svc.submit(JobRequest::new("cpu", "")).is_err(),
             "empty body rejected"
         );
+    }
+
+    #[test]
+    fn upload_then_layout_by_reference_parses_once() {
+        let svc = service(2);
+        let gfa = small_gfa(50);
+        let up = svc.upload_graph(&gfa).unwrap();
+        assert!(!up.dedup);
+        assert!(up.nodes > 0 && up.steps > 0);
+        let again = svc.upload_graph(&gfa).unwrap();
+        assert!(again.dedup, "re-upload is a dedup hit");
+        assert_eq!(again.id, up.id);
+
+        // Three by-reference jobs across two engines: zero extra parses.
+        let mut cfg = LayoutConfig {
+            iter_max: 4,
+            threads: 1,
+            ..LayoutConfig::default()
+        };
+        for (engine, iters) in [("cpu", 4), ("cpu", 5), ("batch", 4)] {
+            cfg.iter_max = iters;
+            let req = JobRequest {
+                engine: engine.into(),
+                config: cfg.clone(),
+                batch_size: 256,
+                graph: GraphSpec::Stored(up.id),
+            };
+            let t = svc.submit(req).unwrap();
+            assert_eq!(t.graph, up.id);
+            assert_eq!(
+                svc.wait(t.id, Duration::from_secs(60)).unwrap().state,
+                JobState::Done
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.graphs.parses, 1, "uploaded graph parsed exactly once");
+        assert!(stats.graphs.hits >= 3);
+    }
+
+    #[test]
+    fn by_reference_requests_for_unknown_graphs_404() {
+        let svc = service(1);
+        let bogus = content_hash(b"never uploaded");
+        let err = svc.submit(JobRequest::by_ref("cpu", bogus)).unwrap_err();
+        match err {
+            SubmitError::NoSuchGraph(msg) => assert!(msg.contains(&bogus.hex())),
+            other => panic!("expected NoSuchGraph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deleting_an_in_use_graph_does_not_sink_its_jobs() {
+        let svc = service(1);
+        let up = svc.upload_graph(&small_gfa(51)).unwrap();
+        let mut req = JobRequest::by_ref("cpu", up.id);
+        req.config.iter_max = 6;
+        req.config.threads = 1;
+        let t = svc.submit(req).unwrap();
+        // Delete while the job is queued or running: the job's Arc keeps
+        // the parsed graph alive.
+        assert!(svc.delete_graph(up.id));
+        assert_eq!(
+            svc.wait(t.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        // But new by-reference requests miss.
+        assert!(matches!(
+            svc.submit(JobRequest::by_ref("cpu", up.id)).unwrap_err(),
+            SubmitError::NoSuchGraph(_)
+        ));
+        assert!(!svc.delete_graph(up.id), "double delete is a no-op");
+    }
+
+    #[test]
+    fn deleted_graphs_stop_answering_even_with_cached_layouts() {
+        let svc = service(1);
+        let up = svc.upload_graph(&small_gfa(55)).unwrap();
+        let mut req = JobRequest::by_ref("cpu", up.id);
+        req.config.iter_max = 4;
+        req.config.threads = 1;
+        let t = svc.submit(req.clone()).unwrap();
+        svc.wait(t.id, Duration::from_secs(60)).unwrap();
+        // The identical reference request is a cache hit…
+        assert!(svc.submit(req.clone()).unwrap().cached);
+        // …until the graph is deleted: a removed resource must not be
+        // resurrected by its stale cached layout.
+        assert!(svc.delete_graph(up.id));
+        assert!(matches!(
+            svc.submit(req).unwrap_err(),
+            SubmitError::NoSuchGraph(_)
+        ));
+    }
+
+    #[test]
+    fn concurrent_uploads_of_the_same_gfa_parse_once() {
+        let svc = Arc::new(service(2));
+        let gfa = Arc::new(small_gfa(56));
+        let uploads: Vec<GraphUpload> = (0..8)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let gfa = Arc::clone(&gfa);
+                std::thread::spawn(move || svc.upload_graph(&gfa).unwrap())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert!(uploads.windows(2).all(|w| w[0].id == w[1].id));
+        assert_eq!(
+            uploads.iter().filter(|u| !u.dedup).count(),
+            1,
+            "exactly one caller parsed"
+        );
+        assert_eq!(
+            svc.stats().graphs.parses,
+            1,
+            "dogpiled uploads share one parse"
+        );
+    }
+
+    #[test]
+    fn graph_store_lru_eviction_is_bounded_and_listed() {
+        let svc = LayoutService::start(
+            EngineRegistry::with_default_engines(),
+            ServiceConfig {
+                workers: 1,
+                graph_entries: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = svc.upload_graph(&small_gfa(60)).unwrap();
+        let b = svc.upload_graph(&small_gfa(61)).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.graph_entries, 1, "memory tier bounded");
+        assert_eq!(stats.graphs.evictions, 1);
+        assert_eq!(svc.graphs().len(), 1, "evicted graph forgotten (no disk)");
+        assert!(svc.graph_meta(b.id).is_some());
+        // The evicted graph is gone: by-reference requests miss...
+        assert!(matches!(
+            svc.submit(JobRequest::by_ref("cpu", a.id)).unwrap_err(),
+            SubmitError::NoSuchGraph(_)
+        ));
+        // ...but re-uploading re-interns it (one more parse).
+        let re = svc.upload_graph(&small_gfa(60)).unwrap();
+        assert!(!re.dedup);
+        assert_eq!(re.id, a.id);
     }
 
     /// Cancel one long-running job on `engine` once it reports progress;
@@ -718,10 +1204,14 @@ mod tests {
             assert!(!t.cached);
             svc.wait(t.id, Duration::from_secs(60)).unwrap();
             assert!(svc.stats().cache.disk_writes >= 1, "layout spilled to disk");
+            assert!(
+                svc.stats().graphs.disk_writes >= 1,
+                "parsed graph spilled to disk"
+            );
             svc.result(t.id).unwrap()
-        }; // service dropped: memory tier gone, disk tier persists
+        }; // service dropped: memory tiers gone, disk tiers persist
         let svc2 = LayoutService::start(EngineRegistry::with_default_engines(), cfg());
-        let t = svc2.submit(quick_request("cpu", gfa)).unwrap();
+        let t = svc2.submit(quick_request("cpu", gfa.clone())).unwrap();
         assert!(t.cached, "restarted service hits the disk tier");
         assert_eq!(svc2.stats().cache.disk_hits, 1);
         assert_eq!(
@@ -729,6 +1219,21 @@ mod tests {
             first_layout.as_ref(),
             "disk tier returns the identical layout"
         );
+        // The graph disk tier answers by-reference requests without
+        // this process ever having parsed the GFA.
+        let id = content_hash(gfa.as_bytes());
+        let mut req = JobRequest::by_ref("cpu", id);
+        req.config = LayoutConfig {
+            iter_max: 5,
+            threads: 1,
+            ..LayoutConfig::default()
+        };
+        let t2 = svc2.submit(req).unwrap();
+        assert_eq!(
+            svc2.wait(t2.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(svc2.stats().graphs.parses, 0, "restart never re-parses");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -761,6 +1266,9 @@ mod tests {
         assert_eq!(s.cache.hits, 1);
         assert_eq!(s.cache_entries, 1);
         assert!(s.cache_bytes > 0);
+        assert_eq!(s.graphs.parses, 1);
+        assert_eq!(s.graph_entries, 1);
+        assert!(s.graph_bytes > 0);
         assert_eq!(s.workers, 2);
         assert_eq!(svc.engine_names(), vec!["cpu", "batch", "gpu", "gpu-a100"]);
     }

@@ -534,11 +534,16 @@ fn conflicting_content_length_headers_are_rejected() {
     );
 
     // Identical duplicates are harmless and accepted (RFC 9112 §6.3).
+    let gfa = "S\t1\tAC\nS\t2\tGT\nL\t1\t+\t2\t+\t0M\nP\tp\t1+,2+\t*\n";
     let mut dup = TcpStream::connect(addr).expect("connect");
     dup.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     dup.write_all(
-        b"POST /layout HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\
-          Content-Length: 4\r\nConnection: close\r\n\r\nabcd",
+        format!(
+            "POST /layout?iters=2&threads=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {len}\r\n\
+             Content-Length: {len}\r\nConnection: close\r\n\r\n{gfa}",
+            len = gfa.len()
+        )
+        .as_bytes(),
     )
     .unwrap();
     let (status, _, _) = read_response(&mut dup);
