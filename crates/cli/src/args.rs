@@ -26,6 +26,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--soa",
     "--tsv",
     "--resume",
+    "--watch",
     "--help",
     "-h",
 ];
@@ -53,6 +54,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--keep-alive",
     "--rate-limit",
     "--timeout",
+    "--priority",
+    "--client",
+    "--ttl-ms",
+    "--preload-graphs",
+    "--from",
 ];
 
 impl ArgParser {
@@ -238,6 +244,20 @@ mod tests {
         assert_eq!(p.parse_or("--cache-max-bytes", 0u64).unwrap(), 1_000_000);
         assert_eq!(p.parse_or("--graphs", 16usize).unwrap(), 4);
         assert_eq!(p.value("--engine").unwrap(), "cpu,gpu");
+    }
+
+    #[test]
+    fn scheduling_and_watch_flags_parse() {
+        let p = parse("--priority interactive --client alice --ttl-ms 2000 --watch --from 3");
+        p.validate().unwrap();
+        assert_eq!(p.value("--priority").unwrap(), "interactive");
+        assert_eq!(p.value("--client").unwrap(), "alice");
+        assert_eq!(p.parse_or("--ttl-ms", 0u64).unwrap(), 2000);
+        assert_eq!(p.parse_or("--from", 0u64).unwrap(), 3);
+        assert!(p.has("--watch"));
+        let p = parse("--preload-graphs /var/graphs");
+        p.validate().unwrap();
+        assert_eq!(p.value("--preload-graphs").unwrap(), "/var/graphs");
     }
 
     #[test]

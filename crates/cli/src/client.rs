@@ -1,0 +1,187 @@
+//! A minimal HTTP/1.1 client for `pgl submit` / `pgl watch` — enough to
+//! talk to `pgl serve` (and nothing else) without pulling in a client
+//! library: one request per connection, `Content-Length` bodies, and a
+//! chunked-transfer decoder for the `/v1/jobs/<id>/events` stream.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long to wait for connect/read/write before giving up. Event
+/// streams are exempt from the read timeout between heartbeats (the
+/// server emits one at least every 15 s, well inside this).
+const IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One blocking request; returns `(status, body)`. The connection is
+/// closed afterwards (`Connection: close`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = connect(addr)?;
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader, addr)?;
+    let mut payload = Vec::new();
+    if header_value(&headers, "transfer-encoding").is_some_and(|v| v.contains("chunked")) {
+        read_chunked(&mut reader, addr, &mut |bytes| {
+            payload.extend_from_slice(bytes)
+        })?;
+    } else {
+        // Connection: close ⇒ the body runs to EOF; Content-Length just
+        // bounds it earlier when present.
+        match header_value(&headers, "content-length").and_then(|v| v.parse::<u64>().ok()) {
+            Some(len) => {
+                let mut limited = reader.take(len);
+                limited
+                    .read_to_end(&mut payload)
+                    .map_err(|e| format!("read from {addr}: {e}"))?;
+            }
+            None => {
+                reader
+                    .read_to_end(&mut payload)
+                    .map_err(|e| format!("read from {addr}: {e}"))?;
+            }
+        }
+    }
+    Ok((status, payload))
+}
+
+/// `GET` a chunked event stream, invoking `on_line` for each complete
+/// NDJSON line as it arrives, until the server ends the stream. Returns
+/// the HTTP status (on a non-200 the error body is returned as `Err`).
+pub fn stream_lines(
+    addr: &str,
+    path_and_query: &str,
+    on_line: &mut dyn FnMut(&str),
+) -> Result<(), String> {
+    let mut stream = connect(addr)?;
+    let head =
+        format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader, addr)?;
+    if status != 200 {
+        let mut body = Vec::new();
+        let _ = reader.read_to_end(&mut body);
+        return Err(format!(
+            "server answered {status}: {}",
+            String::from_utf8_lossy(&body).trim()
+        ));
+    }
+    if !header_value(&headers, "transfer-encoding").is_some_and(|v| v.contains("chunked")) {
+        return Err("expected a chunked event stream".into());
+    }
+    let mut pending = String::new();
+    read_chunked(&mut reader, addr, &mut |bytes| {
+        pending.push_str(&String::from_utf8_lossy(bytes));
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim();
+            if !line.is_empty() {
+                on_line(line);
+            }
+        }
+    })?;
+    if !pending.trim().is_empty() {
+        on_line(pending.trim());
+    }
+    Ok(())
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    Ok(stream)
+}
+
+/// Read the status line + headers; returns `(status, lower-cased raw
+/// header block)`.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+) -> Result<(u16, Vec<(String, String)>), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}: {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read from {addr}: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok((status, headers));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        if headers.len() > 256 {
+            return Err(format!("runaway header block from {addr}"));
+        }
+    }
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Decode a chunked body, feeding each chunk's payload to `on_chunk`,
+/// until the terminating 0-chunk.
+fn read_chunked(
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+    on_chunk: &mut dyn FnMut(&[u8]),
+) -> Result<(), String> {
+    loop {
+        let mut size_line = String::new();
+        let n = reader
+            .read_line(&mut size_line)
+            .map_err(|e| format!("read from {addr}: {e}"))?;
+        if n == 0 {
+            // EOF before the terminating 0-chunk: the server died or
+            // dropped the connection mid-stream.
+            return Err(format!("{addr} closed the stream mid-transfer"));
+        }
+        let size_line = size_line.trim();
+        if size_line.is_empty() {
+            continue; // CRLF between chunks
+        }
+        // Chunk extensions (";...") are legal; we emit none but strip
+        // them defensively.
+        let hex = size_line.split(';').next().unwrap_or_default().trim();
+        let size = usize::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad chunk size {size_line:?} from {addr}"))?;
+        if size == 0 {
+            return Ok(()); // trailer-less end of stream
+        }
+        let mut chunk = vec![0u8; size];
+        reader
+            .read_exact(&mut chunk)
+            .map_err(|e| format!("read chunk from {addr}: {e}"))?;
+        on_chunk(&chunk);
+    }
+}

@@ -13,7 +13,7 @@ use pangraph::{parse_gfa_reader, write_gfa, VariationGraph};
 use pgio::{layout_to_tsv, load_lay, save_lay};
 use pgl_service::{
     run_batch, BatchOptions, EngineRegistry, HttpConfig, HttpServer, JobState, LayoutService,
-    ServiceConfig,
+    Priority, ServiceConfig,
 };
 use pgmetrics::{path_stress, sampled_path_stress, SamplingConfig};
 use std::path::Path;
@@ -51,36 +51,66 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         "tsv" => "pgl tsv <in.lay> -o <out.tsv>\nExport layout coordinates as TSV.",
         "serve" => {
             "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
-             \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]\n\
-             \u{20}         [--keep-alive SECS] [--rate-limit REQ_PER_SEC]\n\
-             Serve layouts over HTTP. Upload-once workflow: POST /graphs (GFA body)\n\
-             parses the graph once and returns {graph_id, nodes, paths, steps}; then\n\
-             POST /layout?graph=<id> lays it out by reference (engine=cpu|batch|gpu|\n\
-             gpu-a100, iters, threads, seed, batch, soa) with no re-upload or\n\
-             re-parse. POST /layout also still accepts an inline GFA body.\n\
-             GET /graphs lists stored graphs, DELETE /graphs/<id> drops one.\n\
-             GET /jobs/<id>, POST /jobs/<id>/cancel, GET /result/<id>[?format=lay],\n\
-             GET /stats, GET /metrics, GET /engines, GET /healthz as before.\n\
-             Identical requests are answered from the content-addressed layout cache\n\
-             (capacity --cache, default 64); --graphs bounds resident parsed graphs\n\
-             (default 16, 0 = unbounded); --cache-dir adds disk tiers for both that\n\
-             survive restarts, each capped at --cache-max-bytes (oldest spills\n\
-             evicted first; 0 = unbounded). Connections are bounded: --max-conns\n\
-             handler threads (default 64) plus an equal-sized queue; beyond that the\n\
-             server sheds load with 503 + Retry-After. --rate-limit N throttles each\n\
-             client IP to N requests/second (429 beyond a one-second burst; 0 = off).\n\
-             HTTP/1.1 keep-alive is on by default (idle timeout --keep-alive seconds,\n\
-             default 5; 0 closes after every response)."
+             \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
+             \u{20}         [--max-conns N] [--keep-alive SECS] [--rate-limit REQ_PER_SEC]\n\
+             Serve layouts over HTTP. The API is versioned under /v1 (unversioned\n\
+             paths remain as deprecated aliases). Upload-once workflow: POST\n\
+             /v1/graphs (GFA body) parses the graph once and returns {graph_id,...};\n\
+             then POST /v1/jobs?graph=<id> lays it out by reference (engine=cpu|\n\
+             batch|gpu|gpu-a100, iters, threads, seed, batch, soa) with no re-upload\n\
+             or re-parse — plus scheduling params priority=interactive|normal|bulk,\n\
+             client=<key> (fair-share identity, default: peer IP), ttl_ms=<n> (fail\n\
+             if still queued after n ms). Jobs are scheduled by priority band with\n\
+             deficit round-robin across clients inside each band, so one client's\n\
+             bulk flood cannot starve another's interactive job.\n\
+             GET /v1/jobs/<id> polls status; GET /v1/jobs/<id>/events streams the\n\
+             job's event log (chunked NDJSON: state transitions + progress) until\n\
+             the job is terminal — no polling. GET /v1/graphs lists stored graphs\n\
+             with an ETag (If-None-Match => 304), DELETE /v1/graphs/<id> drops one.\n\
+             POST /v1/jobs/<id>/cancel, GET /v1/result/<id>[?format=lay],\n\
+             GET /v1/stats, /v1/metrics, /v1/engines, /v1/healthz as before.\n\
+             --preload-graphs DIR interns every .gfa/.lean in DIR at startup so a\n\
+             fresh server answers by-reference requests immediately (counted in\n\
+             /stats as graphs.preloaded). Identical requests are answered from the\n\
+             content-addressed layout cache (capacity --cache, default 64); --graphs\n\
+             bounds resident parsed graphs (default 16, 0 = unbounded); --cache-dir\n\
+             adds disk tiers for both that survive restarts, each capped at\n\
+             --cache-max-bytes (oldest spills evicted first; 0 = unbounded).\n\
+             Connections are bounded: --max-conns handler threads (default 64) plus\n\
+             an equal-sized queue; beyond that the server sheds load with 503 +\n\
+             Retry-After. --rate-limit N throttles each client IP to N req/s (429\n\
+             beyond a one-second burst; 0 = off). HTTP/1.1 keep-alive is on by\n\
+             default (idle timeout --keep-alive seconds, default 5; 0 closes after\n\
+             every response)."
         }
         "batch" => {
             "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100[,more...]]\n\
              \u{20}         [--workers N] [--iters N] [--threads N] [--seed N] [--tsv]\n\
-             \u{20}         [--timeout SECS] [--resume]\n\
+             \u{20}         [--timeout SECS] [--resume] [--priority P] [--client KEY]\n\
              Lay out every .gfa in <dir> concurrently through the service worker pool,\n\
              writing <outdir>/<stem>.lay (and .tsv with --tsv), then print a summary.\n\
              --engine accepts a comma-separated list; each input is parsed exactly\n\
              once and fanned across all engines (outputs <stem>.<engine>.lay).\n\
-             --resume skips inputs whose .lay in <outdir> is already up to date."
+             --resume skips inputs whose .lay in <outdir> is already up to date.\n\
+             --priority interactive|normal|bulk and --client KEY set the scheduling\n\
+             identity of the submitted jobs (matters when sharing a service)."
+        }
+        "submit" => {
+            "pgl submit <in.gfa> [--addr HOST] [--port N] [--engine E] [--iters N]\n\
+             \u{20}          [--threads N] [--seed N] [--batch N] [--soa]\n\
+             \u{20}          [--priority interactive|normal|bulk] [--client KEY]\n\
+             \u{20}          [--ttl-ms N] [--watch]\n\
+             Submit one layout job to a running `pgl serve` (POST /v1/jobs) and print\n\
+             the ticket. --priority/--client/--ttl-ms set the typed JobSpec's\n\
+             scheduling fields; --watch then streams the job's event log (like\n\
+             `pgl watch`) until it reaches a terminal state."
+        }
+        "watch" => {
+            "pgl watch <job-id> [--addr HOST] [--port N] [--from SEQ]\n\
+             Stream a job's event log from a running `pgl serve`\n\
+             (GET /v1/jobs/<id>/events): one line per state transition or progress\n\
+             update, no polling; exits when the job reaches a terminal state.\n\
+             --from resumes mid-log after a dropped connection."
         }
         _ => return None,
     })
@@ -321,21 +351,166 @@ pub fn serve(p: ArgParser) -> CmdResult {
         EngineRegistry::with_default_engines(),
         cfg,
     ));
+    let preload_note = match p.value("--preload-graphs") {
+        None => String::new(),
+        Some(dir) => {
+            let report = service
+                .preload_dir(Path::new(dir))
+                .map_err(|e| format!("preload {dir}: {e}"))?;
+            format!(
+                ", preloaded {} graph(s) from {dir} ({} dedup, {} failed)",
+                report.loaded, report.dedup, report.failed
+            )
+        }
+    };
     let server = HttpServer::bind(&addr, Arc::clone(&service))
         .map_err(|e| format!("bind {addr}: {e}"))?
         .with_config(http_cfg.clone());
     eprintln!(
-        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}, engines: {})",
+        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}{}, engines: {})",
         server.local_addr(),
         workers,
         http_cfg.max_conns,
         http_cfg.keep_alive.as_secs(),
         cache_note,
         limit_note,
+        preload_note,
         service.engine_names().join(", ")
     );
     server.serve();
     Ok(())
+}
+
+/// Parse `--priority` into the typed scheduling class.
+fn parse_priority(p: &ArgParser) -> Result<Priority, String> {
+    match p.value("--priority") {
+        None => Ok(Priority::Normal),
+        Some(v) => Priority::parse_name(v)
+            .ok_or_else(|| format!("bad --priority {v:?} (interactive, normal, bulk)")),
+    }
+}
+
+/// Server address from `--addr` / `--port`.
+fn server_addr(p: &ArgParser) -> Result<String, String> {
+    Ok(format!(
+        "{}:{}",
+        p.value("--addr").unwrap_or("127.0.0.1"),
+        p.parse_or("--port", 7878u16)?
+    ))
+}
+
+/// Minimal query-component escaping for client-supplied strings.
+fn encode_query(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for b in value.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Pull `"field":<digits>` out of a flat JSON body.
+fn json_u64_field(json: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = json.find(&needle)? + needle.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// `pgl submit` — send one job to a running server over the /v1 API.
+pub fn submit(p: ArgParser) -> CmdResult {
+    let input = p.pos(0, "in.gfa")?;
+    let addr = server_addr(&p)?;
+    let gfa = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let mut query = vec![format!(
+        "engine={}",
+        encode_query(p.value("--engine").unwrap_or("cpu"))
+    )];
+    for flag in ["--iters", "--threads", "--seed", "--batch"] {
+        if let Some(v) = p.value(flag) {
+            query.push(format!("{}={}", &flag[2..], encode_query(v)));
+        }
+    }
+    if p.has("--soa") {
+        query.push("soa=1".into());
+    }
+    query.push(format!("priority={}", parse_priority(&p)?.as_str()));
+    if let Some(client) = p.value("--client") {
+        query.push(format!("client={}", encode_query(client)));
+    }
+    if let Some(ttl) = p.value("--ttl-ms") {
+        query.push(format!("ttl_ms={}", encode_query(ttl)));
+    }
+    let path = format!("/v1/jobs?{}", query.join("&"));
+    let (status, body) = crate::client::request(&addr, "POST", &path, &gfa)?;
+    let text = String::from_utf8_lossy(&body);
+    if status != 202 {
+        return Err(format!("server answered {status}: {}", text.trim()));
+    }
+    println!("{}", text.trim());
+    if p.has("--watch") {
+        let job =
+            json_u64_field(&text, "job").ok_or_else(|| format!("no job id in response: {text}"))?;
+        return watch_job(&addr, job, 0);
+    }
+    Ok(())
+}
+
+/// `pgl watch` — stream a job's event log from a running server.
+pub fn watch(p: ArgParser) -> CmdResult {
+    let job: u64 = p
+        .pos(0, "job-id")?
+        .parse()
+        .map_err(|_| format!("bad job id {:?}", p.pos(0, "job-id").unwrap_or("")))?;
+    let addr = server_addr(&p)?;
+    watch_job(&addr, job, p.parse_or("--from", 0u64)?)
+}
+
+fn json_state(json: &str) -> Option<String> {
+    let at = json.find("\"state\":\"")?;
+    Some(
+        json[at + 9..]
+            .chars()
+            .take_while(|c| *c != '"')
+            .collect::<String>(),
+    )
+}
+
+fn watch_job(addr: &str, job: u64, from: u64) -> CmdResult {
+    let path = format!("/v1/jobs/{job}/events?from={from}");
+    let mut last_state = String::new();
+    crate::client::stream_lines(addr, &path, &mut |line| {
+        if !line.contains("\"event\":\"heartbeat\"") {
+            println!("{line}");
+        }
+        if let Some(state) = json_state(line) {
+            last_state = state;
+        }
+    })?;
+    if last_state.is_empty() {
+        // The stream replayed nothing — e.g. a --from cursor past the
+        // terminal event after a dropped connection. The job's status
+        // still knows how it ended.
+        let (status, body) = crate::client::request(addr, "GET", &format!("/v1/jobs/{job}"), b"")?;
+        let text = String::from_utf8_lossy(&body);
+        if status != 200 {
+            return Err(format!("server answered {status}: {}", text.trim()));
+        }
+        println!("{}", text.trim());
+        last_state = json_state(&text).unwrap_or_default();
+    }
+    match last_state.as_str() {
+        "done" => Ok(()),
+        "" => Err(format!("could not determine job {job}'s state")),
+        other => Err(format!("job {job} ended {other}")),
+    }
 }
 
 /// `pgl batch` — lay out a directory of graphs through the worker pool.
@@ -363,6 +538,8 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
         write_tsv: p.has("--tsv"),
         timeout: std::time::Duration::from_secs(p.parse_or("--timeout", 3600u64)?),
         resume: p.has("--resume"),
+        priority: parse_priority(&p)?,
+        client: p.value("--client").map(str::to_string),
     };
     let report = run_batch(Path::new(dir), Path::new(out), &opts)?;
     for o in &report.outcomes {
@@ -506,7 +683,8 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch",
+            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch", "submit",
+            "watch",
         ] {
             let text = usage(cmd).expect(cmd);
             assert!(text.contains(cmd), "{cmd} usage names itself");

@@ -13,11 +13,14 @@
 //! pgl stress   g.gfa g.lay [--exact]                    # sampled path stress (+CI)
 //! pgl draw     g.gfa g.lay -o g.svg [--ppm]             # render
 //! pgl tsv      g.lay -o g.tsv                           # export coordinates
-//! pgl serve    [--port 7878]                            # HTTP layout service
+//! pgl serve    [--port 7878]                            # HTTP layout service (/v1 API)
 //! pgl batch    graphs/ -o layouts/ [--engine gpu]       # lay out a directory
+//! pgl submit   g.gfa --priority interactive --watch     # job via a running server
+//! pgl watch    17                                       # stream a job's events
 //! ```
 
 mod args;
+mod client;
 mod commands;
 
 use args::ArgParser;
@@ -56,6 +59,8 @@ fn main() {
         "tsv" => commands::tsv(parser),
         "serve" => commands::serve(parser),
         "batch" => commands::batch_cmd(parser),
+        "submit" => commands::submit(parser),
+        "watch" => commands::watch(parser),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -83,10 +88,17 @@ fn print_usage() {
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
          \u{20}  tsv     <in.lay> -o <out.tsv>\n\
          \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
-         \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]\n\
-         \u{20}          [--keep-alive SECS] [--rate-limit N]   (HTTP service; POST /graphs\n\
-         \u{20}          uploads once, POST /layout?graph=<id> lays out by reference)\n\
+         \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
+         \u{20}          [--max-conns N] [--keep-alive SECS] [--rate-limit N]\n\
+         \u{20}          (HTTP /v1 API: POST /v1/graphs uploads once, POST /v1/jobs\n\
+         \u{20}          lays out by reference with priority/client/ttl_ms scheduling,\n\
+         \u{20}          GET /v1/jobs/<id>/events streams progress)\n\
          \u{20}  batch   <dir> -o <outdir> [--engine E[,E2...]] [--workers N] [--tsv]\n\
-         \u{20}          [--resume]   (each input parsed once across all engines)\n"
+         \u{20}          [--resume] [--priority P] [--client KEY]\n\
+         \u{20}          (each input parsed once across all engines)\n\
+         \u{20}  submit  <in.gfa> [--addr HOST] [--port N] [--engine E] [--priority P]\n\
+         \u{20}          [--client KEY] [--ttl-ms N] [--watch]   (POST /v1/jobs)\n\
+         \u{20}  watch   <job-id> [--addr HOST] [--port N] [--from SEQ]\n\
+         \u{20}          (stream GET /v1/jobs/<id>/events until terminal)\n"
     );
 }

@@ -4,21 +4,49 @@
 //! job scheduler) and a running engine. The engine polls
 //! [`LayoutControl::is_cancelled`] at iteration boundaries and publishes
 //! progress; the caller polls [`LayoutControl::progress`] and may flip the
-//! cancel flag at any time. Everything is relaxed atomics — progress is
-//! advisory and cancellation is best-effort-by-next-iteration.
+//! cancel flag at any time. The cancel flag and the progress gauge are
+//! relaxed atomics — progress is advisory and cancellation is
+//! best-effort-by-next-iteration.
+//!
+//! A caller that wants to be *pushed* progress instead of polling can
+//! register an observer ([`LayoutControl::set_observer`]): it is invoked
+//! on the engine thread whenever the published progress value actually
+//! changes (at most once per thousandth of progress), which is what
+//! feeds the service's per-job event logs for streaming clients.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Callback invoked with the new progress fraction whenever it changes.
+type ProgressObserver = Box<dyn Fn(f64) + Send + Sync>;
 
 /// Shared cancel flag + progress gauge for one layout run.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct LayoutControl {
     cancelled: AtomicBool,
     /// Progress in thousandths (0..=1000).
     progress_milli: AtomicU32,
+    /// Optional push-style progress listener. Locked only when the
+    /// published value changes (≤ 1000 times per run), never on the
+    /// per-iteration fast path of an unchanged value.
+    observer: Mutex<Option<ProgressObserver>>,
+}
+
+impl std::fmt::Debug for LayoutControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayoutControl")
+            .field("cancelled", &self.cancelled)
+            .field("progress_milli", &self.progress_milli)
+            .field(
+                "observer",
+                &self.observer.lock().map(|o| o.is_some()).unwrap_or(false),
+            )
+            .finish()
+    }
 }
 
 impl LayoutControl {
-    /// A fresh control: not cancelled, zero progress.
+    /// A fresh control: not cancelled, zero progress, no observer.
     pub fn new() -> Self {
         Self::default()
     }
@@ -35,15 +63,38 @@ impl LayoutControl {
         self.cancelled.load(Ordering::Relaxed)
     }
 
+    /// Register the progress observer, replacing any previous one. The
+    /// callback runs on the engine thread at each change of the
+    /// published (millis-granular) progress value; it must not block
+    /// and must not call back into this control.
+    pub fn set_observer(&self, observer: impl Fn(f64) + Send + Sync + 'static) {
+        *self.observer.lock().unwrap() = Some(Box::new(observer));
+    }
+
+    /// Drop the observer (e.g. once the run's caller has recorded the
+    /// terminal state and no longer wants callbacks).
+    pub fn clear_observer(&self) {
+        *self.observer.lock().unwrap() = None;
+    }
+
     /// Publish progress as `done` of `total` units (e.g. iterations).
     pub fn set_progress(&self, done: u64, total: u64) {
         let milli = (done.saturating_mul(1000) / total.max(1)).min(1000) as u32;
-        self.progress_milli.store(milli, Ordering::Relaxed);
+        self.publish(milli);
     }
 
     /// Mark the run complete (progress 1.0).
     pub fn finish(&self) {
-        self.progress_milli.store(1000, Ordering::Relaxed);
+        self.publish(1000);
+    }
+
+    fn publish(&self, milli: u32) {
+        let prev = self.progress_milli.swap(milli, Ordering::Relaxed);
+        if prev != milli {
+            if let Some(obs) = self.observer.lock().unwrap().as_ref() {
+                obs(milli as f64 / 1000.0);
+            }
+        }
     }
 
     /// Current progress in `[0.0, 1.0]`.
@@ -55,6 +106,8 @@ impl LayoutControl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
 
     #[test]
     fn fresh_control_is_clean() {
@@ -84,5 +137,41 @@ mod tests {
         assert!(c.is_cancelled());
         c.cancel();
         assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn observer_fires_only_on_change() {
+        let c = LayoutControl::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let calls = Arc::clone(&calls);
+            let seen = Arc::clone(&seen);
+            c.set_observer(move |p| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                seen.lock().unwrap().push(p);
+            });
+        }
+        c.set_progress(1, 10); // 0.1 — change
+        c.set_progress(1, 10); // same value — no call
+        c.set_progress(2, 10); // 0.2 — change
+        c.finish(); // 1.0 — change
+        c.finish(); // still 1.0 — no call
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(*seen.lock().unwrap(), vec![0.1, 0.2, 1.0]);
+    }
+
+    #[test]
+    fn cleared_observer_stops_firing() {
+        let c = LayoutControl::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let n = Arc::clone(&calls);
+        c.set_observer(move |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        c.set_progress(1, 4);
+        c.clear_observer();
+        c.set_progress(2, 4);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 }

@@ -367,6 +367,9 @@ pub struct GraphStoreStats {
     pub disk_errors: u64,
     /// Spill files removed by the disk-tier byte cap.
     pub disk_cap_evictions: u64,
+    /// Graphs interned by a startup preload pass
+    /// (`pgl serve --preload-graphs`).
+    pub preloaded: u64,
 }
 
 struct Entry {
@@ -488,6 +491,11 @@ impl GraphStore {
     /// The caller's [`evict_dir_to_cap`] pass removed `n` spill files.
     pub fn record_cap_evictions(&mut self, n: u64) {
         self.stats.disk_cap_evictions += n;
+    }
+
+    /// A startup preload pass interned one graph.
+    pub fn record_preload(&mut self) {
+        self.stats.preloaded += 1;
     }
 
     /// Insert a parsed graph into the memory tier (no disk I/O; see

@@ -8,9 +8,10 @@
 //! paying ingestion twice). With one engine, outputs are
 //! `<stem>.lay` as before; with several, `<stem>.<engine>.lay`.
 
-use crate::job::{JobRequest, JobState};
+use crate::job::JobState;
 use crate::registry::EngineRegistry;
 use crate::service::{LayoutService, ServiceConfig, SubmitTicket};
+use crate::spec::{JobSpec, Priority};
 use layout_core::LayoutConfig;
 use pgio::{layout_to_tsv, save_lay};
 use std::path::{Path, PathBuf};
@@ -38,6 +39,12 @@ pub struct BatchOptions {
     /// off. An input is not even read (let alone parsed) when every
     /// engine's output is up to date.
     pub resume: bool,
+    /// Scheduling band for every submitted job (`pgl batch --priority`).
+    /// Matters when the batch shares a service with other traffic.
+    pub priority: Priority,
+    /// Fair-share client key for every submitted job; `None` uses the
+    /// service's anonymous key.
+    pub client: Option<String>,
 }
 
 impl Default for BatchOptions {
@@ -50,6 +57,8 @@ impl Default for BatchOptions {
             write_tsv: false,
             timeout: Duration::from_secs(3600),
             resume: false,
+            priority: Priority::Normal,
+            client: None,
         }
     }
 }
@@ -228,11 +237,14 @@ pub fn run_batch(dir: &Path, out_dir: &Path, opts: &BatchOptions) -> Result<Batc
                 }
                 Ok(up) => {
                     for (engine, stem) in needs_compute {
-                        let ticket = service.submit(JobRequest {
+                        let ticket = service.submit_spec(JobSpec {
                             engine: engine.clone(),
                             config: opts.config.clone(),
                             batch_size: opts.batch_size,
                             graph: crate::job::GraphSpec::Stored(up.id),
+                            priority: opts.priority,
+                            client: opts.client.clone(),
+                            queue_ttl: None,
                         });
                         legs.push(Leg {
                             engine,

@@ -1,30 +1,45 @@
 //! A minimal, dependency-free HTTP/1.1 front end over
 //! `std::net::TcpListener`, hardened for sustained traffic.
 //!
-//! Routes:
+//! The API is versioned under `/v1`; every route also exists at its
+//! historical unversioned path as a thin alias (deprecated, kept for
+//! old clients, metered separately in `/metrics`):
 //!
-//! | Method & path            | Meaning                                          |
-//! |--------------------------|--------------------------------------------------|
-//! | `POST /graphs`           | body = GFA; parse once → `{graph_id, nodes, …}`  |
-//! | `GET /graphs`            | list stored graphs                               |
-//! | `DELETE /graphs/<id>`    | delete a stored graph                            |
-//! | `POST /layout`           | body = GFA (or `?graph=<id>`, empty body);       |
-//! |                          | query = engine/config → job ticket               |
-//! | `GET /jobs/<id>`         | job status JSON (state, progress, engine, …)     |
-//! | `POST /jobs/<id>/cancel` | request cancellation (also `DELETE /jobs/<id>`)  |
-//! | `GET /result/<id>`       | finished layout as TSV (`?format=lay` = binary)  |
-//! | `GET /stats`             | service + cache + graph-store + HTTP counters    |
-//! | `GET /metrics`           | Prometheus-style text exposition                 |
-//! | `GET /engines`           | registered engine names                          |
-//! | `GET /healthz`           | liveness probe                                   |
+//! | Method & `/v1` path          | Meaning                                        |
+//! |------------------------------|------------------------------------------------|
+//! | `POST /v1/jobs` (or `/v1/layout`) | submit a job: body = GFA (or `?graph=<id>`); query = typed `JobSpec` params → ticket |
+//! | `GET /v1/jobs/<id>`          | job status JSON (state, progress, priority, …) |
+//! | `GET /v1/jobs/<id>/events`   | **chunked stream** of the job's event log      |
+//! | `POST /v1/jobs/<id>/cancel`  | request cancellation (also `DELETE /v1/jobs/<id>`) |
+//! | `GET /v1/result/<id>`        | finished layout as TSV (`?format=lay` binary)  |
+//! | `POST /v1/graphs`            | body = GFA; parse once → `{graph_id, nodes, …}`|
+//! | `GET /v1/graphs`             | list stored graphs (`ETag` / `If-None-Match`)  |
+//! | `DELETE /v1/graphs/<id>`     | delete a stored graph                          |
+//! | `GET /v1/stats`              | service + cache + graph-store + HTTP counters  |
+//! | `GET /v1/metrics`            | Prometheus-style text exposition               |
+//! | `GET /v1/engines`            | registered engine names                        |
+//! | `GET /v1/healthz`            | liveness probe                                 |
 //!
-//! `POST /layout` query parameters: `engine` (default `cpu`), `iters`,
-//! `threads`, `seed`, `batch`, `soa` (any value ⇒ original
-//! struct-of-arrays coordinate layout), and `graph=<id>` to lay out a
-//! previously uploaded graph by reference — the **upload-once** flow:
-//! `POST /graphs` ships the (possibly multi-gigabyte) GFA one time;
-//! every subsequent layout request is a sub-kilobyte reference, served
-//! from the server-side parsed artifact without re-upload or re-parse.
+//! Submission query parameters (parsed into one validated
+//! [`crate::spec::JobSpec`]): `engine` (default `cpu`), `iters`,
+//! `threads`, `seed`, `batch`, `soa`, `graph=<id>` (lay out a stored
+//! graph by reference — the **upload-once** flow), plus the scheduling
+//! dimensions `priority=interactive|normal|bulk`, `client=<key>` (the
+//! fair-share identity; defaults to the peer IP the rate limiter also
+//! uses), and `ttl_ms=<n>` (fail the job if still queued after `n` ms).
+//! Under `/v1` unknown parameters are a `400`; the legacy routes keep
+//! ignoring them.
+//!
+//! `GET /v1/jobs/<id>/events?from=<seq>` answers with
+//! `Transfer-Encoding: chunked` and writes one NDJSON line per job
+//! event (state transitions and coalesced progress), blocking until new
+//! events arrive and closing the stream after the terminal event —
+//! clients watch a job without polling. Heartbeat lines
+//! (`{"event":"heartbeat"}`) flow during long gaps so dead clients are
+//! detected. A stream pins its handler thread for the job's lifetime,
+//! so at most half the handler pool may stream concurrently
+//! ([`max_event_streams`]); excess watchers are shed with `503 +
+//! Retry-After`.
 //!
 //! ## Traffic model
 //!
@@ -42,7 +57,9 @@
 //!
 //! Every answered request lands in [`HttpMetrics`]: per-route counters
 //! plus log2-bucketed latency histograms, surfaced through both
-//! `GET /stats` (JSON) and `GET /metrics` (Prometheus text).
+//! `GET /stats` (JSON) and `GET /metrics` (Prometheus text). Legacy
+//! aliases and `/v1` routes are metered under distinct labels so the
+//! deprecation is observable.
 //!
 //! With [`HttpConfig::rate_limit`] set, a per-client-IP token bucket
 //! ([`crate::ratelimit::RateLimiter`]) throttles request processing:
@@ -51,13 +68,11 @@
 //! `pgl_http_rate_limited_total`.
 
 use crate::httpmetrics::{route_index, HttpMetrics, OTHER_ROUTE};
-use crate::job::GraphSpec;
-use crate::job::JobId;
+use crate::job::{EventKind, JobEvent, JobId};
 use crate::ratelimit::RateLimiter;
 use crate::service::{LayoutService, SubmitError};
-use crate::JobRequest;
-use layout_core::{DataLayout, LayoutConfig};
-use pangraph::store::ContentHash;
+use crate::spec::parse_job_spec;
+use pangraph::store::{content_hash, ContentHash};
 use pgio::{layout_to_tsv, write_lay};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -82,6 +97,20 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
 /// Requests served on one connection before the server forces a close —
 /// a backstop so a single client cannot pin a handler thread forever.
 const MAX_REQUESTS_PER_CONN: u64 = 1000;
+
+/// How long an event stream waits for new events before emitting a
+/// heartbeat line (which doubles as dead-client detection: the write
+/// fails once the peer is gone).
+const EVENT_HEARTBEAT: Duration = Duration::from_secs(15);
+
+/// Ceiling on concurrent event streams as a fraction of the handler
+/// pool: streams pin handler threads for a job's whole lifetime, so
+/// without a cap a handful of watchers could exhaust `max_conns` and
+/// 503 every other request. At most half the pool may stream; the
+/// excess is shed with `503 + Retry-After`.
+fn max_event_streams(cfg: &HttpConfig) -> usize {
+    (cfg.max_conns / 2).max(1)
+}
 
 /// Tuning knobs for the HTTP front end.
 #[derive(Debug, Clone)]
@@ -166,6 +195,9 @@ impl HttpServer {
         } = self;
         let limiter = RateLimiter::maybe(cfg.rate_limit).map(Arc::new);
         let queue = Arc::new(ConnQueue::new(cfg.max_conns));
+        // Live event-stream count, shared by the handler pool (see
+        // `max_event_streams`).
+        let streams = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         // One slot per handler holding a clone of the connection it is
         // serving, so shutdown can sever blocked reads instead of
         // waiting out keep-alive idle timeouts.
@@ -180,6 +212,7 @@ impl HttpServer {
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let limiter = limiter.clone();
+                let streams = Arc::clone(&streams);
                 std::thread::Builder::new()
                     .name(format!("pgl-http-{i}"))
                     .spawn(move || {
@@ -199,6 +232,7 @@ impl HttpServer {
                                 &cfg,
                                 limiter.as_deref(),
                                 &stop,
+                                &streams,
                             );
                             *active[i].lock().unwrap() = None;
                         }
@@ -348,6 +382,8 @@ struct Request {
     body: Vec<u8>,
     /// Client-side keep-alive verdict (version default + `Connection`).
     keep_alive: bool,
+    /// `If-None-Match` value, for `ETag` revalidation on `GET /graphs`.
+    if_none_match: Option<String>,
 }
 
 impl Request {
@@ -365,6 +401,8 @@ struct Response {
     body: Vec<u8>,
     /// Seconds for a `Retry-After` header (rate-limit 429s).
     retry_after: Option<u32>,
+    /// `ETag` header value (already quoted), when the resource has one.
+    etag: Option<String>,
 }
 
 impl Response {
@@ -374,6 +412,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            etag: None,
         }
     }
 
@@ -383,12 +422,24 @@ impl Response {
             content_type,
             body,
             retry_after: None,
+            etag: None,
         }
     }
 
     fn error(status: u16, message: &str) -> Self {
         Self::json(status, format!("{{\"error\":{}}}", json_str(message)))
     }
+}
+
+/// How the dispatcher wants a request answered: a plain response, or a
+/// long-lived chunked event stream that takes over the connection.
+enum Routed {
+    Plain(Response),
+    /// Stream `job`'s event log from sequence `from` until terminal.
+    Events {
+        job: JobId,
+        from: u64,
+    },
 }
 
 /// Reason phrases for every status the server can emit. Unknown codes
@@ -398,6 +449,7 @@ fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -456,6 +508,7 @@ fn write_503(mut stream: TcpStream, retry_after_secs: u32) {
 /// Serve sequential requests on one connection until the client closes,
 /// goes idle past the keep-alive timeout, asks to close, or the server
 /// is stopping.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     service: &LayoutService,
@@ -463,11 +516,13 @@ fn handle_connection(
     cfg: &HttpConfig,
     limiter: Option<&RateLimiter>,
     stop: &AtomicBool,
+    streams: &std::sync::atomic::AtomicUsize,
 ) {
     let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
     // Rate limiting keys on the peer IP; an unreadable peer address
     // (vanishingly rare) shares one fallback bucket rather than
-    // bypassing the limiter.
+    // bypassing the limiter. The same identity is the default
+    // fair-share client key for submissions.
     let peer = stream
         .peer_addr()
         .map(|a| a.ip())
@@ -529,14 +584,60 @@ fn handle_connection(
                                 query: head.query,
                                 body,
                                 keep_alive: head.keep_alive,
+                                if_none_match: head.if_none_match,
                             };
-                            let response = route(&mut req, service, metrics);
-                            metrics.observe_idx(route_idx, response.status, started.elapsed());
-                            let keep = req.keep_alive
-                                && !cfg.keep_alive.is_zero()
-                                && served + 1 < MAX_REQUESTS_PER_CONN
-                                && !stop.load(Ordering::Relaxed);
-                            (response, keep)
+                            match route(&mut req, service, metrics, peer) {
+                                Routed::Plain(response) => {
+                                    metrics.observe_idx(
+                                        route_idx,
+                                        response.status,
+                                        started.elapsed(),
+                                    );
+                                    let keep = req.keep_alive
+                                        && !cfg.keep_alive.is_zero()
+                                        && served + 1 < MAX_REQUESTS_PER_CONN
+                                        && !stop.load(Ordering::Relaxed);
+                                    (response, keep)
+                                }
+                                Routed::Events { job, from } => {
+                                    // Streams pin this handler thread
+                                    // until the job's log completes;
+                                    // shed beyond the pool-share cap.
+                                    if streams.fetch_add(1, Ordering::Relaxed)
+                                        >= max_event_streams(cfg)
+                                    {
+                                        streams.fetch_sub(1, Ordering::Relaxed);
+                                        let mut response = Response::error(
+                                            503,
+                                            "too many concurrent event streams; retry later",
+                                        );
+                                        response.retry_after = Some(cfg.retry_after_secs.max(1));
+                                        metrics.observe_idx(route_idx, 503, started.elapsed());
+                                        let keep = req.keep_alive
+                                            && !cfg.keep_alive.is_zero()
+                                            && served + 1 < MAX_REQUESTS_PER_CONN
+                                            && !stop.load(Ordering::Relaxed);
+                                        (response, keep)
+                                    } else {
+                                        let outcome = stream_job_events(
+                                            reader.get_mut(),
+                                            service,
+                                            job,
+                                            from,
+                                            stop,
+                                        );
+                                        streams.fetch_sub(1, Ordering::Relaxed);
+                                        metrics.observe_idx(
+                                            route_idx,
+                                            if outcome.is_ok() { 200 } else { 408 },
+                                            started.elapsed(),
+                                        );
+                                        // The connection closes after a
+                                        // stream (Connection: close sent).
+                                        return;
+                                    }
+                                }
+                            }
                         }
                         Err(msg) => {
                             metrics.record_bad_request();
@@ -593,6 +694,9 @@ fn write_response(
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
+    if let Some(etag) = &response.etag {
+        head.push_str(&format!("ETag: {etag}\r\n"));
+    }
     if keep {
         head.push_str(&format!(
             "Connection: keep-alive\r\nKeep-Alive: timeout={}\r\n",
@@ -605,6 +709,96 @@ fn write_response(
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
+}
+
+/// Write one chunk of a `Transfer-Encoding: chunked` response.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// How often a parked event stream re-checks the server stop flag. A
+/// stream waits on the *service's* condvar, which severing its socket
+/// cannot interrupt, so this slice — not the heartbeat interval — is
+/// what bounds shutdown latency (PR 2's prompt-stop guarantee).
+const STREAM_STOP_CHECK: Duration = Duration::from_millis(250);
+
+/// Serve `GET /v1/jobs/<id>/events`: a chunked NDJSON stream of the
+/// job's event log from sequence `from`, blocking for new events and
+/// ending (0-chunk, connection close) once the job is terminal or the
+/// server is stopping. The route handler has already verified the job
+/// exists.
+fn stream_job_events(
+    stream: &mut TcpStream,
+    service: &LayoutService,
+    job: JobId,
+    mut from: u64,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+          Transfer-Encoding: chunked\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    let mut last_activity = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match service.wait_events(job, from, STREAM_STOP_CHECK) {
+            // Job evicted from the retention window mid-stream: its log
+            // is gone, so the stream honestly ends.
+            None => break,
+            Some((events, terminal)) => {
+                for event in &events {
+                    write_chunk(stream, event_json(service, job, event).as_bytes())?;
+                    from = event.seq + 1;
+                    last_activity = Instant::now();
+                }
+                if terminal {
+                    break;
+                }
+                if events.is_empty() && last_activity.elapsed() >= EVENT_HEARTBEAT {
+                    // Nothing new within the heartbeat window: emit a
+                    // keep-alive line (and learn whether the client is
+                    // still there — a dead peer fails this write).
+                    write_chunk(stream, b"{\"event\":\"heartbeat\"}\n")?;
+                    last_activity = Instant::now();
+                }
+            }
+        }
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// One NDJSON line for a job event. Failed-state events carry the
+/// job's error message when it is still available.
+fn event_json(service: &LayoutService, job: JobId, event: &JobEvent) -> String {
+    match &event.kind {
+        EventKind::State(state) => {
+            let error = match state {
+                crate::job::JobState::Failed => service
+                    .status(job)
+                    .and_then(|s| s.error)
+                    .map(|e| format!(",\"error\":{}", json_str(&e)))
+                    .unwrap_or_default(),
+                _ => String::new(),
+            };
+            format!(
+                "{{\"job\":{},\"seq\":{},\"event\":\"state\",\"state\":\"{}\"{}}}\n",
+                job,
+                event.seq,
+                state.as_str(),
+                error
+            )
+        }
+        EventKind::Progress(p) => format!(
+            "{{\"job\":{},\"seq\":{},\"event\":\"progress\",\"progress\":{:.3}}}\n",
+            job, event.seq, p
+        ),
+    }
 }
 
 /// Read one CRLF-terminated line with a hard length cap, so an endless
@@ -640,6 +834,7 @@ struct RequestHead {
     query: Vec<(String, String)>,
     keep_alive: bool,
     content_length: usize,
+    if_none_match: Option<String>,
 }
 
 /// Largest body still drained (rather than the connection closed) when
@@ -668,6 +863,7 @@ fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<Request
         None => (target.to_string(), String::new()),
     };
     let mut content_length: Option<usize> = None;
+    let mut if_none_match: Option<String> = None;
     let mut headers_done = false;
     for _ in 0..MAX_HEADERS {
         let header = read_capped_line(reader, "header")?.ok_or("connection closed mid-headers")?;
@@ -705,6 +901,8 @@ fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<Request
                 } else if v.split(',').any(|t| t.trim() == "keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("if-none-match") {
+                if_none_match = Some(value.trim().to_string());
             }
         }
     }
@@ -731,6 +929,7 @@ fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<Request
         query,
         keep_alive,
         content_length,
+        if_none_match,
     }))
 }
 
@@ -755,42 +954,94 @@ fn read_request_body(
     Ok(body)
 }
 
-fn route(req: &mut Request, service: &LayoutService, metrics: &HttpMetrics) -> Response {
+/// Dispatch one request. `/v1/...` is the canonical surface; the same
+/// paths without the prefix are the deprecated legacy aliases (identical
+/// behavior except for `/v1`'s strict query-parameter validation).
+fn route(
+    req: &mut Request,
+    service: &LayoutService,
+    metrics: &HttpMetrics,
+    peer: IpAddr,
+) -> Routed {
     let path = req.path.clone();
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.clone().as_str(), segments.as_slice()) {
-        ("POST", ["layout"]) => post_layout(req, service),
-        ("POST", ["graphs"]) => post_graph(req, service),
-        ("GET", ["graphs"]) => list_graphs(service),
-        ("DELETE", ["graphs", id]) => match ContentHash::from_hex(id) {
+    let all: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let (v1, segments) = match all.as_slice() {
+        ["v1", rest @ ..] => (true, rest),
+        rest => (false, rest),
+    };
+    let plain = |r: Response| Routed::Plain(r);
+    // /v1 validates query parameters strictly on EVERY route — a typo
+    // like `?frm=5` fails loudly instead of being silently ignored.
+    // The legacy aliases keep their historical lenient behavior.
+    if v1 {
+        let allowed: &[&str] = match (req.method.as_str(), segments) {
+            ("POST", ["layout"]) | ("POST", ["jobs"]) => &crate::spec::KNOWN_PARAMS[..],
+            ("GET", ["jobs", _, "events"]) => &["from"],
+            ("GET", ["result", _]) => &["format"],
+            _ => &[],
+        };
+        if let Some((k, _)) = req
+            .query
+            .iter()
+            .find(|(k, _)| !allowed.contains(&k.as_str()))
+        {
+            return plain(Response::error(400, &format!("unknown parameter {k:?}")));
+        }
+    }
+    match (req.method.clone().as_str(), segments) {
+        // POST /v1/jobs is the canonical submission; /layout is kept on
+        // both surfaces for continuity with the original API.
+        ("POST", ["layout"]) | ("POST", ["jobs"]) => plain(post_layout(req, service, peer)),
+        ("POST", ["graphs"]) => plain(post_graph(req, service)),
+        ("GET", ["graphs"]) => plain(list_graphs(service, req.if_none_match.as_deref())),
+        ("DELETE", ["graphs", id]) => plain(match ContentHash::from_hex(id) {
             Some(id) => delete_graph(id, service),
             None => Response::error(400, "graph id must be 32 hex digits"),
+        }),
+        ("GET", ["jobs", id, "events"]) => match parse_id(id) {
+            Some(job) => {
+                let from = match req.param("from").map(str::parse::<u64>) {
+                    None => 0,
+                    Some(Ok(n)) => n,
+                    Some(Err(_)) => {
+                        return plain(Response::error(400, "from must be a sequence number"))
+                    }
+                };
+                if service.status(job).is_none() {
+                    return plain(Response::error(404, &format!("no such job {job}")));
+                }
+                Routed::Events { job, from }
+            }
+            None => plain(Response::error(400, "job id must be a number")),
         },
-        ("GET", ["jobs", id]) => match parse_id(id) {
+        ("GET", ["jobs", id]) => plain(match parse_id(id) {
             Some(id) => job_status(id, service),
             None => Response::error(400, "job id must be a number"),
-        },
-        ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => match parse_id(id) {
+        }),
+        ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => plain(match parse_id(id) {
             Some(id) => cancel_job(id, service),
             None => Response::error(400, "job id must be a number"),
-        },
-        ("GET", ["result", id]) => match parse_id(id) {
+        }),
+        ("GET", ["result", id]) => plain(match parse_id(id) {
             Some(id) => job_result(id, req.param("format").unwrap_or("tsv"), service),
             None => Response::error(400, "job id must be a number"),
-        },
-        ("GET", ["stats"]) => stats(service, metrics),
-        ("GET", ["metrics"]) => Response::bytes(
+        }),
+        ("GET", ["stats"]) => plain(stats(service, metrics)),
+        ("GET", ["metrics"]) => plain(Response::bytes(
             200,
             "text/plain; version=0.0.4",
             metrics.render_prometheus().into_bytes(),
-        ),
+        )),
         ("GET", ["engines"]) => {
             let names: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
-            Response::json(200, format!("{{\"engines\":[{}]}}", names.join(",")))
+            plain(Response::json(
+                200,
+                format!("{{\"engines\":[{}]}}", names.join(",")),
+            ))
         }
-        ("GET", ["healthz"]) => Response::json(200, "{\"ok\":true}".into()),
-        ("GET", _) | ("POST", _) | ("DELETE", _) => Response::error(404, "no such route"),
-        _ => Response::error(405, "method not supported"),
+        ("GET", ["healthz"]) => plain(Response::json(200, "{\"ok\":true}".into())),
+        ("GET", _) | ("POST", _) | ("DELETE", _) => plain(Response::error(404, "no such route")),
+        _ => plain(Response::error(405, "method not supported")),
     }
 }
 
@@ -814,15 +1065,15 @@ fn post_graph(req: &mut Request, service: &LayoutService) -> Response {
                 up.dedup
             ),
         ),
-        Err(SubmitError::Rejected(msg)) | Err(SubmitError::NoSuchGraph(msg)) => {
-            Response::error(400, &msg)
-        }
         Err(SubmitError::ShuttingDown) => Response::error(503, "service is shutting down"),
+        Err(e) => Response::error(400, &e.to_string()),
     }
 }
 
-/// `GET /graphs` — list stored graphs.
-fn list_graphs(service: &LayoutService) -> Response {
+/// `GET /graphs` — list stored graphs, with an `ETag` over the listing
+/// so pollers revalidate with `If-None-Match` → `304` instead of
+/// re-downloading an unchanged catalog.
+fn list_graphs(service: &LayoutService, if_none_match: Option<&str>) -> Response {
     let graphs: Vec<String> = service
         .graphs()
         .iter()
@@ -839,14 +1090,30 @@ fn list_graphs(service: &LayoutService) -> Response {
             )
         })
         .collect();
-    Response::json(
-        200,
-        format!(
-            "{{\"count\":{},\"graphs\":[{}]}}",
-            graphs.len(),
-            graphs.join(",")
-        ),
-    )
+    let body = format!(
+        "{{\"count\":{},\"graphs\":[{}]}}",
+        graphs.len(),
+        graphs.join(",")
+    );
+    let etag = format!("\"{}\"", content_hash(body.as_bytes()).hex());
+    if if_none_match.is_some_and(|header| etag_matches(header, &etag)) {
+        let mut response = Response::bytes(304, "application/json", Vec::new());
+        response.etag = Some(etag);
+        return response;
+    }
+    let mut response = Response::json(200, body);
+    response.etag = Some(etag);
+    response
+}
+
+/// Does an `If-None-Match` header match this entity tag? Accepts `*`,
+/// comma-separated lists, and weak validators (`W/"…"` compares equal
+/// to its strong form — byte-identical JSON is the only way we ever
+/// reuse a tag).
+fn etag_matches(header: &str, etag: &str) -> bool {
+    header.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+    })
 }
 
 /// `DELETE /graphs/<id>` — drop a stored graph from every tier.
@@ -858,68 +1125,40 @@ fn delete_graph(id: ContentHash, service: &LayoutService) -> Response {
     }
 }
 
-fn post_layout(req: &mut Request, service: &LayoutService) -> Response {
+/// `POST /v1/jobs` / `POST /layout` — parse the query + body into one
+/// typed [`crate::spec::JobSpec`] and submit it. The fair-share client
+/// key defaults to the peer IP (the same identity the rate limiter
+/// buckets by) when `?client=` is absent. Unknown-parameter strictness
+/// is owned by [`route`]'s `/v1` allowlist check, so the parse here is
+/// always lenient.
+fn post_layout(req: &mut Request, service: &LayoutService, peer: IpAddr) -> Response {
     // Consume the body in place: cloning would double peak memory for
     // large GFA uploads.
     let body = std::mem::take(&mut req.body);
-    let graph = match req.param("graph") {
-        Some(hex) => {
-            if !body.is_empty() {
-                return Response::error(
-                    400,
-                    "send either an inline GFA body or ?graph=<id>, not both",
-                );
-            }
-            match ContentHash::from_hex(hex) {
-                Some(id) => GraphSpec::Stored(id),
-                None => return Response::error(400, "graph id must be 32 hex digits"),
-            }
-        }
-        None => match String::from_utf8(body) {
-            Ok(s) => GraphSpec::Gfa(Arc::new(s)),
-            Err(_) => return Response::error(400, "GFA body must be UTF-8"),
-        },
+    let mut spec = match parse_job_spec(&req.query, body, false) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &e.to_string()),
     };
-    let mut config = LayoutConfig::default();
-    macro_rules! parse_param {
-        ($name:literal, $field:expr) => {
-            if let Some(v) = req.param($name) {
-                match v.parse() {
-                    Ok(x) => $field = x,
-                    Err(_) => return Response::error(400, &format!("bad {} value {v:?}", $name)),
-                }
-            }
-        };
+    if spec.client.is_none() {
+        spec.client = Some(peer.to_string());
     }
-    parse_param!("iters", config.iter_max);
-    parse_param!("threads", config.threads);
-    parse_param!("seed", config.seed);
-    if req.param("soa").is_some() {
-        config.data_layout = DataLayout::OriginalSoa;
-    }
-    let mut batch_size = 1024usize;
-    parse_param!("batch", batch_size);
-    let request = JobRequest {
-        engine: req.param("engine").unwrap_or("cpu").to_string(),
-        config,
-        batch_size,
-        graph,
-    };
-    match service.submit(request) {
+    match service.submit_spec(spec) {
         Ok(ticket) => {
             let state = if ticket.cached { "done" } else { "queued" };
             Response::json(
                 202,
                 format!(
-                    "{{\"job\":{},\"cached\":{},\"state\":\"{}\",\"graph\":{}}}",
+                    "{{\"job\":{},\"cached\":{},\"state\":\"{}\",\"graph\":{},\"priority\":\"{}\"}}",
                     ticket.id,
                     ticket.cached,
                     state,
-                    json_str(&ticket.graph.hex())
+                    json_str(&ticket.graph.hex()),
+                    ticket.priority.as_str()
                 ),
             )
         }
         Err(SubmitError::Rejected(msg)) => Response::error(400, &msg),
+        Err(SubmitError::Invalid(e)) => Response::error(400, &e.to_string()),
         Err(SubmitError::NoSuchGraph(msg)) => Response::error(404, &msg),
         Err(SubmitError::ShuttingDown) => Response::error(503, "service is shutting down"),
     }
@@ -967,13 +1206,16 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
         200,
         format!(
             "{{\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\
-             \"failed\":{},\"cancelled\":{}}},\
+             \"failed\":{},\"cancelled\":{},\"expired\":{},\
+             \"queued_interactive\":{},\"queued_normal\":{},\"queued_bulk\":{},\
+             \"active_clients\":{}}},\
              \"cache\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"insertions\":{},\"disk_hits\":{},\"disk_writes\":{},\
              \"disk_errors\":{},\"disk_cap_evictions\":{}}},\
              \"graphs\":{{\"resident\":{},\"bytes\":{},\"parses\":{},\"hits\":{},\
              \"disk_hits\":{},\"misses\":{},\"evictions\":{},\"deletes\":{},\
-             \"disk_writes\":{},\"disk_errors\":{},\"disk_cap_evictions\":{}}},\
+             \"disk_writes\":{},\"disk_errors\":{},\"disk_cap_evictions\":{},\
+             \"preloaded\":{}}},\
              \"http\":{{\"accepted\":{},\"rejected_503\":{},\"keepalive_reuses\":{},\
              \"bad_requests\":{},\"rate_limited_429\":{},\"requests\":{}}},\
              \"workers\":{},\"uptime_ms\":{}}}",
@@ -983,6 +1225,11 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             s.done,
             s.failed,
             s.cancelled,
+            s.expired,
+            s.queued_by_band[0],
+            s.queued_by_band[1],
+            s.queued_by_band[2],
+            s.active_clients,
             s.cache_entries,
             s.cache_bytes,
             s.cache.hits,
@@ -1004,6 +1251,7 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             s.graphs.disk_writes,
             s.graphs.disk_errors,
             s.graphs.disk_cap_evictions,
+            s.graphs.preloaded,
             h.accepted,
             h.rejected_503,
             h.keepalive_reuses,
@@ -1018,12 +1266,15 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
 
 fn status_json(s: &crate::job::JobStatus) -> String {
     format!(
-        "{{\"job\":{},\"state\":\"{}\",\"progress\":{:.3},\"engine\":{},\"cached\":{},\
+        "{{\"job\":{},\"state\":\"{}\",\"progress\":{:.3},\"engine\":{},\
+         \"priority\":\"{}\",\"client\":{},\"cached\":{},\
          \"nodes\":{},\"graph\":{},\"wall_ms\":{}{}}}",
         s.id,
         s.state.as_str(),
         s.progress,
         json_str(&s.engine),
+        s.priority.as_str(),
+        json_str(&s.client),
         s.cached,
         s.nodes,
         json_str(&s.graph.hex()),
@@ -1114,6 +1365,7 @@ mod tests {
     #[test]
     fn reason_phrases_cover_the_emitted_codes() {
         assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(304), "Not Modified");
         assert_eq!(reason_phrase(429), "Too Many Requests");
         assert_eq!(reason_phrase(503), "Service Unavailable");
         assert_eq!(reason_phrase(500), "Internal Server Error");
@@ -1128,5 +1380,16 @@ mod tests {
         assert!(cfg.max_conns >= 1);
         assert!(!cfg.keep_alive.is_zero());
         assert!(cfg.retry_after_secs >= 1);
+    }
+
+    #[test]
+    fn etag_matching_covers_lists_stars_and_weak_forms() {
+        let tag = "\"abc\"";
+        assert!(etag_matches("\"abc\"", tag));
+        assert!(etag_matches("*", tag));
+        assert!(etag_matches("\"x\", \"abc\"", tag));
+        assert!(etag_matches("W/\"abc\"", tag));
+        assert!(!etag_matches("\"abd\"", tag));
+        assert!(!etag_matches("", tag));
     }
 }

@@ -17,46 +17,78 @@ use std::time::Duration;
 
 /// Normalized route labels. Parameterized segments collapse (`/jobs/17`
 /// and `/jobs/99` are the same route), so cardinality stays fixed no
-/// matter what clients request. This table and [`route_index`] are the
-/// single authority on route naming; the HTTP dispatcher resolves paths
-/// through them.
-pub const ROUTES: [&str; 11] = [
+/// matter what clients request. The API is versioned: the first
+/// [`V1_OFFSET`] labels are the legacy unversioned aliases, the next
+/// block their `/v1` counterparts (tracked separately so alias traffic
+/// is observable while the deprecation runs), and `"other"` catches the
+/// rest. This table and [`route_index`] are the single authority on
+/// route naming; the HTTP dispatcher resolves paths through them.
+pub const ROUTES: [&str; 25] = [
     "/layout",
     "/graphs",
     "/graphs/{id}",
+    "/jobs",
     "/jobs/{id}",
     "/jobs/{id}/cancel",
+    "/jobs/{id}/events",
     "/result/{id}",
     "/stats",
     "/metrics",
     "/engines",
     "/healthz",
+    "/v1/layout",
+    "/v1/graphs",
+    "/v1/graphs/{id}",
+    "/v1/jobs",
+    "/v1/jobs/{id}",
+    "/v1/jobs/{id}/cancel",
+    "/v1/jobs/{id}/events",
+    "/v1/result/{id}",
+    "/v1/stats",
+    "/v1/metrics",
+    "/v1/engines",
+    "/v1/healthz",
     "other",
 ];
+
+/// Distance from a legacy route label to its `/v1` twin in [`ROUTES`].
+const V1_OFFSET: usize = 12;
 
 /// Index of the catch-all `"other"` route.
 pub const OTHER_ROUTE: usize = ROUTES.len() - 1;
 
 /// Collapse a request path to its [`ROUTES`] index (fixed cardinality).
+/// `/v1/...` paths resolve to their own labels.
 pub fn route_index(path: &str) -> usize {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    let label = match segments.as_slice() {
+    let (v1, rest) = match segments.as_slice() {
+        ["v1", rest @ ..] => (true, rest),
+        rest => (false, rest),
+    };
+    let label = match rest {
         ["layout"] => "/layout",
         ["graphs"] => "/graphs",
         ["graphs", _] => "/graphs/{id}",
+        ["jobs"] => "/jobs",
         ["jobs", _, "cancel"] => "/jobs/{id}/cancel",
+        ["jobs", _, "events"] => "/jobs/{id}/events",
         ["jobs", _] => "/jobs/{id}",
         ["result", _] => "/result/{id}",
         ["stats"] => "/stats",
         ["metrics"] => "/metrics",
         ["engines"] => "/engines",
         ["healthz"] => "/healthz",
-        _ => "other",
+        _ => return OTHER_ROUTE,
     };
-    ROUTES
+    let base = ROUTES
         .iter()
         .position(|r| *r == label)
-        .unwrap_or(OTHER_ROUTE)
+        .unwrap_or(OTHER_ROUTE);
+    if v1 {
+        base + V1_OFFSET
+    } else {
+        base
+    }
 }
 
 /// Histogram buckets: bucket `i < LAST` holds latencies `≤ 2^i` µs; the
@@ -379,8 +411,10 @@ mod tests {
         assert_eq!(ROUTES[route_index("/layout")], "/layout");
         assert_eq!(ROUTES[route_index("/graphs")], "/graphs");
         assert_eq!(ROUTES[route_index("/graphs/abc123")], "/graphs/{id}");
+        assert_eq!(ROUTES[route_index("/jobs")], "/jobs");
         assert_eq!(ROUTES[route_index("/jobs/17")], "/jobs/{id}");
         assert_eq!(ROUTES[route_index("/jobs/99/cancel")], "/jobs/{id}/cancel");
+        assert_eq!(ROUTES[route_index("/jobs/99/events")], "/jobs/{id}/events");
         assert_eq!(ROUTES[route_index("/result/3")], "/result/{id}");
         assert_eq!(ROUTES[route_index("/stats")], "/stats");
         assert_eq!(ROUTES[route_index("/metrics")], "/metrics");
@@ -388,6 +422,34 @@ mod tests {
         assert_eq!(ROUTES[route_index("/healthz")], "/healthz");
         assert_eq!(route_index("/jobs/1/2/3"), OTHER_ROUTE);
         assert_eq!(route_index("/"), OTHER_ROUTE);
+        assert_eq!(route_index("/v1"), OTHER_ROUTE);
+    }
+
+    #[test]
+    fn v1_routes_resolve_to_their_own_labels() {
+        // Every legacy label has a /v1 twin exactly V1_OFFSET away, and
+        // route_index finds it.
+        for (i, label) in ROUTES.iter().enumerate().take(V1_OFFSET) {
+            assert_eq!(
+                ROUTES[i + V1_OFFSET],
+                format!("/v1{label}"),
+                "table layout: {label}"
+            );
+        }
+        assert_eq!(ROUTES[route_index("/v1/layout")], "/v1/layout");
+        assert_eq!(ROUTES[route_index("/v1/jobs")], "/v1/jobs");
+        assert_eq!(ROUTES[route_index("/v1/jobs/4")], "/v1/jobs/{id}");
+        assert_eq!(
+            ROUTES[route_index("/v1/jobs/4/events")],
+            "/v1/jobs/{id}/events"
+        );
+        assert_eq!(
+            ROUTES[route_index("/v1/jobs/4/cancel")],
+            "/v1/jobs/{id}/cancel"
+        );
+        assert_eq!(ROUTES[route_index("/v1/graphs/ff")], "/v1/graphs/{id}");
+        assert_eq!(ROUTES[route_index("/v1/healthz")], "/v1/healthz");
+        assert_eq!(route_index("/v1/no/such"), OTHER_ROUTE);
     }
 
     #[test]

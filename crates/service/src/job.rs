@@ -1,6 +1,7 @@
-//! Job model: what a layout request looks like and how its lifecycle is
-//! reported.
+//! Job model: what a layout request looks like, how its lifecycle is
+//! reported, and the per-job event log that feeds streaming clients.
 
+use crate::spec::{JobSpec, Priority};
 use layout_core::{LayoutConfig, LayoutControl};
 use pangraph::store::ContentHash;
 use pangraph::{Layout2D, LeanGraph};
@@ -19,7 +20,8 @@ pub enum JobState {
     Running,
     /// Finished; the result is available.
     Done,
-    /// Parse or engine failure; see the error message.
+    /// Parse or engine failure — or a queue TTL expiry; see the error
+    /// message.
     Failed,
     /// Cancelled before completion.
     Cancelled,
@@ -59,7 +61,9 @@ pub enum GraphSpec {
 }
 
 /// One layout request: a graph (inline or by reference) plus how to lay
-/// it out.
+/// it out. This is the legacy embedding surface; it converts into a
+/// [`JobSpec`] with default scheduling (normal priority, anonymous
+/// client, no TTL). New code should build a [`JobSpec`] directly.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
     /// Engine registry key (`cpu`, `batch`, `gpu`, `gpu-a100`, ...).
@@ -94,6 +98,39 @@ impl JobRequest {
     }
 }
 
+impl From<JobRequest> for JobSpec {
+    fn from(req: JobRequest) -> Self {
+        let mut spec = JobSpec::with_graph(req.engine, req.graph);
+        spec.config = req.config;
+        spec.batch_size = req.batch_size;
+        spec
+    }
+}
+
+/// What happened, as recorded in a job's event log.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// Lifecycle transition into `JobState`.
+    State(JobState),
+    /// Progress advanced to this fraction.
+    Progress(f64),
+}
+
+/// One sequence-numbered entry in a job's event log. Sequence numbers
+/// start at 0 and are dense, so a streaming client that saw seq `n`
+/// resumes with `from=n+1` losslessly.
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    /// Position in this job's log (0-based, dense).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Progress events are coalesced to this granularity so a million-
+/// iteration run logs ~100 events, not a million.
+const PROGRESS_EVENT_STEP: f64 = 0.01;
+
 /// Internal job record, owned by the service's job table. Jobs never
 /// hold GFA text: the graph rides along as a shared parsed artifact and
 /// is dropped the moment the job reaches a terminal state.
@@ -102,6 +139,13 @@ pub(crate) struct Job {
     pub engine: String,
     pub config: LayoutConfig,
     pub batch_size: usize,
+    /// Scheduling band the job was submitted under.
+    pub priority: Priority,
+    /// Fair-share key the scheduler grouped this job by.
+    pub client: String,
+    /// Queue deadline (`submitted + queue_ttl`): a job still queued past
+    /// this instant is failed instead of run.
+    pub deadline: Option<Instant>,
     /// Identity of the graph (content hash of its source GFA bytes).
     pub graph_hash: ContentHash,
     /// The parsed graph, shared with the store and any sibling jobs.
@@ -123,9 +167,82 @@ pub(crate) struct Job {
     /// Node count, known from submit time (graphs are parsed before
     /// jobs are enqueued).
     pub nodes: usize,
+    /// Sequence-numbered log of state transitions and (coalesced)
+    /// progress updates; what `GET /v1/jobs/<id>/events` streams.
+    pub events: Vec<JobEvent>,
+    /// Progress value of the last logged progress event (coalescing).
+    last_progress_event: f64,
 }
 
 impl Job {
+    /// A record in its initial state. Pushes no events; the service
+    /// logs the birth state (`Queued`, or `Done` for cache hits) so the
+    /// log always starts with a state event at seq 0.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: JobId,
+        spec: &JobSpec,
+        client: String,
+        graph_hash: ContentHash,
+        graph: Option<Arc<LeanGraph>>,
+        cache_key: crate::cache::CacheKey,
+        state: JobState,
+        nodes: usize,
+        result: Option<Arc<Layout2D>>,
+        now: Instant,
+    ) -> Self {
+        let cached = state == JobState::Done;
+        Self {
+            id,
+            engine: spec.engine.clone(),
+            config: spec.config.clone(),
+            batch_size: spec.batch_size,
+            priority: spec.priority,
+            client,
+            deadline: spec.queue_ttl.map(|ttl| now + ttl),
+            graph_hash,
+            graph,
+            cache_key,
+            state,
+            error: None,
+            result,
+            cached,
+            control: Arc::new(LayoutControl::new()),
+            submitted: now,
+            finished: cached.then_some(now),
+            nodes,
+            events: Vec::new(),
+            last_progress_event: 0.0,
+        }
+    }
+
+    /// Append a state-transition event.
+    pub(crate) fn push_state_event(&mut self, state: JobState) {
+        let seq = self.events.len() as u64;
+        self.events.push(JobEvent {
+            seq,
+            kind: EventKind::State(state),
+        });
+    }
+
+    /// Append a progress event if it advances at least
+    /// [`PROGRESS_EVENT_STEP`] past the last one (completion always
+    /// logs). Returns whether an event was appended.
+    pub(crate) fn push_progress_event(&mut self, progress: f64) -> bool {
+        let significant = progress >= self.last_progress_event + PROGRESS_EVENT_STEP
+            || (progress >= 1.0 && self.last_progress_event < 1.0);
+        if !significant {
+            return false;
+        }
+        self.last_progress_event = progress;
+        let seq = self.events.len() as u64;
+        self.events.push(JobEvent {
+            seq,
+            kind: EventKind::Progress(progress),
+        });
+        true
+    }
+
     pub(crate) fn status(&self) -> JobStatus {
         JobStatus {
             id: self.id,
@@ -136,6 +253,8 @@ impl Job {
                 _ => self.control.progress(),
             },
             engine: self.engine.clone(),
+            priority: self.priority,
+            client: self.client.clone(),
             cached: self.cached,
             error: self.error.clone(),
             nodes: self.nodes,
@@ -160,9 +279,15 @@ pub struct JobStatus {
     pub progress: f64,
     /// Requested engine name.
     pub engine: String,
+    /// Scheduling band.
+    pub priority: Priority,
+    /// Fair-share key the job was scheduled under.
+    pub client: String,
     /// Whether the result came from the layout cache.
     pub cached: bool,
-    /// Failure message when `state == Failed`.
+    /// Failure message when `state == Failed` (engine errors and queue
+    /// TTL expiries); `None` in every other state, including
+    /// `Cancelled`.
     pub error: Option<String>,
     /// Graph node count.
     pub nodes: usize,
@@ -209,5 +334,90 @@ mod tests {
             GraphSpec::Stored(h) => assert_eq!(h, id),
             other => panic!("expected Stored, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn legacy_requests_convert_to_specs_with_default_scheduling() {
+        let mut req = JobRequest::new("batch", "S\t1\tA\n");
+        req.batch_size = 99;
+        req.config.iter_max = 5;
+        let spec: JobSpec = req.into();
+        assert_eq!(spec.engine, "batch");
+        assert_eq!(spec.batch_size, 99);
+        assert_eq!(spec.config.iter_max, 5);
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.client, None);
+        assert_eq!(spec.queue_ttl, None);
+    }
+
+    fn bare_job() -> Job {
+        let spec = JobSpec::new("cpu", "S\t1\tA\n");
+        Job::new(
+            1,
+            &spec,
+            "anon".into(),
+            pangraph::store::content_hash(b"g"),
+            None,
+            crate::cache::cache_key(
+                "cpu",
+                &LayoutConfig::default(),
+                1024,
+                pangraph::store::content_hash(b"g"),
+            ),
+            JobState::Queued,
+            0,
+            None,
+            Instant::now(),
+        )
+    }
+
+    #[test]
+    fn event_log_sequences_are_dense_and_ordered() {
+        let mut job = bare_job();
+        job.push_state_event(JobState::Queued);
+        job.push_state_event(JobState::Running);
+        assert!(job.push_progress_event(0.5));
+        job.push_state_event(JobState::Done);
+        let seqs: Vec<u64> = job.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn progress_events_are_coalesced() {
+        let mut job = bare_job();
+        assert!(job.push_progress_event(0.02));
+        assert!(!job.push_progress_event(0.021), "sub-step delta coalesced");
+        assert!(!job.push_progress_event(0.025));
+        assert!(job.push_progress_event(0.04), "full step logs");
+        assert!(job.push_progress_event(1.0), "completion always logs");
+        assert!(!job.push_progress_event(1.0), "but only once");
+        assert_eq!(job.events.len(), 3);
+    }
+
+    #[test]
+    fn status_carries_scheduling_identity() {
+        let mut spec = JobSpec::new("cpu", "S\t1\tA\n").priority(Priority::Bulk);
+        spec.client = Some("ignored-here".into());
+        let job = Job::new(
+            7,
+            &spec,
+            "carol".into(),
+            pangraph::store::content_hash(b"g"),
+            None,
+            crate::cache::cache_key(
+                "cpu",
+                &LayoutConfig::default(),
+                1024,
+                pangraph::store::content_hash(b"g"),
+            ),
+            JobState::Queued,
+            0,
+            None,
+            Instant::now(),
+        );
+        let status = job.status();
+        assert_eq!(status.priority, Priority::Bulk);
+        assert_eq!(status.client, "carol");
+        assert_eq!(status.error, None);
     }
 }

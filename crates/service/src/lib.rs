@@ -34,12 +34,21 @@
 //!   subsequent layout request — across engines, configs, and even
 //!   server restarts via the `.lean` disk tier — shares the single
 //!   parsed form. Jobs carry graph references, never GFA text.
-//! * [`service::LayoutService`] — the job queue and worker pool with
-//!   full lifecycle (`queued → running → done | failed | cancelled`),
-//!   progress polling via [`layout_core::LayoutControl`], and
-//!   cancellation that stops engines at iteration boundaries.
-//!   Malformed and zero-segment GFA is rejected at submit time, before
-//!   a queue slot is spent.
+//! * [`spec::JobSpec`] — the typed `/v1` submission surface: engine,
+//!   graph, layout overrides, a [`spec::Priority`] class
+//!   (`interactive | normal | bulk`), a client identity, and an
+//!   optional queue TTL, parsed and validated in one place
+//!   ([`spec::parse_job_spec`]) with typed errors.
+//! * [`service::LayoutService`] — the scheduled queue and worker pool
+//!   with full lifecycle (`queued → running → done|failed|cancelled`),
+//!   a per-job sequence-numbered event log (state transitions +
+//!   coalesced progress, fed by a [`layout_core::LayoutControl`]
+//!   observer) for streaming clients, and cancellation that stops
+//!   engines at iteration boundaries. Malformed and zero-segment GFA
+//!   is rejected at submit time, before a queue slot is spent. The
+//!   queue itself is a [`sched::FairScheduler`]: strict priority
+//!   bands, deficit round-robin across client keys within each band —
+//!   one client's bulk flood cannot starve another's interactive job.
 //! * [`cache::LayoutCache`] — a content-addressed, LRU-evicting layout
 //!   cache keyed on `(graph hash, engine, config)`: repeated requests
 //!   are answered without recomputation, and by-reference requests are
@@ -48,10 +57,12 @@
 //!   files so a restarted server keeps hitting on old work; both it
 //!   and the graph tier are size-bounded by
 //!   `ServiceConfig::cache_max_bytes` (oldest spills evicted first).
-//! * [`http::HttpServer`] — a dependency-free HTTP/1.1 front end
-//!   (`POST /graphs`, `POST /layout`, `GET /jobs/<id>`,
-//!   `GET /result/<id>`, `GET /stats`, `GET /metrics`, …) over
-//!   `std::net`, wired into the CLI as `pgl serve`. Hardened for real
+//! * [`http::HttpServer`] — a dependency-free HTTP/1.1 front end over
+//!   `std::net`, wired into the CLI as `pgl serve`. The API is
+//!   versioned under `/v1` (`POST /v1/jobs`, `GET /v1/jobs/<id>`,
+//!   chunked `GET /v1/jobs/<id>/events` streaming, `POST /v1/graphs`,
+//!   `GET /v1/result/<id>`, …) with the historical unversioned routes
+//!   preserved as thin aliases. Hardened for real
 //!   traffic: a bounded connection queue drained by a fixed handler
 //!   pool (overload ⇒ `503` + `Retry-After`), HTTP/1.1 keep-alive,
 //!   per-client token-bucket rate limiting
@@ -85,16 +96,21 @@ pub mod httpmetrics;
 pub mod job;
 pub mod ratelimit;
 pub mod registry;
+pub mod sched;
 pub mod service;
+pub mod spec;
 
 pub use batchrun::{run_batch, BatchOptions, BatchOutcome, BatchReport};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
 pub use http::{HttpConfig, HttpServer, ServerHandle};
 pub use httpmetrics::{HttpMetrics, HttpStatsSnapshot};
-pub use job::{GraphSpec, JobId, JobRequest, JobState, JobStatus};
+pub use job::{EventKind, GraphSpec, JobEvent, JobId, JobRequest, JobState, JobStatus};
 pub use pangraph::store::{ContentHash, GraphMeta, GraphStore, GraphStoreStats};
 pub use ratelimit::RateLimiter;
 pub use registry::{EngineRegistry, EngineRequest};
+pub use sched::FairScheduler;
 pub use service::{
-    GraphUpload, LayoutService, ServiceConfig, ServiceStats, SubmitError, SubmitTicket,
+    GraphUpload, LayoutService, PreloadReport, ServiceConfig, ServiceStats, SubmitError,
+    SubmitTicket, ANONYMOUS_CLIENT,
 };
+pub use spec::{parse_job_spec, JobSpec, Priority, SpecError};

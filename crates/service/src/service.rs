@@ -1,17 +1,18 @@
-//! The layout orchestration service: a job queue fanned across a worker
-//! thread pool, backed by the engine registry, the graph store, and the
-//! layout cache.
+//! The layout orchestration service: a priority + fair-share scheduled
+//! job queue fanned across a worker thread pool, backed by the engine
+//! registry, the graph store, and the layout cache.
 //!
 //! ```text
 //! upload(gfa) ──► GraphStore: hash ─► parse once ─► Arc<LeanGraph>
 //!
-//! submit(engine, config, graph)
+//! submit_spec(JobSpec{engine, graph, config, priority, client, ttl})
 //!    │  layout-cache hit ─────────► job born Done (cached=true)
 //!    ▼  miss
 //!    resolve graph (store hit, disk reload, or — inline only — parse)
 //!    ▼
-//! queue ──► worker: registry.create(engine) ─►
-//!           engine.layout_controlled(lean, ctl) ─► cache.insert ─► Done
+//! FairScheduler ──► worker: registry.create(engine) ─►
+//!  (priority bands,  engine.layout_controlled(lean, ctl)
+//!   DRR per client)    ─► cache.insert ─► Done
 //! ```
 //!
 //! **Parse-once pipeline:** graphs are content-addressed artifacts
@@ -23,13 +24,30 @@
 //! layout cache keys off the graph's content hash, so the request costs
 //! O(config) to key and zero bytes of graph transfer.
 //!
+//! **Scheduling:** the queue is a [`FairScheduler`] — strict
+//! [`Priority`] bands with deficit round-robin across client keys
+//! inside each band — so one client's bulk flood cannot starve another
+//! client's interactive job. Jobs may carry a queue TTL; a job still
+//! queued when its TTL expires is failed (`expired in queue`) instead
+//! of run.
+//!
+//! **Events:** every job keeps a sequence-numbered log of state
+//! transitions and coalesced progress updates ([`crate::job::JobEvent`]),
+//! fed by a [`LayoutControl`] progress observer on the engine thread.
+//! [`LayoutService::wait_events`] blocks until the log grows past a
+//! client's cursor, which is what the HTTP front end's chunked
+//! `GET /v1/jobs/<id>/events` stream drains.
+//!
 //! Cancellation flows through [`LayoutControl`]: queued jobs are marked
-//! cancelled directly; running jobs get their control flag flipped and
-//! the engine stops at its next iteration boundary.
+//! cancelled directly (and removed from the scheduler); running jobs get
+//! their control flag flipped and the engine stops at its next iteration
+//! boundary.
 
 use crate::cache::{cache_key, write_spill, CacheKey, CacheStats, LayoutCache};
-use crate::job::{GraphSpec, Job, JobId, JobRequest, JobState, JobStatus};
+use crate::job::{GraphSpec, Job, JobEvent, JobId, JobRequest, JobState, JobStatus};
 use crate::registry::{EngineRegistry, EngineRequest};
+use crate::sched::FairScheduler;
+use crate::spec::{JobSpec, Priority};
 use layout_core::LayoutControl;
 use pangraph::store::{
     content_hash, evict_dir_to_cap, load_graph_spill, write_graph_spill, ContentHash, GraphMeta,
@@ -41,8 +59,12 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
+
+/// Fair-share key used when a spec names no client and the transport
+/// provides no identity (embedded callers, tests).
+pub const ANONYMOUS_CLIENT: &str = "anonymous";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -102,6 +124,9 @@ pub enum SubmitError {
     /// Malformed request: unknown engine, empty or unparseable GFA,
     /// zero-segment graph. (HTTP 400.)
     Rejected(String),
+    /// The request failed typed [`crate::spec::JobSpec`] validation.
+    /// (HTTP 400.)
+    Invalid(crate::spec::SpecError),
     /// A by-reference request named a graph the store does not hold.
     /// (HTTP 404.)
     NoSuchGraph(String),
@@ -113,12 +138,19 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::Rejected(msg) | SubmitError::NoSuchGraph(msg) => write!(f, "{msg}"),
+            SubmitError::Invalid(e) => write!(f, "{e}"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+impl From<crate::spec::SpecError> for SubmitError {
+    fn from(e: crate::spec::SpecError) -> Self {
+        SubmitError::Invalid(e)
+    }
+}
 
 /// Ticket returned by [`LayoutService::submit`].
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +162,8 @@ pub struct SubmitTicket {
     pub cached: bool,
     /// Content hash identifying the job's graph.
     pub graph: ContentHash,
+    /// Band the job was scheduled under.
+    pub priority: Priority,
 }
 
 /// Receipt for one graph upload ([`LayoutService::upload_graph`]).
@@ -148,6 +182,17 @@ pub struct GraphUpload {
     pub dedup: bool,
 }
 
+/// What [`LayoutService::preload_dir`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreloadReport {
+    /// Graphs interned from `.gfa` / `.lean` files.
+    pub loaded: usize,
+    /// Files whose graph was already in the store (no work).
+    pub dedup: usize,
+    /// Files that failed to read, parse, or decode.
+    pub failed: usize,
+}
+
 /// Aggregate service counters for `GET /stats`.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
@@ -155,14 +200,21 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Jobs currently waiting in the queue.
     pub queued: usize,
+    /// Queued jobs per priority band (interactive, normal, bulk).
+    pub queued_by_band: [usize; 3],
+    /// Distinct client keys with queued jobs right now.
+    pub active_clients: usize,
     /// Jobs currently running on a worker.
     pub running: usize,
     /// Jobs finished successfully (including cache hits).
     pub done: u64,
-    /// Jobs that failed.
+    /// Jobs that failed (including queue-TTL expiries).
     pub failed: u64,
     /// Jobs cancelled.
     pub cancelled: u64,
+    /// Jobs failed specifically because their queue TTL expired (also
+    /// counted in `failed`).
+    pub expired: u64,
     /// Worker threads serving the queue.
     pub workers: usize,
     /// Cached layouts resident right now.
@@ -185,10 +237,11 @@ pub struct ServiceStats {
 struct Shared {
     registry: EngineRegistry,
     jobs: Mutex<HashMap<JobId, Arc<Mutex<Job>>>>,
-    queue: Mutex<VecDeque<JobId>>,
+    queue: Mutex<FairScheduler>,
     queue_cv: Condvar,
     /// Paired with `jobs`; notified whenever any job reaches a terminal
-    /// state, so `wait` can block instead of spin.
+    /// state *or* grows its event log, so `wait` and `wait_events` can
+    /// block instead of spin.
     done_cv: Condvar,
     cache: Mutex<LayoutCache>,
     graphs: Mutex<GraphStore>,
@@ -208,11 +261,12 @@ struct Shared {
     done: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    expired: AtomicU64,
     running: AtomicU64,
 }
 
-/// A running layout service: engine registry + graph store + worker
-/// pool + layout cache.
+/// A running layout service: engine registry + graph store + fair
+/// scheduler + worker pool + layout cache.
 pub struct LayoutService {
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -257,7 +311,7 @@ impl LayoutService {
         let shared = Arc::new(Shared {
             registry,
             jobs: Mutex::new(HashMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairScheduler::new()),
             queue_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: Mutex::new(cache),
@@ -273,6 +327,7 @@ impl LayoutService {
             done: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             running: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -324,6 +379,67 @@ impl LayoutService {
         })
     }
 
+    /// Intern every `.gfa` and `.lean` file in `dir` (sorted by name)
+    /// into the graph store — the `pgl serve --preload-graphs` warm-up,
+    /// so a fresh server answers by-reference requests immediately.
+    /// `.lean` files must be named `<content-hash>.lean` (the spill
+    /// naming); others are counted as failures. Interned graphs are
+    /// recorded in the store's `preloaded` counter (`/stats`).
+    pub fn preload_dir(&self, dir: &std::path::Path) -> std::io::Result<PreloadReport> {
+        let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|ext| ext == "gfa" || ext == "lean")
+            })
+            .collect();
+        entries.sort();
+        let mut report = PreloadReport::default();
+        for path in entries {
+            let is_lean = path.extension().is_some_and(|e| e == "lean");
+            let outcome = if is_lean {
+                self.preload_lean(&path)
+            } else {
+                match std::fs::read_to_string(&path) {
+                    Err(e) => Err(format!("read {}: {e}", path.display())),
+                    Ok(gfa) => self
+                        .upload_graph(&gfa)
+                        .map(|up| up.dedup)
+                        .map_err(|e| e.to_string()),
+                }
+            };
+            match outcome {
+                Ok(true) => report.dedup += 1,
+                Ok(false) => {
+                    self.shared.graphs.lock().unwrap().record_preload();
+                    report.loaded += 1;
+                }
+                Err(msg) => {
+                    eprintln!("pgl-service: preload {}: {msg}", path.display());
+                    report.failed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Load one `.lean` spill file named `<hash>.lean`. `Ok(true)` =
+    /// already interned (dedup), `Ok(false)` = freshly loaded.
+    fn preload_lean(&self, path: &std::path::Path) -> Result<bool, String> {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let id = ContentHash::from_hex(stem)
+            .ok_or_else(|| format!("file stem {stem:?} is not a 32-hex-digit content hash"))?;
+        if graph_known(&self.shared, id) {
+            return Ok(true);
+        }
+        let graph = load_graph_spill(path).map_err(|e| format!("decode: {e}"))?;
+        graph_insert(&self.shared, id, &Arc::new(graph));
+        Ok(false)
+    }
+
     /// Every graph the store knows about (resident or disk-spilled).
     pub fn graphs(&self) -> Vec<GraphMeta> {
         self.shared.graphs.lock().unwrap().list()
@@ -342,21 +458,30 @@ impl LayoutService {
         self.shared.graphs.lock().unwrap().remove(id)
     }
 
-    /// Submit a layout request. Returns immediately; on a layout-cache
-    /// hit the job is born `Done` with the cached layout attached.
-    /// Inline GFA is interned (parsed at most once) and validated here,
-    /// so malformed or empty graphs never consume a queue slot.
+    /// Submit a layout request with default scheduling (normal
+    /// priority, anonymous client, no TTL). See
+    /// [`LayoutService::submit_spec`] for the full surface.
     pub fn submit(&self, request: JobRequest) -> Result<SubmitTicket, SubmitError> {
+        self.submit_spec(request.into())
+    }
+
+    /// Submit one fully-specified job. Returns immediately; on a
+    /// layout-cache hit the job is born `Done` with the cached layout
+    /// attached. Inline GFA is interned (parsed at most once) and
+    /// validated here, so malformed or empty graphs never consume a
+    /// queue slot. The job is queued under `(priority, client)` in the
+    /// fair scheduler; its event log starts with the birth state.
+    pub fn submit_spec(&self, spec: JobSpec) -> Result<SubmitTicket, SubmitError> {
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(SubmitError::ShuttingDown);
         }
         // Fail fast on unknown engines rather than at run time.
-        if !self.shared.registry.contains(&request.engine) {
+        if !self.shared.registry.contains(&spec.engine) {
             return Err(SubmitError::Rejected(
-                self.shared.registry.unknown_engine_error(&request.engine),
+                self.shared.registry.unknown_engine_error(&spec.engine),
             ));
         }
-        let graph_hash = match &request.graph {
+        let graph_hash = match &spec.graph {
             GraphSpec::Gfa(text) => {
                 if text.trim().is_empty() {
                     return Err(SubmitError::Rejected("empty GFA body".into()));
@@ -378,18 +503,13 @@ impl LayoutService {
                 *id
             }
         };
-        let key = cache_key(
-            &request.engine,
-            &request.config,
-            request.batch_size,
-            graph_hash,
-        );
+        let key = cache_key(&spec.engine, &spec.config, spec.batch_size, graph_hash);
         let hit = cache_lookup(&self.shared, key);
         // Resolve the parsed graph only on a cache miss: a hit never
         // loads the artifact, and an inline hit never re-parses.
         let graph = match &hit {
             Some(_) => None,
-            None => Some(match &request.graph {
+            None => Some(match &spec.graph {
                 GraphSpec::Gfa(text) => {
                     intern_gfa_once(&self.shared, graph_hash, text)
                         .map_err(SubmitError::Rejected)?
@@ -409,27 +529,29 @@ impl LayoutService {
             (None, Some(g)) => g.node_count(),
             (None, None) => 0,
         };
-        let job = Job {
+        let state = if cached {
+            JobState::Done
+        } else {
+            JobState::Queued
+        };
+        let client = spec
+            .client
+            .clone()
+            .unwrap_or_else(|| ANONYMOUS_CLIENT.to_string());
+        let priority = spec.priority;
+        let mut job = Job::new(
             id,
-            engine: request.engine,
-            config: request.config,
-            batch_size: request.batch_size,
+            &spec,
+            client.clone(),
             graph_hash,
             graph,
-            state: if cached {
-                JobState::Done
-            } else {
-                JobState::Queued
-            },
+            key,
+            state,
             nodes,
-            result: hit,
-            cached,
-            error: None,
-            control: Arc::new(LayoutControl::new()),
-            submitted: now,
-            finished: if cached { Some(now) } else { None },
-            cache_key: key,
-        };
+            hit,
+            now,
+        );
+        job.push_state_event(state);
         self.shared
             .jobs
             .lock()
@@ -440,21 +562,62 @@ impl LayoutService {
             self.shared.done_cv.notify_all();
             retire_job(&self.shared, id);
         } else {
-            self.shared.queue.lock().unwrap().push_back(id);
+            self.shared
+                .queue
+                .lock()
+                .unwrap()
+                .push(priority, &client, id);
             self.shared.queue_cv.notify_one();
         }
         Ok(SubmitTicket {
             id,
             cached,
             graph: graph_hash,
+            priority,
         })
     }
 
-    /// Current status of a job, if it exists.
+    /// Current status of a job, if it exists. A queued job past its
+    /// TTL is expired here (lazily) so observers never see a zombie
+    /// `queued` — the deadline holds even while every worker is busy
+    /// elsewhere and the scheduler never selects the job.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
         let job = self.job(id)?;
+        self.expire_if_overdue(id, &job);
         let status = job.lock().unwrap().status();
         Some(status)
+    }
+
+    /// Transition a queued-past-deadline job to `Failed` (expired).
+    /// No-op for any other state. Lock order is job → queue, the same
+    /// as `cancel`, so this cannot deadlock against the worker loop
+    /// (which never nests the two).
+    fn expire_if_overdue(&self, id: JobId, job: &Arc<Mutex<Job>>) {
+        let expired = {
+            let mut guard = job.lock().unwrap();
+            let overdue = guard.state == JobState::Queued
+                && guard
+                    .deadline
+                    .is_some_and(|deadline| Instant::now() > deadline);
+            if overdue {
+                guard.state = JobState::Failed;
+                guard.error = Some(format!(
+                    "expired in queue after {} ms (queue TTL exceeded)",
+                    guard.submitted.elapsed().as_millis()
+                ));
+                guard.finished = Some(Instant::now());
+                guard.graph = None;
+                guard.push_state_event(JobState::Failed);
+                self.shared.queue.lock().unwrap().remove(id);
+            }
+            overdue
+        };
+        if expired {
+            self.shared.failed.fetch_add(1, Ordering::Relaxed);
+            self.shared.expired.fetch_add(1, Ordering::Relaxed);
+            retire_job(&self.shared, id);
+            self.shared.done_cv.notify_all();
+        }
     }
 
     /// The finished layout, if the job exists and is `Done`.
@@ -467,9 +630,55 @@ impl LayoutService {
         }
     }
 
-    /// Request cancellation. Queued jobs cancel immediately; running
-    /// jobs stop at the engine's next iteration boundary. Returns the
-    /// state observed at the time of the request.
+    /// The job's event log from sequence number `from` on, plus whether
+    /// the job is terminal (its log is complete). `None` = unknown job.
+    /// Queued-past-TTL jobs expire here, so a streaming watcher sees
+    /// the failure instead of heartbeats forever.
+    pub fn events_since(&self, id: JobId, from: u64) -> Option<(Vec<JobEvent>, bool)> {
+        let job = self.job(id)?;
+        self.expire_if_overdue(id, &job);
+        let job = job.lock().unwrap();
+        let events = job
+            .events
+            .iter()
+            .filter(|e| e.seq >= from)
+            .cloned()
+            .collect();
+        Some((events, job.state.is_terminal()))
+    }
+
+    /// Block until the job's event log grows past `from` (or the job is
+    /// terminal), up to `timeout`; returns whatever is available then.
+    /// `None` = unknown job (including evicted mid-wait).
+    pub fn wait_events(
+        &self,
+        id: JobId,
+        from: u64,
+        timeout: Duration,
+    ) -> Option<(Vec<JobEvent>, bool)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (events, terminal) = self.events_since(id, from)?;
+            if !events.is_empty() || terminal {
+                return Some((events, terminal));
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Some((events, terminal));
+            };
+            let jobs = self.shared.jobs.lock().unwrap();
+            // Chunked waits bound the latency of a notify that lands
+            // between the probe above and this wait.
+            let _ = self
+                .shared
+                .done_cv
+                .wait_timeout(jobs, remaining.min(Duration::from_millis(50)))
+                .unwrap();
+        }
+    }
+
+    /// Request cancellation. Queued jobs cancel immediately (and leave
+    /// the scheduler); running jobs stop at the engine's next iteration
+    /// boundary. Returns the state observed at the time of the request.
     pub fn cancel(&self, id: JobId) -> Result<JobState, String> {
         let job = self.job(id).ok_or_else(|| format!("no such job {id}"))?;
         let (outcome, newly_terminal) = {
@@ -479,7 +688,8 @@ impl LayoutService {
                     job.state = JobState::Cancelled;
                     job.finished = Some(Instant::now());
                     job.graph = None;
-                    self.shared.queue.lock().unwrap().retain(|&qid| qid != id);
+                    job.push_state_event(JobState::Cancelled);
+                    self.shared.queue.lock().unwrap().remove(id);
                     self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
                     self.shared.done_cv.notify_all();
                     (JobState::Cancelled, true)
@@ -499,21 +709,24 @@ impl LayoutService {
 
     /// Block until the job reaches a terminal state, up to `timeout`.
     /// Returns the final status, or `None` on timeout or unknown id.
+    /// Goes through [`LayoutService::status`] each probe, so queue-TTL
+    /// expiry lands even when no worker ever pops the job.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
         let deadline = Instant::now() + timeout;
-        let mut jobs = self.shared.jobs.lock().unwrap();
         loop {
-            let status = jobs.get(&id)?.lock().unwrap().status();
+            let status = self.status(id)?;
             if status.state.is_terminal() {
                 return Some(status);
             }
             let remaining = deadline.checked_duration_since(Instant::now())?;
-            let (guard, _timeout) = self
+            let jobs = self.shared.jobs.lock().unwrap();
+            // Chunked waits bound the latency of a notify that lands
+            // between the probe above and this wait.
+            let _ = self
                 .shared
                 .done_cv
                 .wait_timeout(jobs, remaining.min(Duration::from_millis(50)))
                 .unwrap();
-            jobs = guard;
         }
     }
 
@@ -527,13 +740,28 @@ impl LayoutService {
             let store = self.shared.graphs.lock().unwrap();
             (store.len(), store.bytes(), store.stats())
         };
+        let (queued, queued_by_band, active_clients) = {
+            let queue = self.shared.queue.lock().unwrap();
+            (
+                queue.len(),
+                [
+                    queue.band_len(Priority::Interactive),
+                    queue.band_len(Priority::Normal),
+                    queue.band_len(Priority::Bulk),
+                ],
+                queue.active_clients(),
+            )
+        };
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
-            queued: self.shared.queue.lock().unwrap().len(),
+            queued,
+            queued_by_band,
+            active_clients,
             running: self.shared.running.load(Ordering::Relaxed) as usize,
             done: self.shared.done.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
             cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
             workers: self.worker_count,
             cache_entries,
             cache_bytes,
@@ -759,13 +987,31 @@ fn retire_job(shared: &Shared, id: JobId) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// What the claim step decided about a popped job id.
+enum Claim {
+    /// Run it: everything the engine needs, captured under the job lock.
+    Run {
+        engine: String,
+        config: layout_core::LayoutConfig,
+        batch_size: usize,
+        graph: Arc<LeanGraph>,
+        control: Arc<LayoutControl>,
+        key: CacheKey,
+    },
+    /// Already terminal (e.g. cancelled between pop and claim), or gone.
+    Skip,
+    /// Still queued but past its queue TTL: failed without running.
+    Expired,
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        // Pop the next job id, or park until one arrives / shutdown.
+        // Pop the next job id (priority band, then fair share), or park
+        // until one arrives / shutdown.
         let id = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
-                if let Some(id) = queue.pop_front() {
+                if let Some(id) = queue.pop() {
                     break id;
                 }
                 if shared.shutdown.load(Ordering::Relaxed) {
@@ -777,28 +1023,86 @@ fn worker_loop(shared: &Shared) {
         let Some(job) = shared.jobs.lock().unwrap().get(&id).cloned() else {
             continue;
         };
-        // Claim: Queued → Running (it may have been cancelled meanwhile).
-        let (engine, config, batch_size, graph, control, key) = {
-            let mut job = job.lock().unwrap();
-            if job.state != JobState::Queued {
-                continue;
+        // Claim: Queued → Running (it may have been cancelled or have
+        // expired meanwhile).
+        let claim = {
+            let mut guard = job.lock().unwrap();
+            if guard.state != JobState::Queued {
+                Claim::Skip
+            } else if guard
+                .deadline
+                .is_some_and(|deadline| Instant::now() > deadline)
+            {
+                guard.state = JobState::Failed;
+                guard.error = Some(format!(
+                    "expired in queue after {} ms (queue TTL exceeded)",
+                    guard.submitted.elapsed().as_millis()
+                ));
+                guard.finished = Some(Instant::now());
+                guard.graph = None;
+                guard.push_state_event(JobState::Failed);
+                Claim::Expired
+            } else {
+                match guard.graph.clone() {
+                    None => Claim::Skip, // unreachable: queued jobs carry a graph
+                    Some(graph) => {
+                        guard.state = JobState::Running;
+                        guard.push_state_event(JobState::Running);
+                        Claim::Run {
+                            engine: guard.engine.clone(),
+                            config: guard.config.clone(),
+                            batch_size: guard.batch_size,
+                            graph,
+                            control: Arc::clone(&guard.control),
+                            key: guard.cache_key,
+                        }
+                    }
+                }
             }
-            let Some(graph) = job.graph.clone() else {
-                continue; // unreachable: queued jobs always carry a graph
-            };
-            job.state = JobState::Running;
-            (
-                job.engine.clone(),
-                job.config.clone(),
-                job.batch_size,
-                graph,
-                Arc::clone(&job.control),
-                job.cache_key,
-            )
         };
+        let Claim::Run {
+            engine,
+            config,
+            batch_size,
+            graph,
+            control,
+            key,
+        } = claim
+        else {
+            if matches!(claim, Claim::Expired) {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.expired.fetch_add(1, Ordering::Relaxed);
+                retire_job(shared, id);
+                shared.done_cv.notify_all();
+            }
+            continue;
+        };
+        shared.done_cv.notify_all(); // Running event is visible
+                                     // Feed the engine's progress into the job's event log: the
+                                     // observer runs on the engine thread, holds only the job mutex
+                                     // briefly, and uses weak references so a retained closure can
+                                     // never keep a job (or the service) alive.
+        {
+            let weak_job: Weak<Mutex<Job>> = Arc::downgrade(&job);
+            let weak_shared: Weak<Shared> = Arc::downgrade(shared);
+            control.set_observer(move |progress| {
+                let Some(job) = weak_job.upgrade() else {
+                    return;
+                };
+                let appended = job.lock().unwrap().push_progress_event(progress);
+                if appended {
+                    if let Some(shared) = weak_shared.upgrade() {
+                        shared.done_cv.notify_all();
+                    }
+                }
+            });
+        }
         shared.running.fetch_add(1, Ordering::Relaxed);
         let outcome = run_job(shared, &engine, &config, batch_size, &graph, &control);
         shared.running.fetch_sub(1, Ordering::Relaxed);
+        // The engine is done: no more observer calls are possible, so
+        // clearing here (outside the job mutex) cannot race or deadlock.
+        control.clear_observer();
         drop(graph);
 
         // Cache the result before touching the job record: the spill
@@ -808,26 +1112,29 @@ fn worker_loop(shared: &Shared) {
             cache_insert(shared, key, layout);
         }
 
-        let mut job = job.lock().unwrap();
-        job.finished = Some(Instant::now());
-        job.graph = None;
+        let mut guard = job.lock().unwrap();
+        guard.finished = Some(Instant::now());
+        guard.graph = None;
         match outcome {
             Ok(layout) => {
-                job.result = Some(layout);
-                job.state = JobState::Done;
+                guard.result = Some(layout);
+                guard.state = JobState::Done;
+                guard.push_state_event(JobState::Done);
                 shared.done.fetch_add(1, Ordering::Relaxed);
             }
             Err(None) => {
-                job.state = JobState::Cancelled;
+                guard.state = JobState::Cancelled;
+                guard.push_state_event(JobState::Cancelled);
                 shared.cancelled.fetch_add(1, Ordering::Relaxed);
             }
             Err(Some(msg)) => {
-                job.state = JobState::Failed;
-                job.error = Some(msg);
+                guard.state = JobState::Failed;
+                guard.error = Some(msg);
+                guard.push_state_event(JobState::Failed);
                 shared.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
-        drop(job);
+        drop(guard);
         retire_job(shared, id);
         shared.done_cv.notify_all();
     }
@@ -865,6 +1172,7 @@ fn run_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::EventKind;
     use layout_core::LayoutConfig;
     use pangraph::write_gfa;
     use workloads::{generate, PangenomeSpec};
@@ -884,6 +1192,10 @@ mod tests {
             batch_size: 256,
             graph: GraphSpec::Gfa(Arc::new(gfa)),
         }
+    }
+
+    fn quick_spec(engine: &str, gfa: String) -> JobSpec {
+        JobSpec::from(quick_request(engine, gfa))
     }
 
     fn service(workers: usize) -> LayoutService {
@@ -930,11 +1242,13 @@ mod tests {
         let svc = service(2);
         let t = svc.submit(quick_request("cpu", small_gfa(1))).unwrap();
         assert!(!t.cached);
+        assert_eq!(t.priority, Priority::Normal);
         let status = svc.wait(t.id, Duration::from_secs(60)).expect("finishes");
         assert_eq!(status.state, JobState::Done);
         assert!(status.nodes > 0);
         assert_eq!(status.progress, 1.0);
         assert_eq!(status.graph, t.graph);
+        assert_eq!(status.client, ANONYMOUS_CLIENT);
         let layout = svc.result(t.id).expect("result available");
         assert_eq!(layout.node_count(), status.nodes);
         assert!(layout.all_finite());
@@ -1169,6 +1483,7 @@ mod tests {
         svc.cancel(t.id).unwrap();
         let status = svc.wait(t.id, Duration::from_secs(60)).expect("terminates");
         assert_eq!(status.state, JobState::Cancelled, "{engine}");
+        assert!(status.error.is_none(), "cancellation is not an error");
         assert!(svc.result(t.id).is_none());
     }
 
@@ -1238,7 +1553,7 @@ mod tests {
     }
 
     #[test]
-    fn queued_jobs_cancel_immediately() {
+    fn queued_jobs_cancel_immediately_and_report_cancelled() {
         let svc = service(1);
         // Occupy the single worker…
         let mut slow = quick_request("cpu", small_gfa(5));
@@ -1247,9 +1562,215 @@ mod tests {
         // …then cancel a job that is still queued behind it.
         let queued = svc.submit(quick_request("cpu", small_gfa(6))).unwrap();
         assert_eq!(svc.cancel(queued.id).unwrap(), JobState::Cancelled);
-        assert_eq!(svc.status(queued.id).unwrap().state, JobState::Cancelled);
+        let status = svc.status(queued.id).unwrap();
+        assert_eq!(
+            status.state,
+            JobState::Cancelled,
+            "cancelled-while-queued reports cancelled, never failed"
+        );
+        assert!(status.error.is_none());
+        assert_eq!(status.progress, 0.0);
+        // The event log agrees: queued → cancelled, nothing else.
+        let (events, terminal) = svc.events_since(queued.id, 0).unwrap();
+        assert!(terminal);
+        assert!(matches!(events[0].kind, EventKind::State(JobState::Queued)));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::State(JobState::Cancelled)
+        ));
+        let stats = svc.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.failed, 0, "a cancel is not a failure");
         svc.cancel(running.id).unwrap();
         svc.wait(running.id, Duration::from_secs(30)).unwrap();
+    }
+
+    #[test]
+    fn interactive_jobs_overtake_a_bulk_backlog() {
+        let svc = service(1);
+        // Hold the single worker until the whole backlog is queued (the
+        // blocker is cancelled below; it must never finish on its own).
+        let mut blocker = quick_spec("cpu", small_gfa(90));
+        blocker.config.iter_max = 200_000;
+        let blocker = svc.submit_spec(blocker).unwrap();
+        // Queue bulk work, then one interactive job after it.
+        let mut bulk_ids = Vec::new();
+        for i in 0..4 {
+            let mut spec = quick_spec("cpu", small_gfa(91 + i)).priority(Priority::Bulk);
+            spec.client = Some("bulk-bot".into());
+            bulk_ids.push(svc.submit_spec(spec).unwrap().id);
+        }
+        let mut inter = quick_spec("cpu", small_gfa(99)).priority(Priority::Interactive);
+        inter.client = Some("human".into());
+        let inter = svc.submit_spec(inter).unwrap();
+        assert_eq!(inter.priority, Priority::Interactive);
+        let stats = svc.stats();
+        assert_eq!(stats.queued_by_band[0], 1, "{:?}", stats.queued_by_band);
+        // The blocker sits in the normal band only until the worker
+        // picks it up, so 0 or 1 here.
+        assert!(stats.queued_by_band[1] <= 1, "{:?}", stats.queued_by_band);
+        assert_eq!(stats.queued_by_band[2], 4, "{:?}", stats.queued_by_band);
+        assert!(stats.active_clients >= 2);
+        // Free the worker: the interactive job must be served next and
+        // finish while every bulk job still waits.
+        svc.cancel(blocker.id).unwrap();
+        svc.wait(inter.id, Duration::from_secs(120)).unwrap();
+        let unfinished = bulk_ids
+            .iter()
+            .filter(|&&id| !svc.status(id).unwrap().state.is_terminal())
+            .count();
+        assert_eq!(unfinished, 4, "interactive overtook the whole bulk backlog");
+        for id in bulk_ids {
+            assert_eq!(
+                svc.wait(id, Duration::from_secs(120)).unwrap().state,
+                JobState::Done
+            );
+        }
+        assert_eq!(
+            svc.wait(blocker.id, Duration::from_secs(120))
+                .unwrap()
+                .state,
+            JobState::Cancelled
+        );
+    }
+
+    #[test]
+    fn queue_ttl_expires_stale_jobs_instead_of_running_them() {
+        let svc = service(1);
+        // Hold the worker long enough for the TTL to lapse.
+        let mut blocker = quick_spec("cpu", small_gfa(70));
+        blocker.config.iter_max = 50_000;
+        let blocker = svc.submit_spec(blocker).unwrap();
+        let mut stale = quick_spec("cpu", small_gfa(71));
+        stale.queue_ttl = Some(Duration::from_millis(50));
+        let stale = svc.submit_spec(stale).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        // Expiry is visible *while the worker is still busy*: the TTL
+        // holds even if the scheduler never selects the job.
+        let status = svc.status(stale.id).unwrap();
+        assert_eq!(status.state, JobState::Failed, "lazy expiry on status");
+        svc.cancel(blocker.id).unwrap();
+        let status = svc.wait(stale.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        let err = status.error.expect("expiry carries an error message");
+        assert!(err.contains("expired in queue"), "{err}");
+        let stats = svc.stats();
+        assert_eq!(stats.expired, 1);
+        assert!(stats.failed >= 1);
+        // A TTL that has not lapsed runs normally.
+        let mut fresh = quick_spec("cpu", small_gfa(72));
+        fresh.queue_ttl = Some(Duration::from_secs(3600));
+        let fresh = svc.submit_spec(fresh).unwrap();
+        assert_eq!(
+            svc.wait(fresh.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+    }
+
+    #[test]
+    fn event_logs_trace_the_full_lifecycle() {
+        let svc = service(1);
+        let mut spec = quick_spec("cpu", small_gfa(80));
+        spec.config.iter_max = 600; // enough iterations for progress events
+        let t = svc.submit_spec(spec).unwrap();
+        svc.wait(t.id, Duration::from_secs(120)).unwrap();
+        let (events, terminal) = svc.events_since(t.id, 0).unwrap();
+        assert!(terminal);
+        // Sequence numbers are dense and ordered.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert!(matches!(events[0].kind, EventKind::State(JobState::Queued)));
+        assert!(matches!(
+            events[1].kind,
+            EventKind::State(JobState::Running)
+        ));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::State(JobState::Done)
+        ));
+        let progress: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Progress(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            progress.len() >= 3,
+            "multi-iteration run logs several progress events, got {progress:?}"
+        );
+        assert!(
+            progress.windows(2).all(|w| w[0] < w[1]),
+            "progress is monotonic: {progress:?}"
+        );
+        assert_eq!(*progress.last().unwrap(), 1.0);
+        // A resume cursor sees only the tail.
+        let (tail, _) = svc.events_since(t.id, events.len() as u64 - 1).unwrap();
+        assert_eq!(tail.len(), 1);
+        // wait_events returns immediately on a terminal log.
+        let (all, terminal) = svc.wait_events(t.id, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(all.len(), events.len());
+        assert!(terminal);
+        assert!(svc.events_since(9999, 0).is_none(), "unknown job is None");
+    }
+
+    #[test]
+    fn cached_jobs_are_born_done_in_their_event_log() {
+        let svc = service(1);
+        let gfa = small_gfa(81);
+        let first = svc.submit(quick_request("cpu", gfa.clone())).unwrap();
+        svc.wait(first.id, Duration::from_secs(60)).unwrap();
+        let second = svc.submit(quick_request("cpu", gfa)).unwrap();
+        assert!(second.cached);
+        let (events, terminal) = svc.events_since(second.id, 0).unwrap();
+        assert!(terminal);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].kind, EventKind::State(JobState::Done)));
+    }
+
+    #[test]
+    fn preload_dir_interns_gfa_and_lean_files() {
+        let dir = std::env::temp_dir().join(format!("pgl_preload_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // One .gfa, one .lean (spill-named), one junk .lean, one ignored.
+        let gfa = small_gfa(85);
+        std::fs::write(dir.join("a.gfa"), &gfa).unwrap();
+        let lean_src = small_gfa(86);
+        let lean_id = content_hash(lean_src.as_bytes());
+        let lean = parse_lean(&lean_src).unwrap();
+        assert!(write_graph_spill(
+            &lean,
+            &dir.join(format!("{}.lean", lean_id.hex()))
+        ));
+        std::fs::write(dir.join("junk.lean"), b"not a lean file").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+
+        let svc = service(1);
+        let report = svc.preload_dir(&dir).unwrap();
+        assert_eq!(report.loaded, 2, "{report:?}");
+        assert_eq!(report.failed, 1, "junk .lean counted");
+        assert_eq!(report.dedup, 0);
+        assert_eq!(svc.stats().graphs.preloaded, 2);
+        // Both graphs answer by-reference submissions with no parse
+        // beyond the .gfa's own.
+        for id in [content_hash(gfa.as_bytes()), lean_id] {
+            let mut req = JobRequest::by_ref("cpu", id);
+            req.config.iter_max = 3;
+            req.config.threads = 1;
+            let t = svc.submit(req).unwrap();
+            assert_eq!(
+                svc.wait(t.id, Duration::from_secs(60)).unwrap().state,
+                JobState::Done
+            );
+        }
+        assert_eq!(svc.stats().graphs.parses, 1, "only the .gfa parsed");
+        // Preloading again is pure dedup.
+        let again = svc.preload_dir(&dir).unwrap();
+        assert_eq!(again.loaded, 0);
+        assert_eq!(again.dedup, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1270,6 +1791,8 @@ mod tests {
         assert_eq!(s.graph_entries, 1);
         assert!(s.graph_bytes > 0);
         assert_eq!(s.workers, 2);
+        assert_eq!(s.queued_by_band, [0, 0, 0]);
+        assert_eq!(s.expired, 0);
         assert_eq!(svc.engine_names(), vec!["cpu", "batch", "gpu", "gpu-a100"]);
     }
 

@@ -1,0 +1,436 @@
+//! The typed submission surface of the `/v1` job API.
+//!
+//! Everything a client can say about a layout job lives in one validated
+//! type, [`JobSpec`]: the engine, the graph (inline or by reference),
+//! layout overrides, and the three scheduling dimensions introduced with
+//! the fair-share queue — a [`Priority`] class, a client identity (the
+//! fair-share key), and an optional queue TTL. [`parse_job_spec`] builds
+//! a `JobSpec` from an HTTP request's query parameters and body in one
+//! place, returning a typed [`SpecError`] instead of the scattered
+//! per-parameter parsing the front end used to do; the CLI and
+//! `batchrun` construct specs directly.
+//!
+//! `/v1` requests are parsed **strictly** — an unknown parameter is a
+//! `400`, so typos like `?prioritiy=bulk` fail loudly instead of
+//! silently running at the default priority. The legacy unversioned
+//! routes keep their historical lenient behavior (unknown parameters
+//! ignored).
+
+use crate::job::GraphSpec;
+use layout_core::{DataLayout, LayoutConfig};
+use pangraph::store::ContentHash;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scheduling class of a job. Bands are strict: a queued job in a
+/// higher band always runs before any job in a lower band, and within
+/// one band clients share the workers fairly (deficit round-robin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// A human is waiting (dashboards, previews). Highest band.
+    Interactive,
+    /// The default for API submissions.
+    #[default]
+    Normal,
+    /// Batch/backfill traffic that must never starve the other bands.
+    Bulk,
+}
+
+impl Priority {
+    /// All priorities, highest band first (also the band index order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Bulk];
+
+    /// Band index: 0 = interactive … 2 = bulk.
+    pub fn band(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Lower-case wire name (`?priority=` values and status JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Parse a wire name (`None` for anything unrecognized).
+    pub fn parse_name(s: &str) -> Option<Self> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "normal" => Some(Priority::Normal),
+            "bulk" => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Priority::parse_name(s)
+            .ok_or_else(|| format!("bad priority {s:?} (interactive, normal, bulk)"))
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One fully-specified layout job: what to lay out, how, and how the
+/// scheduler should treat it. This is the canonical submission type
+/// ([`crate::LayoutService::submit_spec`]); the legacy
+/// [`crate::JobRequest`] converts into it with default scheduling.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Engine registry key (`cpu`, `batch`, `gpu`, `gpu-a100`, ...).
+    pub engine: String,
+    /// The graph to lay out (inline GFA or stored reference).
+    pub graph: GraphSpec,
+    /// Full layout configuration.
+    pub config: LayoutConfig,
+    /// Mini-batch size, used only by the `batch` engine.
+    pub batch_size: usize,
+    /// Scheduling band.
+    pub priority: Priority,
+    /// Fair-share key. `None` ⇒ the transport identity (the HTTP front
+    /// end uses the rate limiter's peer IP; embedded callers share one
+    /// anonymous key).
+    pub client: Option<String>,
+    /// Maximum time the job may wait in the queue. A job still queued
+    /// when its TTL expires is failed (`expired in queue`) instead of
+    /// run — stale interactive work is worthless by definition.
+    pub queue_ttl: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A spec with default configuration and scheduling for an inline
+    /// GFA document.
+    pub fn new(engine: impl Into<String>, gfa: impl Into<String>) -> Self {
+        Self::with_graph(engine, GraphSpec::Gfa(Arc::new(gfa.into())))
+    }
+
+    /// A spec with default configuration and scheduling referencing a
+    /// stored graph.
+    pub fn by_ref(engine: impl Into<String>, graph: ContentHash) -> Self {
+        Self::with_graph(engine, GraphSpec::Stored(graph))
+    }
+
+    /// A spec with default configuration and scheduling.
+    pub fn with_graph(engine: impl Into<String>, graph: GraphSpec) -> Self {
+        Self {
+            engine: engine.into(),
+            graph,
+            config: LayoutConfig::default(),
+            batch_size: 1024,
+            priority: Priority::default(),
+            client: None,
+            queue_ttl: None,
+        }
+    }
+
+    /// Builder-style priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder-style client identity.
+    pub fn client(mut self, c: impl Into<String>) -> Self {
+        self.client = Some(c.into());
+        self
+    }
+}
+
+/// Why a request failed to parse into a [`JobSpec`]. Every variant maps
+/// to HTTP `400`; the distinction is for clients and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// `/v1` strict mode: a query parameter the API does not define.
+    UnknownParam(String),
+    /// A parameter's value failed to parse.
+    BadValue {
+        /// Parameter name.
+        param: &'static str,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// `?graph=` was not a 32-hex-digit content hash.
+    BadGraphId(String),
+    /// Both an inline GFA body and `?graph=<id>` were supplied.
+    InlineAndReference,
+    /// The GFA body was not valid UTF-8.
+    BodyNotUtf8,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownParam(p) => write!(f, "unknown parameter {p:?}"),
+            SpecError::BadValue {
+                param,
+                value,
+                expected,
+            } => write!(f, "bad {param} value {value:?} (expected {expected})"),
+            SpecError::BadGraphId(v) => {
+                write!(f, "bad graph id {v:?} (expected 32 hex digits)")
+            }
+            SpecError::InlineAndReference => {
+                write!(f, "send either an inline GFA body or ?graph=<id>, not both")
+            }
+            SpecError::BodyNotUtf8 => write!(f, "GFA body must be UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Query parameters the job-submission routes define. Anything else is
+/// a [`SpecError::UnknownParam`] under `/v1` (the HTTP dispatcher uses
+/// this as the submission routes' allowlist).
+pub(crate) const KNOWN_PARAMS: [&str; 10] = [
+    "engine", "iters", "threads", "seed", "batch", "soa", "graph", "priority", "client", "ttl_ms",
+];
+
+/// Build a validated [`JobSpec`] from a request's query parameters and
+/// body. `strict` is the `/v1` behavior (unknown parameters rejected);
+/// the legacy routes pass `false` and keep ignoring them.
+pub fn parse_job_spec(
+    params: &[(String, String)],
+    body: Vec<u8>,
+    strict: bool,
+) -> Result<JobSpec, SpecError> {
+    if strict {
+        if let Some((k, _)) = params
+            .iter()
+            .find(|(k, _)| !KNOWN_PARAMS.contains(&k.as_str()))
+        {
+            return Err(SpecError::UnknownParam(k.clone()));
+        }
+    }
+    let get = |name: &str| {
+        params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let graph = match get("graph") {
+        Some(hex) => {
+            if !body.is_empty() {
+                return Err(SpecError::InlineAndReference);
+            }
+            match ContentHash::from_hex(hex) {
+                Some(id) => GraphSpec::Stored(id),
+                None => return Err(SpecError::BadGraphId(hex.to_string())),
+            }
+        }
+        None => match String::from_utf8(body) {
+            Ok(s) => GraphSpec::Gfa(Arc::new(s)),
+            Err(_) => return Err(SpecError::BodyNotUtf8),
+        },
+    };
+
+    let mut config = LayoutConfig::default();
+    macro_rules! parse_param {
+        ($name:literal, $field:expr, $expected:literal) => {
+            if let Some(v) = get($name) {
+                match v.parse() {
+                    Ok(x) => $field = x,
+                    Err(_) => {
+                        return Err(SpecError::BadValue {
+                            param: $name,
+                            value: v.to_string(),
+                            expected: $expected,
+                        })
+                    }
+                }
+            }
+        };
+    }
+    parse_param!("iters", config.iter_max, "a non-negative integer");
+    parse_param!("threads", config.threads, "a non-negative integer");
+    parse_param!("seed", config.seed, "a non-negative integer");
+    if get("soa").is_some() {
+        config.data_layout = DataLayout::OriginalSoa;
+    }
+    let mut batch_size = 1024usize;
+    parse_param!("batch", batch_size, "a positive integer");
+
+    let priority = match get("priority") {
+        None => Priority::default(),
+        Some(v) => Priority::parse_name(v).ok_or(SpecError::BadValue {
+            param: "priority",
+            value: v.to_string(),
+            expected: "interactive | normal | bulk",
+        })?,
+    };
+    let queue_ttl = match get("ttl_ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+            _ => {
+                return Err(SpecError::BadValue {
+                    param: "ttl_ms",
+                    value: v.to_string(),
+                    expected: "a positive integer of milliseconds",
+                })
+            }
+        },
+    };
+
+    Ok(JobSpec {
+        engine: get("engine").unwrap_or("cpu").to_string(),
+        graph,
+        config,
+        batch_size,
+        priority,
+        client: get("client").map(str::to_string).filter(|c| !c.is_empty()),
+        queue_ttl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn priorities_round_trip_and_order_by_band() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse_name(p.as_str()), Some(p));
+            assert_eq!(p.as_str().parse::<Priority>(), Ok(p));
+        }
+        assert!(Priority::Interactive.band() < Priority::Normal.band());
+        assert!(Priority::Normal.band() < Priority::Bulk.band());
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::parse_name("URGENT"), None);
+        assert!("URGENT".parse::<Priority>().is_err());
+    }
+
+    #[test]
+    fn full_query_parses_into_a_spec() {
+        let id = pangraph::store::content_hash(b"g");
+        let params = q(&[
+            ("engine", "gpu"),
+            ("iters", "12"),
+            ("threads", "2"),
+            ("seed", "7"),
+            ("batch", "256"),
+            ("graph", &id.hex()),
+            ("priority", "interactive"),
+            ("client", "alice"),
+            ("ttl_ms", "1500"),
+        ]);
+        let spec = parse_job_spec(&params, Vec::new(), true).unwrap();
+        assert_eq!(spec.engine, "gpu");
+        assert_eq!(spec.config.iter_max, 12);
+        assert_eq!(spec.config.threads, 2);
+        assert_eq!(spec.config.seed, 7);
+        assert_eq!(spec.batch_size, 256);
+        assert!(matches!(spec.graph, GraphSpec::Stored(h) if h == id));
+        assert_eq!(spec.priority, Priority::Interactive);
+        assert_eq!(spec.client.as_deref(), Some("alice"));
+        assert_eq!(spec.queue_ttl, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn defaults_match_the_legacy_surface() {
+        let spec = parse_job_spec(&[], b"S\t1\tA\n".to_vec(), true).unwrap();
+        assert_eq!(spec.engine, "cpu");
+        assert_eq!(spec.batch_size, 1024);
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.client, None);
+        assert_eq!(spec.queue_ttl, None);
+        assert!(matches!(spec.graph, GraphSpec::Gfa(_)));
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown_params_lenient_ignores() {
+        let params = q(&[("prioritiy", "bulk")]); // the typo strictness exists for
+        match parse_job_spec(&params, Vec::new(), true).unwrap_err() {
+            SpecError::UnknownParam(p) => assert_eq!(p, "prioritiy"),
+            other => panic!("expected UnknownParam, got {other:?}"),
+        }
+        let spec = parse_job_spec(&params, Vec::new(), false).unwrap();
+        assert_eq!(
+            spec.priority,
+            Priority::Normal,
+            "legacy routes ignore typos"
+        );
+    }
+
+    #[test]
+    fn bad_values_are_typed_errors() {
+        for (name, value) in [
+            ("iters", "banana"),
+            ("priority", "urgent"),
+            ("ttl_ms", "0"),
+            ("ttl_ms", "-4"),
+            ("batch", "x"),
+        ] {
+            let err = parse_job_spec(&q(&[(name, value)]), Vec::new(), true).unwrap_err();
+            match err {
+                SpecError::BadValue {
+                    param, value: v, ..
+                } => {
+                    assert_eq!(param, name);
+                    assert_eq!(v, value);
+                }
+                other => panic!("expected BadValue for {name}, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse_job_spec(&q(&[("graph", "zz")]), Vec::new(), true).unwrap_err(),
+            SpecError::BadGraphId(_)
+        ));
+        assert_eq!(
+            parse_job_spec(
+                &q(&[("graph", &pangraph::store::content_hash(b"g").hex())]),
+                b"S\t1\tA\n".to_vec(),
+                true,
+            )
+            .unwrap_err(),
+            SpecError::InlineAndReference
+        );
+        assert_eq!(
+            parse_job_spec(&[], vec![0xff, 0xfe], true).unwrap_err(),
+            SpecError::BodyNotUtf8
+        );
+    }
+
+    #[test]
+    fn empty_client_param_means_transport_identity() {
+        let spec = parse_job_spec(&q(&[("client", "")]), Vec::new(), true).unwrap();
+        assert_eq!(spec.client, None);
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(SpecError::UnknownParam("x".into())
+            .to_string()
+            .contains("x"));
+        let e = SpecError::BadValue {
+            param: "ttl_ms",
+            value: "0".into(),
+            expected: "a positive integer of milliseconds",
+        };
+        assert!(e.to_string().contains("ttl_ms") && e.to_string().contains("positive"));
+    }
+}
