@@ -1,0 +1,449 @@
+//! `pgl bench` — the reproducible SGD-throughput harness.
+//!
+//! The repository's north star is making the hot path measurably faster
+//! every time it is touched; this module is the measuring stick. It lays
+//! out a bundled workload preset across the hot-path axes (engine ×
+//! precision × memory layout), records applied updates per second for
+//! each combination, and emits a small self-describing JSON document
+//! (`BENCH_<n>.json` is committed per perf PR, so the repo carries its
+//! own performance trajectory).
+//!
+//! Everything is deterministic — generated graphs, seeds, iteration
+//! counts — except wall time itself, so two runs on one machine are
+//! directly comparable and `--baseline` (a prior run's updates/sec)
+//! turns the report into a speedup statement.
+
+use layout_core::{BatchEngine, CpuEngine, DataLayout, LayoutConfig, Precision};
+use pangraph::lean::LeanGraph;
+use workloads::{generate, PangenomeSpec};
+
+/// JSON schema tag; bump when the document shape changes.
+pub const BENCH_SCHEMA: &str = "pgl-bench/1";
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Workload preset: `small`, `medium` or `large`.
+    pub preset: String,
+    /// Worker threads per run (0 ⇒ all cores). Keep fixed across runs
+    /// you intend to compare.
+    pub threads: usize,
+    /// Schedule length per run.
+    pub iters: u32,
+    /// Timed repetitions per configuration; the best (highest
+    /// updates/sec) is reported, standard practice for throughput.
+    pub repeat: usize,
+    /// CI smoke mode: a tiny graph, three iterations, and only the two
+    /// headline configurations.
+    pub quick: bool,
+    /// A reference updates/sec (e.g. the previous release's headline
+    /// number on this machine); each record then carries its speedup.
+    pub baseline_updates_per_sec: Option<f64>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            preset: "medium".into(),
+            threads: 1,
+            iters: 15,
+            repeat: 2,
+            quick: false,
+            baseline_updates_per_sec: None,
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Engine (`cpu` or `batch`).
+    pub engine: String,
+    /// Coordinate precision label (`f64` / `f32`).
+    pub precision: String,
+    /// Memory layout label (`aos` / `soa`).
+    pub layout: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Term-block size of the hot loop.
+    pub term_block: usize,
+    /// Mini-batch size (batch engine only; 0 otherwise).
+    pub batch: usize,
+    /// Iterations run.
+    pub iters: u32,
+    /// Terms actually applied.
+    pub terms_applied: u64,
+    /// Wall seconds of the best repetition.
+    pub wall_s: f64,
+    /// Applied updates per second (the headline metric).
+    pub updates_per_sec: f64,
+}
+
+/// A full harness run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Preset name.
+    pub preset: String,
+    /// Graph shape, so numbers are interpretable later.
+    pub nodes: usize,
+    /// Path count.
+    pub paths: usize,
+    /// Total path steps (updates per iteration = 10 × this).
+    pub steps: usize,
+    /// Quick (CI smoke) mode?
+    pub quick: bool,
+    /// Timed repetitions per configuration.
+    pub repeat: usize,
+    /// Reference updates/sec, when provided.
+    pub baseline_updates_per_sec: Option<f64>,
+    /// One record per measured configuration.
+    pub results: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// The fastest measured configuration.
+    pub fn best(&self) -> Option<&BenchRecord> {
+        self.results.iter().max_by(|a, b| {
+            a.updates_per_sec
+                .partial_cmp(&b.updates_per_sec)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// The preset graph the harness measures on. `small`/`medium`/`large`
+/// are fixed, seeded generator specs; `quick` substitutes a tiny graph
+/// so CI smoke runs finish in seconds.
+pub fn bench_spec(preset: &str, quick: bool) -> Result<PangenomeSpec, String> {
+    // Validate the preset name even in quick mode, so a typoed
+    // `--preset` fails loudly instead of silently benchmarking the
+    // quick graph.
+    let full = match preset {
+        "small" => workloads::hla_drb1(),
+        "medium" => workloads::mhc_like(0.05),
+        "large" => workloads::mhc_like(0.25),
+        other => return Err(format!("unknown preset {other:?} (small, medium, large)")),
+    };
+    if quick {
+        return Ok(PangenomeSpec::basic("bench-quick", 150, 4, 0xBE7C));
+    }
+    Ok(full)
+}
+
+fn layout_label(l: DataLayout) -> &'static str {
+    match l {
+        DataLayout::CacheFriendlyAos => "aos",
+        DataLayout::OriginalSoa => "soa",
+    }
+}
+
+/// Run the harness: generate the preset, sweep the hot-path axes, and
+/// return the measured records. Progress lines go to stderr.
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
+    let spec = bench_spec(&opts.preset, opts.quick)?;
+    eprintln!("pgl bench: generating {} ...", spec.name);
+    let lean = LeanGraph::from_graph(&generate(&spec));
+    let iters = if opts.quick { 3 } else { opts.iters };
+    let repeat = opts.repeat.max(1);
+
+    let base_cfg = |precision, data_layout| LayoutConfig {
+        iter_max: iters,
+        threads: opts.threads,
+        precision,
+        data_layout,
+        seed: 0xBE9C_5EED,
+        ..LayoutConfig::default()
+    };
+
+    // The sweep: the two headline rows first (the f64 baseline and the
+    // f32 fast path, both on the cache-friendly layout), then the SoA
+    // ablation rows and the batch engine — skipped in quick mode.
+    let mut cpu_rows = vec![
+        (Precision::F64, DataLayout::CacheFriendlyAos),
+        (Precision::F32, DataLayout::CacheFriendlyAos),
+    ];
+    if !opts.quick {
+        cpu_rows.push((Precision::F64, DataLayout::OriginalSoa));
+        cpu_rows.push((Precision::F32, DataLayout::OriginalSoa));
+    }
+
+    let mut results = Vec::new();
+    for (precision, data_layout) in cpu_rows {
+        let cfg = base_cfg(precision, data_layout);
+        let engine = CpuEngine::new(cfg.clone());
+        let mut best: Option<BenchRecord> = None;
+        for _ in 0..repeat {
+            let (_, report) = engine.run(&lean);
+            let rec = BenchRecord {
+                engine: "cpu".into(),
+                precision: precision.label().into(),
+                layout: layout_label(data_layout).into(),
+                threads: report.threads,
+                term_block: cfg.resolved_term_block(),
+                batch: 0,
+                iters,
+                terms_applied: report.terms_applied,
+                wall_s: report.wall.as_secs_f64(),
+                updates_per_sec: report.updates_per_sec(),
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| rec.updates_per_sec > b.updates_per_sec)
+            {
+                best = Some(rec);
+            }
+        }
+        let rec = best.expect("repeat >= 1");
+        eprintln!(
+            "  cpu   {:>3} {:>3}  {:>8.2} ms  {:>6.2} M updates/s",
+            rec.precision,
+            rec.layout,
+            rec.wall_s * 1e3,
+            rec.updates_per_sec / 1e6
+        );
+        results.push(rec);
+    }
+
+    if !opts.quick {
+        let cfg = base_cfg(Precision::F64, DataLayout::CacheFriendlyAos);
+        let batch_size = 1024;
+        let engine = BatchEngine::new(cfg.clone(), batch_size);
+        let mut best: Option<BenchRecord> = None;
+        for _ in 0..repeat {
+            let (_, report) = engine.run(&lean);
+            let wall_s = report.wall.as_secs_f64();
+            let rec = BenchRecord {
+                engine: "batch".into(),
+                precision: Precision::F64.label().into(),
+                layout: layout_label(DataLayout::CacheFriendlyAos).into(),
+                threads: 1,
+                term_block: batch_size,
+                batch: batch_size,
+                iters,
+                terms_applied: report.terms_applied,
+                wall_s,
+                updates_per_sec: report.terms_applied as f64 / wall_s.max(1e-12),
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| rec.updates_per_sec > b.updates_per_sec)
+            {
+                best = Some(rec);
+            }
+        }
+        let rec = best.expect("repeat >= 1");
+        eprintln!(
+            "  batch {:>3} {:>3}  {:>8.2} ms  {:>6.2} M updates/s",
+            rec.precision,
+            rec.layout,
+            rec.wall_s * 1e3,
+            rec.updates_per_sec / 1e6
+        );
+        results.push(rec);
+    }
+
+    Ok(BenchReport {
+        preset: if opts.quick {
+            "quick".into()
+        } else {
+            opts.preset.clone()
+        },
+        nodes: lean.node_count(),
+        paths: lean.path_count(),
+        steps: lean.total_steps(),
+        quick: opts.quick,
+        repeat,
+        baseline_updates_per_sec: opts.baseline_updates_per_sec,
+        results,
+    })
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render a report as the committed `BENCH_*.json` document.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"preset\": \"{}\",\n", report.preset));
+    out.push_str(&format!(
+        "  \"graph\": {{\"nodes\": {}, \"paths\": {}, \"steps\": {}}},\n",
+        report.nodes, report.paths, report.steps
+    ));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"repeat\": {},\n", report.repeat));
+    match report.baseline_updates_per_sec {
+        Some(b) => out.push_str(&format!(
+            "  \"baseline_updates_per_sec\": {},\n",
+            json_f64(b)
+        )),
+        None => out.push_str("  \"baseline_updates_per_sec\": null,\n"),
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.results.iter().enumerate() {
+        let speedup = report
+            .baseline_updates_per_sec
+            .map(|b| json_f64(r.updates_per_sec / b))
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"precision\": \"{}\", \"layout\": \"{}\", \
+             \"threads\": {}, \"term_block\": {}, \"batch\": {}, \"iters\": {}, \
+             \"terms_applied\": {}, \"wall_s\": {}, \"updates_per_sec\": {}, \
+             \"speedup_vs_baseline\": {}}}{}\n",
+            r.engine,
+            r.precision,
+            r.layout,
+            r.threads,
+            r.term_block,
+            r.batch,
+            r.iters,
+            r.terms_applied,
+            json_f64(r.wall_s),
+            json_f64(r.updates_per_sec),
+            speedup,
+            if i + 1 == report.results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural validation of a `BENCH_*.json` document — what the CI
+/// smoke job runs against the artifact it just produced. Not a general
+/// JSON parser: it checks the schema tag, brace/bracket balance, that
+/// at least one result record is present, and that every record carries
+/// the required keys with a positive `updates_per_sec`.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    if !text.contains(&format!("\"schema\": \"{BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {BENCH_SCHEMA:?}"));
+    }
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    let mut in_string = false;
+    let mut prev = '\0';
+    for c in text.chars() {
+        if in_string {
+            if c == '"' && prev != '\\' {
+                in_string = false;
+            }
+        } else {
+            match c {
+                '"' => in_string = true,
+                '{' => depth_brace += 1,
+                '}' => depth_brace -= 1,
+                '[' => depth_bracket += 1,
+                ']' => depth_bracket -= 1,
+                _ => {}
+            }
+            if depth_brace < 0 || depth_bracket < 0 {
+                return Err("unbalanced braces/brackets".into());
+            }
+        }
+        prev = c;
+    }
+    if depth_brace != 0 || depth_bracket != 0 || in_string {
+        return Err("unterminated document".into());
+    }
+    let records: Vec<&str> = text
+        .split("{\"engine\":")
+        .skip(1)
+        .map(|s| s.split('}').next().unwrap_or(""))
+        .collect();
+    if records.is_empty() {
+        return Err("no result records".into());
+    }
+    for (i, rec) in records.iter().enumerate() {
+        for key in [
+            "\"precision\":",
+            "\"layout\":",
+            "\"threads\":",
+            "\"term_block\":",
+            "\"iters\":",
+            "\"wall_s\":",
+            "\"updates_per_sec\":",
+        ] {
+            if !rec.contains(key) {
+                return Err(format!("record {i} missing {key}"));
+            }
+        }
+        let ups = rec
+            .split("\"updates_per_sec\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next()?.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("record {i}: unparseable updates_per_sec"))?;
+        if ups.is_nan() || ups <= 0.0 {
+            return Err(format!("record {i}: non-positive updates_per_sec {ups}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> BenchOptions {
+        BenchOptions {
+            quick: true,
+            threads: 1,
+            repeat: 1,
+            ..BenchOptions::default()
+        }
+    }
+
+    #[test]
+    fn quick_bench_produces_valid_json() {
+        let report = run_bench(&quick_opts()).unwrap();
+        assert_eq!(report.results.len(), 2, "quick mode: two headline rows");
+        assert!(report.results.iter().all(|r| r.updates_per_sec > 0.0));
+        assert!(report.best().is_some());
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"preset\": \"quick\""));
+    }
+
+    #[test]
+    fn baseline_adds_speedups() {
+        let mut opts = quick_opts();
+        opts.baseline_updates_per_sec = Some(1.0);
+        let report = run_bench(&opts).unwrap();
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"baseline_updates_per_sec\": 1.000000"));
+        assert!(!json.contains("\"speedup_vs_baseline\": null"));
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let opts = BenchOptions {
+            preset: "galactic".into(),
+            ..BenchOptions::default()
+        };
+        assert!(run_bench(&opts).is_err());
+        assert!(bench_spec("galactic", false).is_err());
+        assert!(bench_spec("medium", false).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err(), "no schema");
+        let good = to_json(&run_bench(&quick_opts()).unwrap());
+        assert!(validate_json(&good).is_ok());
+        let truncated = &good[..good.len() - 4];
+        assert!(validate_json(truncated).is_err(), "unbalanced");
+        let zeroed = good.replace("\"updates_per_sec\": ", "\"updates_per_sec\": -");
+        assert!(validate_json(&zeroed).is_err(), "non-positive rate");
+        let missing = good.replace("\"wall_s\":", "\"wall\":");
+        assert!(validate_json(&missing).is_err(), "missing key");
+    }
+}

@@ -24,9 +24,11 @@ const BOOL_FLAGS: &[&str] = &[
     "--links",
     "--ppm",
     "--soa",
+    "--f32",
     "--tsv",
     "--resume",
     "--watch",
+    "--quick",
     "--help",
     "-h",
 ];
@@ -59,6 +61,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--ttl-ms",
     "--preload-graphs",
     "--from",
+    "--term-block",
+    "--baseline",
+    "--repeat",
+    "--validate",
 ];
 
 impl ArgParser {
@@ -258,6 +264,17 @@ mod tests {
         let p = parse("--preload-graphs /var/graphs");
         p.validate().unwrap();
         assert_eq!(p.value("--preload-graphs").unwrap(), "/var/graphs");
+    }
+
+    #[test]
+    fn hot_path_and_bench_flags_parse() {
+        let p = parse("--f32 --term-block 128 --quick --baseline 8.2e6 --repeat 3");
+        p.validate().unwrap();
+        assert!(p.has("--f32"));
+        assert!(p.has("--quick"));
+        assert_eq!(p.parse_or("--term-block", 256usize).unwrap(), 128);
+        assert_eq!(p.parse_or("--baseline", 0.0f64).unwrap(), 8.2e6);
+        assert_eq!(p.parse_or("--repeat", 1usize).unwrap(), 3);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::args::ArgParser;
 use draw::{rasterize, to_svg, DrawOptions};
 use gpu_sim::{GpuEngine, GpuSpec, KernelConfig};
 use layout_core::batch::BatchEngine;
-use layout_core::coords::DataLayout;
+use layout_core::coords::{DataLayout, Precision};
 use layout_core::cpu::CpuEngine;
 use layout_core::LayoutConfig;
 use pangraph::lean::LeanGraph;
@@ -37,8 +37,16 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         }
         "layout" => {
             "pgl layout <in.gfa> -o <out.lay> [--gpu | --gpu-a100 | --batch <size>]\n\
-             \u{20}          [--threads N] [--iters N] [--seed N] [--soa]\n\
-             Run path-guided SGD layout with the chosen engine."
+             \u{20}          [--threads N] [--iters N] [--seed N] [--soa] [--f32]\n\
+             \u{20}          [--term-block N]\n\
+             Run path-guided SGD layout with the chosen engine.\n\
+             --f32 stores and computes coordinates in single precision (the paper's\n\
+             GPU coordinate format; half the memory traffic, stress parity within\n\
+             5%). --soa uses odgi's struct-of-arrays memory layout instead of the\n\
+             cache-friendly AoS default. --term-block N sets how many terms each\n\
+             worker samples before applying them in one batched pass (default 256;\n\
+             purely a performance knob — single-threaded results are bit-identical\n\
+             across block sizes)."
         }
         "stress" => {
             "pgl stress <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
@@ -57,7 +65,8 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              paths remain as deprecated aliases). Upload-once workflow: POST\n\
              /v1/graphs (GFA body) parses the graph once and returns {graph_id,...};\n\
              then POST /v1/jobs?graph=<id> lays it out by reference (engine=cpu|\n\
-             batch|gpu|gpu-a100, iters, threads, seed, batch, soa) with no re-upload\n\
+             batch|gpu|gpu-a100, iters, threads, seed, batch, soa, precision=f32|\n\
+             f64, term_block=N) with no re-upload\n\
              or re-parse — plus scheduling params priority=interactive|normal|bulk,\n\
              client=<key> (fair-share identity, default: peer IP), ttl_ms=<n> (fail\n\
              if still queued after n ms). Jobs are scheduled by priority band with\n\
@@ -83,6 +92,22 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              default (idle timeout --keep-alive seconds, default 5; 0 closes after\n\
              every response)."
         }
+        "bench" => {
+            "pgl bench [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
+             \u{20}         [--iters N] [--repeat N] [--quick] [--baseline UPDATES_PER_SEC]\n\
+             \u{20}         [--validate <bench.json>]\n\
+             Reproducible SGD-throughput harness over the bundled workload presets.\n\
+             Sweeps the hot-path axes (engine x precision x memory layout), reports\n\
+             applied updates/sec per configuration, and writes a pgl-bench/1 JSON\n\
+             document (committed as BENCH_<n>.json per perf PR, so the repository\n\
+             records its own performance trajectory). --quick is the CI smoke mode:\n\
+             a tiny graph, 3 iterations, only the two headline rows. --baseline\n\
+             takes a previous run's updates/sec and adds speedup_vs_baseline to\n\
+             every record. --validate checks an existing document's structure and\n\
+             exits (used by CI on the artifact it just produced). --repeat N runs\n\
+             each configuration N times and reports the best, standard practice\n\
+             for throughput numbers."
+        }
         "batch" => {
             "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100[,more...]]\n\
              \u{20}         [--workers N] [--iters N] [--threads N] [--seed N] [--tsv]\n\
@@ -97,7 +122,8 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         }
         "submit" => {
             "pgl submit <in.gfa> [--addr HOST] [--port N] [--engine E] [--iters N]\n\
-             \u{20}          [--threads N] [--seed N] [--batch N] [--soa]\n\
+             \u{20}          [--threads N] [--seed N] [--batch N] [--soa] [--f32]\n\
+             \u{20}          [--term-block N]\n\
              \u{20}          [--priority interactive|normal|bulk] [--client KEY]\n\
              \u{20}          [--ttl-ms N] [--watch]\n\
              Submit one layout job to a running `pgl serve` (POST /v1/jobs) and print\n\
@@ -206,6 +232,12 @@ pub fn layout(p: ArgParser) -> CmdResult {
         } else {
             DataLayout::CacheFriendlyAos
         },
+        precision: if p.has("--f32") {
+            Precision::F32
+        } else {
+            Precision::F64
+        },
+        term_block: p.parse_or("--term-block", LayoutConfig::default().term_block)?,
         ..LayoutConfig::default()
     };
 
@@ -438,8 +470,14 @@ pub fn submit(p: ArgParser) -> CmdResult {
             query.push(format!("{}={}", &flag[2..], encode_query(v)));
         }
     }
+    if let Some(v) = p.value("--term-block") {
+        query.push(format!("term_block={}", encode_query(v)));
+    }
     if p.has("--soa") {
         query.push("soa=1".into());
+    }
+    if p.has("--f32") {
+        query.push("precision=f32".into());
     }
     query.push(format!("priority={}", parse_priority(&p)?.as_str()));
     if let Some(client) = p.value("--client") {
@@ -531,6 +569,12 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
             iter_max: p.parse_or("--iters", 30u32)?,
             threads: p.parse_or("--threads", 0usize)?,
             seed: p.parse_or("--seed", LayoutConfig::default().seed)?,
+            precision: if p.has("--f32") {
+                Precision::F32
+            } else {
+                Precision::F64
+            },
+            term_block: p.parse_or("--term-block", LayoutConfig::default().term_block)?,
             ..LayoutConfig::default()
         },
         batch_size: p.parse_or("--batch", 1024usize)?,
@@ -592,6 +636,54 @@ pub fn batch_cmd(p: ArgParser) -> CmdResult {
     );
     if failed > 0 {
         return Err(format!("{failed} layout(s) failed"));
+    }
+    Ok(())
+}
+
+/// `pgl bench` — the SGD-throughput harness (see `crates/bench`).
+pub fn bench(p: ArgParser) -> CmdResult {
+    if let Some(path) = p.value("--validate") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        pgl_bench::validate_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: valid {} document", pgl_bench::BENCH_SCHEMA);
+        return Ok(());
+    }
+    let opts = pgl_bench::BenchOptions {
+        preset: p.value("--preset").unwrap_or("medium").to_string(),
+        threads: p.parse_or("--threads", 1usize)?,
+        iters: p.parse_or("--iters", 15u32)?,
+        repeat: p.parse_or("--repeat", 2usize)?,
+        quick: p.has("--quick"),
+        baseline_updates_per_sec: match p.value("--baseline") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("bad --baseline {v:?} (updates/sec)"))?,
+            ),
+        },
+    };
+    let report = pgl_bench::run_bench(&opts)?;
+    if let Some(best) = report.best() {
+        let speedup = opts
+            .baseline_updates_per_sec
+            .map(|b| format!(" ({:.2}x vs baseline)", best.updates_per_sec / b))
+            .unwrap_or_default();
+        eprintln!(
+            "pgl bench: best {:.2}M updates/s — {} {} {}{}",
+            best.updates_per_sec / 1e6,
+            best.engine,
+            best.precision,
+            best.layout,
+            speedup
+        );
+    }
+    let json = pgl_bench::to_json(&report);
+    match p.value("-o") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
     }
     Ok(())
 }
@@ -683,8 +775,8 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch", "submit",
-            "watch",
+            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch", "bench",
+            "submit", "watch",
         ] {
             let text = usage(cmd).expect(cmd);
             assert!(text.contains(cmd), "{cmd} usage names itself");

@@ -59,6 +59,7 @@ fn main() {
         "tsv" => commands::tsv(parser),
         "serve" => commands::serve(parser),
         "batch" => commands::batch_cmd(parser),
+        "bench" => commands::bench(parser),
         "submit" => commands::submit(parser),
         "watch" => commands::watch(parser),
         "help" | "--help" | "-h" => {
@@ -83,7 +84,11 @@ fn print_usage() {
          \u{20}  stats   <in.gfa>\n\
          \u{20}  sort    <in.gfa> -o <out.gfa> [--iters N] [--seed N]   (1D path-SGD sort)\n\
          \u{20}  layout  <in.gfa> -o <out.lay> [--gpu] [--gpu-a100] [--batch <size>]\n\
-         \u{20}          [--threads N] [--iters N] [--seed N] [--soa]\n\
+         \u{20}          [--threads N] [--iters N] [--seed N] [--soa] [--f32]\n\
+         \u{20}          [--term-block N]\n\
+         \u{20}  bench   [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
+         \u{20}          [--iters N] [--repeat N] [--quick] [--baseline UPS]\n\
+         \u{20}          [--validate <bench.json>]   (SGD throughput harness)\n\
          \u{20}  stress  <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
          \u{20}  tsv     <in.lay> -o <out.tsv>\n\

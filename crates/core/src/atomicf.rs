@@ -8,7 +8,7 @@
 //! `mov`, so this faithfully reproduces both the semantics *and* the cost
 //! model of the original.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// An `f64` stored in an `AtomicU64` with relaxed ordering.
 #[derive(Debug)]
@@ -48,9 +48,54 @@ impl Default for AtomicF64 {
     }
 }
 
+/// An `f32` stored in an `AtomicU32` with relaxed ordering — the paper's
+/// GPU coordinate precision (fp32, Sec. V-B) on the CPU side. Halves the
+/// coordinate slab's memory traffic relative to [`AtomicF64`].
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// New cell holding `v`.
+    #[inline]
+    pub fn new(v: f32) -> Self {
+        Self(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Hogwild add: load, add, store — racy by design, like
+    /// [`AtomicF64::hogwild_add`].
+    #[inline]
+    pub fn hogwild_add(&self, delta: f32) {
+        self.store(self.load() + delta);
+    }
+}
+
+impl Default for AtomicF32 {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
 /// Allocate a zeroed atomic coordinate slab.
 pub fn zeroed_slab(n: usize) -> Vec<AtomicF64> {
     std::iter::repeat_with(AtomicF64::default).take(n).collect()
+}
+
+/// Allocate a zeroed single-precision atomic coordinate slab.
+pub fn zeroed_slab32(n: usize) -> Vec<AtomicF32> {
+    std::iter::repeat_with(AtomicF32::default).take(n).collect()
 }
 
 #[cfg(test)]
@@ -90,6 +135,22 @@ mod tests {
         let slab = zeroed_slab(100);
         assert_eq!(slab.len(), 100);
         assert!(slab.iter().all(|a| a.load() == 0.0));
+    }
+
+    #[test]
+    fn f32_cells_round_trip_and_accumulate() {
+        let a = AtomicF32::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+        a.hogwild_add(0.75);
+        assert_eq!(a.load(), -1.5);
+        for v in [0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY] {
+            let c = AtomicF32::new(v);
+            assert_eq!(c.load().to_bits(), v.to_bits());
+        }
+        let slab = zeroed_slab32(10);
+        assert!(slab.iter().all(|c| c.load() == 0.0));
     }
 
     #[test]

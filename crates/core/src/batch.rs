@@ -22,6 +22,7 @@
 
 use crate::config::LayoutConfig;
 use crate::control::LayoutControl;
+use crate::coords::Precision;
 use crate::init::init_linear;
 use crate::sampler::{PairSampler, Term};
 use crate::schedule::Schedule;
@@ -183,6 +184,18 @@ impl BatchEngine {
         let init = init_linear(lean, cfg.init_jitter, cfg.seed);
         let mut xs: Vec<f64> = init.xs().to_vec();
         let mut ys: Vec<f64> = init.ys().to_vec();
+        // The fp32 axis for this engine is *storage* precision, like the
+        // paper's GPU coordinate tensors: every value written back to
+        // the coordinate arrays is narrowed through f32. (The tensor
+        // arithmetic itself stays f64 — this engine's job is modeling
+        // kernel structure, not FPU throughput.)
+        let quantize = cfg.precision == Precision::F32;
+        let store = |v: f64| if quantize { v as f32 as f64 } else { v };
+        if quantize {
+            for v in xs.iter_mut().chain(ys.iter_mut()) {
+                *v = *v as f32 as f64;
+            }
+        }
 
         let total_steps = lean.total_steps() as u64;
         let d_max = (lean.max_path_nuc_len() as f64).max(1.0);
@@ -319,10 +332,10 @@ impl BatchEngine {
                 for (k, term) in terms.iter().enumerate() {
                     let ii = 2 * term.node_i as usize + term.end_i as usize;
                     let jj = 2 * term.node_j as usize + term.end_j as usize;
-                    xs[ii] = gx_i[k] - rx[k];
-                    ys[ii] = gy_i[k] - ry[k];
-                    xs[jj] = gx_j[k] + rx[k];
-                    ys[jj] = gy_j[k] + ry[k];
+                    xs[ii] = store(gx_i[k] - rx[k]);
+                    ys[ii] = store(gy_i[k] - ry[k]);
+                    xs[jj] = store(gx_j[k] + rx[k]);
+                    ys[jj] = store(gy_j[k] + ry[k]);
                 }
                 op_time[0] += t.elapsed();
             }
@@ -457,6 +470,27 @@ mod tests {
             q_huge > q_small,
             "huge-batch stress {q_huge} should exceed small-batch {q_small}"
         );
+    }
+
+    #[test]
+    fn f32_storage_converges_and_stays_f32_representable() {
+        let lean = test_graph(200, 5, 11);
+        let cfg = LayoutConfig {
+            iter_max: 12,
+            precision: Precision::F32,
+            ..LayoutConfig::default()
+        };
+        let (layout, _) = BatchEngine::new(cfg, 256).run(&lean);
+        assert!(layout.all_finite());
+        for node in 0..layout.node_count() as u32 {
+            for end in [false, true] {
+                let (x, y) = layout.get(node, end);
+                assert_eq!(x, x as f32 as f64, "x of {node} not f32-representable");
+                assert_eq!(y, y as f32 as f64);
+            }
+        }
+        let q = quality(&layout, &lean);
+        assert!(q < 1.0, "f32 batch stress {q}");
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Layout configuration — the knobs of Alg. 1 with odgi-layout's defaults.
 
-use crate::coords::DataLayout;
+use crate::coords::{DataLayout, Precision};
+
+/// Ceiling on [`LayoutConfig::term_block`]: each worker thread keeps a
+/// term buffer of this many entries (~56 B each ⇒ ≤ ~56 MB/thread at the
+/// cap), so a hostile or fat-fingered block size cannot turn into a
+/// terabyte allocation.
+pub const MAX_TERM_BLOCK: usize = 1 << 20;
 
 /// How node pairs are selected within a path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +47,14 @@ pub struct LayoutConfig {
     pub seed: u64,
     /// Coordinate-store memory layout (the Table IX CDL axis).
     pub data_layout: DataLayout,
+    /// Coordinate precision: `f64` (odgi's CPU baseline) or `f32` (the
+    /// paper's GPU coordinates; half the memory traffic per update).
+    pub precision: Precision,
+    /// Terms sampled per hot-loop block: worker threads draw this many
+    /// terms, then apply them in one monomorphized straight-line pass.
+    /// Amortizes sampler dispatch; larger blocks coarsen Hogwild
+    /// interleaving but do not change the objective.
+    pub term_block: usize,
     /// Pair-selection scheme.
     pub pair_selection: PairSelection,
     /// Initial-placement jitter amplitude relative to graph length.
@@ -61,6 +75,8 @@ impl Default for LayoutConfig {
             threads: 0,
             seed: 93_992_202,
             data_layout: DataLayout::CacheFriendlyAos,
+            precision: Precision::F64,
+            term_block: 256,
             pair_selection: PairSelection::PgSgd,
             init_jitter: 0.01,
         }
@@ -100,6 +116,14 @@ impl LayoutConfig {
     pub fn steps_per_iter(&self, total_path_steps: u64) -> u64 {
         (self.steps_per_path_node * total_path_steps as f64).ceil() as u64
     }
+
+    /// The term-block size, clamped to `1..=`[`MAX_TERM_BLOCK`]: a zero
+    /// block would stall the hot loop, and an absurd one is a per-thread
+    /// allocation request (the service accepts this field from the
+    /// network).
+    pub fn resolved_term_block(&self) -> usize {
+        self.term_block.clamp(1, MAX_TERM_BLOCK)
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +162,27 @@ mod tests {
         let c = LayoutConfig::for_tests(2);
         assert!(c.iter_max <= 16);
         assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn hot_path_axes_default_to_the_faithful_baseline() {
+        let c = LayoutConfig::default();
+        assert_eq!(c.precision, Precision::F64);
+        assert!(c.term_block >= 1);
+        assert_eq!(c.resolved_term_block(), c.term_block);
+        let zero = LayoutConfig {
+            term_block: 0,
+            ..LayoutConfig::default()
+        };
+        assert_eq!(zero.resolved_term_block(), 1);
+        let huge = LayoutConfig {
+            term_block: usize::MAX,
+            ..LayoutConfig::default()
+        };
+        assert_eq!(
+            huge.resolved_term_block(),
+            MAX_TERM_BLOCK,
+            "network-supplied block sizes must not become giant allocations"
+        );
     }
 }

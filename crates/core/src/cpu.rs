@@ -9,17 +9,26 @@
 //! iteration, worker threads perform steps independently:
 //!
 //! * each thread owns a Xoshiro256+ stream placed 2¹²⁸ draws apart,
+//! * steps are processed in *term blocks* (`LayoutConfig::term_block`):
+//!   a thread samples a block of terms, then applies it through one
+//!   monomorphized straight-line pass
+//!   ([`CoordStore::apply_block`]) — the block hoists the layout ×
+//!   precision dispatch out of the per-term path and amortizes sampler
+//!   entry, mirroring the paper's batched term updates (Sec. V-B),
 //! * coordinate updates are relaxed-atomic read-modify-writes with **no**
 //!   synchronization (Hogwild!), racing exactly as the original does,
 //! * the shared [`PairSampler`] and [`LeanGraph`] are read-only.
+//!
+//! Because sampling never reads coordinates, block application is
+//! bit-identical to interleaved sample/apply on a single thread — block
+//! size is purely a performance knob.
 
 use crate::config::LayoutConfig;
 use crate::control::LayoutControl;
 use crate::coords::CoordStore;
 use crate::init::init_linear;
-use crate::sampler::PairSampler;
+use crate::sampler::{PairSampler, Term};
 use crate::schedule::Schedule;
-use crate::step::term_deltas;
 use crate::LayoutEngine;
 use pangraph::layout2d::Layout2D;
 use pangraph::lean::LeanGraph;
@@ -123,7 +132,7 @@ impl CpuEngine {
         ctl: Option<&LayoutControl>,
     ) -> CpuRun {
         let cfg = &self.cfg;
-        let store = CoordStore::new(cfg.data_layout, lean);
+        let store = CoordStore::with_precision(cfg.data_layout, cfg.precision, lean);
         match initial {
             Some(l) => store.load_from(l),
             None => store.load_from(&init_linear(lean, cfg.init_jitter, cfg.seed)),
@@ -175,19 +184,23 @@ impl CpuEngine {
                 };
                 let iters_done = &iters_done;
                 let stop = &stop;
+                let term_block = cfg.resolved_term_block();
                 scope.spawn(move || {
                     let mut my_applied = 0u64;
+                    let mut block: Vec<Term> =
+                        Vec::with_capacity(term_block.min(my_steps as usize));
                     for iter in 0..cfg.iter_max {
                         let eta = schedule.eta(iter);
-                        for _ in 0..my_steps {
-                            if let Some(t) = sampler.sample(lean, &mut rng, iter) {
-                                let vi = store.load(t.node_i, t.end_i);
-                                let vj = store.load(t.node_j, t.end_j);
-                                let (di, dj) = term_deltas(vi, vj, t.d_ref, eta);
-                                store.add(t.node_i, t.end_i, di.0, di.1);
-                                store.add(t.node_j, t.end_j, dj.0, dj.1);
-                                my_applied += 1;
-                            }
+                        // Sample a block of terms, then apply it in one
+                        // monomorphized pass: the layout × precision
+                        // dispatch runs once per block, not per term.
+                        let mut left = my_steps;
+                        while left > 0 {
+                            let want = left.min(term_block as u64) as usize;
+                            left -= want as u64;
+                            let got = sampler.sample_block(lean, &mut rng, iter, want, &mut block);
+                            store.apply_block(&block, eta);
+                            my_applied += got as u64;
                         }
                         // Iteration barrier (odgi's join; the GPU's kernel
                         // boundary).
@@ -331,6 +344,44 @@ mod tests {
             q4 < q1 * 3.0 + 0.05,
             "4-thread quality {q4} should be comparable to 1-thread {q1}"
         );
+    }
+
+    #[test]
+    fn term_block_size_does_not_change_single_thread_results() {
+        // Sampling never reads coordinates, so block application is
+        // bit-identical to interleaved sample/apply on one thread: the
+        // block size is purely a performance knob.
+        let lean = test_graph(150, 4, 13);
+        let mk = |term_block| LayoutConfig {
+            threads: 1,
+            iter_max: 6,
+            term_block,
+            ..LayoutConfig::default()
+        };
+        let one = CpuEngine::new(mk(1)).run(&lean).0;
+        let small = CpuEngine::new(mk(7)).run(&lean).0;
+        let big = CpuEngine::new(mk(1024)).run(&lean).0;
+        assert_eq!(one, small, "block=7 must match block=1 bitwise");
+        assert_eq!(one, big, "block=1024 must match block=1 bitwise");
+    }
+
+    #[test]
+    fn f32_runs_are_deterministic_and_converge() {
+        use crate::coords::Precision;
+        let lean = test_graph(250, 5, 14);
+        let cfg = LayoutConfig {
+            threads: 1,
+            iter_max: 12,
+            precision: Precision::F32,
+            ..LayoutConfig::default()
+        };
+        let (a, report) = CpuEngine::new(cfg.clone()).run(&lean);
+        let (b, _) = CpuEngine::new(cfg).run(&lean);
+        assert_eq!(a, b, "single-threaded f32 runs must be bit-identical");
+        assert!(report.terms_applied > 0);
+        assert!(a.all_finite());
+        let q = quality(&a, &lean);
+        assert!(q < 1.0, "f32 quality {q}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod coords;
 pub mod cpu;
 pub mod init;
 pub mod sampler;
+pub mod scalar;
 pub mod schedule;
 pub mod sort1d;
 pub mod step;
@@ -36,7 +37,7 @@ pub mod step;
 pub use batch::{BatchEngine, BatchReport, KernelOp};
 pub use config::{LayoutConfig, PairSelection};
 pub use control::LayoutControl;
-pub use coords::{CoordStore, DataLayout};
+pub use coords::{CoordStore, DataLayout, Precision};
 pub use cpu::{CpuEngine, RunReport};
 pub use init::{init_linear, init_random};
 pub use sampler::{PairSampler, Term};

@@ -80,13 +80,21 @@ impl PairSampler {
             return None;
         }
         let i = rng.gen_below(n as u64) as usize;
+        // One draw covers all four per-term coins (cooling, direction,
+        // endpoint i, endpoint j), taken from the generator's highest
+        // bits — xoshiro+'s best-equidistributed ones. Four separate
+        // `flip()` draws would spend three extra generator steps per
+        // term on single bits.
+        let coins = rng.next_u64();
+        let (coin_cool, coin_dir) = (coins >> 63 == 1, coins >> 62 & 1 == 1);
+        let (end_i, end_j) = (coins >> 61 & 1 == 1, coins >> 60 & 1 == 1);
         let j = match self.selection {
             PairSelection::PgSgd => {
-                let cooling = iter >= self.first_cooling || rng.flip();
+                let cooling = iter >= self.first_cooling || coin_cool;
                 if cooling {
                     let z = self.zipf.sample(rng, (n - 1) as u64) as usize;
                     // Random direction, falling back to the feasible side.
-                    if rng.flip() {
+                    if coin_dir {
                         if i + z < n {
                             i + z
                         } else if i >= z {
@@ -124,8 +132,6 @@ impl PairSampler {
         debug_assert_ne!(i, j);
         let s_i = lean.flat_step(p, i);
         let s_j = lean.flat_step(p, j);
-        let end_i = rng.flip();
-        let end_j = rng.flip();
         let d_ref = lean.d_ref_endpoints(s_i, end_i, s_j, end_j);
         if d_ref <= 0.0 {
             return None;
@@ -139,6 +145,31 @@ impl PairSampler {
             end_j,
             d_ref,
         })
+    }
+
+    /// Draw `want` times for iteration `iter`, collecting the accepted
+    /// terms into `out` (cleared first). One call per hot-loop block —
+    /// the engines sample a block, then apply it in a single
+    /// monomorphized pass ([`crate::coords::CoordStore::apply_block`]),
+    /// amortizing sampler dispatch. Returns the number accepted; RNG
+    /// consumption is identical to `want` scalar [`PairSampler::sample`]
+    /// calls, so block size never changes the random stream.
+    #[inline]
+    pub fn sample_block<R: Rng64>(
+        &self,
+        lean: &LeanGraph,
+        rng: &mut R,
+        iter: u32,
+        want: usize,
+        out: &mut Vec<Term>,
+    ) -> usize {
+        out.clear();
+        for _ in 0..want {
+            if let Some(t) = self.sample(lean, rng, iter) {
+                out.push(t);
+            }
+        }
+        out.len()
     }
 }
 
@@ -278,6 +309,24 @@ mod tests {
                 "path {pi}: {} vs {expect}",
                 freq[pi]
             );
+        }
+    }
+
+    #[test]
+    fn block_sampling_consumes_the_same_stream_as_scalar_sampling() {
+        let lean = test_lean();
+        let cfg = LayoutConfig::default();
+        let sampler = PairSampler::new(&lean, &cfg);
+        let mut scalar_rng = Xoshiro256Plus::seed_from_u64(9);
+        let mut block_rng = Xoshiro256Plus::seed_from_u64(9);
+        let mut block = Vec::new();
+        for iter in [0u32, 20] {
+            let n = sampler.sample_block(&lean, &mut block_rng, iter, 300, &mut block);
+            assert_eq!(n, block.len());
+            let scalar: Vec<Term> = (0..300)
+                .filter_map(|_| sampler.sample(&lean, &mut scalar_rng, iter))
+                .collect();
+            assert_eq!(block, scalar, "iter {iter}");
         }
     }
 

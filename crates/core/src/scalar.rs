@@ -1,0 +1,179 @@
+//! The coordinate-precision axis: one trait, two instantiations.
+//!
+//! The paper's GPU port stores layout coordinates as `float`s (fp32,
+//! Sec. V-B) while odgi's CPU implementation uses `double`s; this module
+//! lets every engine kernel be written once, generically, and
+//! monomorphized per precision. [`LayoutScalar`] bundles the arithmetic
+//! the SGD update step needs with the *relaxed-atomic cell* type the
+//! Hogwild coordinate slabs are built from, so an `f32` run halves
+//! memory traffic end to end — slab, loads, stores — not just the math.
+//!
+//! The `f64` instantiation is bit-compatible with the original scalar
+//! code paths: generic kernels over `f64` produce identical results to
+//! the pre-generic implementations (asserted by the engine determinism
+//! tests).
+
+use crate::atomicf::{AtomicF32, AtomicF64};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A coordinate scalar (`f32` or `f64`) plus its relaxed-atomic cell.
+pub trait LayoutScalar:
+    Copy
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// The relaxed-atomic cell holding one coordinate of this precision.
+    type Cell: Send + Sync;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity (the μ cap).
+    const ONE: Self;
+    /// The divisor in `Δ = μ·(‖d‖ − d_ref)/2`.
+    const TWO: Self;
+    /// Coincidence threshold for the degenerate-direction fallback.
+    const MAG_EPS: Self;
+    /// Deterministic infinitesimal x-offset used when points coincide.
+    const MAG_FALLBACK: Self;
+
+    /// Narrow (or pass through) an `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widen (or pass through) to `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Minimum of two values (`min` is not in the `Ord` path for floats).
+    fn min_s(self, other: Self) -> Self;
+
+    /// A fresh cell holding `v`.
+    fn cell_new(v: Self) -> Self::Cell;
+    /// Relaxed load.
+    fn cell_load(cell: &Self::Cell) -> Self;
+    /// Relaxed store.
+    fn cell_store(cell: &Self::Cell, v: Self);
+}
+
+impl LayoutScalar for f64 {
+    type Cell = AtomicF64;
+
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    const MAG_EPS: Self = 1e-12;
+    const MAG_FALLBACK: Self = 1e-9;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn min_s(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline]
+    fn cell_new(v: Self) -> Self::Cell {
+        AtomicF64::new(v)
+    }
+    #[inline]
+    fn cell_load(cell: &Self::Cell) -> Self {
+        cell.load()
+    }
+    #[inline]
+    fn cell_store(cell: &Self::Cell, v: Self) {
+        cell.store(v);
+    }
+}
+
+impl LayoutScalar for f32 {
+    type Cell = AtomicF32;
+
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    // The f64 thresholds are representable in f32 (min normal ≈ 1.2e-38),
+    // so the degenerate-direction behavior matches across precisions.
+    const MAG_EPS: Self = 1e-12;
+    const MAG_FALLBACK: Self = 1e-9;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn min_s(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline]
+    fn cell_new(v: Self) -> Self::Cell {
+        AtomicF32::new(v)
+    }
+    #[inline]
+    fn cell_load(cell: &Self::Cell) -> Self {
+        cell.load()
+    }
+    #[inline]
+    fn cell_store(cell: &Self::Cell, v: Self) {
+        cell.store(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: LayoutScalar>(v: f64) -> f64 {
+        let cell = T::cell_new(T::from_f64(v));
+        T::cell_load(&cell).to_f64()
+    }
+
+    #[test]
+    fn cells_round_trip_both_precisions() {
+        assert_eq!(roundtrip::<f64>(1.25), 1.25);
+        assert_eq!(roundtrip::<f32>(1.25), 1.25);
+        // f32 narrows; f64 does not.
+        let fine = 1.0 + 1e-12;
+        assert_eq!(roundtrip::<f64>(fine), fine);
+        assert_eq!(roundtrip::<f32>(fine), 1.0);
+    }
+
+    #[test]
+    fn stores_overwrite() {
+        let cell = f32::cell_new(3.0);
+        f32::cell_store(&cell, -7.5);
+        assert_eq!(f32::cell_load(&cell), -7.5);
+    }
+
+    #[test]
+    fn arithmetic_helpers_behave() {
+        // The f32 thresholds are the f64 ones up to rounding.
+        let rel = (f64::MAG_EPS - f32::MAG_EPS.to_f64()).abs() / f64::MAG_EPS;
+        assert!(rel < 1e-6, "MAG_EPS drifted: {rel}");
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!(4.0f32.sqrt(), 2.0);
+        assert_eq!(3.0f64.min_s(1.0), 1.0);
+        assert_eq!(3.0f32.min_s(1.0), 1.0);
+    }
+}

@@ -16,8 +16,39 @@
 //! first updates snap even the farthest pairs to their reference distance
 //! without overshooting.
 
+use crate::scalar::LayoutScalar;
+
 /// Coordinate deltas for the two points of one term: `(Δv_i, Δv_j)`.
 pub type TermDeltas = ((f64, f64), (f64, f64));
+
+/// Precision-generic update step: the same arithmetic as [`term_deltas`],
+/// monomorphized per [`LayoutScalar`] so the `f32` hot path computes —
+/// not just stores — in single precision, exactly like the paper's CUDA
+/// kernel. The `f64` instantiation is bit-identical to [`term_deltas`].
+#[inline]
+pub fn term_deltas_t<T: LayoutScalar>(
+    vi: (T, T),
+    vj: (T, T),
+    d_ref: T,
+    eta: T,
+) -> ((T, T), (T, T)) {
+    debug_assert!(d_ref > T::ZERO, "term deltas require positive d_ref");
+    let w = T::ONE / (d_ref * d_ref);
+    let mu = (eta * w).min_s(T::ONE);
+    let mut dx = vi.0 - vj.0;
+    let mut dy = vi.1 - vj.1;
+    let mut mag = (dx * dx + dy * dy).sqrt();
+    if mag < T::MAG_EPS {
+        dx = T::MAG_FALLBACK;
+        dy = T::ZERO;
+        mag = T::MAG_FALLBACK;
+    }
+    let delta = mu * (mag - d_ref) / T::TWO;
+    let r = delta / mag;
+    let rx = r * dx;
+    let ry = r * dy;
+    ((-rx, -ry), (rx, ry))
+}
 
 /// Compute the Hogwild deltas for one update step. `d_ref` must be
 /// positive (callers skip zero-distance terms).
@@ -27,22 +58,7 @@ pub type TermDeltas = ((f64, f64), (f64, f64));
 /// testing and changes nothing statistically).
 #[inline]
 pub fn term_deltas(vi: (f64, f64), vj: (f64, f64), d_ref: f64, eta: f64) -> TermDeltas {
-    debug_assert!(d_ref > 0.0, "term_deltas requires positive d_ref");
-    let w = 1.0 / (d_ref * d_ref);
-    let mu = (eta * w).min(1.0);
-    let mut dx = vi.0 - vj.0;
-    let mut dy = vi.1 - vj.1;
-    let mut mag = (dx * dx + dy * dy).sqrt();
-    if mag < 1e-12 {
-        dx = 1e-9;
-        dy = 0.0;
-        mag = 1e-9;
-    }
-    let delta = mu * (mag - d_ref) / 2.0;
-    let r = delta / mag;
-    let rx = r * dx;
-    let ry = r * dy;
-    ((-rx, -ry), (rx, ry))
+    term_deltas_t::<f64>(vi, vj, d_ref, eta)
 }
 
 /// Convenience: the stress of a term after hypothetically applying the
@@ -136,6 +152,31 @@ mod tests {
         for eta in [1.0, 1e3, 1e6, 1e12] {
             let res = post_update_residual((0.0, 0.0), (100.0, 0.0), 30.0, eta);
             assert!(res <= 70.0 + 1e-9, "eta {eta}: residual {res}");
+        }
+    }
+
+    #[test]
+    fn f32_instantiation_tracks_f64_within_single_precision() {
+        for (vi, vj, d, eta) in [
+            ((0.0, 0.0), (10.0, 0.0), 5.0, 1e3),
+            ((1.0, 2.0), (4.0, 6.0), 3.0, 2.0),
+            ((0.0, 0.0), (1.0, 0.0), 5.0, 1e9),
+            ((1.0, 1.0), (1.0, 1.0), 2.0, 1e9), // coincident fallback
+        ] {
+            let (di, dj) = term_deltas(vi, vj, d, eta);
+            let (si, sj) = term_deltas_t::<f32>(
+                (vi.0 as f32, vi.1 as f32),
+                (vj.0 as f32, vj.1 as f32),
+                d as f32,
+                eta as f32,
+            );
+            for (a, b) in [(di.0, si.0), (di.1, si.1), (dj.0, sj.0), (dj.1, sj.1)] {
+                let tol = (a.abs() * 1e-5).max(1e-6);
+                assert!(
+                    (a - b as f64).abs() <= tol,
+                    "f64 {a} vs f32 {b} for {vi:?} {vj:?} d={d} eta={eta}"
+                );
+            }
         }
     }
 

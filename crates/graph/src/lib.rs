@@ -41,6 +41,6 @@ pub use model::{fig1_graph, GraphBuilder, Handle, NodeId, Path, PathId, Variatio
 pub use pathindex::PathIndex;
 pub use stats::{AggregateStats, GraphStats};
 pub use store::{
-    content_hash, content_hash_parts, evict_dir_to_cap, ContentHash, GraphMeta, GraphStore,
-    GraphStoreStats,
+    content_hash, content_hash_parts, evict_dir_to_cap, ContentHash, DiskIndex, GraphMeta,
+    GraphStore, GraphStoreStats,
 };

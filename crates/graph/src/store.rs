@@ -258,14 +258,17 @@ pub fn load_graph_spill(path: &Path) -> std::io::Result<LeanGraph> {
 /// Oldest-first eviction of a spill directory down to `max_bytes`:
 /// regular `<stem>.<ext>` files are sized, sorted by modification time,
 /// and the oldest are removed until the directory fits. Hidden files
-/// (in-flight temp spills start with `.`) are never touched. Returns
-/// the number of files removed. A `max_bytes` of 0 disables the cap.
-pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> u64 {
+/// (in-flight temp spills and the [`DiskIndex`] file start with `.`)
+/// are never touched. Returns the content hashes of the removed spills
+/// (so callers can update their [`DiskIndex`]; files whose stem is not
+/// a content hash are still removed but not reported). A `max_bytes` of
+/// 0 disables the cap.
+pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> Vec<ContentHash> {
     if max_bytes == 0 {
-        return 0;
+        return Vec::new();
     }
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return 0;
+        return Vec::new();
     };
     let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
         .filter_map(|e| e.ok())
@@ -287,20 +290,188 @@ pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> u64 {
         .collect();
     let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
     if total <= max_bytes {
-        return 0;
+        return Vec::new();
     }
     files.sort_by_key(|(mtime, _, _)| *mtime);
-    let mut removed = 0u64;
+    let mut removed = Vec::new();
     for (_, len, path) in files {
         if total <= max_bytes {
             break;
         }
         if std::fs::remove_file(&path).is_ok() {
             total = total.saturating_sub(len);
-            removed += 1;
+            if let Some(id) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(ContentHash::from_hex)
+            {
+                removed.push(id);
+            }
         }
     }
     removed
+}
+
+// ---------------------------------------------------------------------------
+// DiskIndex
+// ---------------------------------------------------------------------------
+
+/// In-memory membership index of a spill directory, persisted as an
+/// append-only ops log (`<dir>/.pgl-index-<ext>`).
+///
+/// Without it, every cache/store **miss** pays a filesystem probe
+/// (`open` → `ENOENT`) against the spill directory — on a huge cache
+/// directory under request load, that is a per-miss metadata round trip
+/// for a question ("is this hash spilled?") whose answer is a hash-set
+/// lookup. The index answers membership from memory; the persisted log
+/// means a restarted process recovers the answer set by replaying one
+/// small file instead of `readdir`-ing millions of spills.
+///
+/// Format: a header line (`pgl-disk-index/1 <ext>`), then one `+<hex>` /
+/// `-<hex>` op per line. The log is compacted (rewritten as a snapshot,
+/// temp + rename) when it grows past a multiple of the live set. If the
+/// file is missing or unreadable, the directory is scanned once and a
+/// fresh snapshot written — so directories created by older versions
+/// (or populated out-of-band) index correctly on first open.
+///
+/// The index is authoritative for *this* process plus whatever existed
+/// at open time. A sibling process writing the same directory
+/// concurrently appends to the same log (its entries land at the next
+/// open); until then its new spills read as absent here — a recompute,
+/// never a correctness failure. A spill the index believes present but
+/// a sibling has evicted surfaces as `ENOENT` on the actual read;
+/// callers report that back via their store's `record_disk_gone` and
+/// the entry self-heals.
+#[derive(Debug)]
+pub struct DiskIndex {
+    path: PathBuf,
+    ext: String,
+    present: std::collections::HashSet<ContentHash>,
+    /// Ops lines in the on-disk log (replayed + appended); drives
+    /// compaction.
+    log_lines: usize,
+}
+
+impl DiskIndex {
+    fn header(ext: &str) -> String {
+        format!("pgl-disk-index/1 {ext}\n")
+    }
+
+    /// Open (or build) the index for `<dir>/*.{ext}`. Never fails:
+    /// degraded I/O falls back to an empty index, which only costs
+    /// recomputation.
+    pub fn open(dir: &Path, ext: &str) -> Self {
+        let path = dir.join(format!(".pgl-index-{ext}"));
+        let mut index = Self {
+            path,
+            ext: ext.to_string(),
+            present: std::collections::HashSet::new(),
+            log_lines: 0,
+        };
+        let header = Self::header(ext);
+        match std::fs::read_to_string(&index.path) {
+            Ok(text) if text.starts_with(header.trim_end()) => {
+                for line in text.lines().skip(1) {
+                    index.log_lines += 1;
+                    let (op, hex) = line.split_at(line.len().min(1));
+                    match (op, ContentHash::from_hex(hex)) {
+                        ("+", Some(id)) => {
+                            index.present.insert(id);
+                        }
+                        ("-", Some(id)) => {
+                            index.present.remove(&id);
+                        }
+                        // Torn or foreign line (e.g. a concurrent append
+                        // cut mid-write): skip — worst case a spurious
+                        // recompute or one self-healing ENOENT.
+                        _ => {}
+                    }
+                }
+            }
+            _ => {
+                // No usable index: scan the directory once and snapshot.
+                if let Ok(entries) = std::fs::read_dir(dir) {
+                    for e in entries.filter_map(|e| e.ok()) {
+                        let p = e.path();
+                        if p.extension().is_some_and(|x| x == ext) {
+                            if let Some(id) = p
+                                .file_stem()
+                                .and_then(|s| s.to_str())
+                                .and_then(ContentHash::from_hex)
+                            {
+                                index.present.insert(id);
+                            }
+                        }
+                    }
+                }
+                index.snapshot();
+            }
+        }
+        index
+    }
+
+    /// Is `id` spilled, as far as the index knows? Pure memory — this is
+    /// the probe that replaces the per-miss `open()`.
+    pub fn contains(&self, id: ContentHash) -> bool {
+        self.present.contains(&id)
+    }
+
+    /// Number of indexed spills.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Record a spill write.
+    pub fn insert(&mut self, id: ContentHash) {
+        if self.present.insert(id) {
+            self.append('+', id);
+        }
+    }
+
+    /// Record a spill removal (deletion, cap eviction, or an `ENOENT`
+    /// observed by a reader — the self-heal path).
+    pub fn remove(&mut self, id: ContentHash) {
+        if self.present.remove(&id) {
+            self.append('-', id);
+        }
+    }
+
+    fn append(&mut self, op: char, id: ContentHash) {
+        self.log_lines += 1;
+        if self.log_lines > 4 * self.present.len() + 64 {
+            self.snapshot();
+            return;
+        }
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&self.path) {
+            let _ = writeln!(f, "{op}{}", id.hex());
+        }
+    }
+
+    /// Rewrite the log as a compact snapshot (temp + rename, so readers
+    /// never observe a torn index).
+    fn snapshot(&mut self) {
+        let mut text = Self::header(&self.ext);
+        for id in &self.present {
+            text.push('+');
+            text.push_str(&id.hex());
+            text.push('\n');
+        }
+        self.log_lines = self.present.len();
+        let tmp = self
+            .path
+            .with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, &self.path);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -395,6 +566,9 @@ pub struct GraphStore {
     stats: GraphStoreStats,
     disk: Option<PathBuf>,
     max_disk_bytes: u64,
+    /// Membership index of the disk tier: answers "is this hash
+    /// spilled?" from memory, so misses never pay an `open()` probe.
+    index: Option<DiskIndex>,
 }
 
 impl GraphStore {
@@ -409,23 +583,28 @@ impl GraphStore {
             stats: GraphStoreStats::default(),
             disk: None,
             max_disk_bytes: 0,
+            index: None,
         }
     }
 
     /// A store with a disk tier under `dir` (created if absent): every
     /// insert is spilled as `<dir>/<hash-hex>.lean`, memory misses fall
     /// back to the directory, and the directory is evicted oldest-first
-    /// to `max_disk_bytes` (0 ⇒ unbounded).
+    /// to `max_disk_bytes` (0 ⇒ unbounded). A [`DiskIndex`] over the
+    /// directory is loaded (or built) so misses answer from memory.
     pub fn with_disk(capacity: usize, dir: &Path, max_disk_bytes: u64) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         Ok(Self {
             disk: Some(dir.to_path_buf()),
             max_disk_bytes,
+            index: Some(DiskIndex::open(dir, "lean")),
             ..Self::new(capacity)
         })
     }
 
-    /// Where `id`'s spill file lives, when a disk tier is configured.
+    /// Where `id`'s spill file lives, when a disk tier is configured —
+    /// the **write-side** path helper (spills). Readers use
+    /// [`GraphStore::probe_path`], which consults the index first.
     /// Callers holding the store behind a mutex perform the file I/O
     /// outside the lock and report back via [`GraphStore::record_disk_hit`]
     /// / [`GraphStore::record_miss`] / [`GraphStore::record_spill`].
@@ -433,6 +612,23 @@ impl GraphStore {
         self.disk
             .as_ref()
             .map(|d| d.join(format!("{}.lean", id.hex())))
+    }
+
+    /// The **read-side** path helper: `Some` only when the disk index
+    /// says `id` is spilled, so a definite miss costs a hash-set lookup
+    /// instead of an `open()` → `ENOENT` round trip.
+    pub fn probe_path(&self, id: ContentHash) -> Option<PathBuf> {
+        if self.disk_contains(id) {
+            self.disk_path(id)
+        } else {
+            None
+        }
+    }
+
+    /// Does the disk tier hold `id`, per the index? No filesystem
+    /// access.
+    pub fn disk_contains(&self, id: ContentHash) -> bool {
+        self.index.as_ref().is_some_and(|ix| ix.contains(id))
     }
 
     /// The disk tier directory and byte cap, when eviction applies —
@@ -479,18 +675,35 @@ impl GraphStore {
         self.stats.disk_errors += 1;
     }
 
-    /// The caller wrote a spill file (`ok` = write succeeded).
-    pub fn record_spill(&mut self, ok: bool) {
+    /// A spill the index believed present read back `ENOENT` (a sibling
+    /// process evicted it): self-heal the index so the next miss is
+    /// answered from memory again.
+    pub fn record_disk_gone(&mut self, id: ContentHash) {
+        if let Some(ix) = &mut self.index {
+            ix.remove(id);
+        }
+    }
+
+    /// The caller wrote `id`'s spill file (`ok` = write succeeded).
+    pub fn record_spill(&mut self, id: ContentHash, ok: bool) {
         if ok {
             self.stats.disk_writes += 1;
+            if let Some(ix) = &mut self.index {
+                ix.insert(id);
+            }
         } else {
             self.stats.disk_errors += 1;
         }
     }
 
-    /// The caller's [`evict_dir_to_cap`] pass removed `n` spill files.
-    pub fn record_cap_evictions(&mut self, n: u64) {
-        self.stats.disk_cap_evictions += n;
+    /// The caller's [`evict_dir_to_cap`] pass removed these spills.
+    pub fn record_cap_evictions(&mut self, removed: &[ContentHash]) {
+        self.stats.disk_cap_evictions += removed.len() as u64;
+        if let Some(ix) = &mut self.index {
+            for &id in removed {
+                ix.remove(id);
+            }
+        }
     }
 
     /// A startup preload pass interned one graph.
@@ -521,6 +734,9 @@ impl GraphStore {
             .disk_path(id)
             .map(|p| std::fs::remove_file(p).is_ok())
             .unwrap_or(false);
+        if let Some(ix) = &mut self.index {
+            ix.remove(id);
+        }
         let removed = had_mem || had_meta || had_disk;
         if removed {
             self.stats.deletes += 1;
@@ -597,8 +813,8 @@ impl GraphStore {
             self.resident.remove(&oldest);
             self.stats.evictions += 1;
             // Without a disk copy the graph is gone for good: forget it.
-            let on_disk = self.disk_path(oldest).is_some_and(|p| p.exists());
-            if !on_disk {
+            // The index answers this without a `stat`.
+            if !self.disk_contains(oldest) {
                 self.catalog.remove(&oldest);
             }
         }
@@ -626,18 +842,22 @@ mod tests {
         if let Some(g) = s.lookup(id) {
             return Some(g);
         }
-        match s.disk_path(id).map(|p| load_graph_spill(&p)) {
+        match s.probe_path(id).map(|p| load_graph_spill(&p)) {
             Some(Ok(g)) => {
                 let g = Arc::new(g);
                 s.record_disk_hit(id, &g);
                 Some(g)
             }
-            Some(Err(e)) if e.kind() != std::io::ErrorKind::NotFound => {
-                s.record_disk_error();
+            Some(Err(e)) => {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    s.record_disk_gone(id);
+                } else {
+                    s.record_disk_error();
+                }
                 s.record_miss();
                 None
             }
-            _ => {
+            None => {
                 s.record_miss();
                 None
             }
@@ -654,10 +874,10 @@ mod tests {
         s.record_parse();
         if let Some(path) = s.disk_path(id) {
             let ok = write_graph_spill(&g, &path);
-            s.record_spill(ok);
+            s.record_spill(id, ok);
             if let Some((dir, max)) = s.disk_cap() {
-                let n = evict_dir_to_cap(&dir, max, "lean");
-                s.record_cap_evictions(n);
+                let removed = evict_dir_to_cap(&dir, max, "lean");
+                s.record_cap_evictions(&removed);
             }
         }
         s.insert(id, Arc::clone(&g));
@@ -834,15 +1054,107 @@ mod tests {
         }
         std::fs::write(dir.join("other.lay"), vec![0u8; 1000]).unwrap();
         std::fs::write(dir.join(".tmp.lean"), vec![0u8; 1000]).unwrap();
-        assert_eq!(evict_dir_to_cap(&dir, 0, "lean"), 0, "0 disables the cap");
-        assert_eq!(evict_dir_to_cap(&dir, 250, "lean"), 1);
+        assert!(
+            evict_dir_to_cap(&dir, 0, "lean").is_empty(),
+            "0 disables the cap"
+        );
+        evict_dir_to_cap(&dir, 250, "lean");
         assert!(!dir.join("old.lean").exists(), "oldest went first");
         assert!(dir.join("mid.lean").exists());
         assert!(dir.join("new.lean").exists());
         assert!(dir.join("other.lay").exists(), "other extensions untouched");
         assert!(dir.join(".tmp.lean").exists(), "temp files untouched");
-        assert_eq!(evict_dir_to_cap(&dir, 100, "lean"), 1);
+        evict_dir_to_cap(&dir, 100, "lean");
+        assert!(!dir.join("mid.lean").exists());
         assert!(dir.join("new.lean").exists());
+        // Hash-named spills are reported back for index maintenance;
+        // non-hash names (above) are removed but unreported.
+        let id = content_hash(b"reported");
+        std::fs::write(dir.join(format!("{}.lean", id.hex())), vec![0u8; 500]).unwrap();
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(900);
+        std::fs::File::options()
+            .append(true)
+            .open(dir.join(format!("{}.lean", id.hex())))
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        let removed = evict_dir_to_cap(&dir, 100, "lean");
+        assert_eq!(removed, vec![id], "hash stems come back for the index");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_index_tracks_membership_and_survives_reopen() {
+        let dir = tmp_dir("index");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b, c) = (content_hash(b"a"), content_hash(b"b"), content_hash(b"c"));
+        let mut ix = DiskIndex::open(&dir, "lean");
+        assert!(ix.is_empty());
+        ix.insert(a);
+        ix.insert(b);
+        ix.remove(b);
+        assert!(ix.contains(a) && !ix.contains(b) && !ix.contains(c));
+        assert_eq!(ix.len(), 1);
+        // A fresh open replays the persisted ops log.
+        let ix2 = DiskIndex::open(&dir, "lean");
+        assert!(ix2.contains(a) && !ix2.contains(b));
+        // Without an index file, opening scans the directory: spills
+        // written by older versions (or out-of-band) are found.
+        std::fs::remove_file(dir.join(".pgl-index-lean")).unwrap();
+        std::fs::write(dir.join(format!("{}.lean", c.hex())), b"x").unwrap();
+        std::fs::write(dir.join("not-a-hash.lean"), b"x").unwrap();
+        let ix3 = DiskIndex::open(&dir, "lean");
+        assert!(ix3.contains(c), "scan found the out-of-band spill");
+        assert!(!ix3.contains(a), "a's spill file never existed");
+        assert_eq!(ix3.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_index_compacts_its_log() {
+        let dir = tmp_dir("index_compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut ix = DiskIndex::open(&dir, "lay");
+        // Churn one entry far past the compaction threshold.
+        for i in 0..300u64 {
+            let id = content_hash(&i.to_le_bytes());
+            ix.insert(id);
+            ix.remove(id);
+        }
+        let keep = content_hash(b"keeper");
+        ix.insert(keep);
+        let text = std::fs::read_to_string(dir.join(".pgl-index-lay")).unwrap();
+        assert!(
+            text.lines().count() < 200,
+            "log compacted, not {} lines",
+            text.lines().count()
+        );
+        let ix2 = DiskIndex::open(&dir, "lay");
+        assert!(ix2.contains(keep));
+        assert_eq!(ix2.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_path_answers_misses_without_filesystem_access() {
+        let dir = tmp_dir("probe");
+        let mut s = GraphStore::with_disk(1, &dir, 0).unwrap();
+        let (a, _) = intern(&mut s, TOY);
+        let never = content_hash(b"never spilled");
+        assert!(s.probe_path(a).is_some(), "spilled graph probes");
+        assert!(s.disk_contains(a));
+        assert!(
+            s.probe_path(never).is_none(),
+            "definite miss without touching the directory"
+        );
+        assert!(!s.disk_contains(never));
+        // Self-heal: a sibling evicts the spill behind our back; the
+        // reader observes ENOENT and reports it, after which the index
+        // answers absent from memory.
+        std::fs::remove_file(s.disk_path(a).unwrap()).unwrap();
+        assert!(s.probe_path(a).is_some(), "index is stale until told");
+        s.record_disk_gone(a);
+        assert!(s.probe_path(a).is_none(), "healed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

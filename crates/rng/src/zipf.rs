@@ -45,7 +45,7 @@ pub fn sample_zipf<R: Rng64>(rng: &mut R, n: u64, theta: f64, zetan: f64) -> u64
     }
     let alpha = 1.0 / (1.0 - theta);
     let nf = n as f64;
-    let eta = (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+    let eta = zipf_eta(nf, theta, zetan);
     let u = rng.next_f64();
     let uz = u * zetan;
     if uz < 1.0 {
@@ -54,7 +54,7 @@ pub fn sample_zipf<R: Rng64>(rng: &mut R, n: u64, theta: f64, zetan: f64) -> u64
     if uz < 1.0 + 0.5f64.powf(theta) {
         return 2;
     }
-    let v = 1 + (nf * (eta * u - eta + 1.0).powf(alpha)) as u64;
+    let v = 1 + (nf * pow_alpha(eta * u - eta + 1.0, alpha)) as u64;
     v.min(n)
 }
 
@@ -64,15 +64,52 @@ pub fn sample_zipf<R: Rng64>(rng: &mut R, n: u64, theta: f64, zetan: f64) -> u64
 /// ζ is tabulated at `space_max + k·quant_step` and lookups round *down* to
 /// the nearest tabulated point, underestimating the normalizer by a
 /// vanishing relative amount (ζ grows ~log n for θ near 1).
+///
+/// The table also pre-evaluates everything in Gray et al.'s inverse CDF
+/// that depends only on `(θ, space)` — the `η` coefficient and the
+/// rank-2 threshold — because they cost several `powf` calls each and the
+/// layout hot loop draws one Zipf sample per cooled term. With the table,
+/// [`ZipfTable::sample`] performs exactly one `powf`. Beyond `space_max`
+/// the pre-evaluated `η` is the one of the rounded-down tabulated space
+/// ("dirty η", same spirit and error regime as the dirty ζ).
 #[derive(Debug, Clone)]
 pub struct ZipfTable {
     theta: f64,
     space_max: u64,
     quant_step: u64,
-    /// `exact[s]` = ζ(s, θ) for s in 0..=space_max (index 0 unused = 0).
-    exact: Vec<f64>,
-    /// `quantized[k]` = ζ(space_max + (k+1)·quant_step, θ).
-    quantized: Vec<f64>,
+    /// `exact[s]` = (ζ(s, θ), η(s, ζ)) for s in 0..=space_max (0 unused).
+    exact: Vec<(f64, f64)>,
+    /// `quantized[k]` = the same pair at `space_max + (k+1)·quant_step`.
+    quantized: Vec<(f64, f64)>,
+    /// `1 / (1 − θ)` — the inverse-CDF exponent.
+    alpha: f64,
+    /// `1 + 0.5^θ` — the rank-2 acceptance threshold.
+    two_threshold: f64,
+}
+
+/// The `η` coefficient of Gray et al.'s inverse CDF for a space of `n`
+/// with normalizer `zetan`. Kept textually identical to the expression in
+/// [`sample_zipf`] so tabulated draws are bit-identical to direct ones.
+fn zipf_eta(n: f64, theta: f64, zetan: f64) -> f64 {
+    (1.0 - (2.0 / n).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan)
+}
+
+/// `x^α` for the inverse CDF's tail. For θ = 0.99 (odgi's default) the
+/// exponent is 100 up to floating-point representation of θ, and every
+/// hot-loop draw pays this pow — binary exponentiation (`powi`) is
+/// several times cheaper than the transcendental `powf`, so when α is
+/// within rounding of a small integer we use the integer exponent. The
+/// relative exponent perturbation (≤ 1e-9) is far below the "dirty"
+/// scheme's own quantization error. Shared by [`sample_zipf`] and
+/// [`ZipfTable::sample`] so both paths stay bit-identical to each other.
+#[inline]
+fn pow_alpha(x: f64, alpha: f64) -> f64 {
+    let k = alpha.round();
+    if (alpha - k).abs() < 1e-9 * k.max(1.0) && (1.0..=512.0).contains(&k) {
+        x.powi(k as i32)
+    } else {
+        x.powf(alpha)
+    }
 }
 
 impl ZipfTable {
@@ -81,11 +118,11 @@ impl ZipfTable {
         assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
         assert!(space_max >= 2 && quant_step >= 1);
         let mut exact = Vec::with_capacity(space_max as usize + 1);
-        exact.push(0.0);
+        exact.push((0.0, 0.0));
         let mut acc = 0.0;
         for k in 1..=space_max {
             acc += (k as f64).powf(-theta);
-            exact.push(acc);
+            exact.push((acc, zipf_eta(k as f64, theta, acc)));
         }
         let mut quantized = Vec::new();
         if max_space > space_max {
@@ -96,7 +133,7 @@ impl ZipfTable {
                 for j in (k + 1)..=next {
                     z += (j as f64).powf(-theta);
                 }
-                quantized.push(z);
+                quantized.push((z, zipf_eta(next as f64, theta, z)));
                 k = next;
             }
         }
@@ -106,6 +143,8 @@ impl ZipfTable {
             quant_step,
             exact,
             quantized,
+            alpha: 1.0 / (1.0 - theta),
+            two_threshold: 1.0 + 0.5f64.powf(theta),
         }
     }
 
@@ -124,32 +163,56 @@ impl ZipfTable {
         self.theta
     }
 
-    /// ζ(s', θ) for the largest tabulated s' ≤ `space` (exact when
-    /// `space ≤ space_max`). `space` must be ≥ 1.
+    /// The tabulated `(ζ, η)` pair for the largest tabulated s' ≤ `space`
+    /// (exact when `space ≤ space_max`). `space` must be ≥ 1.
     #[inline]
-    pub fn zeta_for(&self, space: u64) -> f64 {
+    fn params_for(&self, space: u64) -> (f64, f64) {
         debug_assert!(space >= 1);
         if space <= self.space_max {
             self.exact[space as usize]
         } else {
             let k = (space - self.space_max) / self.quant_step;
-            if k == 0 {
+            if k == 0 || self.quantized.is_empty() {
                 self.exact[self.space_max as usize]
             } else {
-                let idx = (k as usize - 1).min(self.quantized.len().saturating_sub(1));
-                if self.quantized.is_empty() {
-                    self.exact[self.space_max as usize]
-                } else {
-                    self.quantized[idx]
-                }
+                let idx = (k as usize - 1).min(self.quantized.len() - 1);
+                self.quantized[idx]
             }
         }
     }
 
+    /// ζ(s', θ) for the largest tabulated s' ≤ `space` (exact when
+    /// `space ≤ space_max`). `space` must be ≥ 1.
+    #[inline]
+    pub fn zeta_for(&self, space: u64) -> f64 {
+        self.params_for(space).0
+    }
+
     /// Draw a Zipf-distributed rank distance in `[1, space]`.
+    ///
+    /// One `powf` per call: the normalizer, the `η` coefficient and the
+    /// small-rank thresholds all come from the table. For spaces within
+    /// the exact range this returns bit-identical draws to
+    /// [`sample_zipf`]; beyond it, `η` is quantized like ζ.
     #[inline]
     pub fn sample<R: Rng64>(&self, rng: &mut R, space: u64) -> u64 {
-        sample_zipf(rng, space, self.theta, self.zeta_for(space))
+        debug_assert!(space >= 1);
+        if space == 1 {
+            // Still consume one draw so call counts stay layout-independent.
+            let _ = rng.next_f64();
+            return 1;
+        }
+        let (zetan, eta) = self.params_for(space);
+        let u = rng.next_f64();
+        let uz = u * zetan;
+        if uz < 1.0 {
+            return 1;
+        }
+        if uz < self.two_threshold {
+            return 2;
+        }
+        let v = 1 + ((space as f64) * pow_alpha(eta * u - eta + 1.0, self.alpha)) as u64;
+        v.min(space)
     }
 }
 
@@ -272,6 +335,44 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(table.sample(&mut rng, 1), 1);
         }
+    }
+
+    #[test]
+    fn table_sampling_is_bit_identical_to_direct_in_the_exact_range() {
+        // The pre-evaluated (ζ, η) fast path must not change a single
+        // draw where the table is exact.
+        let table = ZipfTable::with_defaults(5000);
+        for space in [2u64, 3, 10, 137, 999, 1000] {
+            let mut a = Xoshiro256Plus::seed_from_u64(space);
+            let mut b = Xoshiro256Plus::seed_from_u64(space);
+            let zetan = zeta(space, DEFAULT_THETA);
+            for _ in 0..500 {
+                assert_eq!(
+                    table.sample(&mut a, space),
+                    sample_zipf(&mut b, space, DEFAULT_THETA, zetan),
+                    "space {space}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_spaces_stay_in_bounds_and_skewed() {
+        // Past space_max the η coefficient is quantized like ζ; the
+        // distribution must remain a bounded, small-rank-heavy Zipf.
+        let table = ZipfTable::with_defaults(50_000);
+        let mut rng = Xoshiro256Plus::seed_from_u64(17);
+        let draws = 20_000;
+        let mut small = 0usize;
+        for _ in 0..draws {
+            let x = table.sample(&mut rng, 37_123);
+            assert!((1..=37_123).contains(&x));
+            if x <= 10 {
+                small += 1;
+            }
+        }
+        let frac = small as f64 / draws as f64;
+        assert!((0.2..0.5).contains(&frac), "small-rank mass {frac}");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! spill pushes it past the cap, the oldest `.lay` files are removed.
 
 use layout_core::LayoutConfig;
-use pangraph::store::{content_hash_parts, evict_dir_to_cap, ContentHash};
+use pangraph::store::{content_hash_parts, evict_dir_to_cap, ContentHash, DiskIndex};
 use pangraph::Layout2D;
 use pgio::{load_lay, save_lay};
 use std::collections::HashMap;
@@ -76,14 +76,16 @@ fn config_fingerprint(cfg: &LayoutConfig) -> String {
         threads,
         seed,
         data_layout,
+        precision,
+        term_block,
         pair_selection,
         init_jitter,
     } = cfg;
     format!(
         "iter_max={iter_max};steps={steps_per_path_node};eps={eps};eta_max={eta_max:?};\
          cool={cooling_start};theta={zipf_theta};zmax={zipf_space_max};zq={zipf_quant};\
-         threads={threads};seed={seed};layout={data_layout:?};pairs={pair_selection:?};\
-         jitter={init_jitter}"
+         threads={threads};seed={seed};layout={data_layout:?};prec={precision:?};\
+         block={term_block};pairs={pair_selection:?};jitter={init_jitter}"
     )
 }
 
@@ -141,6 +143,10 @@ pub struct LayoutCache {
     stats: CacheStats,
     disk: Option<PathBuf>,
     max_disk_bytes: u64,
+    /// Membership index of the disk tier ([`DiskIndex`]): misses are
+    /// answered from memory instead of paying an `open()` → `ENOENT`
+    /// probe per miss against a potentially huge cache directory.
+    index: Option<DiskIndex>,
 }
 
 impl LayoutCache {
@@ -154,6 +160,7 @@ impl LayoutCache {
             stats: CacheStats::default(),
             disk: None,
             max_disk_bytes: 0,
+            index: None,
         }
     }
 
@@ -162,11 +169,14 @@ impl LayoutCache {
     /// misses fall back to the directory before counting as misses.
     /// `max_disk_bytes` bounds the directory (0 ⇒ unbounded): when a
     /// spill pushes it past the cap, the oldest `.lay` files go first.
+    /// A [`DiskIndex`] over the directory is loaded (or built by one
+    /// startup scan) so definite misses never touch the filesystem.
     pub fn with_disk(capacity: usize, dir: &Path, max_disk_bytes: u64) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         Ok(Self {
             disk: Some(dir.to_path_buf()),
             max_disk_bytes,
+            index: Some(DiskIndex::open(dir, "lay")),
             ..Self::new(capacity)
         })
     }
@@ -185,7 +195,8 @@ impl LayoutCache {
         }
     }
 
-    /// Where `key`'s spill file lives, when a disk tier is configured.
+    /// Where `key`'s spill file lives, when a disk tier is configured —
+    /// the **write-side** helper. Readers use [`LayoutCache::probe_path`].
     ///
     /// Public so callers holding the cache behind a mutex (the service)
     /// can perform the actual file I/O *outside* the lock and report
@@ -195,6 +206,17 @@ impl LayoutCache {
         self.disk
             .as_ref()
             .map(|d| d.join(format!("{}.lay", key.hex())))
+    }
+
+    /// The **read-side** helper: `Some` only when the disk index says
+    /// the spill exists, so a definite miss is a hash-set lookup, not an
+    /// `open()` → `ENOENT` round trip.
+    pub fn probe_path(&self, key: CacheKey) -> Option<PathBuf> {
+        if self.index.as_ref().is_some_and(|ix| ix.contains(key)) {
+            self.disk_path(key)
+        } else {
+            None
+        }
     }
 
     /// Memory-tier-only lookup, refreshing recency and counting a hit.
@@ -229,19 +251,35 @@ impl LayoutCache {
         self.stats.disk_errors += 1;
     }
 
-    /// The caller wrote a spill file for a fresh insert (`ok` = write
-    /// succeeded).
-    pub fn record_spill(&mut self, ok: bool) {
+    /// A spill the index believed present read back `ENOENT` (a sibling
+    /// process evicted it): self-heal the index.
+    pub fn record_disk_gone(&mut self, key: CacheKey) {
+        if let Some(ix) = &mut self.index {
+            ix.remove(key);
+        }
+    }
+
+    /// The caller wrote `key`'s spill file for a fresh insert (`ok` =
+    /// write succeeded).
+    pub fn record_spill(&mut self, key: CacheKey, ok: bool) {
         if ok {
             self.stats.disk_writes += 1;
+            if let Some(ix) = &mut self.index {
+                ix.insert(key);
+            }
         } else {
             self.stats.disk_errors += 1;
         }
     }
 
-    /// The caller's cap-eviction pass removed `n` spill files.
-    pub fn record_cap_evictions(&mut self, n: u64) {
-        self.stats.disk_cap_evictions += n;
+    /// The caller's cap-eviction pass removed these spill files.
+    pub fn record_cap_evictions(&mut self, removed: &[CacheKey]) {
+        self.stats.disk_cap_evictions += removed.len() as u64;
+        if let Some(ix) = &mut self.index {
+            for &key in removed {
+                ix.remove(key);
+            }
+        }
     }
 
     /// Insert into the memory tier only (no disk write-through) —
@@ -265,20 +303,26 @@ impl LayoutCache {
         if let Some(hit) = self.lookup(key) {
             return Some(hit);
         }
-        match self.disk_path(key).map(|p| load_lay(&p)) {
+        match self.probe_path(key).map(|p| load_lay(&p)) {
             Some(Ok(layout)) => {
                 let layout = Arc::new(layout);
                 self.record_disk_hit(key, &layout);
                 Some(layout)
             }
-            Some(Err(e)) if e.kind() != std::io::ErrorKind::NotFound => {
-                // Unreadable or corrupt spill: treat as a miss so the
-                // layout is recomputed, and count it for observability.
-                self.record_disk_error();
+            Some(Err(e)) => {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    // Index said present but the file is gone (sibling
+                    // eviction): self-heal and miss.
+                    self.record_disk_gone(key);
+                } else {
+                    // Unreadable or corrupt spill: treat as a miss so
+                    // the layout is recomputed, and count it.
+                    self.record_disk_error();
+                }
                 self.record_miss();
                 None
             }
-            _ => {
+            None => {
                 self.record_miss();
                 None
             }
@@ -291,10 +335,10 @@ impl LayoutCache {
     pub fn insert(&mut self, key: CacheKey, layout: Arc<Layout2D>) {
         if let Some(path) = self.disk_path(key) {
             let ok = write_spill(&layout, &path);
-            self.record_spill(ok);
+            self.record_spill(key, ok);
             if let Some((dir, max)) = self.disk_cap() {
-                let n = evict_dir_to_cap(&dir, max, "lay");
-                self.record_cap_evictions(n);
+                let removed = evict_dir_to_cap(&dir, max, "lay");
+                self.record_cap_evictions(&removed);
             }
         }
         self.insert_memory(key, layout);
@@ -474,11 +518,40 @@ mod tests {
     #[test]
     fn corrupt_disk_entry_is_a_counted_miss() {
         let dir = tmp_dir("corrupt");
-        let mut c = LayoutCache::with_disk(4, &dir, 0).unwrap();
+        // The corrupt spill exists before the cache opens, so the
+        // startup scan indexes it and the probe actually reads it.
+        std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join(format!("{}.lay", key("a").hex())), b"garbage").unwrap();
+        let mut c = LayoutCache::with_disk(4, &dir, 0).unwrap();
         assert!(c.get(key("a")).is_none());
         let s = c.stats();
         assert_eq!((s.disk_errors, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn definite_misses_never_touch_the_spill_directory() {
+        let dir = tmp_dir("indexmiss");
+        // Disk-only (capacity 0), so every get exercises the disk path.
+        let mut c = LayoutCache::with_disk(0, &dir, 0).unwrap();
+        c.insert(key("a"), layout(2));
+        assert!(c.probe_path(key("a")).is_some(), "write indexed the spill");
+        assert!(
+            c.probe_path(key("never")).is_none(),
+            "unknown key answered from the index, no filesystem probe"
+        );
+        // Remove the directory wholesale: lookups of unknown keys still
+        // work (they never touch the filesystem), and the stale entry
+        // self-heals through record_disk_gone when actually read.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(c.get(key("b")).is_none(), "miss with no directory at all");
+        assert!(c.get(key("a")).is_none(), "stale index entry misses");
+        assert!(
+            c.probe_path(key("a")).is_none(),
+            "ENOENT self-healed the index"
+        );
+        let s = c.stats();
+        assert_eq!(s.disk_errors, 0, "ENOENT is not an error");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

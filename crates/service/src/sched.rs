@@ -13,12 +13,13 @@
 //! 2. **Deficit round-robin across clients within a band**: each client
 //!    key owns a FIFO of its jobs and a deficit counter. A pop visits
 //!    clients in round-robin order; a client may dequeue a job when its
-//!    accumulated deficit covers the job's cost (every job currently
-//!    costs one unit, so each client releases one job per round). One
-//!    client's 50-deep backlog therefore interleaves 1:1 with a
-//!    neighbor's, instead of being served 50-then-0. The DRR shape (a
-//!    per-job cost against a per-round quantum) is kept so job cost can
-//!    later scale with graph size without changing the discipline.
+//!    accumulated deficit covers the job's **cost**. Costs scale with
+//!    graph size ([`job_cost`]: one unit per 100k path steps, capped),
+//!    so a client queueing chromosome-scale graphs releases work
+//!    proportionally less often than a neighbor queueing small ones —
+//!    fairness is measured in expected compute, not job count. One
+//!    client's 50-deep backlog of small graphs still interleaves 1:1
+//!    with a neighbor's.
 //!
 //! The scheduler is a passive data structure guarded by the service's
 //! queue mutex; it never blocks and performs no I/O. Within one client's
@@ -35,13 +36,27 @@ pub type ClientKey = String;
 /// it and its head job does not yet fit.
 const QUANTUM: u64 = 1;
 
-/// Cost charged per job. Unit for now; the DRR structure accepts any
-/// positive cost, so this can become a function of graph size.
-const JOB_COST: u64 = 1;
+/// Path steps per unit of DRR cost: roughly the work of one small test
+/// graph's full schedule. Layout cost is linear in total path steps
+/// (paper Fig. 15), so steps are the right size proxy.
+const STEPS_PER_COST_UNIT: u64 = 100_000;
+
+/// Ceiling on a single job's cost, bounding both how long one huge graph
+/// can suppress a client's turn and the rotations a `pop` may spin
+/// (`cost / QUANTUM` visits worst case).
+const MAX_JOB_COST: u64 = 64;
+
+/// DRR cost of a job laying out a graph with `total_steps` path steps:
+/// `1 + steps/100k`, capped at [`MAX_JOB_COST`]. Every job costs at
+/// least one unit, so zero-step degenerate graphs still drain.
+pub fn job_cost(total_steps: u64) -> u64 {
+    (1 + total_steps / STEPS_PER_COST_UNIT).min(MAX_JOB_COST)
+}
 
 #[derive(Default)]
 struct ClientQueue {
-    jobs: VecDeque<u64>,
+    /// `(job id, DRR cost)`, FIFO.
+    jobs: VecDeque<(u64, u64)>,
     deficit: u64,
 }
 
@@ -55,7 +70,7 @@ struct Band {
 }
 
 impl Band {
-    fn push(&mut self, client: &str, id: u64) {
+    fn push(&mut self, client: &str, id: u64, cost: u64) {
         let q = self.clients.entry(client.to_string()).or_default();
         if q.jobs.is_empty() {
             // (Re-)activating: join the rotation at the back, with no
@@ -63,7 +78,7 @@ impl Band {
             q.deficit = 0;
             self.rr.push_back(client.to_string());
         }
-        q.jobs.push_back(id);
+        q.jobs.push_back((id, cost.clamp(1, MAX_JOB_COST)));
         self.len += 1;
     }
 
@@ -72,17 +87,19 @@ impl Band {
             return None;
         }
         // Each full rotation adds QUANTUM to every visited client, so
-        // with positive costs this terminates: some head job's cost is
-        // covered after at most ceil(JOB_COST / QUANTUM) rotations.
+        // with positive capped costs this terminates: some head job's
+        // cost is covered after at most MAX_JOB_COST / QUANTUM
+        // rotations.
         loop {
             let client = self.rr.front()?.clone();
             let q = self
                 .clients
                 .get_mut(&client)
                 .expect("rr entries always have a queue");
-            if q.deficit >= JOB_COST {
-                q.deficit -= JOB_COST;
-                let id = q.jobs.pop_front().expect("active clients have jobs");
+            let &(_, cost) = q.jobs.front().expect("active clients have jobs");
+            if q.deficit >= cost {
+                q.deficit -= cost;
+                let (id, _) = q.jobs.pop_front().expect("active clients have jobs");
                 self.len -= 1;
                 if q.jobs.is_empty() {
                     self.clients.remove(&client);
@@ -99,13 +116,13 @@ impl Band {
         let Some(client) = self
             .clients
             .iter()
-            .find(|(_, q)| q.jobs.contains(&id))
+            .find(|(_, q)| q.jobs.iter().any(|&(j, _)| j == id))
             .map(|(c, _)| c.clone())
         else {
             return false;
         };
         let q = self.clients.get_mut(&client).unwrap();
-        q.jobs.retain(|&j| j != id);
+        q.jobs.retain(|&(j, _)| j != id);
         self.len -= 1;
         if q.jobs.is_empty() {
             self.clients.remove(&client);
@@ -128,9 +145,10 @@ impl FairScheduler {
         Self::default()
     }
 
-    /// Enqueue a job under `(priority, client)`.
-    pub fn push(&mut self, priority: Priority, client: &str, id: u64) {
-        self.bands[priority.band()].push(client, id);
+    /// Enqueue a job under `(priority, client)` with a DRR cost
+    /// (see [`job_cost`]; clamped to `1..=MAX_JOB_COST`).
+    pub fn push(&mut self, priority: Priority, client: &str, id: u64, cost: u64) {
+        self.bands[priority.band()].push(client, id, cost);
     }
 
     /// Dequeue the next job: the highest non-empty band, fairest client
@@ -193,7 +211,7 @@ mod tests {
     fn single_client_is_fifo() {
         let mut s = FairScheduler::new();
         for id in 1..=4 {
-            s.push(Priority::Normal, "a", id);
+            s.push(Priority::Normal, "a", id, 1);
         }
         assert_eq!(drain(&mut s), vec![1, 2, 3, 4]);
     }
@@ -201,11 +219,11 @@ mod tests {
     #[test]
     fn higher_bands_always_pop_first() {
         let mut s = FairScheduler::new();
-        s.push(Priority::Bulk, "a", 1);
-        s.push(Priority::Normal, "a", 2);
-        s.push(Priority::Interactive, "b", 3);
-        s.push(Priority::Bulk, "a", 4);
-        s.push(Priority::Interactive, "a", 5);
+        s.push(Priority::Bulk, "a", 1, 1);
+        s.push(Priority::Normal, "a", 2, 1);
+        s.push(Priority::Interactive, "b", 3, 1);
+        s.push(Priority::Bulk, "a", 4, 1);
+        s.push(Priority::Interactive, "a", 5, 1);
         assert_eq!(drain(&mut s), vec![3, 5, 2, 1, 4]);
     }
 
@@ -214,12 +232,12 @@ mod tests {
         let mut s = FairScheduler::new();
         // Client a floods first; b and c arrive later with fewer jobs.
         for id in 10..16 {
-            s.push(Priority::Bulk, "a", id);
+            s.push(Priority::Bulk, "a", id, 1);
         }
         for id in 20..22 {
-            s.push(Priority::Bulk, "b", id);
+            s.push(Priority::Bulk, "b", id, 1);
         }
-        s.push(Priority::Bulk, "c", 30);
+        s.push(Priority::Bulk, "c", 30, 1);
         // Round-robin: one job per client per round, FIFO within each;
         // drained clients drop out of the rotation.
         assert_eq!(
@@ -234,13 +252,13 @@ mod tests {
         let mut s = FairScheduler::new();
         // ids encode the client: 100s = a, 200s = b, 300s = c.
         for i in 0..8 {
-            s.push(Priority::Normal, "a", 100 + i);
+            s.push(Priority::Normal, "a", 100 + i, 1);
         }
         for i in 0..8 {
-            s.push(Priority::Normal, "b", 200 + i);
+            s.push(Priority::Normal, "b", 200 + i, 1);
         }
         for i in 0..8 {
-            s.push(Priority::Normal, "c", 300 + i);
+            s.push(Priority::Normal, "c", 300 + i, 1);
         }
         let order = drain(&mut s);
         let mut counts = [0i64; 3];
@@ -259,13 +277,13 @@ mod tests {
     fn a_client_arriving_late_is_served_promptly() {
         let mut s = FairScheduler::new();
         for id in 0..50 {
-            s.push(Priority::Normal, "flood", id);
+            s.push(Priority::Normal, "flood", id, 1);
         }
         // Two pops go to the flooder…
         assert_eq!(s.pop(), Some(0));
         assert_eq!(s.pop(), Some(1));
         // …then a newcomer's first job is next within one round.
-        s.push(Priority::Normal, "late", 999);
+        s.push(Priority::Normal, "late", 999, 1);
         let next_two = [s.pop().unwrap(), s.pop().unwrap()];
         assert!(
             next_two.contains(&999),
@@ -276,15 +294,15 @@ mod tests {
     #[test]
     fn remove_unqueues_for_cancellation() {
         let mut s = FairScheduler::new();
-        s.push(Priority::Normal, "a", 1);
-        s.push(Priority::Normal, "a", 2);
-        s.push(Priority::Bulk, "b", 3);
+        s.push(Priority::Normal, "a", 1, 1);
+        s.push(Priority::Normal, "a", 2, 1);
+        s.push(Priority::Bulk, "b", 3, 1);
         assert!(s.remove(2));
         assert!(!s.remove(2), "double remove is a no-op");
         assert_eq!(s.len(), 2);
         assert_eq!(drain(&mut s), vec![1, 3]);
         // Removing a client's last job drops it from the rotation.
-        s.push(Priority::Normal, "solo", 9);
+        s.push(Priority::Normal, "solo", 9, 1);
         assert!(s.remove(9));
         assert!(s.is_empty());
         assert_eq!(s.pop(), None);
@@ -293,9 +311,9 @@ mod tests {
     #[test]
     fn band_and_client_counters_track_state() {
         let mut s = FairScheduler::new();
-        s.push(Priority::Interactive, "a", 1);
-        s.push(Priority::Bulk, "a", 2);
-        s.push(Priority::Bulk, "b", 3);
+        s.push(Priority::Interactive, "a", 1, 1);
+        s.push(Priority::Bulk, "a", 2, 1);
+        s.push(Priority::Bulk, "b", 3, 1);
         assert_eq!(s.len(), 3);
         assert_eq!(s.band_len(Priority::Interactive), 1);
         assert_eq!(s.band_len(Priority::Normal), 0);
@@ -306,13 +324,69 @@ mod tests {
     }
 
     #[test]
+    fn job_cost_scales_with_steps_and_is_capped() {
+        assert_eq!(job_cost(0), 1, "degenerate graphs still cost a unit");
+        assert_eq!(job_cost(99_999), 1);
+        assert_eq!(job_cost(100_000), 2);
+        assert_eq!(job_cost(250_000), 3);
+        assert_eq!(job_cost(u64::MAX), MAX_JOB_COST, "cap bounds pop spins");
+    }
+
+    #[test]
+    fn heavy_graphs_release_less_often_than_light_ones() {
+        // Client "heavy" queues chromosome-scale jobs (cost 4 each);
+        // "light" queues small ones (cost 1). Fair share is measured in
+        // cost, so light's whole backlog drains while heavy is still
+        // being metered out — one huge graph per client turn can no
+        // longer monopolize the band by job count.
+        let mut s = FairScheduler::new();
+        for id in 100..108 {
+            s.push(Priority::Normal, "heavy", id, 4);
+        }
+        for id in 200..208 {
+            s.push(Priority::Normal, "light", id, 1);
+        }
+        let order = drain(&mut s);
+        assert_eq!(order.len(), 16);
+        let light_last = order.iter().position(|&id| id == 207).unwrap();
+        let heavy_before_light_done = order[..light_last].iter().filter(|&&id| id < 200).count();
+        assert!(
+            heavy_before_light_done <= 4,
+            "heavy served {heavy_before_light_done} cost-4 jobs before light's \
+             8 cost-1 jobs finished: {order:?}"
+        );
+        // Cost-fairness invariant: while both clients are active, served
+        // cost never diverges by more than one max-cost job + quantum.
+        let mut cost = [0i64; 2]; // [heavy, light]
+        for &id in &order[..=light_last] {
+            if id < 200 {
+                cost[0] += 4;
+            } else {
+                cost[1] += 1;
+            }
+            assert!(
+                (cost[0] - cost[1]).abs() <= 5,
+                "served-cost imbalance {cost:?} in {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_is_clamped_to_one_unit() {
+        let mut s = FairScheduler::new();
+        s.push(Priority::Normal, "a", 1, 0);
+        s.push(Priority::Normal, "a", 2, u64::MAX);
+        assert_eq!(drain(&mut s), vec![1, 2], "clamped costs still drain");
+    }
+
+    #[test]
     fn idle_clients_do_not_bank_deficit() {
         let mut s = FairScheduler::new();
-        s.push(Priority::Normal, "a", 1);
+        s.push(Priority::Normal, "a", 1, 1);
         assert_eq!(s.pop(), Some(1)); // a drains and leaves the rotation
                                       // Re-activation starts from zero deficit: b is not owed turns.
-        s.push(Priority::Normal, "a", 2);
-        s.push(Priority::Normal, "b", 3);
+        s.push(Priority::Normal, "a", 2, 1);
+        s.push(Priority::Normal, "b", 3, 1);
         let order = drain(&mut s);
         assert_eq!(order.len(), 2);
         let mut sorted = order.clone();

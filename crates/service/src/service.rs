@@ -46,7 +46,7 @@
 use crate::cache::{cache_key, write_spill, CacheKey, CacheStats, LayoutCache};
 use crate::job::{GraphSpec, Job, JobEvent, JobId, JobRequest, JobState, JobStatus};
 use crate::registry::{EngineRegistry, EngineRequest};
-use crate::sched::FairScheduler;
+use crate::sched::{job_cost, FairScheduler};
 use crate::spec::{JobSpec, Priority};
 use layout_core::LayoutControl;
 use pangraph::store::{
@@ -539,6 +539,15 @@ impl LayoutService {
             .clone()
             .unwrap_or_else(|| ANONYMOUS_CLIENT.to_string());
         let priority = spec.priority;
+        // DRR cost: proportional to graph size (layout cost is linear in
+        // path steps), so one client's chromosome-scale jobs cannot
+        // monopolize a band against a neighbor's small ones. Cache hits
+        // never queue, so the cost only matters on the miss path where
+        // the parsed graph is in hand.
+        let cost = graph
+            .as_ref()
+            .map(|g| job_cost(g.total_steps() as u64))
+            .unwrap_or(1);
         let mut job = Job::new(
             id,
             &spec,
@@ -566,7 +575,7 @@ impl LayoutService {
                 .queue
                 .lock()
                 .unwrap()
-                .push(priority, &client, id);
+                .push(priority, &client, id, cost);
             self.shared.queue_cv.notify_one();
         }
         Ok(SubmitTicket {
@@ -822,13 +831,11 @@ fn parse_lean(gfa: &str) -> Result<Arc<LeanGraph>, String> {
 }
 
 /// Is `id` producible by the store right now (resident, catalogued, or
-/// spilled on disk)? Cheap — no graph is loaded.
+/// spilled on disk)? Pure memory — the disk tier answers through its
+/// index, so this costs no `stat` even on huge cache directories.
 fn graph_known(shared: &Shared, id: ContentHash) -> bool {
-    let (known, disk) = {
-        let store = shared.graphs.lock().unwrap();
-        (store.contains(id), store.disk_path(id))
-    };
-    known || disk.is_some_and(|p| p.exists())
+    let store = shared.graphs.lock().unwrap();
+    store.contains(id) || store.disk_contains(id)
 }
 
 /// Intern one GFA document under the parse-once guarantee: memory tier,
@@ -874,7 +881,9 @@ fn graph_lookup(shared: &Shared, id: ContentHash) -> Option<Arc<LeanGraph>> {
         if let Some(g) = store.lookup(id) {
             return Some(g);
         }
-        store.disk_path(id)
+        // Index-gated probe: a definite miss returns None here and
+        // never touches the spill directory.
+        store.probe_path(id)
     };
     let Some(path) = disk_path else {
         shared.graphs.lock().unwrap().record_miss();
@@ -888,7 +897,10 @@ fn graph_lookup(shared: &Shared, id: ContentHash) -> Option<Arc<LeanGraph>> {
         }
         Err(e) => {
             let mut store = shared.graphs.lock().unwrap();
-            if e.kind() != std::io::ErrorKind::NotFound {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                // A sibling evicted the spill: self-heal the index.
+                store.record_disk_gone(id);
+            } else {
                 store.record_disk_error();
             }
             store.record_miss();
@@ -908,10 +920,10 @@ fn graph_insert(shared: &Shared, id: ContentHash, graph: &Arc<LeanGraph>) {
     let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lean"));
     let mut store = shared.graphs.lock().unwrap();
     if let Some(ok) = spill_ok {
-        store.record_spill(ok);
+        store.record_spill(id, ok);
     }
-    if let Some(n) = cap_evicted {
-        store.record_cap_evictions(n);
+    if let Some(removed) = cap_evicted {
+        store.record_cap_evictions(&removed);
     }
     store.insert(id, Arc::clone(graph));
 }
@@ -925,7 +937,9 @@ fn cache_lookup(shared: &Shared, key: CacheKey) -> Option<Arc<Layout2D>> {
         if let Some(hit) = cache.lookup(key) {
             return Some(hit);
         }
-        cache.disk_path(key)
+        // Index-gated probe: a definite miss never touches the spill
+        // directory.
+        cache.probe_path(key)
     };
     let Some(path) = disk_path else {
         shared.cache.lock().unwrap().record_miss();
@@ -939,7 +953,9 @@ fn cache_lookup(shared: &Shared, key: CacheKey) -> Option<Arc<Layout2D>> {
         }
         Err(e) => {
             let mut cache = shared.cache.lock().unwrap();
-            if e.kind() != std::io::ErrorKind::NotFound {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                cache.record_disk_gone(key);
+            } else {
                 cache.record_disk_error();
             }
             cache.record_miss();
@@ -960,10 +976,10 @@ fn cache_insert(shared: &Shared, key: CacheKey, layout: &Arc<Layout2D>) {
     let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lay"));
     let mut cache = shared.cache.lock().unwrap();
     if let Some(ok) = spill_ok {
-        cache.record_spill(ok);
+        cache.record_spill(key, ok);
     }
-    if let Some(n) = cap_evicted {
-        cache.record_cap_evictions(n);
+    if let Some(removed) = cap_evicted {
+        cache.record_cap_evictions(&removed);
     }
     cache.insert_memory(key, Arc::clone(layout));
 }
@@ -1615,11 +1631,18 @@ mod tests {
         // finish while every bulk job still waits.
         svc.cancel(blocker.id).unwrap();
         svc.wait(inter.id, Duration::from_secs(120)).unwrap();
+        // Between the interactive completion and this observation the
+        // freed worker may already have raced through one (tiny) bulk
+        // job on a loaded machine — but never more than one while this
+        // thread is runnable.
         let unfinished = bulk_ids
             .iter()
             .filter(|&&id| !svc.status(id).unwrap().state.is_terminal())
             .count();
-        assert_eq!(unfinished, 4, "interactive overtook the whole bulk backlog");
+        assert!(
+            unfinished >= 3,
+            "interactive overtook the bulk backlog ({unfinished}/4 still queued)"
+        );
         for id in bulk_ids {
             assert_eq!(
                 svc.wait(id, Duration::from_secs(120)).unwrap().state,

@@ -17,7 +17,7 @@
 //! ignored).
 
 use crate::job::GraphSpec;
-use layout_core::{DataLayout, LayoutConfig};
+use layout_core::{DataLayout, LayoutConfig, Precision};
 use pangraph::store::ContentHash;
 use std::fmt;
 use std::sync::Arc;
@@ -198,8 +198,19 @@ impl std::error::Error for SpecError {}
 /// Query parameters the job-submission routes define. Anything else is
 /// a [`SpecError::UnknownParam`] under `/v1` (the HTTP dispatcher uses
 /// this as the submission routes' allowlist).
-pub(crate) const KNOWN_PARAMS: [&str; 10] = [
-    "engine", "iters", "threads", "seed", "batch", "soa", "graph", "priority", "client", "ttl_ms",
+pub(crate) const KNOWN_PARAMS: [&str; 12] = [
+    "engine",
+    "iters",
+    "threads",
+    "seed",
+    "batch",
+    "soa",
+    "precision",
+    "term_block",
+    "graph",
+    "priority",
+    "client",
+    "ttl_ms",
 ];
 
 /// Build a validated [`JobSpec`] from a request's query parameters and
@@ -263,6 +274,24 @@ pub fn parse_job_spec(
     parse_param!("seed", config.seed, "a non-negative integer");
     if get("soa").is_some() {
         config.data_layout = DataLayout::OriginalSoa;
+    }
+    if let Some(v) = get("precision") {
+        config.precision = Precision::parse_name(v).ok_or(SpecError::BadValue {
+            param: "precision",
+            value: v.to_string(),
+            expected: "f32 | f64",
+        })?;
+    }
+    parse_param!("term_block", config.term_block, "a non-negative integer");
+    if config.term_block > layout_core::config::MAX_TERM_BLOCK {
+        // The engine clamps anyway (resolved_term_block), but a client
+        // asking for a terabyte-scale per-thread buffer should hear a
+        // 400, not be silently corrected.
+        return Err(SpecError::BadValue {
+            param: "term_block",
+            value: config.term_block.to_string(),
+            expected: "at most 1048576 terms per block",
+        });
     }
     let mut batch_size = 1024usize;
     parse_param!("batch", batch_size, "a positive integer");
@@ -333,6 +362,8 @@ mod tests {
             ("threads", "2"),
             ("seed", "7"),
             ("batch", "256"),
+            ("precision", "f32"),
+            ("term_block", "64"),
             ("graph", &id.hex()),
             ("priority", "interactive"),
             ("client", "alice"),
@@ -343,6 +374,8 @@ mod tests {
         assert_eq!(spec.config.iter_max, 12);
         assert_eq!(spec.config.threads, 2);
         assert_eq!(spec.config.seed, 7);
+        assert_eq!(spec.config.precision, Precision::F32);
+        assert_eq!(spec.config.term_block, 64);
         assert_eq!(spec.batch_size, 256);
         assert!(matches!(spec.graph, GraphSpec::Stored(h) if h == id));
         assert_eq!(spec.priority, Priority::Interactive);
@@ -384,6 +417,9 @@ mod tests {
             ("ttl_ms", "0"),
             ("ttl_ms", "-4"),
             ("batch", "x"),
+            ("precision", "f16"),
+            ("term_block", "many"),
+            ("term_block", "99999999999"),
         ] {
             let err = parse_job_spec(&q(&[(name, value)]), Vec::new(), true).unwrap_err();
             match err {

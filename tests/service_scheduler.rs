@@ -157,6 +157,7 @@ fn no_client_exceeds_its_fair_share_of_workers_by_more_than_one() {
     let deadline = Instant::now() + Duration::from_secs(300);
     loop {
         let mut running = [0usize; 3];
+        let mut queued = [0usize; 3];
         let mut all_terminal = true;
         for &(ci, id) in &jobs {
             match svc.status(id).unwrap().state {
@@ -164,16 +165,26 @@ fn no_client_exceeds_its_fair_share_of_workers_by_more_than_one() {
                     running[ci] += 1;
                     all_terminal = false;
                 }
+                JobState::Queued => {
+                    queued[ci] += 1;
+                    all_terminal = false;
+                }
                 s if !s.is_terminal() => all_terminal = false,
                 _ => {}
             }
         }
-        for (ci, &n) in running.iter().enumerate() {
-            assert!(
-                n <= fair_share + 1,
-                "client {} holds {n} workers (fair share {fair_share} + 1)",
-                clients[ci]
-            );
+        // The fair-share bound is a *contention* property: once some
+        // client's backlog has drained, the surplus workers are
+        // supposed to go to whoever still has work, so only check the
+        // bound while every client still has jobs waiting.
+        if queued.iter().all(|&q| q > 0) {
+            for (ci, &n) in running.iter().enumerate() {
+                assert!(
+                    n <= fair_share + 1,
+                    "client {} holds {n} workers (fair share {fair_share} + 1)",
+                    clients[ci]
+                );
+            }
         }
         if all_terminal {
             break;
