@@ -388,6 +388,96 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Default relative regression tolerated by [`guard_against_baseline`]:
+/// 2% — the budget the observability hooks (telemetry counters, trace
+/// spans) are allowed to cost the hot path.
+pub const GUARD_DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// A quoted string field from one flat JSON record chunk.
+fn json_str_field(rec: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = rec.find(&needle)? + needle.len();
+    Some(rec[at..].chars().take_while(|c| *c != '"').collect())
+}
+
+/// A numeric field from one flat JSON record chunk.
+fn json_num_field(rec: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = rec.find(&needle)? + needle.len();
+    rec[at..].split([',', '}']).next()?.trim().parse().ok()
+}
+
+/// Compare a fresh run against a committed `BENCH_*.json` baseline and
+/// fail when any matching configuration (same engine, precision, memory
+/// layout, and thread count) has regressed by more than `tolerance`
+/// (relative; e.g. `0.02` = 2%). Configurations present on only one
+/// side are reported but never fail the guard — presets and sweeps may
+/// legitimately grow between PRs. Returns a human-readable comparison
+/// table on success.
+pub fn guard_against_baseline(
+    report: &BenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    validate_json(baseline_json).map_err(|e| format!("baseline document invalid: {e}"))?;
+    // (engine, precision, layout, threads) -> baseline updates/sec,
+    // parsed with the same flat-record idiom as `validate_json`.
+    let baseline: Vec<(String, String, String, usize, f64)> = baseline_json
+        .split("{\"engine\":")
+        .skip(1)
+        .filter_map(|chunk| {
+            let rec = chunk.split('}').next()?;
+            let engine: String = rec
+                .trim_start()
+                .strip_prefix('"')?
+                .chars()
+                .take_while(|c| *c != '"')
+                .collect();
+            Some((
+                engine,
+                json_str_field(rec, "precision")?,
+                json_str_field(rec, "layout")?,
+                json_num_field(rec, "threads")? as usize,
+                json_num_field(rec, "updates_per_sec")?,
+            ))
+        })
+        .collect();
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for r in &report.results {
+        let key = format!("{}/{}/{}/{}t", r.engine, r.precision, r.layout, r.threads);
+        let Some((.., base_ups)) = baseline.iter().find(|(e, p, l, t, _)| {
+            *e == r.engine && *p == r.precision && *l == r.layout && *t == r.threads
+        }) else {
+            lines.push(format!("  {key:<20} no baseline row (skipped)"));
+            continue;
+        };
+        let ratio = r.updates_per_sec / base_ups.max(1e-12);
+        lines.push(format!(
+            "  {key:<20} {:>7.2}M vs {:>7.2}M updates/s  ({:+.1}%)",
+            r.updates_per_sec / 1e6,
+            base_ups / 1e6,
+            (ratio - 1.0) * 100.0
+        ));
+        if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "{key}: {:.2}M vs baseline {:.2}M updates/s ({:.1}% below, tolerance {:.1}%)",
+                r.updates_per_sec / 1e6,
+                base_ups / 1e6,
+                (1.0 - ratio) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "performance regression:\n{}",
+            regressions.join("\n")
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +522,34 @@ mod tests {
         assert!(run_bench(&opts).is_err());
         assert!(bench_spec("galactic", false).is_err());
         assert!(bench_spec("medium", false).is_ok());
+    }
+
+    #[test]
+    fn guard_passes_against_its_own_run_and_catches_regressions() {
+        let report = run_bench(&quick_opts()).unwrap();
+        let json = to_json(&report);
+        // A run guarded against its own document is exactly at ratio 1.0.
+        let summary = guard_against_baseline(&report, &json, GUARD_DEFAULT_TOLERANCE).unwrap();
+        assert!(summary.contains("cpu/f64/aos/1t"), "{summary}");
+        assert!(!summary.contains("no baseline row"), "{summary}");
+        // Inflate the baseline far past tolerance: the same run now reads
+        // as a massive regression.
+        let mut inflated = report.clone();
+        for r in &mut inflated.results {
+            r.updates_per_sec *= 10.0;
+        }
+        let err = guard_against_baseline(&report, &to_json(&inflated), GUARD_DEFAULT_TOLERANCE)
+            .unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // Rows without a baseline counterpart are skipped, not failed.
+        let mut renamed = report.clone();
+        for r in &mut renamed.results {
+            r.engine = "exotic".into();
+        }
+        let summary = guard_against_baseline(&renamed, &json, GUARD_DEFAULT_TOLERANCE).unwrap();
+        assert!(summary.contains("no baseline row"), "{summary}");
+        // A broken baseline document is an error, not a silent pass.
+        assert!(guard_against_baseline(&report, "{}", GUARD_DEFAULT_TOLERANCE).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--resume",
     "--watch",
     "--quick",
+    "--log-json",
     "--help",
     "-h",
 ];
@@ -65,6 +66,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--baseline",
     "--repeat",
     "--validate",
+    "--log-level",
+    "--guard",
+    "--tolerance",
 ];
 
 impl ArgParser {
@@ -275,6 +279,16 @@ mod tests {
         assert_eq!(p.parse_or("--term-block", 256usize).unwrap(), 128);
         assert_eq!(p.parse_or("--baseline", 0.0f64).unwrap(), 8.2e6);
         assert_eq!(p.parse_or("--repeat", 1usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let p = parse("--log-level debug --log-json --guard BENCH.json --tolerance 0.02");
+        p.validate().unwrap();
+        assert_eq!(p.value("--log-level").unwrap(), "debug");
+        assert!(p.has("--log-json"));
+        assert_eq!(p.value("--guard").unwrap(), "BENCH.json");
+        assert_eq!(p.parse_or("--tolerance", 0.0f64).unwrap(), 0.02);
     }
 
     #[test]

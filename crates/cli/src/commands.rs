@@ -61,6 +61,7 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
             "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
              \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
              \u{20}         [--max-conns N] [--keep-alive SECS] [--rate-limit REQ_PER_SEC]\n\
+             \u{20}         [--log-level debug|info|warn|error|off] [--log-json]\n\
              Serve layouts over HTTP. The API is versioned under /v1 (unversioned\n\
              paths remain as deprecated aliases). Upload-once workflow: POST\n\
              /v1/graphs (GFA body) parses the graph once and returns {graph_id,...};\n\
@@ -90,12 +91,18 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              Retry-After. --rate-limit N throttles each client IP to N req/s (429\n\
              beyond a one-second burst; 0 = off). HTTP/1.1 keep-alive is on by\n\
              default (idle timeout --keep-alive seconds, default 5; 0 closes after\n\
-             every response)."
+             every response).\n\
+             Observability: structured logs go to stderr (--log-level, default\n\
+             info; --log-json emits one JSON object per line for collectors).\n\
+             GET /v1/jobs/<id>/trace returns the job's phase timeline (queue wait,\n\
+             parse, layout, spill — offsets + durations); /v1/metrics serves\n\
+             Prometheus text with sliding-window latency/phase histograms, queue\n\
+             and cache gauges, and live engine updates/s."
         }
         "bench" => {
             "pgl bench [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
              \u{20}         [--iters N] [--repeat N] [--quick] [--baseline UPDATES_PER_SEC]\n\
-             \u{20}         [--validate <bench.json>]\n\
+             \u{20}         [--validate <bench.json>] [--guard <bench.json>] [--tolerance F]\n\
              Reproducible SGD-throughput harness over the bundled workload presets.\n\
              Sweeps the hot-path axes (engine x precision x memory layout), reports\n\
              applied updates/sec per configuration, and writes a pgl-bench/1 JSON\n\
@@ -106,7 +113,10 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              every record. --validate checks an existing document's structure and\n\
              exits (used by CI on the artifact it just produced). --repeat N runs\n\
              each configuration N times and reports the best, standard practice\n\
-             for throughput numbers."
+             for throughput numbers. --guard <bench.json> compares this run's\n\
+             records against a committed baseline document and fails when any\n\
+             matching configuration regresses by more than --tolerance (default\n\
+             0.02 = 2%) — the perf gate that keeps telemetry hooks honest."
         }
         "batch" => {
             "pgl batch <dir> -o <outdir> [--engine cpu|batch|gpu|gpu-a100[,more...]]\n\
@@ -346,6 +356,12 @@ pub fn draw_cmd(p: ArgParser) -> CmdResult {
 
 /// `pgl serve` — run the layout service behind its HTTP front end.
 pub fn serve(p: ArgParser) -> CmdResult {
+    let level = match p.value("--log-level") {
+        None => pgl_service::LogLevel::Info,
+        Some(v) => pgl_service::LogLevel::parse_name(v)
+            .ok_or_else(|| format!("bad --log-level {v:?} (debug, info, warn, error, off)"))?,
+    };
+    pgl_service::obs::init(level, p.has("--log-json"));
     let addr = format!(
         "{}:{}",
         p.value("--addr").unwrap_or("127.0.0.1"),
@@ -398,16 +414,20 @@ pub fn serve(p: ArgParser) -> CmdResult {
     let server = HttpServer::bind(&addr, Arc::clone(&service))
         .map_err(|e| format!("bind {addr}: {e}"))?
         .with_config(http_cfg.clone());
-    eprintln!(
-        "pgl serve: listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}{}, engines: {})",
-        server.local_addr(),
-        workers,
-        http_cfg.max_conns,
-        http_cfg.keep_alive.as_secs(),
-        cache_note,
-        limit_note,
-        preload_note,
-        service.engine_names().join(", ")
+    pgl_service::obs::info(
+        "serve",
+        &format!(
+            "listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}{}, engines: {})",
+            server.local_addr(),
+            workers,
+            http_cfg.max_conns,
+            http_cfg.keep_alive.as_secs(),
+            cache_note,
+            limit_note,
+            preload_note,
+            service.engine_names().join(", ")
+        ),
+        &[],
     );
     server.serve();
     Ok(())
@@ -684,6 +704,17 @@ pub fn bench(p: ArgParser) -> CmdResult {
             eprintln!("wrote {out}");
         }
         None => print!("{json}"),
+    }
+    if let Some(baseline) = p.value("--guard") {
+        let tolerance = p.parse_or("--tolerance", pgl_bench::GUARD_DEFAULT_TOLERANCE)?;
+        let text =
+            std::fs::read_to_string(baseline).map_err(|e| format!("read {baseline}: {e}"))?;
+        let summary = pgl_bench::guard_against_baseline(&report, &text, tolerance)
+            .map_err(|e| format!("{baseline}: {e}"))?;
+        eprintln!(
+            "pgl bench: guard vs {baseline} passed (tolerance {:.1}%)\n{summary}",
+            tolerance * 100.0
+        );
     }
     Ok(())
 }

@@ -88,16 +88,19 @@ fn print_usage() {
          \u{20}          [--term-block N]\n\
          \u{20}  bench   [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
          \u{20}          [--iters N] [--repeat N] [--quick] [--baseline UPS]\n\
-         \u{20}          [--validate <bench.json>]   (SGD throughput harness)\n\
+         \u{20}          [--validate <bench.json>] [--guard <bench.json>] [--tolerance F]\n\
+         \u{20}          (SGD throughput harness; --guard fails on >F regression)\n\
          \u{20}  stress  <in.gfa> <in.lay> [--exact] [--samples-per-node N] [--seed N]\n\
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
          \u{20}  tsv     <in.lay> -o <out.tsv>\n\
          \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
          \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
          \u{20}          [--max-conns N] [--keep-alive SECS] [--rate-limit N]\n\
+         \u{20}          [--log-level L] [--log-json]\n\
          \u{20}          (HTTP /v1 API: POST /v1/graphs uploads once, POST /v1/jobs\n\
          \u{20}          lays out by reference with priority/client/ttl_ms scheduling,\n\
-         \u{20}          GET /v1/jobs/<id>/events streams progress)\n\
+         \u{20}          GET /v1/jobs/<id>/events streams progress, /v1/jobs/<id>/trace\n\
+         \u{20}          returns the phase timeline, /v1/metrics serves Prometheus text)\n\
          \u{20}  batch   <dir> -o <outdir> [--engine E[,E2...]] [--workers N] [--tsv]\n\
          \u{20}          [--resume] [--priority P] [--client KEY]\n\
          \u{20}          (each input parsed once across all engines)\n\

@@ -203,6 +203,8 @@ impl BatchEngine {
         let mut kernels = 0u64;
         let mut batches = 0u64;
         let mut applied = 0u64;
+        // Applied terms already flushed to the control's telemetry.
+        let mut flushed = 0u64;
 
         if total_steps == 0 || lean.max_path_steps() < 2 {
             return Some((
@@ -247,6 +249,11 @@ impl BatchEngine {
             while remaining > 0 {
                 if let Some(ctl) = ctl {
                     ctl.set_progress(batches, total_batches);
+                    // Batches are this engine's iteration unit: publish
+                    // the live counters at the same boundary.
+                    ctl.telemetry().add_applied(applied - flushed);
+                    flushed = applied;
+                    ctl.telemetry().set_iteration(iter, cfg.iter_max);
                     if ctl.is_cancelled() {
                         return None;
                     }
@@ -341,6 +348,10 @@ impl BatchEngine {
             }
         }
         let wall = t0.elapsed();
+        if let Some(ctl) = ctl {
+            ctl.telemetry().add_applied(applied - flushed);
+            ctl.telemetry().set_iteration(cfg.iter_max, cfg.iter_max);
+        }
 
         debug_assert_eq!(xs.len(), 2 * n);
         Some((
@@ -553,6 +564,10 @@ mod tests {
         assert!(layout.all_finite());
         assert_eq!(ctl.progress(), 1.0);
         assert!(report.batches > 0);
+        // The terminal flush published every applied term.
+        assert_eq!(ctl.telemetry().terms_applied(), report.terms_applied);
+        let cfg = LayoutConfig::for_tests(1);
+        assert_eq!(ctl.telemetry().iteration(), (cfg.iter_max, cfg.iter_max));
     }
 
     #[test]

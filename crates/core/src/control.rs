@@ -14,11 +14,58 @@
 //! changes (at most once per thousandth of progress), which is what
 //! feeds the service's per-job event logs for streaming clients.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Callback invoked with the new progress fraction whenever it changes.
 type ProgressObserver = Box<dyn Fn(f64) + Send + Sync>;
+
+/// Live counters an engine publishes while it runs.
+///
+/// All fields are relaxed atomics, written from the engine's hot path at
+/// iteration/batch granularity (never per term) and read by whoever
+/// holds the [`LayoutControl`] — the service's metrics scrape and the
+/// per-job event stream sample them to report live updates/s without
+/// touching the engine. Stale-by-an-iteration reads are fine; the
+/// counters are telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// Terms applied so far across all worker threads.
+    terms_applied: AtomicU64,
+    /// Iterations (or batches) completed.
+    iteration: AtomicU32,
+    /// Total iterations (or batches) the schedule will run.
+    iteration_max: AtomicU32,
+}
+
+impl EngineTelemetry {
+    /// Add `n` applied terms (engine side; one call per thread per
+    /// iteration or per batch, never per term).
+    pub fn add_applied(&self, n: u64) {
+        if n > 0 {
+            self.terms_applied.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Terms applied so far.
+    pub fn terms_applied(&self) -> u64 {
+        self.terms_applied.load(Ordering::Relaxed)
+    }
+
+    /// Publish the completed-iteration gauge (engine side).
+    pub fn set_iteration(&self, done: u32, total: u32) {
+        self.iteration.store(done, Ordering::Relaxed);
+        self.iteration_max.store(total, Ordering::Relaxed);
+    }
+
+    /// `(completed, total)` iterations as last published.
+    pub fn iteration(&self) -> (u32, u32) {
+        (
+            self.iteration.load(Ordering::Relaxed),
+            self.iteration_max.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// Shared cancel flag + progress gauge for one layout run.
 #[derive(Default)]
@@ -30,6 +77,8 @@ pub struct LayoutControl {
     /// published value changes (≤ 1000 times per run), never on the
     /// per-iteration fast path of an unchanged value.
     observer: Mutex<Option<ProgressObserver>>,
+    /// Live engine counters (terms applied, iteration) for telemetry.
+    telemetry: EngineTelemetry,
 }
 
 impl std::fmt::Debug for LayoutControl {
@@ -101,6 +150,12 @@ impl LayoutControl {
     pub fn progress(&self) -> f64 {
         self.progress_milli.load(Ordering::Relaxed) as f64 / 1000.0
     }
+
+    /// The live engine counters attached to this control. Engines write
+    /// them at iteration/batch boundaries; observers sample them.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +214,19 @@ mod tests {
         c.finish(); // still 1.0 — no call
         assert_eq!(calls.load(Ordering::Relaxed), 3);
         assert_eq!(*seen.lock().unwrap(), vec![0.1, 0.2, 1.0]);
+    }
+
+    #[test]
+    fn telemetry_accumulates_and_gauges() {
+        let c = LayoutControl::new();
+        assert_eq!(c.telemetry().terms_applied(), 0);
+        assert_eq!(c.telemetry().iteration(), (0, 0));
+        c.telemetry().add_applied(100);
+        c.telemetry().add_applied(0); // no-op, no fetch_add
+        c.telemetry().add_applied(23);
+        c.telemetry().set_iteration(2, 15);
+        assert_eq!(c.telemetry().terms_applied(), 123);
+        assert_eq!(c.telemetry().iteration(), (2, 15));
     }
 
     #[test]

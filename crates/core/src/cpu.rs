@@ -187,6 +187,9 @@ impl CpuEngine {
                 let term_block = cfg.resolved_term_block();
                 scope.spawn(move || {
                     let mut my_applied = 0u64;
+                    // Applied terms already flushed to the control's
+                    // telemetry counters (controlled runs only).
+                    let mut my_flushed = 0u64;
                     let mut block: Vec<Term> =
                         Vec::with_capacity(term_block.min(my_steps as usize));
                     for iter in 0..cfg.iter_max {
@@ -212,6 +215,12 @@ impl CpuEngine {
                             barrier.wait();
                         }
                         if let Some(ctl) = ctl {
+                            // Flush this thread's applied-terms delta to
+                            // the live telemetry counter: one relaxed
+                            // fetch_add per thread per iteration, never
+                            // per term, so the hot loop stays untouched.
+                            ctl.telemetry().add_applied(my_applied - my_flushed);
+                            my_flushed = my_applied;
                             // Thread 0 publishes progress and folds the
                             // cancel flag into `stop`; the second barrier
                             // guarantees every thread reads the same
@@ -219,6 +228,7 @@ impl CpuEngine {
                             // iteration and nobody deadlocks waiting.
                             if tid == 0 {
                                 iters_done.store(iter as u64 + 1, Ordering::Relaxed);
+                                ctl.telemetry().set_iteration(iter + 1, cfg.iter_max);
                                 ctl.set_progress(iter as u64 + 1, cfg.iter_max as u64);
                                 if ctl.is_cancelled() {
                                     stop.store(true, Ordering::Relaxed);
@@ -493,6 +503,19 @@ mod tests {
         assert!(layout.all_finite());
         assert_eq!(ctl.progress(), 1.0);
         assert_eq!(report.iters, LayoutConfig::for_tests(2).iter_max);
+    }
+
+    #[test]
+    fn controlled_run_publishes_live_telemetry() {
+        let lean = test_graph(80, 3, 15);
+        let ctl = LayoutControl::new();
+        let cfg = LayoutConfig::for_tests(2);
+        let (_, report) = CpuEngine::new(cfg.clone())
+            .run_controlled(&lean, &ctl)
+            .expect("uncancelled run completes");
+        // Every applied term was flushed by the final iteration barrier.
+        assert_eq!(ctl.telemetry().terms_applied(), report.terms_applied);
+        assert_eq!(ctl.telemetry().iteration(), (report.iters, cfg.iter_max));
     }
 
     #[test]

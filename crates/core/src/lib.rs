@@ -36,7 +36,7 @@ pub mod step;
 
 pub use batch::{BatchEngine, BatchReport, KernelOp};
 pub use config::{LayoutConfig, PairSelection};
-pub use control::LayoutControl;
+pub use control::{EngineTelemetry, LayoutControl};
 pub use coords::{CoordStore, DataLayout, Precision};
 pub use cpu::{CpuEngine, RunReport};
 pub use init::{init_linear, init_random};

@@ -342,6 +342,20 @@ pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> Vec<ContentHas
 /// a sibling has evicted surfaces as `ENOENT` on the actual read;
 /// callers report that back via their store's `record_disk_gone` and
 /// the entry self-heals.
+/// Operation counters for one [`DiskIndex`], exported on `/metrics`:
+/// how often the index appended to its log, compacted it into a
+/// snapshot, and had to rebuild by scanning the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskIndexOps {
+    /// Log lines appended (`+`/`-` ops).
+    pub appends: u64,
+    /// Log compactions (snapshot rewrites), including the one after a
+    /// rebuild scan.
+    pub snapshots: u64,
+    /// Full directory scans because no usable log existed at open.
+    pub rebuild_scans: u64,
+}
+
 #[derive(Debug)]
 pub struct DiskIndex {
     path: PathBuf,
@@ -350,6 +364,8 @@ pub struct DiskIndex {
     /// Ops lines in the on-disk log (replayed + appended); drives
     /// compaction.
     log_lines: usize,
+    /// Lifetime operation counters (observability only).
+    ops: DiskIndexOps,
 }
 
 impl DiskIndex {
@@ -367,6 +383,7 @@ impl DiskIndex {
             ext: ext.to_string(),
             present: std::collections::HashSet::new(),
             log_lines: 0,
+            ops: DiskIndexOps::default(),
         };
         let header = Self::header(ext);
         match std::fs::read_to_string(&index.path) {
@@ -390,6 +407,7 @@ impl DiskIndex {
             }
             _ => {
                 // No usable index: scan the directory once and snapshot.
+                index.ops.rebuild_scans += 1;
                 if let Ok(entries) = std::fs::read_dir(dir) {
                     for e in entries.filter_map(|e| e.ok()) {
                         let p = e.path();
@@ -441,8 +459,14 @@ impl DiskIndex {
         }
     }
 
+    /// Lifetime operation counters.
+    pub fn ops(&self) -> DiskIndexOps {
+        self.ops
+    }
+
     fn append(&mut self, op: char, id: ContentHash) {
         self.log_lines += 1;
+        self.ops.appends += 1;
         if self.log_lines > 4 * self.present.len() + 64 {
             self.snapshot();
             return;
@@ -456,6 +480,7 @@ impl DiskIndex {
     /// Rewrite the log as a compact snapshot (temp + rename, so readers
     /// never observe a torn index).
     fn snapshot(&mut self) {
+        self.ops.snapshots += 1;
         let mut text = Self::header(&self.ext);
         for id in &self.present {
             text.push('+');
@@ -788,6 +813,11 @@ impl GraphStore {
     /// Counter snapshot.
     pub fn stats(&self) -> GraphStoreStats {
         self.stats
+    }
+
+    /// Disk-index operation counters (`None` without a disk tier).
+    pub fn index_ops(&self) -> Option<DiskIndexOps> {
+        self.index.as_ref().map(|i| i.ops())
     }
 
     fn place(&mut self, id: ContentHash, graph: Arc<LeanGraph>) {

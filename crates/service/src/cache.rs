@@ -23,7 +23,7 @@
 //! spill pushes it past the cap, the oldest `.lay` files are removed.
 
 use layout_core::LayoutConfig;
-use pangraph::store::{content_hash_parts, evict_dir_to_cap, ContentHash, DiskIndex};
+use pangraph::store::{content_hash_parts, evict_dir_to_cap, ContentHash, DiskIndex, DiskIndexOps};
 use pangraph::Layout2D;
 use pgio::{load_lay, save_lay};
 use std::collections::HashMap;
@@ -387,6 +387,11 @@ impl LayoutCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Disk-index operation counters (`None` without a disk tier).
+    pub fn index_ops(&self) -> Option<DiskIndexOps> {
+        self.index.as_ref().map(|i| i.ops())
     }
 }
 

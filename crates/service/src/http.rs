@@ -10,6 +10,7 @@
 //! | `POST /v1/jobs` (or `/v1/layout`) | submit a job: body = GFA (or `?graph=<id>`); query = typed `JobSpec` params → ticket |
 //! | `GET /v1/jobs/<id>`          | job status JSON (state, progress, priority, …) |
 //! | `GET /v1/jobs/<id>/events`   | **chunked stream** of the job's event log      |
+//! | `GET /v1/jobs/<id>/trace`    | phase timeline: span offsets + durations       |
 //! | `POST /v1/jobs/<id>/cancel`  | request cancellation (also `DELETE /v1/jobs/<id>`) |
 //! | `GET /v1/result/<id>`        | finished layout as TSV (`?format=lay` binary)  |
 //! | `POST /v1/graphs`            | body = GFA; parse once → `{graph_id, nodes, …}`|
@@ -69,6 +70,7 @@
 
 use crate::httpmetrics::{route_index, HttpMetrics, OTHER_ROUTE};
 use crate::job::{EventKind, JobEvent, JobId};
+use crate::obs;
 use crate::ratelimit::RateLimiter;
 use crate::service::{LayoutService, SubmitError};
 use crate::spec::parse_job_spec;
@@ -97,6 +99,11 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
 /// Requests served on one connection before the server forces a close —
 /// a backstop so a single client cannot pin a handler thread forever.
 const MAX_REQUESTS_PER_CONN: u64 = 1000;
+
+/// Plain requests slower than this are logged at `warn` with their
+/// route and status — the structured-log counterpart of the latency
+/// histogram's tail. Event streams are exempt (they block by design).
+const SLOW_REQUEST_WARN: Duration = Duration::from_secs(1);
 
 /// How long an event stream waits for new events before emitting a
 /// heartbeat line (which doubles as dead-client detection: the write
@@ -588,11 +595,20 @@ fn handle_connection(
                             };
                             match route(&mut req, service, metrics, peer) {
                                 Routed::Plain(response) => {
-                                    metrics.observe_idx(
-                                        route_idx,
-                                        response.status,
-                                        started.elapsed(),
-                                    );
+                                    let elapsed = started.elapsed();
+                                    metrics.observe_idx(route_idx, response.status, elapsed);
+                                    if elapsed >= SLOW_REQUEST_WARN {
+                                        obs::warn(
+                                            "http",
+                                            "slow request",
+                                            &[
+                                                ("method", req.method.clone()),
+                                                ("path", req.path.clone()),
+                                                ("status", response.status.to_string()),
+                                                ("ms", elapsed.as_millis().to_string()),
+                                            ],
+                                        );
+                                    }
                                     let keep = req.keep_alive
                                         && !cfg.keep_alive.is_zero()
                                         && served + 1 < MAX_REQUESTS_PER_CONN
@@ -797,6 +813,16 @@ fn event_json(service: &LayoutService, job: JobId, event: &JobEvent) -> String {
         EventKind::Progress(p) => format!(
             "{{\"job\":{},\"seq\":{},\"event\":\"progress\",\"progress\":{:.3}}}\n",
             job, event.seq, p
+        ),
+        EventKind::Metrics {
+            terms_applied,
+            updates_per_sec,
+            iteration,
+            iteration_max,
+        } => format!(
+            "{{\"job\":{},\"seq\":{},\"event\":\"metrics\",\"terms_applied\":{},\
+             \"updates_per_sec\":{:.1},\"iteration\":{},\"iteration_max\":{}}}\n",
+            job, event.seq, terms_applied, updates_per_sec, iteration, iteration_max
         ),
     }
 }
@@ -1014,6 +1040,10 @@ fn route(
             }
             None => plain(Response::error(400, "job id must be a number")),
         },
+        ("GET", ["jobs", id, "trace"]) => plain(match parse_id(id) {
+            Some(id) => job_trace(id, service),
+            None => Response::error(400, "job id must be a number"),
+        }),
         ("GET", ["jobs", id]) => plain(match parse_id(id) {
             Some(id) => job_status(id, service),
             None => Response::error(400, "job id must be a number"),
@@ -1027,11 +1057,17 @@ fn route(
             None => Response::error(400, "job id must be a number"),
         }),
         ("GET", ["stats"]) => plain(stats(service, metrics)),
-        ("GET", ["metrics"]) => plain(Response::bytes(
-            200,
-            "text/plain; version=0.0.4",
-            metrics.render_prometheus().into_bytes(),
-        )),
+        ("GET", ["metrics"]) => {
+            // One exposition: HTTP front-end families followed by the
+            // service's job/engine/cache families.
+            let mut text = metrics.render_prometheus();
+            text.push_str(&service.metrics_prometheus());
+            plain(Response::bytes(
+                200,
+                "text/plain; version=0.0.4",
+                text.into_bytes(),
+            ))
+        }
         ("GET", ["engines"]) => {
             let names: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
             plain(Response::json(
@@ -1039,7 +1075,7 @@ fn route(
                 format!("{{\"engines\":[{}]}}", names.join(",")),
             ))
         }
-        ("GET", ["healthz"]) => plain(Response::json(200, "{\"ok\":true}".into())),
+        ("GET", ["healthz"]) => plain(healthz(service)),
         ("GET", _) | ("POST", _) | ("DELETE", _) => plain(Response::error(404, "no such route")),
         _ => plain(Response::error(405, "method not supported")),
     }
@@ -1171,6 +1207,68 @@ fn job_status(id: JobId, service: &LayoutService) -> Response {
     }
 }
 
+/// `GET /v1/jobs/<id>/trace` — the job's phase timeline: ordered spans
+/// with offsets from submission and wall-clock durations. A span still
+/// open (the job is mid-phase) reports `"dur_us":null`.
+fn job_trace(id: JobId, service: &LayoutService) -> Response {
+    let Some(s) = service.status(id) else {
+        return Response::error(404, &format!("no such job {id}"));
+    };
+    let spans: Vec<String> = s
+        .trace
+        .spans()
+        .iter()
+        .map(|span| {
+            format!(
+                "{{\"phase\":{},\"start_us\":{},\"dur_us\":{}}}",
+                json_str(span.phase),
+                span.start_us,
+                match span.dur_us {
+                    Some(us) => us.to_string(),
+                    None => "null".into(),
+                }
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"job\":{},\"state\":\"{}\",\"wall_ms\":{},\"total_us\":{},\"spans\":[{}]}}",
+            s.id,
+            s.state.as_str(),
+            s.wall_ms,
+            s.trace.total_us(),
+            spans.join(",")
+        ),
+    )
+}
+
+/// The feature axes this build serves: registered engines and the
+/// precisions the layout kernels support. Shared by `/healthz` and
+/// `/stats` so probes and dashboards see one truth.
+fn features_json(service: &LayoutService) -> String {
+    let engines: Vec<String> = service.engine_names().iter().map(|n| json_str(n)).collect();
+    format!(
+        "{{\"engines\":[{}],\"precisions\":[\"f32\",\"f64\"]}}",
+        engines.join(",")
+    )
+}
+
+/// `GET /healthz` — liveness plus enough identity for a probe log:
+/// version, uptime, and feature axes.
+fn healthz(service: &LayoutService) -> Response {
+    let s = service.stats();
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"features\":{}}}",
+            json_str(env!("CARGO_PKG_VERSION")),
+            s.uptime_ms / 1000,
+            features_json(service)
+        ),
+    )
+}
+
 fn cancel_job(id: JobId, service: &LayoutService) -> Response {
     match service.cancel(id) {
         Ok(_) => job_status(id, service),
@@ -1205,7 +1303,8 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\
+            "{{\"version\":{version},\"uptime_s\":{uptime_s},\"features\":{features},\
+             \"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\
              \"failed\":{},\"cancelled\":{},\"expired\":{},\
              \"queued_interactive\":{},\"queued_normal\":{},\"queued_bulk\":{},\
              \"active_clients\":{}}},\
@@ -1259,16 +1358,30 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             h.rate_limited_429,
             h.requests,
             s.workers,
-            s.uptime_ms
+            s.uptime_ms,
+            version = json_str(env!("CARGO_PKG_VERSION")),
+            uptime_s = s.uptime_ms / 1000,
+            features = features_json(service),
         ),
     )
 }
 
 fn status_json(s: &crate::job::JobStatus) -> String {
+    // Per-phase summary of the trace: closed spans only, keyed by phase
+    // name (the full timeline lives at `/v1/jobs/<id>/trace`).
+    let phases: Vec<String> = s
+        .trace
+        .spans()
+        .iter()
+        .filter_map(|span| {
+            span.dur_us
+                .map(|us| format!("{}:{us}", json_str(span.phase)))
+        })
+        .collect();
     format!(
         "{{\"job\":{},\"state\":\"{}\",\"progress\":{:.3},\"engine\":{},\
          \"priority\":\"{}\",\"client\":{},\"cached\":{},\
-         \"nodes\":{},\"graph\":{},\"wall_ms\":{}{}}}",
+         \"nodes\":{},\"graph\":{},\"wall_ms\":{},\"phases_us\":{{{}}}{}}}",
         s.id,
         s.state.as_str(),
         s.progress,
@@ -1279,6 +1392,7 @@ fn status_json(s: &crate::job::JobStatus) -> String {
         s.nodes,
         json_str(&s.graph.hex()),
         s.wall_ms,
+        phases.join(","),
         match &s.error {
             Some(e) => format!(",\"error\":{}", json_str(e)),
             None => String::new(),

@@ -114,6 +114,92 @@ pub enum EventKind {
     State(JobState),
     /// Progress advanced to this fraction.
     Progress(f64),
+    /// Periodic live engine telemetry sample (only while running; cached
+    /// jobs never emit these).
+    Metrics {
+        /// Attractive/repulsive terms applied so far.
+        terms_applied: u64,
+        /// Update throughput since the previous sample.
+        updates_per_sec: f64,
+        /// Engine iteration the sample was taken at.
+        iteration: u32,
+        /// Total iterations scheduled.
+        iteration_max: u32,
+    },
+}
+
+/// One phase of a job's lifecycle, as wall-clock offsets from
+/// submission. `dur_us` is `None` while the phase is still open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Phase name (`queue_wait`, `layout`, ...).
+    pub phase: &'static str,
+    /// Microseconds from job submission to phase start.
+    pub start_us: u64,
+    /// Phase duration in microseconds; `None` while in flight.
+    pub dur_us: Option<u64>,
+}
+
+/// Ordered span timeline of one job: submitted → graph resolution →
+/// cache probe → queue wait → layout → spill. Recording sites append in
+/// chronological order, so `spans()` *is* the timeline. Exposed via
+/// `GET /v1/jobs/<id>/trace` and summarized in the job status JSON.
+#[derive(Debug, Clone, Default)]
+pub struct JobTrace {
+    spans: Vec<TraceSpan>,
+}
+
+impl JobTrace {
+    /// Append a completed span.
+    pub(crate) fn record(&mut self, phase: &'static str, start_us: u64, dur_us: u64) {
+        self.spans.push(TraceSpan {
+            phase,
+            start_us,
+            dur_us: Some(dur_us),
+        });
+    }
+
+    /// Open a span; [`JobTrace::end`] closes it.
+    pub(crate) fn begin(&mut self, phase: &'static str, start_us: u64) {
+        self.spans.push(TraceSpan {
+            phase,
+            start_us,
+            dur_us: None,
+        });
+    }
+
+    /// Close the most recent open span named `phase` at `end_us` and
+    /// return its duration. No-op (returning `None`) when no such span
+    /// is open.
+    pub(crate) fn end(&mut self, phase: &'static str, end_us: u64) -> Option<u64> {
+        let span = self
+            .spans
+            .iter_mut()
+            .rev()
+            .find(|s| s.phase == phase && s.dur_us.is_none())?;
+        let dur = end_us.saturating_sub(span.start_us);
+        span.dur_us = Some(dur);
+        Some(dur)
+    }
+
+    /// The timeline, in chronological order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Duration of the most recent *closed* span named `phase`.
+    pub fn phase_us(&self, phase: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .rev()
+            .find(|s| s.phase == phase)
+            .and_then(|s| s.dur_us)
+    }
+
+    /// Sum of all closed span durations.
+    pub fn total_us(&self) -> u64 {
+        self.spans.iter().filter_map(|s| s.dur_us).sum()
+    }
 }
 
 /// One sequence-numbered entry in a job's event log. Sequence numbers
@@ -172,6 +258,8 @@ pub(crate) struct Job {
     pub events: Vec<JobEvent>,
     /// Progress value of the last logged progress event (coalescing).
     last_progress_event: f64,
+    /// Phase timeline (`GET /v1/jobs/<id>/trace`).
+    pub trace: JobTrace,
 }
 
 impl Job {
@@ -213,6 +301,7 @@ impl Job {
             nodes,
             events: Vec::new(),
             last_progress_event: 0.0,
+            trace: JobTrace::default(),
         }
     }
 
@@ -243,6 +332,27 @@ impl Job {
         true
     }
 
+    /// Append a live-telemetry sample. Time gating is the caller's job
+    /// (the service's worker observer samples at most a few per second).
+    pub(crate) fn push_metrics_event(
+        &mut self,
+        terms_applied: u64,
+        updates_per_sec: f64,
+        iteration: u32,
+        iteration_max: u32,
+    ) {
+        let seq = self.events.len() as u64;
+        self.events.push(JobEvent {
+            seq,
+            kind: EventKind::Metrics {
+                terms_applied,
+                updates_per_sec,
+                iteration,
+                iteration_max,
+            },
+        });
+    }
+
     pub(crate) fn status(&self) -> JobStatus {
         JobStatus {
             id: self.id,
@@ -264,6 +374,7 @@ impl Job {
                 .unwrap_or_else(Instant::now)
                 .duration_since(self.submitted)
                 .as_millis(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -295,6 +406,8 @@ pub struct JobStatus {
     pub graph: ContentHash,
     /// Milliseconds from submission to completion (or to now).
     pub wall_ms: u128,
+    /// Phase timeline recorded so far (see [`JobTrace`]).
+    pub trace: JobTrace,
 }
 
 #[cfg(test)]
@@ -392,6 +505,49 @@ mod tests {
         assert!(job.push_progress_event(1.0), "completion always logs");
         assert!(!job.push_progress_event(1.0), "but only once");
         assert_eq!(job.events.len(), 3);
+    }
+
+    #[test]
+    fn traces_order_spans_and_close_the_right_one() {
+        let mut t = JobTrace::default();
+        t.record("graph_parse", 0, 1_500);
+        t.record("cache_probe", 1_500, 40);
+        t.begin("queue_wait", 1_540);
+        assert_eq!(t.phase_us("queue_wait"), None, "still open");
+        assert_eq!(t.end("queue_wait", 9_540), Some(8_000));
+        assert_eq!(t.end("queue_wait", 10_000), None, "already closed");
+        t.begin("layout", 9_540);
+        assert_eq!(t.end("layout", 1_009_540), Some(1_000_000));
+        assert_eq!(t.phase_us("graph_parse"), Some(1_500));
+        assert_eq!(t.total_us(), 1_500 + 40 + 8_000 + 1_000_000);
+        // Recording order is the timeline: starts are non-decreasing.
+        let starts: Vec<u64> = t.spans().iter().map(|s| s.start_us).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn metrics_events_extend_the_dense_sequence() {
+        let mut job = bare_job();
+        job.push_state_event(JobState::Queued);
+        job.push_metrics_event(5_000, 2.5e6, 3, 30);
+        job.push_state_event(JobState::Done);
+        assert_eq!(job.events.len(), 3);
+        assert_eq!(job.events[1].seq, 1);
+        match &job.events[1].kind {
+            EventKind::Metrics {
+                terms_applied,
+                updates_per_sec,
+                iteration,
+                iteration_max,
+            } => {
+                assert_eq!(*terms_applied, 5_000);
+                assert!((updates_per_sec - 2.5e6).abs() < 1.0);
+                assert_eq!((*iteration, *iteration_max), (3, 30));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
     }
 
     #[test]

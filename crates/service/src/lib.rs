@@ -94,6 +94,7 @@ pub mod cache;
 pub mod http;
 pub mod httpmetrics;
 pub mod job;
+pub mod obs;
 pub mod ratelimit;
 pub mod registry;
 pub mod sched;
@@ -103,8 +104,13 @@ pub mod spec;
 pub use batchrun::{run_batch, BatchOptions, BatchOutcome, BatchReport};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
 pub use http::{HttpConfig, HttpServer, ServerHandle};
-pub use httpmetrics::{HttpMetrics, HttpStatsSnapshot};
-pub use job::{EventKind, GraphSpec, JobEvent, JobId, JobRequest, JobState, JobStatus};
+pub use httpmetrics::{
+    validate_exposition, HistogramSnapshot, HttpMetrics, HttpStatsSnapshot, WindowedHistogram,
+};
+pub use job::{
+    EventKind, GraphSpec, JobEvent, JobId, JobRequest, JobState, JobStatus, JobTrace, TraceSpan,
+};
+pub use obs::LogLevel;
 pub use pangraph::store::{ContentHash, GraphMeta, GraphStore, GraphStoreStats};
 pub use ratelimit::RateLimiter;
 pub use registry::{EngineRegistry, EngineRequest};

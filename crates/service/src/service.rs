@@ -45,6 +45,7 @@
 
 use crate::cache::{cache_key, write_spill, CacheKey, CacheStats, LayoutCache};
 use crate::job::{GraphSpec, Job, JobEvent, JobId, JobRequest, JobState, JobStatus};
+use crate::obs::{self, ServiceMetrics};
 use crate::registry::{EngineRegistry, EngineRequest};
 use crate::sched::{job_cost, FairScheduler};
 use crate::spec::{JobSpec, Priority};
@@ -65,6 +66,11 @@ use std::time::{Duration, Instant};
 /// Fair-share key used when a spec names no client and the transport
 /// provides no identity (embedded callers, tests).
 pub const ANONYMOUS_CLIENT: &str = "anonymous";
+
+/// Minimum spacing between live-telemetry (`metrics`) samples in a
+/// job's event stream. Short jobs emit none; long runs give streaming
+/// watchers a few updates/s readings per second.
+const METRICS_EVENT_PERIOD: Duration = Duration::from_millis(200);
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -256,6 +262,9 @@ struct Shared {
     max_finished: usize,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Phase/queue-wait histograms and engine-level counters for
+    /// `/metrics`.
+    metrics: ServiceMetrics,
     started: Instant,
     submitted: AtomicU64,
     done: AtomicU64,
@@ -283,9 +292,13 @@ impl LayoutService {
                     |e| {
                         // A broken disk tier must not take the service
                         // down; degrade to memory-only and say so.
-                        eprintln!(
-                            "pgl-service: disk cache at {} unavailable ({e}); running memory-only",
-                            dir.display()
+                        obs::warn(
+                            "service",
+                            "disk cache unavailable; running memory-only",
+                            &[
+                                ("path", dir.display().to_string()),
+                                ("error", e.to_string()),
+                            ],
                         );
                         LayoutCache::new(cfg.cache_entries)
                     },
@@ -298,9 +311,13 @@ impl LayoutService {
                 let gdir = dir.join("graphs");
                 GraphStore::with_disk(cfg.graph_entries, &gdir, cfg.cache_max_bytes).unwrap_or_else(
                     |e| {
-                        eprintln!(
-                            "pgl-service: graph store at {} unavailable ({e}); running memory-only",
-                            gdir.display()
+                        obs::warn(
+                            "service",
+                            "graph store disk tier unavailable; running memory-only",
+                            &[
+                                ("path", gdir.display().to_string()),
+                                ("error", e.to_string()),
+                            ],
                         );
                         GraphStore::new(cfg.graph_entries)
                     },
@@ -322,6 +339,7 @@ impl LayoutService {
             max_finished: cfg.max_finished_jobs.max(1),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            metrics: ServiceMetrics::new(),
             started: Instant::now(),
             submitted: AtomicU64::new(0),
             done: AtomicU64::new(0),
@@ -415,7 +433,11 @@ impl LayoutService {
                     report.loaded += 1;
                 }
                 Err(msg) => {
-                    eprintln!("pgl-service: preload {}: {msg}", path.display());
+                    obs::warn(
+                        "service",
+                        "preload failed",
+                        &[("path", path.display().to_string()), ("error", msg)],
+                    );
                     report.failed += 1;
                 }
             }
@@ -472,6 +494,10 @@ impl LayoutService {
     /// queue slot. The job is queued under `(priority, client)` in the
     /// fair scheduler; its event log starts with the birth state.
     pub fn submit_spec(&self, spec: JobSpec) -> Result<SubmitTicket, SubmitError> {
+        // Trace origin: every span offset (and the job's wall clock) is
+        // measured from here, so the timeline covers graph resolution
+        // and the cache probe, not just queue + run.
+        let t0 = Instant::now();
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -504,25 +530,35 @@ impl LayoutService {
             }
         };
         let key = cache_key(&spec.engine, &spec.config, spec.batch_size, graph_hash);
+        let probe_start = t0.elapsed();
         let hit = cache_lookup(&self.shared, key);
+        let probe_dur = t0.elapsed().saturating_sub(probe_start);
         // Resolve the parsed graph only on a cache miss: a hit never
-        // loads the artifact, and an inline hit never re-parses.
+        // loads the artifact, and an inline hit never re-parses. The
+        // phase name distinguishes a real parse from a store hit — the
+        // split the parse-once architecture exists to create.
+        let graph_start = t0.elapsed();
+        let mut graph_phase = "graph_lookup";
         let graph = match &hit {
             Some(_) => None,
             None => Some(match &spec.graph {
                 GraphSpec::Gfa(text) => {
-                    intern_gfa_once(&self.shared, graph_hash, text)
-                        .map_err(SubmitError::Rejected)?
-                        .0
+                    let (g, parsed) = intern_gfa_once(&self.shared, graph_hash, text)
+                        .map_err(SubmitError::Rejected)?;
+                    if parsed {
+                        graph_phase = "graph_parse";
+                    }
+                    g
                 }
                 GraphSpec::Stored(id) => graph_lookup(&self.shared, *id).ok_or_else(|| {
                     SubmitError::NoSuchGraph(format!("no such graph {}", id.hex()))
                 })?,
             }),
         };
+        let graph_dur = t0.elapsed().saturating_sub(graph_start);
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        let now = Instant::now();
+        let now = t0;
         let cached = hit.is_some();
         let nodes = match (&hit, &graph) {
             (Some(layout), _) => layout.node_count(),
@@ -561,6 +597,23 @@ impl LayoutService {
             now,
         );
         job.push_state_event(state);
+        // Submit-side trace spans, in chronological order. Cached jobs
+        // end here; misses open their queue-wait span, closed by the
+        // worker that claims them.
+        let us = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+        job.trace
+            .record("cache_probe", us(probe_start), us(probe_dur));
+        self.shared
+            .metrics
+            .observe_phase("cache_probe", us(probe_dur));
+        if !cached {
+            job.trace
+                .record(graph_phase, us(graph_start), us(graph_dur));
+            self.shared
+                .metrics
+                .observe_phase(graph_phase, us(graph_dur));
+            job.trace.begin("queue_wait", us(t0.elapsed()));
+        }
         self.shared
             .jobs
             .lock()
@@ -780,6 +833,162 @@ impl LayoutService {
             graphs,
             uptime_ms: self.shared.started.elapsed().as_millis(),
         }
+    }
+
+    /// Service-level Prometheus families for `GET /metrics`: windowed
+    /// queue-wait and phase histograms, live engine gauges, scheduler
+    /// depth, cache-tier hit ratios, and disk-index op counters. The
+    /// HTTP front end concatenates this with the request-level families
+    /// from [`crate::httpmetrics::HttpMetrics::render_prometheus`].
+    pub fn metrics_prometheus(&self) -> String {
+        use crate::httpmetrics::family;
+        use std::fmt::Write as _;
+        let stats = self.stats();
+        // Terms applied by jobs still running: sampled from their live
+        // engine telemetry so the total counter moves between
+        // completions.
+        let live_terms: u64 = {
+            let jobs = self.shared.jobs.lock().unwrap();
+            jobs.values()
+                .map(|job| {
+                    let job = job.lock().unwrap();
+                    if job.state == JobState::Running {
+                        job.control.telemetry().terms_applied()
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        let mut out = self
+            .shared
+            .metrics
+            .render_prometheus(stats.running as u64, live_terms);
+
+        family(
+            &mut out,
+            "pgl_queue_depth",
+            "gauge",
+            "Queued jobs, by priority band.",
+        );
+        for (i, band) in obs::QUEUE_BANDS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "pgl_queue_depth{{band=\"{band}\"}} {}",
+                stats.queued_by_band[i]
+            );
+        }
+        family(
+            &mut out,
+            "pgl_queue_active_clients",
+            "gauge",
+            "Distinct client keys with queued jobs.",
+        );
+        let _ = writeln!(out, "pgl_queue_active_clients {}", stats.active_clients);
+
+        family(
+            &mut out,
+            "pgl_jobs_total",
+            "counter",
+            "Jobs by terminal outcome (expired also counts as failed).",
+        );
+        for (outcome, n) in [
+            ("done", stats.done),
+            ("failed", stats.failed),
+            ("cancelled", stats.cancelled),
+            ("expired", stats.expired),
+        ] {
+            let _ = writeln!(out, "pgl_jobs_total{{outcome=\"{outcome}\"}} {n}");
+        }
+
+        family(
+            &mut out,
+            "pgl_cache_entries",
+            "gauge",
+            "Resident entries per cache tier.",
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_entries{{tier=\"layout\"}} {}",
+            stats.cache_entries
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_entries{{tier=\"graph\"}} {}",
+            stats.graph_entries
+        );
+        family(
+            &mut out,
+            "pgl_cache_bytes",
+            "gauge",
+            "Resident payload bytes per cache tier.",
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_bytes{{tier=\"layout\"}} {}",
+            stats.cache_bytes
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_bytes{{tier=\"graph\"}} {}",
+            stats.graph_bytes
+        );
+
+        // Hit ratio over every lookup that reached the tier (memory or
+        // disk hit ÷ all lookups); 0 before any traffic.
+        let ratio = |hits: u64, disk_hits: u64, misses: u64| {
+            let total = hits + disk_hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                (hits + disk_hits) as f64 / total as f64
+            }
+        };
+        family(
+            &mut out,
+            "pgl_cache_hit_ratio",
+            "gauge",
+            "Lookup hit ratio per cache tier (memory + disk hits over all lookups).",
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_hit_ratio{{tier=\"layout\"}} {:.4}",
+            ratio(stats.cache.hits, stats.cache.disk_hits, stats.cache.misses)
+        );
+        let _ = writeln!(
+            out,
+            "pgl_cache_hit_ratio{{tier=\"graph\"}} {:.4}",
+            ratio(
+                stats.graphs.hits,
+                stats.graphs.disk_hits,
+                stats.graphs.misses
+            )
+        );
+
+        family(
+            &mut out,
+            "pgl_disk_index_ops_total",
+            "counter",
+            "Disk-tier index operations, by tier and op.",
+        );
+        let tiers = [
+            ("layout", self.shared.cache.lock().unwrap().index_ops()),
+            ("graph", self.shared.graphs.lock().unwrap().index_ops()),
+        ];
+        for (tier, ops) in tiers {
+            let Some(ops) = ops else { continue };
+            for (op, n) in [
+                ("append", ops.appends),
+                ("snapshot", ops.snapshots),
+                ("rebuild_scan", ops.rebuild_scans),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "pgl_disk_index_ops_total{{tier=\"{tier}\",op=\"{op}\"}} {n}"
+                );
+            }
+        }
+        out
     }
 
     /// Registered engine names.
@@ -1003,21 +1212,31 @@ fn retire_job(shared: &Shared, id: JobId) {
     }
 }
 
-/// What the claim step decided about a popped job id.
+/// What the claim step decided about a popped job id. The run payload
+/// is boxed: it dwarfs the unit variants, and one allocation per
+/// claimed job is noise next to the layout it precedes.
 enum Claim {
     /// Run it: everything the engine needs, captured under the job lock.
-    Run {
-        engine: String,
-        config: layout_core::LayoutConfig,
-        batch_size: usize,
-        graph: Arc<LeanGraph>,
-        control: Arc<LayoutControl>,
-        key: CacheKey,
-    },
+    Run(Box<RunClaim>),
     /// Already terminal (e.g. cancelled between pop and claim), or gone.
     Skip,
     /// Still queued but past its queue TTL: failed without running.
     Expired,
+}
+
+struct RunClaim {
+    engine: String,
+    config: layout_core::LayoutConfig,
+    batch_size: usize,
+    graph: Arc<LeanGraph>,
+    control: Arc<LayoutControl>,
+    key: CacheKey,
+    /// Job submission instant — the trace's time origin.
+    submitted: Instant,
+    /// Microseconds the job waited in the queue (closed at claim).
+    queue_wait_us: u64,
+    /// Band index, for the per-band queue-wait histogram.
+    band: usize,
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -1064,27 +1283,25 @@ fn worker_loop(shared: &Arc<Shared>) {
                     Some(graph) => {
                         guard.state = JobState::Running;
                         guard.push_state_event(JobState::Running);
-                        Claim::Run {
+                        let now_us = guard.submitted.elapsed().as_micros() as u64;
+                        let queue_wait_us = guard.trace.end("queue_wait", now_us).unwrap_or(0);
+                        guard.trace.begin("layout", now_us);
+                        Claim::Run(Box::new(RunClaim {
                             engine: guard.engine.clone(),
                             config: guard.config.clone(),
                             batch_size: guard.batch_size,
                             graph,
                             control: Arc::clone(&guard.control),
                             key: guard.cache_key,
-                        }
+                            submitted: guard.submitted,
+                            queue_wait_us,
+                            band: guard.priority.band(),
+                        }))
                     }
                 }
             }
         };
-        let Claim::Run {
-            engine,
-            config,
-            batch_size,
-            graph,
-            control,
-            key,
-        } = claim
-        else {
+        let Claim::Run(run) = claim else {
             if matches!(claim, Claim::Expired) {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
                 shared.expired.fetch_add(1, Ordering::Relaxed);
@@ -1093,19 +1310,51 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue;
         };
+        let RunClaim {
+            engine,
+            config,
+            batch_size,
+            graph,
+            control,
+            key,
+            submitted,
+            queue_wait_us,
+            band,
+        } = *run;
+        shared.metrics.observe_queue_wait(band, queue_wait_us);
         shared.done_cv.notify_all(); // Running event is visible
                                      // Feed the engine's progress into the job's event log: the
                                      // observer runs on the engine thread, holds only the job mutex
                                      // briefly, and uses weak references so a retained closure can
-                                     // never keep a job (or the service) alive.
+                                     // never keep a job (or the service) alive. It also samples the
+                                     // engine's live telemetry at most once per
+                                     // `METRICS_EVENT_PERIOD`, so streaming watchers see updates/s
+                                     // without the event log scaling with iteration count.
         {
             let weak_job: Weak<Mutex<Job>> = Arc::downgrade(&job);
             let weak_shared: Weak<Shared> = Arc::downgrade(shared);
+            let weak_ctl: Weak<LayoutControl> = Arc::downgrade(&control);
+            let sample = Mutex::new((Instant::now(), 0u64));
             control.set_observer(move |progress| {
                 let Some(job) = weak_job.upgrade() else {
                     return;
                 };
-                let appended = job.lock().unwrap().push_progress_event(progress);
+                let mut appended = job.lock().unwrap().push_progress_event(progress);
+                if let Some(ctl) = weak_ctl.upgrade() {
+                    let mut last = sample.lock().unwrap();
+                    let dt = last.0.elapsed();
+                    if dt >= METRICS_EVENT_PERIOD {
+                        let terms = ctl.telemetry().terms_applied();
+                        let (iter, iter_max) = ctl.telemetry().iteration();
+                        let ups = terms.saturating_sub(last.1) as f64 / dt.as_secs_f64();
+                        *last = (Instant::now(), terms);
+                        drop(last);
+                        job.lock()
+                            .unwrap()
+                            .push_metrics_event(terms, ups, iter, iter_max);
+                        appended = true;
+                    }
+                }
                 if appended {
                     if let Some(shared) = weak_shared.upgrade() {
                         shared.done_cv.notify_all();
@@ -1120,17 +1369,35 @@ fn worker_loop(shared: &Arc<Shared>) {
         // clearing here (outside the job mutex) cannot race or deadlock.
         control.clear_observer();
         drop(graph);
+        let layout_end_us = submitted.elapsed().as_micros() as u64;
+        // The engine's applied-terms total moves from "live" to
+        // "finished" in the service aggregate (any outcome — partial
+        // work from a cancelled run still happened).
+        shared
+            .metrics
+            .add_terms_finished(control.telemetry().terms_applied());
 
         // Cache the result before touching the job record: the spill
         // write would otherwise run while holding the job mutex and
         // block every status poll on this job behind disk I/O.
+        let mut spill_span = None;
         if let Ok(layout) = &outcome {
+            let spill_start_us = submitted.elapsed().as_micros() as u64;
             cache_insert(shared, key, layout);
+            let spill_dur_us = (submitted.elapsed().as_micros() as u64) - spill_start_us;
+            shared.metrics.observe_phase("spill", spill_dur_us);
+            spill_span = Some((spill_start_us, spill_dur_us));
         }
 
         let mut guard = job.lock().unwrap();
         guard.finished = Some(Instant::now());
         guard.graph = None;
+        if let Some(layout_us) = guard.trace.end("layout", layout_end_us) {
+            shared.metrics.observe_phase("layout", layout_us);
+        }
+        if let Some((start, dur)) = spill_span {
+            guard.trace.record("spill", start, dur);
+        }
         match outcome {
             Ok(layout) => {
                 guard.result = Some(layout);
@@ -1144,6 +1411,15 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.cancelled.fetch_add(1, Ordering::Relaxed);
             }
             Err(Some(msg)) => {
+                obs::error(
+                    "service",
+                    "job failed",
+                    &[
+                        ("job", id.to_string()),
+                        ("engine", engine.clone()),
+                        ("error", msg.clone()),
+                    ],
+                );
                 guard.state = JobState::Failed;
                 guard.error = Some(msg);
                 guard.push_state_event(JobState::Failed);
