@@ -12,13 +12,32 @@
 //! counts — except wall time itself, so two runs on one machine are
 //! directly comparable and `--baseline` (a prior run's updates/sec)
 //! turns the report into a speedup statement.
+//!
+//! Schema `pgl-bench/2` (additive over `/1`):
+//!
+//! * per-record run statistics over `--repeat` timings — `wall_s_mean`,
+//!   `wall_s_stddev`, `cv`, `updates_per_sec_mean` — alongside the
+//!   historical best-of `wall_s`/`updates_per_sec`,
+//! * `simd`/`write_shard` booleans recording the resolved kernel shape,
+//! * multi-thread rows from `--threads-sweep`, plus a top-level
+//!   `host.cores` so scaling rows are interpretable,
+//! * optional `anchor_ratio` per record from `--ab` mode: each row's
+//!   repeats are interleaved with a fixed in-process *anchor* workload
+//!   (cpu / f64 / aos / 1 thread / scalar — present in every committed
+//!   baseline), and the row is summarized as its throughput relative to
+//!   the anchor's. Gating on the ratio makes multiplicative machine
+//!   drift (VM performance regimes, thermal state) cancel between a
+//!   baseline recorded yesterday and a candidate run today.
 
-use layout_core::{BatchEngine, CpuEngine, DataLayout, LayoutConfig, Precision};
+use layout_core::{BatchEngine, CpuEngine, DataLayout, LayoutConfig, Precision, Toggle};
 use pangraph::lean::LeanGraph;
 use workloads::{generate, PangenomeSpec};
 
 /// JSON schema tag; bump when the document shape changes.
-pub const BENCH_SCHEMA: &str = "pgl-bench/1";
+pub const BENCH_SCHEMA: &str = "pgl-bench/2";
+/// Previous schema tag, still accepted by [`validate_json`] and
+/// [`guard_against_baseline`] so older committed baselines keep working.
+pub const BENCH_SCHEMA_V1: &str = "pgl-bench/1";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -26,13 +45,23 @@ pub struct BenchOptions {
     /// Workload preset: `small`, `medium` or `large`.
     pub preset: String,
     /// Worker threads per run (0 ⇒ all cores). Keep fixed across runs
-    /// you intend to compare.
+    /// you intend to compare. Ignored when `threads_sweep` is set.
     pub threads: usize,
+    /// Thread counts to sweep; each produces its own headline rows.
+    /// Empty ⇒ just `threads`.
+    pub threads_sweep: Vec<usize>,
+    /// Sharded-write mode for cpu rows (auto ⇒ on at ≥ 4 threads).
+    pub write_shard: Toggle,
+    /// SIMD apply kernel for cpu rows (auto ⇒ on for multithreaded rows).
+    pub simd: Toggle,
     /// Schedule length per run.
     pub iters: u32,
-    /// Timed repetitions per configuration; the best (highest
-    /// updates/sec) is reported, standard practice for throughput.
+    /// Timed repetitions per configuration; the document reports both
+    /// the best repetition and mean/stddev across all of them.
     pub repeat: usize,
+    /// Interleaved A/B mode: alternate each row's repeats with anchor
+    /// runs and record the row:anchor throughput ratio.
+    pub ab: bool,
     /// CI smoke mode: a tiny graph, three iterations, and only the two
     /// headline configurations.
     pub quick: bool,
@@ -46,8 +75,12 @@ impl Default for BenchOptions {
         Self {
             preset: "medium".into(),
             threads: 1,
+            threads_sweep: Vec::new(),
+            write_shard: Toggle::Auto,
+            simd: Toggle::Auto,
             iters: 15,
             repeat: 2,
+            ab: false,
             quick: false,
             baseline_updates_per_sec: None,
         }
@@ -71,12 +104,30 @@ pub struct BenchRecord {
     pub batch: usize,
     /// Iterations run.
     pub iters: u32,
+    /// Resolved SIMD-kernel state of this row.
+    pub simd: bool,
+    /// Resolved sharded-write state of this row.
+    pub write_shard: bool,
     /// Terms actually applied.
     pub terms_applied: u64,
     /// Wall seconds of the best repetition.
     pub wall_s: f64,
-    /// Applied updates per second (the headline metric).
+    /// Applied updates per second of the best repetition (the headline
+    /// metric, schema-stable since `pgl-bench/1`).
     pub updates_per_sec: f64,
+    /// Mean wall seconds across all repetitions.
+    pub wall_s_mean: f64,
+    /// Wall-second standard deviation across repetitions.
+    pub wall_s_stddev: f64,
+    /// Coefficient of variation (`wall_s_stddev / wall_s_mean`) — the
+    /// run-to-run noise the guard folds into its tolerance.
+    pub cv: f64,
+    /// Mean applied updates per second (`terms_applied / wall_s_mean`;
+    /// the term count is deterministic per configuration).
+    pub updates_per_sec_mean: f64,
+    /// `--ab` mode: this row's mean throughput relative to the
+    /// interleaved anchor workload's mean throughput.
+    pub anchor_ratio: Option<f64>,
 }
 
 /// A full harness run.
@@ -94,6 +145,11 @@ pub struct BenchReport {
     pub quick: bool,
     /// Timed repetitions per configuration.
     pub repeat: usize,
+    /// Logical cores on the measuring host (thread-scaling rows beyond
+    /// this count measure oversubscription, not scaling).
+    pub host_cores: usize,
+    /// Interleaved A/B mode?
+    pub ab: bool,
     /// Reference updates/sec, when provided.
     pub baseline_updates_per_sec: Option<f64>,
     /// One record per measured configuration.
@@ -137,82 +193,156 @@ fn layout_label(l: DataLayout) -> &'static str {
     }
 }
 
-/// Run the harness: generate the preset, sweep the hot-path axes, and
-/// return the measured records. Progress lines go to stderr.
+/// Best/mean/stddev of a set of wall timings.
+fn wall_stats(walls: &[f64]) -> (f64, f64, f64) {
+    let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    let var = walls.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / walls.len() as f64;
+    (best, mean, var.sqrt())
+}
+
+/// Run the harness: generate the preset, sweep the hot-path axes (and
+/// the thread counts of `threads_sweep`), and return the measured
+/// records. Progress lines go to stderr.
 pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
     let spec = bench_spec(&opts.preset, opts.quick)?;
     eprintln!("pgl bench: generating {} ...", spec.name);
     let lean = LeanGraph::from_graph(&generate(&spec));
     let iters = if opts.quick { 3 } else { opts.iters };
     let repeat = opts.repeat.max(1);
+    let sweep: Vec<usize> = if opts.threads_sweep.is_empty() {
+        vec![opts.threads]
+    } else {
+        opts.threads_sweep.clone()
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let base_cfg = |precision, data_layout| LayoutConfig {
+    let base_cfg = |precision, data_layout, threads| LayoutConfig {
         iter_max: iters,
-        threads: opts.threads,
+        threads,
         precision,
         data_layout,
+        simd: opts.simd,
+        write_shard: opts.write_shard,
         seed: 0xBE9C_5EED,
         ..LayoutConfig::default()
     };
+    // The `--ab` anchor: the one configuration every committed baseline
+    // carries (cpu / f64 / aos / 1 thread, scalar kernel, unsharded).
+    let anchor_engine = CpuEngine::new(LayoutConfig {
+        simd: Toggle::Off,
+        write_shard: Toggle::Off,
+        ..base_cfg(Precision::F64, DataLayout::CacheFriendlyAos, 1)
+    });
 
-    // The sweep: the two headline rows first (the f64 baseline and the
-    // f32 fast path, both on the cache-friendly layout), then the SoA
-    // ablation rows and the batch engine — skipped in quick mode.
-    let mut cpu_rows = vec![
-        (Precision::F64, DataLayout::CacheFriendlyAos),
-        (Precision::F32, DataLayout::CacheFriendlyAos),
-    ];
-    if !opts.quick {
-        cpu_rows.push((Precision::F64, DataLayout::OriginalSoa));
-        cpu_rows.push((Precision::F32, DataLayout::OriginalSoa));
-    }
-
-    let mut results = Vec::new();
-    for (precision, data_layout) in cpu_rows {
-        let cfg = base_cfg(precision, data_layout);
-        let engine = CpuEngine::new(cfg.clone());
-        let mut best: Option<BenchRecord> = None;
+    // Time one runner `repeat` times; in `--ab` mode alternate with
+    // anchor runs so candidate and anchor sample the same machine
+    // regime, and summarize the row as a ratio against the anchor.
+    let measure = |run: &dyn Fn() -> (f64, u64)| -> (Vec<f64>, u64, Option<f64>) {
+        let mut walls = Vec::new();
+        let mut anchor_walls = Vec::new();
+        let mut terms = 0u64;
+        let mut anchor_terms = 0u64;
         for _ in 0..repeat {
-            let (_, report) = engine.run(&lean);
-            let rec = BenchRecord {
-                engine: "cpu".into(),
-                precision: precision.label().into(),
-                layout: layout_label(data_layout).into(),
-                threads: report.threads,
-                term_block: cfg.resolved_term_block(),
-                batch: 0,
-                iters,
-                terms_applied: report.terms_applied,
-                wall_s: report.wall.as_secs_f64(),
-                updates_per_sec: report.updates_per_sec(),
-            };
-            if best
-                .as_ref()
-                .is_none_or(|b| rec.updates_per_sec > b.updates_per_sec)
-            {
-                best = Some(rec);
+            let (w, t) = run();
+            walls.push(w);
+            terms = t;
+            if opts.ab {
+                let (_, rep) = anchor_engine.run(&lean);
+                anchor_walls.push(rep.wall.as_secs_f64());
+                anchor_terms = rep.terms_applied;
             }
         }
-        let rec = best.expect("repeat >= 1");
+        let anchor_ratio = (!anchor_walls.is_empty()).then(|| {
+            let (_, a_mean, _) = wall_stats(&anchor_walls);
+            let (_, c_mean, _) = wall_stats(&walls);
+            (terms as f64 / c_mean.max(1e-12)) / (anchor_terms as f64 / a_mean.max(1e-12))
+        });
+        (walls, terms, anchor_ratio)
+    };
+
+    let finish_record = |mut rec: BenchRecord, walls: &[f64]| -> BenchRecord {
+        let (best, mean, stddev) = wall_stats(walls);
+        rec.wall_s = best;
+        rec.updates_per_sec = rec.terms_applied as f64 / best.max(1e-12);
+        rec.wall_s_mean = mean;
+        rec.wall_s_stddev = stddev;
+        rec.cv = stddev / mean.max(1e-12);
+        rec.updates_per_sec_mean = rec.terms_applied as f64 / mean.max(1e-12);
         eprintln!(
-            "  cpu   {:>3} {:>3}  {:>8.2} ms  {:>6.2} M updates/s",
+            "  {:<5} {:>3} {:>3} {:>2}t  {:>8.2} ms  {:>6.2} M updates/s  (cv {:.1}%{})",
+            rec.engine,
             rec.precision,
             rec.layout,
-            rec.wall_s * 1e3,
-            rec.updates_per_sec / 1e6
+            rec.threads,
+            rec.wall_s_mean * 1e3,
+            rec.updates_per_sec_mean / 1e6,
+            rec.cv * 100.0,
+            rec.anchor_ratio
+                .map(|r| format!(", {r:.3}x anchor"))
+                .unwrap_or_default()
         );
-        results.push(rec);
+        rec
+    };
+
+    let mut results = Vec::new();
+    for (ti, &threads) in sweep.iter().enumerate() {
+        // The headline rows at every thread count (the f64 baseline and
+        // the f32 fast path, both cache-friendly); the SoA ablation rows
+        // only once, at the sweep's first thread count, and never in
+        // quick mode.
+        let mut cpu_rows = vec![
+            (Precision::F64, DataLayout::CacheFriendlyAos),
+            (Precision::F32, DataLayout::CacheFriendlyAos),
+        ];
+        if ti == 0 && !opts.quick {
+            cpu_rows.push((Precision::F64, DataLayout::OriginalSoa));
+            cpu_rows.push((Precision::F32, DataLayout::OriginalSoa));
+        }
+        for (precision, data_layout) in cpu_rows {
+            let cfg = base_cfg(precision, data_layout, threads);
+            let engine = CpuEngine::new(cfg.clone());
+            let (walls, terms, anchor_ratio) = measure(&|| {
+                let (_, report) = engine.run(&lean);
+                (report.wall.as_secs_f64(), report.terms_applied)
+            });
+            results.push(finish_record(
+                BenchRecord {
+                    engine: "cpu".into(),
+                    precision: precision.label().into(),
+                    layout: layout_label(data_layout).into(),
+                    threads: cfg.resolved_threads(),
+                    term_block: cfg.resolved_term_block(),
+                    batch: 0,
+                    iters,
+                    simd: cfg.resolved_simd(),
+                    write_shard: cfg.resolved_write_shard(),
+                    terms_applied: terms,
+                    wall_s: 0.0,
+                    updates_per_sec: 0.0,
+                    wall_s_mean: 0.0,
+                    wall_s_stddev: 0.0,
+                    cv: 0.0,
+                    updates_per_sec_mean: 0.0,
+                    anchor_ratio,
+                },
+                &walls,
+            ));
+        }
     }
 
     if !opts.quick {
-        let cfg = base_cfg(Precision::F64, DataLayout::CacheFriendlyAos);
+        let cfg = base_cfg(Precision::F64, DataLayout::CacheFriendlyAos, 1);
         let batch_size = 1024;
         let engine = BatchEngine::new(cfg.clone(), batch_size);
-        let mut best: Option<BenchRecord> = None;
-        for _ in 0..repeat {
+        let (walls, terms, anchor_ratio) = measure(&|| {
             let (_, report) = engine.run(&lean);
-            let wall_s = report.wall.as_secs_f64();
-            let rec = BenchRecord {
+            (report.wall.as_secs_f64(), report.terms_applied)
+        });
+        results.push(finish_record(
+            BenchRecord {
                 engine: "batch".into(),
                 precision: Precision::F64.label().into(),
                 layout: layout_label(DataLayout::CacheFriendlyAos).into(),
@@ -220,26 +350,19 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
                 term_block: batch_size,
                 batch: batch_size,
                 iters,
-                terms_applied: report.terms_applied,
-                wall_s,
-                updates_per_sec: report.terms_applied as f64 / wall_s.max(1e-12),
-            };
-            if best
-                .as_ref()
-                .is_none_or(|b| rec.updates_per_sec > b.updates_per_sec)
-            {
-                best = Some(rec);
-            }
-        }
-        let rec = best.expect("repeat >= 1");
-        eprintln!(
-            "  batch {:>3} {:>3}  {:>8.2} ms  {:>6.2} M updates/s",
-            rec.precision,
-            rec.layout,
-            rec.wall_s * 1e3,
-            rec.updates_per_sec / 1e6
-        );
-        results.push(rec);
+                simd: false,
+                write_shard: false,
+                terms_applied: terms,
+                wall_s: 0.0,
+                updates_per_sec: 0.0,
+                wall_s_mean: 0.0,
+                wall_s_stddev: 0.0,
+                cv: 0.0,
+                updates_per_sec_mean: 0.0,
+                anchor_ratio,
+            },
+            &walls,
+        ));
     }
 
     Ok(BenchReport {
@@ -253,6 +376,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
         steps: lean.total_steps(),
         quick: opts.quick,
         repeat,
+        host_cores,
+        ab: opts.ab,
         baseline_updates_per_sec: opts.baseline_updates_per_sec,
         results,
     })
@@ -278,6 +403,11 @@ pub fn to_json(report: &BenchReport) -> String {
     ));
     out.push_str(&format!("  \"quick\": {},\n", report.quick));
     out.push_str(&format!("  \"repeat\": {},\n", report.repeat));
+    out.push_str(&format!(
+        "  \"host\": {{\"cores\": {}}},\n",
+        report.host_cores
+    ));
+    out.push_str(&format!("  \"ab\": {},\n", report.ab));
     match report.baseline_updates_per_sec {
         Some(b) => out.push_str(&format!(
             "  \"baseline_updates_per_sec\": {},\n",
@@ -294,7 +424,10 @@ pub fn to_json(report: &BenchReport) -> String {
         out.push_str(&format!(
             "    {{\"engine\": \"{}\", \"precision\": \"{}\", \"layout\": \"{}\", \
              \"threads\": {}, \"term_block\": {}, \"batch\": {}, \"iters\": {}, \
+             \"simd\": {}, \"write_shard\": {}, \
              \"terms_applied\": {}, \"wall_s\": {}, \"updates_per_sec\": {}, \
+             \"wall_s_mean\": {}, \"wall_s_stddev\": {}, \"cv\": {}, \
+             \"updates_per_sec_mean\": {}, \"anchor_ratio\": {}, \
              \"speedup_vs_baseline\": {}}}{}\n",
             r.engine,
             r.precision,
@@ -303,9 +436,18 @@ pub fn to_json(report: &BenchReport) -> String {
             r.term_block,
             r.batch,
             r.iters,
+            r.simd,
+            r.write_shard,
             r.terms_applied,
             json_f64(r.wall_s),
             json_f64(r.updates_per_sec),
+            json_f64(r.wall_s_mean),
+            json_f64(r.wall_s_stddev),
+            json_f64(r.cv),
+            json_f64(r.updates_per_sec_mean),
+            r.anchor_ratio
+                .map(json_f64)
+                .unwrap_or_else(|| "null".into()),
             speedup,
             if i + 1 == report.results.len() {
                 ""
@@ -320,12 +462,18 @@ pub fn to_json(report: &BenchReport) -> String {
 
 /// Structural validation of a `BENCH_*.json` document — what the CI
 /// smoke job runs against the artifact it just produced. Not a general
-/// JSON parser: it checks the schema tag, brace/bracket balance, that
-/// at least one result record is present, and that every record carries
-/// the required keys with a positive `updates_per_sec`.
+/// JSON parser: it checks the schema tag (`pgl-bench/2`, or `/1` for
+/// older committed baselines), brace/bracket balance, that at least one
+/// result record is present, and that every record carries the required
+/// keys — including the `/2` statistics keys for `/2` documents — with
+/// a positive `updates_per_sec`.
 pub fn validate_json(text: &str) -> Result<(), String> {
-    if !text.contains(&format!("\"schema\": \"{BENCH_SCHEMA}\"")) {
-        return Err(format!("missing schema tag {BENCH_SCHEMA:?}"));
+    let v2 = text.contains(&format!("\"schema\": \"{BENCH_SCHEMA}\""));
+    let v1 = text.contains(&format!("\"schema\": \"{BENCH_SCHEMA_V1}\""));
+    if !v2 && !v1 {
+        return Err(format!(
+            "missing schema tag ({BENCH_SCHEMA:?} or {BENCH_SCHEMA_V1:?})"
+        ));
     }
     let mut depth_brace = 0i64;
     let mut depth_bracket = 0i64;
@@ -362,16 +510,27 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     if records.is_empty() {
         return Err("no result records".into());
     }
+    let mut required: Vec<&str> = vec![
+        "\"precision\":",
+        "\"layout\":",
+        "\"threads\":",
+        "\"term_block\":",
+        "\"iters\":",
+        "\"wall_s\":",
+        "\"updates_per_sec\":",
+    ];
+    if v2 {
+        required.extend([
+            "\"wall_s_mean\":",
+            "\"wall_s_stddev\":",
+            "\"cv\":",
+            "\"updates_per_sec_mean\":",
+            "\"simd\":",
+            "\"write_shard\":",
+        ]);
+    }
     for (i, rec) in records.iter().enumerate() {
-        for key in [
-            "\"precision\":",
-            "\"layout\":",
-            "\"threads\":",
-            "\"term_block\":",
-            "\"iters\":",
-            "\"wall_s\":",
-            "\"updates_per_sec\":",
-        ] {
+        for key in &required {
             if !rec.contains(key) {
                 return Err(format!("record {i} missing {key}"));
             }
@@ -407,22 +566,50 @@ fn json_num_field(rec: &str, key: &str) -> Option<f64> {
     rec[at..].split([',', '}']).next()?.trim().parse().ok()
 }
 
+/// One baseline row as parsed from a committed `BENCH_*.json`.
+struct BaselineRow {
+    engine: String,
+    precision: String,
+    layout: String,
+    threads: usize,
+    /// Best-of updates/sec (present since `pgl-bench/1`).
+    ups_best: f64,
+    /// Mean updates/sec (`pgl-bench/2`).
+    ups_mean: Option<f64>,
+    /// Coefficient of variation (`pgl-bench/2`).
+    cv: Option<f64>,
+    /// Anchor-relative throughput (`pgl-bench/2`, `--ab` runs).
+    anchor_ratio: Option<f64>,
+}
+
 /// Compare a fresh run against a committed `BENCH_*.json` baseline and
 /// fail when any matching configuration (same engine, precision, memory
-/// layout, and thread count) has regressed by more than `tolerance`
-/// (relative; e.g. `0.02` = 2%). Configurations present on only one
-/// side are reported but never fail the guard — presets and sweeps may
-/// legitimately grow between PRs. Returns a human-readable comparison
-/// table on success.
+/// layout, and thread count) has regressed beyond tolerance.
+/// Configurations present on only one side are reported but never fail
+/// the guard — presets and sweeps may legitimately grow between PRs.
+/// Returns a human-readable comparison table on success.
+///
+/// The comparison is statistics-aware where the documents allow:
+///
+/// * **means over best-of** — when both sides carry `/2` statistics the
+///   guard compares `updates_per_sec_mean`, falling back to the
+///   best-of numbers against `/1` baselines;
+/// * **noise-widened tolerance** — the effective tolerance per row is
+///   `tolerance + 2·√(cv_candidate² + cv_baseline²)`: two runs whose
+///   difference is within two standard deviations of their combined
+///   run-to-run noise cannot fail the gate;
+/// * **anchor ratios** (`--ab` runs) — when both sides recorded an
+///   `anchor_ratio`, the gate compares those ratios instead of raw
+///   throughput, so a machine-wide performance-regime shift between
+///   baseline time and candidate time cancels out.
 pub fn guard_against_baseline(
     report: &BenchReport,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
     validate_json(baseline_json).map_err(|e| format!("baseline document invalid: {e}"))?;
-    // (engine, precision, layout, threads) -> baseline updates/sec,
-    // parsed with the same flat-record idiom as `validate_json`.
-    let baseline: Vec<(String, String, String, usize, f64)> = baseline_json
+    // Parsed with the same flat-record idiom as `validate_json`.
+    let baseline: Vec<BaselineRow> = baseline_json
         .split("{\"engine\":")
         .skip(1)
         .filter_map(|chunk| {
@@ -433,39 +620,58 @@ pub fn guard_against_baseline(
                 .chars()
                 .take_while(|c| *c != '"')
                 .collect();
-            Some((
+            Some(BaselineRow {
                 engine,
-                json_str_field(rec, "precision")?,
-                json_str_field(rec, "layout")?,
-                json_num_field(rec, "threads")? as usize,
-                json_num_field(rec, "updates_per_sec")?,
-            ))
+                precision: json_str_field(rec, "precision")?,
+                layout: json_str_field(rec, "layout")?,
+                threads: json_num_field(rec, "threads")? as usize,
+                ups_best: json_num_field(rec, "updates_per_sec")?,
+                ups_mean: json_num_field(rec, "updates_per_sec_mean"),
+                cv: json_num_field(rec, "cv"),
+                anchor_ratio: json_num_field(rec, "anchor_ratio"),
+            })
         })
         .collect();
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
     for r in &report.results {
         let key = format!("{}/{}/{}/{}t", r.engine, r.precision, r.layout, r.threads);
-        let Some((.., base_ups)) = baseline.iter().find(|(e, p, l, t, _)| {
-            *e == r.engine && *p == r.precision && *l == r.layout && *t == r.threads
+        let Some(base) = baseline.iter().find(|b| {
+            b.engine == r.engine
+                && b.precision == r.precision
+                && b.layout == r.layout
+                && b.threads == r.threads
         }) else {
             lines.push(format!("  {key:<20} no baseline row (skipped)"));
             continue;
         };
-        let ratio = r.updates_per_sec / base_ups.max(1e-12);
+        // Means when both sides have them, else the v1 best-of numbers.
+        let (cand_val, base_val) = match base.ups_mean {
+            Some(bm) if r.updates_per_sec_mean > 0.0 => (r.updates_per_sec_mean, bm),
+            _ => (r.updates_per_sec, base.ups_best),
+        };
+        // Widen the gate by the combined run-to-run noise of both sides.
+        let noise = (r.cv.powi(2) + base.cv.unwrap_or(0.0).powi(2)).sqrt();
+        let tol_eff = tolerance + 2.0 * noise;
+        let (ratio, mode) = match (r.anchor_ratio, base.anchor_ratio) {
+            (Some(c), Some(b)) if b > 0.0 => (c / b, "anchor-paired"),
+            _ => (cand_val / base_val.max(1e-12), "raw"),
+        };
         lines.push(format!(
-            "  {key:<20} {:>7.2}M vs {:>7.2}M updates/s  ({:+.1}%)",
-            r.updates_per_sec / 1e6,
-            base_ups / 1e6,
-            (ratio - 1.0) * 100.0
+            "  {key:<20} {:>7.2}M vs {:>7.2}M updates/s  ({:+.1}% {mode}, tol {:.1}%)",
+            cand_val / 1e6,
+            base_val / 1e6,
+            (ratio - 1.0) * 100.0,
+            tol_eff * 100.0
         ));
-        if ratio < 1.0 - tolerance {
+        if ratio < 1.0 - tol_eff {
             regressions.push(format!(
-                "{key}: {:.2}M vs baseline {:.2}M updates/s ({:.1}% below, tolerance {:.1}%)",
-                r.updates_per_sec / 1e6,
-                base_ups / 1e6,
+                "{key}: {:.2}M vs baseline {:.2}M updates/s \
+                 ({:.1}% below via {mode} comparison, tolerance {:.1}%)",
+                cand_val / 1e6,
+                base_val / 1e6,
                 (1.0 - ratio) * 100.0,
-                tolerance * 100.0
+                tol_eff * 100.0
             ));
         }
     }
@@ -537,6 +743,7 @@ mod tests {
         let mut inflated = report.clone();
         for r in &mut inflated.results {
             r.updates_per_sec *= 10.0;
+            r.updates_per_sec_mean *= 10.0;
         }
         let err = guard_against_baseline(&report, &to_json(&inflated), GUARD_DEFAULT_TOLERANCE)
             .unwrap_err();
@@ -563,5 +770,125 @@ mod tests {
         assert!(validate_json(&zeroed).is_err(), "non-positive rate");
         let missing = good.replace("\"wall_s\":", "\"wall\":");
         assert!(validate_json(&missing).is_err(), "missing key");
+        // A /2 document must carry the statistics keys.
+        let no_stats = good.replace("\"wall_s_mean\":", "\"wall_mean\":");
+        assert!(validate_json(&no_stats).is_err(), "missing /2 key");
+    }
+
+    /// A hand-written `pgl-bench/1` document, as committed by older PRs.
+    fn v1_doc(ups: f64) -> String {
+        format!(
+            "{{\n  \"schema\": \"pgl-bench/1\",\n  \"preset\": \"quick\",\n  \
+             \"results\": [\n    {{\"engine\": \"cpu\", \"precision\": \"f64\", \
+             \"layout\": \"aos\", \"threads\": 1, \"term_block\": 256, \"batch\": 0, \
+             \"iters\": 3, \"terms_applied\": 100, \"wall_s\": 0.01, \
+             \"updates_per_sec\": {ups:.1}}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn v1_baselines_are_still_accepted() {
+        assert!(validate_json(&v1_doc(1e6)).is_ok());
+        let report = run_bench(&quick_opts()).unwrap();
+        // A tiny v1 baseline: the matching row passes via the raw
+        // (best-of) fallback; the rest are skipped.
+        let summary = guard_against_baseline(&report, &v1_doc(1.0), 0.02).unwrap();
+        assert!(summary.contains("raw"), "{summary}");
+        assert!(summary.contains("no baseline row"), "{summary}");
+        // An absurdly fast v1 baseline still fails the gate.
+        let err = guard_against_baseline(&report, &v1_doc(1e15), 0.02).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn threads_sweep_emits_rows_per_thread_count() {
+        let mut opts = quick_opts();
+        opts.threads_sweep = vec![1, 2];
+        let report = run_bench(&opts).unwrap();
+        let counts: Vec<usize> = report.results.iter().map(|r| r.threads).collect();
+        assert_eq!(counts, vec![1, 1, 2, 2], "two headline rows per count");
+        assert!(report.host_cores >= 1);
+        // Multithreaded rows resolve the auto toggles.
+        let row2 = report.results.iter().find(|r| r.threads == 2).unwrap();
+        assert!(row2.simd, "simd auto-on for multithread rows");
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"host\": {\"cores\":"));
+    }
+
+    #[test]
+    fn record_statistics_are_consistent() {
+        let mut opts = quick_opts();
+        opts.repeat = 3;
+        let report = run_bench(&opts).unwrap();
+        for r in &report.results {
+            assert!(r.wall_s <= r.wall_s_mean, "best-of cannot exceed the mean");
+            assert!(r.wall_s_stddev >= 0.0);
+            assert!((r.cv - r.wall_s_stddev / r.wall_s_mean).abs() < 1e-12);
+            assert!(r.updates_per_sec_mean <= r.updates_per_sec * (1.0 + 1e-9));
+            assert!(r.anchor_ratio.is_none(), "no anchor outside --ab");
+        }
+    }
+
+    #[test]
+    fn ab_mode_records_anchor_ratios_and_guard_pairs_them() {
+        let mut opts = quick_opts();
+        opts.ab = true;
+        let report = run_bench(&opts).unwrap();
+        assert!(report.ab);
+        for r in &report.results {
+            let ratio = r.anchor_ratio.expect("--ab records a ratio");
+            assert!(ratio > 0.0);
+        }
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        // Against its own document the paired ratio is exactly 1.0.
+        let summary = guard_against_baseline(&report, &json, GUARD_DEFAULT_TOLERANCE).unwrap();
+        assert!(summary.contains("anchor-paired"), "{summary}");
+        // Uniform machine drift: both the row and the anchor slow down
+        // 3x. Raw throughput craters, but the paired ratio is unchanged,
+        // so the gate must still pass.
+        let mut drifted = report.clone();
+        for r in &mut drifted.results {
+            r.updates_per_sec /= 3.0;
+            r.updates_per_sec_mean /= 3.0;
+            // anchor_ratio unchanged: the anchor drifted identically.
+        }
+        let summary = guard_against_baseline(&drifted, &json, GUARD_DEFAULT_TOLERANCE).unwrap();
+        assert!(summary.contains("anchor-paired"), "{summary}");
+        // A genuine relative regression (ratio drop) still fails even
+        // though raw throughput looks fine.
+        let mut slower = report.clone();
+        for r in &mut slower.results {
+            r.anchor_ratio = r.anchor_ratio.map(|x| x * 0.5);
+        }
+        let err = guard_against_baseline(&slower, &json, GUARD_DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("anchor-paired"), "{err}");
+    }
+
+    #[test]
+    fn noisy_runs_widen_the_gate() {
+        let report = run_bench(&quick_opts()).unwrap();
+        // Baseline 8% faster than the candidate with zero recorded
+        // noise: a clear regression at a 2% gate.
+        let mut faster = report.clone();
+        for r in &mut faster.results {
+            r.updates_per_sec_mean *= 1.08;
+            r.updates_per_sec *= 1.08;
+            r.cv = 0.0;
+        }
+        let mut quiet = report.clone();
+        for r in &mut quiet.results {
+            r.cv = 0.0;
+        }
+        assert!(guard_against_baseline(&quiet, &to_json(&faster), 0.02).is_err());
+        // The same gap with 5% run-to-run noise on the baseline side is
+        // within 2σ of the combined noise: the gate must not fail.
+        let mut noisy = faster.clone();
+        for r in &mut noisy.results {
+            r.cv = 0.05;
+        }
+        let summary = guard_against_baseline(&quiet, &to_json(&noisy), 0.02).unwrap();
+        assert!(summary.contains("tol"), "{summary}");
     }
 }

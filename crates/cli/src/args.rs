@@ -29,6 +29,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--resume",
     "--watch",
     "--quick",
+    "--ab",
     "--log-json",
     "--help",
     "-h",
@@ -63,6 +64,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--preload-graphs",
     "--from",
     "--term-block",
+    "--threads-sweep",
+    "--simd",
+    "--write-shard",
     "--baseline",
     "--repeat",
     "--validate",
@@ -279,6 +283,16 @@ mod tests {
         assert_eq!(p.parse_or("--term-block", 256usize).unwrap(), 128);
         assert_eq!(p.parse_or("--baseline", 0.0f64).unwrap(), 8.2e6);
         assert_eq!(p.parse_or("--repeat", 1usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn simd_and_sharding_flags_parse() {
+        let p = parse("--threads-sweep 1,2,4 --simd on --write-shard off --ab");
+        p.validate().unwrap();
+        assert_eq!(p.value("--threads-sweep").unwrap(), "1,2,4");
+        assert_eq!(p.value("--simd").unwrap(), "on");
+        assert_eq!(p.value("--write-shard").unwrap(), "off");
+        assert!(p.has("--ab"));
     }
 
     #[test]

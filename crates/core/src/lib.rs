@@ -31,11 +31,12 @@ pub mod init;
 pub mod sampler;
 pub mod scalar;
 pub mod schedule;
+pub mod simd;
 pub mod sort1d;
 pub mod step;
 
 pub use batch::{BatchEngine, BatchReport, KernelOp};
-pub use config::{LayoutConfig, PairSelection};
+pub use config::{LayoutConfig, PairSelection, Toggle};
 pub use control::{EngineTelemetry, LayoutControl};
 pub use coords::{CoordStore, DataLayout, Precision};
 pub use cpu::{CpuEngine, RunReport};

@@ -17,7 +17,7 @@
 //! ignored).
 
 use crate::job::GraphSpec;
-use layout_core::{DataLayout, LayoutConfig, Precision};
+use layout_core::{DataLayout, LayoutConfig, Precision, Toggle};
 use pangraph::store::ContentHash;
 use std::fmt;
 use std::sync::Arc;
@@ -198,7 +198,7 @@ impl std::error::Error for SpecError {}
 /// Query parameters the job-submission routes define. Anything else is
 /// a [`SpecError::UnknownParam`] under `/v1` (the HTTP dispatcher uses
 /// this as the submission routes' allowlist).
-pub(crate) const KNOWN_PARAMS: [&str; 12] = [
+pub(crate) const KNOWN_PARAMS: [&str; 14] = [
     "engine",
     "iters",
     "threads",
@@ -207,6 +207,8 @@ pub(crate) const KNOWN_PARAMS: [&str; 12] = [
     "soa",
     "precision",
     "term_block",
+    "simd",
+    "write_shard",
     "graph",
     "priority",
     "client",
@@ -280,6 +282,20 @@ pub fn parse_job_spec(
             param: "precision",
             value: v.to_string(),
             expected: "f32 | f64",
+        })?;
+    }
+    if let Some(v) = get("simd") {
+        config.simd = Toggle::parse_name(v).ok_or(SpecError::BadValue {
+            param: "simd",
+            value: v.to_string(),
+            expected: "auto | on | off",
+        })?;
+    }
+    if let Some(v) = get("write_shard") {
+        config.write_shard = Toggle::parse_name(v).ok_or(SpecError::BadValue {
+            param: "write_shard",
+            value: v.to_string(),
+            expected: "auto | on | off",
         })?;
     }
     parse_param!("term_block", config.term_block, "a non-negative integer");
@@ -364,6 +380,8 @@ mod tests {
             ("batch", "256"),
             ("precision", "f32"),
             ("term_block", "64"),
+            ("simd", "on"),
+            ("write_shard", "off"),
             ("graph", &id.hex()),
             ("priority", "interactive"),
             ("client", "alice"),
@@ -376,6 +394,8 @@ mod tests {
         assert_eq!(spec.config.seed, 7);
         assert_eq!(spec.config.precision, Precision::F32);
         assert_eq!(spec.config.term_block, 64);
+        assert_eq!(spec.config.simd, Toggle::On);
+        assert_eq!(spec.config.write_shard, Toggle::Off);
         assert_eq!(spec.batch_size, 256);
         assert!(matches!(spec.graph, GraphSpec::Stored(h) if h == id));
         assert_eq!(spec.priority, Priority::Interactive);
@@ -418,6 +438,8 @@ mod tests {
             ("ttl_ms", "-4"),
             ("batch", "x"),
             ("precision", "f16"),
+            ("simd", "yes"),
+            ("write_shard", "maybe"),
             ("term_block", "many"),
             ("term_block", "99999999999"),
         ] {
