@@ -73,6 +73,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--log-level",
     "--guard",
     "--tolerance",
+    "--join",
+    "--advertise",
+    "--cache-ttl",
+    "--graph-quota",
+    "--heartbeat-ms",
 ];
 
 impl ArgParser {
@@ -196,6 +201,17 @@ mod tests {
         p.validate().unwrap();
         assert!(p.has("--gpu"));
         assert_eq!(p.pos(0, "gfa").unwrap(), "file.gfa");
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        let p = parse("--join 127.0.0.1:7979 --advertise 10.0.0.2:7878 --heartbeat-ms 500 --cache-ttl 3600 --graph-quota 2");
+        p.validate().unwrap();
+        assert_eq!(p.value("--join").unwrap(), "127.0.0.1:7979");
+        assert_eq!(p.value("--advertise").unwrap(), "10.0.0.2:7878");
+        assert_eq!(p.parse_or("--heartbeat-ms", 2000u64).unwrap(), 500);
+        assert_eq!(p.parse_or("--cache-ttl", 0u64).unwrap(), 3600);
+        assert_eq!(p.parse_or("--graph-quota", 0usize).unwrap(), 2);
     }
 
     #[test]

@@ -72,8 +72,10 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         "tsv" => "pgl tsv <in.lay> -o <out.tsv>\nExport layout coordinates as TSV.",
         "serve" => {
             "pgl serve [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
-             \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
+             \u{20}         [--cache-dir DIR] [--cache-max-bytes N] [--cache-ttl SECS]\n\
+             \u{20}         [--preload-graphs DIR] [--graph-quota N]\n\
              \u{20}         [--max-conns N] [--keep-alive SECS] [--rate-limit REQ_PER_SEC]\n\
+             \u{20}         [--join COORD_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]\n\
              \u{20}         [--log-level debug|info|warn|error|off] [--log-json]\n\
              Serve layouts over HTTP. The API is versioned under /v1 (unversioned\n\
              paths remain as deprecated aliases). Upload-once workflow: POST\n\
@@ -98,7 +100,11 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              content-addressed layout cache (capacity --cache, default 64); --graphs\n\
              bounds resident parsed graphs (default 16, 0 = unbounded); --cache-dir\n\
              adds disk tiers for both that survive restarts, each capped at\n\
-             --cache-max-bytes (oldest spills evicted first; 0 = unbounded).\n\
+             --cache-max-bytes (oldest spills evicted first; 0 = unbounded) and\n\
+             aged out by --cache-ttl seconds (0 = keep forever; expiries are\n\
+             counted in /stats as disk_ttl_evictions). --graph-quota N caps\n\
+             concurrently running jobs per graph (0 = unlimited), so one hot\n\
+             graph cannot monopolize the worker pool.\n\
              Connections are bounded: --max-conns handler threads (default 64) plus\n\
              an equal-sized queue; beyond that the server sheds load with 503 +\n\
              Retry-After. --rate-limit N throttles each client IP to N req/s (429\n\
@@ -110,7 +116,40 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              GET /v1/jobs/<id>/trace returns the job's phase timeline (queue wait,\n\
              parse, layout, spill — offsets + durations); /v1/metrics serves\n\
              Prometheus text with sliding-window latency/phase histograms, queue\n\
-             and cache gauges, and live engine updates/s."
+             and cache gauges, and live engine updates/s.\n\
+             --join COORD_ADDR enrolls this server as a worker in a pgl\n\
+             coordinator fleet: it registers, heartbeats on the coordinator's\n\
+             interval (--heartbeat-ms is only the initial cadence), and reports\n\
+             role/coordinator/last-heartbeat age in /healthz. --advertise is the\n\
+             address the coordinator forwards jobs to (default: 127.0.0.1 with\n\
+             the bound port — set it when workers are on other hosts)."
+        }
+        "coordinator" => {
+            "pgl coordinator [--addr HOST] [--port N] [--heartbeat-ms N] [--max-conns N]\n\
+             \u{20}               [--graph-quota N] [--log-level debug|info|warn|error|off]\n\
+             \u{20}               [--log-json]\n\
+             Run the cluster coordinator: speaks the same /v1 surface as pgl serve\n\
+             and routes each job across a fleet of pgl serve --join workers.\n\
+             Placement is rendezvous (consistent) hashing on the job's graph\n\
+             content hash, so every job for a graph lands on the worker whose\n\
+             caches already hold it, and membership changes remap only ~1/N of\n\
+             graphs. POST /v1/graphs interns GFA at the coordinator; job bodies\n\
+             are forwarded by reference and the graph is pushed to the owning\n\
+             worker on its first miss. Inline-GFA submissions are interned\n\
+             transparently. Workers heartbeat every --heartbeat-ms (default\n\
+             2000); after 3 missed intervals a worker is declared dead, its\n\
+             in-flight jobs are requeued and re-routed to the next worker in the\n\
+             ring order (at-least-once; a job is failed after 5 attempts).\n\
+             Queueing is the same fair scheduler as a single server — priority\n\
+             bands, deficit round-robin across clients, optional --graph-quota\n\
+             cap on concurrently forwarded jobs per graph — now fleet-wide.\n\
+             GET /v1/jobs/<id>, /events, /trace, /result/<id> proxy to the\n\
+             owning worker with ids rewritten; an event stream held across a\n\
+             worker death re-attaches to the replacement and replays from\n\
+             sequence 0. GET /v1/stats aggregates per-worker queue depth, cache\n\
+             hit ratios, and pgl_engine_* telemetry into a fleet rollup;\n\
+             /v1/metrics exposes pgl_coord_* counters; /v1/healthz reports\n\
+             role=coordinator plus alive/total worker counts."
         }
         "bench" => {
             "pgl bench [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
@@ -392,12 +431,15 @@ pub fn serve(p: ArgParser) -> CmdResult {
         p.value("--addr").unwrap_or("127.0.0.1"),
         p.parse_or("--port", 7878u16)?
     );
+    let cache_ttl_secs = p.parse_or("--cache-ttl", 0u64)?;
     let cfg = ServiceConfig {
         workers: p.parse_or("--workers", 0usize)?,
         cache_entries: p.parse_or("--cache", 64usize)?,
         graph_entries: p.parse_or("--graphs", 16usize)?,
         cache_dir: p.value("--cache-dir").map(std::path::PathBuf::from),
         cache_max_bytes: p.parse_or("--cache-max-bytes", 0u64)?,
+        cache_ttl: (cache_ttl_secs > 0).then(|| std::time::Duration::from_secs(cache_ttl_secs)),
+        graph_quota: p.parse_or("--graph-quota", 0usize)?,
         ..ServiceConfig::default()
     };
     let http_defaults = HttpConfig::default();
@@ -436,13 +478,35 @@ pub fn serve(p: ArgParser) -> CmdResult {
             )
         }
     };
-    let server = HttpServer::bind(&addr, Arc::clone(&service))
+    let mut server = HttpServer::bind(&addr, Arc::clone(&service))
         .map_err(|e| format!("bind {addr}: {e}"))?
         .with_config(http_cfg.clone());
+    // --join: enroll as a fleet worker — a cluster role in /healthz plus
+    // a background join/heartbeat loop against the coordinator. The
+    // advertised address is what the coordinator forwards jobs to.
+    let mut cluster_note = String::new();
+    if let Some(coordinator) = p.value("--join") {
+        let advertise = match p.value("--advertise") {
+            Some(a) => a.to_string(),
+            None => format!("127.0.0.1:{}", server.local_addr().port()),
+        };
+        let role = pgl_service::ClusterRole::worker(coordinator.to_string());
+        server = server.with_role(Arc::clone(&role));
+        cluster_note = format!(", worker in fleet at {coordinator} (advertising {advertise})");
+        // Runs for the life of the process; `pgl serve` stops via signal.
+        let never_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let _ = pgl_service::spawn_heartbeat(
+            coordinator.to_string(),
+            advertise,
+            std::time::Duration::from_millis(p.parse_or("--heartbeat-ms", 2000u64)?.max(50)),
+            role,
+            never_stop,
+        );
+    }
     pgl_service::obs::info(
         "serve",
         &format!(
-            "listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}{}, engines: {})",
+            "listening on http://{} ({} workers, {} conns max, keep-alive {}s{}{}{}{}, engines: {})",
             server.local_addr(),
             workers,
             http_cfg.max_conns,
@@ -450,11 +514,53 @@ pub fn serve(p: ArgParser) -> CmdResult {
             cache_note,
             limit_note,
             preload_note,
+            cluster_note,
             service.engine_names().join(", ")
         ),
         &[],
     );
     server.serve();
+    Ok(())
+}
+
+/// `pgl coordinator` — run the cluster coordinator tier.
+pub fn coordinator(p: ArgParser) -> CmdResult {
+    let level = match p.value("--log-level") {
+        None => pgl_service::LogLevel::Info,
+        Some(v) => pgl_service::LogLevel::parse_name(v)
+            .ok_or_else(|| format!("bad --log-level {v:?} (debug, info, warn, error, off)"))?,
+    };
+    pgl_service::obs::init(level, p.has("--log-json"));
+    let addr = format!(
+        "{}:{}",
+        p.value("--addr").unwrap_or("127.0.0.1"),
+        p.parse_or("--port", 7979u16)?
+    );
+    let defaults = pgl_service::CoordinatorConfig::default();
+    let cfg = pgl_service::CoordinatorConfig {
+        heartbeat: std::time::Duration::from_millis(
+            p.parse_or("--heartbeat-ms", defaults.heartbeat.as_millis() as u64)?
+                .max(50),
+        ),
+        graph_quota: p.parse_or("--graph-quota", defaults.graph_quota)?,
+        max_conns: p.parse_or("--max-conns", defaults.max_conns)?.max(1),
+        ..defaults
+    };
+    let heartbeat_ms = cfg.heartbeat.as_millis();
+    let max_conns = cfg.max_conns;
+    let coordinator =
+        pgl_service::Coordinator::bind(&addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    pgl_service::obs::info(
+        "coordinator",
+        &format!(
+            "coordinating on http://{} (heartbeat {heartbeat_ms}ms, {max_conns} conns max); \
+             workers join with: pgl serve --join {}",
+            coordinator.local_addr(),
+            coordinator.local_addr()
+        ),
+        &[],
+    );
+    coordinator.serve();
     Ok(())
 }
 
@@ -855,8 +961,19 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "gen", "stats", "sort", "layout", "stress", "draw", "tsv", "serve", "batch", "bench",
-            "submit", "watch",
+            "gen",
+            "stats",
+            "sort",
+            "layout",
+            "stress",
+            "draw",
+            "tsv",
+            "serve",
+            "coordinator",
+            "batch",
+            "bench",
+            "submit",
+            "watch",
         ] {
             let text = usage(cmd).expect(cmd);
             assert!(text.contains(cmd), "{cmd} usage names itself");

@@ -58,6 +58,7 @@ fn main() {
         "draw" => commands::draw_cmd(parser),
         "tsv" => commands::tsv(parser),
         "serve" => commands::serve(parser),
+        "coordinator" => commands::coordinator(parser),
         "batch" => commands::batch_cmd(parser),
         "bench" => commands::bench(parser),
         "submit" => commands::submit(parser),
@@ -94,13 +95,20 @@ fn print_usage() {
          \u{20}  draw    <in.gfa> <in.lay> -o <out.svg|out.ppm> [--width N] [--links]\n\
          \u{20}  tsv     <in.lay> -o <out.tsv>\n\
          \u{20}  serve   [--addr HOST] [--port N] [--workers N] [--cache N] [--graphs N]\n\
-         \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--preload-graphs DIR]\n\
+         \u{20}          [--cache-dir DIR] [--cache-max-bytes N] [--cache-ttl SECS]\n\
+         \u{20}          [--preload-graphs DIR] [--graph-quota N]\n\
          \u{20}          [--max-conns N] [--keep-alive SECS] [--rate-limit N]\n\
+         \u{20}          [--join COORD_ADDR] [--advertise HOST:PORT] [--heartbeat-ms N]\n\
          \u{20}          [--log-level L] [--log-json]\n\
          \u{20}          (HTTP /v1 API: POST /v1/graphs uploads once, POST /v1/jobs\n\
          \u{20}          lays out by reference with priority/client/ttl_ms scheduling,\n\
          \u{20}          GET /v1/jobs/<id>/events streams progress, /v1/jobs/<id>/trace\n\
          \u{20}          returns the phase timeline, /v1/metrics serves Prometheus text)\n\
+         \u{20}  coordinator [--addr HOST] [--port N] [--heartbeat-ms N] [--max-conns N]\n\
+         \u{20}          [--graph-quota N] [--log-level L] [--log-json]\n\
+         \u{20}          (cluster front door: routes /v1 jobs across pgl serve --join\n\
+         \u{20}          workers by consistent-hashing each job's graph; fleet-wide\n\
+         \u{20}          fair scheduling, failover with requeue, /v1/stats rollup)\n\
          \u{20}  batch   <dir> -o <outdir> [--engine E[,E2...]] [--workers N] [--tsv]\n\
          \u{20}          [--resume] [--priority P] [--client KEY]\n\
          \u{20}          (each input parsed once across all engines)\n\

@@ -312,6 +312,56 @@ pub fn evict_dir_to_cap(dir: &Path, max_bytes: u64, ext: &str) -> Vec<ContentHas
     removed
 }
 
+/// Age-based eviction of a spill directory: regular `<stem>.<ext>`
+/// files whose modification time is older than `ttl` ago are removed.
+/// Hidden files (temp spills, the [`DiskIndex`] log) are never touched.
+/// Returns the content hashes of the removed spills, like
+/// [`evict_dir_to_cap`]. A zero `ttl` disables the sweep.
+///
+/// This complements the byte cap: the cap bounds *space*, the TTL
+/// bounds *staleness* — a shared cache directory stops serving (and
+/// storing) month-old layouts even when it never fills.
+pub fn evict_dir_to_ttl(dir: &Path, ttl: std::time::Duration, ext: &str) -> Vec<ContentHash> {
+    if ttl.is_zero() {
+        return Vec::new();
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let Some(cutoff) = std::time::SystemTime::now().checked_sub(ttl) else {
+        return Vec::new();
+    };
+    let mut removed = Vec::new();
+    for e in entries.filter_map(|e| e.ok()) {
+        let path = e.path();
+        let named_spill = path.extension().is_some_and(|x| x == ext)
+            && !path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with('.'));
+        if !named_spill {
+            continue;
+        }
+        let Ok(meta) = e.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if mtime >= cutoff {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            if let Some(id) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(ContentHash::from_hex)
+            {
+                removed.push(id);
+            }
+        }
+    }
+    removed
+}
+
 // ---------------------------------------------------------------------------
 // DiskIndex
 // ---------------------------------------------------------------------------
@@ -563,6 +613,8 @@ pub struct GraphStoreStats {
     pub disk_errors: u64,
     /// Spill files removed by the disk-tier byte cap.
     pub disk_cap_evictions: u64,
+    /// Spill files removed because they outlived the disk-tier TTL.
+    pub disk_ttl_evictions: u64,
     /// Graphs interned by a startup preload pass
     /// (`pgl serve --preload-graphs`).
     pub preloaded: u64,
@@ -729,6 +781,22 @@ impl GraphStore {
                 ix.remove(id);
             }
         }
+    }
+
+    /// The caller's [`evict_dir_to_ttl`] sweep removed these spills.
+    pub fn record_ttl_evictions(&mut self, removed: &[ContentHash]) {
+        self.stats.disk_ttl_evictions += removed.len() as u64;
+        if let Some(ix) = &mut self.index {
+            for &id in removed {
+                ix.remove(id);
+            }
+        }
+    }
+
+    /// The disk-tier directory, when one is configured — for callers
+    /// running TTL sweeps outside the store lock.
+    pub fn disk_dir(&self) -> Option<PathBuf> {
+        self.disk.clone()
     }
 
     /// A startup preload pass interned one graph.
@@ -1110,6 +1178,38 @@ mod tests {
             .unwrap();
         let removed = evict_dir_to_cap(&dir, 100, "lean");
         assert_eq!(removed, vec![id], "hash stems come back for the index");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_ttl_sweep_removes_only_expired_spills() {
+        let dir = tmp_dir("ttl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = content_hash(b"stale");
+        let fresh = content_hash(b"fresh");
+        for (id, age_s) in [(stale, 900u64), (fresh, 1)] {
+            let path = dir.join(format!("{}.lean", id.hex()));
+            std::fs::write(&path, vec![0u8; 64]).unwrap();
+            let t = std::time::SystemTime::now() - std::time::Duration::from_secs(age_s);
+            std::fs::File::options()
+                .append(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        std::fs::write(dir.join(".tmp.lean"), vec![0u8; 64]).unwrap();
+        std::fs::write(dir.join("other.lay"), vec![0u8; 64]).unwrap();
+        assert!(
+            evict_dir_to_ttl(&dir, std::time::Duration::ZERO, "lean").is_empty(),
+            "zero TTL disables the sweep"
+        );
+        let removed = evict_dir_to_ttl(&dir, std::time::Duration::from_secs(600), "lean");
+        assert_eq!(removed, vec![stale], "only the expired spill reported");
+        assert!(!dir.join(format!("{}.lean", stale.hex())).exists());
+        assert!(dir.join(format!("{}.lean", fresh.hex())).exists());
+        assert!(dir.join(".tmp.lean").exists(), "temp files untouched");
+        assert!(dir.join("other.lay").exists(), "other extensions untouched");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

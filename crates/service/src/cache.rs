@@ -125,6 +125,8 @@ pub struct CacheStats {
     pub disk_errors: u64,
     /// Spill files removed by the disk-tier byte cap.
     pub disk_cap_evictions: u64,
+    /// Spill files removed because they outlived the disk-tier TTL.
+    pub disk_ttl_evictions: u64,
 }
 
 struct Entry {
@@ -278,6 +280,16 @@ impl LayoutCache {
     /// The caller's cap-eviction pass removed these spill files.
     pub fn record_cap_evictions(&mut self, removed: &[CacheKey]) {
         self.stats.disk_cap_evictions += removed.len() as u64;
+        if let Some(ix) = &mut self.index {
+            for &key in removed {
+                ix.remove(key);
+            }
+        }
+    }
+
+    /// The caller's TTL sweep removed these spill files.
+    pub fn record_ttl_evictions(&mut self, removed: &[CacheKey]) {
+        self.stats.disk_ttl_evictions += removed.len() as u64;
         if let Some(ix) = &mut self.index {
             for &key in removed {
                 ix.remove(key);

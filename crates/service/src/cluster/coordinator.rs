@@ -1,0 +1,1668 @@
+//! The coordinator tier: one process that speaks the existing `/v1`
+//! surface and fans jobs out over a fleet of ordinary `pgl serve`
+//! workers.
+//!
+//! ```text
+//!   clients ──► coordinator ──► rendezvous ring ──► worker A (pgl serve --join)
+//!      /v1         │   │            (ContentHash)    worker B (pgl serve --join)
+//!                  │   └── graph vault: raw GFA, pushed to a worker
+//!                  │       on its first by-reference miss
+//!                  └────── FairScheduler: priority bands + per-client
+//!                          DRR + per-graph in-flight quotas, fleet-wide
+//! ```
+//!
+//! Design decisions, in one place:
+//!
+//! * **The typed [`JobSpec`] is the wire format.** Forwarding a job is
+//!   `POST /v1/jobs?{spec.to_query()}` — the exact surface a human
+//!   client uses, so workers need zero cluster-specific code paths for
+//!   execution. Inline-GFA submissions are interned into the
+//!   coordinator's vault and converted to by-reference specs, so the
+//!   graph body crosses the wire at most once per worker.
+//! * **Routing is rendezvous hashing on the graph's `ContentHash`**
+//!   ([`super::ring::HashRing`]): every job for a graph lands on the
+//!   worker whose parsed-graph and layout caches already hold it, and
+//!   membership changes remap only ~1/N of graphs.
+//! * **Workers own execution, the coordinator owns placement.** A
+//!   worker that misses a referenced graph answers `404`; the
+//!   coordinator pushes the vaulted GFA (`POST /v1/graphs`) and
+//!   resubmits. Both hash the same bytes, so the ids agree by
+//!   construction.
+//! * **Death is drain-and-requeue, at-least-once.** Workers heartbeat;
+//!   after [`CoordinatorConfig::dead_after`] missed intervals (or a
+//!   connection error) a worker is marked dead and its forwarded jobs
+//!   are pushed back into the queue, routing to the next worker in the
+//!   ring's preference order. A job that was mid-run on a partitioned
+//!   worker may therefore execute twice — layouts are deterministic
+//!   per spec, so duplicated work is wasted, not wrong. A job is
+//!   failed only after [`CoordinatorConfig::max_attempts`] forwards.
+//! * **Proxies rewrite only the job id.** Status, trace, result, and
+//!   event-stream bytes come from the owning worker with the remote id
+//!   swapped for the coordinator's; an event stream re-attached after
+//!   a worker death replays the replacement run from sequence 0.
+
+use super::client;
+use super::ring::HashRing;
+use crate::http::{
+    read_request_body, read_request_head, write_chunk, write_response, HttpConfig, Request,
+    Response,
+};
+use crate::job::{GraphSpec, JobId};
+use crate::obs;
+use crate::sched::{job_cost, FairScheduler};
+use crate::spec::{parse_job_spec, JobSpec, Priority, KNOWN_PARAMS};
+use pangraph::parse_gfa;
+use pangraph::store::{content_hash, ContentHash};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a coordinator.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker heartbeat interval, advertised in the join/heartbeat
+    /// response so the fleet shares one clock.
+    pub heartbeat: Duration,
+    /// Missed heartbeat intervals before a worker is declared dead and
+    /// its in-flight jobs are requeued.
+    pub dead_after: u32,
+    /// Forward attempts per job before it is failed outright.
+    pub max_attempts: u32,
+    /// Fleet-wide cap on concurrently forwarded jobs per graph
+    /// (`0` = unlimited): one hot graph cannot monopolize its owning
+    /// worker while other graphs' jobs wait.
+    pub graph_quota: usize,
+    /// Concurrent client connections served; excess is shed with 503.
+    pub max_conns: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat: Duration::from_secs(2),
+            dead_after: 3,
+            max_attempts: 5,
+            graph_quota: 0,
+            max_conns: 64,
+        }
+    }
+}
+
+/// Job states a worker reports that end the coordinator's involvement.
+const TERMINAL_STATES: [&str; 4] = ["done", "failed", "cancelled", "expired"];
+
+/// How long parked loops (dispatcher idle, monitor tick ceiling, event
+/// streams between state checks) wait before re-checking shared state
+/// and the stop flag.
+const PARK: Duration = Duration::from_millis(250);
+
+/// Idle gap after which a proxied event stream emits its own heartbeat
+/// line (only reachable while the job is still queued coordinator-side;
+/// once forwarded, the worker's heartbeats flow through instead).
+const EVENT_HEARTBEAT: Duration = Duration::from_secs(15);
+
+struct WorkerEntry {
+    last_beat: Instant,
+    alive: bool,
+}
+
+/// A graph interned at the coordinator: the raw GFA (what gets pushed
+/// to workers) plus the parse-derived counts that validate uploads and
+/// price jobs for the scheduler.
+struct GraphEntry {
+    gfa: Arc<String>,
+    nodes: usize,
+    paths: usize,
+    steps: usize,
+}
+
+#[derive(Clone)]
+enum CoordJobState {
+    /// Waiting in the coordinator's scheduler.
+    Queued,
+    /// Accepted by `worker` under its local id `remote`.
+    Forwarded { worker: String, remote: JobId },
+    /// Finished. `body` is the final status JSON (already rewritten to
+    /// the coordinator's id); `worker`/`remote` are kept when a worker
+    /// ran the job, so `/result` and `/trace` can still proxy.
+    Terminal {
+        worker: Option<String>,
+        remote: Option<JobId>,
+        body: String,
+    },
+}
+
+struct CoordJob {
+    spec: JobSpec,
+    graph: ContentHash,
+    client: String,
+    priority: Priority,
+    cost: u64,
+    attempts: u32,
+    cancel_requested: bool,
+    submitted: Instant,
+    state: CoordJobState,
+}
+
+#[derive(Default)]
+struct CoordCounters {
+    submitted: AtomicU64,
+    forwarded: AtomicU64,
+    requeues: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    joins: AtomicU64,
+    deaths: AtomicU64,
+    graph_pushes: AtomicU64,
+}
+
+struct CoordShared {
+    cfg: CoordinatorConfig,
+    started: Instant,
+    stop: AtomicBool,
+    workers: Mutex<HashMap<String, WorkerEntry>>,
+    vault: Mutex<HashMap<ContentHash, GraphEntry>>,
+    queue: Mutex<FairScheduler>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<JobId, CoordJob>>,
+    jobs_cv: Condvar,
+    next_id: AtomicU64,
+    counters: CoordCounters,
+}
+
+/// A bound-but-not-yet-serving coordinator.
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<CoordShared>,
+}
+
+impl Coordinator {
+    /// Bind to `addr` (port 0 for ephemeral).
+    pub fn bind(addr: &str, cfg: CoordinatorConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(CoordShared {
+            queue: Mutex::new(FairScheduler::with_graph_quota(cfg.graph_quota)),
+            cfg,
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(HashMap::new()),
+            vault: Mutex::new(HashMap::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            counters: CoordCounters::default(),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Serve until [`CoordinatorHandle::stop`] (or forever): accept
+    /// loop here, dispatcher + death-sweep/poll monitor on background
+    /// threads.
+    pub fn serve(self) {
+        let Self { listener, shared } = self;
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pgl-coord-dispatch".into())
+                .spawn(move || dispatcher(&shared))
+                .expect("spawn dispatcher")
+        };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pgl-coord-monitor".into())
+                .spawn(move || monitor(&shared))
+                .expect("spawn monitor")
+        };
+        let active = Arc::new(AtomicUsize::new(0));
+        for stream in listener.incoming() {
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if active.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                let mut stream = stream;
+                let mut resp = Response::error(503, "coordinator overloaded; retry later");
+                resp.retry_after = Some(1);
+                let _ = write_response(&mut stream, &resp, false, &HttpConfig::default());
+                continue;
+            }
+            active.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            let slot = Arc::clone(&active);
+            let spawned = std::thread::Builder::new()
+                .name("pgl-coord-conn".into())
+                .spawn(move || {
+                    handle_conn(stream, &shared);
+                    slot.fetch_sub(1, Ordering::Relaxed);
+                });
+            if spawned.is_err() {
+                active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        shared.queue_cv.notify_all();
+        shared.jobs_cv.notify_all();
+        let _ = dispatcher.join();
+        let _ = monitor.join();
+    }
+
+    /// Serve on a background thread; the returned handle stops it.
+    pub fn spawn(self) -> CoordinatorHandle {
+        let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("pgl-coord-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawn coordinator accept loop");
+        CoordinatorHandle {
+            addr,
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Controls a background [`Coordinator`].
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    shared: Arc<CoordShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// Address the coordinator is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop serving and join the background threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        self.shared.jobs_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CoordinatorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ─── dispatcher: queue → ring owner ─────────────────────────────────
+
+fn dispatcher(shared: &Arc<CoordShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Don't pop (and start burning attempts) while the fleet is
+        // empty: jobs queued during a total outage just wait.
+        if !has_alive_worker(shared) {
+            std::thread::sleep(PARK);
+            continue;
+        }
+        let Some(id) = pop_next(shared) else { continue };
+        dispatch_one(shared, id);
+    }
+}
+
+fn has_alive_worker(shared: &CoordShared) -> bool {
+    shared.workers.lock().unwrap().values().any(|w| w.alive)
+}
+
+/// Pop the next runnable job, waiting briefly when the queue is empty
+/// (or fully quota-blocked). `None` means "nothing yet, re-check".
+fn pop_next(shared: &CoordShared) -> Option<JobId> {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        if let Some(id) = queue.pop() {
+            return Some(id);
+        }
+        let (guard, timeout) = shared.queue_cv.wait_timeout(queue, PARK).unwrap();
+        queue = guard;
+        if timeout.timed_out() {
+            return None;
+        }
+    }
+}
+
+/// The ring over currently-alive workers.
+fn alive_ring(shared: &CoordShared) -> HashRing {
+    HashRing::from_workers(
+        shared
+            .workers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, w)| w.alive)
+            .map(|(addr, _)| addr.clone()),
+    )
+}
+
+enum Forward {
+    Accepted { remote: JobId },
+    Down(String),
+    Rejected(String),
+}
+
+fn dispatch_one(shared: &Arc<CoordShared>, id: JobId) {
+    // Snapshot under the lock, forward outside it.
+    let (query, graph, cancel) = {
+        let jobs = shared.jobs.lock().unwrap();
+        match jobs.get(&id) {
+            Some(job) if matches!(job.state, CoordJobState::Queued) => {
+                (job.spec.to_query(), job.graph, job.cancel_requested)
+            }
+            // Gone or already handled: just free the quota slot.
+            _ => {
+                release_quota(shared, id);
+                return;
+            }
+        }
+    };
+    if cancel {
+        finish_local(shared, id, "cancelled", Some("cancelled while queued"));
+        return;
+    }
+    let owners: Vec<String> = alive_ring(shared)
+        .owners(graph)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    if owners.is_empty() {
+        requeue(shared, id, false, "no alive workers");
+        std::thread::sleep(PARK);
+        return;
+    }
+    // Rendezvous preference order doubles as the failover order: if the
+    // owner is unreachable, the next-ranked worker is exactly where the
+    // graph routes once the death sweep catches up.
+    for worker in &owners {
+        match forward_to(shared, worker, &query, graph) {
+            Forward::Accepted { remote } => {
+                {
+                    let mut jobs = shared.jobs.lock().unwrap();
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.state = CoordJobState::Forwarded {
+                            worker: worker.clone(),
+                            remote,
+                        };
+                    }
+                }
+                shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                shared.jobs_cv.notify_all();
+                return;
+            }
+            Forward::Down(err) => mark_dead(shared, worker, &err),
+            Forward::Rejected(msg) => {
+                finish_local(shared, id, "failed", Some(&msg));
+                return;
+            }
+        }
+    }
+    requeue(shared, id, true, "every candidate worker unreachable");
+}
+
+/// Submit one job to one worker; on a by-reference miss, push the
+/// vaulted GFA and retry once. Both sides hash the same bytes, so the
+/// pushed graph's id matches the spec's reference by construction.
+fn forward_to(shared: &CoordShared, worker: &str, query: &str, graph: ContentHash) -> Forward {
+    let path = format!("/v1/jobs?{query}");
+    for pushed in [false, true] {
+        let (status, body) = match client::request(worker, "POST", &path, b"") {
+            Ok(answer) => answer,
+            Err(e) => return Forward::Down(e),
+        };
+        let text = String::from_utf8_lossy(&body).into_owned();
+        match status {
+            202 => {
+                return match client::json_u64(&text, "job") {
+                    Some(remote) => Forward::Accepted { remote },
+                    None => Forward::Rejected(format!("unparseable ticket from {worker}: {text}")),
+                }
+            }
+            404 if !pushed => {
+                // First miss on this worker: push the graph body.
+                let gfa = shared
+                    .vault
+                    .lock()
+                    .unwrap()
+                    .get(&graph)
+                    .map(|g| Arc::clone(&g.gfa));
+                let Some(gfa) = gfa else {
+                    return Forward::Rejected(format!("graph {} no longer interned", graph.hex()));
+                };
+                match client::request(worker, "POST", "/v1/graphs", gfa.as_bytes()) {
+                    Err(e) => return Forward::Down(e),
+                    Ok((200 | 201, _)) => {
+                        shared.counters.graph_pushes.fetch_add(1, Ordering::Relaxed);
+                        obs::info(
+                            "cluster",
+                            "pushed graph to worker",
+                            &[("worker", worker.to_string()), ("graph", graph.hex())],
+                        );
+                    }
+                    Ok((status, body)) => {
+                        return Forward::Rejected(format!(
+                            "graph push to {worker} answered {status}: {}",
+                            String::from_utf8_lossy(&body).trim()
+                        ))
+                    }
+                }
+            }
+            _ => return Forward::Rejected(format!("{worker} answered {status}: {}", text.trim())),
+        }
+    }
+    unreachable!("second pass either accepts, rejects, or reports the worker down")
+}
+
+/// Free the scheduler's per-graph quota slot held by a popped job.
+fn release_quota(shared: &CoordShared, id: JobId) {
+    if shared.queue.lock().unwrap().release(id) {
+        shared.queue_cv.notify_all();
+    }
+}
+
+/// Put a job back in the queue (after a worker death or forward
+/// failure); `count` burns one of its attempts. Exhausted jobs fail
+/// loudly instead of looping forever.
+fn requeue(shared: &Arc<CoordShared>, id: JobId, count: bool, reason: &str) {
+    let exhausted = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(job) = jobs.get_mut(&id) else {
+            release_quota(shared, id);
+            return;
+        };
+        if count {
+            job.attempts += 1;
+        }
+        if job.attempts >= shared.cfg.max_attempts {
+            true
+        } else {
+            job.state = CoordJobState::Queued;
+            let (priority, client, cost, graph) =
+                (job.priority, job.client.clone(), job.cost, job.graph);
+            let mut queue = shared.queue.lock().unwrap();
+            queue.release(id);
+            queue.push_keyed(priority, &client, id, cost, graph);
+            false
+        }
+    };
+    if exhausted {
+        finish_local(
+            shared,
+            id,
+            "failed",
+            Some(&format!(
+                "gave up after {} forward attempts ({reason})",
+                shared.cfg.max_attempts
+            )),
+        );
+        return;
+    }
+    shared.counters.requeues.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_all();
+    shared.jobs_cv.notify_all();
+    obs::warn(
+        "cluster",
+        "requeued job",
+        &[("job", id.to_string()), ("reason", reason.to_string())],
+    );
+}
+
+/// Terminate a job coordinator-side (never ran, or cancelled while
+/// queued) with a synthesized status body.
+fn finish_local(shared: &Arc<CoordShared>, id: JobId, state: &str, error: Option<&str>) {
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if matches!(job.state, CoordJobState::Terminal { .. }) {
+            return;
+        }
+        let body = format!(
+            "{{\"job\":{id},\"state\":\"{state}\",\"progress\":0.000,\"engine\":{},\
+             \"priority\":\"{}\",\"client\":{},\"cached\":false,\"graph\":{},\
+             \"wall_ms\":{}{}}}",
+            json_str(&job.spec.engine),
+            job.priority.as_str(),
+            json_str(&job.client),
+            json_str(&job.graph.hex()),
+            job.submitted.elapsed().as_millis(),
+            match error {
+                Some(e) => format!(",\"error\":{}", json_str(e)),
+                None => String::new(),
+            }
+        );
+        job.state = CoordJobState::Terminal {
+            worker: None,
+            remote: None,
+            body,
+        };
+    }
+    let counter = match state {
+        "cancelled" => &shared.counters.cancelled,
+        _ => &shared.counters.failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    release_quota(shared, id);
+    shared.jobs_cv.notify_all();
+}
+
+// ─── monitor: heartbeats, death sweep, terminal-state collection ────
+
+fn monitor(shared: &Arc<CoordShared>) {
+    let tick = (shared.cfg.heartbeat / 2).clamp(Duration::from_millis(50), PARK);
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        death_sweep(shared);
+        poll_forwarded(shared);
+    }
+}
+
+fn death_sweep(shared: &Arc<CoordShared>) {
+    let deadline = shared.cfg.heartbeat * shared.cfg.dead_after;
+    let newly_dead: Vec<String> = {
+        let mut workers = shared.workers.lock().unwrap();
+        workers
+            .iter_mut()
+            .filter(|(_, w)| w.alive && w.last_beat.elapsed() > deadline)
+            .map(|(addr, w)| {
+                w.alive = false;
+                addr.clone()
+            })
+            .collect()
+    };
+    for addr in newly_dead {
+        shared.counters.deaths.fetch_add(1, Ordering::Relaxed);
+        obs::warn(
+            "cluster",
+            "worker died (missed heartbeats)",
+            &[("worker", addr.clone())],
+        );
+        drain_worker(shared, &addr);
+    }
+}
+
+/// Mark a worker dead after a connection failure (faster than waiting
+/// out the heartbeat deadline) and requeue everything it was running.
+fn mark_dead(shared: &Arc<CoordShared>, addr: &str, err: &str) {
+    let was_alive = {
+        let mut workers = shared.workers.lock().unwrap();
+        match workers.get_mut(addr) {
+            Some(w) if w.alive => {
+                w.alive = false;
+                true
+            }
+            _ => false,
+        }
+    };
+    if was_alive {
+        shared.counters.deaths.fetch_add(1, Ordering::Relaxed);
+        obs::warn(
+            "cluster",
+            "worker unreachable",
+            &[("worker", addr.to_string()), ("error", err.to_string())],
+        );
+        drain_worker(shared, addr);
+    }
+}
+
+/// Requeue every job forwarded to a (now dead) worker.
+fn drain_worker(shared: &Arc<CoordShared>, addr: &str) {
+    let stranded: Vec<JobId> = {
+        let jobs = shared.jobs.lock().unwrap();
+        jobs.iter()
+            .filter(|(_, j)| matches!(&j.state, CoordJobState::Forwarded { worker, .. } if worker == addr))
+            .map(|(id, _)| *id)
+            .collect()
+    };
+    for id in stranded {
+        requeue(shared, id, true, &format!("worker {addr} died"));
+    }
+}
+
+/// Poll every forwarded job's status on its worker; collect terminal
+/// snapshots, requeue jobs a restarted worker no longer knows.
+fn poll_forwarded(shared: &Arc<CoordShared>) {
+    let targets: Vec<(JobId, String, JobId)> = {
+        let jobs = shared.jobs.lock().unwrap();
+        jobs.iter()
+            .filter_map(|(id, j)| match &j.state {
+                CoordJobState::Forwarded { worker, remote } => Some((*id, worker.clone(), *remote)),
+                _ => None,
+            })
+            .collect()
+    };
+    for (id, worker, remote) in targets {
+        match client::request(&worker, "GET", &format!("/v1/jobs/{remote}"), b"") {
+            Err(e) => mark_dead(shared, &worker, &e),
+            Ok((200, body)) => {
+                let text = String::from_utf8_lossy(&body);
+                let Some(state) = client::json_field_str(&text, "state") else {
+                    continue;
+                };
+                if !TERMINAL_STATES.contains(&state.as_str()) {
+                    continue;
+                }
+                let rewritten = rewrite_job_id(text.trim(), id);
+                {
+                    let mut jobs = shared.jobs.lock().unwrap();
+                    match jobs.get_mut(&id) {
+                        // Guard against a racing requeue: only collect if
+                        // the job is still forwarded to this worker.
+                        Some(job)
+                            if matches!(&job.state, CoordJobState::Forwarded { worker: w, remote: r }
+                                if *w == worker && *r == remote) =>
+                        {
+                            job.state = CoordJobState::Terminal {
+                                worker: Some(worker.clone()),
+                                remote: Some(remote),
+                                body: rewritten,
+                            };
+                        }
+                        _ => continue,
+                    }
+                }
+                let counter = match state.as_str() {
+                    "done" => &shared.counters.completed,
+                    "cancelled" => &shared.counters.cancelled,
+                    _ => &shared.counters.failed,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                release_quota(shared, id);
+                shared.jobs_cv.notify_all();
+            }
+            // The worker restarted and lost the job (its id space reset):
+            // run it again somewhere.
+            Ok((404, _)) => requeue(shared, id, true, "worker lost the job"),
+            Ok(_) => {}
+        }
+    }
+}
+
+// ─── HTTP front end ─────────────────────────────────────────────────
+
+enum CoordRouted {
+    Plain(Response),
+    Events { id: JobId },
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<CoordShared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let mut reader = BufReader::new(stream);
+    // One request per connection: every response closes. The CLI client
+    // and curl both speak Connection: close, and control-plane traffic
+    // is light enough that handshake reuse buys nothing here.
+    let head = match read_request_head(&mut reader) {
+        Ok(Some(head)) => head,
+        Ok(None) => return,
+        Err(msg) => {
+            respond(reader.get_mut(), &Response::error(400, &msg));
+            return;
+        }
+    };
+    let body = match read_request_body(&mut reader, head.content_length) {
+        Ok(body) => body,
+        Err(msg) => {
+            respond(reader.get_mut(), &Response::error(400, &msg));
+            return;
+        }
+    };
+    let mut req = Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        body,
+        keep_alive: false,
+        if_none_match: head.if_none_match,
+    };
+    match route_coord(&mut req, shared, &peer) {
+        CoordRouted::Plain(response) => respond(reader.get_mut(), &response),
+        CoordRouted::Events { id } => {
+            let _ = stream_proxy(reader.get_mut(), shared, id);
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) {
+    let _ = write_response(stream, response, false, &HttpConfig::default());
+}
+
+fn route_coord(req: &mut Request, shared: &Arc<CoordShared>, peer: &str) -> CoordRouted {
+    let path = req.path.clone();
+    let all: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let (v1, segments) = match all.as_slice() {
+        ["v1", rest @ ..] => (true, rest),
+        rest => (false, rest),
+    };
+    let plain = CoordRouted::Plain;
+    // Mirror the worker front end's /v1 strictness: unknown query
+    // parameters fail loudly.
+    if v1 {
+        let allowed: &[&str] = match (req.method.as_str(), segments) {
+            ("POST", ["layout"]) | ("POST", ["jobs"]) => &KNOWN_PARAMS[..],
+            ("POST", ["cluster", _]) => &["addr"],
+            ("GET", ["jobs", _, "events"]) => &["from"],
+            ("GET", ["result", _]) => &["format"],
+            _ => &[],
+        };
+        if let Some((k, _)) = req
+            .query
+            .iter()
+            .find(|(k, _)| !allowed.contains(&k.as_str()))
+        {
+            return plain(Response::error(400, &format!("unknown parameter {k:?}")));
+        }
+    }
+    match (req.method.clone().as_str(), segments) {
+        ("POST", ["cluster", "join"]) => plain(register(shared, req.param("addr"), true)),
+        ("POST", ["cluster", "heartbeat"]) => plain(register(shared, req.param("addr"), false)),
+        ("POST", ["graphs"]) => plain(intern_graph(req, shared)),
+        ("GET", ["graphs"]) => plain(list_graphs(shared)),
+        ("DELETE", ["graphs", id]) => plain(match ContentHash::from_hex(id) {
+            Some(id) => delete_graph(shared, id),
+            None => Response::error(400, "graph id must be 32 hex digits"),
+        }),
+        ("POST", ["layout"]) | ("POST", ["jobs"]) => plain(submit(req, shared, peer)),
+        ("GET", ["jobs", id, "events"]) => match id.parse::<JobId>() {
+            Ok(id) => {
+                if shared.jobs.lock().unwrap().contains_key(&id) {
+                    CoordRouted::Events { id }
+                } else {
+                    plain(Response::error(404, &format!("no such job {id}")))
+                }
+            }
+            Err(_) => plain(Response::error(400, "job id must be a number")),
+        },
+        ("GET", ["jobs", id, "trace"]) => plain(with_job_id(id, |id| trace_proxy(shared, id))),
+        ("GET", ["jobs", id]) => plain(with_job_id(id, |id| job_status(shared, id))),
+        ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => {
+            plain(with_job_id(id, |id| cancel(shared, id)))
+        }
+        ("GET", ["result", id]) => {
+            let format = req.param("format").unwrap_or("tsv").to_string();
+            plain(with_job_id(id, |id| result_proxy(shared, id, &format)))
+        }
+        ("GET", ["stats"]) => plain(fleet_stats(shared)),
+        ("GET", ["metrics"]) => plain(coord_metrics(shared)),
+        ("GET", ["healthz"]) => plain(healthz(shared)),
+        ("GET", ["engines"]) => plain(engines_proxy(shared)),
+        ("GET", _) | ("POST", _) | ("DELETE", _) => plain(Response::error(404, "no such route")),
+        _ => plain(Response::error(405, "method not supported")),
+    }
+}
+
+fn with_job_id(id: &str, f: impl FnOnce(JobId) -> Response) -> Response {
+    match id.parse::<JobId>() {
+        Ok(id) => f(id),
+        Err(_) => Response::error(400, "job id must be a number"),
+    }
+}
+
+/// `POST /v1/cluster/join` | `/heartbeat` — (re)register a worker. Both
+/// endpoints are idempotent upserts: a heartbeat from an unknown
+/// address is an implicit join (the coordinator may have restarted and
+/// forgotten the fleet), and a join from a known one just refreshes it.
+fn register(shared: &Arc<CoordShared>, addr: Option<&str>, is_join: bool) -> Response {
+    let Some(addr) = addr.filter(|a| !a.is_empty() && !a.contains(char::is_whitespace)) else {
+        return Response::error(400, "missing ?addr=<host:port> the coordinator can reach");
+    };
+    let (resurrected, total) = {
+        let mut workers = shared.workers.lock().unwrap();
+        let known = workers.len();
+        let entry = workers
+            .entry(addr.to_string())
+            .or_insert_with(|| WorkerEntry {
+                last_beat: Instant::now(),
+                alive: false,
+            });
+        let resurrected = !entry.alive;
+        entry.alive = true;
+        entry.last_beat = Instant::now();
+        (resurrected, known.max(workers.len()))
+    };
+    if resurrected {
+        shared.counters.joins.fetch_add(1, Ordering::Relaxed);
+        obs::info(
+            "cluster",
+            if is_join {
+                "worker joined"
+            } else {
+                "worker re-joined via heartbeat"
+            },
+            &[("worker", addr.to_string())],
+        );
+        // New capacity may unblock jobs parked on "no alive workers".
+        shared.queue_cv.notify_all();
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\":true,\"heartbeat_ms\":{},\"workers\":{total}}}",
+            shared.cfg.heartbeat.as_millis()
+        ),
+    )
+}
+
+/// `POST /v1/graphs` — intern a GFA document into the coordinator's
+/// vault: parse once to validate and count, keep the raw text for
+/// push-on-miss to workers.
+fn intern_graph(req: &mut Request, shared: &Arc<CoordShared>) -> Response {
+    let gfa = match String::from_utf8(std::mem::take(&mut req.body)) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "GFA body must be UTF-8"),
+    };
+    if gfa.trim().is_empty() {
+        return Response::error(400, "empty GFA body");
+    }
+    let id = content_hash(gfa.as_bytes());
+    let mut vault = shared.vault.lock().unwrap();
+    let (entry, dedup) = match vault.get(&id) {
+        Some(entry) => (entry, true),
+        None => {
+            let graph = match parse_gfa(&gfa) {
+                Ok(g) => g,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let entry = GraphEntry {
+                nodes: graph.node_count(),
+                paths: graph.path_count(),
+                steps: graph.total_path_steps() as usize,
+                gfa: Arc::new(gfa),
+            };
+            (&*vault.entry(id).or_insert(entry), false)
+        }
+    };
+    Response::json(
+        if dedup { 200 } else { 201 },
+        format!(
+            "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"dedup\":{}}}",
+            json_str(&id.hex()),
+            entry.nodes,
+            entry.paths,
+            entry.steps,
+            dedup
+        ),
+    )
+}
+
+/// `GET /v1/graphs` — the vault's catalog.
+fn list_graphs(shared: &Arc<CoordShared>) -> Response {
+    let vault = shared.vault.lock().unwrap();
+    let mut rows: Vec<(String, String)> = vault
+        .iter()
+        .map(|(id, g)| {
+            (
+                id.hex(),
+                format!(
+                    "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"bytes\":{}}}",
+                    json_str(&id.hex()),
+                    g.nodes,
+                    g.paths,
+                    g.steps,
+                    g.gfa.len()
+                ),
+            )
+        })
+        .collect();
+    rows.sort();
+    let graphs: Vec<String> = rows.into_iter().map(|(_, row)| row).collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"count\":{},\"graphs\":[{}]}}",
+            graphs.len(),
+            graphs.join(",")
+        ),
+    )
+}
+
+/// `DELETE /v1/graphs/<id>` — drop from the vault and (best effort)
+/// from every alive worker's store.
+fn delete_graph(shared: &Arc<CoordShared>, id: ContentHash) -> Response {
+    let existed = shared.vault.lock().unwrap().remove(&id).is_some();
+    if !existed {
+        return Response::error(404, &format!("no such graph {}", id.hex()));
+    }
+    let ring = alive_ring(shared);
+    for worker in ring.owners(id) {
+        let _ = client::request(worker, "DELETE", &format!("/v1/graphs/{}", id.hex()), b"");
+    }
+    Response::json(200, format!("{{\"deleted\":{}}}", json_str(&id.hex())))
+}
+
+/// `POST /v1/jobs` — parse the spec exactly like a worker would, intern
+/// inline GFA into the vault (converting the job to by-reference), and
+/// enqueue for dispatch.
+fn submit(req: &mut Request, shared: &Arc<CoordShared>, peer: &str) -> Response {
+    let body = std::mem::take(&mut req.body);
+    let mut spec = match parse_job_spec(&req.query, body, false) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    if spec.client.is_none() {
+        spec.client = Some(peer.to_string());
+    }
+    let (graph, steps) = match &spec.graph {
+        GraphSpec::Gfa(text) => {
+            let id = content_hash(text.as_bytes());
+            let mut vault = shared.vault.lock().unwrap();
+            let steps = match vault.get(&id) {
+                Some(entry) => entry.steps,
+                None => {
+                    let parsed = match parse_gfa(text) {
+                        Ok(g) => g,
+                        Err(e) => return Response::error(400, &e.to_string()),
+                    };
+                    let entry = GraphEntry {
+                        nodes: parsed.node_count(),
+                        paths: parsed.path_count(),
+                        steps: parsed.total_path_steps() as usize,
+                        gfa: Arc::new(text.as_ref().clone()),
+                    };
+                    let steps = entry.steps;
+                    vault.insert(id, entry);
+                    steps
+                }
+            };
+            // Forward by reference: the body already lives in the vault.
+            spec.graph = GraphSpec::Stored(id);
+            (id, steps)
+        }
+        GraphSpec::Stored(id) => match shared.vault.lock().unwrap().get(id) {
+            Some(entry) => (*id, entry.steps),
+            None => {
+                return Response::error(
+                    404,
+                    &format!(
+                        "no such graph {} (upload it to the coordinator first)",
+                        id.hex()
+                    ),
+                )
+            }
+        },
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let cost = job_cost(steps as u64);
+    let client_key = spec.client.clone().expect("client defaulted above");
+    let priority = spec.priority;
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        jobs.insert(
+            id,
+            CoordJob {
+                spec,
+                graph,
+                client: client_key.clone(),
+                priority,
+                cost,
+                attempts: 0,
+                cancel_requested: false,
+                submitted: Instant::now(),
+                state: CoordJobState::Queued,
+            },
+        );
+    }
+    shared
+        .queue
+        .lock()
+        .unwrap()
+        .push_keyed(priority, &client_key, id, cost, graph);
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_all();
+    Response::json(
+        202,
+        format!(
+            "{{\"job\":{id},\"cached\":false,\"state\":\"queued\",\"graph\":{},\"priority\":\"{}\"}}",
+            json_str(&graph.hex()),
+            priority.as_str()
+        ),
+    )
+}
+
+/// Synthesized status for a job the coordinator still holds (queued or
+/// mid-failover): same field shape as a worker's status JSON.
+fn synthesize_status(
+    shared: &Arc<CoordShared>,
+    id: JobId,
+    state: &str,
+    worker: Option<&str>,
+) -> Response {
+    let jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.get(&id) else {
+        return Response::error(404, &format!("no such job {id}"));
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"job\":{id},\"state\":\"{state}\",\"progress\":0.000,\"engine\":{},\
+             \"priority\":\"{}\",\"client\":{},\"cached\":false,\"graph\":{},\
+             \"wall_ms\":{},\"attempts\":{}{}}}",
+            json_str(&job.spec.engine),
+            job.priority.as_str(),
+            json_str(&job.client),
+            json_str(&job.graph.hex()),
+            job.submitted.elapsed().as_millis(),
+            job.attempts,
+            match worker {
+                Some(w) => format!(",\"worker\":{}", json_str(w)),
+                None => String::new(),
+            }
+        ),
+    )
+}
+
+fn job_state(shared: &Arc<CoordShared>, id: JobId) -> Option<CoordJobState> {
+    shared
+        .jobs
+        .lock()
+        .unwrap()
+        .get(&id)
+        .map(|j| j.state.clone())
+}
+
+/// `GET /v1/jobs/<id>` — proxy to the owning worker (id rewritten), or
+/// answer locally for queued/terminal jobs.
+fn job_status(shared: &Arc<CoordShared>, id: JobId) -> Response {
+    match job_state(shared, id) {
+        None => Response::error(404, &format!("no such job {id}")),
+        Some(CoordJobState::Queued) => synthesize_status(shared, id, "queued", None),
+        Some(CoordJobState::Forwarded { worker, remote }) => {
+            match client::request(&worker, "GET", &format!("/v1/jobs/{remote}"), b"") {
+                Ok((200, body)) => Response::json(
+                    200,
+                    rewrite_job_id(String::from_utf8_lossy(&body).trim(), id),
+                ),
+                // Unreachable or amnesiac worker: the monitor is about to
+                // requeue; report the job as still in flight.
+                _ => synthesize_status(shared, id, "running", Some(&worker)),
+            }
+        }
+        Some(CoordJobState::Terminal { body, .. }) => Response::json(200, body),
+    }
+}
+
+/// `GET /v1/jobs/<id>/trace` — proxy when a worker has (or had) the
+/// job; queued and never-ran jobs answer with an empty span list.
+fn trace_proxy(shared: &Arc<CoordShared>, id: JobId) -> Response {
+    let target = match job_state(shared, id) {
+        None => return Response::error(404, &format!("no such job {id}")),
+        Some(CoordJobState::Forwarded { worker, remote }) => Some((worker, remote, "running")),
+        Some(CoordJobState::Terminal {
+            worker: Some(w),
+            remote: Some(r),
+            ref body,
+        }) => {
+            let state = client::json_field_str(body, "state").unwrap_or_else(|| "done".into());
+            let leaked = Box::leak(state.into_boxed_str());
+            Some((w, r, &*leaked))
+        }
+        Some(CoordJobState::Queued) => None,
+        Some(CoordJobState::Terminal { ref body, .. }) => {
+            let state = client::json_field_str(body, "state").unwrap_or_else(|| "failed".into());
+            return Response::json(
+                200,
+                format!("{{\"job\":{id},\"state\":\"{state}\",\"wall_ms\":0,\"total_us\":0,\"spans\":[]}}"),
+            );
+        }
+    };
+    let Some((worker, remote, fallback_state)) = target else {
+        return Response::json(
+            200,
+            format!(
+                "{{\"job\":{id},\"state\":\"queued\",\"wall_ms\":0,\"total_us\":0,\"spans\":[]}}"
+            ),
+        );
+    };
+    match client::request(&worker, "GET", &format!("/v1/jobs/{remote}/trace"), b"") {
+        Ok((200, body)) => Response::json(
+            200,
+            rewrite_job_id(String::from_utf8_lossy(&body).trim(), id),
+        ),
+        _ => Response::json(
+            200,
+            format!(
+                "{{\"job\":{id},\"state\":\"{fallback_state}\",\"wall_ms\":0,\"total_us\":0,\"spans\":[]}}"
+            ),
+        ),
+    }
+}
+
+/// `POST /v1/jobs/<id>/cancel` — cancel locally while queued, proxy to
+/// the owning worker once forwarded.
+fn cancel(shared: &Arc<CoordShared>, id: JobId) -> Response {
+    let state = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        match jobs.get_mut(&id) {
+            None => return Response::error(404, &format!("no such job {id}")),
+            Some(job) => {
+                job.cancel_requested = true;
+                job.state.clone()
+            }
+        }
+    };
+    match state {
+        CoordJobState::Queued => {
+            let removed = shared.queue.lock().unwrap().remove(id);
+            if removed {
+                finish_local(shared, id, "cancelled", Some("cancelled while queued"));
+            }
+            // Not in the queue ⇒ mid-dispatch; the dispatcher checks the
+            // cancel flag before forwarding. Either way, report status.
+            job_status(shared, id)
+        }
+        CoordJobState::Forwarded { worker, remote } => {
+            match client::request(&worker, "POST", &format!("/v1/jobs/{remote}/cancel"), b"") {
+                Ok((200, body)) => Response::json(
+                    200,
+                    rewrite_job_id(String::from_utf8_lossy(&body).trim(), id),
+                ),
+                Ok((_, _)) => job_status(shared, id),
+                Err(_) => Response::error(
+                    503,
+                    "owning worker unreachable; the job will be requeued or collected shortly",
+                ),
+            }
+        }
+        CoordJobState::Terminal { body, .. } => Response::json(200, body),
+    }
+}
+
+/// `GET /v1/result/<id>` — proxy the finished layout from the worker
+/// that computed it.
+fn result_proxy(shared: &Arc<CoordShared>, id: JobId, format: &str) -> Response {
+    let content_type: &'static str = match format {
+        "tsv" => "text/tab-separated-values",
+        "lay" => "application/octet-stream",
+        other => return Response::error(400, &format!("unknown format {other:?} (tsv, lay)")),
+    };
+    match job_state(shared, id) {
+        None => Response::error(404, &format!("no such job {id}")),
+        Some(CoordJobState::Queued) | Some(CoordJobState::Forwarded { .. }) => {
+            Response::error(409, &format!("job {id} is not done yet"))
+        }
+        Some(CoordJobState::Terminal {
+            worker: Some(worker),
+            remote: Some(remote),
+            body,
+        }) if body.contains("\"state\":\"done\"") => {
+            match client::request(
+                &worker,
+                "GET",
+                &format!("/v1/result/{remote}?format={format}"),
+                b"",
+            ) {
+                Ok((200, bytes)) => Response::bytes(200, content_type, bytes),
+                Ok((status, bytes)) => Response::error(
+                    if status == 404 { 404 } else { 409 },
+                    &format!(
+                        "worker answered {status}: {}",
+                        String::from_utf8_lossy(&bytes).trim()
+                    ),
+                ),
+                Err(_) => Response::error(503, "worker holding the result is unreachable"),
+            }
+        }
+        Some(CoordJobState::Terminal { body, .. }) => {
+            let state = client::json_field_str(&body, "state").unwrap_or_else(|| "failed".into());
+            Response::error(409, &format!("job {id} is {state}, not done"))
+        }
+    }
+}
+
+/// `GET /v1/engines` — proxied from any alive worker (the fleet is
+/// homogeneous: every worker registers the same engine set).
+fn engines_proxy(shared: &Arc<CoordShared>) -> Response {
+    let ring = alive_ring(shared);
+    for worker in ring.owners(content_hash(b"engines-probe")) {
+        if let Ok((200, body)) = client::request(worker, "GET", "/v1/engines", b"") {
+            return Response::json(200, String::from_utf8_lossy(&body).into_owned());
+        }
+    }
+    Response::error(503, "no alive workers to answer for")
+}
+
+/// `GET /v1/healthz` — coordinator liveness + fleet shape.
+fn healthz(shared: &Arc<CoordShared>) -> Response {
+    let (alive, total) = worker_counts(shared);
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\":true,\"role\":\"coordinator\",\"version\":{},\"uptime_s\":{},\
+             \"heartbeat_ms\":{},\"workers_alive\":{alive},\"workers_total\":{total}}}",
+            json_str(env!("CARGO_PKG_VERSION")),
+            shared.started.elapsed().as_secs(),
+            shared.cfg.heartbeat.as_millis()
+        ),
+    )
+}
+
+fn worker_counts(shared: &Arc<CoordShared>) -> (usize, usize) {
+    let workers = shared.workers.lock().unwrap();
+    (workers.values().filter(|w| w.alive).count(), workers.len())
+}
+
+/// Selected numeric fields pulled from one worker's `/v1/stats` and
+/// `/v1/metrics`, for the fleet rollup.
+#[derive(Default)]
+struct WorkerDigest {
+    queued: u64,
+    running: u64,
+    done: u64,
+    failed: u64,
+    parses: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    engine_terms: u64,
+    engine_ups: f64,
+}
+
+/// `GET /v1/stats` — the fleet rollup: per-worker queue depth, cache
+/// behavior, and `pgl_engine_*` telemetry, plus fleet-wide sums and
+/// the coordinator's own counters.
+fn fleet_stats(shared: &Arc<CoordShared>) -> Response {
+    let mut members: Vec<(String, bool)> = {
+        let workers = shared.workers.lock().unwrap();
+        workers.iter().map(|(a, w)| (a.clone(), w.alive)).collect()
+    };
+    members.sort();
+    let mut rows = Vec::new();
+    let mut fleet = WorkerDigest::default();
+    let mut alive_count = 0usize;
+    for (addr, alive) in &members {
+        if !*alive {
+            rows.push(format!("{{\"addr\":{},\"alive\":false}}", json_str(addr)));
+            continue;
+        }
+        match worker_digest(addr) {
+            Some(d) => {
+                alive_count += 1;
+                rows.push(format!(
+                    "{{\"addr\":{},\"alive\":true,\"queued\":{},\"running\":{},\"done\":{},\
+                     \"failed\":{},\"parses\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                     \"engine_terms_applied\":{},\"engine_updates_per_sec\":{:.1}}}",
+                    json_str(addr),
+                    d.queued,
+                    d.running,
+                    d.done,
+                    d.failed,
+                    d.parses,
+                    d.cache_hits,
+                    d.cache_misses,
+                    d.engine_terms,
+                    d.engine_ups
+                ));
+                fleet.queued += d.queued;
+                fleet.running += d.running;
+                fleet.done += d.done;
+                fleet.failed += d.failed;
+                fleet.parses += d.parses;
+                fleet.cache_hits += d.cache_hits;
+                fleet.cache_misses += d.cache_misses;
+                fleet.engine_terms += d.engine_terms;
+                fleet.engine_ups += d.engine_ups;
+            }
+            None => rows.push(format!(
+                "{{\"addr\":{},\"alive\":true,\"reachable\":false}}",
+                json_str(addr)
+            )),
+        }
+    }
+    let coord_queued = {
+        let jobs = shared.jobs.lock().unwrap();
+        jobs.values()
+            .filter(|j| matches!(j.state, CoordJobState::Queued))
+            .count()
+    };
+    let graphs_interned = shared.vault.lock().unwrap().len();
+    let c = &shared.counters;
+    Response::json(
+        200,
+        format!(
+            "{{\"role\":\"coordinator\",\"workers\":[{}],\
+             \"fleet\":{{\"workers_alive\":{alive_count},\"workers_total\":{},\
+             \"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"parses\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"engine_terms_applied\":{},\
+             \"engine_updates_per_sec\":{:.1}}},\
+             \"coordinator\":{{\"submitted\":{},\"forwarded\":{},\"requeues\":{},\
+             \"completed\":{},\"failed\":{},\"cancelled\":{},\"joins\":{},\"deaths\":{},\
+             \"graph_pushes\":{},\"graphs_interned\":{graphs_interned},\
+             \"queued\":{coord_queued},\"uptime_s\":{}}}}}",
+            rows.join(","),
+            members.len(),
+            fleet.queued,
+            fleet.running,
+            fleet.done,
+            fleet.failed,
+            fleet.parses,
+            fleet.cache_hits,
+            fleet.cache_misses,
+            fleet.engine_terms,
+            fleet.engine_ups,
+            c.submitted.load(Ordering::Relaxed),
+            c.forwarded.load(Ordering::Relaxed),
+            c.requeues.load(Ordering::Relaxed),
+            c.completed.load(Ordering::Relaxed),
+            c.failed.load(Ordering::Relaxed),
+            c.cancelled.load(Ordering::Relaxed),
+            c.joins.load(Ordering::Relaxed),
+            c.deaths.load(Ordering::Relaxed),
+            c.graph_pushes.load(Ordering::Relaxed),
+            shared.started.elapsed().as_secs()
+        ),
+    )
+}
+
+/// Fetch one worker's `/v1/stats` + `/v1/metrics` and digest the fields
+/// the rollup surfaces. `None` when the worker is unreachable.
+fn worker_digest(addr: &str) -> Option<WorkerDigest> {
+    let (status, body) = client::request(addr, "GET", "/v1/stats", b"").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&body);
+    let mut d = WorkerDigest {
+        queued: client::json_u64(&text, "queued").unwrap_or(0),
+        running: client::json_u64(&text, "running").unwrap_or(0),
+        done: client::json_u64(&text, "done").unwrap_or(0),
+        failed: client::json_u64(&text, "failed").unwrap_or(0),
+        parses: client::json_u64(&text, "parses").unwrap_or(0),
+        // First "hits"/"misses" in the stats body are the layout cache's.
+        cache_hits: client::json_u64(&text, "hits").unwrap_or(0),
+        cache_misses: client::json_u64(&text, "misses").unwrap_or(0),
+        ..WorkerDigest::default()
+    };
+    if let Ok((200, metrics)) = client::request(addr, "GET", "/v1/metrics", b"") {
+        let metrics = String::from_utf8_lossy(&metrics);
+        d.engine_terms = prom_value(&metrics, "pgl_engine_terms_applied_total")
+            .map(|v| v as u64)
+            .unwrap_or(0);
+        d.engine_ups = prom_value(&metrics, "pgl_engine_updates_per_sec").unwrap_or(0.0);
+    }
+    Some(d)
+}
+
+/// The value of an unlabelled Prometheus sample line (`name value`).
+fn prom_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// `GET /v1/metrics` — the coordinator's own counters, Prometheus text.
+fn coord_metrics(shared: &Arc<CoordShared>) -> Response {
+    let (alive, total) = worker_counts(shared);
+    let graphs = shared.vault.lock().unwrap().len();
+    let c = &shared.counters;
+    let mut out = String::new();
+    let counters: [(&str, &str, u64); 9] = [
+        (
+            "pgl_coord_jobs_submitted_total",
+            "Jobs accepted by the coordinator.",
+            c.submitted.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_jobs_forwarded_total",
+            "Forwards accepted by workers.",
+            c.forwarded.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_jobs_requeued_total",
+            "Jobs requeued after worker failure.",
+            c.requeues.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_jobs_completed_total",
+            "Jobs that finished done.",
+            c.completed.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_jobs_failed_total",
+            "Jobs that finished failed/expired.",
+            c.failed.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_jobs_cancelled_total",
+            "Jobs cancelled.",
+            c.cancelled.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_worker_joins_total",
+            "Worker joins and resurrections.",
+            c.joins.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_worker_deaths_total",
+            "Workers declared dead.",
+            c.deaths.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_graph_pushes_total",
+            "Graph bodies pushed to workers on miss.",
+            c.graph_pushes.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    let gauges: [(&str, &str, usize); 3] = [
+        ("pgl_coord_workers_alive", "Workers currently alive.", alive),
+        ("pgl_coord_workers_total", "Workers ever registered.", total),
+        (
+            "pgl_coord_graphs_interned",
+            "Graphs in the coordinator vault.",
+            graphs,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    }
+    Response::bytes(200, "text/plain; version=0.0.4", out.into_bytes())
+}
+
+// ─── event-stream proxying ──────────────────────────────────────────
+
+/// `GET /v1/jobs/<id>/events` — chunked NDJSON, transparently proxied.
+/// While the job is queued coordinator-side, synthetic `queued` +
+/// heartbeat lines flow; once forwarded, the worker's stream is piped
+/// through with ids rewritten. If the worker dies mid-stream the
+/// stream *stays open*, waits out the requeue, and re-attaches to the
+/// replacement worker — replaying the new run's events from sequence 0.
+fn stream_proxy(
+    stream: &mut TcpStream,
+    shared: &Arc<CoordShared>,
+    id: JobId,
+) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+          Transfer-Encoding: chunked\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    let mut emitted_queued = false;
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match job_state(shared, id) {
+            None => break,
+            Some(CoordJobState::Queued) => {
+                if !emitted_queued {
+                    write_chunk(
+                        stream,
+                        format!("{{\"job\":{id},\"event\":\"state\",\"state\":\"queued\"}}\n")
+                            .as_bytes(),
+                    )?;
+                    emitted_queued = true;
+                    last_activity = Instant::now();
+                }
+                {
+                    let jobs = shared.jobs.lock().unwrap();
+                    let _ = shared.jobs_cv.wait_timeout(jobs, PARK).unwrap();
+                }
+                if last_activity.elapsed() >= EVENT_HEARTBEAT {
+                    write_chunk(stream, b"{\"event\":\"heartbeat\"}\n")?;
+                    last_activity = Instant::now();
+                }
+            }
+            Some(CoordJobState::Forwarded { worker, remote }) => {
+                let mut write_err = None;
+                let piped = client::stream_lines(
+                    &worker,
+                    &format!("/v1/jobs/{remote}/events?from=0"),
+                    &mut |line| {
+                        let rewritten = rewrite_job_id(line, id);
+                        match write_chunk(stream, format!("{rewritten}\n").as_bytes()) {
+                            Ok(()) => true,
+                            Err(e) => {
+                                write_err = Some(e);
+                                false
+                            }
+                        }
+                    },
+                );
+                if let Some(e) = write_err {
+                    return Err(e); // downstream client went away
+                }
+                match piped {
+                    // The worker's stream ended cleanly — it delivered
+                    // the terminal event; nothing more to say.
+                    Ok(true) => break,
+                    Ok(false) => break,
+                    // Worker died mid-stream: hold the connection while
+                    // the monitor requeues, then re-attach.
+                    Err(_) => std::thread::sleep(PARK),
+                }
+            }
+            Some(CoordJobState::Terminal { body, .. }) => {
+                let state = client::json_field_str(&body, "state").unwrap_or_else(|| "done".into());
+                let error = client::json_field_str(&body, "error")
+                    .map(|e| format!(",\"error\":{}", json_str(&e)))
+                    .unwrap_or_default();
+                write_chunk(
+                    stream,
+                    format!("{{\"job\":{id},\"event\":\"state\",\"state\":\"{state}\"{error}}}\n")
+                        .as_bytes(),
+                )?;
+                break;
+            }
+        }
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Swap the first `"job":<digits>` for the coordinator's id — the only
+/// rewrite proxied bodies need (worker-local ids never leak).
+fn rewrite_job_id(line: &str, id: JobId) -> String {
+    let Some(at) = line.find("\"job\":") else {
+        return line.to_string();
+    };
+    let digits_start = at + "\"job\":".len();
+    let digits = line[digits_start..]
+        .bytes()
+        .take_while(u8::is_ascii_digit)
+        .count();
+    if digits == 0 {
+        return line.to_string();
+    }
+    format!(
+        "{}{}{}",
+        &line[..digits_start],
+        id,
+        &line[digits_start + digits..]
+    )
+}
+
+/// JSON string literal with escaping (the coordinator's copy of the
+/// front end's helper — both are tiny and module-private).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_rewriting() {
+        assert_eq!(
+            rewrite_job_id("{\"job\":7,\"state\":\"done\"}", 42),
+            "{\"job\":42,\"state\":\"done\"}"
+        );
+        assert_eq!(
+            rewrite_job_id("{\"event\":\"heartbeat\"}", 42),
+            "{\"event\":\"heartbeat\"}",
+            "lines without a job id pass through"
+        );
+        assert_eq!(rewrite_job_id("{\"job\":}", 9), "{\"job\":}");
+    }
+
+    #[test]
+    fn prom_value_reads_unlabelled_samples() {
+        let text =
+            "# HELP x y\npgl_engine_terms_applied_total 1500\npgl_engine_updates_per_sec 12.5\n";
+        assert_eq!(
+            prom_value(text, "pgl_engine_terms_applied_total"),
+            Some(1500.0)
+        );
+        assert_eq!(prom_value(text, "pgl_engine_updates_per_sec"), Some(12.5));
+        assert_eq!(prom_value(text, "pgl_engine_running_jobs"), None);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = CoordinatorConfig::default();
+        assert!(cfg.heartbeat >= Duration::from_millis(100));
+        assert!(cfg.dead_after >= 1);
+        assert!(cfg.max_attempts >= 1);
+        assert!(cfg.max_conns >= 1);
+    }
+}

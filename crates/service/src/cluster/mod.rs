@@ -1,0 +1,24 @@
+//! Multi-node scale-out: a coordinator tier that routes jobs across a
+//! fleet of ordinary `pgl serve` workers.
+//!
+//! The pieces, smallest to largest:
+//!
+//! * [`ring`] — rendezvous hashing from a graph's content hash to the
+//!   worker that owns it (deterministic, minimally disruptive).
+//! * [`client`] — the in-crate HTTP client the coordinator uses to talk
+//!   to workers (and workers use to heartbeat).
+//! * [`worker`] — worker-side membership: [`ClusterRole`] for
+//!   `/healthz` and the [`spawn_heartbeat`] join/heartbeat loop behind
+//!   `pgl serve --join`.
+//! * [`coordinator`] — the coordinator process itself: the `/v1`
+//!   surface, the graph vault, fair scheduling across clients and
+//!   graphs, forwarding, failure detection, and drain-and-requeue.
+
+pub mod client;
+pub mod coordinator;
+pub mod ring;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle};
+pub use ring::HashRing;
+pub use worker::{spawn_heartbeat, ClusterRole};

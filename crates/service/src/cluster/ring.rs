@@ -1,0 +1,239 @@
+//! Consistent job routing: rendezvous (highest-random-weight) hashing
+//! from a graph's [`ContentHash`] to the worker that owns it.
+//!
+//! Every worker is scored per graph as
+//! `content_hash_parts([worker_addr, graph_hash])`; the owner is the
+//! highest score. Two properties fall out of that construction:
+//!
+//! * **Determinism** — the mapping depends only on the *set* of worker
+//!   addresses, not on join order, coordinator uptime, or any stored
+//!   state. A restarted coordinator that re-learns the same fleet
+//!   routes every graph to the same worker, so the workers' parsed-
+//!   graph and layout caches stay hot.
+//! * **Minimal disruption** — adding a worker only steals the graphs it
+//!   now scores highest on (≈ 1/(N+1) of them); removing a worker only
+//!   moves *its* graphs, each to the worker that scored second. No
+//!   other assignment changes, unlike modulo hashing where nearly all
+//!   graphs reshuffle.
+//!
+//! [`HashRing::owners`] returns the full preference order (descending
+//! score), which doubles as the failover order: when the primary owner
+//! is dead, the next-ranked worker is exactly where the graph lands
+//! after the death sweep removes the primary — so forwarding there
+//! early is consistent with the post-death routing.
+
+use pangraph::store::{content_hash_parts, ContentHash};
+
+/// The fleet's routing table: a set of worker addresses with rendezvous-
+/// hash owner lookup. Cheap to rebuild from the live membership map on
+/// every routing decision — no cached state to invalidate.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    workers: Vec<String>,
+}
+
+impl HashRing {
+    /// An empty ring (routes nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a ring from any iterator of worker addresses (duplicates
+    /// collapse; order is irrelevant to routing).
+    pub fn from_workers<I, S>(workers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ring = Self::new();
+        for w in workers {
+            ring.add(&w.into());
+        }
+        ring
+    }
+
+    /// Add a worker; `false` when it was already present.
+    pub fn add(&mut self, addr: &str) -> bool {
+        if self.workers.iter().any(|w| w == addr) {
+            return false;
+        }
+        self.workers.push(addr.to_string());
+        true
+    }
+
+    /// Remove a worker; `false` when it was not present.
+    pub fn remove(&mut self, addr: &str) -> bool {
+        match self.workers.iter().position(|w| w == addr) {
+            Some(i) => {
+                self.workers.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of workers in the ring.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the ring has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The graph's owner: the worker with the highest rendezvous score.
+    pub fn owner(&self, graph: ContentHash) -> Option<&str> {
+        self.workers
+            .iter()
+            .max_by_key(|w| (score(w, graph), std::cmp::Reverse(w.as_str())))
+            .map(String::as_str)
+    }
+
+    /// All workers in preference order (descending score): element 0 is
+    /// the owner, element 1 is where the graph would land if the owner
+    /// left, and so on — the natural failover sequence.
+    pub fn owners(&self, graph: ContentHash) -> Vec<&str> {
+        let mut scored: Vec<(u128, &str)> = self
+            .workers
+            .iter()
+            .map(|w| (score(w, graph), w.as_str()))
+            .collect();
+        // Descending score; address breaks the (astronomically unlikely)
+        // tie so the order is total and deterministic.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+        scored.into_iter().map(|(_, w)| w).collect()
+    }
+}
+
+/// Rendezvous score of one worker for one graph: the 128-bit content
+/// hash of `addr ‖ graph_hash`, compared as an integer.
+fn score(addr: &str, graph: ContentHash) -> u128 {
+    u128::from_le_bytes(content_hash_parts(&[addr.as_bytes(), &graph.to_bytes()]).to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangraph::store::content_hash;
+
+    /// A deterministic corpus of distinct content hashes.
+    fn corpus(n: usize) -> Vec<ContentHash> {
+        (0..n as u64)
+            .map(|i| content_hash(&i.to_le_bytes()))
+            .collect()
+    }
+
+    fn fleet(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new();
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(content_hash(b"g")), None);
+        assert!(ring.owners(content_hash(b"g")).is_empty());
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_rebuilds() {
+        // A coordinator restart re-learns the fleet in whatever order
+        // the workers happen to re-register; routing must not care.
+        let addrs = fleet(7);
+        let forward = HashRing::from_workers(addrs.clone());
+        let mut shuffled = addrs.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(3);
+        let reversed = HashRing::from_workers(shuffled);
+        for hash in corpus(300) {
+            assert_eq!(forward.owner(hash), reversed.owner(hash));
+            assert_eq!(forward.owners(hash), reversed.owners(hash));
+        }
+    }
+
+    #[test]
+    fn owners_ranks_the_whole_fleet() {
+        let ring = HashRing::from_workers(fleet(5));
+        for hash in corpus(50) {
+            let owners = ring.owners(hash);
+            assert_eq!(owners.len(), 5);
+            assert_eq!(owners[0], ring.owner(hash).unwrap());
+            let mut sorted = owners.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "every worker appears exactly once");
+        }
+    }
+
+    #[test]
+    fn adding_a_worker_remaps_at_most_about_one_nth() {
+        let n = 8usize;
+        let hashes = corpus(800);
+        let before = HashRing::from_workers(fleet(n));
+        let mut after = before.clone();
+        after.add("10.0.0.99:7878");
+        let mut moved = 0usize;
+        for &hash in &hashes {
+            let old = before.owner(hash).unwrap();
+            let new = after.owner(hash).unwrap();
+            if old != new {
+                moved += 1;
+                // Rendezvous property: a remapped graph can only move TO
+                // the new worker — no collateral reshuffling.
+                assert_eq!(new, "10.0.0.99:7878", "graph moved between old workers");
+            }
+        }
+        // Expected share is 1/(N+1) ≈ 11% of 800 ≈ 89; allow 2× slack
+        // for hash-distribution noise (the corpus is fixed, so this is
+        // a deterministic check, not a flaky statistical one).
+        let bound = 2 * hashes.len() / (n + 1);
+        assert!(moved > 0, "a new worker must take some share");
+        assert!(
+            moved <= bound,
+            "moved {moved} of {}, bound {bound}",
+            hashes.len()
+        );
+    }
+
+    #[test]
+    fn removing_a_worker_remaps_only_its_graphs() {
+        let n = 8usize;
+        let hashes = corpus(800);
+        let before = HashRing::from_workers(fleet(n));
+        let victim = "10.0.0.3:7878";
+        let mut after = before.clone();
+        assert!(after.remove(victim));
+        let mut moved = 0usize;
+        for &hash in &hashes {
+            let old = before.owner(hash).unwrap();
+            let new = after.owner(hash).unwrap();
+            if old == victim {
+                moved += 1;
+                // The graph falls to the second-ranked worker — the
+                // failover order `owners()` promised.
+                assert_eq!(new, before.owners(hash)[1]);
+            } else {
+                assert_eq!(old, new, "survivor assignments must not change");
+            }
+        }
+        let bound = 2 * hashes.len() / n;
+        assert!(moved > 0);
+        assert!(
+            moved <= bound,
+            "moved {moved} of {}, bound {bound}",
+            hashes.len()
+        );
+    }
+
+    #[test]
+    fn add_and_remove_deduplicate() {
+        let mut ring = HashRing::new();
+        assert!(ring.add("a:1"));
+        assert!(!ring.add("a:1"));
+        assert_eq!(ring.len(), 1);
+        assert!(ring.remove("a:1"));
+        assert!(!ring.remove("a:1"));
+        assert!(ring.is_empty());
+    }
+}

@@ -154,6 +154,7 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     cfg: HttpConfig,
     metrics: Arc<HttpMetrics>,
+    role: Arc<crate::cluster::ClusterRole>,
 }
 
 impl HttpServer {
@@ -167,7 +168,15 @@ impl HttpServer {
             stop: Arc::new(AtomicBool::new(false)),
             cfg: HttpConfig::default(),
             metrics: Arc::new(HttpMetrics::new()),
+            role: crate::cluster::ClusterRole::standalone(),
         })
+    }
+
+    /// Set the cluster role surfaced in `/healthz` (builder style).
+    /// Defaults to standalone; `pgl serve --join` passes a worker role.
+    pub fn with_role(mut self, role: Arc<crate::cluster::ClusterRole>) -> Self {
+        self.role = role;
+        self
     }
 
     /// Replace the traffic configuration (builder style).
@@ -199,6 +208,7 @@ impl HttpServer {
             stop,
             cfg,
             metrics,
+            role,
         } = self;
         let limiter = RateLimiter::maybe(cfg.rate_limit).map(Arc::new);
         let queue = Arc::new(ConnQueue::new(cfg.max_conns));
@@ -220,6 +230,7 @@ impl HttpServer {
                 let stop = Arc::clone(&stop);
                 let limiter = limiter.clone();
                 let streams = Arc::clone(&streams);
+                let role = Arc::clone(&role);
                 std::thread::Builder::new()
                     .name(format!("pgl-http-{i}"))
                     .spawn(move || {
@@ -240,6 +251,7 @@ impl HttpServer {
                                 limiter.as_deref(),
                                 &stop,
                                 &streams,
+                                &role,
                             );
                             *active[i].lock().unwrap() = None;
                         }
@@ -382,19 +394,19 @@ impl Drop for ServerHandle {
     }
 }
 
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: Vec<u8>,
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
     /// Client-side keep-alive verdict (version default + `Connection`).
-    keep_alive: bool,
+    pub(crate) keep_alive: bool,
     /// `If-None-Match` value, for `ETag` revalidation on `GET /graphs`.
-    if_none_match: Option<String>,
+    pub(crate) if_none_match: Option<String>,
 }
 
 impl Request {
-    fn param(&self, name: &str) -> Option<&str> {
+    pub(crate) fn param(&self, name: &str) -> Option<&str> {
         self.query
             .iter()
             .find(|(k, _)| k == name)
@@ -402,18 +414,18 @@ impl Request {
     }
 }
 
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: Vec<u8>,
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: Vec<u8>,
     /// Seconds for a `Retry-After` header (rate-limit 429s).
-    retry_after: Option<u32>,
+    pub(crate) retry_after: Option<u32>,
     /// `ETag` header value (already quoted), when the resource has one.
-    etag: Option<String>,
+    pub(crate) etag: Option<String>,
 }
 
 impl Response {
-    fn json(status: u16, body: String) -> Self {
+    pub(crate) fn json(status: u16, body: String) -> Self {
         Self {
             status,
             content_type: "application/json",
@@ -423,7 +435,7 @@ impl Response {
         }
     }
 
-    fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+    pub(crate) fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
         Self {
             status,
             content_type,
@@ -433,7 +445,7 @@ impl Response {
         }
     }
 
-    fn error(status: u16, message: &str) -> Self {
+    pub(crate) fn error(status: u16, message: &str) -> Self {
         Self::json(status, format!("{{\"error\":{}}}", json_str(message)))
     }
 }
@@ -524,6 +536,7 @@ fn handle_connection(
     limiter: Option<&RateLimiter>,
     stop: &AtomicBool,
     streams: &std::sync::atomic::AtomicUsize,
+    role: &Arc<crate::cluster::ClusterRole>,
 ) {
     let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
     // Rate limiting keys on the peer IP; an unreadable peer address
@@ -593,7 +606,7 @@ fn handle_connection(
                                 keep_alive: head.keep_alive,
                                 if_none_match: head.if_none_match,
                             };
-                            match route(&mut req, service, metrics, peer) {
+                            match route(&mut req, service, metrics, peer, role) {
                                 Routed::Plain(response) => {
                                     let elapsed = started.elapsed();
                                     metrics.observe_idx(route_idx, response.status, elapsed);
@@ -694,7 +707,7 @@ fn drain_briefly(stream: &mut TcpStream) {
     }
 }
 
-fn write_response(
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     keep: bool,
@@ -728,7 +741,7 @@ fn write_response(
 }
 
 /// Write one chunk of a `Transfer-Encoding: chunked` response.
-fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
     write!(stream, "{:x}\r\n", data.len())?;
     stream.write_all(data)?;
     stream.write_all(b"\r\n")?;
@@ -854,13 +867,13 @@ fn read_capped_line(
 
 /// Request line + headers, parsed before any body byte is read — the
 /// point where rate limiting can refuse cheaply.
-struct RequestHead {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    keep_alive: bool,
-    content_length: usize,
-    if_none_match: Option<String>,
+pub(crate) struct RequestHead {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+    pub(crate) keep_alive: bool,
+    pub(crate) content_length: usize,
+    pub(crate) if_none_match: Option<String>,
 }
 
 /// Largest body still drained (rather than the connection closed) when
@@ -869,7 +882,9 @@ const RATE_LIMIT_DRAIN_MAX: usize = 64 * 1024;
 
 /// Read one request's line and headers. `Ok(None)` = connection closed /
 /// idle timeout before a request arrived; `Err` = malformed (answer 400).
-fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<RequestHead>, String> {
+pub(crate) fn read_request_head(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<Option<RequestHead>, String> {
     let Some(line) = read_capped_line(reader, "request line")? else {
         return Ok(None);
     };
@@ -962,7 +977,7 @@ fn read_request_head(reader: &mut BufReader<TcpStream>) -> Result<Option<Request
 /// Read the announced body. Read via `take` so memory grows with bytes
 /// actually received, not with whatever Content-Length a client merely
 /// claims.
-fn read_request_body(
+pub(crate) fn read_request_body(
     reader: &mut BufReader<TcpStream>,
     content_length: usize,
 ) -> Result<Vec<u8>, String> {
@@ -988,6 +1003,7 @@ fn route(
     service: &LayoutService,
     metrics: &HttpMetrics,
     peer: IpAddr,
+    role: &crate::cluster::ClusterRole,
 ) -> Routed {
     let path = req.path.clone();
     let all: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
@@ -1075,7 +1091,7 @@ fn route(
                 format!("{{\"engines\":[{}]}}", names.join(",")),
             ))
         }
-        ("GET", ["healthz"]) => plain(healthz(service)),
+        ("GET", ["healthz"]) => plain(healthz(service, role)),
         ("GET", _) | ("POST", _) | ("DELETE", _) => plain(Response::error(404, "no such route")),
         _ => plain(Response::error(405, "method not supported")),
     }
@@ -1255,13 +1271,15 @@ fn features_json(service: &LayoutService) -> String {
 }
 
 /// `GET /healthz` — liveness plus enough identity for a probe log:
-/// version, uptime, and feature axes.
-fn healthz(service: &LayoutService) -> Response {
+/// version, uptime, feature axes, and the process's cluster role
+/// (workers also report their coordinator and last-heartbeat age).
+fn healthz(service: &LayoutService, role: &crate::cluster::ClusterRole) -> Response {
     let s = service.stats();
     Response::json(
         200,
         format!(
-            "{{\"ok\":true,\"version\":{},\"uptime_s\":{},\"features\":{}}}",
+            "{{\"ok\":true,{},\"version\":{},\"uptime_s\":{},\"features\":{}}}",
+            role.json_fields(),
             json_str(env!("CARGO_PKG_VERSION")),
             s.uptime_ms / 1000,
             features_json(service)
@@ -1310,11 +1328,11 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
              \"active_clients\":{}}},\
              \"cache\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"insertions\":{},\"disk_hits\":{},\"disk_writes\":{},\
-             \"disk_errors\":{},\"disk_cap_evictions\":{}}},\
+             \"disk_errors\":{},\"disk_cap_evictions\":{},\"disk_ttl_evictions\":{}}},\
              \"graphs\":{{\"resident\":{},\"bytes\":{},\"parses\":{},\"hits\":{},\
              \"disk_hits\":{},\"misses\":{},\"evictions\":{},\"deletes\":{},\
              \"disk_writes\":{},\"disk_errors\":{},\"disk_cap_evictions\":{},\
-             \"preloaded\":{}}},\
+             \"disk_ttl_evictions\":{},\"preloaded\":{}}},\
              \"http\":{{\"accepted\":{},\"rejected_503\":{},\"keepalive_reuses\":{},\
              \"bad_requests\":{},\"rate_limited_429\":{},\"requests\":{}}},\
              \"workers\":{},\"uptime_ms\":{}}}",
@@ -1339,6 +1357,7 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             s.cache.disk_writes,
             s.cache.disk_errors,
             s.cache.disk_cap_evictions,
+            s.cache.disk_ttl_evictions,
             s.graph_entries,
             s.graph_bytes,
             s.graphs.parses,
@@ -1350,6 +1369,7 @@ fn stats(service: &LayoutService, metrics: &HttpMetrics) -> Response {
             s.graphs.disk_writes,
             s.graphs.disk_errors,
             s.graphs.disk_cap_evictions,
+            s.graphs.disk_ttl_evictions,
             s.graphs.preloaded,
             h.accepted,
             h.rejected_503,

@@ -71,6 +71,11 @@
 //!   [`batchrun::run_batch`] is the same pool driven
 //!   filesystem-to-filesystem as `pgl batch` — parsing each input
 //!   exactly once even when fanned across multiple engines.
+//! * [`cluster`] — multi-node scale-out: `pgl coordinator` speaks the
+//!   same `/v1` surface and routes each job to the `pgl serve --join`
+//!   worker that owns its graph under rendezvous hashing
+//!   ([`cluster::HashRing`]), pushing graph bodies on first miss,
+//!   heartbeat-detecting dead workers, and requeueing their jobs.
 //!
 //! ## Example
 //!
@@ -91,6 +96,7 @@
 
 pub mod batchrun;
 pub mod cache;
+pub mod cluster;
 pub mod http;
 pub mod httpmetrics;
 pub mod job;
@@ -103,6 +109,9 @@ pub mod spec;
 
 pub use batchrun::{run_batch, BatchOptions, BatchOutcome, BatchReport};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
+pub use cluster::{
+    spawn_heartbeat, ClusterRole, Coordinator, CoordinatorConfig, CoordinatorHandle, HashRing,
+};
 pub use http::{HttpConfig, HttpServer, ServerHandle};
 pub use httpmetrics::{
     validate_exposition, HistogramSnapshot, HttpMetrics, HttpStatsSnapshot, WindowedHistogram,

@@ -21,13 +21,28 @@
 //!    client's 50-deep backlog of small graphs still interleaves 1:1
 //!    with a neighbor's.
 //!
+//! A third, orthogonal axis — **per-graph in-flight quotas** — guards
+//! the worker pool itself: when a quota is configured, at most that
+//! many popped-but-unreleased jobs may target the same graph hash at
+//! once. One hot pangenome (a viral launch of a single chromosome)
+//! can then no longer occupy every worker; pops skip quota-blocked
+//! jobs (leaving per-client FIFO order intact) and the caller calls
+//! [`FairScheduler::release`] when a job reaches a terminal state,
+//! unblocking the next job for that graph. The same mechanism serves
+//! the cluster coordinator, where "in-flight" means "forwarded to a
+//! worker shard" — fairness across clients *and* shards.
+//!
 //! The scheduler is a passive data structure guarded by the service's
 //! queue mutex; it never blocks and performs no I/O. Within one client's
 //! queue, FIFO order is preserved — fairness reorders *between* clients,
 //! never within one.
 
 use crate::spec::Priority;
+use pangraph::store::ContentHash;
 use std::collections::{HashMap, VecDeque};
+
+/// Per-graph quota key: the graph's content hash.
+pub type GraphKey = ContentHash;
 
 /// Fair-share key: one queue per distinct client string per band.
 pub type ClientKey = String;
@@ -82,24 +97,39 @@ impl Band {
         self.len += 1;
     }
 
-    fn pop(&mut self) -> Option<u64> {
+    /// DRR pop restricted to jobs `allowed` admits (quota gating).
+    /// Blocked clients are rotated past *without* accruing deficit —
+    /// a quota-parked client must not bank turns — and per-client FIFO
+    /// order is preserved: only the head job is ever considered.
+    fn pop_where(&mut self, allowed: &mut dyn FnMut(u64) -> bool) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
-        // Each full rotation adds QUANTUM to every visited client, so
-        // with positive capped costs this terminates: some head job's
-        // cost is covered after at most MAX_JOB_COST / QUANTUM
-        // rotations.
+        // Termination: rotations where an *allowed* head gains QUANTUM
+        // are bounded (≤ MAX_JOB_COST per client before its cost is
+        // covered), and `blocked_streak` catches the all-blocked case —
+        // a full silent pass over the rotation means nothing here can
+        // run until a release.
+        let mut blocked_streak = 0;
         loop {
+            if blocked_streak >= self.rr.len() {
+                return None;
+            }
             let client = self.rr.front()?.clone();
             let q = self
                 .clients
                 .get_mut(&client)
                 .expect("rr entries always have a queue");
-            let &(_, cost) = q.jobs.front().expect("active clients have jobs");
+            let &(id, cost) = q.jobs.front().expect("active clients have jobs");
+            if !allowed(id) {
+                blocked_streak += 1;
+                self.rr.rotate_left(1);
+                continue;
+            }
+            blocked_streak = 0;
             if q.deficit >= cost {
                 q.deficit -= cost;
-                let (id, _) = q.jobs.pop_front().expect("active clients have jobs");
+                q.jobs.pop_front();
                 self.len -= 1;
                 if q.jobs.is_empty() {
                     self.clients.remove(&client);
@@ -133,34 +163,111 @@ impl Band {
 }
 
 /// The service's job queue: strict [`Priority`] bands, deficit
-/// round-robin across client keys within each band.
+/// round-robin across client keys within each band, and an optional
+/// per-graph in-flight quota across the whole queue.
 #[derive(Default)]
 pub struct FairScheduler {
     bands: [Band; Priority::ALL.len()],
+    /// Max popped-but-unreleased jobs per graph hash (0 ⇒ unlimited).
+    graph_quota: usize,
+    /// Graph key of each *queued* job pushed via
+    /// [`FairScheduler::push_keyed`].
+    graph_of: HashMap<u64, GraphKey>,
+    /// Graph key of each popped-but-unreleased job.
+    running_graph: HashMap<u64, GraphKey>,
+    /// In-flight job count per graph key.
+    inflight: HashMap<GraphKey, usize>,
 }
 
 impl FairScheduler {
-    /// An empty scheduler.
+    /// An empty scheduler with no per-graph quota.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty scheduler capping any single graph hash to `quota`
+    /// in-flight (popped, not yet released) jobs. 0 disables the cap.
+    pub fn with_graph_quota(quota: usize) -> Self {
+        Self {
+            graph_quota: quota,
+            ..Self::default()
+        }
+    }
+
     /// Enqueue a job under `(priority, client)` with a DRR cost
-    /// (see [`job_cost`]; clamped to `1..=MAX_JOB_COST`).
+    /// (see [`job_cost`]; clamped to `1..=MAX_JOB_COST`). Jobs pushed
+    /// without a graph key are never quota-gated.
     pub fn push(&mut self, priority: Priority, client: &str, id: u64, cost: u64) {
         self.bands[priority.band()].push(client, id, cost);
     }
 
+    /// [`FairScheduler::push`], additionally keying the job by its
+    /// graph hash for per-graph quota enforcement.
+    pub fn push_keyed(
+        &mut self,
+        priority: Priority,
+        client: &str,
+        id: u64,
+        cost: u64,
+        graph: GraphKey,
+    ) {
+        if self.graph_quota > 0 {
+            self.graph_of.insert(id, graph);
+        }
+        self.push(priority, client, id, cost);
+    }
+
     /// Dequeue the next job: the highest non-empty band, fairest client
-    /// first. `None` when empty.
+    /// first, skipping jobs whose graph hash is at its in-flight quota.
+    /// `None` when empty *or* when everything queued is quota-blocked —
+    /// callers park on their condvar either way, and a
+    /// [`FairScheduler::release`] re-notifies.
     pub fn pop(&mut self) -> Option<u64> {
-        self.bands.iter_mut().find_map(Band::pop)
+        let quota = self.graph_quota;
+        let graph_of = &self.graph_of;
+        let inflight = &self.inflight;
+        let mut allowed = |id: u64| {
+            quota == 0
+                || graph_of
+                    .get(&id)
+                    .is_none_or(|g| inflight.get(g).copied().unwrap_or(0) < quota)
+        };
+        let id = self
+            .bands
+            .iter_mut()
+            .find_map(|b| b.pop_where(&mut allowed))?;
+        if let Some(g) = self.graph_of.remove(&id) {
+            *self.inflight.entry(g).or_insert(0) += 1;
+            self.running_graph.insert(id, g);
+        }
+        Some(id)
+    }
+
+    /// A previously popped job reached a terminal state: free its slot
+    /// in the per-graph quota. Returns whether a slot was actually
+    /// released (callers re-notify waiting workers only then).
+    /// Idempotent; a no-op for jobs without a graph key.
+    pub fn release(&mut self, id: u64) -> bool {
+        let Some(g) = self.running_graph.remove(&id) else {
+            return false;
+        };
+        match self.inflight.get_mut(&g) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.inflight.remove(&g);
+            }
+        }
+        true
     }
 
     /// Remove a queued job wherever it is (cancellation). Returns
     /// whether it was found.
     pub fn remove(&mut self, id: u64) -> bool {
-        self.bands.iter_mut().any(|b| b.remove(id))
+        let found = self.bands.iter_mut().any(|b| b.remove(id));
+        if found {
+            self.graph_of.remove(&id);
+        }
+        found
     }
 
     /// Total queued jobs.
@@ -377,6 +484,94 @@ mod tests {
         s.push(Priority::Normal, "a", 1, 0);
         s.push(Priority::Normal, "a", 2, u64::MAX);
         assert_eq!(drain(&mut s), vec![1, 2], "clamped costs still drain");
+    }
+
+    fn gkey(tag: &str) -> GraphKey {
+        pangraph::store::content_hash(tag.as_bytes())
+    }
+
+    #[test]
+    fn graph_quota_caps_inflight_jobs_per_graph() {
+        let mut s = FairScheduler::with_graph_quota(2);
+        let hot = gkey("hot");
+        for id in 1..=4 {
+            s.push_keyed(Priority::Normal, "a", id, 1, hot);
+        }
+        // Two pops fill the hot graph's quota…
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+        // …and the rest of its backlog is parked, not popped.
+        assert_eq!(s.pop(), None, "quota-blocked queue pops nothing");
+        assert_eq!(s.len(), 2, "blocked jobs stay queued");
+        // Releasing one in-flight slot unblocks exactly one more.
+        assert!(s.release(1));
+        assert!(!s.release(1), "release is idempotent");
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), None);
+        s.release(2);
+        s.release(3);
+        assert_eq!(s.pop(), Some(4));
+    }
+
+    #[test]
+    fn graph_quota_never_starves_other_graphs() {
+        let mut s = FairScheduler::with_graph_quota(1);
+        let hot = gkey("hot");
+        let cold = gkey("cold");
+        // One client floods the hot graph; another queues behind it
+        // with a different graph.
+        for id in 1..=3 {
+            s.push_keyed(Priority::Normal, "flood", id, 1, hot);
+        }
+        s.push_keyed(Priority::Normal, "other", 10, 1, cold);
+        assert_eq!(s.pop(), Some(1), "first hot job takes the quota slot");
+        // The hot graph is saturated: the cold graph is served even
+        // though the flooder is ahead in the rotation.
+        assert_eq!(s.pop(), Some(10), "cold graph skips the blocked flood");
+        assert_eq!(s.pop(), None, "hot backlog waits for a release");
+        assert!(s.release(1));
+        assert_eq!(s.pop(), Some(2));
+    }
+
+    #[test]
+    fn quota_blocked_clients_do_not_bank_deficit() {
+        let mut s = FairScheduler::with_graph_quota(1);
+        let hot = gkey("hot");
+        s.push_keyed(Priority::Normal, "a", 1, 1, hot);
+        assert_eq!(s.pop(), Some(1));
+        // While a's next hot job is parked, b pops repeatedly; a must
+        // not accumulate turns for the time it spent blocked.
+        s.push_keyed(Priority::Normal, "a", 2, 1, hot);
+        for id in 20..24 {
+            s.push_keyed(Priority::Normal, "b", id, 1, gkey("cold"));
+        }
+        assert_eq!(s.pop(), Some(20));
+        s.release(20);
+        assert_eq!(s.pop(), Some(21));
+        s.release(21);
+        s.release(1); // hot slot frees: a is served next round, once
+        let next = [s.pop().unwrap(), s.pop().unwrap()];
+        assert!(next.contains(&2), "unblocked job served promptly: {next:?}");
+    }
+
+    #[test]
+    fn unkeyed_and_cancelled_jobs_bypass_the_quota() {
+        let mut s = FairScheduler::with_graph_quota(1);
+        let hot = gkey("hot");
+        s.push_keyed(Priority::Normal, "a", 1, 1, hot);
+        s.push_keyed(Priority::Normal, "a", 2, 1, hot);
+        s.push(Priority::Normal, "a", 3, 1); // no graph key
+        assert_eq!(s.pop(), Some(1));
+        // Cancelling the parked hot job forgets its key entirely.
+        assert!(s.remove(2));
+        assert_eq!(s.pop(), Some(3), "unkeyed job is never gated");
+        assert_eq!(s.pop(), None);
+        // Zero quota means unlimited.
+        let mut open = FairScheduler::new();
+        open.push_keyed(Priority::Normal, "a", 1, 1, hot);
+        open.push_keyed(Priority::Normal, "a", 2, 1, hot);
+        assert_eq!(open.pop(), Some(1));
+        assert_eq!(open.pop(), Some(2), "no quota configured");
     }
 
     #[test]

@@ -51,8 +51,8 @@ use crate::sched::{job_cost, FairScheduler};
 use crate::spec::{JobSpec, Priority};
 use layout_core::LayoutControl;
 use pangraph::store::{
-    content_hash, evict_dir_to_cap, load_graph_spill, write_graph_spill, ContentHash, GraphMeta,
-    GraphStore, GraphStoreStats,
+    content_hash, evict_dir_to_cap, evict_dir_to_ttl, load_graph_spill, write_graph_spill,
+    ContentHash, GraphMeta, GraphStore, GraphStoreStats,
 };
 use pangraph::{parse_gfa, Layout2D, LeanGraph};
 use pgio::load_lay;
@@ -95,6 +95,15 @@ pub struct ServiceConfig {
     /// when a spill pushes a directory past the cap, its oldest spill
     /// files are evicted first.
     pub cache_max_bytes: u64,
+    /// Age cap for both disk tiers (`None` ⇒ keep forever): spill files
+    /// older than this are swept whenever a spill runs the eviction
+    /// pass, alongside the byte cap. Bounds *staleness* where the byte
+    /// cap bounds *space*.
+    pub cache_ttl: Option<Duration>,
+    /// Per-graph in-flight quota for the scheduler (0 ⇒ unlimited): at
+    /// most this many jobs for any single graph hash may run at once,
+    /// so one hot graph cannot occupy every worker.
+    pub graph_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +115,8 @@ impl Default for ServiceConfig {
             max_finished_jobs: 1024,
             cache_dir: None,
             cache_max_bytes: 0,
+            cache_ttl: None,
+            graph_quota: 0,
         }
     }
 }
@@ -262,6 +273,9 @@ struct Shared {
     max_finished: usize,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Disk-tier TTL ([`ServiceConfig::cache_ttl`]), applied by the
+    /// insert paths' eviction passes.
+    cache_ttl: Option<Duration>,
     /// Phase/queue-wait histograms and engine-level counters for
     /// `/metrics`.
     metrics: ServiceMetrics,
@@ -328,7 +342,7 @@ impl LayoutService {
         let shared = Arc::new(Shared {
             registry,
             jobs: Mutex::new(HashMap::new()),
-            queue: Mutex::new(FairScheduler::new()),
+            queue: Mutex::new(FairScheduler::with_graph_quota(cfg.graph_quota)),
             queue_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: Mutex::new(cache),
@@ -339,6 +353,7 @@ impl LayoutService {
             max_finished: cfg.max_finished_jobs.max(1),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            cache_ttl: cfg.cache_ttl,
             metrics: ServiceMetrics::new(),
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -628,7 +643,7 @@ impl LayoutService {
                 .queue
                 .lock()
                 .unwrap()
-                .push(priority, &client, id, cost);
+                .push_keyed(priority, &client, id, cost, graph_hash);
             self.shared.queue_cv.notify_one();
         }
         Ok(SubmitTicket {
@@ -1119,20 +1134,28 @@ fn graph_lookup(shared: &Shared, id: ContentHash) -> Option<Arc<LeanGraph>> {
 }
 
 /// Insert a parsed graph: spill to the disk tier and enforce its byte
-/// cap (file I/O outside the store lock), then place it in memory.
+/// and TTL caps (file I/O outside the store lock), then place it in
+/// memory.
 fn graph_insert(shared: &Shared, id: ContentHash, graph: &Arc<LeanGraph>) {
-    let (spill, cap) = {
+    let (spill, cap, dir) = {
         let store = shared.graphs.lock().unwrap();
-        (store.disk_path(id), store.disk_cap())
+        (store.disk_path(id), store.disk_cap(), store.disk_dir())
     };
     let spill_ok = spill.map(|path| write_graph_spill(graph, &path));
     let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lean"));
+    let ttl_evicted = match (shared.cache_ttl, dir) {
+        (Some(ttl), Some(dir)) => Some(evict_dir_to_ttl(&dir, ttl, "lean")),
+        _ => None,
+    };
     let mut store = shared.graphs.lock().unwrap();
     if let Some(ok) = spill_ok {
         store.record_spill(id, ok);
     }
     if let Some(removed) = cap_evicted {
         store.record_cap_evictions(&removed);
+    }
+    if let Some(removed) = ttl_evicted {
+        store.record_ttl_evictions(&removed);
     }
     store.insert(id, Arc::clone(graph));
 }
@@ -1174,15 +1197,23 @@ fn cache_lookup(shared: &Shared, key: CacheKey) -> Option<Arc<Layout2D>> {
 }
 
 /// Insert a finished layout: spill to the disk tier and enforce its
-/// byte cap (file I/O outside the cache lock), then place it in the
-/// memory tier.
+/// byte and TTL caps (file I/O outside the cache lock), then place it
+/// in the memory tier.
 fn cache_insert(shared: &Shared, key: CacheKey, layout: &Arc<Layout2D>) {
-    let (spill, cap) = {
+    let (spill, cap, dir) = {
         let cache = shared.cache.lock().unwrap();
-        (cache.disk_path(key), cache.disk_cap())
+        (
+            cache.disk_path(key),
+            cache.disk_cap(),
+            cache.disk_dir().map(|d| d.to_path_buf()),
+        )
     };
     let spill_ok = spill.map(|path| write_spill(layout, &path));
     let cap_evicted = cap.map(|(dir, max)| evict_dir_to_cap(&dir, max, "lay"));
+    let ttl_evicted = match (shared.cache_ttl, dir) {
+        (Some(ttl), Some(dir)) => Some(evict_dir_to_ttl(&dir, ttl, "lay")),
+        _ => None,
+    };
     let mut cache = shared.cache.lock().unwrap();
     if let Some(ok) = spill_ok {
         cache.record_spill(key, ok);
@@ -1190,7 +1221,20 @@ fn cache_insert(shared: &Shared, key: CacheKey, layout: &Arc<Layout2D>) {
     if let Some(removed) = cap_evicted {
         cache.record_cap_evictions(&removed);
     }
+    if let Some(removed) = ttl_evicted {
+        cache.record_ttl_evictions(&removed);
+    }
     cache.insert_memory(key, Arc::clone(layout));
+}
+
+/// Free a popped job's per-graph quota slot and wake a parked worker.
+/// Every id a worker pops must pass through here exactly once, whatever
+/// became of the job — `release` is idempotent, but a leaked slot would
+/// park its graph's backlog forever.
+fn release_quota(shared: &Shared, id: JobId) {
+    if shared.queue.lock().unwrap().release(id) {
+        shared.queue_cv.notify_all();
+    }
 }
 
 /// Bookkeeping once a job has reached a terminal state: record it for
@@ -1256,6 +1300,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = shared.jobs.lock().unwrap().get(&id).cloned() else {
+            release_quota(shared, id);
             continue;
         };
         // Claim: Queued → Running (it may have been cancelled or have
@@ -1308,6 +1353,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 retire_job(shared, id);
                 shared.done_cv.notify_all();
             }
+            release_quota(shared, id);
             continue;
         };
         let RunClaim {
@@ -1428,6 +1474,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         drop(guard);
         retire_job(shared, id);
+        release_quota(shared, id);
         shared.done_cv.notify_all();
     }
 }

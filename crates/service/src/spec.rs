@@ -148,6 +148,69 @@ impl JobSpec {
         self.client = Some(c.into());
         self
     }
+
+    /// Serialize the spec back to its `/v1` query-string form — the
+    /// inverse of [`parse_job_spec`] over the wire-representable
+    /// surface ([`KNOWN_PARAMS`]). The cluster coordinator forwards
+    /// jobs to workers with exactly this string, so the typed spec *is*
+    /// the wire format.
+    ///
+    /// A [`GraphSpec::Stored`] graph appears as `graph=<hex>`; an
+    /// inline GFA does not appear at all — the caller sends the
+    /// document as the request body, exactly as an origin client would.
+    /// Config fields with no query parameter (`eps`, `cooling_start`,
+    /// …) are not representable and are dropped; specs built from HTTP
+    /// requests never set them, so coordinator forwarding is lossless.
+    pub fn to_query(&self) -> String {
+        let mut q = String::new();
+        let mut push = |k: &str, v: &str| {
+            if !q.is_empty() {
+                q.push('&');
+            }
+            q.push_str(k);
+            q.push('=');
+            q.push_str(&encode_component(v));
+        };
+        push("engine", &self.engine);
+        if let GraphSpec::Stored(id) = &self.graph {
+            push("graph", &id.hex());
+        }
+        push("iters", &self.config.iter_max.to_string());
+        push("threads", &self.config.threads.to_string());
+        push("seed", &self.config.seed.to_string());
+        if self.config.data_layout == DataLayout::OriginalSoa {
+            push("soa", "1");
+        }
+        push("precision", self.config.precision.label());
+        push("term_block", &self.config.term_block.to_string());
+        push("simd", self.config.simd.label());
+        push("write_shard", self.config.write_shard.label());
+        push("batch", &self.batch_size.to_string());
+        push("priority", self.priority.as_str());
+        if let Some(client) = &self.client {
+            push("client", client);
+        }
+        if let Some(ttl) = self.queue_ttl {
+            push("ttl_ms", &ttl.as_millis().max(1).to_string());
+        }
+        q
+    }
+}
+
+/// Percent-encode one query-string component: unreserved characters
+/// (RFC 3986 §2.3) pass through, everything else becomes `%XX` — the
+/// encoding the HTTP front end's query parser decodes.
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
 }
 
 /// Why a request failed to parse into a [`JobSpec`]. Every variant maps
@@ -471,6 +534,85 @@ mod tests {
             parse_job_spec(&[], vec![0xff, 0xfe], true).unwrap_err(),
             SpecError::BodyNotUtf8
         );
+    }
+
+    /// Decode `%XX` escapes the way the HTTP front end's query parser
+    /// does, so the round trip below mirrors the real wire path.
+    fn decode(s: &str) -> String {
+        let bytes = s.as_bytes();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' && i + 2 < bytes.len() {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap();
+                out.push(u8::from_str_radix(hex, 16).unwrap());
+                i += 3;
+            } else {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    fn reparse(query: &str) -> JobSpec {
+        let params: Vec<(String, String)> = query
+            .split('&')
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap();
+                (decode(k), decode(v))
+            })
+            .collect();
+        parse_job_spec(&params, Vec::new(), true).expect("to_query emits only known params")
+    }
+
+    #[test]
+    fn to_query_round_trips_through_parse_job_spec() {
+        let id = pangraph::store::content_hash(b"rt");
+        let mut spec = JobSpec::by_ref("gpu", id)
+            .priority(Priority::Bulk)
+            .client("team a&b=c/…");
+        spec.config.iter_max = 17;
+        spec.config.threads = 3;
+        spec.config.seed = 99;
+        spec.config.precision = Precision::F32;
+        spec.config.data_layout = DataLayout::OriginalSoa;
+        spec.config.term_block = 2048;
+        spec.config.simd = Toggle::On;
+        spec.config.write_shard = Toggle::Off;
+        spec.batch_size = 512;
+        spec.queue_ttl = Some(Duration::from_millis(2500));
+        let back = reparse(&spec.to_query());
+        assert_eq!(back.engine, spec.engine);
+        assert!(matches!(back.graph, GraphSpec::Stored(h) if h == id));
+        assert_eq!(back.config.iter_max, 17);
+        assert_eq!(back.config.threads, 3);
+        assert_eq!(back.config.seed, 99);
+        assert_eq!(back.config.precision, Precision::F32);
+        assert_eq!(back.config.data_layout, DataLayout::OriginalSoa);
+        assert_eq!(back.config.term_block, 2048);
+        assert_eq!(back.config.simd, Toggle::On);
+        assert_eq!(back.config.write_shard, Toggle::Off);
+        assert_eq!(back.batch_size, 512);
+        assert_eq!(back.priority, Priority::Bulk);
+        assert_eq!(back.client.as_deref(), Some("team a&b=c/…"));
+        assert_eq!(back.queue_ttl, Some(Duration::from_millis(2500)));
+    }
+
+    #[test]
+    fn to_query_defaults_round_trip_and_inline_bodies_stay_out() {
+        let spec = JobSpec::new("cpu", "S\t1\tA\n");
+        let q = spec.to_query();
+        assert!(!q.contains("graph="), "inline GFA travels as the body");
+        assert!(!q.contains("client="), "absent client stays absent");
+        assert!(!q.contains("ttl_ms="), "absent TTL stays absent");
+        assert!(!q.contains("soa"), "default layout emits no flag");
+        let back = reparse(&q);
+        assert_eq!(back.engine, "cpu");
+        assert_eq!(back.batch_size, spec.batch_size);
+        assert_eq!(back.priority, Priority::Normal);
+        assert_eq!(back.config.iter_max, spec.config.iter_max);
+        assert_eq!(back.config.term_block, spec.config.term_block);
     }
 
     #[test]
