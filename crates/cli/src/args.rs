@@ -78,6 +78,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--cache-ttl",
     "--graph-quota",
     "--heartbeat-ms",
+    "--journal-dir",
+    "--vault-max-bytes",
 ];
 
 impl ArgParser {
@@ -212,6 +214,14 @@ mod tests {
         assert_eq!(p.parse_or("--heartbeat-ms", 2000u64).unwrap(), 500);
         assert_eq!(p.parse_or("--cache-ttl", 0u64).unwrap(), 3600);
         assert_eq!(p.parse_or("--graph-quota", 0usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn journal_flags_parse() {
+        let p = parse("--journal-dir /var/lib/pgl/journal --vault-max-bytes 1048576");
+        p.validate().unwrap();
+        assert_eq!(p.value("--journal-dir").unwrap(), "/var/lib/pgl/journal");
+        assert_eq!(p.parse_or("--vault-max-bytes", 0u64).unwrap(), 1_048_576);
     }
 
     #[test]

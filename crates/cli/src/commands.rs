@@ -126,8 +126,8 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
         }
         "coordinator" => {
             "pgl coordinator [--addr HOST] [--port N] [--heartbeat-ms N] [--max-conns N]\n\
-             \u{20}               [--graph-quota N] [--log-level debug|info|warn|error|off]\n\
-             \u{20}               [--log-json]\n\
+             \u{20}               [--graph-quota N] [--journal-dir DIR] [--vault-max-bytes N]\n\
+             \u{20}               [--log-level debug|info|warn|error|off] [--log-json]\n\
              Run the cluster coordinator: speaks the same /v1 surface as pgl serve\n\
              and routes each job across a fleet of pgl serve --join workers.\n\
              Placement is rendezvous (consistent) hashing on the job's graph\n\
@@ -145,11 +145,23 @@ pub fn usage(cmd: &str) -> Option<&'static str> {
              cap on concurrently forwarded jobs per graph — now fleet-wide.\n\
              GET /v1/jobs/<id>, /events, /trace, /result/<id> proxy to the\n\
              owning worker with ids rewritten; an event stream held across a\n\
-             worker death re-attaches to the replacement and replays from\n\
-             sequence 0. GET /v1/stats aggregates per-worker queue depth, cache\n\
-             hit ratios, and pgl_engine_* telemetry into a fleet rollup;\n\
+             worker death re-attaches to the replacement, resuming from the\n\
+             last relayed sequence for the same run and deduplicating replays.\n\
+             GET /v1/stats aggregates per-worker queue depth, cache hit\n\
+             ratios, and pgl_engine_* telemetry into a fleet rollup;\n\
              /v1/metrics exposes pgl_coord_* counters; /v1/healthz reports\n\
-             role=coordinator plus alive/total worker counts."
+             role=coordinator plus alive/total worker counts.\n\
+             Durability: --journal-dir DIR arms a write-ahead job journal —\n\
+             every accepted job is fsync'd before its 202, uploaded graphs\n\
+             spill to DIR/vault (LRU-capped by --vault-max-bytes; 0 = no cap),\n\
+             and a restart on the same DIR replays the journal: queued jobs\n\
+             re-enter the scheduler, in-flight jobs are adopted or requeued by\n\
+             probing their recorded worker (at-least-once), and finished jobs\n\
+             keep answering GET /v1/jobs/<id>. Each boot bumps a journal epoch\n\
+             advertised in heartbeat replies, so workers log coordinator\n\
+             restarts. PGL_FAULT_PLAN=\"seed=S,refuse=N,drop=N,delay=N:MS,\n\
+             err500=N\" arms deterministic fault injection on outbound cluster\n\
+             requests (testing only); retries use jittered exponential backoff."
         }
         "bench" => {
             "pgl bench [-o <out.json>] [--preset small|medium|large] [--threads N]\n\
@@ -544,6 +556,8 @@ pub fn coordinator(p: ArgParser) -> CmdResult {
         ),
         graph_quota: p.parse_or("--graph-quota", defaults.graph_quota)?,
         max_conns: p.parse_or("--max-conns", defaults.max_conns)?.max(1),
+        journal_dir: p.value("--journal-dir").map(std::path::PathBuf::from),
+        vault_max_bytes: p.parse_or("--vault-max-bytes", defaults.vault_max_bytes)?,
         ..defaults
     };
     let heartbeat_ms = cfg.heartbeat.as_millis();

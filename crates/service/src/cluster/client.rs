@@ -4,24 +4,51 @@
 //! streams), kept inside this crate because the service cannot depend
 //! on the binary that depends on it.
 
+use crate::cluster::fault::{self, Fault};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Connect/read/write deadline for control-plane requests. Event-stream
-/// reads sit well inside this: the serving side emits a heartbeat line
-/// at least every 15 s.
-const IO_TIMEOUT: Duration = Duration::from_secs(60);
+/// TCP connect deadline. A dead or firewalled peer fails in bounded
+/// time instead of riding the kernel's minutes-long SYN retry schedule.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Read/write deadline for control-plane requests (job forwards, graph
+/// pushes, status polls, heartbeats): short, so a hung worker can never
+/// wedge the dispatcher or heartbeat threads.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read deadline for event streams. Generous because streams are
+/// long-lived by design, but still bounded: the serving side emits a
+/// heartbeat line at least every 15 s, so 60 s of silence means the
+/// peer is gone.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One blocking request; returns `(status, body)`. The connection is
-/// closed afterwards (`Connection: close`).
+/// closed afterwards (`Connection: close`). Consults the process-wide
+/// [`fault`] plan first, so chaos runs can refuse, stall, or sever any
+/// outbound cluster request deterministically.
 pub fn request(
     addr: &str,
     method: &str,
     path_and_query: &str,
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), String> {
-    let mut stream = connect(addr)?;
+    let mut sever_response = false;
+    match fault::next() {
+        Some(Fault::Refuse) => {
+            return Err(format!("connect {addr}: injected connection refusal"));
+        }
+        Some(Fault::Err500) => {
+            return Ok((500, b"injected fault: internal error".to_vec()));
+        }
+        Some(Fault::Delay(pause)) => std::thread::sleep(pause),
+        // The request is sent and the server acts on it, but the
+        // response never arrives — the at-least-once hazard.
+        Some(Fault::DropMidBody) => sever_response = true,
+        None => {}
+    }
+    let mut stream = connect(addr, CONTROL_TIMEOUT)?;
     let head = format!(
         "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
          Connection: close\r\n\r\n",
@@ -33,6 +60,9 @@ pub fn request(
         .map_err(|e| format!("send to {addr}: {e}"))?;
     let mut reader = BufReader::new(stream);
     let (status, headers) = read_head(&mut reader, addr)?;
+    if sever_response {
+        return Err(format!("read from {addr}: injected mid-body drop"));
+    }
     let mut payload = Vec::new();
     if header_value(&headers, "transfer-encoding").is_some_and(|v| v.contains("chunked")) {
         read_chunked(&mut reader, addr, &mut |bytes| {
@@ -69,7 +99,7 @@ pub fn stream_lines(
     path_and_query: &str,
     on_line: &mut dyn FnMut(&str) -> bool,
 ) -> Result<bool, String> {
-    let mut stream = connect(addr)?;
+    let mut stream = connect(addr, STREAM_TIMEOUT)?;
     let head =
         format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
     stream
@@ -106,11 +136,97 @@ pub fn stream_lines(
     Ok(completed)
 }
 
-fn connect(addr: &str) -> Result<TcpStream, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    Ok(stream)
+fn connect(addr: &str, io_timeout: Duration) -> Result<TcpStream, String> {
+    // `TcpStream::connect` has no deadline; resolve first and connect
+    // with one so a black-holed peer fails in seconds, not minutes.
+    let mut last_err = None;
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?;
+    for sock in resolved {
+        match TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT) {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_write_timeout(Some(io_timeout));
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(match last_err {
+        Some(e) => format!("connect {addr}: {e}"),
+        None => format!("resolve {addr}: no addresses"),
+    })
+}
+
+/// Jittered exponential backoff policy for [`request_retry`]: attempt
+/// `k` (0-based) sleeps a uniform draw from `[d/2, d]` where
+/// `d = min(base · 2^k, cap)` — "full jitter" halved, so concurrent
+/// retriers decorrelate without ever retrying instantly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (first try included). 0 behaves as 1.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Ceiling on the exponential growth.
+    pub cap: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Backoff {
+    /// How long to sleep after failed attempt `k` (0-based), jittered
+    /// by `r` (any u64; uniform bits in, uniform delay out).
+    fn delay(&self, k: u32, r: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(k))
+            .min(self.cap)
+            .max(Duration::from_millis(1));
+        let span = exp.as_millis() as u64;
+        // Uniform in [span/2, span].
+        Duration::from_millis(span / 2 + r % (span / 2 + 1))
+    }
+}
+
+/// Retry counter feeding the jitter stream: every retry in the process
+/// draws a fresh value, so concurrent retriers decorrelate.
+static RETRY_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// [`request`] with jittered exponential backoff: transport errors and
+/// `5xx` answers are retried up to `policy.attempts` times; any other
+/// status returns immediately (a `404` or `409` will not change on
+/// retry, but a refused connection or a crashed handler might).
+pub fn request_retry(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    policy: &Backoff,
+) -> Result<(u16, Vec<u8>), String> {
+    let attempts = policy.attempts.max(1);
+    let mut last = Err(format!("request {addr}: no attempts made"));
+    for k in 0..attempts {
+        last = request(addr, method, path_and_query, body);
+        match &last {
+            Ok((status, _)) if *status < 500 => return last,
+            _ if k + 1 == attempts => return last,
+            _ => {}
+        }
+        let seq = RETRY_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let r = pgrng::SplitMix64::new(0x5EED_B0FF ^ seq).next();
+        std::thread::sleep(policy.delay(k, r));
+    }
+    last
 }
 
 /// Read the status line + headers; returns `(status, lower-cased
@@ -245,5 +361,37 @@ mod tests {
     fn query_encoding_escapes_reserved_bytes() {
         assert_eq!(encode_query("127.0.0.1:7878"), "127.0.0.1%3A7878");
         assert_eq!(encode_query("plain-key_1.~"), "plain-key_1.~");
+    }
+
+    #[test]
+    fn backoff_delays_grow_exponentially_within_jitter_bounds() {
+        let policy = Backoff {
+            attempts: 4,
+            base: Duration::from_millis(40),
+            cap: Duration::from_millis(200),
+        };
+        for (k, expected) in [(0u32, 40u64), (1, 80), (2, 160), (3, 200), (9, 200)] {
+            for r in [0u64, 1, 7, u64::MAX, 0xDEAD_BEEF] {
+                let d = policy.delay(k, r).as_millis() as u64;
+                assert!(
+                    (expected / 2..=expected).contains(&d),
+                    "attempt {k}: delay {d}ms outside [{}, {expected}]",
+                    expected / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retries_stop_on_non_5xx_and_exhaust_on_dead_peers() {
+        // 127.0.0.1:1 is essentially never listening: every attempt is
+        // a (fast, local) transport error, so retry exhausts.
+        let policy = Backoff {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let err = request_retry("127.0.0.1:1", "GET", "/v1/healthz", b"", &policy);
+        assert!(err.is_err(), "no listener must surface as Err: {err:?}");
     }
 }

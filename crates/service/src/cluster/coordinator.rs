@@ -38,10 +38,24 @@
 //!   failed only after [`CoordinatorConfig::max_attempts`] forwards.
 //! * **Proxies rewrite only the job id.** Status, trace, result, and
 //!   event-stream bytes come from the owning worker with the remote id
-//!   swapped for the coordinator's; an event stream re-attached after
-//!   a worker death replays the replacement run from sequence 0.
+//!   swapped for the coordinator's. A proxied event stream tracks the
+//!   worker's per-line `seq` through a [`StreamCursor`]: re-attaching
+//!   to the *same* run after a transient drop resumes with
+//!   `?from=<last_seq+1>` (a dedupe guard drops anything the worker
+//!   replays anyway), while a job requeued onto a *new* worker is a new
+//!   run and deliberately replays from sequence 0.
+//! * **Accepted work survives restarts when `--journal-dir` is set.**
+//!   Submits and graph interns are fsync'd into a write-ahead
+//!   [`Journal`] before they are acknowledged; GFA bodies spill to a
+//!   `vault/` tier on disk (bounded by
+//!   [`CoordinatorConfig::vault_max_bytes`]) instead of living in
+//!   memory. At boot the journal replays: queued jobs re-enter the
+//!   scheduler, formerly in-flight jobs are resolved adopt-or-requeue
+//!   by probing the recorded owner, and the bumped journal epoch is
+//!   advertised in heartbeat replies so workers observe the restart.
 
-use super::client;
+use super::client::{self, Backoff};
+use super::journal::{self, GraphRecord, JobRecordState, Journal};
 use super::ring::HashRing;
 use crate::http::{
     read_request_body, read_request_head, write_chunk, write_response, HttpConfig, Request,
@@ -52,11 +66,12 @@ use crate::obs;
 use crate::sched::{job_cost, FairScheduler};
 use crate::spec::{parse_job_spec, JobSpec, Priority, KNOWN_PARAMS};
 use pangraph::parse_gfa;
-use pangraph::store::{content_hash, ContentHash};
+use pangraph::store::{content_hash, evict_dir_to_cap, ContentHash};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -78,6 +93,14 @@ pub struct CoordinatorConfig {
     pub graph_quota: usize,
     /// Concurrent client connections served; excess is shed with 503.
     pub max_conns: usize,
+    /// Directory for the write-ahead job journal and the on-disk graph
+    /// vault. `None` (the default) keeps all state in memory — exactly
+    /// the pre-journal behavior, nothing survives a restart.
+    pub journal_dir: Option<PathBuf>,
+    /// Byte cap on the on-disk graph vault (`0` = unbounded). Only
+    /// meaningful with `journal_dir`; oldest spills are evicted first
+    /// and evicted graphs must be re-uploaded before by-reference use.
+    pub vault_max_bytes: u64,
 }
 
 impl Default for CoordinatorConfig {
@@ -88,6 +111,8 @@ impl Default for CoordinatorConfig {
             max_attempts: 5,
             graph_quota: 0,
             max_conns: 64,
+            journal_dir: None,
+            vault_max_bytes: 0,
         }
     }
 }
@@ -112,12 +137,15 @@ struct WorkerEntry {
 
 /// A graph interned at the coordinator: the raw GFA (what gets pushed
 /// to workers) plus the parse-derived counts that validate uploads and
-/// price jobs for the scheduler.
+/// price jobs for the scheduler. With a journal the GFA body lives in
+/// the on-disk vault instead (`gfa: None`) and is reloaded on demand,
+/// so coordinator memory stays bounded and the vault survives restart.
 struct GraphEntry {
-    gfa: Arc<String>,
+    gfa: Option<Arc<String>>,
     nodes: usize,
     paths: usize,
     steps: usize,
+    bytes: u64,
 }
 
 #[derive(Clone)]
@@ -159,6 +187,10 @@ struct CoordCounters {
     joins: AtomicU64,
     deaths: AtomicU64,
     graph_pushes: AtomicU64,
+    vault_spills: AtomicU64,
+    vault_evictions: AtomicU64,
+    /// Non-terminal jobs replayed from the journal at boot.
+    recovered: AtomicU64,
 }
 
 struct CoordShared {
@@ -173,6 +205,16 @@ struct CoordShared {
     jobs_cv: Condvar,
     next_id: AtomicU64,
     counters: CoordCounters,
+    /// The write-ahead journal; `None` runs the pre-journal in-memory
+    /// mode. Locked after (never while holding) `vault`/`jobs`.
+    journal: Option<Mutex<Journal>>,
+    /// `<journal-dir>/vault`, where GFA bodies spill.
+    vault_dir: Option<PathBuf>,
+    /// Journal epoch for this incarnation (0 with no journal); constant
+    /// after boot and advertised in heartbeat replies.
+    epoch: u64,
+    /// Jobs found in the journal at boot (terminal ones included).
+    replayed: u64,
 }
 
 /// A bound-but-not-yet-serving coordinator.
@@ -182,21 +224,144 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Bind to `addr` (port 0 for ephemeral).
+    /// Bind to `addr` (port 0 for ephemeral). With
+    /// [`CoordinatorConfig::journal_dir`] set, this opens (or creates)
+    /// the write-ahead journal, replays any state a prior incarnation
+    /// logged, and re-enters recovered queued jobs into the scheduler —
+    /// formerly in-flight jobs are resolved by the monitor once serving
+    /// starts (adopt if the recorded owner still runs them, requeue
+    /// otherwise).
     pub fn bind(addr: &str, cfg: CoordinatorConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let mut queue = FairScheduler::with_graph_quota(cfg.graph_quota);
+        let mut vault = HashMap::new();
+        let mut jobs = HashMap::new();
+        let mut journal_cell = None;
+        let mut vault_dir = None;
+        let mut epoch = 0u64;
+        let mut replayed = 0u64;
+        let mut recovered = 0u64;
+        let mut next_id = 0u64;
+        if let Some(dir) = &cfg.journal_dir {
+            let journal = Journal::open(dir)?;
+            let vdir = dir.join("vault");
+            std::fs::create_dir_all(&vdir)?;
+            epoch = journal.epoch();
+            replayed = journal.replayed() as u64;
+            for g in journal.live_graphs() {
+                vault.insert(
+                    g.id,
+                    GraphEntry {
+                        gfa: None,
+                        nodes: g.nodes,
+                        paths: g.paths,
+                        steps: g.steps,
+                        bytes: g.bytes,
+                    },
+                );
+            }
+            for rec in journal.live_jobs() {
+                next_id = next_id.max(rec.id);
+                let spec = match JobSpec::from_query(&rec.query) {
+                    Ok(spec) => spec,
+                    Err(e) => {
+                        obs::warn(
+                            "cluster",
+                            "skipping unreplayable journaled job",
+                            &[("job", rec.id.to_string()), ("error", e.to_string())],
+                        );
+                        continue;
+                    }
+                };
+                let GraphSpec::Stored(graph) = spec.graph else {
+                    continue; // journaled jobs are by-reference by construction
+                };
+                let client_key = spec.client.clone().unwrap_or_else(|| "recovered".into());
+                let priority = spec.priority;
+                let cost = vault
+                    .get(&graph)
+                    .map_or_else(|| job_cost(0), |g: &GraphEntry| job_cost(g.steps as u64));
+                let state = match &rec.state {
+                    JobRecordState::Queued => {
+                        queue.push_keyed(priority, &client_key, rec.id, cost, graph);
+                        recovered += 1;
+                        CoordJobState::Queued
+                    }
+                    JobRecordState::Forwarded { worker, remote } => {
+                        recovered += 1;
+                        CoordJobState::Forwarded {
+                            worker: worker.clone(),
+                            remote: *remote,
+                        }
+                    }
+                    JobRecordState::Terminal {
+                        state,
+                        worker,
+                        remote,
+                    } => CoordJobState::Terminal {
+                        worker: worker.clone(),
+                        remote: *remote,
+                        body: format!(
+                            "{{\"job\":{},\"state\":\"{state}\",\"progress\":0.000,\
+                             \"engine\":{},\"priority\":\"{}\",\"client\":{},\
+                             \"cached\":false,\"graph\":{},\"wall_ms\":0,\
+                             \"recovered\":true}}",
+                            rec.id,
+                            json_str(&spec.engine),
+                            priority.as_str(),
+                            json_str(&client_key),
+                            json_str(&graph.hex()),
+                        ),
+                    },
+                };
+                jobs.insert(
+                    rec.id,
+                    CoordJob {
+                        spec,
+                        graph,
+                        client: client_key,
+                        priority,
+                        cost,
+                        attempts: 0,
+                        cancel_requested: false,
+                        submitted: Instant::now(),
+                        state,
+                    },
+                );
+            }
+            if replayed > 0 {
+                obs::info(
+                    "cluster",
+                    "journal replayed",
+                    &[
+                        ("epoch", epoch.to_string()),
+                        ("jobs", replayed.to_string()),
+                        ("recovered", recovered.to_string()),
+                        ("graphs", vault.len().to_string()),
+                    ],
+                );
+            }
+            journal_cell = Some(Mutex::new(journal));
+            vault_dir = Some(vdir);
+        }
+        let counters = CoordCounters::default();
+        counters.recovered.store(recovered, Ordering::Relaxed);
         let shared = Arc::new(CoordShared {
-            queue: Mutex::new(FairScheduler::with_graph_quota(cfg.graph_quota)),
+            queue: Mutex::new(queue),
             cfg,
             started: Instant::now(),
             stop: AtomicBool::new(false),
             workers: Mutex::new(HashMap::new()),
-            vault: Mutex::new(HashMap::new()),
+            vault: Mutex::new(vault),
             queue_cv: Condvar::new(),
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(jobs),
             jobs_cv: Condvar::new(),
-            next_id: AtomicU64::new(0),
-            counters: CoordCounters::default(),
+            next_id: AtomicU64::new(next_id),
+            counters,
+            journal: journal_cell,
+            vault_dir,
+            epoch,
+            replayed,
         });
         Ok(Self { listener, shared })
     }
@@ -412,6 +577,7 @@ fn dispatch_one(shared: &Arc<CoordShared>, id: JobId) {
                         };
                     }
                 }
+                journal_forwarded(shared, id, worker, remote);
                 shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
                 shared.jobs_cv.notify_all();
                 return;
@@ -429,10 +595,18 @@ fn dispatch_one(shared: &Arc<CoordShared>, id: JobId) {
 /// Submit one job to one worker; on a by-reference miss, push the
 /// vaulted GFA and retry once. Both sides hash the same bytes, so the
 /// pushed graph's id matches the spec's reference by construction.
+///
+/// Requests go through [`client::request_retry`]: transient faults
+/// (refused connections, severed responses, injected 500s) are retried
+/// with jittered exponential backoff before the worker is declared
+/// down. A duplicate forward caused by a severed 202 is benign — the
+/// monitor adopts whichever accepted run it finds, and layouts are
+/// deterministic per spec (at-least-once, never lost).
 fn forward_to(shared: &CoordShared, worker: &str, query: &str, graph: ContentHash) -> Forward {
+    let backoff = Backoff::default();
     let path = format!("/v1/jobs?{query}");
     for pushed in [false, true] {
-        let (status, body) = match client::request(worker, "POST", &path, b"") {
+        let (status, body) = match client::request_retry(worker, "POST", &path, b"", &backoff) {
             Ok(answer) => answer,
             Err(e) => return Forward::Down(e),
         };
@@ -446,16 +620,11 @@ fn forward_to(shared: &CoordShared, worker: &str, query: &str, graph: ContentHas
             }
             404 if !pushed => {
                 // First miss on this worker: push the graph body.
-                let gfa = shared
-                    .vault
-                    .lock()
-                    .unwrap()
-                    .get(&graph)
-                    .map(|g| Arc::clone(&g.gfa));
-                let Some(gfa) = gfa else {
+                let Some(gfa) = vault_gfa(shared, graph) else {
                     return Forward::Rejected(format!("graph {} no longer interned", graph.hex()));
                 };
-                match client::request(worker, "POST", "/v1/graphs", gfa.as_bytes()) {
+                match client::request_retry(worker, "POST", "/v1/graphs", gfa.as_bytes(), &backoff)
+                {
                     Err(e) => return Forward::Down(e),
                     Ok((200 | 201, _)) => {
                         shared.counters.graph_pushes.fetch_add(1, Ordering::Relaxed);
@@ -479,10 +648,56 @@ fn forward_to(shared: &CoordShared, worker: &str, query: &str, graph: ContentHas
     unreachable!("second pass either accepts, rejects, or reports the worker down")
 }
 
+/// The GFA bytes for an interned graph: straight from memory in
+/// in-memory mode, reloaded (hash-verified) from the on-disk vault in
+/// journal mode. `None` if the graph was deleted, evicted, or its
+/// spill is corrupt.
+fn vault_gfa(shared: &CoordShared, graph: ContentHash) -> Option<Arc<String>> {
+    let resident = {
+        let vault = shared.vault.lock().unwrap();
+        let entry = vault.get(&graph)?;
+        entry.gfa.clone()
+    };
+    match resident {
+        Some(gfa) => Some(gfa),
+        None => journal::read_vault_gfa(shared.vault_dir.as_ref()?, graph).map(Arc::new),
+    }
+}
+
 /// Free the scheduler's per-graph quota slot held by a popped job.
 fn release_quota(shared: &CoordShared, id: JobId) {
     if shared.queue.lock().unwrap().release(id) {
         shared.queue_cv.notify_all();
+    }
+}
+
+// Journal write hooks: no-ops without `--journal-dir`. Callers invoke
+// these after releasing the `jobs`/`vault` locks (lock order: state
+// locks strictly before the journal lock).
+
+/// Journal a job accept — fsync'd, so the 202 the caller is about to
+/// send is a durable promise.
+fn journal_accept(shared: &CoordShared, id: JobId, query: &str) {
+    if let Some(j) = &shared.journal {
+        j.lock().unwrap().accept(id, query);
+    }
+}
+
+fn journal_forwarded(shared: &CoordShared, id: JobId, worker: &str, remote: JobId) {
+    if let Some(j) = &shared.journal {
+        j.lock().unwrap().forwarded(id, worker, remote);
+    }
+}
+
+fn journal_terminal(
+    shared: &CoordShared,
+    id: JobId,
+    state: &str,
+    worker: Option<&str>,
+    remote: Option<JobId>,
+) {
+    if let Some(j) = &shared.journal {
+        j.lock().unwrap().terminal(id, state, worker, remote);
     }
 }
 
@@ -562,6 +777,7 @@ fn finish_local(shared: &Arc<CoordShared>, id: JobId, state: &str, error: Option
             body,
         };
     }
+    journal_terminal(shared, id, state, None, None);
     let counter = match state {
         "cancelled" => &shared.counters.cancelled,
         _ => &shared.counters.failed,
@@ -616,7 +832,21 @@ fn mark_dead(shared: &Arc<CoordShared>, addr: &str, err: &str) {
                 w.alive = false;
                 true
             }
-            _ => false,
+            Some(_) => false,
+            // A worker this incarnation has never heard from — e.g. the
+            // recorded owner of a journal-replayed job after a restart.
+            // Register it dead and drain, so recovered in-flight jobs
+            // whose owner is gone get requeued instead of stranded.
+            None => {
+                workers.insert(
+                    addr.to_string(),
+                    WorkerEntry {
+                        last_beat: Instant::now(),
+                        alive: false,
+                    },
+                );
+                true
+            }
         }
     };
     if was_alive {
@@ -686,6 +916,7 @@ fn poll_forwarded(shared: &Arc<CoordShared>) {
                         _ => continue,
                     }
                 }
+                journal_terminal(shared, id, &state, Some(&worker), Some(remote));
                 let counter = match state.as_str() {
                     "done" => &shared.counters.completed,
                     "cancelled" => &shared.counters.cancelled,
@@ -863,11 +1094,14 @@ fn register(shared: &Arc<CoordShared>, addr: Option<&str>, is_join: bool) -> Res
         // New capacity may unblock jobs parked on "no alive workers".
         shared.queue_cv.notify_all();
     }
+    // `epoch` bumps on every journal-backed restart, so workers can
+    // tell "my coordinator came back from a crash" apart from a blip.
     Response::json(
         200,
         format!(
-            "{{\"ok\":true,\"heartbeat_ms\":{},\"workers\":{total}}}",
-            shared.cfg.heartbeat.as_millis()
+            "{{\"ok\":true,\"heartbeat_ms\":{},\"workers\":{total},\"epoch\":{}}}",
+            shared.cfg.heartbeat.as_millis(),
+            shared.epoch
         ),
     )
 }
@@ -883,35 +1117,113 @@ fn intern_graph(req: &mut Request, shared: &Arc<CoordShared>) -> Response {
     if gfa.trim().is_empty() {
         return Response::error(400, "empty GFA body");
     }
+    match intern_gfa(shared, gfa) {
+        Err(response) => response,
+        Ok((id, nodes, paths, steps, dedup)) => Response::json(
+            if dedup { 200 } else { 201 },
+            format!(
+                "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"dedup\":{}}}",
+                json_str(&id.hex()),
+                nodes,
+                paths,
+                steps,
+                dedup
+            ),
+        ),
+    }
+}
+
+/// Intern a GFA document (upload or inline submit): dedupe by content
+/// hash, validate-parse new documents, and — in journal mode — spill
+/// the bytes to the on-disk vault write-through (they do not stay
+/// resident), journal the `G` record (fsync'd), and enforce the vault
+/// byte cap. Returns `(id, nodes, paths, steps, dedup)`.
+fn intern_gfa(
+    shared: &Arc<CoordShared>,
+    gfa: String,
+) -> Result<(ContentHash, usize, usize, usize, bool), Response> {
     let id = content_hash(gfa.as_bytes());
-    let mut vault = shared.vault.lock().unwrap();
-    let (entry, dedup) = match vault.get(&id) {
-        Some(entry) => (entry, true),
-        None => {
-            let graph = match parse_gfa(&gfa) {
-                Ok(g) => g,
-                Err(e) => return Response::error(400, &e.to_string()),
-            };
-            let entry = GraphEntry {
-                nodes: graph.node_count(),
-                paths: graph.path_count(),
-                steps: graph.total_path_steps() as usize,
-                gfa: Arc::new(gfa),
-            };
-            (&*vault.entry(id).or_insert(entry), false)
+    if let Some(entry) = shared.vault.lock().unwrap().get(&id) {
+        return Ok((id, entry.nodes, entry.paths, entry.steps, true));
+    }
+    let parsed = parse_gfa(&gfa).map_err(|e| Response::error(400, &e.to_string()))?;
+    let (nodes, paths, steps) = (
+        parsed.node_count(),
+        parsed.path_count(),
+        parsed.total_path_steps() as usize,
+    );
+    let bytes = gfa.len() as u64;
+    let resident = match &shared.vault_dir {
+        Some(dir) => {
+            // Spill before publishing the catalog entry, so a graph is
+            // never interned without its bytes being durable.
+            if !journal::write_vault_gfa(dir, id, &gfa) {
+                return Err(Response::error(
+                    500,
+                    "failed to spill the graph to the vault directory",
+                ));
+            }
+            shared.counters.vault_spills.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        None => Some(Arc::new(gfa)),
+    };
+    let raced = {
+        let mut vault = shared.vault.lock().unwrap();
+        match vault.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => true, // concurrent identical upload
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(GraphEntry {
+                    gfa: resident,
+                    nodes,
+                    paths,
+                    steps,
+                    bytes,
+                });
+                false
+            }
         }
     };
-    Response::json(
-        if dedup { 200 } else { 201 },
-        format!(
-            "{{\"graph_id\":{},\"nodes\":{},\"paths\":{},\"steps\":{},\"dedup\":{}}}",
-            json_str(&id.hex()),
-            entry.nodes,
-            entry.paths,
-            entry.steps,
-            dedup
-        ),
-    )
+    if !raced {
+        if let Some(j) = &shared.journal {
+            j.lock().unwrap().graph_vaulted(&GraphRecord {
+                id,
+                nodes,
+                paths,
+                steps,
+                bytes,
+            });
+        }
+        enforce_vault_cap(shared);
+    }
+    Ok((id, nodes, paths, steps, raced))
+}
+
+/// Evict the oldest vault spills until the on-disk tier fits
+/// [`CoordinatorConfig::vault_max_bytes`]. Evicted graphs leave the
+/// catalog and the journal; a by-reference submit for one answers 404
+/// until the client re-uploads it.
+fn enforce_vault_cap(shared: &CoordShared) {
+    let Some(dir) = &shared.vault_dir else { return };
+    if shared.cfg.vault_max_bytes == 0 {
+        return;
+    }
+    for id in evict_dir_to_cap(dir, shared.cfg.vault_max_bytes, "gfa") {
+        if shared.vault.lock().unwrap().remove(&id).is_some() {
+            shared
+                .counters
+                .vault_evictions
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(j) = &shared.journal {
+                j.lock().unwrap().graph_deleted(id);
+            }
+            obs::warn(
+                "cluster",
+                "evicted vaulted graph past the byte cap",
+                &[("graph", id.hex())],
+            );
+        }
+    }
 }
 
 /// `GET /v1/graphs` — the vault's catalog.
@@ -928,7 +1240,7 @@ fn list_graphs(shared: &Arc<CoordShared>) -> Response {
                     g.nodes,
                     g.paths,
                     g.steps,
-                    g.gfa.len()
+                    g.bytes
                 ),
             )
         })
@@ -952,6 +1264,12 @@ fn delete_graph(shared: &Arc<CoordShared>, id: ContentHash) -> Response {
     if !existed {
         return Response::error(404, &format!("no such graph {}", id.hex()));
     }
+    if let Some(dir) = &shared.vault_dir {
+        let _ = std::fs::remove_file(journal::vault_path(dir, id));
+    }
+    if let Some(j) = &shared.journal {
+        j.lock().unwrap().graph_deleted(id);
+    }
     let ring = alive_ring(shared);
     for worker in ring.owners(id) {
         let _ = client::request(worker, "DELETE", &format!("/v1/graphs/{}", id.hex()), b"");
@@ -973,25 +1291,9 @@ fn submit(req: &mut Request, shared: &Arc<CoordShared>, peer: &str) -> Response 
     }
     let (graph, steps) = match &spec.graph {
         GraphSpec::Gfa(text) => {
-            let id = content_hash(text.as_bytes());
-            let mut vault = shared.vault.lock().unwrap();
-            let steps = match vault.get(&id) {
-                Some(entry) => entry.steps,
-                None => {
-                    let parsed = match parse_gfa(text) {
-                        Ok(g) => g,
-                        Err(e) => return Response::error(400, &e.to_string()),
-                    };
-                    let entry = GraphEntry {
-                        nodes: parsed.node_count(),
-                        paths: parsed.path_count(),
-                        steps: parsed.total_path_steps() as usize,
-                        gfa: Arc::new(text.as_ref().clone()),
-                    };
-                    let steps = entry.steps;
-                    vault.insert(id, entry);
-                    steps
-                }
+            let (id, _, _, steps, _) = match intern_gfa(shared, text.as_ref().clone()) {
+                Ok(interned) => interned,
+                Err(response) => return response,
             };
             // Forward by reference: the body already lives in the vault.
             spec.graph = GraphSpec::Stored(id);
@@ -1014,6 +1316,10 @@ fn submit(req: &mut Request, shared: &Arc<CoordShared>, peer: &str) -> Response 
     let cost = job_cost(steps as u64);
     let client_key = spec.client.clone().expect("client defaulted above");
     let priority = spec.priority;
+    // The accepted wire form, journaled (fsync'd) *before* the job can
+    // be dispatched and before the 202 below: an acknowledged submit
+    // survives `kill -9`.
+    let query = spec.to_query();
     {
         let mut jobs = shared.jobs.lock().unwrap();
         jobs.insert(
@@ -1031,6 +1337,7 @@ fn submit(req: &mut Request, shared: &Arc<CoordShared>, peer: &str) -> Response 
             },
         );
     }
+    journal_accept(shared, id, &query);
     shared
         .queue
         .lock()
@@ -1250,18 +1557,38 @@ fn engines_proxy(shared: &Arc<CoordShared>) -> Response {
     Response::error(503, "no alive workers to answer for")
 }
 
-/// `GET /v1/healthz` — coordinator liveness + fleet shape.
+/// `GET /v1/healthz` — coordinator liveness + fleet shape + journal
+/// health (absent when running without `--journal-dir`).
 fn healthz(shared: &Arc<CoordShared>) -> Response {
     let (alive, total) = worker_counts(shared);
     Response::json(
         200,
         format!(
             "{{\"ok\":true,\"role\":\"coordinator\",\"version\":{},\"uptime_s\":{},\
-             \"heartbeat_ms\":{},\"workers_alive\":{alive},\"workers_total\":{total}}}",
+             \"heartbeat_ms\":{},\"workers_alive\":{alive},\"workers_total\":{total}{}}}",
             json_str(env!("CARGO_PKG_VERSION")),
             shared.started.elapsed().as_secs(),
-            shared.cfg.heartbeat.as_millis()
+            shared.cfg.heartbeat.as_millis(),
+            journal_health_json(shared)
         ),
+    )
+}
+
+/// `,"journal":{...}` for `/healthz` and `/v1/stats`, or empty when the
+/// journal is off.
+fn journal_health_json(shared: &CoordShared) -> String {
+    let Some(j) = &shared.journal else {
+        return String::new();
+    };
+    let j = j.lock().unwrap();
+    format!(
+        ",\"journal\":{{\"epoch\":{},\"replayed\":{},\"recovered\":{},\
+         \"snapshot_age_s\":{},\"bytes\":{}}}",
+        shared.epoch,
+        shared.replayed,
+        shared.counters.recovered.load(Ordering::Relaxed),
+        j.snapshot_age_s(),
+        j.bytes()
     )
 }
 
@@ -1354,8 +1681,9 @@ fn fleet_stats(shared: &Arc<CoordShared>) -> Response {
              \"engine_updates_per_sec\":{:.1}}},\
              \"coordinator\":{{\"submitted\":{},\"forwarded\":{},\"requeues\":{},\
              \"completed\":{},\"failed\":{},\"cancelled\":{},\"joins\":{},\"deaths\":{},\
-             \"graph_pushes\":{},\"graphs_interned\":{graphs_interned},\
-             \"queued\":{coord_queued},\"uptime_s\":{}}}}}",
+             \"graph_pushes\":{},\"vault_spills\":{},\"vault_evictions\":{},\
+             \"graphs_interned\":{graphs_interned},\
+             \"queued\":{coord_queued},\"uptime_s\":{}{}}}}}",
             rows.join(","),
             members.len(),
             fleet.queued,
@@ -1376,7 +1704,10 @@ fn fleet_stats(shared: &Arc<CoordShared>) -> Response {
             c.joins.load(Ordering::Relaxed),
             c.deaths.load(Ordering::Relaxed),
             c.graph_pushes.load(Ordering::Relaxed),
-            shared.started.elapsed().as_secs()
+            c.vault_spills.load(Ordering::Relaxed),
+            c.vault_evictions.load(Ordering::Relaxed),
+            shared.started.elapsed().as_secs(),
+            journal_health_json(shared)
         ),
     )
 }
@@ -1423,9 +1754,16 @@ fn prom_value(exposition: &str, name: &str) -> Option<f64> {
 fn coord_metrics(shared: &Arc<CoordShared>) -> Response {
     let (alive, total) = worker_counts(shared);
     let graphs = shared.vault.lock().unwrap().len();
+    let (journal_stats, journal_bytes) = match &shared.journal {
+        Some(j) => {
+            let j = j.lock().unwrap();
+            (j.stats(), j.bytes())
+        }
+        None => (Default::default(), 0),
+    };
     let c = &shared.counters;
     let mut out = String::new();
-    let counters: [(&str, &str, u64); 9] = [
+    let counters: [(&str, &str, u64); 15] = [
         (
             "pgl_coord_jobs_submitted_total",
             "Jobs accepted by the coordinator.",
@@ -1471,19 +1809,59 @@ fn coord_metrics(shared: &Arc<CoordShared>) -> Response {
             "Graph bodies pushed to workers on miss.",
             c.graph_pushes.load(Ordering::Relaxed),
         ),
+        (
+            "pgl_coord_journal_appends_total",
+            "Records appended to the write-ahead journal.",
+            journal_stats.appends,
+        ),
+        (
+            "pgl_coord_journal_syncs_total",
+            "Journal fsyncs (accepts and graph interns).",
+            journal_stats.syncs,
+        ),
+        (
+            "pgl_coord_journal_snapshots_total",
+            "Journal snapshot compactions (boot included).",
+            journal_stats.snapshots,
+        ),
+        (
+            "pgl_coord_journal_recovered_jobs_total",
+            "Non-terminal jobs recovered from the journal at boot.",
+            c.recovered.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_vault_spills_total",
+            "Graph bodies spilled to the on-disk vault.",
+            c.vault_spills.load(Ordering::Relaxed),
+        ),
+        (
+            "pgl_coord_vault_evictions_total",
+            "Vaulted graphs evicted past the byte cap.",
+            c.vault_evictions.load(Ordering::Relaxed),
+        ),
     ];
     for (name, help, value) in counters {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
         ));
     }
-    let gauges: [(&str, &str, usize); 3] = [
+    let gauges: [(&str, &str, usize); 5] = [
         ("pgl_coord_workers_alive", "Workers currently alive.", alive),
         ("pgl_coord_workers_total", "Workers ever registered.", total),
         (
             "pgl_coord_graphs_interned",
             "Graphs in the coordinator vault.",
             graphs,
+        ),
+        (
+            "pgl_coord_journal_epoch",
+            "Journal epoch of this incarnation (0 = journal off).",
+            shared.epoch as usize,
+        ),
+        (
+            "pgl_coord_journal_bytes",
+            "On-disk size of the journal log.",
+            journal_bytes as usize,
         ),
     ];
     for (name, help, value) in gauges {
@@ -1496,12 +1874,63 @@ fn coord_metrics(shared: &Arc<CoordShared>) -> Response {
 
 // ─── event-stream proxying ──────────────────────────────────────────
 
+/// Tracks the relay position of one proxied event stream across
+/// (re-)attachments. Worker event lines carry a dense, 0-based `seq`;
+/// heartbeat lines carry none. Re-attaching to the *same* `(worker,
+/// remote)` run — after a severed connection or read timeout — resumes
+/// from `last_seq + 1`, and [`StreamCursor::admit`] drops any lines
+/// the worker replays anyway, so the downstream client never sees a
+/// duplicate. A *different* run (the job was requeued onto another
+/// worker) resets the cursor: new runs replay from 0 by design.
+struct StreamCursor {
+    worker: String,
+    remote: JobId,
+    last_seq: Option<u64>,
+}
+
+impl StreamCursor {
+    fn new() -> Self {
+        Self {
+            worker: String::new(),
+            remote: 0,
+            last_seq: None,
+        }
+    }
+
+    /// The `?from=` value for (re-)attaching to `worker`/`remote`.
+    fn attach(&mut self, worker: &str, remote: JobId) -> u64 {
+        if self.worker == worker && self.remote == remote {
+            self.last_seq.map_or(0, |s| s + 1)
+        } else {
+            self.worker = worker.to_string();
+            self.remote = remote;
+            self.last_seq = None;
+            0
+        }
+    }
+
+    /// Should this relayed line reach the client? Seq-less lines
+    /// (heartbeats) always pass; sequenced lines pass once.
+    fn admit(&mut self, line: &str) -> bool {
+        match client::json_u64(line, "seq") {
+            None => true,
+            Some(seq) => {
+                if self.last_seq.is_some_and(|last| seq <= last) {
+                    return false;
+                }
+                self.last_seq = Some(seq);
+                true
+            }
+        }
+    }
+}
+
 /// `GET /v1/jobs/<id>/events` — chunked NDJSON, transparently proxied.
 /// While the job is queued coordinator-side, synthetic `queued` +
 /// heartbeat lines flow; once forwarded, the worker's stream is piped
-/// through with ids rewritten. If the worker dies mid-stream the
-/// stream *stays open*, waits out the requeue, and re-attaches to the
-/// replacement worker — replaying the new run's events from sequence 0.
+/// through with ids rewritten. If the connection to the worker drops
+/// mid-stream the proxy *stays open*, waits, and re-attaches — resuming
+/// the same run from the last relayed `seq` (see [`StreamCursor`]).
 fn stream_proxy(
     stream: &mut TcpStream,
     shared: &Arc<CoordShared>,
@@ -1513,6 +1942,7 @@ fn stream_proxy(
     )?;
     let mut emitted_queued = false;
     let mut last_activity = Instant::now();
+    let mut cursor = StreamCursor::new();
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             break;
@@ -1540,10 +1970,14 @@ fn stream_proxy(
             }
             Some(CoordJobState::Forwarded { worker, remote }) => {
                 let mut write_err = None;
+                let from = cursor.attach(&worker, remote);
                 let piped = client::stream_lines(
                     &worker,
-                    &format!("/v1/jobs/{remote}/events?from=0"),
+                    &format!("/v1/jobs/{remote}/events?from={from}"),
                     &mut |line| {
+                        if !cursor.admit(line) {
+                            return true; // already relayed before the drop
+                        }
                         let rewritten = rewrite_job_id(line, id);
                         match write_chunk(stream, format!("{rewritten}\n").as_bytes()) {
                             Ok(()) => true,
@@ -1664,5 +2098,38 @@ mod tests {
         assert!(cfg.dead_after >= 1);
         assert!(cfg.max_attempts >= 1);
         assert!(cfg.max_conns >= 1);
+        assert!(cfg.journal_dir.is_none(), "journal is opt-in");
+        assert_eq!(cfg.vault_max_bytes, 0, "vault cap off by default");
+    }
+
+    #[test]
+    fn stream_cursor_resumes_same_run_and_dedupes_replays() {
+        let mut cursor = StreamCursor::new();
+        assert_eq!(cursor.attach("w1", 7), 0, "first attach starts at 0");
+        assert!(cursor.admit("{\"job\":7,\"seq\":0,\"event\":\"state\"}"));
+        assert!(cursor.admit("{\"job\":7,\"seq\":1,\"event\":\"progress\"}"));
+        assert!(
+            cursor.admit("{\"event\":\"heartbeat\"}"),
+            "seq-less always pass"
+        );
+        // Connection drops; re-attach to the SAME run resumes past 1.
+        assert_eq!(cursor.attach("w1", 7), 2);
+        assert!(
+            !cursor.admit("{\"job\":7,\"seq\":1,\"event\":\"progress\"}"),
+            "replayed lines are deduped"
+        );
+        assert!(cursor.admit("{\"job\":7,\"seq\":2,\"event\":\"progress\"}"));
+    }
+
+    #[test]
+    fn stream_cursor_resets_for_a_new_run() {
+        let mut cursor = StreamCursor::new();
+        assert_eq!(cursor.attach("w1", 7), 0);
+        assert!(cursor.admit("{\"job\":7,\"seq\":5,\"event\":\"progress\"}"));
+        // Requeued onto another worker (or a new remote id): new run,
+        // replay from 0 — its seq 0 must not be mistaken for a dupe.
+        assert_eq!(cursor.attach("w2", 3), 0);
+        assert!(cursor.admit("{\"job\":3,\"seq\":0,\"event\":\"state\"}"));
+        assert_eq!(cursor.attach("w2", 3), 1, "subsequent re-attach resumes");
     }
 }

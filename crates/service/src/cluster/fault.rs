@@ -1,0 +1,249 @@
+//! Deterministic fault injection for the cluster tier.
+//!
+//! Every outbound coordinator↔worker request (job forwards, graph
+//! pushes, status polls, heartbeats) consults the process-wide
+//! [`FaultPlan`] before touching the network. The plan is **off unless
+//! the `PGL_FAULT_PLAN` environment variable is set**, so production
+//! paths pay one relaxed atomic load and nothing else.
+//!
+//! A plan is seeded: the fault decision for request *n* is a pure
+//! function of `(seed, n)` ([`FaultPlan::decide`]), so a chaos run is
+//! exactly reproducible — rerun the same binary with the same plan
+//! string and the same requests hit the same faults in the same order.
+//! Four fault shapes cover the failure modes the coordinator's retry,
+//! backoff, and requeue machinery must survive:
+//!
+//! * **refuse** — the connection is refused before any bytes move (a
+//!   dead or firewalled worker).
+//! * **drop** — the request is sent and the server acts on it, but the
+//!   response is severed mid-body (the at-least-once hazard: the
+//!   caller cannot know whether the side effect happened).
+//! * **delay** — the request stalls for `delay_ms` before proceeding
+//!   (a congested or GC-pausing peer; exercises deadlines).
+//! * **err500** — every Nth request answers `500` without reaching the
+//!   network (a crashing handler).
+//!
+//! Plan syntax (comma-separated `key=value`):
+//!
+//! ```text
+//! PGL_FAULT_PLAN="seed=42,refuse=6,drop=9,delay=4:25,err500=7"
+//! ```
+//!
+//! `refuse`/`drop` are 1-in-N odds drawn from the seeded stream,
+//! `delay=N:MS` stalls 1-in-N requests for MS milliseconds, and
+//! `err500=N` fires on every exact multiple of N (deterministic even
+//! without the seed, which makes it the easiest knob to assert on).
+
+use pgrng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One injected fault, decided before a request touches the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail as if the peer refused the connection.
+    Refuse,
+    /// Send the request, then sever the response mid-body.
+    DropMidBody,
+    /// Stall for the given duration, then proceed normally.
+    Delay(Duration),
+    /// Answer HTTP 500 without touching the network.
+    Err500,
+}
+
+/// A seeded, deterministic fault schedule. See the module docs for the
+/// wire syntax and fault semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-request decision stream.
+    pub seed: u64,
+    /// Refuse ~1-in-N connections (0 = off).
+    pub refuse: u64,
+    /// Sever ~1-in-N responses mid-body (0 = off).
+    pub drop: u64,
+    /// Delay ~1-in-N requests (0 = off).
+    pub delay: u64,
+    /// How long a delayed request stalls.
+    pub delay_ms: u64,
+    /// Answer 500 on every exact Nth request (0 = off).
+    pub err500: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (useful as a parse base).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            refuse: 0,
+            drop: 0,
+            delay: 0,
+            delay_ms: 0,
+            err500: 0,
+        }
+    }
+
+    /// Parse the `PGL_FAULT_PLAN` syntax
+    /// (`seed=42,refuse=6,drop=9,delay=4:25,err500=7`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::none(0);
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: {part:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("fault plan: bad {key} value {v:?}"))
+            };
+            match key {
+                "seed" => plan.seed = parse(value)?,
+                "refuse" => plan.refuse = parse(value)?,
+                "drop" => plan.drop = parse(value)?,
+                "err500" => plan.err500 = parse(value)?,
+                "delay" => match value.split_once(':') {
+                    Some((odds, ms)) => {
+                        plan.delay = parse(odds)?;
+                        plan.delay_ms = parse(ms)?;
+                    }
+                    None => {
+                        plan.delay = parse(value)?;
+                        plan.delay_ms = 25;
+                    }
+                },
+                other => return Err(format!("fault plan: unknown key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The fault (if any) for 1-based request number `n`. Pure and
+    /// deterministic: the whole chaos schedule is `(seed, n) ↦ fault`.
+    pub fn decide(&self, n: u64) -> Option<Fault> {
+        if self.err500 != 0 && n.is_multiple_of(self.err500) {
+            return Some(Fault::Err500);
+        }
+        // One SplitMix64 draw per request; independent bit ranges keep
+        // the three probabilistic faults from correlating.
+        let r = SplitMix64::new(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next();
+        if self.refuse != 0 && r.is_multiple_of(self.refuse) {
+            return Some(Fault::Refuse);
+        }
+        if self.drop != 0 && (r >> 21).is_multiple_of(self.drop) {
+            return Some(Fault::DropMidBody);
+        }
+        if self.delay != 0 && (r >> 42).is_multiple_of(self.delay) {
+            return Some(Fault::Delay(Duration::from_millis(self.delay_ms)));
+        }
+        None
+    }
+}
+
+static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide plan, loaded once from `PGL_FAULT_PLAN`. `None`
+/// (the overwhelmingly common case) means injection is off.
+fn plan() -> Option<&'static FaultPlan> {
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("PGL_FAULT_PLAN").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                crate::obs::warn(
+                    "fault",
+                    "fault injection armed",
+                    &[("plan", format!("{plan:?}"))],
+                );
+                Some(plan)
+            }
+            Err(e) => {
+                crate::obs::warn(
+                    "fault",
+                    "ignoring unparseable PGL_FAULT_PLAN",
+                    &[("error", e)],
+                );
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// The injected fault for the next outbound cluster request, if any.
+/// Advances the request counter only while a plan is armed, so the
+/// schedule is a function of cluster traffic alone.
+pub(crate) fn next() -> Option<Fault> {
+    let plan = plan()?;
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed) + 1;
+    plan.decide(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_and_partial_plans() {
+        let plan = FaultPlan::parse("seed=42,refuse=6,drop=9,delay=4:25,err500=7").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                seed: 42,
+                refuse: 6,
+                drop: 9,
+                delay: 4,
+                delay_ms: 25,
+                err500: 7
+            }
+        );
+        let plan = FaultPlan::parse("seed=1,delay=3").unwrap();
+        assert_eq!(
+            (plan.delay, plan.delay_ms),
+            (3, 25),
+            "delay odds default ms"
+        );
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none(0));
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+        assert!(FaultPlan::parse("refuse=banana").is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_fixed_seed() {
+        let plan = FaultPlan::parse("seed=42,refuse=5,drop=7,delay=3:10,err500=11").unwrap();
+        let a: Vec<Option<Fault>> = (1..=500).map(|n| plan.decide(n)).collect();
+        let b: Vec<Option<Fault>> = (1..=500).map(|n| plan.decide(n)).collect();
+        assert_eq!(a, b, "same seed, same requests ⇒ same faults");
+        // Every fault shape appears somewhere in a 500-request run with
+        // these odds, and plenty of requests pass through clean.
+        assert!(a.contains(&Some(Fault::Refuse)));
+        assert!(a.contains(&Some(Fault::DropMidBody)));
+        assert!(a.iter().any(|f| matches!(f, Some(Fault::Delay(_)))));
+        assert!(a.contains(&Some(Fault::Err500)));
+        assert!(a.contains(&None));
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::parse("seed=1,refuse=4").unwrap();
+        let b = FaultPlan::parse("seed=2,refuse=4").unwrap();
+        let sa: Vec<Option<Fault>> = (1..=200).map(|n| a.decide(n)).collect();
+        let sb: Vec<Option<Fault>> = (1..=200).map(|n| b.decide(n)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn err500_fires_on_exact_multiples() {
+        let plan = FaultPlan::parse("seed=9,err500=3").unwrap();
+        for n in 1..=30u64 {
+            let hit = plan.decide(n) == Some(Fault::Err500);
+            assert_eq!(hit, n % 3 == 0, "request {n}");
+        }
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let plan = FaultPlan::none(123);
+        assert!((1..=1000).all(|n| plan.decide(n).is_none()));
+    }
+}

@@ -7,18 +7,27 @@
 //!   worker that owns it (deterministic, minimally disruptive).
 //! * [`client`] — the in-crate HTTP client the coordinator uses to talk
 //!   to workers (and workers use to heartbeat).
+//! * [`fault`] — deterministic, seeded fault injection for every
+//!   outbound cluster request, armed only via `PGL_FAULT_PLAN`.
+//! * [`journal`] — the coordinator's write-ahead job journal and graph
+//!   vault spill: crash recovery for accepted work.
 //! * [`worker`] — worker-side membership: [`ClusterRole`] for
 //!   `/healthz` and the [`spawn_heartbeat`] join/heartbeat loop behind
 //!   `pgl serve --join`.
 //! * [`coordinator`] — the coordinator process itself: the `/v1`
 //!   surface, the graph vault, fair scheduling across clients and
-//!   graphs, forwarding, failure detection, and drain-and-requeue.
+//!   graphs, forwarding, failure detection, drain-and-requeue, and
+//!   journal replay at boot.
 
 pub mod client;
 pub mod coordinator;
+pub mod fault;
+pub mod journal;
 pub mod ring;
 pub mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle};
+pub use fault::FaultPlan;
+pub use journal::Journal;
 pub use ring::HashRing;
 pub use worker::{spawn_heartbeat, ClusterRole};

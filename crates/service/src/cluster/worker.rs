@@ -29,6 +29,9 @@ struct RoleInner {
     role: &'static str,
     coordinator: Option<String>,
     last_beat: Option<Instant>,
+    /// The coordinator's journal epoch, from heartbeat replies. A bump
+    /// means the coordinator restarted from its journal.
+    coordinator_epoch: Option<u64>,
 }
 
 impl ClusterRole {
@@ -53,13 +56,28 @@ impl ClusterRole {
                 role,
                 coordinator,
                 last_beat: None,
+                coordinator_epoch: None,
             }),
         })
     }
 
-    /// Record a successfully acknowledged heartbeat.
-    pub fn beat(&self) {
-        self.inner.lock().unwrap().last_beat = Some(Instant::now());
+    /// Record a successfully acknowledged heartbeat. Returns the
+    /// previously observed coordinator epoch when `epoch` differs from
+    /// it — i.e. the coordinator restarted since the last beat.
+    pub fn beat(&self, epoch: Option<u64>) -> Option<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.last_beat = Some(Instant::now());
+        match (inner.coordinator_epoch, epoch) {
+            (Some(prev), Some(now)) if prev != now => {
+                inner.coordinator_epoch = Some(now);
+                Some(prev)
+            }
+            (_, Some(now)) => {
+                inner.coordinator_epoch = Some(now);
+                None
+            }
+            _ => None,
+        }
     }
 
     /// The role name (`standalone` | `coordinator` | `worker`).
@@ -76,10 +94,14 @@ impl ClusterRole {
         let mut out = format!("\"role\":\"{}\"", inner.role);
         if let Some(coordinator) = &inner.coordinator {
             out.push_str(&format!(
-                ",\"coordinator\":\"{}\",\"last_heartbeat_s\":{}",
+                ",\"coordinator\":\"{}\",\"last_heartbeat_s\":{},\"coordinator_epoch\":{}",
                 coordinator,
                 match inner.last_beat {
                     Some(at) => at.elapsed().as_secs().to_string(),
+                    None => "null".into(),
+                },
+                match inner.coordinator_epoch {
+                    Some(e) => e.to_string(),
                     None => "null".into(),
                 }
             ));
@@ -118,8 +140,19 @@ pub fn spawn_heartbeat(
                 );
                 match client::request(&coordinator, "POST", &path, b"") {
                     Ok((200, body)) => {
-                        role.beat();
                         let text = String::from_utf8_lossy(&body);
+                        let epoch = client::json_u64(&text, "epoch");
+                        if let Some(prev) = role.beat(epoch) {
+                            obs::warn(
+                                "cluster",
+                                "coordinator restarted (journal epoch bumped)",
+                                &[
+                                    ("coordinator", coordinator.clone()),
+                                    ("previous_epoch", prev.to_string()),
+                                    ("epoch", epoch.map(|e| e.to_string()).unwrap_or_default()),
+                                ],
+                            );
+                        }
                         if let Some(ms) = client::json_u64(&text, "heartbeat_ms") {
                             interval = Duration::from_millis(ms.max(50));
                         }
@@ -180,9 +213,20 @@ mod tests {
             "{fields}"
         );
         assert!(fields.contains("\"last_heartbeat_s\":null"), "{fields}");
+        assert!(fields.contains("\"coordinator_epoch\":null"), "{fields}");
 
-        worker.beat();
+        assert_eq!(worker.beat(Some(1)), None, "first epoch is not a restart");
         let fields = worker.json_fields();
         assert!(fields.contains("\"last_heartbeat_s\":0"), "{fields}");
+        assert!(fields.contains("\"coordinator_epoch\":1"), "{fields}");
+
+        assert_eq!(worker.beat(Some(1)), None, "same epoch, no restart");
+        assert_eq!(worker.beat(None), None, "journal-less reply keeps state");
+        assert_eq!(
+            worker.beat(Some(2)),
+            Some(1),
+            "epoch bump reports the previous epoch"
+        );
+        assert!(worker.json_fields().contains("\"coordinator_epoch\":2"));
     }
 }

@@ -76,6 +76,14 @@
 //!   worker that owns its graph under rendezvous hashing
 //!   ([`cluster::HashRing`]), pushing graph bodies on first miss,
 //!   heartbeat-detecting dead workers, and requeueing their jobs.
+//!   With `--journal-dir` the coordinator is **durable**: accepted
+//!   jobs and vaulted graphs are written to an fsync'd append-only
+//!   journal ([`cluster::Journal`]) and replayed on restart, with a
+//!   monotonic epoch advertised to workers so restarts are visible
+//!   fleet-wide. A seeded fault-injection harness
+//!   ([`cluster::FaultPlan`], armed via `PGL_FAULT_PLAN`) plus
+//!   jittered-exponential retry ([`cluster::client::Backoff`]) make
+//!   the failure paths deterministically testable.
 //!
 //! ## Example
 //!
@@ -110,7 +118,8 @@ pub mod spec;
 pub use batchrun::{run_batch, BatchOptions, BatchOutcome, BatchReport};
 pub use cache::{cache_key, CacheKey, CacheStats, LayoutCache};
 pub use cluster::{
-    spawn_heartbeat, ClusterRole, Coordinator, CoordinatorConfig, CoordinatorHandle, HashRing,
+    spawn_heartbeat, ClusterRole, Coordinator, CoordinatorConfig, CoordinatorHandle, FaultPlan,
+    HashRing, Journal,
 };
 pub use http::{HttpConfig, HttpServer, ServerHandle};
 pub use httpmetrics::{

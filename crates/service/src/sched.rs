@@ -270,6 +270,17 @@ impl FairScheduler {
         found
     }
 
+    /// Is `id` currently queued (pushed, not yet popped or removed)?
+    /// The coordinator's journal replay uses this as a dedupe guard so
+    /// a job can never be enqueued twice.
+    pub fn contains(&self, id: u64) -> bool {
+        self.bands.iter().any(|b| {
+            b.clients
+                .values()
+                .any(|q| q.jobs.iter().any(|&(j, _)| j == id))
+        })
+    }
+
     /// Total queued jobs.
     pub fn len(&self) -> usize {
         self.bands.iter().map(|b| b.len).sum()
@@ -396,6 +407,19 @@ mod tests {
             next_two.contains(&999),
             "late client served within one round, got {next_two:?}"
         );
+    }
+
+    #[test]
+    fn contains_tracks_queued_jobs_only() {
+        let mut s = FairScheduler::new();
+        s.push(Priority::Normal, "a", 1, 1);
+        s.push(Priority::Bulk, "b", 2, 1);
+        assert!(s.contains(1) && s.contains(2));
+        assert!(!s.contains(3));
+        let popped = s.pop().unwrap();
+        assert!(!s.contains(popped), "popped jobs are no longer queued");
+        s.remove(2);
+        assert!(!s.contains(2), "removed jobs are no longer queued");
     }
 
     #[test]

@@ -195,6 +195,23 @@ impl JobSpec {
         }
         q
     }
+
+    /// Parse a [`JobSpec::to_query`] string back into a spec — the
+    /// round-trip the coordinator's write-ahead journal relies on: an
+    /// accepted job is journaled as its wire form and rebuilt from it
+    /// at crash recovery. Strict parsing, no body: journaled jobs are
+    /// always by-reference (`graph=<hex>`).
+    pub fn from_query(query: &str) -> Result<Self, SpecError> {
+        let params: Vec<(String, String)> = query
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| match p.split_once('=') {
+                Some((k, v)) => (decode_component(k), decode_component(v)),
+                None => (decode_component(p), String::new()),
+            })
+            .collect();
+        parse_job_spec(&params, Vec::new(), true)
+    }
 }
 
 /// Percent-encode one query-string component: unreserved characters
@@ -211,6 +228,28 @@ fn encode_component(s: &str) -> String {
         }
     }
     out
+}
+
+/// Decode `%XX` escapes — the inverse of [`encode_component`].
+/// Malformed escapes pass through literally, mirroring the HTTP front
+/// end's lenient query decoder.
+fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+            if let Some(b) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Why a request failed to parse into a [`JobSpec`]. Every variant maps
@@ -613,6 +652,27 @@ mod tests {
         assert_eq!(back.priority, Priority::Normal);
         assert_eq!(back.config.iter_max, spec.config.iter_max);
         assert_eq!(back.config.term_block, spec.config.term_block);
+    }
+
+    #[test]
+    fn from_query_round_trips_the_journal_form() {
+        let id = pangraph::store::content_hash(b"journal");
+        let mut spec = JobSpec::by_ref("cpu", id)
+            .priority(Priority::Interactive)
+            .client("alice & bob");
+        spec.config.iter_max = 9;
+        spec.config.seed = 3;
+        spec.queue_ttl = Some(Duration::from_millis(750));
+        let back = JobSpec::from_query(&spec.to_query()).expect("journal form reparses");
+        assert!(matches!(back.graph, GraphSpec::Stored(h) if h == id));
+        assert_eq!(back.config.iter_max, 9);
+        assert_eq!(back.config.seed, 3);
+        assert_eq!(back.priority, Priority::Interactive);
+        assert_eq!(back.client.as_deref(), Some("alice & bob"));
+        assert_eq!(back.queue_ttl, Some(Duration::from_millis(750)));
+        // Corrupt journal lines surface as typed errors, not panics.
+        assert!(JobSpec::from_query("engine=cpu&bogus=1").is_err());
+        assert!(JobSpec::from_query("iters=banana").is_err());
     }
 
     #[test]

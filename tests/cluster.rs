@@ -9,6 +9,10 @@
 //! * **Worker death is drain-and-requeue, never silent loss** — kill
 //!   the worker that owns the graph and every accepted job still
 //!   reaches a terminal state, completing on the survivor.
+//! * **Coordinator death loses no accepted work** — with a journal
+//!   armed, kill the coordinator with jobs still queued, restart it on
+//!   the same `--journal-dir`, and every accepted job replays and
+//!   reaches a terminal state once workers join.
 
 use rapid_pangenome_layout::prelude::*;
 use rapid_pangenome_layout::service::{
@@ -261,6 +265,74 @@ fn fleet_routes_by_graph_hash_and_survives_worker_death() {
     assert_eq!(status, 200);
     let text = body_text(&body);
     assert_eq!(json_u64(&text, "workers_alive"), Some(1), "{text}");
+}
+
+#[test]
+fn coordinator_restart_recovers_journaled_jobs() {
+    let journal_dir = std::env::temp_dir().join(format!(
+        "pgl_cluster_journal_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let config = || CoordinatorConfig {
+        heartbeat: Duration::from_millis(100),
+        journal_dir: Some(journal_dir.clone()),
+        ..CoordinatorConfig::default()
+    };
+
+    // First life: accept a graph and three jobs, with no workers to
+    // run them — everything is queued when the coordinator dies.
+    let coordinator = Coordinator::bind("127.0.0.1:0", config()).expect("bind coordinator");
+    let coord = coordinator.local_addr();
+    let handle = coordinator.spawn();
+
+    let gfa = write_gfa(&generate(&PangenomeSpec::basic("journal", 40, 3, 5)));
+    let (status, body) = http(coord, "POST", "/v1/graphs", gfa.as_bytes());
+    assert_eq!(status, 201, "{}", body_text(&body));
+    let graph = json_string(&body_text(&body), "graph_id").expect("graph id");
+    let jobs: Vec<u64> = (0..3).map(|_| submit_by_ref(coord, &graph)).collect();
+    let (status, body) = http(coord, "GET", &format!("/v1/jobs/{}", jobs[0]), b"");
+    assert_eq!(status, 200);
+    assert_eq!(
+        json_string(&body_text(&body), "state").as_deref(),
+        Some("queued")
+    );
+    handle.stop();
+
+    // Second life, same journal dir, fresh port: the journal replays.
+    let coordinator = Coordinator::bind("127.0.0.1:0", config()).expect("rebind coordinator");
+    let coord = coordinator.local_addr();
+    let _handle = coordinator.spawn();
+
+    let (status, body) = http(coord, "GET", "/v1/healthz", b"");
+    assert_eq!(status, 200);
+    let text = body_text(&body);
+    assert_eq!(json_u64(&text, "epoch"), Some(2), "{text}");
+    assert_eq!(json_u64(&text, "replayed"), Some(3), "{text}");
+
+    // The graph catalog survived too: by-reference submits need no
+    // re-upload (the GFA reloads from the vault spill on demand).
+    let extra = submit_by_ref(coord, &graph);
+
+    // Workers join the new incarnation and drain everything accepted
+    // by either life of the coordinator.
+    let _workers = [spawn_worker(coord), spawn_worker(coord)];
+    for &job in jobs.iter().chain([&extra]) {
+        assert_eq!(wait_terminal(coord, job), "done", "job {job}");
+    }
+
+    let (status, body) = http(coord, "GET", "/v1/metrics", b"");
+    assert_eq!(status, 200);
+    let metrics = body_text(&body);
+    assert!(
+        metrics.contains("pgl_coord_journal_recovered_jobs_total 3"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("pgl_coord_journal_epoch 2"), "{metrics}");
+
+    let _ = std::fs::remove_dir_all(&journal_dir);
 }
 
 #[test]
